@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_figureN_bench`` module regenerates a reduced-trial version of
+the corresponding paper figure under ``pytest-benchmark`` timing, prints
+the rows (run pytest with ``-s`` to see them), and asserts the *shape*
+claims the paper makes for that figure.  Trial counts are deliberately
+small; the full-fidelity tables live in EXPERIMENTS.md and are produced
+by ``python -m repro all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Reduced trial count used by the figure benches.
+BENCH_TRIALS = 10
+
+
+def show(result) -> None:
+    """Print an experiment table under ``pytest -s``."""
+    print()
+    print(result.render())
+
+
+def rows_by(result, **filters):
+    """Select rows of an ExperimentResult by column equality."""
+    out = []
+    for row in result.rows:
+        if all(row.get(k) == v for k, v in filters.items()):
+            out.append(row)
+    return out
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return BENCH_TRIALS

@@ -1,0 +1,123 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Quantifies, on the paper's own systems:
+
+1. how much of the Dauwe model's predicted time comes from the failed
+   checkpoint/restart terms it champions (Sections IV-D, IV-G);
+2. the cost of Moody's escalating-restart assumption, measured in the
+   *simulator* by flipping the restart semantics;
+3. the literal-Eqn-4 "+1 top interval" reading vs. the corrected one;
+4. level skipping on/off for the short application (Section IV-F).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_TRIALS
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.simulator import simulate_many
+from repro.systems import TEST_SYSTEMS, get_system
+
+
+def test_failed_cr_terms_share_of_prediction(benchmark):
+    """The champion terms grow from negligible to dominant with difficulty."""
+
+    def gaps():
+        out = {}
+        for name in ("D1", "D9"):
+            spec = get_system(name)
+            plan = DauweModel(spec).optimize().plan
+            full = DauweModel(spec).predict_time(plan)
+            ablated = DauweModel(
+                spec,
+                include_checkpoint_failures=False,
+                include_restart_failures=False,
+            ).predict_time(plan)
+            out[name] = (full - ablated) / full
+        return out
+
+    share = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    print(f"\nfailed-C/R share of predicted time: {share}")
+    assert share["D9"] > 5 * share["D1"]
+    assert share["D9"] > 0.10
+
+
+def test_escalation_semantics_cost(benchmark):
+    """Escalating restarts measurably slow the hard systems in simulation."""
+    spec = get_system("D9")
+    plan = DauweModel(spec).optimize().plan
+
+    def run(semantics):
+        return simulate_many(
+            spec, plan, trials=BENCH_TRIALS, seed=5, restart_semantics=semantics
+        ).mean_efficiency
+
+    retry = benchmark.pedantic(run, args=("retry",), rounds=1, iterations=1)
+    escalate = run("escalate")
+    print(f"\nretry eff={retry:.4f} escalate eff={escalate:.4f}")
+    assert escalate <= retry + 0.02
+
+
+def test_final_interval_reading(benchmark):
+    """Literal Eqn-4 '+1 top interval' overprices exactly one interval."""
+    spec = TEST_SYSTEMS["B"]
+    plan = CheckpointPlan((1, 2, 3, 4), 12.0, (1, 1, 3))
+
+    def both():
+        corrected = DauweModel(spec, final_interval_plus_one=False).predict_time(plan)
+        literal = DauweModel(spec, final_interval_plus_one=True).predict_time(plan)
+        return corrected, literal
+
+    corrected, literal = benchmark(both)
+    extra = literal - corrected
+    top_interval = 12.0 * 2 * 2 * 4
+    assert extra == pytest.approx(top_interval, rel=0.25)
+
+
+def test_recheckpoint_policy_cost(benchmark):
+    """Physically re-taking destroyed checkpoints ("paid") costs real
+    efficiency that no analytic model prices; "free" matches the models'
+    world (DESIGN.md decision); "skip" deepens rollbacks instead."""
+    spec = get_system("D8")
+    plan = DauweModel(spec).optimize().plan
+
+    def run(policy):
+        return simulate_many(
+            spec, plan, trials=BENCH_TRIALS, seed=17, recheckpoint=policy
+        ).mean_efficiency
+
+    free = benchmark.pedantic(run, args=("free",), rounds=1, iterations=1)
+    paid = run("paid")
+    skip = run("skip")
+    print(f"\nfree={free:.4f} paid={paid:.4f} skip={skip:.4f}")
+    assert paid < free + 0.01
+    assert skip < free + 0.01
+
+
+def test_level_skipping_benefit_short_app(benchmark):
+    """Section IV-F: disallowing skipping hurts the 30-minute application."""
+    spec = (
+        TEST_SYSTEMS["B"].with_baseline_time(30.0).with_mtbf(15.0).with_top_level_cost(20.0)
+    )
+
+    def run(allow):
+        res = DauweModel(spec, allow_level_skipping=allow).optimize()
+        stats = simulate_many(
+            spec,
+            res.plan,
+            trials=40,
+            seed=9,
+            checkpoint_at_completion=not allow,
+        )
+        return res.plan, stats.mean_efficiency
+
+    plan_skip, eff_skip = benchmark.pedantic(
+        run, args=(True,), rounds=1, iterations=1
+    )
+    plan_full, eff_full = run(False)
+    print(f"\nskip: {plan_skip.describe()} eff={eff_skip:.3f}")
+    print(f"full: {plan_full.describe()} eff={eff_full:.3f}")
+    assert plan_skip.top_level < 4
+    assert plan_full.top_level == 4
+    assert eff_skip > eff_full

@@ -1,0 +1,105 @@
+"""Bench: Figure 2 — five techniques across Table-I systems.
+
+Asserted paper shape (Section IV-C):
+
+* multilevel (dauwe/di/moody) beats Daly on every benched system, by a
+  large factor at the hard end ("Daly's ... efficiency is 50% less than
+  that of multilevel checkpointing in the worst case");
+* Daly's own prediction is accurate even where its protocol loses;
+* Benoit's prediction is optimistic on the hard systems;
+* dauwe/di/moody land within a few points of each other.
+
+The regeneration benchmark re-validates every shape check, so the
+``--benchmark-only`` run exercises them too.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_TRIALS, rows_by, show
+
+from repro.experiments import figure2
+
+SYSTEMS = ("M", "B", "D1", "D4", "D7", "D9")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure2.run(trials=BENCH_TRIALS, seed=0, systems=SYSTEMS)
+
+
+def check_multilevel_beats_daly(result):
+    for system in SYSTEMS:
+        daly = rows_by(result, system=system, technique="daly")[0]
+        for tech in ("dauwe", "di", "moody"):
+            multi = rows_by(result, system=system, technique=tech)[0]
+            assert multi["sim efficiency"] >= daly["sim efficiency"] - 0.03, (
+                system,
+                tech,
+            )
+
+
+def check_daly_gap_large_on_hard_systems(result):
+    daly = rows_by(result, system="D9", technique="daly")[0]
+    dauwe = rows_by(result, system="D9", technique="dauwe")[0]
+    assert dauwe["sim efficiency"] > 1.5 * daly["sim efficiency"]
+
+
+def check_daly_prediction_accurate(result):
+    for system in SYSTEMS:
+        row = rows_by(result, system=system, technique="daly")[0]
+        assert abs(row["error"]) < 0.06, system
+
+
+def check_benoit_optimistic_on_hard_systems(result):
+    for system in ("D7", "D9"):
+        row = rows_by(result, system=system, technique="benoit")[0]
+        assert row["error"] > 0.1, system
+
+
+def check_best_three_within_a_few_points(result):
+    for system in SYSTEMS:
+        effs = [
+            rows_by(result, system=system, technique=t)[0]["sim efficiency"]
+            for t in ("dauwe", "di", "moody")
+        ]
+        assert max(effs) - min(effs) < 0.12, system
+
+
+def check_efficiency_decreases_with_difficulty(result):
+    means = []
+    for system in ("M", "D1", "D4", "D9"):
+        rows = [
+            rows_by(result, system=system, technique=t)[0]["sim efficiency"]
+            for t in ("dauwe", "di", "moody")
+        ]
+        means.append(sum(rows) / len(rows))
+    assert all(b < a + 0.02 for a, b in zip(means, means[1:]))
+
+
+ALL_CHECKS = [
+    check_multilevel_beats_daly,
+    check_daly_gap_large_on_hard_systems,
+    check_daly_prediction_accurate,
+    check_benoit_optimistic_on_hard_systems,
+    check_best_three_within_a_few_points,
+    check_efficiency_decreases_with_difficulty,
+]
+
+
+def test_figure2_regeneration(benchmark, result):
+    benchmark.pedantic(
+        figure2.run,
+        kwargs=dict(trials=2, seed=1, systems=("D1",), techniques=("dauwe", "daly")),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    assert len(result.rows) == len(SYSTEMS) * 5
+    for check in ALL_CHECKS:
+        check(result)
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.__name__)
+def test_figure2_shapes(check, result):
+    check(result)

@@ -1,0 +1,102 @@
+"""Bench: Figure 3 — time breakdown per event category.
+
+Asserted paper shape (Section IV-D): the share of time lost to *failed*
+checkpoints and restarts grows nonlinearly with system difficulty and
+dominates on the extreme systems (>= 30% on D7-D9 in the paper); D8 and
+D9 — identical but for application length — break down almost
+identically.  The regeneration benchmark re-validates every shape check.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_TRIALS, rows_by, show
+
+from repro.experiments import figure3
+
+SYSTEMS = ("D1", "D4", "D7", "D9")
+
+_CATS = (
+    "work",
+    "checkpoint",
+    "failed_checkpoint",
+    "restart",
+    "failed_restart",
+    "rework_compute",
+    "rework_checkpoint",
+    "rework_restart",
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure3.run(trials=BENCH_TRIALS, seed=0, systems=SYSTEMS)
+
+
+def check_failed_cr_share_grows(result):
+    shares = [
+        rows_by(result, system=s, technique="dauwe")[0]["failed C/R total"]
+        for s in SYSTEMS
+    ]
+    assert shares[-1] > shares[0]
+    assert shares == sorted(shares)
+
+
+def check_failed_cr_dominates_extremes(result):
+    for tech in ("dauwe", "di", "moody"):
+        row = rows_by(result, system="D9", technique=tech)[0]
+        assert row["failed C/R total"] >= 20.0, tech  # paper: >=30% at 200 trials
+
+
+def check_growth_is_nonlinear(result):
+    s = {
+        name: rows_by(result, system=name, technique="dauwe")[0]["failed C/R total"]
+        for name in SYSTEMS
+    }
+    assert (s["D9"] - s["D7"]) > (s["D4"] - s["D1"])
+
+
+def check_shares_sum_to_100(result):
+    for row in result.rows:
+        assert sum(row[c] for c in _CATS) == pytest.approx(100.0, abs=1e-6)
+
+
+ALL_CHECKS = [
+    check_failed_cr_share_grows,
+    check_failed_cr_dominates_extremes,
+    check_growth_is_nonlinear,
+    check_shares_sum_to_100,
+]
+
+
+def test_figure3_regeneration(benchmark, result):
+    benchmark.pedantic(
+        figure3.run,
+        kwargs=dict(trials=2, seed=1, systems=("D1",), techniques=("dauwe",)),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    assert len(result.rows) == len(SYSTEMS) * 3
+    for check in ALL_CHECKS:
+        check(result)
+
+
+@pytest.mark.parametrize("check", ALL_CHECKS, ids=lambda c: c.__name__)
+def test_figure3_shapes(check, result):
+    check(result)
+
+
+def test_d8_d9_nearly_identical(benchmark):
+    res = benchmark.pedantic(
+        figure3.run,
+        kwargs=dict(trials=BENCH_TRIALS, seed=0, systems=("D8", "D9")),
+        rounds=1,
+        iterations=1,
+    )
+    for tech in ("dauwe", "moody"):
+        d8 = rows_by(res, system="D8", technique=tech)[0]
+        d9 = rows_by(res, system="D9", technique=tech)[0]
+        assert d8["failed C/R total"] == pytest.approx(
+            d9["failed C/R total"], abs=12.0
+        )

@@ -1,0 +1,112 @@
+"""Bench: Figure 4 — exascale scaling of the 1440-minute application.
+
+Asserted paper shape (Section IV-E): MTBF dominates the PFS cost; the
+3-minute MTBF collapses efficiency below 1% for costs above 10 minutes;
+a 15-minute MTBF already drops below 50% for costs above 10 minutes.
+
+The bench sweeps a 2x2 corner sample of the full 5x4 grid (the full grid
+is EXPERIMENTS.md material); dauwe/di/moody only, like the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_TRIALS, show
+
+from repro.experiments.records import ExperimentResult
+from repro.experiments.runner import BREAKDOWN_TECHNIQUES, evaluate_technique
+from repro.systems import TEST_SYSTEMS
+
+
+def corner_grid():
+    base = TEST_SYSTEMS["B"]
+    for cost in (10.0, 40.0):
+        for mtbf in (26.0, 15.0, 3.0):
+            yield base.with_mtbf(mtbf).with_top_level_cost(cost).renamed(
+                f"B[mtbf={mtbf:g},cL={cost:g}]"
+            )
+
+
+def run_corners(trials):
+    rows = []
+    for spec in corner_grid():
+        for tech in BREAKDOWN_TECHNIQUES:
+            out = evaluate_technique(spec, tech, trials=trials, seed=0)
+            rows.append(
+                {
+                    "cL (min)": spec.checkpoint_times[-1],
+                    "MTBF (min)": spec.mtbf,
+                    "technique": tech,
+                    "sim efficiency": out.simulated_efficiency,
+                    "predicted": out.predicted_efficiency,
+                    "error": out.prediction_error,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure4-bench",
+        title="Figure 4 corner sample",
+        caption="2 costs x 3 MTBFs x 3 techniques",
+        columns=[
+            ("cL (min)", "g"),
+            ("MTBF (min)", "g"),
+            ("technique", None),
+            ("sim efficiency", ".4f"),
+            ("predicted", ".4f"),
+            ("error", "+.4f"),
+        ],
+        rows=rows,
+        parameters={"trials": trials},
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_corners(BENCH_TRIALS)
+
+
+def cell(result, cost, mtbf, tech):
+    return next(
+        r
+        for r in result.rows
+        if r["cL (min)"] == cost and r["MTBF (min)"] == mtbf and r["technique"] == tech
+    )
+
+
+def test_figure4_regeneration(benchmark, result):
+    benchmark.pedantic(run_corners, kwargs=dict(trials=2), rounds=1, iterations=1)
+    show(result)
+    assert len(result.rows) == 18
+    # Shape checks re-validated so `--benchmark-only` exercises them.
+    test_mtbf_dominates_cost(result)
+    test_three_minute_mtbf_collapses(result)
+    test_fifteen_minute_mtbf_below_half(result)
+    test_easiest_corner_above_40_percent(result)
+
+
+def test_mtbf_dominates_cost(result):
+    # Shrinking MTBF 26 -> 3 hurts far more than growing cost 10 -> 40.
+    for tech in BREAKDOWN_TECHNIQUES:
+        mtbf_drop = (
+            cell(result, 10.0, 26.0, tech)["sim efficiency"]
+            - cell(result, 10.0, 3.0, tech)["sim efficiency"]
+        )
+        cost_drop = (
+            cell(result, 10.0, 26.0, tech)["sim efficiency"]
+            - cell(result, 40.0, 26.0, tech)["sim efficiency"]
+        )
+        assert mtbf_drop > cost_drop, tech
+
+
+def test_three_minute_mtbf_collapses(result):
+    for tech in BREAKDOWN_TECHNIQUES:
+        assert cell(result, 40.0, 3.0, tech)["sim efficiency"] < 0.01, tech
+
+
+def test_fifteen_minute_mtbf_below_half(result):
+    for tech in BREAKDOWN_TECHNIQUES:
+        assert cell(result, 40.0, 15.0, tech)["sim efficiency"] < 0.5, tech
+
+
+def test_easiest_corner_above_40_percent(result):
+    for tech in ("dauwe", "moody"):
+        assert cell(result, 10.0, 26.0, tech)["sim efficiency"] > 0.4, tech

@@ -1,0 +1,100 @@
+"""Micro-benchmarks: model evaluation, optimizer, simulator, erasure codes.
+
+These track the performance characteristics the experiment harness relies
+on: vectorized model evaluation (thousands of candidate plans per sweep),
+the per-event cost of the trial simulator, and the erasure-coding
+substrate's throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.models import MoodyModel
+from repro.simulator import simulate_trial
+from repro.storage import ReedSolomonCode, XorPartnerCode
+from repro.systems import get_system
+
+
+@pytest.fixture(scope="module")
+def system_b():
+    return get_system("B")
+
+
+def test_dauwe_batch_evaluation(benchmark, system_b):
+    model = DauweModel(system_b)
+    taus = np.geomspace(0.1, 1000.0, 256)
+    out = benchmark(model.predict_time_batch, (1, 2, 3, 4), (1, 2, 3), taus)
+    assert out.shape == (256,)
+
+
+def test_dauwe_scalar_evaluation(benchmark, system_b):
+    model = DauweModel(system_b)
+    plan = CheckpointPlan((1, 2, 3, 4), 10.0, (1, 2, 3))
+    t = benchmark(model.predict_time, plan)
+    assert t > system_b.baseline_time
+
+
+def test_moody_batch_evaluation(benchmark, system_b):
+    model = MoodyModel(system_b)
+    taus = np.geomspace(0.1, 300.0, 256)
+    out = benchmark(model.pattern_efficiency_batch, (1, 2, 3, 4), (1, 2, 3), taus)
+    assert out.shape == (256,)
+
+
+def test_optimizer_two_level_system(benchmark):
+    spec = get_system("D4")
+    res = benchmark.pedantic(
+        lambda: DauweModel(spec).optimize(), rounds=3, iterations=1
+    )
+    assert res.predicted_efficiency > 0.5
+
+
+def test_simulator_easy_trial(benchmark, system_b):
+    plan = DauweModel(system_b).optimize().plan
+    r = benchmark(simulate_trial, system_b, plan, 7)
+    assert r.completed
+
+
+def test_simulator_failure_storm(benchmark):
+    # The Figure-4 worst case: tiny MTBF, huge PFS cost, capped horizon.
+    spec = get_system("B").with_mtbf(3.0).with_top_level_cost(40.0)
+    plan = CheckpointPlan((1, 2, 3, 4), 1.0, (1, 1, 12))
+    r = benchmark.pedantic(
+        simulate_trial,
+        args=(spec, plan, 11),
+        kwargs=dict(max_time=5000.0),
+        rounds=3,
+        iterations=1,
+    )
+    assert not r.completed
+    assert r.total_failures > 500
+
+
+def test_reed_solomon_encode_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    code = ReedSolomonCode(8, 2)
+    shards = rng.integers(0, 256, size=(8, 1 << 16), dtype=np.uint8)  # 512 KiB
+    parity = benchmark(code.encode, shards)
+    assert parity.shape == (2, 1 << 16)
+
+
+def test_xor_encode_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    code = XorPartnerCode(8)
+    shards = rng.integers(0, 256, size=(64, 1 << 16), dtype=np.uint8)  # 4 MiB
+    parity = benchmark(code.encode, shards)
+    assert parity.shape == (8, 1 << 16)
+
+
+def test_reed_solomon_recover(benchmark):
+    rng = np.random.default_rng(2)
+    code = ReedSolomonCode(8, 2)
+    data = rng.integers(0, 256, size=(8, 1 << 14), dtype=np.uint8)
+    parity = code.encode(data)
+    shards = {i: data[i] for i in range(2, 8)}
+    shards.update({8: parity[0], 9: parity[1]})
+    out = benchmark(code.recover, shards)
+    assert np.array_equal(out, data)

@@ -1,0 +1,17 @@
+"""Bench: Table I regeneration (catalog integrity + render cost)."""
+
+from __future__ import annotations
+
+from conftest import show
+
+from repro.experiments import table1
+from repro.systems import TEST_SYSTEM_ORDER
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark(table1.run)
+    show(result)
+    assert [r["system"] for r in result.rows] == list(TEST_SYSTEM_ORDER)
+    # Table I shape: 11 systems, difficulty roughly tracks MTBF/top-cost.
+    first, last = result.rows[0], result.rows[-1]
+    assert first["MTBF (min)"] > last["MTBF (min)"]

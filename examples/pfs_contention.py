@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""PFS write contention, modeled with the package's DES engine.
+
+Section IV-E of the paper assumes PFS checkpoint times of 10-40 minutes
+for exascale applications and notes that high-level checkpoints contend
+for a single shared file system.  This example uses :mod:`repro.des` —
+the process-oriented discrete-event engine underlying the reference
+simulator — directly, to show where such numbers come from: several jobs
+checkpoint periodically into a PFS that admits a bounded number of
+concurrent writers, and queueing inflates the effective checkpoint time.
+
+Run:  python examples/pfs_contention.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.des import Environment, Resource
+
+
+def run_scenario(num_jobs: int, writers: int, horizon_min: float = 2880.0):
+    """Simulate ``num_jobs`` jobs sharing a PFS with ``writers`` slots.
+
+    Each job writes a checkpoint every ~60 minutes; an uncontended write
+    takes 12 minutes of PFS service.  Returns per-write total latencies
+    (queueing + service), the quantity a SystemSpec's ``delta_L`` should
+    reflect.
+    """
+    env = Environment()
+    pfs = Resource(env, capacity=writers)
+    rng = np.random.default_rng(7)
+    latencies: list[float] = []
+
+    def job(env, jitter):
+        yield env.timeout(jitter)  # desynchronize job start
+        while True:
+            yield env.timeout(rng.uniform(50.0, 70.0))  # compute phase
+            arrival = env.now
+            req = pfs.request()
+            yield req
+            yield env.timeout(12.0)  # uncontended PFS service time
+            pfs.release()
+            latencies.append(env.now - arrival)
+
+    for j in range(num_jobs):
+        env.process(job(env, jitter=5.0 * j))
+    env.run(until=horizon_min)
+    return np.array(latencies)
+
+
+def main() -> None:
+    print("Effective PFS checkpoint latency vs. machine sharing")
+    print("(12-minute uncontended write, jobs checkpointing hourly)\n")
+    print(f"{'jobs':>5} {'writers':>8} {'writes':>7} {'mean (min)':>11} "
+          f"{'p95 (min)':>10} {'slowdown':>9}")
+    for num_jobs, writers in [(2, 2), (4, 2), (8, 2), (16, 2), (8, 4), (16, 4)]:
+        lat = run_scenario(num_jobs, writers)
+        mean = lat.mean()
+        p95 = float(np.percentile(lat, 95))
+        print(
+            f"{num_jobs:>5} {writers:>8} {lat.size:>7} {mean:>11.2f} "
+            f"{p95:>10.2f} {mean / 12.0:>8.2f}x"
+        )
+    print(
+        "\nOversubscribed file systems inflate delta_L well past the raw "
+        "write time — one reason the paper sweeps level-L costs up to 40 "
+        "minutes (Section IV-E). Feed the inflated figure into "
+        "SystemSpec.with_top_level_cost() to study the effect on intervals."
+    )
+
+
+if __name__ == "__main__":
+    main()

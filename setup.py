@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so the package installs editable on environments whose setuptools
+cannot build PEP-660 wheels offline (``pip install -e . --no-use-pep517``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

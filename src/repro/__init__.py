@@ -1,0 +1,65 @@
+"""repro — reproduction of "An Analysis of Multilevel Checkpoint Performance Models".
+
+The package provides, as a downstream-usable library:
+
+* the paper's hierarchical execution-time model
+  (:class:`repro.core.DauweModel`) and the four prior-work techniques it
+  compares against (:mod:`repro.models`);
+* a bounded brute-force checkpoint-interval optimizer
+  (:func:`repro.core.sweep_plans`);
+* a failure-injecting checkpoint/restart simulator used as ground truth
+  (:mod:`repro.simulator`), plus a general discrete-event engine
+  (:mod:`repro.des`);
+* failure-trace tooling (:mod:`repro.failures`) and a checkpoint storage
+  substrate with real XOR / Reed-Solomon erasure coding
+  (:mod:`repro.storage`);
+* the paper's Table I systems (:mod:`repro.systems`) and the full
+  experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`, ``python -m repro``).
+
+Quickstart::
+
+    from repro import DauweModel, get_system, simulate_many
+
+    system = get_system("B")
+    result = DauweModel(system).optimize()
+    print(result.plan.describe(), result.predicted_efficiency)
+    stats = simulate_many(system, result.plan, trials=100, seed=1)
+    print(stats.mean_efficiency)
+"""
+
+from .core import (
+    CheckpointModel,
+    CheckpointPlan,
+    DauweModel,
+    OptimizationResult,
+    sweep_plans,
+)
+from .systems import SystemSpec, TEST_SYSTEMS, exascale_grid, get_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointModel",
+    "CheckpointPlan",
+    "DauweModel",
+    "OptimizationResult",
+    "SystemSpec",
+    "TEST_SYSTEMS",
+    "exascale_grid",
+    "get_system",
+    "simulate_many",
+    "simulate_trial",
+    "sweep_plans",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` light and avoid a hard dependency
+    # cycle while the simulator package is optional for model-only users.
+    if name in ("simulate_many", "simulate_trial"):
+        from . import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

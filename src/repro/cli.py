@@ -1,0 +1,107 @@
+"""Command-line front-end: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure2 --trials 200 --seed 0
+    python -m repro all --trials 100 --report EXPERIMENTS.md
+    python -m repro figure4 --quick          # 25-trial smoke run
+
+``--report PATH`` additionally writes/updates the Markdown report; with
+``all`` it contains every experiment.  Figure 6 is derived from Figure 4's
+rows, so ``all`` runs Figure 4 once and reuses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, figure4, figure6, write_report
+
+__all__ = ["main", "build_parser"]
+
+_QUICK_TRIALS = 25
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate tables/figures of 'An Analysis of Multilevel "
+            "Checkpoint Performance Models' (IPDPS 2018)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="simulation trials per scenario (default: the paper's "
+        "200, or 400 for figure5)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool workers for trials"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"smoke mode: {_QUICK_TRIALS} trials per scenario",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="also write a Markdown report to PATH",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="print tables as Markdown"
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
+    runner = EXPERIMENTS[name]
+    if name == "table1":
+        return runner()
+    kwargs = {"seed": args.seed, "workers": args.workers}
+    if args.quick:
+        kwargs["trials"] = _QUICK_TRIALS
+    elif args.trials is not None:
+        kwargs["trials"] = args.trials
+    if name == "figure6":
+        if "figure4" not in fig4_cache:
+            fig4_cache["figure4"] = figure4.run(**kwargs)
+        return figure6.from_figure4(fig4_cache["figure4"])
+    result = runner(**kwargs)
+    if name == "figure4":
+        fig4_cache["figure4"] = result
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS.keys()) if args.experiment == "all" else [args.experiment]
+    fig4_cache: dict = {}
+    results = []
+    for name in names:
+        t0 = time.time()
+        result = _run_one(name, args, fig4_cache)
+        results.append(result)
+        print(result.render(markdown=args.markdown))
+        print(f"[{name} finished in {time.time() - t0:.1f}s]", file=sys.stderr)
+        print()
+    if args.report:
+        path = write_report(results, args.report)
+        print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Core contribution of the paper: the hierarchical multilevel model.
+
+Public surface:
+
+* :class:`~repro.core.plan.CheckpointPlan` — pattern-based schedules.
+* :class:`~repro.core.dauwe.DauweModel` — the Section III model.
+* :class:`~repro.core.interfaces.CheckpointModel` /
+  :class:`~repro.core.interfaces.OptimizationResult` — model interface.
+* :func:`~repro.core.optimizer.sweep_plans` — Section III-C optimization.
+* :mod:`~repro.core.truncated` — Eqns. 1-2 probability machinery.
+"""
+
+from .dauwe import DauweModel
+from .interfaces import CheckpointModel, OptimizationResult
+from .optimizer import enumerate_count_vectors, golden_section, sweep_plans
+from .plan import CheckpointPlan
+from .severity import LevelMapping
+from .truncated import (
+    expected_failed_attempts,
+    expected_failures,
+    failure_probability,
+    survival_probability,
+    truncated_mean,
+    unprotected_completion_time,
+)
+
+__all__ = [
+    "CheckpointModel",
+    "CheckpointPlan",
+    "DauweModel",
+    "LevelMapping",
+    "OptimizationResult",
+    "enumerate_count_vectors",
+    "expected_failed_attempts",
+    "expected_failures",
+    "failure_probability",
+    "golden_section",
+    "survival_probability",
+    "sweep_plans",
+    "truncated_mean",
+    "unprotected_completion_time",
+]

@@ -1,0 +1,288 @@
+"""The paper's execution-time prediction model (Section III, Eqns. 1-14).
+
+The model estimates the expected execution time ``T_ML`` of an application
+protected by a pattern-based multilevel checkpointing protocol.  It is
+*hierarchical*: the expected duration of a level-``i`` execution interval
+(computation plus all overhead from level-``<= i`` events) feeds the
+computation of the level-``i+1`` interval, so each stage only has to price
+the failure severities it newly protects against (Eqn. 4).
+
+Per stage ``i`` (Eqns. 5-14, using this module's vocabulary):
+
+=========  ===========================================================
+``gamma``  expected failures during the ``tau_i`` intervals of this
+           stage — negative binomial, Eqn. (5)
+``T_Wtau`` rework for those failures: ``gamma * E(tau_i, lam_i) * m``
+           where ``m`` is the interval count, Eqn. (6)
+``T_d``    successful checkpoints: ``N_i * delta_i``, Eqn. (7)
+``alpha``  failed checkpoints, Eqn. (8)
+``T_df``   time inside failed checkpoints, Eqn. (9)
+``T_Wd``   progress lost to failed checkpoints, Eqn. (10)
+``beta``   successful restarts needed, Eqn. (11)
+``zeta``   failed restarts, Eqn. (12)
+``T_r``    successful restart time ``beta * R_i``, Eqn. (13)
+``T_rf``   time inside failed restarts, Eqn. (14)
+=========  ===========================================================
+
+Extensions that the paper exercises but does not write out:
+
+* **Level subsets** (Section IV-F): plans may skip top levels; severities
+  above the top used level restart the application from scratch and are
+  priced with the renewal formula of
+  :func:`repro.core.truncated.unprotected_completion_time`.
+* **Ablation switches**: ``include_checkpoint_failures`` /
+  ``include_restart_failures`` disable the ``alpha``/``zeta`` machinery to
+  quantify exactly the modeling gap the paper attributes to prior work
+  (Sections IV-D, IV-G).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..systems.spec import SystemSpec
+from .interfaces import CheckpointModel
+from .plan import CheckpointPlan
+from .severity import LevelMapping
+from .truncated import truncated_mean, unprotected_completion_time
+
+__all__ = ["DauweModel"]
+
+# Events with per-attempt failure probability this close to 1 make the
+# negative-binomial retry count astronomically large; the plan is hopeless
+# and reported as infinite expected time.
+_MAX_RATE_TIME = 500.0
+
+
+class DauweModel(CheckpointModel):
+    """Hierarchical continuous execution-time model (the paper's Sec. III).
+
+    Parameters
+    ----------
+    system:
+        The scenario being modeled.
+    include_checkpoint_failures:
+        Model failures striking during checkpoint writes (Eqns. 8-10).
+        Disabling reproduces the optimistic assumption the paper
+        criticizes in Benoit et al. [18].
+    include_restart_failures:
+        Model failures striking during restarts (Eqns. 11-14 beyond plain
+        ``beta * R``).  Disabling reproduces Di et al.'s assumption [17].
+    final_interval_plus_one:
+        Eqn. (4) as printed counts ``N_i + 1`` lower intervals at every
+        stage.  Applied literally at the *top* stage it prices one phantom
+        top-level interval of work beyond ``T_B`` (Eqn. 3 makes ``N_L``
+        intervals cover ``T_B`` exactly), which would both bias the
+        optimizer toward overly dense top-level patterns and push the
+        model's predictions systematically below the simulation — at odds
+        with the accuracy the paper demonstrates for it.  We therefore
+        read the top stage as exactly ``N_L`` intervals by default
+        (``False``); set ``True`` for the literal printed form (ablation;
+        see DESIGN.md).
+    allow_level_skipping:
+        Offer prefix level subsets to the optimizer so short applications
+        may omit top-level checkpoints (Section IV-F).
+    """
+
+    name = "dauwe"
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        include_checkpoint_failures: bool = True,
+        include_restart_failures: bool = True,
+        final_interval_plus_one: bool = False,
+        allow_level_skipping: bool = True,
+    ):
+        super().__init__(system)
+        self.include_checkpoint_failures = include_checkpoint_failures
+        self.include_restart_failures = include_restart_failures
+        self.final_interval_plus_one = final_interval_plus_one
+        self.allow_level_skipping = allow_level_skipping
+        self._mappings: dict[tuple[int, ...], LevelMapping] = {}
+
+    # ------------------------------------------------------------------
+    def candidate_level_subsets(self) -> list[tuple[int, ...]]:
+        """Prefixes ``(1..l)`` for ``l = L .. 1`` (full protocol first)."""
+        L = self.system.num_levels
+        if not self.allow_level_skipping:
+            return [tuple(range(1, L + 1))]
+        return [tuple(range(1, l + 1)) for l in range(L, 0, -1)]
+
+    def _mapping(self, levels: tuple[int, ...]) -> LevelMapping:
+        m = self._mappings.get(levels)
+        if m is None:
+            m = LevelMapping.build(self.system, levels)
+            self._mappings[levels] = m
+        return m
+
+    # ------------------------------------------------------------------
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        """Expected execution time ``T_ML`` (Eqn. 4 recursion) for ``plan``."""
+        out = self.predict_time_batch(plan.levels, plan.counts, np.array([plan.tau0]))
+        return float(out[0])
+
+    def predict_time_batch(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_time` over an array of ``tau0`` values."""
+        total, _ = self._evaluate(levels, counts, np.asarray(tau0, dtype=float))
+        return total
+
+    def predict_breakdown(self, plan: CheckpointPlan) -> Mapping[str, float]:
+        """Per-event-type expected time totals for ``plan``.
+
+        Keys mirror Section III-B's taxonomy: ``work``, ``checkpoint``,
+        ``failed_checkpoint``, ``restart``, ``failed_restart``,
+        ``rework_compute`` (``T_Wtau``), ``rework_checkpoint`` (``T_Wd``)
+        and ``unprotected`` (scratch-restart renewal overhead for skipped
+        severities).  Summing the values (plus ``work``) gives
+        :meth:`predict_time` exactly.
+        """
+        total, parts = self._evaluate(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+        )
+        out = {key: float(val[0]) for key, val in parts.items()}
+        out["total"] = float(total[0])
+        return out
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        if len(counts) != len(levels) - 1:
+            raise ValueError(
+                f"{len(levels)}-level plan needs {len(levels) - 1} counts, "
+                f"got {len(counts)}"
+            )
+        mp = self._mapping(tuple(levels))
+        T_B = self.system.baseline_time
+        u = mp.num_used
+        shape = tau0.shape
+        zeros = lambda: np.zeros(shape)
+
+        stride = math.prod(n + 1 for n in counts)
+        # Eqn. (3): number of top-used-level checkpoints over the whole run.
+        n_top = T_B / (tau0 * stride)
+
+        tau_k = tau0.astype(float).copy()  # tau_hat_1 = tau0
+        hist_tau: list[np.ndarray] = []
+        hist_rework: list[np.ndarray] = []  # gamma_j * E(tau_j, lam_j)
+        bad = np.zeros(shape, dtype=bool)
+        # Per-stage overhead terms are "per level-(k+1) interval"; to report
+        # whole-run totals each stage's terms are later scaled by the number
+        # of such intervals in the run (the product of the interval counts
+        # of every stage above it).
+        stage_parts: list[dict[str, np.ndarray]] = []
+        stage_multipliers: list[np.ndarray | float] = []
+
+        for k in range(u):
+            lam_k = mp.rates[k]
+            lam_c = mp.cumulative_rates[k]
+            delta = mp.checkpoint_times[k]
+            R = mp.restart_times[k]
+            if k < u - 1:
+                N_k = float(counts[k])
+                m_intervals = N_k + 1.0
+                n_ckpt = N_k
+            else:
+                n_ckpt = n_top
+                m_intervals = n_top + 1.0 if self.final_interval_plus_one else n_top
+
+            with np.errstate(over="ignore", invalid="ignore"):
+                bad |= lam_k * tau_k > _MAX_RATE_TIME
+                gamma = np.expm1(lam_k * tau_k)  # Eqn. (5)
+                E_tau = np.asarray(truncated_mean(tau_k, lam_k))
+                T_Wtau = gamma * E_tau * m_intervals  # Eqn. (6)
+                T_d = n_ckpt * delta  # Eqn. (7)
+
+                hist_tau.append(tau_k)
+                hist_rework.append(gamma * E_tau)
+
+                if self.include_checkpoint_failures and delta > 0:
+                    bad |= lam_c * delta > _MAX_RATE_TIME
+                    alpha = n_ckpt * np.expm1(lam_c * delta)  # Eqn. (8)
+                    T_df = alpha * truncated_mean(delta, lam_c)  # Eqn. (9)
+                    # Eqn. (10): progress lost with the failed checkpoint.
+                    lost = zeros()
+                    for j in range(k + 1):
+                        lost += (hist_tau[j] + hist_rework[j]) * mp.shares[j]
+                    T_Wd = alpha * lost
+                else:
+                    alpha = zeros()
+                    T_df = zeros()
+                    T_Wd = zeros()
+
+                # Eqn. (11): successful restarts required at this level.
+                beta = mp.shares[k] * alpha + gamma * (
+                    mp.shares[k] * alpha + m_intervals
+                )
+                T_r = beta * R  # Eqn. (13)
+                if self.include_restart_failures and R > 0:
+                    bad |= lam_c * R > _MAX_RATE_TIME
+                    zeta = beta * np.expm1(lam_c * R)  # Eqn. (12)
+                    T_rf = zeta * truncated_mean(R, lam_c)  # Eqn. (14)
+                else:
+                    T_rf = zeros()
+
+                stage_parts.append(
+                    {
+                        "checkpoint": np.broadcast_to(np.asarray(T_d, dtype=float), shape),
+                        "failed_checkpoint": T_df,
+                        "restart": T_r,
+                        "failed_restart": T_rf,
+                        "rework_compute": T_Wtau,
+                        "rework_checkpoint": T_Wd,
+                    }
+                )
+                stage_multipliers.append(m_intervals)
+
+                # Eqn. (4)
+                tau_k = tau_k * m_intervals + T_d + T_df + T_r + T_rf + T_Wtau + T_Wd
+
+        # Whole-run totals: stage k's terms occur once per level-(k+1)
+        # interval, i.e. prod of interval counts of the stages above it.
+        parts = {
+            "work": tau0 * stride * np.asarray(stage_multipliers[-1], dtype=float),
+            "checkpoint": zeros(),
+            "failed_checkpoint": zeros(),
+            "restart": zeros(),
+            "failed_restart": zeros(),
+            "rework_compute": zeros(),
+            "rework_checkpoint": zeros(),
+            "unprotected": zeros(),
+        }
+        for k in range(u):
+            mult = np.ones(shape)
+            for j in range(k + 1, u):
+                mult = mult * stage_multipliers[j]
+            for key, val in stage_parts[k].items():
+                parts[key] = parts[key] + val * mult
+
+        total = tau_k
+        if mp.unprotected_rate > 0:
+            with np.errstate(over="ignore", invalid="ignore"):
+                bad |= mp.unprotected_rate * total > _MAX_RATE_TIME
+                grown = np.asarray(
+                    unprotected_completion_time(
+                        total, mp.unprotected_rate, mp.unprotected_restart
+                    )
+                )
+            with np.errstate(invalid="ignore"):
+                parts["unprotected"] = np.where(
+                    np.isfinite(grown) & np.isfinite(total), grown - total, np.inf
+                )
+            total = grown
+
+        bad |= ~np.isfinite(total)
+        total = np.where(bad, np.inf, total)
+        return total, parts

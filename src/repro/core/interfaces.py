@@ -1,0 +1,128 @@
+"""Shared interfaces for checkpoint-interval models and optimizers.
+
+Every technique the paper compares (Daly, Moody, Di, Benoit, Dauwe) is a
+:class:`CheckpointModel`: given a :class:`~repro.systems.spec.SystemSpec`
+it can *predict* the expected execution time of a candidate
+:class:`~repro.core.plan.CheckpointPlan` and *optimize* over its own plan
+space.  The simulator then measures each technique's chosen plan, which is
+exactly the paper's experimental procedure (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..systems.spec import SystemSpec
+from .plan import CheckpointPlan
+
+__all__ = ["CheckpointModel", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a checkpoint-interval optimization.
+
+    Attributes
+    ----------
+    plan:
+        The selected checkpoint schedule.
+    predicted_time:
+        The optimizing model's expected execution time for ``plan``
+        (minutes).  This is the quantity shown as the "diamond" prediction
+        markers in Figures 2, 4 and 5.
+    predicted_efficiency:
+        ``T_B / predicted_time`` — the paper's efficiency metric.
+    evaluations:
+        Number of candidate plans the sweep evaluated (diagnostics).
+    """
+
+    plan: CheckpointPlan
+    predicted_time: float
+    predicted_efficiency: float
+    evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.predicted_time > 0):
+            raise ValueError(f"predicted_time must be positive, got {self.predicted_time}")
+        if not (0 < self.predicted_efficiency <= 1 + 1e-9):
+            raise ValueError(
+                f"predicted efficiency must be in (0, 1], got {self.predicted_efficiency}"
+            )
+
+
+class CheckpointModel(ABC):
+    """A technique for predicting execution time and choosing intervals.
+
+    Subclasses set :attr:`name` (the label used in figures and the
+    experiment registry) and implement :meth:`predict_time` plus
+    :meth:`candidate_level_subsets`; the bounded brute-force sweep of
+    Section III-C is shared (see :mod:`repro.core.optimizer`).
+    """
+
+    #: Technique label, e.g. ``"dauwe"`` or ``"moody"``.
+    name: str = "abstract"
+
+    #: Whether the deployed protocol takes a checkpoint whose scheduled
+    #: position coincides with application completion.  Length-*blind*
+    #: techniques (Moody, Benoit) checkpoint on schedule because their
+    #: model does not know the application is ending; length-aware
+    #: techniques omit the pointless final write.  The experiment harness
+    #: forwards this to the simulator (see Figure 5, Section IV-F).
+    takes_scheduled_end_checkpoint: bool = False
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        """Expected wall-clock execution time (minutes) under ``plan``.
+
+        Must return ``math.inf`` for plans the model deems hopeless rather
+        than raising, so the optimizer can sweep freely.
+        """
+
+    def predict_efficiency(self, plan: CheckpointPlan) -> float:
+        """The paper's efficiency metric: ``T_B / E[T]`` for ``plan``."""
+        t = self.predict_time(plan)
+        if not (t > 0):
+            raise ValueError(f"model returned non-positive time {t} for {plan.describe()}")
+        if math.isinf(t):
+            return 0.0
+        return self.system.baseline_time / t
+
+    @abstractmethod
+    def candidate_level_subsets(self) -> list[tuple[int, ...]]:
+        """Level subsets this technique's plan space may use.
+
+        Examples: Daly returns ``[(L,)]`` (PFS only); Moody returns the
+        full ``[(1, .., L)]``; the Dauwe model returns every prefix
+        ``(1..l)`` so that short applications may skip top levels
+        (Section IV-F); Di returns the top-two-levels variants.
+        """
+
+    def optimize(self, **sweep_options) -> OptimizationResult:
+        """Select the plan minimizing this model's predicted time.
+
+        Runs the bounded brute-force sweep of Section III-C over
+        ``candidate_level_subsets() x tau0 grid x integer counts`` followed
+        by a golden-section refinement of ``tau0``.  Keyword arguments are
+        forwarded to :func:`repro.core.optimizer.sweep_plans`.
+        """
+        from .optimizer import sweep_plans  # local import to avoid a cycle
+
+        return sweep_plans(self, **sweep_options)
+
+    # ------------------------------------------------------------------
+    def validate_plan(self, plan: CheckpointPlan) -> None:
+        """Raise ``ValueError`` if ``plan`` refers to unknown system levels."""
+        if plan.top_level > self.system.num_levels:
+            raise ValueError(
+                f"plan uses level {plan.top_level} but {self.system.name} "
+                f"has only {self.system.num_levels} levels"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} on {self.system.name}>"

@@ -1,0 +1,192 @@
+"""Checkpoint plans: the decision variables of every optimization technique.
+
+A :class:`CheckpointPlan` is a pattern-based multilevel checkpoint schedule
+in the SCR style the paper models (Section II-B): a fixed computation
+interval ``tau0`` between successive checkpoints, and for each pair of
+adjacent *used* levels an integer count ``N`` of lower-level checkpoints
+taken before the next higher-level checkpoint.
+
+Plans also carry the subset of the system's levels they actually use.
+This generalizes three situations in the paper at once:
+
+* Daly's traditional checkpoint/restart uses only the top (PFS) level of a
+  multilevel system (Section IV-C);
+* Di et al.'s two-level model uses only the top two levels (Section IV-C);
+* the paper's own model (and Di's) may *skip* level-L checkpoints for
+  short applications (Section IV-F), i.e. use only a bottom subset.
+
+A failure of severity ``s`` is recovered from the lowest used level
+``>= s``; if none exists the application restarts from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["CheckpointPlan"]
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A pattern-based multilevel checkpoint schedule.
+
+    Parameters
+    ----------
+    levels:
+        Ascending, 1-based system checkpoint levels this plan uses.
+        ``(1, 2, 3)`` uses all levels of a 3-level system; ``(3,)`` takes
+        only level-3 checkpoints.
+    tau0:
+        The computation interval (minutes of application *work*) between
+        successive checkpoints — the paper's real-valued decision variable.
+    counts:
+        ``N`` values, one per adjacent used-level pair: ``counts[k]`` is
+        the number of ``levels[k]`` checkpoints taken before each
+        ``levels[k+1]`` checkpoint (the paper's ``N_i``).  Every entry is
+        a non-negative integer; ``len(counts) == len(levels) - 1``.
+        ``counts[k] == 0`` means every ``levels[k]`` position is promoted
+        straight to a ``levels[k+1]`` checkpoint.
+    """
+
+    levels: tuple[int, ...]
+    tau0: float
+    counts: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(int(v) for v in self.levels))
+        object.__setattr__(self, "counts", tuple(int(v) for v in self.counts))
+        if not self.levels:
+            raise ValueError("a plan must use at least one checkpoint level")
+        if any(lv < 1 for lv in self.levels):
+            raise ValueError(f"levels are 1-based and positive, got {self.levels}")
+        if any(b <= a for a, b in zip(self.levels, self.levels[1:])):
+            raise ValueError(f"levels must be strictly ascending, got {self.levels}")
+        if len(self.counts) != len(self.levels) - 1:
+            raise ValueError(
+                f"need {len(self.levels) - 1} counts for {len(self.levels)} "
+                f"used levels, got {len(self.counts)}"
+            )
+        if any(n < 0 for n in self.counts):
+            raise ValueError(f"counts must be non-negative, got {self.counts}")
+        if not (self.tau0 > 0 and math.isfinite(self.tau0)):
+            raise ValueError(f"tau0 must be positive and finite, got {self.tau0}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_level(cls, level: int, tau0: float) -> "CheckpointPlan":
+        """A traditional (Daly-style) plan checkpointing only ``level``."""
+        return cls(levels=(level,), tau0=tau0)
+
+    @classmethod
+    def uniform(cls, num_levels: int, tau0: float, count: int) -> "CheckpointPlan":
+        """All of ``1..num_levels`` with the same ``N`` at every boundary."""
+        return cls(
+            levels=tuple(range(1, num_levels + 1)),
+            tau0=tau0,
+            counts=(count,) * (num_levels - 1),
+        )
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_used_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def top_level(self) -> int:
+        """The highest system level this plan checkpoints to."""
+        return self.levels[-1]
+
+    def stride(self, k: int) -> int:
+        """Checkpoint positions between ``levels[k]`` checkpoints.
+
+        ``stride(0) == 1``: the lowest used level checkpoints at every
+        position.  ``stride(k) = prod_{j<k} (counts[j] + 1)``.
+        """
+        s = 1
+        for j in range(k):
+            s *= self.counts[j] + 1
+        return s
+
+    def work_between(self, k: int) -> float:
+        """Application work between successive ``levels[k]`` checkpoints.
+
+        This is the paper's level-``k`` interval length in *work* terms:
+        ``tau0 * prod_{j<k} (counts[j] + 1)``.
+        """
+        return self.tau0 * self.stride(k)
+
+    @property
+    def pattern_work(self) -> float:
+        """Work covered by one full pattern (between top-level checkpoints)."""
+        return self.work_between(self.num_used_levels - 1)
+
+    def level_at_position(self, m: int) -> int:
+        """System level of the checkpoint taken at work position ``m * tau0``.
+
+        Positions are 1-based.  The checkpoint taken is the *highest* used
+        level whose stride divides ``m`` — e.g. with ``levels=(1,2,3)``,
+        ``counts=(2,1)`` the sequence of levels at positions 1.. is
+        1,1,2,1,1,3,1,1,2,1,1,3,...
+        """
+        if m < 1:
+            raise ValueError(f"positions are 1-based, got {m}")
+        chosen = self.levels[0]
+        for k in range(self.num_used_levels - 1, 0, -1):
+            if m % self.stride(k) == 0:
+                chosen = self.levels[k]
+                break
+        return chosen
+
+    def iter_levels(self, num_positions: int) -> Iterator[int]:
+        """Yield the checkpoint level for positions ``1..num_positions``."""
+        for m in range(1, num_positions + 1):
+            yield self.level_at_position(m)
+
+    def recovery_level(self, severity: int) -> int | None:
+        """Lowest used level able to recover a severity-``severity`` failure.
+
+        Returns ``None`` when the plan has no sufficiently high level, in
+        which case such a failure restarts the application from scratch
+        (the risk a short application may rationally accept, Sec. IV-F).
+        """
+        for lv in self.levels:
+            if lv >= severity:
+                return lv
+        return None
+
+    def checkpoints_per_pattern(self, k: int) -> int:
+        """Number of ``levels[k]`` checkpoints in one full pattern.
+
+        The highest used level checkpoints once per pattern; each lower
+        level checkpoints ``counts[k]`` times per occurrence of the level
+        above it.
+        """
+        top = self.num_used_levels - 1
+        if k == top:
+            return 1
+        n = self.counts[k]
+        for j in range(k + 1, top):
+            n *= self.counts[j] + 1
+        return n
+
+    def scaled(self, tau0: float) -> "CheckpointPlan":
+        """The same pattern with a different computation interval."""
+        return CheckpointPlan(levels=self.levels, tau0=tau0, counts=self.counts)
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``tau0=12.5min, L1 x3 -> L2 x2 -> L4``."""
+        parts = [f"tau0={self.tau0:.4g}min"]
+        chain = []
+        for k, lv in enumerate(self.levels):
+            if k < len(self.counts):
+                chain.append(f"L{lv} x{self.counts[k]}")
+            else:
+                chain.append(f"L{lv}")
+        parts.append(" -> ".join(chain))
+        return ", ".join(parts)

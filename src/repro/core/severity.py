@@ -1,0 +1,100 @@
+"""Mapping of failure severities onto the levels a plan actually uses.
+
+The paper's equations index failures by checkpoint level because the full
+protocol dedicates level ``i`` to severity ``i``.  As soon as a technique
+uses a *subset* of the system's levels (Daly: top only; Di: top two;
+short-application plans: bottom prefix — Sections II-C, IV-C, IV-F), each
+used level must absorb every severity class it is the cheapest recoverer
+for, and severities above the top used level become *unprotected*: they
+restart the application from scratch.
+
+:class:`LevelMapping` precomputes, for a ``(system, used levels)`` pair,
+the effective per-used-level failure rates (the paper's ``lambda_i``),
+severity shares (``S_i``), cumulative rates (``lambda_c``), checkpoint and
+restart durations, and the unprotected tail rate/restart cost.  All five
+analytic models consume this one structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..systems.spec import SystemSpec
+
+__all__ = ["LevelMapping"]
+
+
+@dataclass(frozen=True)
+class LevelMapping:
+    """Severity classes folded onto the used levels of a plan.
+
+    Index ``k`` (0-based) ranges over the *used* levels in ascending
+    order.  ``rates[k]`` is the total rate of failures recovered at used
+    level ``k`` — the effective ``lambda_{k}`` of the paper's equations.
+    """
+
+    levels: tuple[int, ...]
+    rates: tuple[float, ...]
+    shares: tuple[float, ...]
+    cumulative_rates: tuple[float, ...]
+    checkpoint_times: tuple[float, ...]
+    restart_times: tuple[float, ...]
+    unprotected_rate: float
+    unprotected_restart: float
+
+    @classmethod
+    def build(cls, system: SystemSpec, levels: tuple[int, ...]) -> "LevelMapping":
+        """Fold ``system``'s severity classes onto ``levels``.
+
+        Severity ``s`` is recovered at the lowest used level ``>= s``;
+        severities above the top used level contribute to the unprotected
+        tail, whose restart cost is the rate-weighted mean of their
+        per-severity restart times (reloading the application start state
+        costs the severity's own restart time).
+        """
+        if not levels:
+            raise ValueError("a plan must use at least one level")
+        if any(lv < 1 or lv > system.num_levels for lv in levels):
+            raise ValueError(
+                f"levels {levels} out of range for {system.num_levels}-level "
+                f"system {system.name}"
+            )
+        if any(b <= a for a, b in zip(levels, levels[1:])):
+            raise ValueError(f"levels must be strictly ascending, got {levels}")
+
+        sys_rates = system.level_rates
+        total = system.failure_rate
+        rates = [0.0] * len(levels)
+        un_rate = 0.0
+        un_cost = 0.0
+        for s in range(1, system.num_levels + 1):
+            target = next((k for k, lv in enumerate(levels) if lv >= s), None)
+            if target is None:
+                un_rate += sys_rates[s - 1]
+                un_cost += sys_rates[s - 1] * system.restart_time(s)
+            else:
+                rates[target] += sys_rates[s - 1]
+        cum: list[float] = []
+        acc = 0.0
+        for r in rates:
+            acc += r
+            cum.append(acc)
+        return cls(
+            levels=tuple(levels),
+            rates=tuple(rates),
+            shares=tuple(r / total for r in rates),
+            cumulative_rates=tuple(cum),
+            checkpoint_times=tuple(system.checkpoint_time(lv) for lv in levels),
+            restart_times=tuple(system.restart_time(lv) for lv in levels),
+            unprotected_rate=un_rate,
+            unprotected_restart=(un_cost / un_rate) if un_rate > 0 else 0.0,
+        )
+
+    @property
+    def num_used(self) -> int:
+        return len(self.levels)
+
+    @property
+    def protected_rate(self) -> float:
+        """Total rate of failures some used level can recover."""
+        return self.cumulative_rates[-1]

@@ -1,0 +1,164 @@
+"""Failure-probability math shared by every model in the package.
+
+This module implements the probability machinery of Section III-B of the
+paper:
+
+* Eqn. (1): the probability ``P(t, X)`` that an exponentially-distributed
+  failure with rate ``X`` strikes within an interval of length ``t``.
+* Eqn. (2): the *truncated* expectation ``E(t, X)`` — the mean amount of
+  the interval that is lost when a failure does strike, i.e. the mean of
+  the exponential distribution restricted to ``[0, t]``.
+* The negative-binomial retry estimators used for Eqns. (5), (8) and (12):
+  the expected number of failed attempts before one attempt of length
+  ``t`` succeeds is ``P / (1 - P) = expm1(X t)``.
+* A renewal-theory helper giving the expected completion time of a block
+  of work with *no* checkpoint protection (used to price severities that a
+  truncated protocol leaves unprotected, Section IV-F behaviour).
+
+All functions accept scalars or NumPy arrays and broadcast; the analytic
+models sweep thousands of candidate intervals at once and rely on this.
+
+Numerical notes
+---------------
+The printed form of Eqn. (2),
+
+    E(t, X) = [1/X - e^{-Xt} (1/X + t)] / P(t, X),
+
+is algebraically equal to ``1/X - t / expm1(X t)``, which is the form used
+here: it is stable for ``X t`` near zero (where it tends to ``t/2``) and
+cannot lose precision to cancellation for small rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "failure_probability",
+    "truncated_mean",
+    "expected_failures",
+    "expected_failed_attempts",
+    "unprotected_completion_time",
+    "survival_probability",
+]
+
+# exp() overflows float64 a little above exp(709); past this point the
+# correction term t/expm1(Xt) is zero to machine precision anyway.
+_EXP_OVERFLOW = 700.0
+
+
+def failure_probability(t, rate):
+    """Probability of at least one failure in an interval (Eqn. 1).
+
+    ``P(t, X) = 1 - exp(-X t)`` for interval length ``t`` and failure
+    rate ``X``.  Both arguments broadcast.
+
+    >>> failure_probability(0.0, 0.5)
+    0.0
+    >>> round(failure_probability(2.0, 0.5), 6)
+    0.632121
+    """
+    t = np.asarray(t, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    out = -np.expm1(-rate * t)
+    return out.item() if out.ndim == 0 else out
+
+
+def survival_probability(t, rate):
+    """Probability that an interval of length ``t`` completes failure-free.
+
+    Complement of :func:`failure_probability`; provided because simulator
+    invariants and tests state properties in terms of the survival side.
+    """
+    t = np.asarray(t, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    out = np.exp(-rate * t)
+    return out.item() if out.ndim == 0 else out
+
+
+def truncated_mean(t, rate):
+    """Expected time lost to a failure that strikes within ``[0, t]`` (Eqn. 2).
+
+    This is the mean of the exponential distribution with rate ``rate``
+    truncated to the interval ``[0, t]``:
+
+        E(t, X) = 1/X - t / expm1(X t)
+
+    Limits: ``E -> t/2`` as ``X t -> 0`` (failures uniform over a short
+    interval) and ``E -> 1/X`` as ``X t -> inf`` (truncation irrelevant).
+    ``t == 0`` returns 0 by continuity.
+    """
+    t = np.asarray(t, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    xt = rate * t
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        small = xt < 1e-8
+        big = xt > _EXP_OVERFLOW
+        mid = ~(small | big)
+        out = np.empty(np.broadcast(t, rate).shape, dtype=float)
+        # series: E = t/2 - X t^2 / 12 + O((Xt)^3 t)
+        tt = np.broadcast_to(t, out.shape)
+        rr = np.broadcast_to(rate, out.shape)
+        xx = np.broadcast_to(xt, out.shape)
+        out[small] = tt[small] / 2.0 - rr[small] * tt[small] ** 2 / 12.0
+        out[big] = 1.0 / rr[big]
+        out[mid] = 1.0 / rr[mid] - tt[mid] / np.expm1(xx[mid])
+    return out.item() if out.ndim == 0 else out
+
+
+def expected_failures(t, rate):
+    """Expected number of failed attempts per success for an event of length ``t``.
+
+    The negative-binomial estimator the paper uses for Eqns. (5), (8) and
+    (12): with per-attempt failure probability ``P = P(t, X)``, the mean
+    number of failures before the first success is
+
+        P / (1 - P) = expm1(X t).
+
+    Multiply by the number of successful events required to get the total
+    expected failure count (as Eqns. 8 and 12 do with ``N_i``/``beta_i``).
+    """
+    t = np.asarray(t, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    with np.errstate(over="ignore"):
+        out = np.expm1(rate * t)
+    return out.item() if out.ndim == 0 else out
+
+
+def expected_failed_attempts(t, rate, successes):
+    """Total expected failed attempts to achieve ``successes`` events of length ``t``.
+
+    Direct vectorized form of Eqns. (8) and (12):
+    ``alpha = successes * P(t, X) / (1 - P(t, X))``.
+    """
+    successes = np.asarray(successes, dtype=float)
+    out = np.asarray(expected_failures(t, rate)) * successes
+    return out.item() if out.ndim == 0 else out
+
+
+def unprotected_completion_time(work, rate, restart_cost):
+    """Expected wall time to finish ``work`` with no protecting checkpoint.
+
+    Used to price failure severities that a *truncated* protocol (one that
+    skips its top level(s), Section IV-F) cannot recover from: every such
+    failure restarts the application from scratch at cost ``restart_cost``
+    and all completed work is recomputed.
+
+    With per-attempt success probability ``p = exp(-rate * work)`` the
+    number of failed attempts is geometric with mean ``(1-p)/p`` and each
+    failed attempt costs the truncated mean plus the restart:
+
+        E[T] = work + expm1(rate * work) * (E(work, rate) + restart_cost)
+
+    For ``rate * work`` large this grows as ``exp(rate * work)`` — the
+    model then correctly reports such plans as hopeless. Returns ``inf``
+    when the expectation overflows.
+    """
+    work = np.asarray(work, dtype=float)
+    rate = np.asarray(rate, dtype=float)
+    retries = np.asarray(expected_failures(work, rate))
+    lost = np.asarray(truncated_mean(work, rate))
+    with np.errstate(over="ignore", invalid="ignore"):
+        out = work + retries * (lost + restart_cost)
+    out = np.where(np.isnan(out), np.inf, out)
+    return out.item() if out.ndim == 0 else out

@@ -1,0 +1,32 @@
+"""Process-oriented discrete-event simulation engine (simpy-style).
+
+Built from scratch as the substrate for the reference checkpoint
+simulator (:mod:`repro.simulator.reference`) and available as a public
+general-purpose engine::
+
+    from repro.des import Environment
+
+    env = Environment()
+
+    def rider(env, bike):
+        req = bike.request()
+        yield req
+        yield env.timeout(30)
+        bike.release()
+
+See :mod:`repro.des.core` for the execution model and determinism rules.
+"""
+
+from .core import Environment, Event, Interrupt, Process, StopSimulation, Timeout
+from .resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

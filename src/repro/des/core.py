@@ -1,0 +1,363 @@
+"""A process-oriented discrete-event simulation engine.
+
+The paper's evaluation rests on an event-based HPC simulator ([8],
+Section IV-B); since no general-purpose DES library is vendored here, this
+module provides one from scratch, in the generator-coroutine style
+popularized by SimPy:
+
+* an :class:`Environment` owns the simulation clock and a priority queue
+  of scheduled events;
+* a :class:`Process` wraps a Python generator; each ``yield``-ed
+  :class:`Event` suspends the process until the event fires;
+* :meth:`Process.interrupt` injects an :class:`Interrupt` exception into
+  a waiting process — the natural way to model a failure striking in the
+  middle of a compute/checkpoint/restart operation;
+* :class:`Timeout` is the elapse-of-time event; :class:`Event` supports
+  explicit ``succeed``/``fail`` for signalling between processes.
+
+The engine is deterministic: simultaneous events fire in schedule order
+(stable FIFO tie-break), which the reference checkpoint simulator and the
+test suite rely on.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env):
+...     yield env.timeout(2.0)
+...     log.append(env.now)
+>>> _ = env.process(worker(env))
+>>> env.run()
+>>> log
+[2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopSimulation",
+]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    ``cause`` carries arbitrary payload (the checkpoint simulator passes
+    the failure's severity).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at an event."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* once with either a value (``succeed``) or an
+    exception (``fail``); all registered callbacks then run at the current
+    simulation time.  Yielding a pending event from a process suspends the
+    process until the trigger.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event triggered successfully."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError("event value is not available before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger successfully (optionally after ``delay``)."""
+        self._mark(value, None)
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger with an exception, propagated into waiting processes."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._mark(None, exc)
+        self.env._schedule(self, delay)
+        return self
+
+    def _mark(self, value: Any, exc: BaseException | None) -> None:
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+
+    def _process_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._mark(value, None)
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes
+    when the event triggers, receiving ``event.value`` (or the event's
+    exception).  A process can be interrupted while waiting; the pending
+    event's trigger is then ignored by this process.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, env: "Environment", gen: Generator):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"process needs a generator, got {type(gen).__name__}")
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        # Bootstrap on the next tick so creation order == start order.
+        boot = Event(env)
+        boot._mark(None, None)
+        boot.callbacks.append(self._resume)
+        env._schedule(boot, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        No-op scheduling subtleties: the interrupt is delivered
+        immediately (synchronously), matching the failure semantics the
+        checkpoint simulator needs — the interrupted operation observes
+        the exact interruption time via ``env.now``.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished {self!r}")
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            self._waiting_on = None
+            if self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._step(lambda: self._gen.throw(Interrupt(cause)))
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:  # pragma: no cover - defensive
+            return
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(lambda: self._gen.throw(event._exc))
+        else:
+            self._step(lambda: self._gen.send(event._value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._mark(stop.value, None)
+            self.env._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            self._mark(None, exc)
+            self.env._schedule(self, 0.0)
+            if not self.callbacks:
+                raise
+            return
+        if not isinstance(target, Event):
+            self._mark(
+                None,
+                RuntimeError(
+                    f"process yielded {target!r}; only Event instances may be yielded"
+                ),
+            )
+            self.env._schedule(self, 0.0)
+            return
+        if target._processed:
+            # Already fired: resume immediately with its outcome.
+            boot = Event(self.env)
+            boot._mark(target._value, target._exc)
+            boot.callbacks.append(self._resume)
+            self.env._schedule(boot, 0.0)
+            self._waiting_on = boot
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Environment:
+    """Simulation clock + event queue; the engine's facade."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires when the first of ``events`` fires."""
+        events = list(events)
+        out = self.event()
+
+        def on_fire(ev: Event) -> None:
+            if not out.triggered:
+                if ev._exc is not None:
+                    out.fail(ev._exc)
+                else:
+                    out.succeed((ev, ev._value))
+
+        for ev in events:
+            if ev._processed:
+                on_fire(ev)
+                break
+            ev.callbacks.append(on_fire)
+        return out
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires when every one of ``events`` has fired."""
+        events = list(events)
+        out = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            return out.succeed([])
+
+        def on_fire(ev: Event) -> None:
+            nonlocal remaining
+            if out.triggered:
+                return
+            if ev._exc is not None:
+                out.fail(ev._exc)
+                return
+            remaining -= 1
+            if remaining == 0:
+                out.succeed([e._value for e in events])
+
+        for ev in events:
+            if ev._processed:
+                on_fire(ev)
+            else:
+                ev.callbacks.append(on_fire)
+        return out
+
+    # ------------------------------------------------------------------
+    # scheduling / running
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        self._counter += 1
+
+    def step(self) -> None:
+        """Process the next scheduled event (advancing the clock)."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        t, _, event = heapq.heappop(self._queue)
+        if t < self._now - 1e-12:  # pragma: no cover - defensive
+            raise RuntimeError(f"time went backwards: {t} < {self._now}")
+        self._now = max(self._now, t)
+        event._process_callbacks()
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a deadline, or an event fires.
+
+        ``until`` may be a time (run to that clock value), an
+        :class:`Event` (run until it fires, returning its value), or
+        ``None`` (run the queue dry).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+
+            def stop(_ev: Event) -> None:
+                raise StopSimulation
+
+            if not sentinel._processed:
+                sentinel.callbacks.append(stop)
+                try:
+                    while self._queue:
+                        self.step()
+                except StopSimulation:
+                    pass
+                else:
+                    raise RuntimeError(
+                        "simulation queue drained before the awaited event fired"
+                    )
+            return sentinel.value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = max(self._now, deadline) if deadline != float(
+                "inf"
+            ) else self._now
+        return None

@@ -1,0 +1,113 @@
+"""Shared-resource primitives on top of the DES core.
+
+Two classic primitives suffice for the package's modeling needs:
+
+* :class:`Resource` — a counted semaphore with FIFO queuing; used by the
+  PFS-contention example to model a bounded number of concurrent
+  checkpoint writers to the parallel file system.
+* :class:`Store` — an unbounded-or-bounded FIFO buffer of Python objects;
+  handy for producer/consumer process tests and trace pipelines.
+
+Both follow the engine's determinism rules: waiters are served strictly
+in request order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .core import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    ``request()`` returns an :class:`Event` that fires when a slot is
+    granted; ``release()`` frees a slot and wakes the next waiter.  Use
+    from a process as::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        ev = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter (count unchanged).
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO object buffer with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        ev = self.env.event()
+        if self._getters:
+            # Direct hand-off to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+``EXPERIMENTS`` maps experiment ids to runner callables; each returns an
+:class:`~repro.experiments.records.ExperimentResult` whose rows are the
+plotted values of the original figure.  ``python -m repro`` is the CLI
+front-end.
+"""
+
+from . import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    interval_study,
+    table1,
+    weibull,
+)
+from .records import ExperimentResult, TechniqueOutcome, format_table
+from .report import render_report, write_report
+from .runner import BREAKDOWN_TECHNIQUES, DEFAULT_TECHNIQUES, evaluate_technique
+
+#: Experiment id -> runner. All runners accept (trials, seed, workers)
+#: except table1, which is parameter-free.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "ablations": ablations.run,
+    "weibull": weibull.run,
+    "interval_study": interval_study.run,
+}
+
+__all__ = [
+    "BREAKDOWN_TECHNIQUES",
+    "DEFAULT_TECHNIQUES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ablations",
+    "TechniqueOutcome",
+    "evaluate_technique",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "format_table",
+    "interval_study",
+    "render_report",
+    "table1",
+    "weibull",
+    "write_report",
+]

@@ -1,0 +1,80 @@
+"""Figure 2: five techniques x eleven Table-I systems.
+
+For every test system, each technique's model chooses its own checkpoint
+intervals and the simulator measures the resulting efficiency over
+independent failure-randomized trials (the paper uses 200).  Rows carry
+the bar (simulated mean), its error bar (std) and the diamond (the
+model's own prediction).
+
+Shape expectations from the paper (asserted loosely by the benches):
+
+* multilevel (dauwe/di/moody) beats Daly everywhere, by ~2x at the hard
+  end — Daly's efficiency is "50% less than multilevel in the worst case";
+* Daly's *predictions* are accurate even where its protocol loses;
+* Benoit's predictions are optimistic, increasingly so with difficulty;
+* dauwe/di/moody perform within ~1% of each other on every system.
+"""
+
+from __future__ import annotations
+
+from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
+from .records import ExperimentResult
+from .runner import DEFAULT_TECHNIQUES, evaluate_technique
+
+__all__ = ["run"]
+
+
+def run(
+    trials: int = 200,
+    seed: int = 0,
+    workers: int = 1,
+    techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
+    systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+) -> ExperimentResult:
+    rows = []
+    for name in systems:
+        spec = TEST_SYSTEMS[name]
+        for tech in techniques:
+            out = evaluate_technique(spec, tech, trials=trials, seed=seed, workers=workers)
+            rows.append(
+                {
+                    "system": name,
+                    "technique": tech,
+                    "sim efficiency": out.simulated_efficiency,
+                    "std": out.simulated_std,
+                    "predicted": out.predicted_efficiency,
+                    "error": out.prediction_error,
+                    "plan": out.plan,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Efficiency of checkpoint interval optimization techniques (Figure 2)",
+        caption=(
+            "Simulated efficiency (mean +- std over trials) of each "
+            "technique's chosen intervals on the Table I systems; "
+            "'predicted' is the technique's own efficiency estimate "
+            "(the figure's diamonds)."
+        ),
+        columns=[
+            ("system", None),
+            ("technique", None),
+            ("sim efficiency", ".4f"),
+            ("std", ".4f"),
+            ("predicted", ".4f"),
+            ("error", "+.4f"),
+            ("plan", None),
+        ],
+        rows=rows,
+        parameters={"trials": trials, "seed": seed},
+        notes=[
+            "Paper shape: multilevel >= Daly everywhere (up to ~2x on D7-D9); "
+            "Benoit optimistic and degrading with difficulty; dauwe/di/moody "
+            "within ~1% of one another.",
+            "Observed deviations: Benoit degrades to the worst *multilevel* "
+            "technique on D7-D9 but stays above Daly (the paper places it "
+            "below Daly there), and its Figure-2 drop on the four-level "
+            "system B does not emerge from a faithful first-order model — "
+            "our Benoit picks near-Moody plans on B (DESIGN.md section 4).",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Figure 5: the 30-minute application — when to skip level-L checkpoints.
+
+Same exascale grid as Figure 4 restricted to level-L costs {10, 20}, but
+the application runs only 30 minutes — *shorter than the mean time
+between level-L severity failures* — and each scenario is measured over
+400 trials (Section IV-F).
+
+Shape expectations from the paper:
+
+* dauwe and di account for application length, skip level-L checkpoints
+  in every scenario here, and beat moody by up to ~20 efficiency points;
+* moody (steady-state model) still takes level-L checkpoints, choices
+  "appropriate only for longer running applications";
+* the skipping techniques trade a little extra run-to-run variance for
+  the mean win (their std exceeds moody's where skipping happened).
+"""
+
+from __future__ import annotations
+
+from ..systems import exascale_grid
+from .records import ExperimentResult
+from .runner import BREAKDOWN_TECHNIQUES, evaluate_technique
+
+__all__ = ["run"]
+
+
+def run(
+    trials: int = 400,
+    seed: int = 0,
+    workers: int = 1,
+    techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+) -> ExperimentResult:
+    rows = []
+    for spec in exascale_grid(short_application=True):
+        mtbf = spec.mtbf
+        top_cost = spec.checkpoint_times[-1]
+        for tech in techniques:
+            out = evaluate_technique(spec, tech, trials=trials, seed=seed, workers=workers)
+            skipped = f"L{spec.num_levels}" not in out.plan
+            rows.append(
+                {
+                    "cL (min)": top_cost,
+                    "MTBF (min)": mtbf,
+                    "technique": tech,
+                    "sim efficiency": out.simulated_efficiency,
+                    "std": out.simulated_std,
+                    "predicted": out.predicted_efficiency,
+                    "skips level-L": "yes" if skipped else "no",
+                    "plan": out.plan,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure5",
+        title="30-minute application under exascale scenarios (Figure 5)",
+        caption=(
+            "System B scaled as in Figure 4 (cL in {10, 20}) running a "
+            "30-minute application; techniques that model application "
+            "length (dauwe, di) skip level-L checkpoints and accept the "
+            "risk of a full restart."
+        ),
+        columns=[
+            ("cL (min)", "g"),
+            ("MTBF (min)", "g"),
+            ("technique", None),
+            ("sim efficiency", ".4f"),
+            ("std", ".4f"),
+            ("predicted", ".4f"),
+            ("skips level-L", None),
+            ("plan", None),
+        ],
+        rows=rows,
+        parameters={"trials": trials, "seed": seed},
+        notes=[
+            "Paper shape: dauwe/di skip level-L everywhere here and beat "
+            "moody by up to ~20 points, at slightly higher std.",
+            "Observed: the gap runs somewhat larger than the paper's (up to "
+            "~35 points at cL=20) because our Moody pattern fits exactly "
+            "one level-L checkpoint into the 30-minute run, paid at the "
+            "scheduled end position (DESIGN.md; MoodyModel docstring).",
+        ],
+    )

@@ -1,0 +1,81 @@
+"""Figure 6: model prediction error across the 20 Figure-4 scenarios.
+
+Prediction error = (model's predicted efficiency) - (simulated
+efficiency), one value per technique per scenario, sorted by increasing
+|error| of the Moody model (the paper's x-axis ordering).
+
+Shape expectations from the paper (Section IV-G):
+
+* Moody *underestimates* efficiency (error <= 0, down to about -7
+  points): its escalating-restart assumption is pessimistic at scale;
+* Di *overestimates* (error >= 0, up to about +14 points): it ignores
+  failures during restarts entirely;
+* the paper's model sits nearest zero in most scenarios.
+"""
+
+from __future__ import annotations
+
+from .records import ExperimentResult
+from . import figure4
+
+__all__ = ["run", "from_figure4"]
+
+
+def from_figure4(fig4: ExperimentResult) -> ExperimentResult:
+    """Derive the error chart from an existing Figure-4 result."""
+    # scenario -> technique -> error
+    scenarios: dict[tuple[float, float], dict[str, float]] = {}
+    for row in fig4.rows:
+        key = (row["cL (min)"], row["MTBF (min)"])
+        scenarios.setdefault(key, {})[row["technique"]] = row["error"]
+
+    ordered = sorted(
+        scenarios.items(), key=lambda item: abs(item[1].get("moody", 0.0))
+    )
+    rows = []
+    for rank, (key, errs) in enumerate(ordered, start=1):
+        rows.append(
+            {
+                "test": rank,
+                "cL (min)": key[0],
+                "MTBF (min)": key[1],
+                "dauwe error": errs.get("dauwe"),
+                "di error": errs.get("di"),
+                "moody error": errs.get("moody"),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="figure6",
+        title="Prediction error on the Figure-4 scenarios (Figure 6)",
+        caption=(
+            "Predicted minus simulated efficiency for each technique, "
+            "ordered by increasing magnitude of the Moody model's error; "
+            "the target (the figure's red line) is zero."
+        ),
+        columns=[
+            ("test", "d"),
+            ("cL (min)", "g"),
+            ("MTBF (min)", "g"),
+            ("dauwe error", "+.4f"),
+            ("di error", "+.4f"),
+            ("moody error", "+.4f"),
+        ],
+        rows=rows,
+        parameters=dict(fig4.parameters),
+        notes=[
+            "Paper shape: moody <= 0 (to ~-7 pts), di >= 0 (to ~+14 pts), "
+            "dauwe nearest zero in most scenarios.",
+            "Observed: ordering reproduced (di >= dauwe >= moody in nearly "
+            "every scenario; di overestimates, moody underestimates most) "
+            "at smaller magnitudes (~+/-5 pts vs the paper's -7/+14).",
+            "A shared -2..-4 pt underestimate on the easiest scenarios "
+            "(MTBF 26, large cL) traces to end-of-run checkpoint "
+            "discretization: the continuous models price fractional "
+            "level-L checkpoints the simulated run never takes "
+            "(DESIGN.md decision 6).",
+        ],
+    )
+
+
+def run(trials: int = 200, seed: int = 0, workers: int = 1) -> ExperimentResult:
+    return from_figure4(figure4.run(trials=trials, seed=seed, workers=workers))

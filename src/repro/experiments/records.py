@@ -1,0 +1,148 @@
+"""Result records and table rendering for the experiment harness.
+
+Every experiment module produces an :class:`ExperimentResult`: an ordered
+list of row dicts plus enough metadata to render an ASCII table for the
+terminal, a Markdown table for EXPERIMENTS.md, and a machine-readable dict
+for tests and benchmarks.  Keeping results as plain rows makes the paper's
+figures reproducible as *tables of the plotted values* without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "TechniqueOutcome"]
+
+
+@dataclass(frozen=True)
+class TechniqueOutcome:
+    """One (system, technique) measurement: a single figure bar + diamond."""
+
+    system: str
+    technique: str
+    plan: str
+    predicted_efficiency: float
+    simulated_efficiency: float
+    simulated_std: float
+    trials: int
+    predicted_time: float
+    mean_time: float
+    completed_fraction: float
+    breakdown_fractions: Mapping[str, float] = field(default_factory=dict)
+    mean_failures: float = 0.0
+
+    @property
+    def prediction_error(self) -> float:
+        """Predicted minus simulated efficiency — Figure 6's quantity."""
+        return self.predicted_efficiency - self.simulated_efficiency
+
+
+def _fmt(value: Any, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec and isinstance(value, (int, float)):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[tuple[str, str | None]],
+    rows: Sequence[Mapping[str, Any]],
+    markdown: bool = False,
+) -> str:
+    """Render rows as a fixed-width ASCII (or Markdown) table.
+
+    ``columns`` is a sequence of ``(key, format_spec)``; the key doubles
+    as the header label.
+    """
+    headers = [key for key, _ in columns]
+    cells = [[_fmt(row.get(key), spec) for key, spec in columns] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    if markdown:
+        out = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        for r in cells:
+            out.append("| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |")
+    else:
+        out = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in cells:
+            out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure regeneration.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"table1"`` .. ``"figure6"`` (plus ablation ids).
+    title / caption:
+        Human-readable description, echoing the paper's caption.
+    columns:
+        ``(key, format_spec)`` pairs defining the table layout.
+    rows:
+        Ordered row dicts (one per bar/line/cell of the original figure).
+    parameters:
+        The knobs this run used (trials, seed, ...), recorded so
+        EXPERIMENTS.md states exactly what was measured.
+    notes:
+        Shape expectations and observed deviations.
+    """
+
+    experiment_id: str
+    title: str
+    caption: str
+    columns: list[tuple[str, str | None]]
+    rows: list[dict[str, Any]]
+    parameters: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, markdown: bool = False) -> str:
+        header = f"{self.experiment_id}: {self.title}"
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        parts = [header, self.caption]
+        if params:
+            parts.append(f"[{params}]")
+        parts.append("")
+        parts.append(format_table(self.columns, self.rows, markdown=markdown))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        out = [f"## {self.experiment_id}: {self.title}", "", self.caption]
+        if params:
+            out.append(f"*Parameters: {params}*")
+        out += ["", format_table(self.columns, self.rows, markdown=True)]
+        if self.notes:
+            out.append("")
+            out.extend(f"- {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "parameters": self.parameters,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=float,
+        )

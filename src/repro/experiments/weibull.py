@@ -1,0 +1,102 @@
+"""Weibull-failure study: how fragile is the exponential assumption?
+
+Every model the paper compares assumes exponentially-distributed failures
+(Section III-B), while HPC field studies repeatedly fit Weibull
+inter-arrivals with shape < 1 (bursty, decreasing hazard).  This
+extension study keeps each system's MTBF and severity mix fixed, plans
+intervals with the paper's model (which only knows rates), and then
+simulates under Weibull renewal failures of varying shape.
+
+What to expect: burstiness *helps* a checkpointed application at a fixed
+MTBF — failures cluster, so a burst mostly re-kills already-lost work
+while long quiet stretches let whole patterns complete — and the
+exponential-optimized intervals remain serviceable.  The prediction
+error, however, grows with burstiness: the model keeps predicting the
+exponential world.
+"""
+
+from __future__ import annotations
+
+from math import gamma as _gamma
+
+from ..core.dauwe import DauweModel
+from ..failures.sources import WeibullFailureSource
+from ..simulator import simulate_many
+from ..systems import TEST_SYSTEMS
+from .records import ExperimentResult
+
+__all__ = ["run"]
+
+#: Weibull shapes studied; 1.0 is the exponential baseline.
+SHAPES = (1.0, 0.8, 0.6)
+
+
+def _weibull_factory(system, shape):
+    # Scale chosen so the mean inter-arrival equals the system MTBF.
+    scale = system.mtbf / _gamma(1.0 + 1.0 / shape)
+
+    def factory(rng):
+        return WeibullFailureSource(
+            shape, scale, system.severity_probabilities, rng
+        )
+
+    return factory
+
+
+def run(
+    trials: int = 100,
+    seed: int = 0,
+    workers: int = 1,
+    systems: tuple[str, ...] = ("D2", "D5", "D8"),
+) -> ExperimentResult:
+    rows = []
+    for name in systems:
+        spec = TEST_SYSTEMS[name]
+        res = DauweModel(spec).optimize()
+        for shape in SHAPES:
+            kwargs = {}
+            if shape != 1.0:
+                kwargs["source_factory"] = _weibull_factory(spec, shape)
+            stats = simulate_many(
+                spec, res.plan, trials=trials, seed=seed, workers=workers, **kwargs
+            )
+            rows.append(
+                {
+                    "system": name,
+                    "weibull shape": shape,
+                    "sim efficiency": stats.mean_efficiency,
+                    "std": stats.std_efficiency,
+                    "predicted (exp model)": res.predicted_efficiency,
+                    "error": res.predicted_efficiency - stats.mean_efficiency,
+                    "plan": res.plan.describe(),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="weibull",
+        title="Weibull failures vs. the exponential assumption (extension)",
+        caption=(
+            "The paper's model plans intervals assuming exponential "
+            "failures; the simulator then injects Weibull renewal failures "
+            "with the same MTBF and severity mix (shape 1.0 = exponential "
+            "baseline; smaller = burstier)."
+        ),
+        columns=[
+            ("system", None),
+            ("weibull shape", ".1f"),
+            ("sim efficiency", ".4f"),
+            ("std", ".4f"),
+            ("predicted (exp model)", ".4f"),
+            ("error", "+.4f"),
+            ("plan", None),
+        ],
+        rows=rows,
+        parameters={"trials": trials, "seed": seed},
+        notes=[
+            "Not part of the paper: an extension probing its shared "
+            "modeling assumption (DESIGN.md section 6).",
+            "Expected: efficiency rises as shape falls (bursts cluster "
+            "damage; quiet stretches complete patterns), so the "
+            "exponential model's predictions become pessimistic for "
+            "bursty machines.",
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Failure processes, synthetic traces, and rate fitting."""
+
+from .fitting import (
+    WeibullFit,
+    exponential_ks_test,
+    fit_exponential_rates,
+    fit_weibull,
+    spec_from_trace,
+)
+from .sources import (
+    ExponentialFailureSource,
+    FailureSource,
+    TraceFailureSource,
+    WeibullFailureSource,
+    severity_sampler,
+)
+from .traces import FailureTrace, synthesize_trace
+
+__all__ = [
+    "ExponentialFailureSource",
+    "FailureSource",
+    "FailureTrace",
+    "TraceFailureSource",
+    "WeibullFailureSource",
+    "WeibullFit",
+    "exponential_ks_test",
+    "fit_exponential_rates",
+    "fit_weibull",
+    "severity_sampler",
+    "spec_from_trace",
+    "synthesize_trace",
+]

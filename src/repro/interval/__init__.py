@@ -1,0 +1,31 @@
+"""Interval-based multilevel checkpointing (extension; Section II-C).
+
+Di et al. [17] propose letting each checkpoint level run on its own
+period instead of nesting patterns; the paper discusses why it excludes
+that mode (no production protocol supports it; simultaneous checkpoints
+need a policy) and this subpackage supplies the missing pieces so the
+claim "interval-based can perform better than pattern-based" is testable
+in simulation:
+
+* :class:`IntervalSchedule` — independent per-level periods, with
+  coinciding positions merged into the highest level;
+* :func:`simulate_schedule_trial` / :func:`simulate_schedule_many` —
+  schedule-driven twins of the pattern simulator (cross-validated
+  against it on nested schedules);
+* :class:`IntervalModel` — per-level decoupled expected-time model and
+  optimizer (per-level Daly optima).
+
+See ``repro.experiments.interval_study`` for the comparison harness.
+"""
+
+from .model import IntervalModel, IntervalOptimizationResult
+from .schedule import IntervalSchedule
+from .simulate import simulate_schedule_many, simulate_schedule_trial
+
+__all__ = [
+    "IntervalModel",
+    "IntervalOptimizationResult",
+    "IntervalSchedule",
+    "simulate_schedule_many",
+    "simulate_schedule_trial",
+]

@@ -1,0 +1,125 @@
+"""Interval-based checkpoint schedules: independent per-level periods.
+
+Pattern-based protocols (everything in :mod:`repro.core`) force each
+level's interval to be an integer multiple of the level below.  Di et
+al.'s *interval-based* optimization [17] drops that restriction: each
+level ``k`` checkpoints every ``p_k`` work units, independently.  The
+paper discusses this mode in Section II-C and excludes it from its
+comparison because production protocols are pattern-based and because of
+the practical question of *simultaneous* checkpoints; this subpackage
+implements it as the extension DESIGN.md section 6 lists, including an
+explicit answer to the simultaneity question: coinciding positions merge
+into a single checkpoint of the highest level involved (which, being
+hierarchical, subsumes the lower ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["IntervalSchedule"]
+
+#: Positions closer than this (in work units) merge into one checkpoint.
+_MERGE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class IntervalSchedule:
+    """Per-level checkpoint periods over a subset of system levels.
+
+    ``levels`` are ascending 1-based system levels; ``periods[k]`` is the
+    work between successive level-``levels[k]`` checkpoints.  Periods
+    need not be multiples of one another — that is the point.
+    """
+
+    levels: tuple[int, ...]
+    periods: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(int(v) for v in self.levels))
+        object.__setattr__(self, "periods", tuple(float(p) for p in self.periods))
+        if not self.levels:
+            raise ValueError("a schedule must use at least one level")
+        if any(lv < 1 for lv in self.levels):
+            raise ValueError(f"levels are 1-based, got {self.levels}")
+        if any(b <= a for a, b in zip(self.levels, self.levels[1:])):
+            raise ValueError(f"levels must be strictly ascending, got {self.levels}")
+        if len(self.periods) != len(self.levels):
+            raise ValueError(
+                f"{len(self.levels)} levels need {len(self.levels)} periods, "
+                f"got {len(self.periods)}"
+            )
+        if any(not (p > 0 and math.isfinite(p)) for p in self.periods):
+            raise ValueError(f"periods must be positive and finite, got {self.periods}")
+        if any(
+            b < a - 1e-12 for a, b in zip(self.periods, self.periods[1:])
+        ):
+            raise ValueError(
+                "higher levels must not checkpoint more often than lower "
+                f"ones, got periods {self.periods}"
+            )
+
+    @property
+    def num_used(self) -> int:
+        return len(self.levels)
+
+    @property
+    def top_level(self) -> int:
+        return self.levels[-1]
+
+    def recovery_level(self, severity: int) -> int | None:
+        """Lowest used level able to recover ``severity`` (None = scratch)."""
+        for lv in self.levels:
+            if lv >= severity:
+                return lv
+        return None
+
+    def positions(self, horizon: float, include_horizon: bool = False) -> list[tuple[float, int]]:
+        """Merged checkpoint positions up to ``horizon`` work units.
+
+        Returns ascending ``(work, used_level_index)`` pairs.  Positions
+        of several levels that coincide (within 1e-9 work units) merge
+        into one checkpoint of the *highest* level — the subsumption rule
+        answering the simultaneity concern of [18] quoted by the paper.
+        Positions at the horizon itself are excluded unless
+        ``include_horizon`` (the end-of-run checkpoint question).
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        raw: list[tuple[float, int]] = []
+        for k, period in enumerate(self.periods):
+            n = int(math.floor(horizon / period + 1e-9))
+            for j in range(1, n + 1):
+                w = j * period
+                if w > horizon + 1e-9:
+                    break
+                if not include_horizon and w >= horizon - 1e-9:
+                    continue
+                raw.append((w, k))
+        raw.sort()
+        merged: list[tuple[float, int]] = []
+        for w, k in raw:
+            if merged and abs(w - merged[-1][0]) <= _MERGE_EPS:
+                prev_w, prev_k = merged[-1]
+                merged[-1] = (prev_w, max(prev_k, k))
+            else:
+                merged.append((w, k))
+        return merged
+
+    @classmethod
+    def from_plan(cls, plan) -> "IntervalSchedule":
+        """The interval view of a pattern-based plan (nested periods).
+
+        Nested periods reproduce the plan's positions exactly, which the
+        test suite uses to cross-validate the two simulators.
+        """
+        periods = [plan.work_between(k) for k in range(plan.num_used_levels)]
+        return cls(levels=plan.levels, periods=tuple(periods))
+
+    def describe(self) -> str:
+        parts = [
+            f"L{lv} every {p:.4g}min" for lv, p in zip(self.levels, self.periods)
+        ]
+        return "interval schedule: " + ", ".join(parts)

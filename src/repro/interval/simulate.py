@@ -1,0 +1,241 @@
+"""Trial simulation for interval-based schedules.
+
+Same failure/recovery semantics as :mod:`repro.simulator.engine` — retry
+restarts, hierarchical checkpoint validity, severity-based invalidation,
+the ``recheckpoint`` policy — but driven by an explicit list of
+(work, level) checkpoint positions instead of a uniform pattern, because
+interval-based levels are not nested.  Recovery positions are therefore
+work *values* rather than pattern indexes.
+
+The implementation is cross-validated against the pattern engine: a
+schedule built with nested periods (``IntervalSchedule.from_plan``)
+produces the identical timeline on the same failure trace.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+from ..failures.sources import ExponentialFailureSource, FailureSource
+from ..simulator.accounting import SimulationStats, TimeBreakdown, TrialResult
+from ..simulator.engine import default_max_time
+from ..simulator.run import trial_seeds
+from ..systems.spec import SystemSpec
+from .schedule import IntervalSchedule
+
+__all__ = ["simulate_schedule_trial", "simulate_schedule_many"]
+
+_EPS = 1e-9
+
+
+def simulate_schedule_trial(
+    system: SystemSpec,
+    schedule: IntervalSchedule,
+    rng: np.random.Generator | int | None = None,
+    source: FailureSource | None = None,
+    max_time: float | None = None,
+    restart_semantics: str = "retry",
+    checkpoint_at_completion: bool = False,
+    recheckpoint: str = "free",
+) -> TrialResult:
+    """Simulate one execution under an interval-based ``schedule``."""
+    if schedule.top_level > system.num_levels:
+        raise ValueError(
+            f"schedule uses level {schedule.top_level} but {system.name} "
+            f"has {system.num_levels} levels"
+        )
+    if restart_semantics not in ("retry", "escalate"):
+        raise ValueError(f"unknown restart_semantics {restart_semantics!r}")
+    if recheckpoint not in ("free", "paid", "skip"):
+        raise ValueError(f"unknown recheckpoint policy {recheckpoint!r}")
+    escalate = restart_semantics == "escalate"
+    if source is None:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        source = ExponentialFailureSource.for_system(system, rng)
+    cap = default_max_time(system) if max_time is None else float(max_time)
+
+    T_B = system.baseline_time
+    levels = schedule.levels
+    num_used = len(levels)
+    num_sev = system.num_levels
+    ckpt_cost = [system.checkpoint_time(lv) for lv in levels]
+    rest_cost = [system.restart_time(lv) for lv in levels]
+    sev_rest_cost = [system.restart_time(s) for s in range(1, num_sev + 1)]
+    positions = schedule.positions(T_B, include_horizon=checkpoint_at_completion)
+    pos_work = [w for w, _ in positions]
+    pos_level = [k for _, k in positions]
+    n_pos = len(positions)
+    recover_idx = []
+    for s in range(1, num_sev + 1):
+        lv = schedule.recovery_level(s)
+        recover_idx.append(levels.index(lv) if lv is not None else -1)
+
+    # --- state -------------------------------------------------------
+    t = 0.0
+    work = 0.0
+    i_next = 0  # index into positions of the next checkpoint
+    valid = [-1.0] * num_used  # newest checkpointed *work* per used level
+    recovering = False
+    pending_sev = 0
+    rollback_ref = 0.0
+    compute_time = 0.0
+    acct = TimeBreakdown()
+    n_by_sev = [0] * num_sev
+    ckpt_ok = ckpt_fail = rst_ok = rst_fail = scratch = restored = 0
+    max_completed_i = -1
+    fail_t, fail_s = source.next_after(0.0)
+    completed = False
+
+    def candidate(sev: int) -> float:
+        lo = recover_idx[sev - 1]
+        if lo < 0:
+            return 0.0
+        best = 0.0
+        for k in range(lo, num_used):
+            if valid[k] > best:
+                best = valid[k]
+        return best
+
+    def on_failure(category: str) -> None:
+        nonlocal recovering, pending_sev, rollback_ref, fail_t, fail_s
+        s = fail_s
+        n_by_sev[s - 1] += 1
+        if recovering:
+            if escalate and s == pending_sev and s < num_sev:
+                s += 1
+            if s > pending_sev:
+                pending_sev = s
+        else:
+            recovering = True
+            pending_sev = s
+            rollback_ref = work
+        for k in range(num_used):
+            if levels[k] < s and valid[k] >= 0:
+                valid[k] = -1.0
+        pos = candidate(pending_sev)
+        lost = rollback_ref - pos
+        if lost > 0:
+            setattr(acct, f"rework_{category}", getattr(acct, f"rework_{category}") + lost)
+            rollback_ref = pos
+        fail_t, fail_s = source.next_after(fail_t)
+
+    while True:
+        if (
+            work >= T_B - _EPS
+            and not recovering
+            and (not checkpoint_at_completion or i_next >= n_pos)
+        ):
+            completed = True
+            break
+        if t >= cap:
+            break
+
+        if recovering:
+            pos = candidate(pending_sev)
+            k_lo = recover_idx[pending_sev - 1]
+            if pos > 0:
+                k_use = next(
+                    k for k in range(k_lo, num_used) if valid[k] == pos
+                )
+                dur = rest_cost[k_use]
+            else:
+                dur = rest_cost[k_lo] if k_lo >= 0 else sev_rest_cost[pending_sev - 1]
+            if fail_t - t >= dur:
+                t += dur
+                acct.restart += dur
+                rst_ok += 1
+                if pos <= 0:
+                    scratch += 1
+                work = pos
+                i_next = bisect_right(pos_work, pos + _EPS)
+                recovering = False
+                pending_sev = 0
+            else:
+                acct.failed_restart += fail_t - t
+                rst_fail += 1
+                t = fail_t
+                on_failure("restart")
+            continue
+
+        boundary = pos_work[i_next] if i_next < n_pos else T_B
+        if work < boundary - _EPS:
+            target = min(boundary, T_B)
+            dur = target - work
+            if fail_t - t >= dur:
+                t += dur
+                compute_time += dur
+                work = target
+            else:
+                elapsed = fail_t - t
+                compute_time += elapsed
+                work += elapsed
+                t = fail_t
+                on_failure("compute")
+            continue
+        if i_next >= n_pos:
+            # No checkpoint here: work has reached T_B (loop top handles it).
+            continue
+
+        k = pos_level[i_next]
+        if i_next <= max_completed_i and recheckpoint != "paid":
+            if recheckpoint == "free":
+                for j in range(k + 1):
+                    valid[j] = pos_work[i_next]
+                restored += 1
+            i_next += 1
+            continue
+        dur = ckpt_cost[k]
+        if fail_t - t >= dur:
+            t += dur
+            acct.checkpoint += dur
+            ckpt_ok += 1
+            for j in range(k + 1):  # hierarchical validity, as in the engine
+                valid[j] = pos_work[i_next]
+            if i_next > max_completed_i:
+                max_completed_i = i_next
+            i_next += 1
+        else:
+            acct.failed_checkpoint += fail_t - t
+            ckpt_fail += 1
+            t = fail_t
+            on_failure("checkpoint")
+
+    if recovering:
+        work = rollback_ref
+    acct.work = work
+    return TrialResult(
+        total_time=t,
+        work_done=work,
+        completed=completed,
+        times=acct,
+        failures_by_severity=tuple(n_by_sev),
+        checkpoints_completed=ckpt_ok,
+        checkpoints_failed=ckpt_fail,
+        checkpoints_restored=restored,
+        restarts_completed=rst_ok,
+        restarts_failed=rst_fail,
+        scratch_restarts=scratch,
+    )
+
+
+def simulate_schedule_many(
+    system: SystemSpec,
+    schedule: IntervalSchedule,
+    trials: int,
+    seed: int | None = None,
+    **options,
+) -> SimulationStats:
+    """Repeated schedule trials with the same seeding discipline as
+    :func:`repro.simulator.simulate_many`."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    results = [
+        simulate_schedule_trial(
+            system, schedule, rng=np.random.default_rng(ss), **options
+        )
+        for ss in trial_seeds(seed, trials)
+    ]
+    return SimulationStats.from_trials(results)

@@ -1,0 +1,57 @@
+"""The checkpoint-interval techniques the paper compares (Section IV-C).
+
+==============  =====================================================
+``DauweModel``  the paper's hierarchical model (Section III)
+``MoodyModel``  SCR's Markov model, Moody et al. [5]
+``DiModel``     two-level model, Di et al. [17]
+``BenoitModel`` first-order multilevel model, Benoit et al. [18]
+``DalyModel``   traditional single-level checkpoint/restart [11]
+``YoungModel``  Young's first-order predecessor [10] (extra baseline)
+==============  =====================================================
+
+``TECHNIQUES`` maps the registry names used throughout the experiment
+harness (and the paper's figure legends) to model factories.
+"""
+
+from ..core.dauwe import DauweModel
+from ..systems.spec import SystemSpec
+from .base import CheckpointModel, OptimizationResult
+from .benoit import BenoitModel
+from .daly import DalyModel, YoungModel, daly_optimum_interval, young_optimum_interval
+from .di import DiModel
+from .moody import MoodyModel
+
+#: Registry name -> model factory, in the paper's figure-legend order.
+TECHNIQUES: dict[str, type[CheckpointModel]] = {
+    "dauwe": DauweModel,
+    "di": DiModel,
+    "moody": MoodyModel,
+    "benoit": BenoitModel,
+    "daly": DalyModel,
+    "young": YoungModel,
+}
+
+
+def make_model(name: str, system: SystemSpec, **options) -> CheckpointModel:
+    """Instantiate a technique from the registry by name."""
+    key = name.lower()
+    if key not in TECHNIQUES:
+        known = ", ".join(TECHNIQUES)
+        raise KeyError(f"unknown technique {name!r}; known: {known}")
+    return TECHNIQUES[key](system, **options)
+
+
+__all__ = [
+    "BenoitModel",
+    "CheckpointModel",
+    "DalyModel",
+    "DauweModel",
+    "DiModel",
+    "MoodyModel",
+    "OptimizationResult",
+    "TECHNIQUES",
+    "YoungModel",
+    "daly_optimum_interval",
+    "make_model",
+    "young_optimum_interval",
+]

@@ -1,0 +1,11 @@
+"""Re-exports of the model interface for the baselines package.
+
+The abstract interface lives in :mod:`repro.core.interfaces` (the core
+package owns it because the paper's own model implements it); this module
+exists so user code can uniformly import every technique from
+:mod:`repro.models`.
+"""
+
+from ..core.interfaces import CheckpointModel, OptimizationResult
+
+__all__ = ["CheckpointModel", "OptimizationResult"]

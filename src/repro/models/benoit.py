@@ -1,0 +1,125 @@
+"""Benoit et al.'s first-order multilevel pattern model [18].
+
+The paper uses this technique as the cautionary baseline: its equations
+"do not consider the effect of failures during checkpoints or restarts and
+only consider failures during computation", making its efficiency
+predictions optimistic and its chosen computation intervals "at least
+2.5x greater than that of the other multilevel checkpointing techniques"
+(Section IV-C).  Its accuracy also degrades as the number of checkpoint
+levels grows — the sharp drop from system M (3 levels) to system B (4
+levels) in Figure 2.
+
+Faithful to that characterization, the model here is the classical
+first-order waste decomposition for a nested pattern.  With ``W_k`` the
+work between level-``k`` checkpoints (``W_k = tau0 * prod_{j<k}(N_j+1)``)
+the per-unit-work overhead is
+
+    H = sum_k delta_k (1/W_k - 1/W_{k+1})                  (checkpointing)
+      + sum_k lambda_k (R_k + span_k / 2)                  (failure waste)
+
+where ``1/W_{L+1} = 0``, ``span_k`` is the wall-clock length of a
+level-``k`` interval including its nested checkpoint overhead, and each
+severity-``k`` failure is assumed to strike on average halfway through its
+protecting interval and to never hit a checkpoint or restart.  The
+predicted execution time is ``T_B * (1 + H)``: a steady-state rate model
+that — like [18] and unlike the paper's model — is independent of the
+application's length and therefore always takes level-``L`` checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.interfaces import CheckpointModel
+from ..core.plan import CheckpointPlan
+from ..core.severity import LevelMapping
+from ..systems.spec import SystemSpec
+
+__all__ = ["BenoitModel"]
+
+
+class BenoitModel(CheckpointModel):
+    """First-order multilevel waste model per Benoit et al. [18]."""
+
+    name = "benoit"
+    takes_scheduled_end_checkpoint = True
+
+    def __init__(self, system: SystemSpec):
+        super().__init__(system)
+        self._mapping = LevelMapping.build(
+            system, tuple(range(1, system.num_levels + 1))
+        )
+
+    def candidate_level_subsets(self) -> list[tuple[int, ...]]:
+        """The full protocol only: the model has no notion of skipping."""
+        return [tuple(range(1, self.system.num_levels + 1))]
+
+    # ------------------------------------------------------------------
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        out = self.predict_time_batch(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+        )
+        return float(out[0])
+
+    def predict_time_batch(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> np.ndarray:
+        L = self.system.num_levels
+        if tuple(levels) != tuple(range(1, L + 1)):
+            raise ValueError(
+                f"the Benoit model prices the full {L}-level protocol only, "
+                f"got levels={levels}"
+            )
+        if len(counts) != L - 1:
+            raise ValueError(f"expected {L - 1} counts, got {len(counts)}")
+        tau0 = np.asarray(tau0, dtype=float)
+        mp = self._mapping
+
+        # Work between level-k checkpoints, W_k = tau0 * prod_{j<k}(N_j+1).
+        strides = [1]
+        for n in counts:
+            strides.append(strides[-1] * (n + 1))
+
+        # Checkpoint overhead per unit work: positions where the protocol
+        # takes *exactly* a level-k checkpoint have density 1/W_k - 1/W_{k+1}.
+        h_ckpt = np.zeros_like(tau0)
+        for k in range(L):
+            dens = 1.0 / (tau0 * strides[k])
+            if k + 1 < L:
+                dens = dens - 1.0 / (tau0 * strides[k + 1])
+            h_ckpt += mp.checkpoint_times[k] * dens
+
+        # Failure waste per unit work: each severity-k failure restarts
+        # (cost R_k) and loses half a level-k interval of wall-clock time.
+        h_fail = np.zeros_like(tau0)
+        for k in range(L):
+            span = tau0 * strides[k] * (1.0 + h_ckpt)
+            h_fail += mp.rates[k] * (mp.restart_times[k] + span / 2.0)
+
+        overhead = h_ckpt + h_fail
+        total = self.system.baseline_time * (1.0 + overhead)
+        return np.where(np.isfinite(total), total, math.inf)
+
+    # ------------------------------------------------------------------
+    def optimize(self, **sweep_options):
+        """Steady-state sweep: like Moody's model the pattern ignores ``T_B``.
+
+        The waste rate ``H`` is independent of application length, so the
+        pattern is bounded by a generous multiple of the failure horizon
+        rather than by ``T_B`` — this is what lets the technique choose
+        the over-long intervals the paper reports.
+        """
+        sweep_options.setdefault(
+            "max_pattern_work",
+            max(
+                self.system.baseline_time,
+                60.0 * self.system.mtbf * self.system.num_levels,
+            ),
+        )
+        sweep_options.setdefault("tau0_max", sweep_options["max_pattern_work"])
+        return super().optimize(**sweep_options)

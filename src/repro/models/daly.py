@@ -1,0 +1,160 @@
+"""Daly's higher-order single-level checkpoint/restart model [11].
+
+Traditional checkpoint/restart to the parallel file system: every failure,
+of any severity, is recovered from the newest level-``L`` checkpoint.  For
+exponential failures with MTBF ``M``, checkpoint cost ``delta`` and
+restart cost ``R``, Daly's complete expected-execution-time model is
+
+    T(tau) = M * exp(R / M) * (exp((tau + delta) / M) - 1) * T_B / tau,
+
+which accounts for failures during computation, checkpoints *and* restarts
+(the memoryless property folds them into one exponent) — this is why the
+paper finds Daly "highly accurate at predicting application efficiency"
+even on systems where the protocol itself is uncompetitive (Section IV-C).
+
+Daly's higher-order closed-form optimum
+
+    tau_opt = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / (2M))
+                                   + (1/9) (delta / (2M))] - delta
+
+(valid for ``delta < 2M``, else ``tau_opt = M``) is exposed for reference;
+:meth:`DalyModel.optimize` refines it numerically against the exact cost
+curve, matching the paper's sweep-everything procedure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.interfaces import CheckpointModel, OptimizationResult
+from ..core.optimizer import golden_section
+from ..core.plan import CheckpointPlan
+from ..systems.spec import SystemSpec
+
+__all__ = ["DalyModel", "YoungModel", "daly_optimum_interval", "young_optimum_interval"]
+
+_EXP_OVERFLOW = 700.0
+
+
+def young_optimum_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Young's first-order optimum ``tau = sqrt(2 delta M)`` [10]."""
+    if checkpoint_time <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint time and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_time * mtbf)
+
+
+def daly_optimum_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Daly's higher-order optimum checkpoint interval [11].
+
+    ``sqrt(2 delta M) [1 + (1/3) sqrt(delta/2M) + (1/9)(delta/2M)] - delta``
+    for ``delta < 2M``; degenerates to ``M`` otherwise (checkpoints as
+    expensive as the failure horizon).
+    """
+    if checkpoint_time <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint time and MTBF must be positive")
+    x = checkpoint_time / (2.0 * mtbf)
+    if x >= 1.0:
+        return mtbf
+    return math.sqrt(2.0 * checkpoint_time * mtbf) * (
+        1.0 + math.sqrt(x) / 3.0 + x / 9.0
+    ) - checkpoint_time
+
+
+class DalyModel(CheckpointModel):
+    """Traditional single-level checkpoint/restart, optimized per Daly [11].
+
+    On a multilevel system the protocol uses only the highest level (the
+    PFS), as the paper prescribes for techniques supporting fewer levels
+    than the system offers (Section IV-C).
+    """
+
+    name = "daly"
+
+    def __init__(self, system: SystemSpec):
+        super().__init__(system)
+        self._level = system.num_levels
+        self._delta = system.checkpoint_time(self._level)
+        self._restart = system.restart_time(self._level)
+
+    def candidate_level_subsets(self) -> list[tuple[int, ...]]:
+        return [(self._level,)]
+
+    # ------------------------------------------------------------------
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        out = self.predict_time_batch(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+        )
+        return float(out[0])
+
+    def predict_time_batch(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> np.ndarray:
+        if tuple(levels) != (self._level,) or counts:
+            raise ValueError(
+                f"Daly models single-level plans on level {self._level}, "
+                f"got levels={levels} counts={counts}"
+            )
+        tau0 = np.asarray(tau0, dtype=float)
+        M = self.system.mtbf
+        T_B = self.system.baseline_time
+        exponent = (tau0 + self._delta) / M
+        with np.errstate(over="ignore"):
+            per_work = np.where(
+                exponent > _EXP_OVERFLOW,
+                np.inf,
+                M * math.exp(self._restart / M) * np.expm1(exponent) / tau0,
+            )
+        return per_work * T_B
+
+    # ------------------------------------------------------------------
+    def optimize(self, **sweep_options) -> OptimizationResult:
+        """Daly's closed-form seed refined on the exact cost curve."""
+        if sweep_options:
+            return super().optimize(**sweep_options)
+        T_B = self.system.baseline_time
+        seed = min(daly_optimum_interval(self._delta, self.system.mtbf), T_B)
+        fn = lambda t: float(
+            self.predict_time_batch((self._level,), (), np.array([t]))[0]
+        )
+        lo = max(T_B * 1e-6, seed / 16.0)
+        hi = min(T_B, seed * 16.0)
+        tau, best = golden_section(fn, lo, hi, iterations=80)
+        plan = CheckpointPlan.single_level(self._level, tau)
+        return OptimizationResult(
+            plan=plan,
+            predicted_time=best,
+            predicted_efficiency=min(1.0, T_B / best) if math.isfinite(best) else 0.0,
+            evaluations=82,
+        )
+
+    @property
+    def closed_form_interval(self) -> float:
+        """Daly's analytic ``tau_opt`` for this system (reference value)."""
+        return daly_optimum_interval(self._delta, self.system.mtbf)
+
+
+class YoungModel(DalyModel):
+    """Young's first-order technique [10]: same cost curve, first-order tau.
+
+    Included for completeness of the historical lineage the paper recounts
+    (Section II-A); not part of the paper's Figure 2 comparison.
+    """
+
+    name = "young"
+
+    def optimize(self, **sweep_options) -> OptimizationResult:
+        T_B = self.system.baseline_time
+        tau = min(young_optimum_interval(self._delta, self.system.mtbf), T_B)
+        plan = CheckpointPlan.single_level(self._level, tau)
+        t = self.predict_time(plan)
+        return OptimizationResult(
+            plan=plan,
+            predicted_time=t,
+            predicted_efficiency=min(1.0, T_B / t) if math.isfinite(t) else 0.0,
+            evaluations=1,
+        )

@@ -1,0 +1,207 @@
+"""Moody et al.'s SCR Markov model [5], as characterized by the paper.
+
+The SCR model is the reference multilevel technique: a pattern-based
+Markov model for an arbitrary number of levels that *does* account for
+failures during checkpoints and restarts.  The paper exploits two of its
+defining assumptions (Sections II-C, IV-F, IV-G):
+
+1. **Steady state** — it optimizes the expected time of one checkpoint
+   *pattern* and ignores the application's total execution time, so it
+   always includes level-``L`` checkpoints even for applications shorter
+   than the level-``L`` failure horizon (the Figure 5 comparison).
+2. **Escalating restarts** — if a second failure of severity ``i`` strikes
+   while recovering from a severity-``i`` failure, the model assumes the
+   system must fall back to a level-``i+1`` checkpoint.  The paper argues
+   this is unrealistically pessimistic at extreme scale and shows it makes
+   the model *underestimate* efficiency by up to ~7% (Section IV-G).
+
+Implementation: the same hierarchical stage recursion as the paper's
+model, evaluated over a single pattern, with restart failures resolved by
+a three-outcome Markov absorption per attempt — success, retry (a lower
+severity interrupted the restart), or escalate (the same severity struck
+again).  Escalated recoveries are carried up one stage, where they pay the
+higher restart cost plus, on average, half of that stage's span in lost
+progress.  Predicted application time is ``T_B / pattern_efficiency``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.interfaces import CheckpointModel, OptimizationResult
+from ..core.plan import CheckpointPlan
+from ..core.severity import LevelMapping
+from ..core.truncated import truncated_mean
+from ..systems.spec import SystemSpec
+
+__all__ = ["MoodyModel"]
+
+_MAX_RATE_TIME = 500.0
+
+
+class MoodyModel(CheckpointModel):
+    """SCR's pattern-steady-state Markov model with escalating restarts."""
+
+    name = "moody"
+    takes_scheduled_end_checkpoint = True
+
+    def __init__(self, system: SystemSpec, escalating_restarts: bool = True):
+        super().__init__(system)
+        #: Escalation is SCR's documented assumption; turning it off is the
+        #: ablation the paper implicitly performs when explaining Figure 6.
+        self.escalating_restarts = escalating_restarts
+        self._mapping = LevelMapping.build(
+            system, tuple(range(1, system.num_levels + 1))
+        )
+
+    def candidate_level_subsets(self) -> list[tuple[int, ...]]:
+        """Always the full protocol — SCR deploys every available level."""
+        return [tuple(range(1, self.system.num_levels + 1))]
+
+    # ------------------------------------------------------------------
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        out = self.predict_time_batch(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+        )
+        return float(out[0])
+
+    def predict_time_batch(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> np.ndarray:
+        """``T_B / pattern_efficiency`` over an array of ``tau0`` values."""
+        eff = self.pattern_efficiency_batch(levels, counts, tau0)
+        T_B = self.system.baseline_time
+        with np.errstate(divide="ignore"):
+            return np.where(eff > 0, T_B / eff, math.inf)
+
+    def pattern_efficiency(self, plan: CheckpointPlan) -> float:
+        """Steady-state efficiency of one pattern (SCR's own metric)."""
+        out = self.pattern_efficiency_batch(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+        )
+        return float(out[0])
+
+    # ------------------------------------------------------------------
+    def pattern_efficiency_batch(
+        self,
+        levels: tuple[int, ...],
+        counts: tuple[int, ...],
+        tau0: np.ndarray,
+    ) -> np.ndarray:
+        L = self.system.num_levels
+        if tuple(levels) != tuple(range(1, L + 1)):
+            raise ValueError(
+                f"the Moody model prices the full {L}-level protocol only, "
+                f"got levels={levels}"
+            )
+        if len(counts) != L - 1:
+            raise ValueError(f"expected {L - 1} counts, got {len(counts)}")
+        tau0 = np.asarray(tau0, dtype=float)
+        mp = self._mapping
+        shape = tau0.shape
+
+        pattern_work = tau0 * math.prod(n + 1 for n in counts)
+        tau_k = tau0.astype(float).copy()
+        esc_in = np.zeros(shape)
+        bad = np.zeros(shape, dtype=bool)
+        hist_tau: list[np.ndarray] = []
+        hist_rework: list[np.ndarray] = []
+
+        for k in range(L):
+            lam_k = mp.rates[k]
+            lam_c = mp.cumulative_rates[k]
+            delta = mp.checkpoint_times[k]
+            R = mp.restart_times[k]
+            top = k == L - 1
+            if top:
+                m_intervals = 1.0
+                n_ckpt = 1.0
+            else:
+                m_intervals = counts[k] + 1.0
+                n_ckpt = float(counts[k])
+
+            with np.errstate(over="ignore", invalid="ignore"):
+                bad |= lam_k * tau_k > _MAX_RATE_TIME
+                gamma = np.expm1(lam_k * tau_k)
+                E_tau = np.asarray(truncated_mean(tau_k, lam_k))
+                T_Wtau = gamma * E_tau * m_intervals
+                T_d = n_ckpt * delta
+                hist_tau.append(tau_k)
+                hist_rework.append(gamma * E_tau)
+
+                if delta > 0:
+                    bad |= lam_c * delta > _MAX_RATE_TIME
+                    alpha = n_ckpt * np.expm1(lam_c * delta)
+                    T_df = alpha * truncated_mean(delta, lam_c)
+                    lost = np.zeros(shape)
+                    for j in range(k + 1):
+                        lost += (hist_tau[j] + hist_rework[j]) * mp.shares[j]
+                    T_Wd = alpha * lost
+                else:
+                    alpha = np.zeros(shape)
+                    T_df = np.zeros(shape)
+                    T_Wd = np.zeros(shape)
+
+                # Recovery demand: Eqn.-11 analogue plus escalations from below.
+                demand = (
+                    mp.shares[k] * alpha
+                    + gamma * (mp.shares[k] * alpha + m_intervals)
+                    + esc_in
+                )
+
+                if R > 0:
+                    bad |= lam_c * R > _MAX_RATE_TIME
+                    p_fail = -np.expm1(-lam_c * R)
+                else:
+                    p_fail = np.zeros(shape)
+                p_same = p_fail * (lam_k / lam_c if lam_c > 0 else 0.0)
+                p_retry = p_fail - p_same
+
+                if self.escalating_restarts and not top:
+                    # Absorbing Markov chain per recovery: success,
+                    # retry (lower severity), or escalate (same severity).
+                    attempts = demand / (1.0 - p_retry)
+                    esc_out = attempts * p_same
+                    successes = attempts * (1.0 - p_fail)
+                    failed = attempts * p_fail
+                else:
+                    # Retry-only: plain negative binomial (Eqn. 12 form).
+                    successes = demand
+                    failed = demand * p_fail / (1.0 - p_fail)
+                    esc_out = np.zeros(shape)
+                    bad |= ~np.isfinite(failed)
+
+                T_r = successes * R
+                T_rf = failed * (truncated_mean(R, lam_c) if R > 0 else 0.0)
+
+                # Escalated recoveries arriving at this stage lost, on
+                # average, half this stage's deterministic span on top of
+                # what lower stages already charged.
+                esc_rework = esc_in * 0.5 * (tau_k * m_intervals + T_d)
+
+                tau_k = (
+                    tau_k * m_intervals
+                    + T_d + T_df + T_r + T_rf + T_Wtau + T_Wd + esc_rework
+                )
+                esc_in = esc_out
+
+        bad |= ~np.isfinite(tau_k)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            eff = np.where(bad | (tau_k <= 0), 0.0, pattern_work / tau_k)
+        return np.clip(eff, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Optimization note: SCR's brute-force search in [5] enumerates the
+    # checkpoint counts of the pattern deployed for a given run, so the
+    # pattern always fits within the application (>= one level-L
+    # checkpoint per run) even though the *objective* is length-blind
+    # steady-state efficiency.  This is exactly what Figure 5 exploits:
+    # for a 30-minute application the model "still performs a level-L
+    # checkpoint", with interval values "appropriate only for longer
+    # running applications".  The inherited optimize() already bounds the
+    # pattern by T_B, so no override is needed.

@@ -1,0 +1,28 @@
+"""Failure-injecting checkpoint/restart simulator (the paper's Section IV-B).
+
+* :func:`simulate_trial` — one execution, event by event.
+* :func:`simulate_many` — repeated trials with aggregation (figure bars).
+* :class:`TrialResult` / :class:`SimulationStats` /
+  :class:`TimeBreakdown` — measurement records.
+* :mod:`repro.simulator.reference` — an independent process-oriented
+  implementation on the :mod:`repro.des` engine, used to cross-validate
+  the fast engine trace for trace.
+"""
+
+from .accounting import SimulationStats, TimeBreakdown, TrialResult
+from .engine import default_max_time, simulate_trial
+from .run import simulate_many, trial_seeds
+from .tracelog import SimEvent, render_timeline, validate_timeline
+
+__all__ = [
+    "SimEvent",
+    "SimulationStats",
+    "TimeBreakdown",
+    "TrialResult",
+    "default_max_time",
+    "render_timeline",
+    "simulate_many",
+    "simulate_trial",
+    "trial_seeds",
+    "validate_timeline",
+]

@@ -1,0 +1,161 @@
+"""Per-event-category time accounting for simulated trials.
+
+Figure 3 of the paper breaks application time into the event taxonomy of
+Section III-B: baseline work, successful/failed checkpoints,
+successful/failed restarts, and recomputation of progress lost to failures
+during computation or during checkpoints.  :class:`TimeBreakdown` carries
+those buckets (plus ``rework_restart``, the extra progress lost when a
+*restart* is interrupted by a higher-severity failure — the simulator can
+observe it even though the analytic models fold it elsewhere) and
+:class:`TrialResult` wraps one simulated execution.
+
+Invariants (enforced by the engine and asserted in the test suite):
+
+* the category times sum to the trial's total time;
+* ``work`` equals the application progress retained at the end;
+* total compute time equals ``work`` plus the three rework buckets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+__all__ = ["TimeBreakdown", "TrialResult", "SimulationStats"]
+
+#: Ordering used by tables and the Figure 3 harness.
+CATEGORY_ORDER = (
+    "work",
+    "checkpoint",
+    "failed_checkpoint",
+    "restart",
+    "failed_restart",
+    "rework_compute",
+    "rework_checkpoint",
+    "rework_restart",
+)
+
+
+@dataclass
+class TimeBreakdown:
+    """Minutes spent per event category during one (or many) executions."""
+
+    work: float = 0.0
+    checkpoint: float = 0.0
+    failed_checkpoint: float = 0.0
+    restart: float = 0.0
+    failed_restart: float = 0.0
+    rework_compute: float = 0.0
+    rework_checkpoint: float = 0.0
+    rework_restart: float = 0.0
+
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in CATEGORY_ORDER}
+
+    def fractions(self) -> dict[str, float]:
+        """Shares of total time per category (the Figure 3 quantity)."""
+        tot = self.total()
+        if tot <= 0:
+            return {name: 0.0 for name in CATEGORY_ORDER}
+        return {name: getattr(self, name) / tot for name in CATEGORY_ORDER}
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+
+@dataclass
+class TrialResult:
+    """Outcome of simulating one application execution.
+
+    ``completed`` is False when the simulation horizon cap fired first; in
+    that case ``efficiency`` is the utilization estimator
+    ``work_done / total_time``, which converges to the same steady-state
+    value (DESIGN.md, decision 5).
+    """
+
+    total_time: float
+    work_done: float
+    completed: bool
+    times: TimeBreakdown
+    failures_by_severity: tuple[int, ...]
+    checkpoints_completed: int = 0
+    checkpoints_failed: int = 0
+    #: Previously-completed positions re-established at zero cost under
+    #: the default ``recheckpoint="free"`` policy.
+    checkpoints_restored: int = 0
+    restarts_completed: int = 0
+    restarts_failed: int = 0
+    scratch_restarts: int = 0
+    #: Ordered event timeline; populated when ``record_events=True``.
+    events: "list | None" = None
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's metric: useful work per unit wall-clock time."""
+        if self.total_time <= 0:
+            return 1.0 if self.work_done > 0 else 0.0
+        return self.work_done / self.total_time
+
+    @property
+    def total_failures(self) -> int:
+        return int(sum(self.failures_by_severity))
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate over repeated trials (the bars of Figures 2, 4 and 5)."""
+
+    trials: int
+    efficiencies: np.ndarray
+    mean_breakdown: TimeBreakdown
+    completed_fraction: float
+    mean_total_time: float
+    mean_failures: float
+
+    @property
+    def mean_efficiency(self) -> float:
+        return float(np.mean(self.efficiencies))
+
+    @property
+    def std_efficiency(self) -> float:
+        """Population std across trials, the error bars in the figures."""
+        return float(np.std(self.efficiencies))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI for the mean efficiency."""
+        if self.trials <= 1:
+            return (self.mean_efficiency, self.mean_efficiency)
+        half = z * float(np.std(self.efficiencies, ddof=1)) / math.sqrt(self.trials)
+        return (self.mean_efficiency - half, self.mean_efficiency + half)
+
+    @classmethod
+    def from_trials(cls, results: list[TrialResult]) -> "SimulationStats":
+        if not results:
+            raise ValueError("cannot aggregate zero trials")
+        effs = np.array([r.efficiency for r in results], dtype=float)
+        breakdown = TimeBreakdown()
+        for r in results:
+            breakdown = breakdown + r.times
+        return cls(
+            trials=len(results),
+            efficiencies=effs,
+            mean_breakdown=breakdown.scaled(1.0 / len(results)),
+            completed_fraction=sum(r.completed for r in results) / len(results),
+            mean_total_time=float(np.mean([r.total_time for r in results])),
+            mean_failures=float(np.mean([r.total_failures for r in results])),
+        )

@@ -1,0 +1,185 @@
+"""Energy accounting for checkpointed executions (extension, after [19]).
+
+Test system B comes from Balaprakash et al. [19], which studies the
+*energy*/run-time tradeoffs of multilevel checkpointing.  This module
+adds that dimension on top of the package's time accounting: a
+:class:`PowerProfile` maps each event category to a power draw, and both
+measured (:func:`energy_breakdown`) and predicted
+(:func:`predicted_energy`) time breakdowns convert to energy.
+
+:func:`optimize_for_energy` re-runs the paper's bounded interval sweep
+with expected *energy* as the objective.  Checkpoint and restart phases
+are typically I/O-bound and draw less power than computation, so the
+energy optimum tolerates slightly more checkpoint overhead than the time
+optimum — the effect [19] quantifies.
+
+Units: times are minutes (as everywhere in the package), powers are
+watts, energies are reported in kilowatt-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.dauwe import DauweModel
+from ..core.interfaces import CheckpointModel
+from ..core.optimizer import sweep_plans
+from ..core.plan import CheckpointPlan
+from .accounting import TimeBreakdown
+
+__all__ = [
+    "PowerProfile",
+    "EnergyReport",
+    "EnergyOptimizationResult",
+    "energy_breakdown",
+    "predicted_energy",
+    "optimize_for_energy",
+]
+
+_KWH_PER_WATT_MINUTE = 1.0 / 60_000.0
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """System power draw (watts) per activity.
+
+    ``compute_w`` applies to useful work *and* recomputation (the machine
+    cannot tell them apart); ``checkpoint_w``/``restart_w`` cover both
+    successful and failed attempts of their kind.  Defaults are shaped
+    like [19]'s measurements: I/O phases draw noticeably less than
+    computation.
+    """
+
+    compute_w: float = 100.0
+    checkpoint_w: float = 70.0
+    restart_w: float = 70.0
+
+    def __post_init__(self) -> None:
+        for field in ("compute_w", "checkpoint_w", "restart_w"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    def category_power(self, category: str) -> float:
+        """Watts drawn during one accounting category."""
+        if category in (
+            "work",
+            "rework_compute",
+            "rework_checkpoint",
+            "rework_restart",
+            "unprotected",  # scratch-restart renewal time is mostly recompute
+        ):
+            return self.compute_w
+        if category in ("checkpoint", "failed_checkpoint"):
+            return self.checkpoint_w
+        if category in ("restart", "failed_restart"):
+            return self.restart_w
+        raise KeyError(f"unknown accounting category {category!r}")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy totals for one execution (all in kWh)."""
+
+    total_kwh: float
+    useful_kwh: float
+    per_category_kwh: Mapping[str, float]
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Fraction of energy spent on retained useful work."""
+        if self.total_kwh <= 0:
+            return 0.0
+        return self.useful_kwh / self.total_kwh
+
+    def energy_delay_product(self, total_time_min: float) -> float:
+        """kWh x hours — the EDP metric of energy/performance studies."""
+        return self.total_kwh * (total_time_min / 60.0)
+
+
+def energy_breakdown(times: TimeBreakdown, profile: PowerProfile) -> EnergyReport:
+    """Convert a measured time breakdown into an energy report."""
+    per_cat = {
+        name: minutes * profile.category_power(name) * _KWH_PER_WATT_MINUTE
+        for name, minutes in times.as_dict().items()
+    }
+    return EnergyReport(
+        total_kwh=sum(per_cat.values()),
+        useful_kwh=per_cat["work"],
+        per_category_kwh=per_cat,
+    )
+
+
+def predicted_energy(
+    model: DauweModel, plan: CheckpointPlan, profile: PowerProfile
+) -> float:
+    """Expected energy (kWh) of ``plan`` under ``model``'s time breakdown."""
+    breakdown = model.predict_breakdown(plan)
+    kwh = 0.0
+    for name, minutes in breakdown.items():
+        if name == "total":
+            continue
+        kwh += minutes * profile.category_power(name) * _KWH_PER_WATT_MINUTE
+    return kwh
+
+
+@dataclass(frozen=True)
+class EnergyOptimizationResult:
+    """Outcome of an energy-objective interval sweep."""
+
+    plan: CheckpointPlan
+    predicted_energy_kwh: float
+    predicted_time: float
+    predicted_efficiency: float
+
+
+class _EnergyObjective(CheckpointModel):
+    """Adapter: the shared sweep minimizes predicted energy instead of time.
+
+    ``predict_time``/``predict_time_batch`` return kWh scaled into the
+    sweep's "minutes" slot; only the ordering matters to the optimizer.
+    """
+
+    name = "energy-objective"
+
+    def __init__(self, base: DauweModel, profile: PowerProfile):
+        super().__init__(base.system)
+        self.base = base
+        self.profile = profile
+
+    def candidate_level_subsets(self):
+        return self.base.candidate_level_subsets()
+
+    def predict_time(self, plan: CheckpointPlan) -> float:
+        import numpy as np
+
+        return float(self.predict_time_batch(plan.levels, plan.counts, np.array([plan.tau0]))[0])
+
+    def predict_time_batch(self, levels, counts, tau0):
+        import numpy as np
+
+        _, parts = self.base._evaluate(levels, counts, np.asarray(tau0, dtype=float))
+        kwh = np.zeros_like(np.asarray(tau0, dtype=float))
+        for name, minutes in parts.items():
+            kwh = kwh + minutes * self.profile.category_power(name)
+        return kwh * _KWH_PER_WATT_MINUTE
+
+
+def optimize_for_energy(
+    model: DauweModel, profile: PowerProfile, **sweep_options
+) -> EnergyOptimizationResult:
+    """Select the plan minimizing expected *energy* (extension after [19]).
+
+    Runs the same Section III-C bounded sweep with the energy objective,
+    then reports the chosen plan's time-side predictions from the
+    underlying model for comparison against :meth:`DauweModel.optimize`.
+    """
+    adapter = _EnergyObjective(model, profile)
+    res = sweep_plans(adapter, **sweep_options)
+    time_pred = model.predict_time(res.plan)
+    return EnergyOptimizationResult(
+        plan=res.plan,
+        predicted_energy_kwh=res.predicted_time,
+        predicted_time=time_pred,
+        predicted_efficiency=model.system.baseline_time / time_pred,
+    )

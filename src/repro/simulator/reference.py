@@ -1,0 +1,275 @@
+"""Process-oriented reference implementation of the checkpoint simulator.
+
+This is a second, independently-written implementation of the execution
+semantics of :mod:`repro.simulator.engine`, built as communicating
+processes on the :mod:`repro.des` engine: an *application* process walks
+compute segments, checkpoint writes and restarts, while a *failure*
+process injects :class:`~repro.des.Interrupt` exceptions carrying the
+failure severity.
+
+Purpose: cross-validation.  Driven by the same failure trace, the fast
+state-machine engine and this reference must produce identical timelines
+and accounting (the test suite checks equality to 1e-9 on random traces).
+A deliberate divergence exists only on exact ties — a failure landing at
+the precise instant an operation completes — where event ordering decides
+whether the operation counts as completed; continuous failure draws hit
+ties with probability zero.
+
+This module favours clarity over speed (it is ~10x slower than the fast
+engine); use it for semantics questions and debugging, and the fast
+engine for experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.plan import CheckpointPlan
+from ..des import Environment, Interrupt
+from ..failures.sources import ExponentialFailureSource, FailureSource
+from ..systems.spec import SystemSpec
+from .accounting import TimeBreakdown, TrialResult
+from .engine import default_max_time
+
+__all__ = ["simulate_trial_reference"]
+
+_EPS = 1e-9
+
+
+class _State:
+    """Mutable application state shared between generator stages."""
+
+    __slots__ = (
+        "work",
+        "next_m",
+        "valid",
+        "pending_sev",
+        "rollback_ref",
+        "recovering",
+        "acct",
+        "n_by_sev",
+        "ckpt_ok",
+        "ckpt_fail",
+        "rst_ok",
+        "rst_fail",
+        "scratch",
+        "restored",
+        "max_completed_m",
+        "completed",
+    )
+
+    def __init__(self, num_used: int, num_sev: int):
+        self.work = 0.0
+        self.next_m = 1
+        self.valid = [-1] * num_used
+        self.pending_sev = 0
+        self.rollback_ref = 0.0
+        self.recovering = False
+        self.acct = TimeBreakdown()
+        self.n_by_sev = [0] * num_sev
+        self.ckpt_ok = 0
+        self.ckpt_fail = 0
+        self.rst_ok = 0
+        self.rst_fail = 0
+        self.scratch = 0
+        self.restored = 0
+        self.max_completed_m = 0
+        self.completed = False
+
+
+def simulate_trial_reference(
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    rng: np.random.Generator | int | None = None,
+    source: FailureSource | None = None,
+    max_time: float | None = None,
+    restart_semantics: str = "retry",
+    checkpoint_at_completion: bool = False,
+    recheckpoint: str = "free",
+) -> TrialResult:
+    """Reference twin of :func:`repro.simulator.engine.simulate_trial`."""
+    if plan.top_level > system.num_levels:
+        raise ValueError(
+            f"plan uses level {plan.top_level} but {system.name} has "
+            f"{system.num_levels} levels"
+        )
+    if restart_semantics not in ("retry", "escalate"):
+        raise ValueError(f"unknown restart_semantics {restart_semantics!r}")
+    if recheckpoint not in ("free", "paid", "skip"):
+        raise ValueError(f"unknown recheckpoint policy {recheckpoint!r}")
+    escalate = restart_semantics == "escalate"
+    if source is None:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        source = ExponentialFailureSource.for_system(system, rng)
+    cap = default_max_time(system) if max_time is None else float(max_time)
+
+    T_B = system.baseline_time
+    tau0 = plan.tau0
+    levels = plan.levels
+    num_used = len(levels)
+    num_sev = system.num_levels
+    ckpt_cost = [system.checkpoint_time(lv) for lv in levels]
+    rest_cost = [system.restart_time(lv) for lv in levels]
+    sev_rest_cost = [system.restart_time(s) for s in range(1, num_sev + 1)]
+    period = math.prod(n + 1 for n in plan.counts) if plan.counts else 1
+    level_index_of = {lv: k for k, lv in enumerate(levels)}
+    pattern = [level_index_of[plan.level_at_position(m)] for m in range(1, period + 1)]
+    recover_idx = [
+        level_index_of[plan.recovery_level(s)]
+        if plan.recovery_level(s) is not None
+        else -1
+        for s in range(1, num_sev + 1)
+    ]
+
+    env = Environment()
+    st = _State(num_used, num_sev)
+
+    def candidate(sev: int) -> int:
+        lo = recover_idx[sev - 1]
+        if lo < 0:
+            return 0
+        return max([st.valid[k] for k in range(lo, num_used)] + [0])
+
+    def register_failure(sev: int, category: str) -> None:
+        st.n_by_sev[sev - 1] += 1
+        s = sev
+        if st.recovering:
+            if escalate and s == st.pending_sev and s < num_sev:
+                s += 1
+            st.pending_sev = max(st.pending_sev, s)
+        else:
+            st.recovering = True
+            st.pending_sev = s
+            st.rollback_ref = st.work
+        for k in range(num_used):
+            if levels[k] < s and st.valid[k] >= 0:
+                st.valid[k] = -1
+        pos = candidate(st.pending_sev) * tau0
+        lost = st.rollback_ref - pos
+        if lost > 0:
+            setattr(
+                st.acct,
+                f"rework_{category}",
+                getattr(st.acct, f"rework_{category}") + lost,
+            )
+            st.rollback_ref = pos
+
+    def application(env: Environment):
+        while True:
+            if (
+                st.work >= T_B - _EPS
+                and not st.recovering
+                and (not checkpoint_at_completion or st.next_m * tau0 > T_B + _EPS)
+            ):
+                st.completed = True
+                return
+            if env.now >= cap:
+                return
+
+            if st.recovering:
+                pos_idx = candidate(st.pending_sev)
+                k_lo = recover_idx[st.pending_sev - 1]
+                if pos_idx > 0:
+                    k_use = next(
+                        k for k in range(k_lo, num_used) if st.valid[k] == pos_idx
+                    )
+                    dur = rest_cost[k_use]
+                else:
+                    dur = (
+                        rest_cost[k_lo]
+                        if k_lo >= 0
+                        else sev_rest_cost[st.pending_sev - 1]
+                    )
+                start = env.now
+                try:
+                    yield env.timeout(dur)
+                except Interrupt as intr:
+                    st.acct.failed_restart += env.now - start
+                    st.rst_fail += 1
+                    register_failure(int(intr.cause), "restart")
+                    continue
+                st.acct.restart += dur
+                st.rst_ok += 1
+                if pos_idx == 0:
+                    st.scratch += 1
+                st.work = pos_idx * tau0
+                st.next_m = pos_idx + 1
+                st.recovering = False
+                st.pending_sev = 0
+                continue
+
+            boundary = st.next_m * tau0
+            if st.work < boundary - _EPS or boundary > T_B + _EPS:
+                target = min(boundary, T_B)
+                dur = target - st.work
+                start = env.now
+                try:
+                    yield env.timeout(dur)
+                except Interrupt as intr:
+                    elapsed = env.now - start
+                    st.work += elapsed
+                    register_failure(int(intr.cause), "compute")
+                    continue
+                st.work = target
+                continue
+
+            k = pattern[(st.next_m - 1) % period]
+            if st.next_m <= st.max_completed_m and recheckpoint != "paid":
+                if recheckpoint == "free":
+                    for j in range(k + 1):
+                        st.valid[j] = st.next_m
+                    st.restored += 1
+                st.next_m += 1
+                continue
+            dur = ckpt_cost[k]
+            start = env.now
+            try:
+                yield env.timeout(dur)
+            except Interrupt as intr:
+                st.acct.failed_checkpoint += env.now - start
+                st.ckpt_fail += 1
+                register_failure(int(intr.cause), "checkpoint")
+                continue
+            st.acct.checkpoint += dur
+            st.ckpt_ok += 1
+            for j in range(k + 1):
+                st.valid[j] = st.next_m
+            st.max_completed_m = max(st.max_completed_m, st.next_m)
+            st.next_m += 1
+
+    app = env.process(application(env))
+
+    def failures(env: Environment):
+        t = 0.0
+        while app.is_alive:
+            ft, sev = source.next_after(t)
+            if math.isinf(ft):
+                return
+            if ft > env.now:
+                yield env.timeout(ft - env.now)
+            if app.is_alive:
+                app.interrupt(sev)
+            t = ft
+
+    env.process(failures(env))
+    env.run(until=app)
+
+    if st.recovering:
+        st.work = st.rollback_ref
+    st.acct.work = st.work
+    return TrialResult(
+        total_time=env.now,
+        work_done=st.work,
+        completed=st.completed,
+        times=st.acct,
+        failures_by_severity=tuple(st.n_by_sev),
+        checkpoints_completed=st.ckpt_ok,
+        checkpoints_failed=st.ckpt_fail,
+        checkpoints_restored=st.restored,
+        restarts_completed=st.rst_ok,
+        restarts_failed=st.rst_fail,
+        scratch_restarts=st.scratch,
+    )

@@ -1,0 +1,95 @@
+"""Per-trial event timelines: what happened, when, at which level.
+
+``simulate_trial(..., record_events=True)`` fills
+``TrialResult.events`` with an ordered list of :class:`SimEvent` spans —
+every compute segment, checkpoint write, restart attempt, and the
+failures that interrupted them.  The timeline is the simulator's
+explanation of itself: debugging aid, teaching output
+(:func:`render_timeline`), and the substrate for the strictest invariant
+test in the suite (the spans must tile the trial's wall-clock exactly and
+their per-kind sums must equal the accounting buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["SimEvent", "render_timeline", "validate_timeline"]
+
+#: Event kinds, matching the accounting taxonomy.
+KINDS = (
+    "compute",
+    "checkpoint",
+    "failed_checkpoint",
+    "restart",
+    "failed_restart",
+)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One span of simulated time.
+
+    ``level`` is the checkpoint level for checkpoint/restart spans and 0
+    for compute; ``severity`` is set (non-zero) on spans that ended in a
+    failure, identifying the failure class that cut them short.
+    """
+
+    start: float
+    end: float
+    kind: str
+    level: int = 0
+    severity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError(f"event ends ({self.end}) before it starts ({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        tag = f"L{self.level} " if self.level else ""
+        sev = f" [failure sev {self.severity}]" if self.severity else ""
+        return f"{self.start:10.3f} -> {self.end:10.3f}  {tag}{self.kind}{sev}"
+
+
+def render_timeline(events: Sequence[SimEvent], limit: int | None = None) -> str:
+    """Human-readable event log (first ``limit`` spans)."""
+    shown = events if limit is None else events[:limit]
+    lines = [ev.describe() for ev in shown]
+    if limit is not None and len(events) > limit:
+        lines.append(f"... {len(events) - limit} more events")
+    return "\n".join(lines)
+
+
+def validate_timeline(events: Iterable[SimEvent], total_time: float) -> None:
+    """Assert the spans tile ``[0, total_time]`` with no gaps or overlaps.
+
+    Raises ``ValueError`` on the first violation; used by tests and
+    available to users instrumenting their own runs.
+    """
+    cursor = 0.0
+    for i, ev in enumerate(events):
+        if abs(ev.start - cursor) > 1e-9:
+            raise ValueError(
+                f"event {i} starts at {ev.start}, expected {cursor} "
+                "(gap or overlap in the timeline)"
+            )
+        cursor = ev.end
+    if abs(cursor - total_time) > 1e-9:
+        raise ValueError(
+            f"timeline ends at {cursor}, trial reports total_time={total_time}"
+        )
+
+
+def kind_totals(events: Iterable[SimEvent]) -> dict[str, float]:
+    """Total duration per event kind (compare against TimeBreakdown)."""
+    out = {kind: 0.0 for kind in KINDS}
+    for ev in events:
+        out[ev.kind] += ev.duration
+    return out

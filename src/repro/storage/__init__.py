@@ -1,0 +1,37 @@
+"""Checkpoint storage substrate: erasure codes + hierarchy cost model.
+
+* :mod:`repro.storage.gf256` — GF(2^8) arithmetic.
+* :class:`XorPartnerCode` / :class:`ReedSolomonCode` — the redundancy
+  schemes behind SCR level 2 and FTI level 3, implemented for real.
+* :class:`MachineSpec` / :class:`StorageLevel` /
+  :func:`build_system_spec` — derive Table-I-style systems from hardware
+  descriptions.
+"""
+
+from .encoding import ReedSolomonCode, XorPartnerCode
+from .gf256 import (
+    cauchy_matrix,
+    gf_inv,
+    gf_matmul,
+    gf_matrix_invert,
+    gf_mul,
+    gf_mul_bytes,
+    vandermonde_matrix,
+)
+from .hierarchy import LevelKind, MachineSpec, StorageLevel, build_system_spec
+
+__all__ = [
+    "LevelKind",
+    "MachineSpec",
+    "ReedSolomonCode",
+    "StorageLevel",
+    "XorPartnerCode",
+    "build_system_spec",
+    "cauchy_matrix",
+    "gf_inv",
+    "gf_matmul",
+    "gf_matrix_invert",
+    "gf_mul",
+    "gf_mul_bytes",
+    "vandermonde_matrix",
+]

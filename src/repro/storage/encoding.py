@@ -1,0 +1,132 @@
+"""Checkpoint erasure encodings: XOR partner groups and Reed-Solomon.
+
+These are the actual redundancy schemes behind the checkpoint levels the
+paper's test systems assume (Section II-B): SCR's level-2 stores XOR
+parity across partner nodes, FTI's level-3 stores Reed-Solomon encoded
+blocks tolerating multiple simultaneous node losses, and the PFS level
+needs no encoding.  The experiment pipeline itself only needs the *costs*
+of these levels (Table I provides them), but the encoders are implemented
+for real so the storage substrate can demonstrate and verify
+recoverability — see ``examples/design_from_hardware.py``.
+
+Both encoders operate on equal-length byte shards (one per node).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf256 import cauchy_matrix, gf_matmul, gf_matrix_invert
+
+__all__ = ["XorPartnerCode", "ReedSolomonCode"]
+
+
+def _as_shards(shards) -> np.ndarray:
+    arr = np.asarray(shards, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"shards must be a 2-D byte array, got shape {arr.shape}")
+    return arr
+
+
+class XorPartnerCode:
+    """Single-erasure XOR parity across a partner group (SCR level 2).
+
+    ``encode`` produces one parity shard per group of ``group_size`` data
+    shards; ``recover`` rebuilds any one missing shard of a group from the
+    survivors plus parity.
+    """
+
+    def __init__(self, group_size: int):
+        if group_size < 2:
+            raise ValueError(f"group_size must be >= 2, got {group_size}")
+        self.group_size = int(group_size)
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra bytes stored per data byte (1 parity per group)."""
+        return 1.0 / self.group_size
+
+    def encode(self, shards) -> np.ndarray:
+        """Parity shards, one per complete group (shape ``(g, n)``)."""
+        data = _as_shards(shards)
+        if data.shape[0] % self.group_size:
+            raise ValueError(
+                f"{data.shape[0]} shards do not form complete groups of "
+                f"{self.group_size}"
+            )
+        groups = data.reshape(-1, self.group_size, data.shape[1])
+        return np.bitwise_xor.reduce(groups, axis=1)
+
+    def recover(self, survivors, parity: np.ndarray) -> np.ndarray:
+        """Rebuild the single missing shard of one group.
+
+        ``survivors`` are the group's remaining ``group_size - 1`` shards;
+        ``parity`` is the group's parity shard.
+        """
+        data = _as_shards(survivors)
+        if data.shape[0] != self.group_size - 1:
+            raise ValueError(
+                f"need exactly {self.group_size - 1} survivors, got {data.shape[0]}"
+            )
+        parity = np.asarray(parity, dtype=np.uint8)
+        if parity.shape != (data.shape[1],):
+            raise ValueError("parity length does not match shard length")
+        return np.bitwise_xor.reduce(np.vstack([data, parity[None, :]]), axis=0)
+
+
+class ReedSolomonCode:
+    """Systematic MDS erasure code over GF(256) (FTI level 3).
+
+    ``k`` data shards are complemented with ``m`` Cauchy-generated parity
+    shards; *any* ``k`` of the ``k + m`` total shards reconstruct the
+    originals, i.e. the group tolerates up to ``m`` simultaneous node
+    losses.
+    """
+
+    def __init__(self, data_shards: int, parity_shards: int):
+        if data_shards < 1 or parity_shards < 1:
+            raise ValueError("data_shards and parity_shards must be >= 1")
+        if data_shards + parity_shards > 255:
+            raise ValueError("data_shards + parity_shards must be <= 255")
+        self.k = int(data_shards)
+        self.m = int(parity_shards)
+        self._parity_matrix = cauchy_matrix(self.m, self.k)
+        # Full generator: identity on top (systematic), Cauchy below.
+        self._generator = np.vstack(
+            [np.eye(self.k, dtype=np.uint8), self._parity_matrix]
+        )
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.m / self.k
+
+    def encode(self, shards) -> np.ndarray:
+        """Parity shards (shape ``(m, n)``) for ``k`` data shards."""
+        data = _as_shards(shards)
+        if data.shape[0] != self.k:
+            raise ValueError(f"need exactly {self.k} data shards, got {data.shape[0]}")
+        return gf_matmul(self._parity_matrix, data)
+
+    def recover(self, available: dict[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct all ``k`` data shards from any ``k`` survivors.
+
+        ``available`` maps shard index -> shard bytes, where indices
+        ``0..k-1`` are data shards and ``k..k+m-1`` parity shards.  At
+        least ``k`` entries are required.
+        """
+        if len(available) < self.k:
+            raise ValueError(
+                f"unrecoverable: {len(available)} shards available, need {self.k}"
+            )
+        idxs = sorted(available)[: self.k]
+        if any(i < 0 or i >= self.k + self.m for i in idxs):
+            raise ValueError(f"shard index out of range in {idxs}")
+        sub = self._generator[idxs]
+        stack = _as_shards([available[i] for i in idxs])
+        inv = gf_matrix_invert(sub)
+        return gf_matmul(inv, stack)
+
+    def verify(self, data_shards, parity_shards) -> bool:
+        """True when ``parity_shards`` match ``data_shards``."""
+        expected = self.encode(data_shards)
+        return bool(np.array_equal(expected, _as_shards(parity_shards)))

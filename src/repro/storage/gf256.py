@@ -1,0 +1,152 @@
+"""GF(2^8) arithmetic for Reed-Solomon erasure coding.
+
+The FTI protocol's third checkpoint level stores Reed-Solomon encoded
+checkpoint data across node groups (Section II-B.2); this module provides
+the finite-field substrate: log/antilog tables over the AES polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d), vectorized multiply over NumPy
+byte arrays, and Gaussian elimination for matrix inversion.
+
+All operations treat bytes as elements of GF(256); addition is XOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GF_EXP",
+    "GF_LOG",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_inv",
+    "gf_matmul",
+    "gf_matrix_invert",
+    "cauchy_matrix",
+    "vandermonde_matrix",
+]
+
+_PRIMITIVE_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    exp[255:510] = exp[:255]  # doubled so index sums need no modulo
+    return exp, log
+
+
+#: Antilog table, doubled: ``GF_EXP[(GF_LOG[a] + GF_LOG[b])]`` multiplies.
+GF_EXP, GF_LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements (scalars)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(GF_EXP[GF_LOG[a] + GF_LOG[b]])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(GF_EXP[255 - GF_LOG[a]])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorized)."""
+    data = np.asarray(data, dtype=np.uint8)
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    logs = GF_LOG[data].astype(np.int32)
+    out = GF_EXP[logs + GF_LOG[scalar]]
+    out[data == 0] = 0
+    return out
+
+
+def gf_matmul(m: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Matrix-times-stack-of-rows product over GF(256).
+
+    ``m`` is ``(r, k)`` of uint8; ``vectors`` is ``(k, n)`` — ``k`` shards
+    of ``n`` bytes.  Returns ``(r, n)``.
+    """
+    m = np.asarray(m, dtype=np.uint8)
+    vectors = np.asarray(vectors, dtype=np.uint8)
+    if m.ndim != 2 or vectors.ndim != 2 or m.shape[1] != vectors.shape[0]:
+        raise ValueError(f"shape mismatch: {m.shape} @ {vectors.shape}")
+    out = np.zeros((m.shape[0], vectors.shape[1]), dtype=np.uint8)
+    for i in range(m.shape[0]):
+        acc = np.zeros(vectors.shape[1], dtype=np.uint8)
+        for j in range(m.shape[1]):
+            if m[i, j]:
+                acc ^= gf_mul_bytes(int(m[i, j]), vectors[j])
+        out[i] = acc
+    return out
+
+
+def gf_matrix_invert(m: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+    Raises ``np.linalg.LinAlgError`` when singular (an unrecoverable
+    erasure pattern surfaces here).
+    """
+    m = np.asarray(m, dtype=np.uint8)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"need a square matrix, got {m.shape}")
+    n = m.shape[0]
+    a = m.astype(np.uint8).copy()
+    inv = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r, col]), None)
+        if pivot is None:
+            raise np.linalg.LinAlgError("matrix is singular over GF(256)")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        scale = gf_inv(int(a[col, col]))
+        a[col] = gf_mul_bytes(scale, a[col])
+        inv[col] = gf_mul_bytes(scale, inv[col])
+        for r in range(n):
+            if r != col and a[r, col]:
+                factor = int(a[r, col])
+                a[r] ^= gf_mul_bytes(factor, a[col])
+                inv[r] ^= gf_mul_bytes(factor, inv[col])
+    return inv
+
+
+def cauchy_matrix(rows: int, cols: int) -> np.ndarray:
+    """A ``rows x cols`` Cauchy matrix: every square submatrix invertible.
+
+    Entries ``1 / (x_i + y_j)`` with disjoint ``x`` and ``y`` sets — the
+    standard generator for MDS erasure codes, guaranteeing recovery from
+    any ``rows`` erasures.
+    """
+    if rows + cols > 256:
+        raise ValueError(f"rows + cols must be <= 256, got {rows + cols}")
+    xs = np.arange(rows, dtype=np.int32)
+    ys = np.arange(rows, rows + cols, dtype=np.int32)
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            out[i, j] = gf_inv(int(x) ^ int(y))
+    return out
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """``rows x cols`` Vandermonde matrix ``a_i^j`` (reference/testing)."""
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        v = 1
+        for j in range(cols):
+            out[i, j] = v
+            v = gf_mul(v, i + 1)
+    return out

@@ -1,0 +1,191 @@
+"""Checkpoint storage hierarchy: from hardware description to Table-I rows.
+
+The paper's Table I takes per-level checkpoint/restart costs as given.
+This module derives such costs from first principles, so a user can model
+*their* machine and feed the result straight into the models and the
+simulator: describe the machine (:class:`MachineSpec`), stack storage
+levels (:class:`StorageLevel` of the four kinds the SCR/FTI literature
+uses), and :func:`build_system_spec` produces a
+:class:`~repro.systems.spec.SystemSpec`.
+
+Cost model (minutes; bandwidths in GB/s):
+
+* ``LOCAL``    — every node writes its image to node-local storage in
+  parallel: ``size / local_bw``.
+* ``PARTNER``  — local write, plus a copy streamed to the partner node,
+  plus the XOR parity share (1/group of the image) written locally.
+* ``RS``       — local write, plus Reed-Solomon encoding of the group's
+  parity (``m/k`` of the image at the encode rate), plus the group
+  exchange over the network.
+* ``PFS``      — all nodes share the file system's aggregate bandwidth:
+  ``nodes * size / pfs_bw`` plus a constant mount/metadata latency.
+
+The model intentionally mirrors the scaling argument of Section IV-E:
+only the PFS level's cost grows with application size; the others use
+per-node resources and stay flat.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..systems.spec import SystemSpec
+from .encoding import ReedSolomonCode, XorPartnerCode
+
+__all__ = ["LevelKind", "MachineSpec", "StorageLevel", "build_system_spec"]
+
+
+class LevelKind(enum.Enum):
+    """The four storage-level archetypes of the multilevel literature."""
+
+    LOCAL = "local"
+    PARTNER = "partner-xor"
+    RS = "reed-solomon"
+    PFS = "pfs"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware description sufficient to price every level kind.
+
+    Attributes
+    ----------
+    nodes:
+        Node count of the application's allocation.
+    checkpoint_gb_per_node:
+        Size of one node's checkpoint image, GB.
+    local_write_gb_s:
+        Per-node bandwidth to node-local storage (DRAM/NVM), GB/s.
+    network_gb_s:
+        Per-node injection bandwidth for partner/group exchange, GB/s.
+    encode_gb_s:
+        Per-node Reed-Solomon encoding throughput, GB/s.
+    pfs_aggregate_gb_s:
+        Aggregate parallel-file-system bandwidth shared by all nodes.
+    pfs_latency_s:
+        Fixed PFS metadata/mount latency per checkpoint, seconds.
+    """
+
+    nodes: int
+    checkpoint_gb_per_node: float
+    local_write_gb_s: float = 2.0
+    network_gb_s: float = 1.0
+    encode_gb_s: float = 0.5
+    pfs_aggregate_gb_s: float = 100.0
+    pfs_latency_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        for field in (
+            "checkpoint_gb_per_node",
+            "local_write_gb_s",
+            "network_gb_s",
+            "encode_gb_s",
+            "pfs_aggregate_gb_s",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.pfs_latency_s < 0:
+            raise ValueError("pfs_latency_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class StorageLevel:
+    """One level of the hierarchy plus its failure class.
+
+    ``failure_rate`` is the rate (per minute) of failures whose recovery
+    requires *this* level — e.g. the PARTNER level's rate is the rate of
+    whole-node losses.  ``group_size``/``parity_shards`` parameterize the
+    encoded kinds and must satisfy the codes' own constraints (they are
+    validated by constructing the actual encoder).
+    """
+
+    kind: LevelKind
+    failure_rate: float
+    group_size: int = 8
+    parity_shards: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_rate <= 0:
+            raise ValueError("each level needs a positive failure rate")
+        # Validate code parameters by instantiating the real encoders.
+        if self.kind is LevelKind.PARTNER:
+            XorPartnerCode(self.group_size)
+        elif self.kind is LevelKind.RS:
+            ReedSolomonCode(self.group_size, self.parity_shards)
+
+    def checkpoint_minutes(self, machine: MachineSpec) -> float:
+        """Expected duration of one checkpoint at this level (minutes)."""
+        size = machine.checkpoint_gb_per_node
+        if self.kind is LevelKind.LOCAL:
+            seconds = size / machine.local_write_gb_s
+        elif self.kind is LevelKind.PARTNER:
+            parity = size / self.group_size
+            seconds = (
+                size / machine.local_write_gb_s
+                + size / machine.network_gb_s
+                + parity / machine.local_write_gb_s
+            )
+        elif self.kind is LevelKind.RS:
+            ratio = self.parity_shards / self.group_size
+            seconds = (
+                size / machine.local_write_gb_s
+                + size / machine.network_gb_s
+                + ratio * size / machine.encode_gb_s
+            )
+        elif self.kind is LevelKind.PFS:
+            total = machine.nodes * size
+            seconds = total / machine.pfs_aggregate_gb_s + machine.pfs_latency_s
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(self.kind)
+        return seconds / 60.0
+
+    def storage_overhead(self) -> float:
+        """Redundant bytes stored per checkpoint byte at this level."""
+        if self.kind is LevelKind.PARTNER:
+            # full partner copy + XOR parity share
+            return 1.0 + XorPartnerCode(self.group_size).storage_overhead
+        if self.kind is LevelKind.RS:
+            return ReedSolomonCode(self.group_size, self.parity_shards).storage_overhead
+        return 0.0
+
+
+def build_system_spec(
+    name: str,
+    machine: MachineSpec,
+    levels: Sequence[StorageLevel],
+    baseline_time: float,
+    description: str = "",
+) -> SystemSpec:
+    """Assemble a Table-I-style :class:`SystemSpec` from hardware terms.
+
+    Levels must be ordered by increasing severity (LOCAL .. PFS); their
+    checkpoint costs must come out non-decreasing, otherwise the hierarchy
+    is mis-specified (a higher level that is cheaper than a lower one
+    should simply replace it) and a ``ValueError`` explains which pair.
+    """
+    if not levels:
+        raise ValueError("at least one storage level is required")
+    costs = [lv.checkpoint_minutes(machine) for lv in levels]
+    for i, (a, b) in enumerate(zip(costs, costs[1:])):
+        if b < a:
+            raise ValueError(
+                f"level {i + 2} ({levels[i + 1].kind.value}) costs "
+                f"{b:.3f}min, cheaper than level {i + 1} "
+                f"({levels[i].kind.value}, {a:.3f}min); drop the slower level"
+            )
+    rates = [lv.failure_rate for lv in levels]
+    total = sum(rates)
+    return SystemSpec(
+        name=name,
+        mtbf=1.0 / total,
+        level_probabilities=tuple(r / total for r in rates),
+        checkpoint_times=tuple(costs),
+        baseline_time=baseline_time,
+        description=description
+        or f"derived from {machine.nodes}-node machine spec",
+    )

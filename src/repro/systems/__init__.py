@@ -1,0 +1,25 @@
+"""Test-system catalog (the paper's Table I) and scenario grids."""
+
+from .catalog import (
+    EXASCALE_BASELINE_LONG,
+    EXASCALE_BASELINE_SHORT,
+    TEST_SYSTEM_ORDER,
+    TEST_SYSTEMS,
+    exascale_grid,
+    exascale_mtbf_values,
+    exascale_top_costs,
+    get_system,
+)
+from .spec import SystemSpec
+
+__all__ = [
+    "EXASCALE_BASELINE_LONG",
+    "EXASCALE_BASELINE_SHORT",
+    "SystemSpec",
+    "TEST_SYSTEM_ORDER",
+    "TEST_SYSTEMS",
+    "exascale_grid",
+    "exascale_mtbf_values",
+    "exascale_top_costs",
+    "get_system",
+]

@@ -1,0 +1,180 @@
+"""The paper's test systems (Table I) and the exascale scenario grids.
+
+Every value in :data:`TEST_SYSTEMS` is transcribed verbatim from Table I of
+the paper; times are minutes and per-level failure severities are
+probability distributions, exactly as the table normalizes them.
+
+The grids for Figures 4-6 scale test system B (BlueGene/Q Mira, four
+checkpoint levels) across exascale-like MTBF values and PFS
+checkpoint/restart costs, per Section IV-E:
+
+* MTBF between 3 and 26 minutes ("exascale systems are likely to
+  experience failures with an MTBF between 3-26 minutes"; the paper
+  evaluates five values in the range — it names 26, 15 and 3 in the text
+  and we use ``{26, 20, 15, 6, 3}``);
+* level-L checkpoint/restart time in ``{10, 20, 30, 40}`` minutes, lower
+  levels unchanged (lower-level checkpoints spread data across the machine
+  and are insensitive to application scale).
+
+Figure 5 reuses the Figure 4 grid restricted to costs ``{10, 20}`` with a
+30-minute application and Figure 4's 1440-minute baseline replaced.
+"""
+
+from __future__ import annotations
+
+from .spec import SystemSpec
+
+__all__ = [
+    "TEST_SYSTEMS",
+    "TEST_SYSTEM_ORDER",
+    "get_system",
+    "exascale_mtbf_values",
+    "exascale_top_costs",
+    "exascale_grid",
+    "EXASCALE_BASELINE_LONG",
+    "EXASCALE_BASELINE_SHORT",
+]
+
+#: Baseline execution time (minutes) of the Figure 4 application.
+EXASCALE_BASELINE_LONG = 1440.0
+#: Baseline execution time (minutes) of the Figure 5 short application.
+EXASCALE_BASELINE_SHORT = 30.0
+
+TEST_SYSTEMS: dict[str, SystemSpec] = {
+    "M": SystemSpec(
+        name="M",
+        mtbf=6944.45,
+        level_probabilities=(0.083, 0.75, 0.167),
+        checkpoint_times=(0.008, 0.075, 17.53),
+        baseline_time=1440.0,
+        description="Moody et al. [5], BlueGene/L Coastal (3 levels)",
+    ),
+    "B": SystemSpec(
+        name="B",
+        mtbf=333.33,
+        level_probabilities=(0.556, 0.278, 0.139, 0.027),
+        checkpoint_times=(0.167, 0.5, 0.833, 2.5),
+        baseline_time=1440.0,
+        description="Balaprakash et al. [19], BlueGene/Q Mira (4 levels)",
+    ),
+    "D1": SystemSpec(
+        name="D1",
+        mtbf=51.42,
+        level_probabilities=(0.857, 0.143),
+        checkpoint_times=(0.333, 0.833),
+        baseline_time=1440.0,
+        description="Di et al. [17], ANL Fusion case 1",
+    ),
+    "D2": SystemSpec(
+        name="D2",
+        mtbf=24.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.333, 0.833),
+        baseline_time=1440.0,
+        description="Di et al. [17], ANL Fusion case 2",
+    ),
+    "D3": SystemSpec(
+        name="D3",
+        mtbf=12.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.167, 0.667),
+        baseline_time=1440.0,
+        description="Di et al. [17], ANL Fusion case 4",
+    ),
+    "D4": SystemSpec(
+        name="D4",
+        mtbf=6.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.167, 0.667),
+        baseline_time=1440.0,
+        description="Di et al. [17], ANL Fusion case 5",
+    ),
+    "D5": SystemSpec(
+        name="D5",
+        mtbf=12.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.333, 1.67),
+        baseline_time=1440.0,
+        description="Di et al. [17], ANL Fusion case 3",
+    ),
+    "D6": SystemSpec(
+        name="D6",
+        mtbf=6.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.167, 1.67),
+        baseline_time=720.0,
+        description="Di et al. [17], ANL Fusion case 6",
+    ),
+    "D7": SystemSpec(
+        name="D7",
+        mtbf=4.0,
+        level_probabilities=(0.833, 0.167),
+        checkpoint_times=(0.667, 3.33),
+        baseline_time=360.0,
+        description="Di et al. [17], ANL Fusion case 7",
+    ),
+    "D8": SystemSpec(
+        name="D8",
+        mtbf=3.13,
+        level_probabilities=(0.870, 0.130),
+        checkpoint_times=(0.833, 5.0),
+        baseline_time=360.0,
+        description="Di et al. [17], ANL Fusion case 8",
+    ),
+    "D9": SystemSpec(
+        name="D9",
+        mtbf=3.13,
+        level_probabilities=(0.870, 0.130),
+        checkpoint_times=(0.833, 5.0),
+        baseline_time=180.0,
+        description="Di et al. [17], ANL Fusion case 9",
+    ),
+}
+
+#: Table I row order: monotonically increasing resilience difficulty.
+TEST_SYSTEM_ORDER: tuple[str, ...] = (
+    "M", "B", "D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9",
+)
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up a Table I test system by name (case-insensitive)."""
+    key = name.upper()
+    if key not in TEST_SYSTEMS:
+        known = ", ".join(TEST_SYSTEM_ORDER)
+        raise KeyError(f"unknown test system {name!r}; known systems: {known}")
+    return TEST_SYSTEMS[key]
+
+
+def exascale_mtbf_values() -> tuple[float, ...]:
+    """The five MTBF values (minutes) swept in Figures 4-6, hardest last."""
+    return (26.0, 20.0, 15.0, 6.0, 3.0)
+
+
+def exascale_top_costs(short_application: bool = False) -> tuple[float, ...]:
+    """Level-L checkpoint/restart times (minutes) swept in Figure 4 (or 5)."""
+    return (10.0, 20.0) if short_application else (10.0, 20.0, 30.0, 40.0)
+
+
+def exascale_grid(short_application: bool = False) -> list[SystemSpec]:
+    """The Figure 4 (or Figure 5) scenario grid, cost-major then MTBF.
+
+    Each scenario is test system B with its total MTBF and level-L
+    checkpoint/restart cost replaced; Figure 5 additionally shortens the
+    application to 30 minutes.  Scenario names are ``B[mtbf=...,cL=...]``.
+    """
+    base = TEST_SYSTEMS["B"].with_baseline_time(
+        EXASCALE_BASELINE_SHORT if short_application else EXASCALE_BASELINE_LONG
+    )
+    grid: list[SystemSpec] = []
+    for cost in exascale_top_costs(short_application):
+        for mtbf in exascale_mtbf_values():
+            spec = base.with_mtbf(mtbf).with_top_level_cost(cost)
+            grid.append(
+                spec.renamed(
+                    f"B[mtbf={mtbf:g},cL={cost:g}]",
+                    f"{base.description}; scaled MTBF={mtbf:g}min, "
+                    f"level-L C/R={cost:g}min, T_B={base.baseline_time:g}min",
+                )
+            )
+    return grid

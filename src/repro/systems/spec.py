@@ -1,0 +1,191 @@
+"""System specifications: the inputs every model and the simulator share.
+
+A :class:`SystemSpec` captures exactly the columns of Table I of the paper:
+the number of checkpoint/restart levels, the system MTBF, the probability
+that a failure belongs to each severity class, the per-level checkpoint
+(= restart) durations, and the application's baseline execution time.
+
+All times are in **minutes**, matching the paper's normalized units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+__all__ = ["SystemSpec"]
+
+
+def _as_tuple(values: Sequence[float]) -> tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """An HPC system + application scenario, in the paper's Table I format.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (e.g. ``"M"``, ``"B"``, ``"D4"``).
+    mtbf:
+        System mean time between failures, minutes.  The total failure
+        rate is ``lambda = 1 / mtbf`` and is the sum of the per-level
+        rates (Section III-B).
+    level_probabilities:
+        ``S_i`` for ``i = 1..L``: the probability that a failure has
+        severity ``i`` (requires a level >= i checkpoint to recover).
+        Must be positive and sum to 1 (small rounding slack is allowed
+        and renormalized, because Table I's printed values round to three
+        digits).
+    checkpoint_times:
+        ``delta_i`` for ``i = 1..L``, minutes.  A level-i checkpoint's
+        duration is *inclusive* of the nested lower-level checkpoints SCR
+        performs (Section II-B), so ``delta`` must be non-decreasing.
+    baseline_time:
+        ``T_B``: failure-and-resilience-free execution time, minutes.
+    restart_times:
+        ``R_i`` per level; defaults to ``checkpoint_times`` as assumed by
+        the paper ("checkpoint times are assumed to be equal to restart
+        times for each system").
+    description:
+        Free-form provenance note (source paper / machine name).
+    """
+
+    name: str
+    mtbf: float
+    level_probabilities: tuple[float, ...]
+    checkpoint_times: tuple[float, ...]
+    baseline_time: float
+    restart_times: tuple[float, ...] | None = None
+    description: str = ""
+    _norm_probs: tuple[float, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "level_probabilities", _as_tuple(self.level_probabilities))
+        object.__setattr__(self, "checkpoint_times", _as_tuple(self.checkpoint_times))
+        if self.restart_times is not None:
+            object.__setattr__(self, "restart_times", _as_tuple(self.restart_times))
+        if self.mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {self.mtbf}")
+        if self.baseline_time <= 0:
+            raise ValueError(f"baseline_time must be positive, got {self.baseline_time}")
+        L = len(self.level_probabilities)
+        if L == 0:
+            raise ValueError("at least one checkpoint level is required")
+        if len(self.checkpoint_times) != L:
+            raise ValueError(
+                f"checkpoint_times has {len(self.checkpoint_times)} entries "
+                f"but there are {L} severity classes"
+            )
+        if self.restart_times is not None and len(self.restart_times) != L:
+            raise ValueError(
+                f"restart_times has {len(self.restart_times)} entries "
+                f"but there are {L} severity classes"
+            )
+        if any(p <= 0 for p in self.level_probabilities):
+            raise ValueError("every severity class probability must be positive")
+        total = sum(self.level_probabilities)
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=5e-3):
+            raise ValueError(
+                f"severity probabilities must sum to 1 (got {total:.6f}); "
+                "Table I rounding slack is limited to 5e-3"
+            )
+        if any(d < 0 for d in self.checkpoint_times):
+            raise ValueError("checkpoint times must be non-negative")
+        if any(
+            b < a - 1e-12
+            for a, b in zip(self.checkpoint_times, self.checkpoint_times[1:])
+        ):
+            raise ValueError(
+                "checkpoint times must be non-decreasing across levels "
+                "(a level-i checkpoint includes all lower-level checkpoints)"
+            )
+        object.__setattr__(
+            self, "_norm_probs", tuple(p / total for p in self.level_probabilities)
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """``L``: number of checkpoint/restart levels (= severity classes)."""
+        return len(self.level_probabilities)
+
+    @property
+    def failure_rate(self) -> float:
+        """Total system failure rate ``lambda = 1 / MTBF`` (per minute)."""
+        return 1.0 / self.mtbf
+
+    @property
+    def severity_probabilities(self) -> tuple[float, ...]:
+        """``S_i``, exactly normalized to sum to 1."""
+        return self._norm_probs
+
+    @property
+    def level_rates(self) -> tuple[float, ...]:
+        """Per-severity failure rates ``lambda_i = S_i * lambda`` (Sec. III-B)."""
+        lam = self.failure_rate
+        return tuple(s * lam for s in self._norm_probs)
+
+    def restart_time(self, level: int) -> float:
+        """``R_i`` for 1-based ``level``; equals ``delta_i`` unless overridden."""
+        times = self.restart_times or self.checkpoint_times
+        return times[level - 1]
+
+    def checkpoint_time(self, level: int) -> float:
+        """``delta_i`` for 1-based ``level``."""
+        return self.checkpoint_times[level - 1]
+
+    def cumulative_rate(self, level: int) -> float:
+        """``lambda_c = sum_{j<=level} lambda_j`` (the rate used in Eqns. 8/12)."""
+        return sum(self.level_rates[:level])
+
+    def mtbf_of_level(self, level: int) -> float:
+        """Mean time between failures of severity exactly ``level``."""
+        return 1.0 / self.level_rates[level - 1]
+
+    # ------------------------------------------------------------------
+    # scenario derivation (used by the Figure 4/5 grids)
+    # ------------------------------------------------------------------
+    def with_mtbf(self, mtbf: float) -> "SystemSpec":
+        """Same system with a rescaled total failure rate."""
+        return replace(self, mtbf=float(mtbf))
+
+    def with_top_level_cost(self, cost: float) -> "SystemSpec":
+        """Same system with the level-L checkpoint *and* restart time replaced.
+
+        Lower-level costs are untouched (lower levels spread data across
+        the machine and are insensitive to application scale, Sec. IV-E).
+        """
+        ckpt = self.checkpoint_times[:-1] + (float(cost),)
+        rest = None
+        if self.restart_times is not None:
+            rest = self.restart_times[:-1] + (float(cost),)
+        if ckpt[-1] < (ckpt[-2] if len(ckpt) > 1 else 0.0):
+            raise ValueError(
+                f"top-level cost {cost} would be below the level-{self.num_levels - 1} cost"
+            )
+        return replace(self, checkpoint_times=ckpt, restart_times=rest)
+
+    def with_baseline_time(self, baseline_time: float) -> "SystemSpec":
+        """Same system running a different-length application."""
+        return replace(self, baseline_time=float(baseline_time))
+
+    def renamed(self, name: str, description: str | None = None) -> "SystemSpec":
+        return replace(
+            self,
+            name=name,
+            description=self.description if description is None else description,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary, Table I style."""
+        probs = ", ".join(f"{p:.3f}" for p in self.level_probabilities)
+        costs = ", ".join(f"{c:g}" for c in self.checkpoint_times)
+        return (
+            f"{self.name}: L={self.num_levels} MTBF={self.mtbf:g}min "
+            f"S=({probs}) delta=({costs})min T_B={self.baseline_time:g}min"
+        )

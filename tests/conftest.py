@@ -1,0 +1,48 @@
+"""Shared fixtures: small systems with hand-checkable properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import SystemSpec, get_system
+
+
+@pytest.fixture
+def tiny2() -> SystemSpec:
+    """A 2-level system with round numbers for hand computation."""
+    return SystemSpec(
+        name="tiny2",
+        mtbf=100.0,
+        level_probabilities=(0.8, 0.2),
+        checkpoint_times=(1.0, 5.0),
+        baseline_time=240.0,
+        description="synthetic test system",
+    )
+
+
+@pytest.fixture
+def tiny3() -> SystemSpec:
+    """A 3-level system, moderately failure-prone."""
+    return SystemSpec(
+        name="tiny3",
+        mtbf=50.0,
+        level_probabilities=(0.6, 0.3, 0.1),
+        checkpoint_times=(0.5, 2.0, 8.0),
+        baseline_time=480.0,
+        description="synthetic test system",
+    )
+
+
+@pytest.fixture
+def system_b() -> SystemSpec:
+    return get_system("B")
+
+
+@pytest.fixture
+def system_m() -> SystemSpec:
+    return get_system("M")
+
+
+@pytest.fixture
+def system_d9() -> SystemSpec:
+    return get_system("D9")

@@ -1,0 +1,118 @@
+"""Unit tests for the accounting records (TimeBreakdown & friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import SimulationStats, TimeBreakdown, TrialResult
+
+
+class TestTimeBreakdown:
+    def test_total_sums_all_fields(self):
+        bd = TimeBreakdown(
+            work=10.0,
+            checkpoint=2.0,
+            failed_checkpoint=0.5,
+            restart=1.0,
+            failed_restart=0.25,
+            rework_compute=3.0,
+            rework_checkpoint=0.75,
+            rework_restart=0.5,
+        )
+        assert bd.total() == pytest.approx(18.0)
+
+    def test_fractions_sum_to_one(self):
+        bd = TimeBreakdown(work=30.0, checkpoint=10.0)
+        fr = bd.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["work"] == pytest.approx(0.75)
+
+    def test_fractions_of_empty(self):
+        assert all(v == 0.0 for v in TimeBreakdown().fractions().values())
+
+    def test_addition(self):
+        a = TimeBreakdown(work=1.0, restart=2.0)
+        b = TimeBreakdown(work=3.0, checkpoint=4.0)
+        c = a + b
+        assert c.work == 4.0 and c.restart == 2.0 and c.checkpoint == 4.0
+        # inputs untouched
+        assert a.work == 1.0
+
+    def test_scaled(self):
+        bd = TimeBreakdown(work=10.0, checkpoint=4.0).scaled(0.5)
+        assert bd.work == 5.0 and bd.checkpoint == 2.0
+
+    def test_as_dict_order(self):
+        keys = list(TimeBreakdown().as_dict())
+        assert keys[0] == "work"
+        assert keys[-1] == "rework_restart"
+
+
+class TestTrialResult:
+    def make(self, total=100.0, work=80.0, completed=True):
+        return TrialResult(
+            total_time=total,
+            work_done=work,
+            completed=completed,
+            times=TimeBreakdown(work=work),
+            failures_by_severity=(3, 1),
+        )
+
+    def test_efficiency(self):
+        assert self.make().efficiency == pytest.approx(0.8)
+
+    def test_efficiency_zero_time(self):
+        r = self.make(total=0.0, work=0.0)
+        assert r.efficiency == 0.0
+
+    def test_total_failures(self):
+        assert self.make().total_failures == 4
+
+    def test_events_default_none(self):
+        assert self.make().events is None
+
+
+class TestSimulationStats:
+    def make_stats(self, effs):
+        trials = [
+            TrialResult(
+                total_time=100.0 / e,
+                work_done=100.0,
+                completed=True,
+                times=TimeBreakdown(work=100.0),
+                failures_by_severity=(1,),
+            )
+            for e in effs
+        ]
+        return SimulationStats.from_trials(trials)
+
+    def test_mean_and_std(self):
+        stats = self.make_stats([0.5, 0.7])
+        assert stats.mean_efficiency == pytest.approx(0.6)
+        assert stats.std_efficiency == pytest.approx(0.1)
+
+    def test_breakdown_averaged(self):
+        stats = self.make_stats([0.5, 0.5])
+        assert stats.mean_breakdown.work == pytest.approx(100.0)
+
+    def test_completed_fraction(self):
+        trials = [
+            TrialResult(10.0, 10.0, True, TimeBreakdown(work=10.0), (0,)),
+            TrialResult(10.0, 5.0, False, TimeBreakdown(work=5.0), (0,)),
+        ]
+        assert SimulationStats.from_trials(trials).completed_fraction == 0.5
+
+    def test_ci_narrows_with_trials(self):
+        rng = np.random.default_rng(0)
+        few = self.make_stats(list(0.5 + 0.05 * rng.standard_normal(10)))
+        many = self.make_stats(list(0.5 + 0.05 * rng.standard_normal(1000)))
+        def width(s):
+            lo, hi = s.confidence_interval()
+            return hi - lo
+        assert width(many) < width(few)
+
+    def test_single_trial_ci_degenerate(self):
+        stats = self.make_stats([0.6])
+        lo, hi = stats.confidence_interval()
+        assert lo == hi == pytest.approx(0.6)

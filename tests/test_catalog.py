@@ -1,0 +1,99 @@
+"""Pin every Table I value and the Figure 4/5 scenario grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import (
+    TEST_SYSTEM_ORDER,
+    TEST_SYSTEMS,
+    exascale_grid,
+    exascale_mtbf_values,
+    exascale_top_costs,
+    get_system,
+)
+
+# (name, levels, mtbf, probabilities, c/r times, baseline) — Table I verbatim.
+TABLE1 = [
+    ("M", 3, 6944.45, (0.083, 0.75, 0.167), (0.008, 0.075, 17.53), 1440.0),
+    ("B", 4, 333.33, (0.556, 0.278, 0.139, 0.027), (0.167, 0.5, 0.833, 2.5), 1440.0),
+    ("D1", 2, 51.42, (0.857, 0.143), (0.333, 0.833), 1440.0),
+    ("D2", 2, 24.0, (0.833, 0.167), (0.333, 0.833), 1440.0),
+    ("D3", 2, 12.0, (0.833, 0.167), (0.167, 0.667), 1440.0),
+    ("D4", 2, 6.0, (0.833, 0.167), (0.167, 0.667), 1440.0),
+    ("D5", 2, 12.0, (0.833, 0.167), (0.333, 1.67), 1440.0),
+    ("D6", 2, 6.0, (0.833, 0.167), (0.167, 1.67), 720.0),
+    ("D7", 2, 4.0, (0.833, 0.167), (0.667, 3.33), 360.0),
+    ("D8", 2, 3.13, (0.870, 0.130), (0.833, 5.0), 360.0),
+    ("D9", 2, 3.13, (0.870, 0.130), (0.833, 5.0), 180.0),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("row", TABLE1, ids=[r[0] for r in TABLE1])
+    def test_values_verbatim(self, row):
+        name, levels, mtbf, probs, times, baseline = row
+        spec = TEST_SYSTEMS[name]
+        assert spec.num_levels == levels
+        assert spec.mtbf == pytest.approx(mtbf)
+        assert spec.level_probabilities == pytest.approx(probs)
+        assert spec.checkpoint_times == pytest.approx(times)
+        assert spec.baseline_time == pytest.approx(baseline)
+
+    def test_order_matches_table(self):
+        assert TEST_SYSTEM_ORDER == tuple(r[0] for r in TABLE1)
+
+    def test_all_systems_listed(self):
+        assert set(TEST_SYSTEMS) == set(TEST_SYSTEM_ORDER)
+
+    def test_get_system_case_insensitive(self):
+        assert get_system("d4") is TEST_SYSTEMS["D4"]
+
+    def test_get_system_unknown(self):
+        with pytest.raises(KeyError, match="unknown test system"):
+            get_system("Z1")
+
+    def test_difficulty_trend(self):
+        # Difficulty grows along the rows via falling MTBF and/or rising
+        # C/R costs: the MTBF-to-top-cost ratio never improves D1 -> D9.
+        ratios = [
+            TEST_SYSTEMS[n].mtbf / TEST_SYSTEMS[n].checkpoint_times[-1]
+            for n in TEST_SYSTEM_ORDER[2:]
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+class TestExascaleGrid:
+    def test_mtbf_values_in_paper_range(self):
+        vals = exascale_mtbf_values()
+        assert len(vals) == 5
+        assert max(vals) == 26.0 and min(vals) == 3.0
+        assert all(3.0 <= v <= 26.0 for v in vals)
+
+    def test_top_costs(self):
+        assert exascale_top_costs() == (10.0, 20.0, 30.0, 40.0)
+        assert exascale_top_costs(short_application=True) == (10.0, 20.0)
+
+    def test_long_grid_has_20_scenarios(self):
+        grid = exascale_grid()
+        assert len(grid) == 20
+        assert all(s.baseline_time == 1440.0 for s in grid)
+
+    def test_short_grid_has_10_scenarios(self):
+        grid = exascale_grid(short_application=True)
+        assert len(grid) == 10
+        assert all(s.baseline_time == 30.0 for s in grid)
+
+    def test_scenarios_derived_from_b(self):
+        b = TEST_SYSTEMS["B"]
+        for spec in exascale_grid():
+            assert spec.num_levels == 4
+            assert spec.level_probabilities == b.level_probabilities
+            # lower levels untouched
+            assert spec.checkpoint_times[:3] == b.checkpoint_times[:3]
+            assert spec.checkpoint_times[-1] in exascale_top_costs()
+            assert spec.mtbf in exascale_mtbf_values()
+
+    def test_scenario_names_unique(self):
+        names = [s.name for s in exascale_grid()]
+        assert len(set(names)) == len(names)

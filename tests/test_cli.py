@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure2"])
+        assert args.experiment == "figure2"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["all"])
+        assert args.trials is None
+        assert args.seed == 0
+        assert args.quick is False
+
+
+class TestMain:
+    def test_table1_prints_systems(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "D9" in out and "BlueGene" in out
+
+    def test_markdown_flag(self, capsys):
+        main(["table1", "--markdown"])
+        out = capsys.readouterr().out
+        assert "| system" in out
+
+    def test_small_run_with_report(self, tmp_path, capsys):
+        report = tmp_path / "EXP.md"
+        assert main(["figure2", "--trials", "2", "--report", str(report)]) == 0
+        assert report.exists()
+        assert "figure2" in report.read_text()
+
+    def test_quick_flag_overrides_trials(self, capsys):
+        # --quick uses the fixed smoke count; just verify it runs end to
+        # end on the cheapest figure path.
+        assert main(["table1", "--quick"]) == 0

@@ -1,0 +1,216 @@
+"""Tests for the paper's hierarchical execution-time model (Section III)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.core.truncated import expected_failures, truncated_mean
+from repro.systems import SystemSpec
+
+
+@pytest.fixture
+def quiet2():
+    """Two levels, failures so rare the model must reduce to T_B + ckpts."""
+    return SystemSpec(
+        name="quiet",
+        mtbf=1e9,
+        level_probabilities=(0.5, 0.5),
+        checkpoint_times=(1.0, 4.0),
+        baseline_time=120.0,
+    )
+
+
+class TestLimits:
+    def test_no_failures_reduces_to_checkpoint_overhead(self, quiet2):
+        model = DauweModel(quiet2)
+        plan = CheckpointPlan((1, 2), tau0=10.0, counts=(2,))
+        # 120/10 = 12 positions; pattern of 3 -> 8 level-1, 4 level-2 ckpts.
+        expected = 120.0 + 8 * 1.0 + 4 * 4.0
+        assert model.predict_time(plan) == pytest.approx(expected, rel=1e-6)
+
+    def test_single_level_no_failures(self, quiet2):
+        model = DauweModel(quiet2)
+        plan = CheckpointPlan.single_level(2, 12.0)
+        assert model.predict_time(plan) == pytest.approx(120.0 + 10 * 4.0, rel=1e-6)
+
+    def test_time_exceeds_baseline(self, tiny2):
+        model = DauweModel(tiny2)
+        plan = CheckpointPlan((1, 2), tau0=10.0, counts=(3,))
+        assert model.predict_time(plan) > tiny2.baseline_time
+
+    def test_hopeless_plan_is_infinite(self):
+        spec = SystemSpec(
+            name="doom",
+            mtbf=1.0,
+            level_probabilities=(0.5, 0.5),
+            checkpoint_times=(1.0, 2000.0),
+            baseline_time=100.0,
+        )
+        plan = CheckpointPlan((1, 2), tau0=10.0, counts=(1,))
+        assert math.isinf(DauweModel(spec).predict_time(plan))
+
+
+class TestEquationFidelity:
+    def test_single_level_recursion_by_hand(self, tiny2):
+        """Replicate Eqns. 3-14 by hand for a single-level plan."""
+        model = DauweModel(tiny2, allow_level_skipping=False)
+        tau0 = 12.0
+        plan = CheckpointPlan.single_level(2, tau0)
+        lam = tiny2.failure_rate  # single used level absorbs both severities
+        delta = R = 5.0
+        T_B = tiny2.baseline_time
+        n_top = T_B / tau0  # Eqn. 3
+        gamma = expected_failures(tau0, lam)  # Eqn. 5
+        T_Wtau = gamma * truncated_mean(tau0, lam) * n_top  # Eqn. 6 (top: m=N_L)
+        T_d = n_top * delta  # Eqn. 7
+        alpha = n_top * expected_failures(delta, lam)  # Eqn. 8
+        T_df = alpha * truncated_mean(delta, lam)  # Eqn. 9
+        T_Wd = alpha * (tau0 + gamma * truncated_mean(tau0, lam)) * 1.0  # Eqn. 10
+        beta = alpha + gamma * (alpha + n_top)  # Eqn. 11 (S=1)
+        zeta = beta * expected_failures(R, lam)  # Eqn. 12
+        T_r = beta * R  # Eqn. 13
+        T_rf = zeta * truncated_mean(R, lam)  # Eqn. 14
+        expected = tau0 * n_top + T_d + T_df + T_r + T_rf + T_Wtau + T_Wd
+        assert model.predict_time(plan) == pytest.approx(expected, rel=1e-9)
+
+    def test_final_interval_plus_one_ablation_adds_one_interval(self, tiny2):
+        plan = CheckpointPlan.single_level(2, 12.0)
+        base = DauweModel(tiny2, final_interval_plus_one=False).predict_time(plan)
+        plus = DauweModel(tiny2, final_interval_plus_one=True).predict_time(plan)
+        assert plus > base
+        # the literal printed form prices one extra top interval
+        assert plus - base == pytest.approx(12.0, rel=0.35)
+
+
+class TestBreakdown:
+    def test_parts_sum_to_total(self, tiny3):
+        model = DauweModel(tiny3)
+        for plan in (
+            CheckpointPlan((1, 2, 3), 5.0, (2, 3)),
+            CheckpointPlan((1, 2), 4.0, (3,)),
+            CheckpointPlan((3,), 20.0),
+        ):
+            bd = model.predict_breakdown(plan)
+            parts = sum(v for k, v in bd.items() if k != "total")
+            assert parts == pytest.approx(bd["total"], rel=1e-9)
+
+    def test_work_part_is_baseline_without_plus_one(self, tiny3):
+        model = DauweModel(tiny3, final_interval_plus_one=False)
+        bd = model.predict_breakdown(CheckpointPlan((1, 2, 3), 5.0, (1, 1)))
+        assert bd["work"] == pytest.approx(tiny3.baseline_time, rel=1e-9)
+
+    def test_unprotected_part_for_prefix_plans(self, tiny3):
+        model = DauweModel(tiny3)
+        bd = model.predict_breakdown(CheckpointPlan((1, 2), 5.0, (2,)))
+        assert bd["unprotected"] > 0.0
+
+    def test_no_unprotected_for_full_plans(self, tiny3):
+        model = DauweModel(tiny3)
+        bd = model.predict_breakdown(CheckpointPlan((1, 2, 3), 5.0, (1, 1)))
+        assert bd["unprotected"] == 0.0
+
+
+class TestAblationFlags:
+    def test_ignoring_checkpoint_failures_is_optimistic(self, tiny3):
+        plan = CheckpointPlan((1, 2, 3), 5.0, (2, 2))
+        full = DauweModel(tiny3).predict_time(plan)
+        noc = DauweModel(tiny3, include_checkpoint_failures=False).predict_time(plan)
+        assert noc < full
+
+    def test_ignoring_restart_failures_is_optimistic(self, tiny3):
+        plan = CheckpointPlan((1, 2, 3), 5.0, (2, 2))
+        full = DauweModel(tiny3).predict_time(plan)
+        nor = DauweModel(tiny3, include_restart_failures=False).predict_time(plan)
+        assert nor < full
+
+    def test_flags_matter_more_on_harder_systems(self, tiny3, system_d9):
+        """The paper's core argument: failed C/R dominates at extreme scale."""
+
+        def gap(spec, plan):
+            full = DauweModel(spec).predict_time(plan)
+            none = DauweModel(
+                spec,
+                include_checkpoint_failures=False,
+                include_restart_failures=False,
+            ).predict_time(plan)
+            return (full - none) / full
+
+        easy_plan = CheckpointPlan((1, 2), 5.0, (3,))
+        assert gap(system_d9, easy_plan) > gap(tiny3, easy_plan)
+
+
+class TestLevelSubsets:
+    def test_prefix_subsets_offered(self, tiny3):
+        model = DauweModel(tiny3)
+        assert model.candidate_level_subsets() == [(1, 2, 3), (1, 2), (1,)]
+
+    def test_no_skipping_offers_full_only(self, tiny3):
+        model = DauweModel(tiny3, allow_level_skipping=False)
+        assert model.candidate_level_subsets() == [(1, 2, 3)]
+
+    def test_short_app_skips_top_level(self):
+        # T_B far below the top-severity MTBF and expensive delta_L:
+        # skipping level 2 must win (Section IV-F).
+        spec = SystemSpec(
+            name="short",
+            mtbf=10.0,
+            level_probabilities=(0.99, 0.01),
+            checkpoint_times=(0.1, 30.0),
+            baseline_time=30.0,
+        )
+        res = DauweModel(spec).optimize()
+        assert res.plan.levels == (1,)
+
+    def test_long_app_keeps_top_level(self, system_b):
+        res = DauweModel(system_b).optimize()
+        assert res.plan.top_level == 4
+
+
+class TestVectorization:
+    def test_batch_matches_scalar(self, tiny3):
+        model = DauweModel(tiny3)
+        taus = np.geomspace(0.5, 100.0, 17)
+        batch = model.predict_time_batch((1, 2, 3), (2, 1), taus)
+        for i, t in enumerate(taus):
+            scalar = model.predict_time(CheckpointPlan((1, 2, 3), float(t), (2, 1)))
+            if math.isinf(scalar):
+                assert math.isinf(batch[i])
+            else:
+                assert batch[i] == pytest.approx(scalar, rel=1e-12)
+
+    def test_wrong_counts_length_raises(self, tiny3):
+        model = DauweModel(tiny3)
+        with pytest.raises(ValueError, match="counts"):
+            model.predict_time_batch((1, 2, 3), (1,), np.array([1.0]))
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(scale=st.floats(min_value=1.1, max_value=5.0))
+    def test_higher_failure_rate_never_faster(self, scale):
+        base = SystemSpec(
+            name="m0",
+            mtbf=200.0,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.5, 3.0),
+            baseline_time=300.0,
+        )
+        worse = base.with_mtbf(base.mtbf / scale)
+        plan = CheckpointPlan((1, 2), 8.0, (3,))
+        assert DauweModel(worse).predict_time(plan) >= DauweModel(base).predict_time(
+            plan
+        )
+
+    def test_efficiency_metric_inverse_of_time(self, tiny2):
+        model = DauweModel(tiny2)
+        plan = CheckpointPlan((1, 2), 8.0, (3,))
+        t = model.predict_time(plan)
+        assert model.predict_efficiency(plan) == pytest.approx(
+            tiny2.baseline_time / t
+        )

@@ -1,0 +1,428 @@
+"""Tests for the discrete-event simulation engine substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment, Event, Interrupt, Resource, Store
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(2.5)
+            log.append(env.now)
+            yield env.timeout(1.5)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [2.5, 4.0]
+
+    def test_timeout_value(self):
+        env = Environment()
+        got = []
+
+        def proc(env):
+            v = yield env.timeout(1.0, value="hello")
+            got.append(v)
+
+        env.process(proc(env))
+        env.run()
+        assert got == ["hello"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_simultaneous_events_fifo(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+
+class TestEvents:
+    def test_succeed_wakes_waiter(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter(env):
+            v = yield gate
+            log.append((env.now, v))
+
+        def opener(env):
+            yield env.timeout(5.0)
+            gate.succeed("open")
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert log == [(5.0, "open")]
+
+    def test_fail_propagates_exception(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield gate
+            except RuntimeError as e:
+                caught.append(str(e))
+
+        env.process(waiter(env))
+        gate.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError, match="already"):
+            ev.succeed(2)
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        with pytest.raises(RuntimeError, match="not available"):
+            _ = env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_yield_non_event_kills_process(self):
+        env = Environment()
+
+        def proc(env):
+            yield 42
+
+        p = env.process(proc(env))
+        env.run()
+        with pytest.raises(RuntimeError, match="yielded"):
+            _ = p.value
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+            return "result"
+
+        p = env.process(proc(env))
+        env.run(until=p)
+        assert p.value == "result"
+
+    def test_any_of(self):
+        env = Environment()
+
+        def proc(env, d):
+            yield env.timeout(d)
+            return d
+
+        a = env.process(proc(env, 5.0))
+        b = env.process(proc(env, 2.0))
+        first = env.any_of([a, b])
+        env.run(until=first)
+        ev, val = first.value
+        assert ev is b and val == 2.0
+        assert env.now == 2.0
+
+    def test_all_of(self):
+        env = Environment()
+
+        def proc(env, d):
+            yield env.timeout(d)
+            return d
+
+        done = env.all_of([env.process(proc(env, 5.0)), env.process(proc(env, 2.0))])
+        env.run(until=done)
+        assert done.value == [5.0, 2.0]
+        assert env.now == 5.0
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as i:
+                log.append((env.now, i.cause))
+
+        def attacker(env, v):
+            yield env.timeout(3.0)
+            v.interrupt("sev2")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [(3.0, "sev2")]
+
+    def test_interrupted_process_continues(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        def attacker(env, v):
+            yield env.timeout(3.0)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert log == [4.0]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError, match="finished"):
+            p.interrupt()
+
+    def test_stale_timeout_does_not_resume_twice(self):
+        # After an interrupt, the original timeout firing must not wake
+        # the process again.
+        env = Environment()
+        wakes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5.0)
+                wakes.append("timeout")
+            except Interrupt:
+                wakes.append("interrupt")
+            yield env.timeout(20.0)
+
+        def attacker(env, v):
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert wakes == ["interrupt"]
+
+    def test_unhandled_process_exception_propagates(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            raise ValueError("broken process")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="broken process"):
+            env.run()
+
+
+class TestRunSemantics:
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2.0)
+            return 7
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 7
+
+    def test_run_until_never_firing_event_raises(self):
+        env = Environment()
+        gate = env.event()  # nobody ever triggers it
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run(until=gate)
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+        gate = env.event()
+        gate.succeed("done")
+        env.run()  # processes the trigger
+        assert env.run(until=gate) == "done"
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(RuntimeError, match="no scheduled events"):
+            Environment().step()
+
+    def test_clock_advances_to_deadline(self):
+        env = Environment()
+        env.process(iter_timeout(env, 1.0))
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError, match="generator"):
+            env.process(lambda: None)
+
+    def test_any_of_with_already_fired_event(self):
+        env = Environment()
+        done = env.timeout(0.0, value="x")
+        env.run()
+        first = env.any_of([done])
+        env.run()
+        ev, val = first.value
+        assert val == "x"
+
+    def test_all_of_empty(self):
+        env = Environment()
+        done = env.all_of([])
+        env.run()
+        assert done.value == []
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+class TestResource:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        r = Resource(env, capacity=1)
+        spans = []
+
+        def user(env, tag):
+            req = r.request()
+            yield req
+            start = env.now
+            yield env.timeout(2.0)
+            r.release()
+            spans.append((tag, start, env.now))
+
+        for tag in "ab":
+            env.process(user(env, tag))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+    def test_capacity_two(self):
+        env = Environment()
+        r = Resource(env, capacity=2)
+        done = []
+
+        def user(env, tag):
+            yield r.request()
+            yield env.timeout(2.0)
+            r.release()
+            done.append((tag, env.now))
+
+        for tag in "abc":
+            env.process(user(env, tag))
+        env.run()
+        assert done == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_release_without_request(self):
+        env = Environment()
+        with pytest.raises(RuntimeError):
+            Resource(env).release()
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+
+class TestStore:
+    def test_fifo_handoff(self):
+        env = Environment()
+        s = Store(env)
+        got = []
+
+        def consumer(env):
+            for _ in range(2):
+                item = yield s.get()
+                got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(1.0)
+            yield s.put("x")
+            yield env.timeout(1.0)
+            yield s.put("y")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(1.0, "x"), (2.0, "y")]
+
+    def test_buffering(self):
+        env = Environment()
+        s = Store(env)
+
+        def producer(env):
+            yield s.put(1)
+            yield s.put(2)
+
+        env.process(producer(env))
+        env.run()
+        assert len(s) == 2
+
+    def test_capacity_blocks_producer(self):
+        env = Environment()
+        s = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield s.put("a")
+            log.append(("put-a", env.now))
+            yield s.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            item = yield s.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 5.0) in log
+
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)

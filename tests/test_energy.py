@@ -1,0 +1,118 @@
+"""Tests for the energy-accounting extension (after [19])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.simulator import TimeBreakdown, simulate_trial
+from repro.simulator.energy import (
+    EnergyReport,
+    PowerProfile,
+    energy_breakdown,
+    optimize_for_energy,
+    predicted_energy,
+)
+from repro.systems import get_system
+
+
+class TestPowerProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerProfile(compute_w=0.0)
+        with pytest.raises(ValueError):
+            PowerProfile(restart_w=-5.0)
+
+    def test_category_mapping(self):
+        p = PowerProfile(compute_w=100.0, checkpoint_w=70.0, restart_w=60.0)
+        assert p.category_power("work") == 100.0
+        assert p.category_power("rework_restart") == 100.0
+        assert p.category_power("failed_checkpoint") == 70.0
+        assert p.category_power("restart") == 60.0
+        with pytest.raises(KeyError):
+            p.category_power("naptime")
+
+
+class TestEnergyBreakdown:
+    def test_hand_computed(self):
+        # 60 min work @100W + 30 min ckpt @70W = 100Wh + 35Wh = 0.135 kWh
+        times = TimeBreakdown(work=60.0, checkpoint=30.0)
+        rep = energy_breakdown(times, PowerProfile(100.0, 70.0, 70.0))
+        assert rep.total_kwh == pytest.approx(0.135)
+        assert rep.useful_kwh == pytest.approx(0.1)
+        assert rep.energy_efficiency == pytest.approx(0.1 / 0.135)
+
+    def test_energy_delay_product(self):
+        rep = EnergyReport(total_kwh=2.0, useful_kwh=1.0, per_category_kwh={})
+        assert rep.energy_delay_product(120.0) == pytest.approx(4.0)
+
+    def test_zero_total(self):
+        rep = EnergyReport(total_kwh=0.0, useful_kwh=0.0, per_category_kwh={})
+        assert rep.energy_efficiency == 0.0
+
+    def test_simulated_trial_energy(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 6.0, (2,))
+        r = simulate_trial(spec, plan, rng=1)
+        rep = energy_breakdown(r.times, PowerProfile())
+        assert rep.total_kwh > 0
+        assert 0 < rep.energy_efficiency <= 1.0
+        # energy efficiency is bounded by time efficiency scaled by the
+        # power ratio; with equal powers they coincide
+        equal = energy_breakdown(r.times, PowerProfile(90.0, 90.0, 90.0))
+        assert equal.energy_efficiency == pytest.approx(r.efficiency, rel=1e-9)
+
+
+class TestPredictedEnergy:
+    def test_matches_manual_sum(self):
+        spec = get_system("D2")
+        model = DauweModel(spec)
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        profile = PowerProfile(100.0, 50.0, 60.0)
+        kwh = predicted_energy(model, plan, profile)
+        bd = model.predict_breakdown(plan)
+        manual = sum(
+            minutes * profile.category_power(name) / 60000.0
+            for name, minutes in bd.items()
+            if name != "total"
+        )
+        assert kwh == pytest.approx(manual, rel=1e-12)
+
+    def test_equal_powers_proportional_to_time(self):
+        spec = get_system("D2")
+        model = DauweModel(spec)
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        kwh = predicted_energy(model, plan, PowerProfile(60.0, 60.0, 60.0))
+        assert kwh == pytest.approx(model.predict_time(plan) * 60.0 / 60000.0)
+
+
+class TestEnergyOptimization:
+    def test_equal_powers_reproduce_time_optimum(self):
+        spec = get_system("D4")
+        model = DauweModel(spec)
+        time_opt = model.optimize()
+        energy_opt = optimize_for_energy(model, PowerProfile(80.0, 80.0, 80.0))
+        assert energy_opt.plan.levels == time_opt.plan.levels
+        assert energy_opt.plan.counts == time_opt.plan.counts
+        assert energy_opt.plan.tau0 == pytest.approx(time_opt.plan.tau0, rel=0.02)
+
+    def test_cheap_checkpoints_shift_intervals_down(self):
+        # When checkpointing draws far less power than compute, the energy
+        # optimum checkpoints at least as often as the time optimum.
+        spec = get_system("D4")
+        model = DauweModel(spec)
+        time_opt = model.optimize()
+        energy_opt = optimize_for_energy(
+            model, PowerProfile(compute_w=120.0, checkpoint_w=20.0, restart_w=20.0)
+        )
+        assert energy_opt.plan.tau0 <= time_opt.plan.tau0 * 1.05
+        # and its time-side prediction can't beat the true time optimum
+        assert energy_opt.predicted_time >= time_opt.predicted_time - 1e-9
+
+    def test_result_fields(self):
+        spec = get_system("D1")
+        model = DauweModel(spec)
+        res = optimize_for_energy(model, PowerProfile())
+        assert res.predicted_energy_kwh > 0
+        assert 0 < res.predicted_efficiency <= 1.0
+        assert res.predicted_time > spec.baseline_time

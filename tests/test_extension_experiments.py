@@ -1,0 +1,93 @@
+"""Smoke + shape tests for the extension experiments (ablations, weibull)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ablations, weibull
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run(trials=8, seed=3)
+
+    def test_registered(self):
+        assert EXPERIMENTS["ablations"] is ablations.run
+
+    def test_all_studies_present(self, result):
+        studies = {r["study"] for r in result.rows}
+        assert studies == {
+            "model-terms",
+            "restart-semantics",
+            "recheckpoint",
+            "eqn4-top",
+        }
+
+    def test_dropping_terms_inflates_error(self, result):
+        rows = [r for r in result.rows if r["study"] == "model-terms" and r["system"] == "D8"]
+        full = next(r for r in rows if r["variant"] == "full model")
+        ablated = next(r for r in rows if "no failed" in r["variant"])
+        assert ablated["error"] > full["error"] + 0.05
+
+    def test_escalation_never_helps(self, result):
+        for system in ("D5", "D8"):
+            rows = {
+                r["variant"]: r["sim efficiency"]
+                for r in result.rows
+                if r["study"] == "restart-semantics" and r["system"] == system
+            }
+            assert rows["escalate"] <= rows["retry"] + 0.02
+
+    def test_free_policy_at_least_as_efficient(self, result):
+        for system in ("D5", "D8"):
+            rows = {
+                r["variant"]: r["sim efficiency"]
+                for r in result.rows
+                if r["study"] == "recheckpoint" and r["system"] == system
+            }
+            assert rows["paid"] <= rows["free"] + 0.02
+            assert rows["skip"] <= rows["free"] + 0.02
+
+    def test_literal_eqn4_denser_pattern(self, result):
+        rows = {r["variant"]: r for r in result.rows if r["study"] == "eqn4-top"}
+        literal = rows["N_L + 1 (literal)"]
+        corrected = rows["N_L (corrected)"]
+        # literal reading predicts lower efficiency for its own plan
+        assert literal["predicted"] < corrected["predicted"]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "model-terms" in text and "eqn4-top" in text
+
+
+class TestWeibull:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return weibull.run(trials=20, seed=1, systems=("D5", "D8"))
+
+    def test_registered(self):
+        assert EXPERIMENTS["weibull"] is weibull.run
+
+    def test_grid_complete(self, result):
+        assert len(result.rows) == 2 * len(weibull.SHAPES)
+        assert {r["weibull shape"] for r in result.rows} == set(weibull.SHAPES)
+
+    def test_burstiness_helps_at_fixed_mtbf(self, result):
+        for system in ("D5", "D8"):
+            effs = {
+                r["weibull shape"]: r["sim efficiency"]
+                for r in result.rows
+                if r["system"] == system
+            }
+            assert effs[0.6] > effs[1.0] - 0.02
+
+    def test_exponential_baseline_matches_model(self, result):
+        for r in result.rows:
+            if r["weibull shape"] == 1.0 and r["system"] == "D5":
+                assert abs(r["error"]) < 0.05
+
+    def test_plan_constant_across_shapes(self, result):
+        for system in ("D5", "D8"):
+            plans = {r["plan"] for r in result.rows if r["system"] == system}
+            assert len(plans) == 1  # the model only sees rates, not shape

@@ -1,0 +1,163 @@
+"""Tests for the failure processes driving the simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures import (
+    ExponentialFailureSource,
+    TraceFailureSource,
+    WeibullFailureSource,
+    severity_sampler,
+)
+from repro.systems import SystemSpec
+
+
+class TestSeveritySampler:
+    def test_distribution_matches_probabilities(self):
+        rng = np.random.default_rng(1)
+        draw = severity_sampler((0.7, 0.2, 0.1), rng)
+        n = 20000
+        counts = np.bincount([draw() for _ in range(n)], minlength=4)[1:]
+        assert counts[0] / n == pytest.approx(0.7, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.2, abs=0.02)
+        assert counts[2] / n == pytest.approx(0.1, abs=0.02)
+
+    def test_renormalizes_rounding(self):
+        rng = np.random.default_rng(2)
+        draw = severity_sampler((0.857, 0.143), rng)  # sums to 1.000
+        assert all(draw() in (1, 2) for _ in range(100))
+
+    def test_rejects_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            severity_sampler((), rng)
+        with pytest.raises(ValueError):
+            severity_sampler((0.5, -0.5), rng)
+
+    def test_severities_in_range(self):
+        rng = np.random.default_rng(3)
+        draw = severity_sampler((0.5, 0.5), rng, batch=16)
+        assert all(1 <= draw() <= 2 for _ in range(100))
+
+
+class TestExponentialSource:
+    def test_strictly_increasing_times(self):
+        src = ExponentialFailureSource(0.1, (1.0,), np.random.default_rng(0))
+        t = 0.0
+        for _ in range(1000):
+            nt, sev = src.next_after(t)
+            assert nt > t
+            assert sev == 1
+            t = nt
+
+    def test_mean_interarrival_matches_rate(self):
+        src = ExponentialFailureSource(0.25, (1.0,), np.random.default_rng(4))
+        gaps = []
+        t = 0.0
+        for _ in range(20000):
+            nt, _ = src.next_after(t)
+            gaps.append(nt - t)
+            t = nt
+        assert np.mean(gaps) == pytest.approx(4.0, rel=0.05)
+
+    def test_for_system_matches_spec(self):
+        spec = SystemSpec(
+            name="s",
+            mtbf=50.0,
+            level_probabilities=(0.6, 0.4),
+            checkpoint_times=(1.0, 2.0),
+            baseline_time=100.0,
+        )
+        src = ExponentialFailureSource.for_system(spec, np.random.default_rng(5))
+        assert src.rate == pytest.approx(spec.failure_rate)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            ExponentialFailureSource(0.0, (1.0,), np.random.default_rng(0))
+
+    def test_reproducible_with_seed(self):
+        a = ExponentialFailureSource(0.1, (0.5, 0.5), np.random.default_rng(7))
+        b = ExponentialFailureSource(0.1, (0.5, 0.5), np.random.default_rng(7))
+        t = 0.0
+        for _ in range(50):
+            fa = a.next_after(t)
+            fb = b.next_after(t)
+            assert fa == fb
+            t = fa[0]
+
+
+class TestTraceSource:
+    def test_replays_in_order(self):
+        src = TraceFailureSource([1.0, 2.5, 7.0], [1, 2, 1])
+        assert src.next_after(0.0) == (1.0, 1)
+        assert src.next_after(1.0) == (2.5, 2)
+        assert src.next_after(2.5) == (7.0, 1)
+        t, _ = src.next_after(7.0)
+        assert math.isinf(t)
+
+    def test_skips_past_entries(self):
+        src = TraceFailureSource([1.0, 2.0, 3.0], [1, 1, 2])
+        assert src.next_after(1.5) == (2.0, 1)
+
+    def test_reset(self):
+        src = TraceFailureSource([1.0], [1])
+        src.next_after(0.0)
+        src.reset()
+        assert src.next_after(0.0) == (1.0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TraceFailureSource([1.0], [1, 2])
+        with pytest.raises(ValueError, match="increasing"):
+            TraceFailureSource([2.0, 1.0], [1, 1])
+        with pytest.raises(ValueError, match="1-based"):
+            TraceFailureSource([1.0], [0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e5),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_property_monotone_consumption(self, times):
+        times = sorted(times)
+        src = TraceFailureSource(times, [1] * len(times))
+        t = 0.0
+        seen = []
+        while True:
+            nt, _ = src.next_after(t)
+            if math.isinf(nt):
+                break
+            seen.append(nt)
+            t = nt
+        assert seen == times
+
+
+class TestWeibullSource:
+    def test_shape_one_is_exponential_mean(self):
+        src = WeibullFailureSource(1.0, 10.0, (1.0,), np.random.default_rng(8))
+        assert src.mean_interarrival == pytest.approx(10.0)
+
+    def test_empirical_mean(self):
+        src = WeibullFailureSource(0.7, 5.0, (1.0,), np.random.default_rng(9))
+        gaps = []
+        t = 0.0
+        for _ in range(20000):
+            nt, _ = src.next_after(t)
+            gaps.append(nt - t)
+            t = nt
+        assert np.mean(gaps) == pytest.approx(src.mean_interarrival, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullFailureSource(0.0, 1.0, (1.0,), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            WeibullFailureSource(1.0, -1.0, (1.0,), np.random.default_rng(0))

@@ -1,0 +1,227 @@
+"""Tests for interval-based schedules, their simulator, and the optimizer."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.failures import TraceFailureSource
+from repro.interval import (
+    IntervalModel,
+    IntervalSchedule,
+    simulate_schedule_many,
+    simulate_schedule_trial,
+)
+from repro.simulator import simulate_trial
+from repro.systems import SystemSpec, get_system
+
+
+def spec2():
+    return SystemSpec(
+        name="i2",
+        mtbf=60.0,
+        level_probabilities=(0.8, 0.2),
+        checkpoint_times=(0.5, 2.0),
+        baseline_time=60.0,
+    )
+
+
+class TestSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            IntervalSchedule(levels=(), periods=())
+        with pytest.raises(ValueError, match="ascending"):
+            IntervalSchedule(levels=(2, 1), periods=(1.0, 2.0))
+        with pytest.raises(ValueError, match="periods"):
+            IntervalSchedule(levels=(1, 2), periods=(1.0,))
+        with pytest.raises(ValueError, match="positive"):
+            IntervalSchedule(levels=(1,), periods=(0.0,))
+        with pytest.raises(ValueError, match="more often"):
+            IntervalSchedule(levels=(1, 2), periods=(5.0, 2.0))
+
+    def test_positions_basic(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(3.0, 7.0))
+        pos = s.positions(20.0)
+        # L1 at 3,6,9,12,15,18; L2 at 7,14
+        works = [w for w, _ in pos]
+        assert works == [3.0, 6.0, 7.0, 9.0, 12.0, 14.0, 15.0, 18.0]
+        lv = dict(pos)
+        assert lv[7.0] == 1 and lv[14.0] == 1  # used-level index of L2
+        assert lv[3.0] == 0
+
+    def test_simultaneous_positions_merge_to_highest(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(2.0, 6.0))
+        pos = s.positions(12.0)
+        # position 6: both levels due -> one checkpoint, level index 1 (L2)
+        at6 = [k for w, k in pos if w == 6.0]
+        assert at6 == [1]
+        assert len([w for w, _ in pos if w == 6.0]) == 1
+
+    def test_horizon_exclusion(self):
+        s = IntervalSchedule(levels=(1,), periods=(5.0,))
+        assert [w for w, _ in s.positions(10.0)] == [5.0]
+        assert [w for w, _ in s.positions(10.0, include_horizon=True)] == [5.0, 10.0]
+
+    def test_recovery_level(self):
+        s = IntervalSchedule(levels=(2, 3), periods=(2.0, 9.0))
+        assert s.recovery_level(1) == 2
+        assert s.recovery_level(3) == 3
+        assert s.recovery_level(4) is None
+
+    def test_from_plan_reproduces_pattern_positions(self):
+        plan = CheckpointPlan((1, 2, 3), tau0=2.0, counts=(2, 1))
+        s = IntervalSchedule.from_plan(plan)
+        pos = s.positions(36.0 + 1e-6)
+        for w, k in pos:
+            m = round(w / 2.0)
+            assert plan.level_at_position(m) == s.levels[k]
+
+    def test_describe(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(3.0, 7.5))
+        assert "L2 every 7.5min" in s.describe()
+
+
+class TestScheduleSimulator:
+    def test_failure_free_matches_position_costs(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(10.0, 25.0))
+        r = simulate_schedule_trial(spec2(), s, source=TraceFailureSource([], []))
+        # positions: 10,20,25,30,40,50; 60 == T_B skipped.  At 50 both
+        # levels coincide and merge into a single L2 checkpoint.
+        assert r.completed
+        assert r.checkpoints_completed == 6
+        assert r.times.checkpoint == pytest.approx(4 * 0.5 + 2 * 2.0)
+        assert r.total_time == pytest.approx(60.0 + 6.0)
+
+    def test_recovery_uses_newest_sufficient_position(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(10.0, 25.0))
+        # fail (sev 1) during compute after the L2@25 checkpoint:
+        # timeline: c10 d.5 c10 d.5 c5 d2 c5 d.5 ... at t=34 work =
+        # 10+10+5+(34-33)=26? -> verify via accounting invariants instead.
+        r = simulate_schedule_trial(
+            spec2(), s, source=TraceFailureSource([34.0], [1])
+        )
+        assert r.completed
+        assert r.restarts_completed == 1
+        assert r.times.total() == pytest.approx(r.total_time)
+
+    def test_severity2_needs_level2_position(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(10.0, 25.0))
+        # sev-2 failure before any L2 checkpoint -> scratch restart
+        r = simulate_schedule_trial(
+            spec2(), s, source=TraceFailureSource([12.0], [2])
+        )
+        assert r.scratch_restarts == 1
+        assert r.completed
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_nested_schedule_matches_pattern_engine(self, seed):
+        """A nested interval schedule is exactly a pattern plan."""
+        spec = get_system("D1").with_baseline_time(120.0)
+        plan = CheckpointPlan((1, 2), tau0=6.0, counts=(2,))
+        schedule = IntervalSchedule.from_plan(plan)
+        rng = np.random.default_rng(seed)
+        t, times, sevs = 0.0, [], []
+        while t < 1000.0:
+            t += rng.exponential(spec.mtbf)
+            times.append(t)
+            sevs.append(int(rng.integers(1, 3)))
+        a = simulate_trial(
+            spec, plan, source=TraceFailureSource(times, sevs), max_time=800.0
+        )
+        b = simulate_schedule_trial(
+            spec, schedule, source=TraceFailureSource(times, sevs), max_time=800.0
+        )
+        assert a.total_time == pytest.approx(b.total_time, rel=1e-9)
+        assert a.work_done == pytest.approx(b.work_done, rel=1e-9)
+        assert a.checkpoints_completed == b.checkpoints_completed
+        assert a.restarts_completed == b.restarts_completed
+        for f in dataclasses.fields(a.times):
+            assert getattr(a.times, f.name) == pytest.approx(
+                getattr(b.times, f.name), abs=1e-9
+            ), f.name
+
+    def test_validation(self):
+        s = IntervalSchedule(levels=(1, 5), periods=(1.0, 2.0))
+        with pytest.raises(ValueError, match="levels"):
+            simulate_schedule_trial(spec2(), s, rng=0)
+        good = IntervalSchedule(levels=(1,), periods=(5.0,))
+        with pytest.raises(ValueError, match="restart_semantics"):
+            simulate_schedule_trial(spec2(), good, rng=0, restart_semantics="x")
+
+    def test_many_aggregates(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(5.0, 20.0))
+        stats = simulate_schedule_many(spec2(), s, trials=10, seed=4)
+        assert stats.trials == 10
+        assert 0 < stats.mean_efficiency <= 1.0
+
+    def test_many_reproducible(self):
+        s = IntervalSchedule(levels=(1, 2), periods=(5.0, 20.0))
+        a = simulate_schedule_many(spec2(), s, trials=8, seed=9)
+        b = simulate_schedule_many(spec2(), s, trials=8, seed=9)
+        assert np.array_equal(a.efficiencies, b.efficiencies)
+
+
+class TestIntervalModel:
+    def test_predict_no_failures_limit(self):
+        spec = SystemSpec(
+            name="q",
+            mtbf=1e9,
+            level_probabilities=(1.0,),
+            checkpoint_times=(2.0,),
+            baseline_time=100.0,
+        )
+        model = IntervalModel(spec)
+        s = IntervalSchedule(levels=(1,), periods=(10.0,))
+        assert model.predict_time(s) == pytest.approx(100.0 + 10 * 2.0, rel=1e-3)
+
+    def test_single_level_matches_daly(self):
+        from repro.models import DalyModel
+
+        spec = get_system("D4")
+        itv = IntervalModel(spec, allow_level_skipping=False)
+        daly = DalyModel(spec)
+        # restrict interval model to a single-level system view: build a
+        # schedule at Daly's optimum on the top level of a 1-level system
+        one = SystemSpec(
+            name="one",
+            mtbf=spec.mtbf,
+            level_probabilities=(1.0,),
+            checkpoint_times=(spec.checkpoint_times[-1],),
+            baseline_time=spec.baseline_time,
+        )
+        res = IntervalModel(one).optimize()
+        daly_res = DalyModel(one).optimize()
+        assert res.schedule.periods[0] == pytest.approx(daly_res.plan.tau0, rel=0.01)
+        assert res.predicted_time == pytest.approx(daly_res.predicted_time, rel=1e-6)
+
+    def test_optimize_returns_monotone_periods(self):
+        res = IntervalModel(get_system("B")).optimize()
+        assert list(res.schedule.periods) == sorted(res.schedule.periods)
+        assert 0 < res.predicted_efficiency <= 1.0
+
+    def test_optimizer_matches_simulation_reasonably(self):
+        spec = get_system("D4")
+        res = IntervalModel(spec).optimize()
+        stats = simulate_schedule_many(spec, res.schedule, trials=40, seed=2)
+        assert res.predicted_efficiency == pytest.approx(
+            stats.mean_efficiency, abs=0.05
+        )
+
+    def test_short_app_skips_top_level(self):
+        spec = SystemSpec(
+            name="short",
+            mtbf=10.0,
+            level_probabilities=(0.99, 0.01),
+            checkpoint_times=(0.1, 30.0),
+            baseline_time=30.0,
+        )
+        res = IntervalModel(spec).optimize()
+        assert res.schedule.levels == (1,)
+
+    def test_no_skipping_keeps_all_levels(self):
+        res = IntervalModel(get_system("B"), allow_level_skipping=False).optimize()
+        assert res.schedule.levels == (1, 2, 3, 4)

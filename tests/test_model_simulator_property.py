@@ -1,0 +1,68 @@
+"""End-to-end property: model predictions track the simulator.
+
+Hypothesis generates random (mild) two-level systems; for each, the
+paper's model optimizes a plan and its predicted efficiency must land
+within a loose band of the simulated mean.  This is the package's
+strongest single invariant — it exercises severity folding, the Eqn-4
+recursion, the optimizer and the simulator together on inputs nobody
+hand-picked.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DauweModel
+from repro.simulator import simulate_many
+from repro.systems import SystemSpec
+
+
+@st.composite
+def mild_systems(draw):
+    """Two-level systems where the optimum efficiency is comfortably > 0.3."""
+    mtbf = draw(st.floats(min_value=30.0, max_value=2000.0))
+    p1 = draw(st.floats(min_value=0.5, max_value=0.95))
+    d1 = draw(st.floats(min_value=0.05, max_value=0.5))
+    d2 = d1 + draw(st.floats(min_value=0.1, max_value=2.0))
+    t_b = draw(st.sampled_from([240.0, 480.0, 960.0]))
+    return SystemSpec(
+        name="hyp",
+        mtbf=mtbf,
+        level_probabilities=(p1, 1.0 - p1),
+        checkpoint_times=(d1, d2),
+        baseline_time=t_b,
+    )
+
+
+class TestModelTracksSimulator:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(spec=mild_systems())
+    def test_prediction_within_band(self, spec):
+        model = DauweModel(spec)
+        res = model.optimize()
+        stats = simulate_many(spec, res.plan, trials=30, seed=99)
+        assert res.predicted_efficiency == pytest.approx(
+            stats.mean_efficiency, abs=max(0.04, 3.0 * stats.std_efficiency)
+        )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(spec=mild_systems())
+    def test_optimum_beats_naive_plans(self, spec):
+        """The sweep's pick predicts no worse than simple heuristics."""
+        from repro.core import CheckpointPlan
+
+        model = DauweModel(spec)
+        best = model.optimize().predicted_time
+        for tau, count in ((spec.baseline_time / 4, 1), (5.0, 4)):
+            naive = CheckpointPlan((1, 2), tau, (count,))
+            assert model.predict_time(naive) >= best - 1e-6

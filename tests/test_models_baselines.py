@@ -1,0 +1,251 @@
+"""Tests for the prior-work models: Daly, Young, Moody, Di, Benoit."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.models import (
+    BenoitModel,
+    DalyModel,
+    DiModel,
+    MoodyModel,
+    TECHNIQUES,
+    YoungModel,
+    daly_optimum_interval,
+    make_model,
+    young_optimum_interval,
+)
+from repro.systems import SystemSpec
+
+
+class TestClosedForms:
+    def test_young_interval(self):
+        assert young_optimum_interval(2.0, 100.0) == pytest.approx(20.0)
+
+    def test_daly_reduces_to_young_for_cheap_checkpoints(self):
+        # delta << M: higher-order correction vanishes.
+        delta, M = 1e-4, 1e4
+        assert daly_optimum_interval(delta, M) == pytest.approx(
+            young_optimum_interval(delta, M), rel=1e-2
+        )
+
+    def test_daly_degenerate_branch(self):
+        # delta >= 2M -> tau_opt = M.
+        assert daly_optimum_interval(300.0, 100.0) == 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            daly_optimum_interval(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            young_optimum_interval(1.0, 0.0)
+
+
+class TestDalyModel:
+    def test_cost_formula(self, tiny2):
+        model = DalyModel(tiny2)
+        tau = 20.0
+        plan = CheckpointPlan.single_level(2, tau)
+        M = tiny2.mtbf
+        delta = R = tiny2.checkpoint_time(2)
+        expected = (
+            M
+            * math.exp(R / M)
+            * math.expm1((tau + delta) / M)
+            * tiny2.baseline_time
+            / tau
+        )
+        assert model.predict_time(plan) == pytest.approx(expected, rel=1e-12)
+
+    def test_only_top_level(self, tiny3):
+        model = DalyModel(tiny3)
+        assert model.candidate_level_subsets() == [(3,)]
+        with pytest.raises(ValueError, match="single-level"):
+            model.predict_time(CheckpointPlan((1, 3), 5.0, (2,)))
+
+    def test_optimize_close_to_closed_form_on_easy_system(self, system_m):
+        model = DalyModel(system_m)
+        res = model.optimize()
+        # On M (MTBF ~6944, delta_L 17.53) Daly's closed form is accurate.
+        assert res.plan.tau0 == pytest.approx(model.closed_form_interval, rel=0.15)
+
+    def test_prediction_no_failures_limit(self):
+        spec = SystemSpec(
+            name="q",
+            mtbf=1e9,
+            level_probabilities=(1.0,),
+            checkpoint_times=(2.0,),
+            baseline_time=100.0,
+        )
+        t = DalyModel(spec).predict_time(CheckpointPlan.single_level(1, 10.0))
+        assert t == pytest.approx(100.0 + 10 * 2.0, rel=1e-3)
+
+    def test_batch_matches_scalar(self, tiny2):
+        model = DalyModel(tiny2)
+        taus = np.geomspace(1.0, 100.0, 9)
+        batch = model.predict_time_batch((2,), (), taus)
+        for i, t in enumerate(taus):
+            assert batch[i] == pytest.approx(
+                model.predict_time(CheckpointPlan.single_level(2, float(t)))
+            )
+
+
+class TestYoungModel:
+    def test_uses_first_order_interval(self, tiny2):
+        res = YoungModel(tiny2).optimize()
+        assert res.plan.tau0 == pytest.approx(
+            young_optimum_interval(tiny2.checkpoint_time(2), tiny2.mtbf)
+        )
+
+    def test_never_better_than_daly(self, system_d9):
+        young = YoungModel(system_d9).optimize()
+        daly = DalyModel(system_d9).optimize()
+        assert daly.predicted_time <= young.predicted_time + 1e-9
+
+
+class TestDiModel:
+    def test_top_two_levels_on_four_level_system(self, system_b):
+        subsets = DiModel(system_b).candidate_level_subsets()
+        assert (3, 4) in subsets
+        assert (3,) in subsets
+        assert all(set(s) <= {3, 4} for s in subsets)
+
+    def test_two_level_system_uses_both(self, tiny2):
+        subsets = DiModel(tiny2).candidate_level_subsets()
+        assert subsets[0] == (1, 2)
+
+    def test_single_level_system(self):
+        spec = SystemSpec(
+            name="one",
+            mtbf=100.0,
+            level_probabilities=(1.0,),
+            checkpoint_times=(2.0,),
+            baseline_time=100.0,
+        )
+        assert DiModel(spec).candidate_level_subsets() == [(1,)]
+
+    def test_ignores_restart_failures(self, tiny2):
+        # Di == Dauwe minus restart-failure terms, so on the same plan Di
+        # must be strictly more optimistic (restarts happen everywhere).
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        assert DiModel(tiny2).predict_time(plan) < DauweModel(tiny2).predict_time(plan)
+
+    def test_matches_dauwe_ablation(self, tiny2):
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        ablated = DauweModel(tiny2, include_restart_failures=False)
+        assert DiModel(tiny2).predict_time(plan) == pytest.approx(
+            ablated.predict_time(plan), rel=1e-12
+        )
+
+
+class TestMoodyModel:
+    def test_full_levels_only(self, tiny3):
+        model = MoodyModel(tiny3)
+        assert model.candidate_level_subsets() == [(1, 2, 3)]
+        with pytest.raises(ValueError, match="full"):
+            model.predict_time(CheckpointPlan((1, 2), 5.0, (1,)))
+
+    def test_prediction_independent_of_baseline_scale(self, tiny3):
+        # Steady-state: efficiency of a pattern doesn't depend on T_B,
+        # so predicted time scales exactly linearly with T_B.
+        plan = CheckpointPlan((1, 2, 3), 5.0, (2, 2))
+        t1 = MoodyModel(tiny3).predict_time(plan)
+        doubled = tiny3.with_baseline_time(tiny3.baseline_time * 2)
+        t2 = MoodyModel(doubled).predict_time(plan)
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_escalation_is_pessimistic(self, system_d9):
+        plan = CheckpointPlan((1, 2), 2.0, (3,))
+        esc = MoodyModel(system_d9, escalating_restarts=True).predict_time(plan)
+        ret = MoodyModel(system_d9, escalating_restarts=False).predict_time(plan)
+        assert esc > ret
+
+    def test_escalation_negligible_on_reliable_system(self, system_m):
+        plan = CheckpointPlan((1, 2, 3), 20.0, (1, 20))
+        esc = MoodyModel(system_m, escalating_restarts=True).predict_time(plan)
+        ret = MoodyModel(system_m, escalating_restarts=False).predict_time(plan)
+        assert esc == pytest.approx(ret, rel=1e-3)
+
+    def test_pattern_efficiency_in_unit_interval(self, tiny3):
+        model = MoodyModel(tiny3)
+        eff = model.pattern_efficiency(CheckpointPlan((1, 2, 3), 5.0, (2, 2)))
+        assert 0.0 < eff < 1.0
+
+    def test_takes_scheduled_end_checkpoint(self, tiny3):
+        assert MoodyModel(tiny3).takes_scheduled_end_checkpoint is True
+
+    def test_batch_matches_scalar(self, tiny3):
+        model = MoodyModel(tiny3)
+        taus = np.geomspace(1.0, 50.0, 7)
+        batch = model.predict_time_batch((1, 2, 3), (2, 1), taus)
+        for i, t in enumerate(taus):
+            assert batch[i] == pytest.approx(
+                model.predict_time(CheckpointPlan((1, 2, 3), float(t), (2, 1)))
+            )
+
+
+class TestBenoitModel:
+    def test_ignores_failures_during_cr(self, quiet_check=None):
+        # With failures only during computation, prediction must be below
+        # the Dauwe model's for the same plan on a failure-heavy system.
+        spec = SystemSpec(
+            name="hard",
+            mtbf=5.0,
+            level_probabilities=(0.8, 0.2),
+            checkpoint_times=(0.5, 3.0),
+            baseline_time=200.0,
+        )
+        plan = CheckpointPlan((1, 2), 2.0, (3,))
+        assert BenoitModel(spec).predict_time(plan) < DauweModel(spec).predict_time(
+            plan
+        )
+
+    def test_chooses_longer_intervals_than_dauwe(self, system_d9):
+        b = BenoitModel(system_d9).optimize()
+        d = DauweModel(system_d9).optimize()
+        assert b.plan.tau0 > d.plan.tau0
+
+    def test_no_failure_limit_matches_checkpoint_overhead(self):
+        spec = SystemSpec(
+            name="q",
+            mtbf=1e12,
+            level_probabilities=(0.5, 0.5),
+            checkpoint_times=(1.0, 4.0),
+            baseline_time=120.0,
+        )
+        plan = CheckpointPlan((1, 2), 10.0, (2,))
+        # densities: exactly-level-1 positions 1/10-1/30, level-2 1/30.
+        h = 1.0 * (1 / 10 - 1 / 30) + 4.0 * (1 / 30)
+        assert BenoitModel(spec).predict_time(plan) == pytest.approx(
+            120.0 * (1 + h), rel=1e-6
+        )
+
+    def test_full_levels_only(self, tiny3):
+        with pytest.raises(ValueError, match="full"):
+            BenoitModel(tiny3).predict_time(CheckpointPlan((1, 3), 5.0, (1,)))
+
+    def test_takes_scheduled_end_checkpoint(self, tiny3):
+        assert BenoitModel(tiny3).takes_scheduled_end_checkpoint is True
+
+
+class TestRegistry:
+    def test_all_techniques_constructible(self, tiny2):
+        for name in TECHNIQUES:
+            model = make_model(name, tiny2)
+            assert model.system is tiny2
+            res = model.optimize()
+            assert 0 < res.predicted_efficiency <= 1.0
+
+    def test_unknown_technique(self, tiny2):
+        with pytest.raises(KeyError, match="unknown technique"):
+            make_model("nope", tiny2)
+
+    def test_paper_figure_order(self):
+        assert list(TECHNIQUES)[:5] == ["dauwe", "di", "moody", "benoit", "daly"]
+
+    def test_model_options_forwarded(self, tiny2):
+        model = make_model("moody", tiny2, escalating_restarts=False)
+        assert model.escalating_restarts is False

@@ -1,0 +1,147 @@
+"""Tests for the bounded sweep + refinement machinery (Section III-C)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointModel,
+    CheckpointPlan,
+    DauweModel,
+    enumerate_count_vectors,
+    golden_section,
+    sweep_plans,
+)
+from repro.systems import SystemSpec
+
+
+class TestGoldenSection:
+    def test_quadratic(self):
+        x, fx = golden_section(lambda t: (t - 3.0) ** 2 + 1.0, 0.1, 10.0)
+        assert x == pytest.approx(3.0, abs=1e-6)
+        assert fx == pytest.approx(1.0, abs=1e-9)
+
+    def test_boundary_minimum(self):
+        x, _ = golden_section(lambda t: t, 1.0, 5.0)
+        assert x == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            golden_section(lambda t: t, 5.0, 1.0)
+
+    def test_checkpointing_shape(self):
+        # delta/t + t/2M: analytic optimum sqrt(2 delta M).
+        delta, M = 2.0, 100.0
+        x, _ = golden_section(lambda t: delta / t + t / (2 * M), 0.01, 1000.0)
+        assert x == pytest.approx(math.sqrt(2 * delta * M), rel=1e-4)
+
+
+class TestEnumerateCounts:
+    def test_zero_counts(self):
+        assert list(enumerate_count_vectors(0, 100.0)) == [()]
+
+    def test_product_bound_respected(self):
+        for counts in enumerate_count_vectors(2, 30.0):
+            assert math.prod(n + 1 for n in counts) <= 30.0
+
+    def test_explicit_candidates(self):
+        vecs = list(enumerate_count_vectors(2, 1e9, candidates=(1, 2)))
+        assert set(vecs) == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_tight_bound_empty(self):
+        assert list(enumerate_count_vectors(1, 1.5)) == []
+
+    def test_depth_three_nonempty(self):
+        vecs = list(enumerate_count_vectors(3, 1e6))
+        assert (1, 1, 1) in vecs
+        assert len(vecs) > 100
+
+
+class _QuadraticModel(CheckpointModel):
+    """Synthetic model with a known unique optimum for sweep testing."""
+
+    name = "quadratic"
+
+    def __init__(self, system, best_tau=7.0, best_counts=(3,)):
+        super().__init__(system)
+        self.best_tau = best_tau
+        self.best_counts = best_counts
+        self.calls = 0
+
+    def candidate_level_subsets(self):
+        return [(1, 2)]
+
+    def predict_time(self, plan):
+        self.calls += 1
+        penalty = sum(
+            (a - b) ** 2 for a, b in zip(plan.counts, self.best_counts)
+        )
+        return (
+            self.system.baseline_time
+            + (math.log(plan.tau0 / self.best_tau)) ** 2 * 10.0
+            + penalty * 5.0
+            + 1.0
+        )
+
+
+class TestSweep:
+    def test_finds_known_optimum(self, tiny2):
+        model = _QuadraticModel(tiny2)
+        res = sweep_plans(model)
+        assert res.plan.tau0 == pytest.approx(7.0, rel=1e-3)
+        assert res.plan.counts == (3,)
+        assert res.predicted_time == pytest.approx(tiny2.baseline_time + 1.0, rel=1e-6)
+        assert res.evaluations > 0
+
+    def test_pattern_bound_enforced(self, tiny2):
+        res = sweep_plans(_QuadraticModel(tiny2))
+        assert res.plan.pattern_work <= tiny2.baseline_time + 1e-6
+
+    def test_respects_explicit_bounds(self, tiny2):
+        model = _QuadraticModel(tiny2)
+        res = sweep_plans(model, tau0_min=10.0, tau0_max=50.0)
+        assert res.plan.tau0 >= 10.0 - 1e-9
+
+    def test_invalid_bounds(self, tiny2):
+        with pytest.raises(ValueError, match="bounds"):
+            sweep_plans(_QuadraticModel(tiny2), tau0_min=5.0, tau0_max=2.0)
+
+    def test_all_infeasible_raises(self, tiny2):
+        class Hopeless(_QuadraticModel):
+            def predict_time(self, plan):
+                return math.inf
+
+        with pytest.raises(RuntimeError, match="no feasible plan"):
+            sweep_plans(Hopeless(tiny2))
+
+    def test_refinement_improves_or_matches_coarse(self, tiny3):
+        model = DauweModel(tiny3)
+        coarse = sweep_plans(model, refine=False)
+        fine = sweep_plans(model, refine=True)
+        assert fine.predicted_time <= coarse.predicted_time + 1e-9
+
+    def test_batch_and_scalar_paths_agree(self, tiny2):
+        # _QuadraticModel has no predict_time_batch -> scalar fallback; the
+        # Dauwe model is vectorized.  Both must satisfy their own optimum.
+        model = DauweModel(tiny2)
+        res = model.optimize()
+        t_best = res.predicted_time
+        for tau in (res.plan.tau0 * 0.5, res.plan.tau0 * 2.0):
+            other = CheckpointPlan(res.plan.levels, tau, res.plan.counts)
+            assert model.predict_time(other) >= t_best - 1e-9
+
+    def test_optimization_result_validation(self, tiny2):
+        res = DauweModel(tiny2).optimize()
+        assert 0 < res.predicted_efficiency <= 1.0
+        assert res.plan.tau0 > 0
+
+    def test_bad_batch_shape_detected(self, tiny2):
+        class BadBatch(_QuadraticModel):
+            def predict_time_batch(self, levels, counts, tau0):
+                return np.ones(3)
+
+        with pytest.raises(ValueError, match="shape"):
+            sweep_plans(BadBatch(tiny2), tau0_points=5)

@@ -1,0 +1,172 @@
+"""Unit + property tests for CheckpointPlan geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CheckpointPlan
+
+
+def plans(max_levels: int = 4):
+    @st.composite
+    def _plans(draw):
+        u = draw(st.integers(min_value=1, max_value=max_levels))
+        levels = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.integers(min_value=1, max_value=6),
+                        min_size=u,
+                        max_size=u,
+                    )
+                )
+            )
+        )
+        counts = tuple(
+            draw(st.integers(min_value=1, max_value=5)) for _ in range(u - 1)
+        )
+        tau0 = draw(st.floats(min_value=0.01, max_value=100.0))
+        return CheckpointPlan(levels=levels, tau0=tau0, counts=counts)
+
+    return _plans()
+
+
+class TestValidation:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CheckpointPlan(levels=(), tau0=1.0)
+
+    def test_levels_ascending(self):
+        with pytest.raises(ValueError, match="ascending"):
+            CheckpointPlan(levels=(2, 1), tau0=1.0, counts=(1,))
+
+    def test_levels_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            CheckpointPlan(levels=(0, 1), tau0=1.0, counts=(1,))
+
+    def test_counts_length(self):
+        with pytest.raises(ValueError, match="counts"):
+            CheckpointPlan(levels=(1, 2), tau0=1.0, counts=())
+
+    def test_counts_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CheckpointPlan(levels=(1, 2), tau0=1.0, counts=(-1,))
+
+    def test_tau0_positive(self):
+        with pytest.raises(ValueError, match="tau0"):
+            CheckpointPlan(levels=(1,), tau0=0.0)
+        with pytest.raises(ValueError, match="tau0"):
+            CheckpointPlan(levels=(1,), tau0=math.inf)
+
+
+class TestPatternGeometry:
+    def test_figure1_pattern(self):
+        # The paper's Figure 1: two level-1 checkpoints before each level-2,
+        # one level-2 before each level-3.
+        plan = CheckpointPlan(levels=(1, 2, 3), tau0=1.0, counts=(2, 1))
+        seq = [plan.level_at_position(m) for m in range(1, 13)]
+        assert seq == [1, 1, 2, 1, 1, 3, 1, 1, 2, 1, 1, 3]
+
+    def test_strides(self):
+        plan = CheckpointPlan(levels=(1, 2, 3), tau0=2.0, counts=(2, 1))
+        assert plan.stride(0) == 1
+        assert plan.stride(1) == 3
+        assert plan.stride(2) == 6
+        assert plan.work_between(0) == 2.0
+        assert plan.work_between(2) == 12.0
+        assert plan.pattern_work == 12.0
+
+    def test_single_level(self):
+        plan = CheckpointPlan.single_level(3, 7.0)
+        assert plan.levels == (3,)
+        assert plan.pattern_work == 7.0
+        assert all(plan.level_at_position(m) == 3 for m in range(1, 10))
+
+    def test_uniform_constructor(self):
+        plan = CheckpointPlan.uniform(3, 1.5, 2)
+        assert plan.levels == (1, 2, 3)
+        assert plan.counts == (2, 2)
+
+    def test_zero_count_promotes_every_position(self):
+        plan = CheckpointPlan(levels=(1, 2), tau0=1.0, counts=(0,))
+        assert [plan.level_at_position(m) for m in (1, 2, 3)] == [2, 2, 2]
+
+    def test_positions_one_based(self):
+        plan = CheckpointPlan(levels=(1,), tau0=1.0)
+        with pytest.raises(ValueError, match="1-based"):
+            plan.level_at_position(0)
+
+    @given(plans())
+    def test_pattern_periodicity(self, plan):
+        period = math.prod(n + 1 for n in plan.counts)
+        for m in range(1, period + 1):
+            assert plan.level_at_position(m) == plan.level_at_position(m + period)
+
+    @given(plans())
+    def test_top_level_exactly_once_per_period(self, plan):
+        period = math.prod(n + 1 for n in plan.counts)
+        tops = [
+            m
+            for m in range(1, period + 1)
+            if plan.level_at_position(m) == plan.top_level
+        ]
+        assert tops == [period]
+
+    @given(plans())
+    def test_checkpoints_per_pattern_consistency(self, plan):
+        # Counting each used level's occurrences over one period must match
+        # checkpoints_per_pattern (with counts > 0 levels are distinct).
+        period = math.prod(n + 1 for n in plan.counts)
+        seq = [plan.level_at_position(m) for m in range(1, period + 1)]
+        for k, lv in enumerate(plan.levels):
+            assert seq.count(lv) == plan.checkpoints_per_pattern(k)
+
+    @given(plans())
+    def test_iter_levels_matches_level_at_position(self, plan):
+        n = 10
+        assert list(plan.iter_levels(n)) == [
+            plan.level_at_position(m) for m in range(1, n + 1)
+        ]
+
+
+class TestRecovery:
+    def test_recovery_level_full_plan(self):
+        plan = CheckpointPlan(levels=(1, 2, 3), tau0=1.0, counts=(1, 1))
+        assert plan.recovery_level(1) == 1
+        assert plan.recovery_level(2) == 2
+        assert plan.recovery_level(3) == 3
+        assert plan.recovery_level(4) is None
+
+    def test_recovery_level_subset(self):
+        plan = CheckpointPlan(levels=(3, 4), tau0=1.0, counts=(2,))
+        assert plan.recovery_level(1) == 3
+        assert plan.recovery_level(3) == 3
+        assert plan.recovery_level(4) == 4
+        assert plan.recovery_level(5) is None
+
+    @given(plans(), st.integers(min_value=1, max_value=8))
+    def test_recovery_is_lowest_sufficient(self, plan, sev):
+        lv = plan.recovery_level(sev)
+        if lv is None:
+            assert all(x < sev for x in plan.levels)
+        else:
+            assert lv >= sev
+            assert all(x < sev for x in plan.levels if x < lv)
+
+
+class TestMisc:
+    def test_scaled_preserves_pattern(self):
+        plan = CheckpointPlan(levels=(1, 3), tau0=2.0, counts=(4,))
+        other = plan.scaled(5.0)
+        assert other.tau0 == 5.0
+        assert other.levels == plan.levels
+        assert other.counts == plan.counts
+
+    def test_describe_mentions_levels_and_tau(self):
+        plan = CheckpointPlan(levels=(1, 2), tau0=2.5, counts=(3,))
+        text = plan.describe()
+        assert "L1 x3" in text and "L2" in text and "2.5" in text

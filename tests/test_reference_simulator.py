@@ -1,0 +1,151 @@
+"""Cross-validation: fast engine vs. DES reference, trace for trace."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CheckpointPlan
+from repro.failures import TraceFailureSource
+from repro.simulator import simulate_trial
+from repro.simulator.reference import simulate_trial_reference
+from repro.systems import SystemSpec, get_system
+
+
+def spec2():
+    return SystemSpec(
+        name="x2",
+        mtbf=40.0,
+        level_probabilities=(0.75, 0.25),
+        checkpoint_times=(0.8, 3.0),
+        baseline_time=60.0,
+    )
+
+
+def spec3():
+    return SystemSpec(
+        name="x3",
+        mtbf=25.0,
+        level_probabilities=(0.5, 0.3, 0.2),
+        checkpoint_times=(0.4, 1.5, 5.0),
+        baseline_time=90.0,
+    )
+
+
+def random_trace(rng, rate, num_sev, horizon):
+    t, times, sevs = 0.0, [], []
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t > horizon:
+            return times, sevs
+        times.append(t)
+        sevs.append(int(rng.integers(1, num_sev + 1)))
+
+
+def assert_results_equal(a, b):
+    assert a.total_time == pytest.approx(b.total_time, rel=1e-9)
+    assert a.work_done == pytest.approx(b.work_done, rel=1e-9)
+    assert a.completed == b.completed
+    assert a.failures_by_severity == b.failures_by_severity
+    assert a.checkpoints_completed == b.checkpoints_completed
+    assert a.checkpoints_failed == b.checkpoints_failed
+    assert a.restarts_completed == b.restarts_completed
+    assert a.restarts_failed == b.restarts_failed
+    assert a.scratch_restarts == b.scratch_restarts
+    for f in dataclasses.fields(a.times):
+        assert getattr(a.times, f.name) == pytest.approx(
+            getattr(b.times, f.name), abs=1e-9
+        ), f.name
+
+
+CASES = [
+    (spec2(), CheckpointPlan((1, 2), 4.0, (2,))),
+    (spec2(), CheckpointPlan((1,), 4.0)),
+    (spec2(), CheckpointPlan((2,), 7.0)),
+    (spec3(), CheckpointPlan((1, 2, 3), 3.0, (1, 2))),
+    (spec3(), CheckpointPlan((1, 2), 3.0, (3,))),
+    (spec3(), CheckpointPlan((2, 3), 5.0, (2,))),
+]
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_identical_on_random_traces(self, case, seed):
+        spec, plan = CASES[case]
+        rng = np.random.default_rng(seed * 100 + case)
+        times, sevs = random_trace(
+            rng, spec.failure_rate, spec.num_levels, horizon=2000.0
+        )
+        fast = simulate_trial(
+            spec, plan, source=TraceFailureSource(times, sevs), max_time=1500.0
+        )
+        ref = simulate_trial_reference(
+            spec, plan, source=TraceFailureSource(times, sevs), max_time=1500.0
+        )
+        assert_results_equal(fast, ref)
+
+    @pytest.mark.parametrize("semantics", ["retry", "escalate"])
+    def test_identical_under_both_restart_semantics(self, semantics):
+        spec, plan = CASES[3]
+        rng = np.random.default_rng(77)
+        times, sevs = random_trace(rng, 0.2, spec.num_levels, horizon=3000.0)
+        kw = dict(max_time=2000.0, restart_semantics=semantics)
+        fast = simulate_trial(spec, plan, source=TraceFailureSource(times, sevs), **kw)
+        ref = simulate_trial_reference(
+            spec, plan, source=TraceFailureSource(times, sevs), **kw
+        )
+        assert_results_equal(fast, ref)
+
+    def test_identical_with_end_checkpoint(self):
+        spec = spec2()
+        plan = CheckpointPlan((1, 2), 5.0, (1,))  # position 60 == T_B (L2)
+        rng = np.random.default_rng(5)
+        times, sevs = random_trace(rng, 0.05, 2, horizon=500.0)
+        kw = dict(checkpoint_at_completion=True)
+        fast = simulate_trial(spec, plan, source=TraceFailureSource(times, sevs), **kw)
+        ref = simulate_trial_reference(
+            spec, plan, source=TraceFailureSource(times, sevs), **kw
+        )
+        assert_results_equal(fast, ref)
+
+    def test_failure_free_equivalence(self):
+        for spec, plan in CASES:
+            fast = simulate_trial(spec, plan, source=TraceFailureSource([], []))
+            ref = simulate_trial_reference(spec, plan, source=TraceFailureSource([], []))
+            assert_results_equal(fast, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_equivalence_on_d1(self, seed):
+        spec = get_system("D1").with_baseline_time(120.0)
+        plan = CheckpointPlan((1, 2), 6.0, (2,))
+        rng = np.random.default_rng(seed)
+        times, sevs = random_trace(rng, spec.failure_rate, 2, horizon=1000.0)
+        fast = simulate_trial(
+            spec, plan, source=TraceFailureSource(times, sevs), max_time=800.0
+        )
+        ref = simulate_trial_reference(
+            spec, plan, source=TraceFailureSource(times, sevs), max_time=800.0
+        )
+        assert_results_equal(fast, ref)
+
+    def test_rng_driven_paths_statistically_close(self):
+        # Without traces the two engines draw differently shaped RNG
+        # streams; only distributions must agree.
+        spec, plan = CASES[0]
+        fast = [
+            simulate_trial(spec, plan, rng=np.random.default_rng(s)).efficiency
+            for s in range(60)
+        ]
+        ref = [
+            simulate_trial_reference(
+                spec, plan, rng=np.random.default_rng(1000 + s)
+            ).efficiency
+            for s in range(60)
+        ]
+        assert np.mean(fast) == pytest.approx(np.mean(ref), abs=0.03)

@@ -1,0 +1,74 @@
+"""Regression pins on optimizer decisions for the paper's systems.
+
+Loose bands, not exact values: these tests exist to catch silent
+regressions in the sweep or the model (e.g. a sign slip that halves every
+interval), while tolerating refinement-level drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DauweModel
+from repro.models import make_model
+from repro.systems import get_system
+
+
+class TestDauweChoices:
+    def test_system_m_skips_level3(self):
+        # T_B=1440 << level-3 MTBF (~41,600 min) and delta_3 = 17.53 min:
+        # the Section IV-F logic drops the PFS level.
+        res = DauweModel(get_system("M")).optimize()
+        assert res.plan.top_level <= 2
+        assert 5.0 <= res.plan.tau0 <= 60.0
+        assert res.predicted_efficiency > 0.95
+
+    def test_system_b_uses_all_levels(self):
+        res = DauweModel(get_system("B")).optimize()
+        assert res.plan.levels == (1, 2, 3, 4)
+        assert 5.0 <= res.plan.tau0 <= 30.0
+        assert 0.88 <= res.predicted_efficiency <= 0.95
+
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [("D1", 0.80, 0.88), ("D4", 0.58, 0.68), ("D9", 0.05, 0.13)],
+    )
+    def test_two_level_efficiency_bands(self, name, lo, hi):
+        res = DauweModel(get_system(name)).optimize()
+        assert lo <= res.predicted_efficiency <= hi
+        assert res.plan.levels == (1, 2)
+
+    def test_interval_shrinks_with_difficulty(self):
+        taus = [
+            DauweModel(get_system(n)).optimize().plan.tau0
+            for n in ("D1", "D2", "D4")
+        ]
+        assert taus[0] > taus[1] > taus[2]
+
+
+class TestCrossTechniqueStructure:
+    def test_daly_interval_longer_than_multilevel_tau0(self):
+        # Single-level checkpointing must space checkpoints further apart
+        # than the multilevel level-1 interval on every D system.
+        for name in ("D1", "D4", "D9"):
+            spec = get_system(name)
+            daly = make_model("daly", spec).optimize()
+            dauwe = make_model("dauwe", spec).optimize()
+            assert daly.plan.tau0 > dauwe.plan.tau0
+
+    def test_benoit_tau0_longest_among_multilevel(self):
+        for name in ("D4", "D9"):
+            spec = get_system(name)
+            benoit = make_model("benoit", spec).optimize()
+            for other in ("dauwe", "moody"):
+                res = make_model(other, spec).optimize()
+                assert benoit.plan.tau0 >= res.plan.tau0
+
+    def test_predictions_ranked_by_optimism_on_hard_system(self):
+        # Paper ordering on hard systems: benoit > di > dauwe > moody.
+        spec = get_system("D9")
+        preds = {
+            t: make_model(t, spec).optimize().predicted_efficiency
+            for t in ("benoit", "di", "dauwe", "moody")
+        }
+        assert preds["benoit"] > preds["di"] > preds["dauwe"] > preds["moody"]

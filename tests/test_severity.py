@@ -1,0 +1,95 @@
+"""Tests for LevelMapping: folding severities onto used level subsets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LevelMapping
+from repro.systems import SystemSpec
+
+
+@pytest.fixture
+def sys4():
+    return SystemSpec(
+        name="s4",
+        mtbf=100.0,
+        level_probabilities=(0.4, 0.3, 0.2, 0.1),
+        checkpoint_times=(1.0, 2.0, 3.0, 10.0),
+        baseline_time=500.0,
+    )
+
+
+class TestFullMapping:
+    def test_identity_on_full_levels(self, sys4):
+        mp = LevelMapping.build(sys4, (1, 2, 3, 4))
+        assert mp.rates == pytest.approx(sys4.level_rates)
+        assert mp.shares == pytest.approx(sys4.severity_probabilities)
+        assert mp.unprotected_rate == 0.0
+        assert mp.cumulative_rates[-1] == pytest.approx(sys4.failure_rate)
+
+    def test_cumulative_matches_spec(self, sys4):
+        mp = LevelMapping.build(sys4, (1, 2, 3, 4))
+        for i in range(4):
+            assert mp.cumulative_rates[i] == pytest.approx(sys4.cumulative_rate(i + 1))
+
+    def test_costs_copied(self, sys4):
+        mp = LevelMapping.build(sys4, (1, 2, 3, 4))
+        assert mp.checkpoint_times == sys4.checkpoint_times
+        assert mp.restart_times == sys4.checkpoint_times  # default equal
+
+
+class TestSubsets:
+    def test_top_only_absorbs_everything(self, sys4):
+        mp = LevelMapping.build(sys4, (4,))
+        assert mp.rates[0] == pytest.approx(sys4.failure_rate)
+        assert mp.unprotected_rate == 0.0
+
+    def test_top_two(self, sys4):
+        mp = LevelMapping.build(sys4, (3, 4))
+        lam = sys4.level_rates
+        assert mp.rates[0] == pytest.approx(lam[0] + lam[1] + lam[2])
+        assert mp.rates[1] == pytest.approx(lam[3])
+
+    def test_prefix_leaves_unprotected_tail(self, sys4):
+        mp = LevelMapping.build(sys4, (1, 2, 3))
+        lam = sys4.level_rates
+        assert mp.unprotected_rate == pytest.approx(lam[3])
+        assert mp.unprotected_restart == pytest.approx(10.0)
+
+    def test_unprotected_restart_is_rate_weighted(self, sys4):
+        mp = LevelMapping.build(sys4, (1, 2))
+        lam = sys4.level_rates
+        expected = (lam[2] * 3.0 + lam[3] * 10.0) / (lam[2] + lam[3])
+        assert mp.unprotected_restart == pytest.approx(expected)
+
+    def test_middle_subset(self, sys4):
+        mp = LevelMapping.build(sys4, (2, 4))
+        lam = sys4.level_rates
+        assert mp.rates[0] == pytest.approx(lam[0] + lam[1])
+        assert mp.rates[1] == pytest.approx(lam[2] + lam[3])
+
+    def test_every_used_level_gets_positive_rate(self, sys4):
+        for levels in ((1,), (2,), (1, 3), (2, 3, 4), (1, 2, 3, 4)):
+            mp = LevelMapping.build(sys4, levels)
+            assert all(r > 0 for r in mp.rates)
+
+    def test_total_rate_conserved(self, sys4):
+        for levels in ((1,), (3,), (1, 2), (2, 4), (1, 2, 3)):
+            mp = LevelMapping.build(sys4, levels)
+            assert mp.protected_rate + mp.unprotected_rate == pytest.approx(
+                sys4.failure_rate
+            )
+
+
+class TestValidation:
+    def test_empty(self, sys4):
+        with pytest.raises(ValueError):
+            LevelMapping.build(sys4, ())
+
+    def test_out_of_range(self, sys4):
+        with pytest.raises(ValueError, match="out of range"):
+            LevelMapping.build(sys4, (1, 5))
+
+    def test_not_ascending(self, sys4):
+        with pytest.raises(ValueError, match="ascending"):
+            LevelMapping.build(sys4, (2, 2))

@@ -1,0 +1,328 @@
+"""Trace-driven tests of the trial engine: hand-computed executions.
+
+Every test here feeds the simulator an explicit failure trace and checks
+the resulting timeline event by event, pinning the semantics the paper
+states (Sections II-B, IV-B, IV-D, IV-F, IV-G).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import CheckpointPlan
+from repro.failures import TraceFailureSource
+from repro.simulator import simulate_trial
+from repro.systems import SystemSpec
+
+
+def spec2(**kw):
+    base = dict(
+        name="t2",
+        mtbf=1000.0,
+        level_probabilities=(0.5, 0.5),
+        checkpoint_times=(1.0, 3.0),
+        baseline_time=20.0,
+    )
+    base.update(kw)
+    return SystemSpec(**base)
+
+
+def run(spec, plan, trace, **kw):
+    src = TraceFailureSource([t for t, _ in trace], [s for _, s in trace])
+    return simulate_trial(spec, plan, source=src, **kw)
+
+
+PLAN2 = CheckpointPlan((1, 2), tau0=5.0, counts=(1,))  # ckpts at 5(L1),10(L2),15(L1)
+
+
+class TestFailureFree:
+    def test_timeline(self):
+        # work 5 | d1 | work 5 | d2 | work 5 | d1 | work 5 -> done (no final ckpt)
+        r = run(spec2(), PLAN2, [])
+        assert r.completed
+        assert r.total_time == pytest.approx(20 + 1 + 3 + 1)
+        assert r.checkpoints_completed == 3
+        assert r.times.checkpoint == pytest.approx(5.0)
+        assert r.times.work == pytest.approx(20.0)
+        assert r.total_failures == 0
+        assert r.efficiency == pytest.approx(20.0 / 25.0)
+
+    def test_checkpoint_at_completion(self):
+        # position 20 == T_B is a level-2 position (m=4); taken when asked.
+        r = run(spec2(), PLAN2, [], checkpoint_at_completion=True)
+        assert r.completed
+        assert r.checkpoints_completed == 4
+        assert r.total_time == pytest.approx(20 + 1 + 3 + 1 + 3)
+
+    def test_tau_not_dividing_baseline(self):
+        plan = CheckpointPlan((1, 2), tau0=7.0, counts=(1,))  # 7(L1), 14(L2), 21>20
+        r = run(spec2(), plan, [])
+        assert r.completed
+        assert r.checkpoints_completed == 2
+        assert r.total_time == pytest.approx(20 + 1 + 3)
+
+    def test_single_level_plan(self):
+        plan = CheckpointPlan.single_level(2, 8.0)  # ckpts at 8, 16
+        r = run(spec2(), plan, [])
+        assert r.total_time == pytest.approx(20 + 2 * 3)
+
+
+class TestFailuresDuringCompute:
+    def test_severity1_rolls_back_to_last_checkpoint(self):
+        # Failure at t=8.0: inside second compute segment (work 5..10,
+        # runs t=6..11 after the 1-min L1 ckpt).  Work at failure: 5+2=7.
+        # Restart from L1@5 costs R1=1; recompute 2 lost minutes.
+        r = run(spec2(), PLAN2, [(8.0, 1)])
+        assert r.completed
+        assert r.restarts_completed == 1
+        assert r.times.restart == pytest.approx(1.0)
+        assert r.times.rework_compute == pytest.approx(2.0)
+        assert r.total_time == pytest.approx(25 + 1 + 2)
+        assert r.failures_by_severity == (1, 0)
+
+    def test_severity2_ignores_level1_checkpoint(self):
+        # Same failure moment but severity 2: L1@5 is destroyed, no L2
+        # checkpoint exists yet -> scratch restart (cost R2=3), lose 7.
+        # Under the physical "paid" policy the L1@5 checkpoint is re-taken
+        # on recompute (+1 minute).
+        r = run(spec2(), PLAN2, [(8.0, 2)], recheckpoint="paid")
+        assert r.completed
+        assert r.scratch_restarts == 1
+        assert r.times.restart == pytest.approx(3.0)
+        assert r.times.rework_compute == pytest.approx(7.0)
+        assert r.times.checkpoint == pytest.approx(6.0)  # 1+1 (L1 twice) +3 +1
+        assert r.total_time == pytest.approx(25 + 3 + 7 + 1)
+
+    def test_severity2_scratch_free_recheckpoint(self):
+        # Default policy: the recomputation re-establishes L1@5 for free.
+        r = run(spec2(), PLAN2, [(8.0, 2)])
+        assert r.completed
+        assert r.checkpoints_restored == 1
+        assert r.times.checkpoint == pytest.approx(5.0)
+        assert r.total_time == pytest.approx(25 + 3 + 7)
+
+    def test_severity2_uses_level2_checkpoint(self):
+        # Failure at t=16 (third segment: work 10..15 runs t=14..19, so
+        # work at failure = 12).  L2@10 recovers it; L1@5 older anyway.
+        r = run(spec2(), PLAN2, [(16.0, 2)])
+        assert r.times.restart == pytest.approx(3.0)
+        assert r.times.rework_compute == pytest.approx(2.0)
+        assert r.total_time == pytest.approx(25 + 3 + 2)
+
+    def test_severity1_uses_newest_checkpoint_of_any_level(self):
+        # Failure in third segment, severity 1: newest valid ckpt is L2@10
+        # (which also validated L1@10); restart cost is the *level-1* cost
+        # because the hierarchical L2 write refreshed level 1 too.
+        r = run(spec2(), PLAN2, [(16.0, 1)])
+        assert r.times.restart == pytest.approx(1.0)
+        assert r.times.rework_compute == pytest.approx(2.0)
+
+    def test_failure_before_first_checkpoint_restarts_from_scratch(self):
+        r = run(spec2(), PLAN2, [(2.0, 1)])
+        assert r.scratch_restarts == 1
+        assert r.times.rework_compute == pytest.approx(2.0)
+        # scratch restart for severity 1 charges the level-1 restart time
+        assert r.times.restart == pytest.approx(1.0)
+        assert r.total_time == pytest.approx(25 + 1 + 2)
+
+
+class TestFailuresDuringCheckpoints:
+    def test_failed_checkpoint_retaken_after_recompute(self):
+        # First L1 ckpt runs t=5..6; failure at 5.5 (sev 1), no ckpt yet ->
+        # scratch; lose all 5 work units; retry everything.
+        r = run(spec2(), PLAN2, [(5.5, 1)])
+        assert r.completed
+        assert r.checkpoints_failed == 1
+        assert r.checkpoints_completed == 3
+        assert r.times.failed_checkpoint == pytest.approx(0.5)
+        assert r.times.rework_checkpoint == pytest.approx(5.0)
+        # timeline: 5 + 0.5(failed ckpt) + 1(restart) + 5(recompute) + 20(ckpts+rest)
+        assert r.total_time == pytest.approx(5 + 0.5 + 1.0 + 5 + 20)
+
+    def test_failure_during_level2_checkpoint_recovers_from_level1(self):
+        # L2 ckpt runs t=11..14; failure at 12 (sev 1) -> restart from L1@5,
+        # recompute 5, then retake the L2 checkpoint at position 10.
+        r = run(spec2(), PLAN2, [(12.0, 1)])
+        assert r.checkpoints_failed == 1
+        assert r.times.failed_checkpoint == pytest.approx(1.0)
+        assert r.times.rework_checkpoint == pytest.approx(5.0)
+        assert r.checkpoints_completed == 3  # L1@5, L2@10 (retaken), L1@15
+        assert r.total_time == pytest.approx(25 + 1.0 + 1.0 + 5.0)
+
+
+class TestFailuresDuringRestarts:
+    def test_retry_same_level(self):
+        # Sev-1 failure at t=8 -> restart (t=8..9). A second sev-1 failure
+        # at 8.5 interrupts the restart; retry from the same checkpoint.
+        r = run(spec2(), PLAN2, [(8.0, 1), (8.5, 1)])
+        assert r.restarts_failed == 1
+        assert r.restarts_completed == 1
+        assert r.times.failed_restart == pytest.approx(0.5)
+        assert r.times.restart == pytest.approx(1.0)
+        # no additional work lost by the restart failure
+        assert r.times.rework_restart == pytest.approx(0.0)
+        assert r.total_time == pytest.approx(25 + 2.0 + 0.5 + 1.0)
+
+    def test_higher_severity_during_restart_escalates_target(self):
+        # Sev-1 failure at t=16 (work 12): restart from L2@10's refreshed
+        # L1 checkpoint.  During restart a sev-2 failure destroys level-1
+        # data; recovery re-targets L2@10 (still valid).  Extra loss: 0.
+        r = run(spec2(), PLAN2, [(16.0, 1), (16.5, 2)])
+        assert r.restarts_failed == 1
+        # final successful restart is the level-2 one (cost 3)
+        assert r.times.restart == pytest.approx(3.0)
+        assert r.times.rework_restart == pytest.approx(0.0)
+        assert r.completed
+
+    def test_escalation_during_restart_loses_more_work(self):
+        # Failure sev 1 at t=21.2 (final segment runs t=20..25, so work =
+        # 15 + 1.2 = 16.2): restart from L1@15; sev-2 failure during the
+        # restart -> only L2@10 survives; the 5 work units between 10 and
+        # 15 are attributed to the failed restart.
+        r = run(spec2(), PLAN2, [(21.2, 1), (21.5, 2)])
+        assert r.times.rework_compute == pytest.approx(1.2)
+        assert r.times.rework_restart == pytest.approx(5.0)
+        assert r.times.restart == pytest.approx(3.0)
+
+    def test_moody_escalation_semantics(self):
+        # Same-severity failure during restart escalates the *severity*
+        # under "escalate" semantics: sev 1 twice -> treated as sev 2.
+        r = run(
+            spec2(),
+            PLAN2,
+            [(16.0, 1), (16.5, 1)],
+            restart_semantics="escalate",
+        )
+        # escalated to severity 2 -> restart from L2@10 at cost 3
+        assert r.times.restart == pytest.approx(3.0)
+
+    def test_retry_semantics_do_not_escalate(self):
+        r = run(spec2(), PLAN2, [(16.0, 1), (16.5, 1)])
+        assert r.times.restart == pytest.approx(1.0)
+
+    def test_escalate_at_top_severity_retries(self):
+        r = run(
+            spec2(),
+            PLAN2,
+            [(16.0, 2), (16.5, 2)],
+            restart_semantics="escalate",
+        )
+        assert r.completed
+        assert r.times.restart == pytest.approx(3.0)  # still the L2 restart
+
+
+class TestSkipTopLevelPlans:
+    def test_unprotected_severity_restarts_from_scratch(self):
+        plan = CheckpointPlan.single_level(1, 5.0)  # never checkpoints L2
+        # Sev-2 failure at t=13 (work = 13 - 2 ckpt minutes = 11): no
+        # level >= 2 checkpoint can exist; scratch restart at R2 = 3.
+        r = run(spec2(), plan, [(13.0, 2)])
+        assert r.scratch_restarts == 1
+        assert r.times.restart == pytest.approx(3.0)
+        assert r.times.rework_compute == pytest.approx(11.0)
+        assert r.completed
+
+    def test_protected_severity_still_recovers(self):
+        plan = CheckpointPlan.single_level(1, 5.0)
+        r = run(spec2(), plan, [(13.0, 1)])
+        assert r.scratch_restarts == 0
+        assert r.times.rework_compute == pytest.approx(1.0)
+
+
+class TestRecheckpointPolicies:
+    # Scenario: complete L1@5, L2@10, L1@15, then a severity-2 failure in
+    # the last segment rolls back to L2@10 and the app recomputes past
+    # position 3 (work 15) again.
+    TRACE = [(21.0, 2)]
+
+    def test_free_restores_validity_without_cost(self):
+        r = run(spec2(), PLAN2, self.TRACE, recheckpoint="free")
+        assert r.checkpoints_restored == 1
+        assert r.checkpoints_completed == 3
+        assert r.times.checkpoint == pytest.approx(5.0)
+        # rolled back 21-20+15-10 work minutes? work at failure = 16, lost 6
+        assert r.times.rework_compute == pytest.approx(6.0)
+        assert r.total_time == pytest.approx(25 + 3 + 6)
+
+    def test_paid_retakes_the_checkpoint(self):
+        r = run(spec2(), PLAN2, self.TRACE, recheckpoint="paid")
+        assert r.checkpoints_restored == 0
+        assert r.checkpoints_completed == 4  # L1@15 taken twice
+        assert r.times.checkpoint == pytest.approx(6.0)
+        assert r.total_time == pytest.approx(25 + 3 + 6 + 1)
+
+    def test_skip_neither_pays_nor_restores(self):
+        # Add a later severity-1 failure after the recomputation has
+        # passed position 15 (t=30): under "skip" that position was not
+        # re-established, so recovery falls back to L2@10 again.
+        trace = [(21.0, 2), (30.0, 1)]
+        r_skip = run(spec2(), PLAN2, trace, recheckpoint="skip")
+        r_free = run(spec2(), PLAN2, trace, recheckpoint="free")
+        assert r_skip.checkpoints_restored == 0
+        # skip loses more work on the second failure than free
+        assert r_skip.times.rework_compute > r_free.times.rework_compute
+        assert r_skip.total_time > r_free.total_time
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="recheckpoint"):
+            run(spec2(), PLAN2, [], recheckpoint="bogus")
+
+
+class TestInvariants:
+    def test_category_times_sum_to_total(self):
+        traces = [
+            [],
+            [(8.0, 1)],
+            [(5.5, 1), (12.0, 2), (20.0, 1)],
+            [(1.0, 2), (2.0, 1), (3.0, 2), (10.0, 1)],
+        ]
+        for trace in traces:
+            r = run(spec2(), PLAN2, trace)
+            assert r.times.total() == pytest.approx(r.total_time, rel=1e-12)
+
+    def test_work_plus_rework_equals_compute_time(self):
+        trace = [(5.5, 1), (12.0, 2), (16.0, 1), (16.5, 2), (30.0, 1)]
+        r = run(spec2(), PLAN2, trace)
+        rework = (
+            r.times.rework_compute + r.times.rework_checkpoint + r.times.rework_restart
+        )
+        compute_time = r.total_time - (
+            r.times.checkpoint
+            + r.times.failed_checkpoint
+            + r.times.restart
+            + r.times.failed_restart
+        )
+        assert compute_time == pytest.approx(r.work_done + rework, rel=1e-9)
+
+    def test_horizon_cap(self):
+        # Failures every 0.5 min with 1-min restarts: no progress possible.
+        trace = [(0.5 * k, 2) for k in range(1, 2000)]
+        r = run(spec2(), PLAN2, trace, max_time=100.0)
+        assert not r.completed
+        assert r.total_time >= 100.0
+        assert r.efficiency < 0.2
+
+    def test_failure_exactly_at_op_end(self):
+        # Failure lands exactly when the first compute segment completes;
+        # the segment counts, the following checkpoint is interrupted at
+        # zero elapsed time.
+        r = run(spec2(), PLAN2, [(5.0, 1)])
+        assert r.completed
+        assert r.checkpoints_failed == 1
+        assert r.times.failed_checkpoint == pytest.approx(0.0)
+        assert r.times.rework_checkpoint == pytest.approx(5.0)
+
+    def test_plan_level_validation(self):
+        plan = CheckpointPlan((1, 5), 5.0, (1,))
+        with pytest.raises(ValueError, match="levels"):
+            run(spec2(), plan, [])
+
+    def test_restart_semantics_validation(self):
+        with pytest.raises(ValueError, match="restart_semantics"):
+            run(spec2(), PLAN2, [], restart_semantics="bogus")
+
+    def test_efficiency_bounded(self):
+        r = run(spec2(), PLAN2, [(3.0, 1), (7.0, 2), (11.0, 1)])
+        assert 0.0 < r.efficiency <= 1.0

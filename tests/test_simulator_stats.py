@@ -1,0 +1,148 @@
+"""Statistical tests: the simulator agrees with the analytic models.
+
+These are the package's Figure-2-style validation in miniature: on
+moderately difficult systems, the Dauwe model's expected execution time
+must sit within the Monte-Carlo confidence band of the simulator, and
+known comparative facts (Daly accuracy, multilevel superiority) must
+reproduce.  Trial counts are kept small enough for CI; tolerances are
+set accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.models import DalyModel
+from repro.simulator import SimulationStats, simulate_many, simulate_trial
+from repro.systems import get_system
+
+
+class TestAgainstDauweModel:
+    @pytest.mark.parametrize("name", ["B", "D1", "D4"])
+    def test_prediction_within_band(self, name):
+        spec = get_system(name)
+        model = DauweModel(spec)
+        res = model.optimize()
+        stats = simulate_many(spec, res.plan, trials=60, seed=11)
+        assert res.predicted_efficiency == pytest.approx(
+            stats.mean_efficiency, abs=0.03
+        )
+
+    def test_breakdown_matches_model_scale(self):
+        # Per-category times from simulation should be the same order as
+        # the model's term totals on a mid-difficulty system.
+        spec = get_system("D4")
+        model = DauweModel(spec)
+        res = model.optimize()
+        stats = simulate_many(spec, res.plan, trials=60, seed=13)
+        bd_model = model.predict_breakdown(res.plan)
+        bd_sim = stats.mean_breakdown
+        assert bd_sim.checkpoint == pytest.approx(bd_model["checkpoint"], rel=0.25)
+        assert bd_sim.restart == pytest.approx(bd_model["restart"], rel=0.35)
+
+
+class TestAgainstDalyModel:
+    @pytest.mark.parametrize("name", ["D2", "D4"])
+    def test_daly_prediction_accurate(self, name):
+        # The paper: "Daly's equations ... are highly accurate at
+        # predicting application efficiency."
+        spec = get_system(name)
+        res = DalyModel(spec).optimize()
+        stats = simulate_many(spec, res.plan, trials=60, seed=17)
+        assert res.predicted_efficiency == pytest.approx(
+            stats.mean_efficiency, abs=0.03
+        )
+
+    def test_multilevel_beats_daly_on_hard_system(self):
+        spec = get_system("D7")
+        daly = DalyModel(spec).optimize()
+        dauwe = DauweModel(spec).optimize()
+        s_daly = simulate_many(spec, daly.plan, trials=50, seed=19)
+        s_dauwe = simulate_many(spec, dauwe.plan, trials=50, seed=19)
+        assert s_dauwe.mean_efficiency > 1.5 * s_daly.mean_efficiency
+
+
+class TestSimulateMany:
+    def test_reproducible(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        a = simulate_many(spec, plan, trials=10, seed=3)
+        b = simulate_many(spec, plan, trials=10, seed=3)
+        assert np.array_equal(a.efficiencies, b.efficiencies)
+
+    def test_different_seeds_differ(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        a = simulate_many(spec, plan, trials=10, seed=3)
+        b = simulate_many(spec, plan, trials=10, seed=4)
+        assert not np.array_equal(a.efficiencies, b.efficiencies)
+
+    def test_trial_count_respected(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        stats = simulate_many(spec, plan, trials=7, seed=0)
+        assert stats.trials == 7
+        assert stats.efficiencies.shape == (7,)
+
+    def test_zero_trials_rejected(self):
+        spec = get_system("D1")
+        with pytest.raises(ValueError):
+            simulate_many(spec, CheckpointPlan((1, 2), 5.0, (2,)), trials=0)
+
+    def test_return_trials(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        stats, trials = simulate_many(
+            spec, plan, trials=5, seed=0, return_trials=True
+        )
+        assert len(trials) == 5
+        assert stats.mean_efficiency == pytest.approx(
+            np.mean([t.efficiency for t in trials])
+        )
+
+    def test_confidence_interval_contains_mean(self):
+        spec = get_system("D1")
+        plan = CheckpointPlan((1, 2), 5.0, (2,))
+        stats = simulate_many(spec, plan, trials=20, seed=5)
+        lo, hi = stats.confidence_interval()
+        assert lo <= stats.mean_efficiency <= hi
+
+    def test_aggregate_requires_results(self):
+        with pytest.raises(ValueError):
+            SimulationStats.from_trials([])
+
+
+class TestCapBehaviour:
+    def test_capped_trials_report_utilization(self):
+        spec = get_system("D9").with_mtbf(0.5)  # hopeless
+        plan = CheckpointPlan((1, 2), 1.0, (3,))
+        r = simulate_trial(spec, plan, rng=1, max_time=500.0)
+        assert not r.completed
+        assert r.total_time >= 500.0
+        assert 0.0 <= r.efficiency < 0.5
+
+    def test_invariants_hold_when_capped(self):
+        spec = get_system("D9").with_mtbf(0.5)
+        plan = CheckpointPlan((1, 2), 1.0, (3,))
+        r = simulate_trial(spec, plan, rng=2, max_time=300.0)
+        assert r.times.total() == pytest.approx(r.total_time, rel=1e-9)
+
+
+class TestSeverityCounts:
+    def test_failure_severity_distribution(self):
+        spec = get_system("D4")  # (0.833, 0.167)
+        plan = CheckpointPlan((1, 2), 2.0, (3,))
+        _, trials = simulate_many(spec, plan, trials=40, seed=21, return_trials=True)
+        sev = np.sum([t.failures_by_severity for t in trials], axis=0)
+        frac = sev[0] / sev.sum()
+        assert frac == pytest.approx(0.833, abs=0.03)
+
+    def test_failure_rate_matches_mtbf(self):
+        spec = get_system("D2")
+        plan = CheckpointPlan((1, 2), 3.0, (2,))
+        _, trials = simulate_many(spec, plan, trials=40, seed=23, return_trials=True)
+        total_time = sum(t.total_time for t in trials)
+        total_failures = sum(t.total_failures for t in trials)
+        assert total_time / total_failures == pytest.approx(spec.mtbf, rel=0.1)

@@ -1,0 +1,128 @@
+"""Tests for SystemSpec validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import SystemSpec
+
+
+def make(**kw):
+    base = dict(
+        name="t",
+        mtbf=100.0,
+        level_probabilities=(0.7, 0.3),
+        checkpoint_times=(1.0, 4.0),
+        baseline_time=100.0,
+    )
+    base.update(kw)
+    return SystemSpec(**base)
+
+
+class TestValidation:
+    def test_mtbf_positive(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            make(mtbf=0.0)
+
+    def test_baseline_positive(self):
+        with pytest.raises(ValueError, match="baseline"):
+            make(baseline_time=-1.0)
+
+    def test_probability_sum_enforced(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            make(level_probabilities=(0.5, 0.3))
+
+    def test_probability_rounding_slack_allowed(self):
+        # Table I's D1 row sums to 1.000 at three digits.
+        spec = make(level_probabilities=(0.857, 0.143))
+        assert sum(spec.severity_probabilities) == pytest.approx(1.0)
+
+    def test_positive_probabilities(self):
+        with pytest.raises(ValueError, match="positive"):
+            make(level_probabilities=(1.0, 0.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="checkpoint_times"):
+            make(checkpoint_times=(1.0,))
+
+    def test_restart_length_mismatch(self):
+        with pytest.raises(ValueError, match="restart_times"):
+            make(restart_times=(1.0,))
+
+    def test_nondecreasing_checkpoint_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            make(checkpoint_times=(4.0, 1.0))
+
+    def test_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            make(level_probabilities=(), checkpoint_times=())
+
+
+class TestDerived:
+    def test_failure_rate_is_inverse_mtbf(self):
+        assert make(mtbf=50.0).failure_rate == pytest.approx(0.02)
+
+    def test_level_rates_sum_to_total(self):
+        spec = make()
+        assert sum(spec.level_rates) == pytest.approx(spec.failure_rate)
+
+    def test_level_rates_proportional_to_probabilities(self):
+        spec = make()
+        assert spec.level_rates[0] / spec.level_rates[1] == pytest.approx(7.0 / 3.0)
+
+    def test_cumulative_rate(self):
+        spec = make()
+        assert spec.cumulative_rate(1) == pytest.approx(spec.level_rates[0])
+        assert spec.cumulative_rate(2) == pytest.approx(spec.failure_rate)
+
+    def test_mtbf_of_level(self):
+        spec = make()
+        assert spec.mtbf_of_level(2) == pytest.approx(1.0 / spec.level_rates[1])
+
+    def test_restart_defaults_to_checkpoint(self):
+        spec = make()
+        assert spec.restart_time(1) == spec.checkpoint_time(1)
+        assert spec.restart_time(2) == 4.0
+
+    def test_restart_override(self):
+        spec = make(restart_times=(2.0, 6.0))
+        assert spec.restart_time(1) == 2.0
+        assert spec.checkpoint_time(1) == 1.0
+
+    def test_num_levels(self):
+        assert make().num_levels == 2
+
+
+class TestDerivation:
+    def test_with_mtbf(self):
+        spec = make().with_mtbf(10.0)
+        assert spec.mtbf == 10.0
+        # severity split preserved
+        assert spec.severity_probabilities == make().severity_probabilities
+
+    def test_with_top_level_cost(self):
+        spec = make().with_top_level_cost(9.0)
+        assert spec.checkpoint_times == (1.0, 9.0)
+        assert spec.restart_time(2) == 9.0
+
+    def test_with_top_level_cost_respects_monotonicity(self):
+        with pytest.raises(ValueError):
+            make().with_top_level_cost(0.5)
+
+    def test_with_top_level_cost_overrides_restarts_too(self):
+        spec = make(restart_times=(2.0, 6.0)).with_top_level_cost(9.0)
+        assert spec.restart_times == (2.0, 9.0)
+        assert spec.checkpoint_times == (1.0, 9.0)
+
+    def test_with_baseline_time(self):
+        assert make().with_baseline_time(30.0).baseline_time == 30.0
+
+    def test_renamed(self):
+        spec = make().renamed("other", "desc")
+        assert spec.name == "other"
+        assert spec.description == "desc"
+        assert spec.mtbf == make().mtbf
+
+    def test_summary_mentions_key_fields(self):
+        text = make().summary()
+        assert "MTBF=100" in text and "L=2" in text

@@ -1,0 +1,270 @@
+"""Tests for the storage substrate: GF(256), erasure codes, hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    LevelKind,
+    MachineSpec,
+    ReedSolomonCode,
+    StorageLevel,
+    XorPartnerCode,
+    build_system_spec,
+    cauchy_matrix,
+    gf_inv,
+    gf_matmul,
+    gf_matrix_invert,
+    gf_mul,
+    gf_mul_bytes,
+    vandermonde_matrix,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestGF256:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    @given(a=elements, b=elements)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(a=nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    @given(a=elements)
+    def test_vectorized_matches_scalar(self, a):
+        data = np.arange(256, dtype=np.uint8)
+        vec = gf_mul_bytes(a, data)
+        for b in (0, 1, 2, 77, 255):
+            assert vec[b] == gf_mul(a, b)
+
+    def test_matrix_inverse_roundtrip(self):
+        rng = np.random.default_rng(3)
+        for n in (1, 2, 5):
+            m = cauchy_matrix(n, n)
+            inv = gf_matrix_invert(m)
+            eye = gf_matmul(m, inv.astype(np.uint8))
+            assert np.array_equal(eye, np.eye(n, dtype=np.uint8))
+
+    def test_singular_matrix_detected(self):
+        m = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            gf_matrix_invert(m)
+
+    def test_cauchy_bounds(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 100)
+
+    def test_vandermonde_first_column_ones(self):
+        v = vandermonde_matrix(4, 3)
+        assert np.array_equal(v[:, 0], np.ones(4, dtype=np.uint8))
+
+
+class TestXorPartnerCode:
+    def test_roundtrip_single_erasure(self):
+        rng = np.random.default_rng(0)
+        code = XorPartnerCode(4)
+        data = rng.integers(0, 256, size=(4, 64), dtype=np.uint8)
+        parity = code.encode(data)
+        assert parity.shape == (1, 64)
+        lost = 2
+        survivors = np.delete(data, lost, axis=0)
+        rebuilt = code.recover(survivors, parity[0])
+        assert np.array_equal(rebuilt, data[lost])
+
+    def test_multiple_groups(self):
+        rng = np.random.default_rng(1)
+        code = XorPartnerCode(2)
+        data = rng.integers(0, 256, size=(6, 16), dtype=np.uint8)
+        parity = code.encode(data)
+        assert parity.shape == (3, 16)
+        for g in range(3):
+            assert np.array_equal(parity[g], data[2 * g] ^ data[2 * g + 1])
+
+    def test_incomplete_group_rejected(self):
+        code = XorPartnerCode(4)
+        with pytest.raises(ValueError, match="complete groups"):
+            code.encode(np.zeros((6, 8), dtype=np.uint8))
+
+    def test_wrong_survivor_count(self):
+        code = XorPartnerCode(3)
+        with pytest.raises(ValueError, match="survivors"):
+            code.recover(np.zeros((1, 8), dtype=np.uint8), np.zeros(8, dtype=np.uint8))
+
+    def test_overhead(self):
+        assert XorPartnerCode(8).storage_overhead == pytest.approx(0.125)
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            XorPartnerCode(1)
+
+
+class TestReedSolomonCode:
+    def test_roundtrip_no_erasure(self):
+        rng = np.random.default_rng(2)
+        code = ReedSolomonCode(5, 3)
+        data = rng.integers(0, 256, size=(5, 32), dtype=np.uint8)
+        parity = code.encode(data)
+        available = {i: data[i] for i in range(5)}
+        assert np.array_equal(code.recover(available), data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), erased=st.sets(st.integers(0, 7), min_size=1, max_size=3))
+    def test_recovers_any_m_erasures(self, seed, erased):
+        # k=5, m=3: any <=3 of the 8 shards may vanish.
+        rng = np.random.default_rng(seed)
+        code = ReedSolomonCode(5, 3)
+        data = rng.integers(0, 256, size=(5, 24), dtype=np.uint8)
+        parity = code.encode(data)
+        shards = {i: data[i] for i in range(5)}
+        shards.update({5 + j: parity[j] for j in range(3)})
+        for i in erased:
+            del shards[i]
+        assert np.array_equal(code.recover(shards), data)
+
+    def test_too_many_erasures_rejected(self):
+        code = ReedSolomonCode(4, 2)
+        data = np.zeros((4, 8), dtype=np.uint8)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            code.recover({0: data[0], 1: data[1], 2: data[2]})
+
+    def test_verify(self):
+        rng = np.random.default_rng(4)
+        code = ReedSolomonCode(3, 2)
+        data = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        parity = code.encode(data)
+        assert code.verify(data, parity)
+        parity[0, 0] ^= 1
+        assert not code.verify(data, parity)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(0, 1)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(200, 60)
+
+    def test_overhead(self):
+        assert ReedSolomonCode(8, 2).storage_overhead == pytest.approx(0.25)
+
+    def test_wrong_shard_count(self):
+        code = ReedSolomonCode(4, 2)
+        with pytest.raises(ValueError, match="exactly 4"):
+            code.encode(np.zeros((3, 8), dtype=np.uint8))
+
+
+class TestHierarchy:
+    def machine(self, **kw):
+        base = dict(
+            nodes=1000,
+            checkpoint_gb_per_node=10.0,
+            local_write_gb_s=2.0,
+            network_gb_s=1.0,
+            encode_gb_s=0.5,
+            pfs_aggregate_gb_s=200.0,
+            pfs_latency_s=30.0,
+        )
+        base.update(kw)
+        return MachineSpec(**base)
+
+    def levels(self):
+        return [
+            StorageLevel(LevelKind.LOCAL, failure_rate=1e-3),
+            StorageLevel(LevelKind.PARTNER, failure_rate=4e-4, group_size=8),
+            StorageLevel(LevelKind.RS, failure_rate=1e-4, group_size=8, parity_shards=2),
+            StorageLevel(LevelKind.PFS, failure_rate=2e-5),
+        ]
+
+    def test_local_cost(self):
+        lv = StorageLevel(LevelKind.LOCAL, failure_rate=1e-3)
+        # 10 GB / 2 GB/s = 5 s
+        assert lv.checkpoint_minutes(self.machine()) == pytest.approx(5 / 60)
+
+    def test_pfs_cost_scales_with_nodes(self):
+        lv = StorageLevel(LevelKind.PFS, failure_rate=1e-5)
+        small = lv.checkpoint_minutes(self.machine(nodes=100))
+        big = lv.checkpoint_minutes(self.machine(nodes=10000))
+        assert big > 10 * small  # aggregate bandwidth is shared
+
+    def test_lower_levels_insensitive_to_scale(self):
+        # Section IV-E's premise: non-PFS levels use per-node resources.
+        for kind in (LevelKind.LOCAL, LevelKind.PARTNER, LevelKind.RS):
+            lv = StorageLevel(kind, failure_rate=1e-3)
+            a = lv.checkpoint_minutes(self.machine(nodes=10))
+            b = lv.checkpoint_minutes(self.machine(nodes=100000))
+            assert a == pytest.approx(b)
+
+    def test_build_system_spec(self):
+        spec = build_system_spec("derived", self.machine(), self.levels(), 1440.0)
+        assert spec.num_levels == 4
+        assert sum(spec.severity_probabilities) == pytest.approx(1.0)
+        # rates preserved
+        assert spec.failure_rate == pytest.approx(
+            sum(lv.failure_rate for lv in self.levels())
+        )
+        # costs non-decreasing by construction
+        assert list(spec.checkpoint_times) == sorted(spec.checkpoint_times)
+
+    def test_misordered_hierarchy_rejected(self):
+        machine = self.machine(pfs_aggregate_gb_s=1e9, pfs_latency_s=0.0)
+        levels = [
+            StorageLevel(LevelKind.PARTNER, failure_rate=1e-3),
+            StorageLevel(LevelKind.PFS, failure_rate=1e-4),  # cheaper than partner
+        ]
+        with pytest.raises(ValueError, match="cheaper"):
+            build_system_spec("bad", machine, levels, 100.0)
+
+    def test_storage_overheads(self):
+        assert StorageLevel(LevelKind.LOCAL, 1e-3).storage_overhead() == 0.0
+        assert StorageLevel(
+            LevelKind.PARTNER, 1e-3, group_size=4
+        ).storage_overhead() == pytest.approx(1.25)
+        assert StorageLevel(
+            LevelKind.RS, 1e-3, group_size=8, parity_shards=2
+        ).storage_overhead() == pytest.approx(0.25)
+
+    def test_machine_validation(self):
+        with pytest.raises(ValueError):
+            self.machine(nodes=0)
+        with pytest.raises(ValueError):
+            self.machine(local_write_gb_s=0.0)
+        with pytest.raises(ValueError):
+            self.machine(pfs_latency_s=-1.0)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            StorageLevel(LevelKind.LOCAL, failure_rate=0.0)
+        with pytest.raises(ValueError):
+            StorageLevel(LevelKind.PARTNER, failure_rate=1e-3, group_size=1)
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_system_spec("x", self.machine(), [], 100.0)
+
+    def test_spec_usable_by_models(self):
+        from repro.core import DauweModel
+
+        spec = build_system_spec("derived", self.machine(), self.levels(), 720.0)
+        res = DauweModel(spec).optimize()
+        assert 0 < res.predicted_efficiency <= 1.0

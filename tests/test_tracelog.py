@@ -1,0 +1,119 @@
+"""Tests for event-timeline recording and its consistency invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.failures import TraceFailureSource
+from repro.simulator import (
+    SimEvent,
+    render_timeline,
+    simulate_trial,
+    validate_timeline,
+)
+from repro.simulator.tracelog import kind_totals
+from repro.systems import SystemSpec, get_system
+
+
+def spec2():
+    return SystemSpec(
+        name="t2",
+        mtbf=1000.0,
+        level_probabilities=(0.5, 0.5),
+        checkpoint_times=(1.0, 3.0),
+        baseline_time=20.0,
+    )
+
+
+PLAN2 = CheckpointPlan((1, 2), tau0=5.0, counts=(1,))
+
+
+def run(trace, **kw):
+    src = TraceFailureSource([t for t, _ in trace], [s for _, s in trace])
+    return simulate_trial(spec2(), PLAN2, source=src, record_events=True, **kw)
+
+
+class TestSimEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SimEvent(0.0, 1.0, "nap")
+        with pytest.raises(ValueError, match="before"):
+            SimEvent(2.0, 1.0, "compute")
+
+    def test_duration_and_describe(self):
+        ev = SimEvent(1.0, 3.5, "checkpoint", level=2)
+        assert ev.duration == pytest.approx(2.5)
+        assert "L2 checkpoint" in ev.describe()
+
+    def test_describe_failure_marker(self):
+        ev = SimEvent(0.0, 1.0, "failed_restart", level=1, severity=2)
+        assert "failure sev 2" in ev.describe()
+
+
+class TestRecording:
+    def test_failure_free_timeline(self):
+        r = run([])
+        # compute/ckpt alternation: c5 d1 c5 d2 c5 d1 c5
+        kinds = [ev.kind for ev in r.events]
+        assert kinds == [
+            "compute", "checkpoint", "compute", "checkpoint",
+            "compute", "checkpoint", "compute",
+        ]
+        levels = [ev.level for ev in r.events if ev.kind == "checkpoint"]
+        assert levels == [1, 2, 1]
+        validate_timeline(r.events, r.total_time)
+
+    def test_failure_markers(self):
+        r = run([(8.0, 1)])
+        interrupted = [ev for ev in r.events if ev.severity]
+        assert len(interrupted) == 1
+        assert interrupted[0].kind == "compute"
+        assert interrupted[0].end == pytest.approx(8.0)
+        restart = [ev for ev in r.events if ev.kind == "restart"]
+        assert len(restart) == 1
+        assert restart[0].level == 1
+
+    def test_default_is_off(self):
+        src = TraceFailureSource([], [])
+        r = simulate_trial(spec2(), PLAN2, source=src)
+        assert r.events is None
+
+    def test_kind_totals_match_accounting(self):
+        r = run([(5.5, 1), (12.0, 2), (16.0, 1), (16.5, 2), (30.0, 1)])
+        totals = kind_totals(r.events)
+        assert totals["checkpoint"] == pytest.approx(r.times.checkpoint)
+        assert totals["failed_checkpoint"] == pytest.approx(r.times.failed_checkpoint)
+        assert totals["restart"] == pytest.approx(r.times.restart)
+        assert totals["failed_restart"] == pytest.approx(r.times.failed_restart)
+        compute = totals["compute"]
+        assert compute == pytest.approx(
+            r.times.work
+            + r.times.rework_compute
+            + r.times.rework_checkpoint
+            + r.times.rework_restart
+        )
+
+    def test_timeline_tiles_random_trial(self):
+        spec = get_system("D4")
+        plan = DauweModel(spec).optimize().plan
+        r = simulate_trial(spec, plan, rng=3, record_events=True)
+        validate_timeline(r.events, r.total_time)
+        totals = kind_totals(r.events)
+        assert sum(totals.values()) == pytest.approx(r.total_time)
+
+    def test_render_timeline_limit(self):
+        r = run([(8.0, 1)])
+        text = render_timeline(r.events, limit=3)
+        assert "more events" in text
+        assert len(text.splitlines()) == 4
+
+    def test_validate_detects_gap(self):
+        events = [SimEvent(0.0, 1.0, "compute"), SimEvent(2.0, 3.0, "compute")]
+        with pytest.raises(ValueError, match="gap or overlap"):
+            validate_timeline(events, 3.0)
+
+    def test_validate_detects_bad_total(self):
+        events = [SimEvent(0.0, 1.0, "compute")]
+        with pytest.raises(ValueError, match="total_time"):
+            validate_timeline(events, 2.0)

@@ -1,0 +1,147 @@
+"""Tests for failure-trace synthesis and model fitting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures import (
+    FailureTrace,
+    TraceFailureSource,
+    exponential_ks_test,
+    fit_exponential_rates,
+    fit_weibull,
+    spec_from_trace,
+    synthesize_trace,
+)
+from repro.systems import get_system
+
+
+class TestFailureTrace:
+    def test_basic_stats(self):
+        tr = FailureTrace(times=(1.0, 3.0, 7.0, 9.0), severities=(1, 2, 1, 1), horizon=10.0)
+        assert len(tr) == 4
+        assert tr.empirical_mtbf() == pytest.approx(2.5)
+        assert tr.severity_counts() == (3, 1)
+        assert tr.severity_distribution() == pytest.approx((0.75, 0.25))
+
+    def test_interarrivals(self):
+        tr = FailureTrace(times=(1.0, 3.0, 7.0), severities=(1, 1, 1), horizon=8.0)
+        assert tr.interarrival_times() == pytest.approx([1.0, 2.0, 4.0])
+
+    def test_filtered(self):
+        tr = FailureTrace(times=(1.0, 3.0, 7.0), severities=(1, 2, 1), horizon=8.0)
+        sub = tr.filtered(1)
+        assert sub.times == (1.0, 7.0)
+        assert sub.horizon == 8.0
+
+    def test_window(self):
+        tr = FailureTrace(times=(1.0, 3.0, 7.0), severities=(1, 2, 1), horizon=8.0)
+        win = tr.window(2.0, 8.0)
+        assert win.times == (1.0, 5.0)
+        assert win.horizon == 6.0
+        with pytest.raises(ValueError):
+            tr.window(5.0, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            FailureTrace(times=(2.0, 1.0), severities=(1, 1), horizon=10.0)
+        with pytest.raises(ValueError, match="horizon"):
+            FailureTrace(times=(11.0,), severities=(1,), horizon=10.0)
+        with pytest.raises(ValueError, match="equal length"):
+            FailureTrace(times=(1.0,), severities=(1, 2), horizon=10.0)
+
+    def test_empty_mtbf_rejected(self):
+        with pytest.raises(ValueError):
+            FailureTrace(times=(), severities=(), horizon=10.0).empirical_mtbf()
+
+
+class TestSynthesize:
+    def test_rates_recovered(self):
+        rates = (0.02, 0.005)
+        tr = synthesize_trace(rates, horizon=200_000.0, rng=0)
+        fitted = fit_exponential_rates(tr)
+        assert fitted[0] == pytest.approx(rates[0], rel=0.05)
+        assert fitted[1] == pytest.approx(rates[1], rel=0.1)
+
+    def test_usable_as_simulator_source(self):
+        spec = get_system("D1")
+        tr = synthesize_trace(spec.level_rates, horizon=5000.0, rng=1)
+        src = TraceFailureSource(list(tr.times), list(tr.severities))
+        t, s = src.next_after(0.0)
+        assert t == tr.times[0] and s == tr.severities[0]
+
+    def test_weibull_burstiness_detected(self):
+        tr = synthesize_trace((0.05,), horizon=100_000.0, rng=2, weibull_shape=0.6)
+        fit = fit_weibull(tr.interarrival_times())
+        assert fit.is_bursty
+        assert fit.shape == pytest.approx(0.6, abs=0.1)
+
+    def test_exponential_trace_not_bursty(self):
+        tr = synthesize_trace((0.05,), horizon=100_000.0, rng=3)
+        fit = fit_weibull(tr.interarrival_times())
+        assert fit.shape == pytest.approx(1.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trace((), 100.0)
+        with pytest.raises(ValueError):
+            synthesize_trace((0.1,), -5.0)
+        with pytest.raises(ValueError):
+            synthesize_trace((0.1,), 100.0, weibull_shape=0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_strictly_increasing(self, seed):
+        tr = synthesize_trace((0.05, 0.01), horizon=2000.0, rng=seed)
+        assert all(b > a for a, b in zip(tr.times, tr.times[1:]))
+        assert all(1 <= s <= 2 for s in tr.severities)
+
+
+class TestFitting:
+    def test_exponential_ks_accepts_exponential(self):
+        rng = np.random.default_rng(4)
+        gaps = rng.exponential(10.0, size=500)
+        assert exponential_ks_test(gaps) > 0.01
+
+    def test_exponential_ks_rejects_constant_gaps(self):
+        assert exponential_ks_test([5.0 + 1e-3 * k for k in range(200)]) < 1e-6
+
+    def test_weibull_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_weibull([1.0])
+        with pytest.raises(ValueError):
+            fit_weibull([1.0, -2.0])
+
+    def test_weibull_mean_matches_samples(self):
+        rng = np.random.default_rng(5)
+        samples = 7.0 * rng.weibull(1.5, size=4000)
+        fit = fit_weibull(samples)
+        assert fit.mean == pytest.approx(samples.mean(), rel=0.05)
+
+    def test_spec_from_trace_roundtrip(self):
+        base = get_system("D2")
+        tr = synthesize_trace(base.level_rates, horizon=500_000.0, rng=6)
+        spec = spec_from_trace("refit", tr, base.checkpoint_times, base.baseline_time)
+        assert spec.mtbf == pytest.approx(base.mtbf, rel=0.05)
+        assert spec.severity_probabilities[0] == pytest.approx(
+            base.severity_probabilities[0], abs=0.02
+        )
+
+    def test_spec_from_trace_validation(self):
+        tr = FailureTrace(times=(1.0, 2.0), severities=(1, 1), horizon=10.0)
+        with pytest.raises(ValueError, match="checkpoint times"):
+            spec_from_trace("x", tr, (1.0, 2.0), 100.0)
+
+    def test_spec_from_trace_fit_feeds_models(self):
+        from repro.core import DauweModel
+
+        base = get_system("D1")
+        tr = synthesize_trace(base.level_rates, horizon=100_000.0, rng=7)
+        spec = spec_from_trace("refit", tr, base.checkpoint_times, 720.0)
+        res = DauweModel(spec).optimize()
+        assert 0 < res.predicted_efficiency < 1.0

@@ -1,0 +1,170 @@
+"""Unit + property tests for the Eqn. 1-2 probability machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truncated import (
+    expected_failed_attempts,
+    expected_failures,
+    failure_probability,
+    survival_probability,
+    truncated_mean,
+    unprotected_completion_time,
+)
+
+rates = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+times = st.floats(min_value=1e-6, max_value=1e4, allow_nan=False)
+
+
+class TestFailureProbability:
+    def test_zero_interval(self):
+        assert failure_probability(0.0, 0.5) == 0.0
+
+    def test_known_value(self):
+        # P(t, X) = 1 - e^{-Xt}; X t = 1 -> 1 - 1/e
+        assert failure_probability(2.0, 0.5) == pytest.approx(1 - math.exp(-1))
+
+    def test_matches_printed_equation(self):
+        for t in (0.01, 1.0, 7.3, 100.0):
+            for x in (1e-4, 0.02, 1.5):
+                assert failure_probability(t, x) == pytest.approx(1 - math.exp(-x * t))
+
+    def test_complement_of_survival(self):
+        t, x = 3.7, 0.21
+        assert failure_probability(t, x) + survival_probability(t, x) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        t = np.array([0.0, 1.0, 2.0])
+        out = failure_probability(t, 1.0)
+        assert out.shape == (3,)
+        assert out[0] == 0.0
+        assert out[2] > out[1] > 0
+
+    @given(t=times, x=rates)
+    def test_in_unit_interval(self, t, x):
+        p = failure_probability(t, x)
+        assert 0.0 <= p < 1.0 or p == pytest.approx(1.0)
+
+    @given(t=times, x=rates)
+    def test_monotone_in_time(self, t, x):
+        assert failure_probability(1.5 * t, x) >= failure_probability(t, x)
+
+
+class TestTruncatedMean:
+    def test_matches_printed_equation(self):
+        # E(t,X) = [1/X - e^{-Xt}(1/X + t)] / P(t,X)  (Eqn. 2, as printed)
+        for t in (0.5, 3.0, 40.0):
+            for x in (0.01, 0.3, 2.0):
+                p = 1 - math.exp(-x * t)
+                printed = (1 / x - math.exp(-x * t) * (1 / x + t)) / p
+                assert truncated_mean(t, x) == pytest.approx(printed, rel=1e-10)
+
+    def test_small_rate_limit_is_half_interval(self):
+        # Failures uniform over a short interval: E -> t/2.
+        assert truncated_mean(10.0, 1e-12) == pytest.approx(5.0, rel=1e-6)
+
+    def test_large_rate_limit_is_mean(self):
+        # Truncation irrelevant when X t >> 1: E -> 1/X.
+        assert truncated_mean(1e6, 2.0) == pytest.approx(0.5, rel=1e-9)
+
+    def test_zero_interval(self):
+        assert truncated_mean(0.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_continuity_across_small_threshold(self):
+        # The series branch and the expm1 branch must agree at the seam:
+        # E(t, X)/t is ~1/2 on both sides of the xt = 1e-8 switch.
+        x = 1.0
+        below = truncated_mean(0.99e-8, x) / 0.99e-8
+        above = truncated_mean(1.01e-8, x) / 1.01e-8
+        assert below == pytest.approx(above, rel=1e-6)
+        assert below == pytest.approx(0.5, rel=1e-6)
+
+    @given(t=times, x=rates)
+    def test_bounded_by_interval_and_mean(self, t, x):
+        e = truncated_mean(t, x)
+        assert 0.0 <= e <= min(t, 1.0 / x) + 1e-9
+
+    @given(t=times, x=rates)
+    def test_below_midpoint(self, t, x):
+        # Early failures are likelier, so the truncated mean is < t/2.
+        assert truncated_mean(t, x) <= t / 2.0 + 1e-9
+
+    def test_vectorized_matches_scalar(self):
+        ts = np.array([0.1, 1.0, 10.0, 1000.0])
+        vec = truncated_mean(ts, 0.05)
+        for i, t in enumerate(ts):
+            assert vec[i] == pytest.approx(truncated_mean(float(t), 0.05))
+
+
+class TestExpectedFailures:
+    def test_negative_binomial_identity(self):
+        # P/(1-P) = expm1(Xt).
+        t, x = 2.0, 0.3
+        p = failure_probability(t, x)
+        assert expected_failures(t, x) == pytest.approx(p / (1 - p))
+
+    def test_scales_with_successes(self):
+        assert expected_failed_attempts(2.0, 0.3, 10) == pytest.approx(
+            10 * expected_failures(2.0, 0.3)
+        )
+
+    @given(t=times, x=rates)
+    def test_nonnegative(self, t, x):
+        assert expected_failures(t, x) >= 0.0
+
+    def test_overflow_is_inf_not_error(self):
+        assert math.isinf(expected_failures(1e6, 10.0))
+
+
+class TestUnprotectedCompletion:
+    def test_no_failures_is_work(self):
+        assert unprotected_completion_time(100.0, 1e-15, 5.0) == pytest.approx(100.0)
+
+    def test_matches_renewal_identity(self):
+        w, x, r = 50.0, 0.02, 3.0
+        expected = w + expected_failures(w, x) * (truncated_mean(w, x) + r)
+        assert unprotected_completion_time(w, x, r) == pytest.approx(expected)
+
+    @given(w=times, x=rates, r=st.floats(min_value=0, max_value=100))
+    def test_at_least_work(self, w, x, r):
+        assert unprotected_completion_time(w, x, r) >= w - 1e-9
+
+    def test_monotone_in_rate(self):
+        a = unprotected_completion_time(100.0, 0.01, 5.0)
+        b = unprotected_completion_time(100.0, 0.02, 5.0)
+        assert b > a
+
+    def test_monotone_in_restart_cost(self):
+        a = unprotected_completion_time(100.0, 0.01, 1.0)
+        b = unprotected_completion_time(100.0, 0.01, 10.0)
+        assert b > a
+
+    def test_overflow_is_inf(self):
+        assert math.isinf(unprotected_completion_time(1e6, 1.0, 1.0))
+
+    @settings(max_examples=40)
+    @given(w=st.floats(min_value=1.0, max_value=100.0))
+    def test_against_monte_carlo(self, w):
+        # Renewal formula vs direct simulation of restart-from-scratch.
+        x, r = 0.02, 2.0
+        rng = np.random.default_rng(int(w * 1000) % 2**31)
+        total = 0.0
+        n = 400
+        for _ in range(n):
+            t = 0.0
+            while True:
+                gap = rng.exponential(1 / x)
+                if gap >= w:
+                    t += w
+                    break
+                t += gap + r
+            total += t
+        mc = total / n
+        analytic = unprotected_completion_time(w, x, r)
+        assert mc == pytest.approx(analytic, rel=0.25)
