@@ -1,0 +1,76 @@
+"""Benchmarks for the execution layer: vectorized sweep, cache, scheduler.
+
+Times the two optimizations the :mod:`repro.exec` layer and the batched
+optimizer deliver, asserting equality of results alongside the timing:
+
+* the fully-vectorized ``(count-vector x tau0)`` grid sweep against the
+  legacy per-vector loop, on the hardest (four-level) system B;
+* a reduced Figure 2 through the scenario scheduler at ``workers=1`` vs.
+  ``workers=4`` (on a single-CPU container the pool adds overhead and
+  wins nothing — the bench is the honesty check, the equality assertion
+  is the point);
+* cold vs. warm optimization cache on the same reduced Figure 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DauweModel, sweep_plans
+from repro.exec import OptimizationCache, set_active_cache
+from repro.experiments import figure2
+from repro.systems import get_system
+
+_FIG2_KW = dict(
+    trials=10, seed=0, systems=("D1", "D5", "B"), techniques=("dauwe", "moody")
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    previous = set_active_cache(None)
+    yield
+    set_active_cache(previous)
+
+
+def test_sweep_vectorized_grid(benchmark):
+    model = DauweModel(get_system("B"))
+    res = benchmark.pedantic(lambda: sweep_plans(model), rounds=3, iterations=1)
+    assert res.evaluations > 10_000
+
+
+def test_sweep_per_vector_loop(benchmark):
+    model = DauweModel(get_system("B"))
+    res = benchmark.pedantic(
+        lambda: sweep_plans(model, grid_eval=False), rounds=3, iterations=1
+    )
+    # The two paths must agree exactly; the timing delta is the win.
+    assert res == sweep_plans(model)
+
+
+def test_figure2_reduced_serial(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2.run(workers=1, **_FIG2_KW), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 6
+
+
+def test_figure2_reduced_scenario_pool(benchmark):
+    serial = figure2.run(workers=1, **_FIG2_KW)
+    result = benchmark.pedantic(
+        lambda: figure2.run(workers=4, **_FIG2_KW), rounds=1, iterations=1
+    )
+    assert result.rows == serial.rows
+
+
+def test_figure2_reduced_warm_cache(benchmark, tmp_path):
+    cache = OptimizationCache(tmp_path)
+    set_active_cache(cache)
+    cold = figure2.run(workers=1, **_FIG2_KW)
+    before = cache.stats.snapshot()
+    warm = benchmark.pedantic(
+        lambda: figure2.run(workers=1, **_FIG2_KW), rounds=1, iterations=1
+    )
+    delta = cache.stats.delta(before)
+    assert delta.misses == 0 and delta.hits == len(_FIG2_KW["systems"]) * 2
+    assert warm.rows == cold.rows

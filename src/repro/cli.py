@@ -6,10 +6,19 @@ Usage::
     python -m repro figure2 --trials 200 --seed 0
     python -m repro all --trials 100 --report EXPERIMENTS.md
     python -m repro figure4 --quick          # 25-trial smoke run
+    python -m repro all --workers 4 --cache-dir .sweep-cache
 
 ``--report PATH`` additionally writes/updates the Markdown report; with
 ``all`` it contains every experiment.  Figure 6 is derived from Figure 4's
 rows, so ``all`` runs Figure 4 once and reuses it.
+
+``--workers`` fans independent (system, technique) scenarios across a
+process pool (rows are identical to a serial run); ``--sim-workers``
+instead parallelizes the trials *within* each scenario and only applies
+when ``--workers`` is 1, so pools never nest.  An optimization cache is
+active by default (in-memory; ``--cache-dir`` persists it across runs,
+``--no-cache`` disables it); per-experiment stage wall-clock and cache
+hit/miss counts go to stderr.
 """
 
 from __future__ import annotations
@@ -18,6 +27,14 @@ import argparse
 import sys
 import time
 
+from .exec import (
+    OptimizationCache,
+    format_stage_report,
+    get_active_cache,
+    set_active_cache,
+    stage_delta,
+    stage_snapshot,
+)
 from .experiments import EXPERIMENTS, figure4, figure6, write_report
 
 __all__ = ["main", "build_parser"]
@@ -47,7 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument(
-        "--workers", type=int, default=1, help="process-pool workers for trials"
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for independent scenarios "
+        "(rows are identical to a serial run)",
+    )
+    parser.add_argument(
+        "--sim-workers",
+        type=int,
+        default=1,
+        help="process-pool workers for trials within one scenario; "
+        "ignored when --workers > 1 (pools never nest)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persist the optimization cache to PATH (JSON files), "
+        "shared across runs and scenario workers",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the optimization cache entirely",
     )
     parser.add_argument(
         "--quick",
@@ -70,7 +110,11 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
     runner = EXPERIMENTS[name]
     if name == "table1":
         return runner()
-    kwargs = {"seed": args.seed, "workers": args.workers}
+    kwargs = {
+        "seed": args.seed,
+        "workers": args.workers,
+        "sim_workers": args.sim_workers,
+    }
     if args.quick:
         kwargs["trials"] = _QUICK_TRIALS
     elif args.trials is not None:
@@ -87,19 +131,35 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_cache:
+        previous_cache = set_active_cache(None)
+    else:
+        previous_cache = set_active_cache(OptimizationCache(args.cache_dir))
     names = list(EXPERIMENTS.keys()) if args.experiment == "all" else [args.experiment]
     fig4_cache: dict = {}
     results = []
-    for name in names:
-        t0 = time.time()
-        result = _run_one(name, args, fig4_cache)
-        results.append(result)
-        print(result.render(markdown=args.markdown))
-        print(f"[{name} finished in {time.time() - t0:.1f}s]", file=sys.stderr)
-        print()
-    if args.report:
-        path = write_report(results, args.report)
-        print(f"report written to {path}", file=sys.stderr)
+    try:
+        for name in names:
+            t0 = time.time()
+            stage_before = stage_snapshot()
+            cache = get_active_cache()
+            cache_before = cache.stats.snapshot() if cache is not None else None
+            result = _run_one(name, args, fig4_cache)
+            results.append(result)
+            print(result.render(markdown=args.markdown))
+            info = f"[{name} finished in {time.time() - t0:.1f}s"
+            stages = format_stage_report(stage_delta(stage_before))
+            if stages:
+                info += f" | {stages}"
+            if cache is not None:
+                info += f" | cache: {cache.stats.delta(cache_before).describe()}"
+            print(info + "]", file=sys.stderr)
+            print()
+        if args.report:
+            path = write_report(results, args.report)
+            print(f"report written to {path}", file=sys.stderr)
+    finally:
+        set_active_cache(previous_cache)
     return 0
 
 

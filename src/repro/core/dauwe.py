@@ -44,7 +44,7 @@ from typing import Mapping
 import numpy as np
 
 from ..systems.spec import SystemSpec
-from .interfaces import CheckpointModel
+from .interfaces import CheckpointModel, split_grid_counts
 from .plan import CheckpointPlan
 from .severity import LevelMapping
 from .truncated import truncated_mean, unprotected_completion_time
@@ -88,6 +88,7 @@ class DauweModel(CheckpointModel):
     """
 
     name = "dauwe"
+    supports_grid_eval = True
 
     def __init__(
         self,
@@ -128,11 +129,18 @@ class DauweModel(CheckpointModel):
     def predict_time_batch(
         self,
         levels: tuple[int, ...],
-        counts: tuple[int, ...],
+        counts,
         tau0: np.ndarray,
     ) -> np.ndarray:
-        """Vectorized :meth:`predict_time` over an array of ``tau0`` values."""
-        total, _ = self._evaluate(levels, counts, np.asarray(tau0, dtype=float))
+        """Vectorized :meth:`predict_time` over an array of ``tau0`` values.
+
+        ``counts`` may also be a 2-D ``(V, C)`` matrix of count vectors
+        with a 1-D ``tau0`` grid, returning the full ``(V, T)`` time
+        surface in one evaluation of the stage recursion — the optimizer's
+        batched-sweep contract (``supports_grid_eval``).
+        """
+        counts, tau0 = split_grid_counts(counts, np.asarray(tau0, dtype=float))
+        total, _ = self._evaluate(levels, counts, tau0, want_parts=False)
         return total
 
     def predict_breakdown(self, plan: CheckpointPlan) -> Mapping[str, float]:
@@ -146,7 +154,8 @@ class DauweModel(CheckpointModel):
         :meth:`predict_time` exactly.
         """
         total, parts = self._evaluate(
-            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float),
+            want_parts=True,
         )
         out = {key: float(val[0]) for key, val in parts.items()}
         out["total"] = float(total[0])
@@ -156,9 +165,19 @@ class DauweModel(CheckpointModel):
     def _evaluate(
         self,
         levels: tuple[int, ...],
-        counts: tuple[int, ...],
+        counts,
         tau0: np.ndarray,
-    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        want_parts: bool = False,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
+        """Stage recursion over ``tau0``; ``counts`` entries may be arrays.
+
+        Every arithmetic step is elementwise, so scalar counts with a 1-D
+        ``tau0`` (the classic path) and ``(V, 1)`` count columns with a
+        ``(T,)`` grid (the optimizer's batched sweep) both evaluate the
+        same expressions — grid cells are bitwise identical to the
+        corresponding 1-D calls.  ``want_parts=False`` skips the per-event
+        bookkeeping that only :meth:`predict_breakdown` needs.
+        """
         if len(counts) != len(levels) - 1:
             raise ValueError(
                 f"{len(levels)}-level plan needs {len(levels) - 1} counts, "
@@ -167,14 +186,17 @@ class DauweModel(CheckpointModel):
         mp = self._mapping(tuple(levels))
         T_B = self.system.baseline_time
         u = mp.num_used
-        shape = tau0.shape
+        counts = tuple(np.asarray(n, dtype=float) for n in counts)
+        shape = np.broadcast_shapes(tau0.shape, *(n.shape for n in counts))
         zeros = lambda: np.zeros(shape)
 
-        stride = math.prod(n + 1 for n in counts)
+        stride = np.asarray(1.0)
+        for n in counts:
+            stride = stride * (n + 1.0)
         # Eqn. (3): number of top-used-level checkpoints over the whole run.
         n_top = T_B / (tau0 * stride)
 
-        tau_k = tau0.astype(float).copy()  # tau_hat_1 = tau0
+        tau_k = np.broadcast_to(tau0.astype(float), shape).copy()  # tau_hat_1
         hist_tau: list[np.ndarray] = []
         hist_rework: list[np.ndarray] = []  # gamma_j * E(tau_j, lam_j)
         bad = np.zeros(shape, dtype=bool)
@@ -191,7 +213,7 @@ class DauweModel(CheckpointModel):
             delta = mp.checkpoint_times[k]
             R = mp.restart_times[k]
             if k < u - 1:
-                N_k = float(counts[k])
+                N_k = counts[k]
                 m_intervals = N_k + 1.0
                 n_ckpt = N_k
             else:
@@ -234,39 +256,44 @@ class DauweModel(CheckpointModel):
                 else:
                     T_rf = zeros()
 
-                stage_parts.append(
-                    {
-                        "checkpoint": np.broadcast_to(np.asarray(T_d, dtype=float), shape),
-                        "failed_checkpoint": T_df,
-                        "restart": T_r,
-                        "failed_restart": T_rf,
-                        "rework_compute": T_Wtau,
-                        "rework_checkpoint": T_Wd,
-                    }
-                )
-                stage_multipliers.append(m_intervals)
+                if want_parts:
+                    stage_parts.append(
+                        {
+                            "checkpoint": np.broadcast_to(
+                                np.asarray(T_d, dtype=float), shape
+                            ),
+                            "failed_checkpoint": T_df,
+                            "restart": T_r,
+                            "failed_restart": T_rf,
+                            "rework_compute": T_Wtau,
+                            "rework_checkpoint": T_Wd,
+                        }
+                    )
+                    stage_multipliers.append(m_intervals)
 
                 # Eqn. (4)
                 tau_k = tau_k * m_intervals + T_d + T_df + T_r + T_rf + T_Wtau + T_Wd
 
-        # Whole-run totals: stage k's terms occur once per level-(k+1)
-        # interval, i.e. prod of interval counts of the stages above it.
-        parts = {
-            "work": tau0 * stride * np.asarray(stage_multipliers[-1], dtype=float),
-            "checkpoint": zeros(),
-            "failed_checkpoint": zeros(),
-            "restart": zeros(),
-            "failed_restart": zeros(),
-            "rework_compute": zeros(),
-            "rework_checkpoint": zeros(),
-            "unprotected": zeros(),
-        }
-        for k in range(u):
-            mult = np.ones(shape)
-            for j in range(k + 1, u):
-                mult = mult * stage_multipliers[j]
-            for key, val in stage_parts[k].items():
-                parts[key] = parts[key] + val * mult
+        parts: dict[str, np.ndarray] | None = None
+        if want_parts:
+            # Whole-run totals: stage k's terms occur once per level-(k+1)
+            # interval, i.e. prod of interval counts of the stages above it.
+            parts = {
+                "work": tau0 * stride * np.asarray(stage_multipliers[-1], dtype=float),
+                "checkpoint": zeros(),
+                "failed_checkpoint": zeros(),
+                "restart": zeros(),
+                "failed_restart": zeros(),
+                "rework_compute": zeros(),
+                "rework_checkpoint": zeros(),
+                "unprotected": zeros(),
+            }
+            for k in range(u):
+                mult = np.ones(shape)
+                for j in range(k + 1, u):
+                    mult = mult * stage_multipliers[j]
+                for key, val in stage_parts[k].items():
+                    parts[key] = parts[key] + val * mult
 
         total = tau_k
         if mp.unprotected_rate > 0:
@@ -277,10 +304,11 @@ class DauweModel(CheckpointModel):
                         total, mp.unprotected_rate, mp.unprotected_restart
                     )
                 )
-            with np.errstate(invalid="ignore"):
-                parts["unprotected"] = np.where(
-                    np.isfinite(grown) & np.isfinite(total), grown - total, np.inf
-                )
+            if want_parts:
+                with np.errstate(invalid="ignore"):
+                    parts["unprotected"] = np.where(
+                        np.isfinite(grown) & np.isfinite(total), grown - total, np.inf
+                    )
             total = grown
 
         bad |= ~np.isfinite(total)

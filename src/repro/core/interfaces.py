@@ -14,10 +14,35 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..systems.spec import SystemSpec
 from .plan import CheckpointPlan
 
-__all__ = ["CheckpointModel", "OptimizationResult"]
+__all__ = ["CheckpointModel", "OptimizationResult", "split_grid_counts"]
+
+
+def split_grid_counts(counts, tau0: np.ndarray):
+    """Normalize a ``predict_time_batch`` counts argument for grid evaluation.
+
+    The optimizer's batched sweep passes ``counts`` as a 2-D ``(V, C)``
+    matrix of ``V`` candidate count vectors together with a 1-D ``tau0``
+    grid of ``T`` points, expecting a ``(V, T)`` result.  This helper
+    returns ``(count_columns, tau0)`` shaped for broadcasting: each count
+    column as a ``(V, 1)`` array so the model's stage recursion evaluates
+    the whole grid elementwise.  Plain 1-D/tuple counts pass through
+    untouched, keeping the original per-vector semantics.
+    """
+    if isinstance(counts, np.ndarray) and counts.ndim == 2:
+        if tau0.ndim != 1:
+            raise ValueError(
+                f"a counts grid needs a 1-D tau0 axis, got shape {tau0.shape}"
+            )
+        cols = tuple(
+            counts[:, k].astype(float)[:, None] for k in range(counts.shape[1])
+        )
+        return cols, tau0
+    return counts, tau0
 
 
 @dataclass(frozen=True)
@@ -63,6 +88,13 @@ class CheckpointModel(ABC):
 
     #: Technique label, e.g. ``"dauwe"`` or ``"moody"``.
     name: str = "abstract"
+
+    #: Whether this model's ``predict_time_batch`` accepts a 2-D ``(V, C)``
+    #: counts matrix with a 1-D ``tau0`` grid and returns a ``(V, T)``
+    #: array — the contract the optimizer's batched sweep relies on (see
+    #: :func:`split_grid_counts`).  Models leaving this False are swept
+    #: one count vector at a time.
+    supports_grid_eval: bool = False
 
     #: Whether the deployed protocol takes a checkpoint whose scheduled
     #: position coincides with application completion.  Length-*blind*

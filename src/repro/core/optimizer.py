@@ -10,8 +10,11 @@ implements that sweep once, shared by every model:
    variants, single level, ... — technique-specific);
 2. for each subset, enumerate integer count vectors from a graded
    candidate set, pruned by ``tau0_min * prod(N+1) <= T_B``;
-3. evaluate the model over a log-spaced ``tau0`` grid, vectorized when the
-   model provides ``predict_time_batch``;
+3. evaluate the model over the full ``(count vector x tau0)`` grid in
+   batched chunks when the model's ``predict_time_batch`` accepts a 2-D
+   counts matrix (``supports_grid_eval``), falling back to one vectorized
+   call per count vector, and to scalar ``predict_time`` calls for models
+   with no batch path at all;
 4. refine the winner: golden-section search on ``tau0`` plus a hill-climb
    over neighbouring integer counts.
 
@@ -83,12 +86,20 @@ def golden_section(
     lo: float,
     hi: float,
     iterations: int = 60,
-) -> tuple[float, float]:
+    tol: float = 0.0,
+    full_output: bool = False,
+) -> tuple[float, float] | tuple[float, float, int]:
     """Minimize a unimodal scalar function on ``[lo, hi]``.
 
-    Returns ``(argmin, min)``.  The model cost curves in ``tau0`` are
-    smooth and unimodal for fixed counts (checkpoint overhead decreasing,
-    failure rework increasing), which golden-section search exploits.
+    Returns ``(argmin, min)``, or ``(argmin, min, evaluations)`` with
+    ``full_output=True`` where ``evaluations`` is the exact number of
+    ``fn`` calls made.  The model cost curves in ``tau0`` are smooth and
+    unimodal for fixed counts (checkpoint overhead decreasing, failure
+    rework increasing), which golden-section search exploits.
+
+    ``tol > 0`` enables early termination once the bracket has shrunk to
+    ``tol * max(|lo|, |hi|)`` (relative width) — the iteration budget then
+    acts as a cap rather than a fixed cost.
     """
     if not (hi > lo):
         raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
@@ -97,7 +108,11 @@ def golden_section(
     c = b - invphi * (b - a)
     d = a + invphi * (b - a)
     fc, fd = fn(c), fn(d)
+    evals = 2
+    width_floor = tol * max(abs(lo), abs(hi))
     for _ in range(iterations):
+        if tol > 0.0 and (b - a) <= width_floor:
+            break
         if fc <= fd:
             b, d, fd = d, c, fc
             c = b - invphi * (b - a)
@@ -106,9 +121,11 @@ def golden_section(
             a, c, fc = c, d, fd
             d = a + invphi * (b - a)
             fd = fn(d)
-    if fc <= fd:
-        return c, fc
-    return d, fd
+        evals += 1
+    x, fx = (c, fc) if fc <= fd else (d, fd)
+    if full_output:
+        return x, fx, evals
+    return x, fx
 
 
 def _batch_eval(
@@ -136,6 +153,56 @@ def _batch_eval(
     )
 
 
+#: Count vectors per batched grid evaluation.  Bounds peak memory (each
+#: chunk allocates O(chunk * tau0_points) arrays per model stage) while
+#: keeping the numpy calls large enough to amortize dispatch overhead.
+_GRID_CHUNK = 256
+
+
+def _grid_eval_subset(
+    model: CheckpointModel,
+    levels: tuple[int, ...],
+    vecs: list[tuple[int, ...]],
+    tau0s: np.ndarray,
+    pattern_cap: float,
+) -> tuple[float, tuple[int, ...], float, int]:
+    """Evaluate every (count vector, tau0) cell of one level subset batched.
+
+    Returns ``(best_time, best_counts, best_tau0, evaluations)`` for the
+    subset.  Infeasible cells (pattern work exceeding ``pattern_cap``) are
+    masked to infinity rather than skipped, so the winning cell — and the
+    first-wins tie-breaking order — matches the per-vector sweep exactly.
+    """
+    best_time = math.inf
+    best_counts: tuple[int, ...] = ()
+    best_tau0 = float(tau0s[-1])
+    evaluations = 0
+    for start in range(0, len(vecs), _GRID_CHUNK):
+        chunk = vecs[start : start + _GRID_CHUNK]
+        counts_mat = np.asarray(chunk, dtype=float)
+        strides = np.prod(counts_mat + 1.0, axis=1)[:, None]
+        feasible = tau0s[None, :] * strides <= pattern_cap
+        if not feasible.any():
+            continue
+        times = np.asarray(
+            model.predict_time_batch(levels, counts_mat, tau0s), dtype=float
+        )
+        if times.shape != (len(chunk), tau0s.size):
+            raise ValueError(
+                f"{type(model).__name__}.predict_time_batch returned shape "
+                f"{times.shape} for a counts grid, expected "
+                f"{(len(chunk), tau0s.size)}"
+            )
+        evaluations += int(feasible.sum())
+        times = np.where(feasible & np.isfinite(times), times, math.inf)
+        v, t = divmod(int(np.argmin(times)), tau0s.size)
+        if times[v, t] < best_time:
+            best_time = float(times[v, t])
+            best_counts = tuple(int(c) for c in chunk[v])
+            best_tau0 = float(tau0s[t])
+    return best_time, best_counts, best_tau0, evaluations
+
+
 def sweep_plans(
     model: CheckpointModel,
     tau0_points: int = 96,
@@ -144,6 +211,7 @@ def sweep_plans(
     count_candidates: Sequence[int] | None = None,
     refine: bool = True,
     max_pattern_work: float | None = None,
+    grid_eval: bool = True,
 ) -> OptimizationResult:
     """Run the Section III-C bounded sweep for ``model`` and refine the winner.
 
@@ -151,6 +219,13 @@ def sweep_plans(
     log-spaced grid inside ``(0, T_B)`` and count vectors are pruned so a
     full pattern never exceeds the application's work
     (``tau0 * prod(N_i + 1) <= T_B``).
+
+    ``grid_eval=True`` (the default) evaluates the entire
+    ``(count vector x tau0)`` grid of each level subset in batched 2-D
+    ``predict_time_batch`` calls for models that advertise
+    ``supports_grid_eval``; ``False`` forces the one-call-per-count-vector
+    path (kept for models without a grid-capable batch method, and as the
+    benchmark baseline).  Both paths select the same winning plan.
     """
     system = model.system
     T_B = system.baseline_time
@@ -170,9 +245,22 @@ def sweep_plans(
 
     for levels in model.candidate_level_subsets():
         num_counts = len(levels) - 1
-        for counts in enumerate_count_vectors(
-            num_counts, pattern_cap / lo, count_candidates
-        ):
+        vec_iter = enumerate_count_vectors(num_counts, pattern_cap / lo, count_candidates)
+        if grid_eval and num_counts > 0 and getattr(model, "supports_grid_eval", False):
+            vecs = list(vec_iter)
+            if not vecs:
+                continue
+            s_time, s_counts, s_tau0, s_evals = _grid_eval_subset(
+                model, levels, vecs, tau0s, pattern_cap
+            )
+            evaluations += s_evals
+            if s_time < best_time:
+                best_time = s_time
+                best_levels = levels
+                best_counts = s_counts
+                best_tau0 = s_tau0
+            continue
+        for counts in vec_iter:
             stride = math.prod(n + 1 for n in counts)
             mask = tau0s * stride <= pattern_cap
             if not mask.any():
@@ -211,6 +299,13 @@ def sweep_plans(
     )
 
 
+#: Relative bracket width at which the refinement's golden-section polish
+#: stops: far below the model's meaningful resolution in tau0, so results
+#: are unchanged, but the search no longer pays a fixed 60-iteration cost
+#: when it has already converged.
+_REFINE_TOL = 1e-10
+
+
 def _refine(
     model: CheckpointModel,
     levels: tuple[int, ...],
@@ -236,8 +331,9 @@ def _refine(
         fn = lambda t: model.predict_time(
             CheckpointPlan(levels=levels, tau0=t, counts=cts)
         )
-        evals += 60
-        return golden_section(fn, a, b)
+        t0, tt, n = golden_section(fn, a, b, tol=_REFINE_TOL, full_output=True)
+        evals += n
+        return t0, tt
 
     tau0, t_ref = polish(counts, tau0)
     if t_ref < time:

@@ -1,0 +1,50 @@
+"""Experiment execution layer: scenario scheduling, caching, stage metrics.
+
+The experiment harness runs many independent (system, technique, options)
+*scenarios* — one per bar of a figure — each consisting of an expensive
+optimization stage (the Section III-C sweep) followed by a simulation
+stage.  This package provides the shared machinery that makes those runs
+fast and reusable:
+
+* :mod:`~repro.exec.scheduler` — fans independent scenarios across a
+  process pool with deterministic, order-stable result collection
+  (:func:`run_scenarios` / :class:`ScenarioTask`);
+* :mod:`~repro.exec.cache` — a content-addressed
+  :class:`OptimizationCache` so each (system, technique, options) sweep
+  is computed once and reused across figures, runs and benches;
+* :mod:`~repro.exec.metrics` — per-stage wall-clock accounting reported
+  by the CLI.
+
+See README.md "Performance architecture" for the layer diagram.
+"""
+
+from .cache import (
+    CacheStats,
+    OptimizationCache,
+    cache_key,
+    get_active_cache,
+    set_active_cache,
+)
+from .metrics import (
+    format_stage_report,
+    merge_stages,
+    record_stage,
+    stage_delta,
+    stage_snapshot,
+)
+from .scheduler import ScenarioTask, run_scenarios
+
+__all__ = [
+    "CacheStats",
+    "OptimizationCache",
+    "ScenarioTask",
+    "cache_key",
+    "format_stage_report",
+    "get_active_cache",
+    "merge_stages",
+    "record_stage",
+    "run_scenarios",
+    "set_active_cache",
+    "stage_delta",
+    "stage_snapshot",
+]

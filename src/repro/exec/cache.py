@@ -1,0 +1,254 @@
+"""Content-addressed cache for optimization results.
+
+The Section III-C sweep is by far the most expensive analytic step of the
+reproduction (hundreds of thousands of model evaluations for a four-level
+system), and the same 55 (system, technique) sweeps are re-run by every
+figure, every ``--quick`` smoke run and every bench.  The cache keys an
+:class:`~repro.core.interfaces.OptimizationResult` by a hash of everything
+that determines it — the system spec's *numerical content* (not its name,
+so renamed Figure-4 grid scenarios share entries), the technique, the
+model options and the sweep parameters — and stores it in an in-memory
+LRU, optionally backed by a directory of JSON files so results survive
+across processes and invocations.
+
+Disk entries are one file per key (``<key>.json``), written atomically via
+rename, so concurrent scenario workers sharing a cache directory never
+read torn files; a corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from ..core.interfaces import OptimizationResult
+from ..core.plan import CheckpointPlan
+from ..systems.spec import SystemSpec
+
+__all__ = [
+    "CacheStats",
+    "OptimizationCache",
+    "cache_key",
+    "get_active_cache",
+    "set_active_cache",
+]
+
+#: Bump when the optimizer's output semantics change incompatibly, so
+#: stale on-disk entries from older code are never reused.
+_KEY_VERSION = 1
+
+
+def _canonical(value):
+    """Make options JSON-canonical (tuples -> lists, sorted dict keys)."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(value[k]) for k in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def cache_key(
+    system: SystemSpec,
+    technique: str,
+    model_options: Mapping | None = None,
+    sweep_options: Mapping | None = None,
+) -> str:
+    """Content hash identifying one optimization problem.
+
+    Includes every numerical field of the system spec but *not* its name
+    or description: two specs with identical physics share a key.
+    """
+    payload = {
+        "v": _KEY_VERSION,
+        "mtbf": system.mtbf,
+        "probs": list(system.level_probabilities),
+        "ckpt": list(system.checkpoint_times),
+        "restart": None if system.restart_times is None else list(system.restart_times),
+        "T_B": system.baseline_time,
+        "technique": technique.lower(),
+        "model_options": _canonical(model_options or {}),
+        "sweep_options": _canonical(sweep_options or {}),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+
+def _result_to_dict(result: OptimizationResult) -> dict:
+    return {
+        "levels": list(result.plan.levels),
+        "tau0": result.plan.tau0,
+        "counts": list(result.plan.counts),
+        "predicted_time": result.predicted_time,
+        "predicted_efficiency": result.predicted_efficiency,
+        "evaluations": result.evaluations,
+    }
+
+
+def _result_from_dict(data: dict) -> OptimizationResult:
+    return OptimizationResult(
+        plan=CheckpointPlan(
+            levels=tuple(data["levels"]),
+            tau0=float(data["tau0"]),
+            counts=tuple(data["counts"]),
+        ),
+        predicted_time=float(data["predicted_time"]),
+        predicted_efficiency=float(data["predicted_efficiency"]),
+        evaluations=int(data["evaluations"]),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; ``disk_hits`` is the subset of hits read from disk."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.disk_hits, self.stores)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.disk_hits - earlier.disk_hits,
+            self.stores - earlier.stores,
+        )
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.disk_hits += other.disk_hits
+        self.stores += other.stores
+
+    def describe(self) -> str:
+        out = f"{self.hits} hits, {self.misses} misses"
+        if self.disk_hits:
+            out += f" ({self.disk_hits} from disk)"
+        return out
+
+
+class OptimizationCache:
+    """In-memory LRU of :class:`OptimizationResult`, with optional disk store.
+
+    Parameters
+    ----------
+    cache_dir:
+        When given, every entry is also persisted as
+        ``cache_dir/<key>.json`` and lookups fall back to disk on a
+        memory miss — this is what makes results shareable across
+        scenario worker processes and across CLI invocations.
+    max_entries:
+        In-memory LRU bound; disk entries are never evicted.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._memory: OrderedDict[str, OptimizationResult] = OrderedDict()
+        self._max_entries = max_entries
+        self._dir = Path(cache_dir) if cache_dir is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._dir
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _remember(self, key: str, result: OptimizationResult) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._max_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> OptimizationResult | None:
+        """Look up ``key`` (memory first, then disk); count hit or miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        if self._dir is not None:
+            path = self._dir / f"{key}.json"
+            try:
+                data = json.loads(path.read_text())
+                result = _result_from_dict(data)
+            except (OSError, ValueError, KeyError, TypeError):
+                pass  # missing or corrupt entry: a miss, never an error
+            else:
+                self._remember(key, result)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: OptimizationResult) -> None:
+        """Store ``result`` in memory and (atomically) on disk."""
+        self._remember(key, result)
+        self.stats.stores += 1
+        if self._dir is None:
+            return
+        blob = json.dumps(_result_to_dict(result))
+        fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._dir / f"{key}.json")
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(
+        self,
+        system: SystemSpec,
+        technique: str,
+        compute: Callable[[], OptimizationResult],
+        model_options: Mapping | None = None,
+        sweep_options: Mapping | None = None,
+    ) -> OptimizationResult:
+        """Return the cached result for this problem, computing on a miss."""
+        key = cache_key(system, technique, model_options, sweep_options)
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        result = compute()
+        self.put(key, result)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Process-wide active cache.  The CLI installs one for the whole run; the
+# scenario scheduler's worker initializer installs a per-worker cache
+# pointing at the same directory so workers share the disk store.
+_ACTIVE: OptimizationCache | None = None
+
+
+def set_active_cache(cache: OptimizationCache | None) -> OptimizationCache | None:
+    """Install ``cache`` as the process-wide default; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+def get_active_cache() -> OptimizationCache | None:
+    """The process-wide cache consulted by ``optimize_technique`` (may be None)."""
+    return _ACTIVE

@@ -1,0 +1,76 @@
+"""Per-stage wall-clock accounting for the experiment harness.
+
+The runner's two schedulable stages (``optimize`` and ``simulate``) report
+their elapsed time here; the scenario scheduler folds in the stage clocks
+of its worker processes so the CLI can print one honest per-experiment
+summary — how much time the sweeps took versus the trials, and how much
+the optimization cache saved — without any experiment module carrying its
+own stopwatch code.
+
+Counters are process-global and monotonically increasing; callers take a
+:func:`stage_snapshot` before a block of work and diff with
+:func:`stage_delta` after, exactly like the cache's stats.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "format_stage_report",
+    "merge_stages",
+    "record_stage",
+    "stage_delta",
+    "stage_snapshot",
+]
+
+_LOCK = threading.Lock()
+#: stage name -> [total seconds, number of recordings]
+_STAGES: dict[str, list[float]] = {}
+
+
+def record_stage(name: str, seconds: float) -> None:
+    """Add ``seconds`` of wall-clock to stage ``name``."""
+    with _LOCK:
+        entry = _STAGES.setdefault(name, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += 1
+
+
+def stage_snapshot() -> dict[str, tuple[float, int]]:
+    """Immutable copy of the current per-stage totals."""
+    with _LOCK:
+        return {name: (total, count) for name, (total, count) in _STAGES.items()}
+
+
+def stage_delta(
+    before: dict[str, tuple[float, int]],
+    after: dict[str, tuple[float, int]] | None = None,
+) -> dict[str, tuple[float, int]]:
+    """Per-stage totals accumulated between two snapshots."""
+    if after is None:
+        after = stage_snapshot()
+    out: dict[str, tuple[float, int]] = {}
+    for name, (total, count) in after.items():
+        b_total, b_count = before.get(name, (0.0, 0))
+        if count - b_count > 0 or total - b_total > 0:
+            out[name] = (total - b_total, count - b_count)
+    return out
+
+
+def merge_stages(delta: dict[str, tuple[float, int]]) -> None:
+    """Fold a worker process's stage delta into this process's totals."""
+    for name, (total, count) in delta.items():
+        with _LOCK:
+            entry = _STAGES.setdefault(name, [0.0, 0])
+            entry[0] += total
+            entry[1] += count
+
+
+def format_stage_report(delta: dict[str, tuple[float, int]]) -> str:
+    """``"optimize 3.2s/55, simulate 41.0s/55"`` — for the CLI's stderr line."""
+    parts = [
+        f"{name} {total:.1f}s/{count}"
+        for name, (total, count) in sorted(delta.items())
+    ]
+    return ", ".join(parts)

@@ -1,0 +1,128 @@
+"""Scenario scheduler: order-stable fan-out of independent experiment units.
+
+Every figure of the reproduction is a flat list of independent
+(system, technique, options) scenarios, each internally sequential
+(optimize, then simulate).  The scheduler runs such a list either inline
+(``workers <= 1``) or across a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and always returns results **in task order**, so experiment rows are
+byte-identical to a serial run — determinism is carried by the tasks
+themselves (per-trial seeds are derived from ``SeedSequence.spawn``, which
+is scheduling-independent; see :func:`repro.simulator.run.trial_seeds`).
+
+Worker processes are initialized with:
+
+* a process-local :class:`~repro.exec.cache.OptimizationCache` pointing at
+  the same directory as the parent's active cache (when it has one), so
+  sweeps are shared across workers and runs;
+* the simulator's *inline mode* (see
+  :func:`repro.simulator.run.set_inline_mode`), so a scenario running in a
+  worker can never spawn a second, nested process pool for its trials.
+
+Each task additionally ships its stage wall-clock and cache-stats deltas
+back to the parent, so CLI reporting sees the whole run's totals no matter
+where the work executed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from . import metrics
+from .cache import CacheStats, OptimizationCache, get_active_cache, set_active_cache
+
+__all__ = ["ScenarioTask", "run_scenarios"]
+
+#: True inside a scheduler worker process; forces nested run_scenarios
+#: calls (and, via the simulator's inline mode, nested trial pools) to run
+#: serially instead of spawning pools within pools.
+_IN_SCENARIO_WORKER = False
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level (picklable) callable; closures cannot
+    cross the process boundary.  ``label`` is used in error reports only.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+
+
+def _worker_init(cache_dir, cache_enabled: bool) -> None:
+    """Configure a scheduler worker: cache wiring + no nested pools."""
+    global _IN_SCENARIO_WORKER
+    _IN_SCENARIO_WORKER = True
+    if not cache_enabled:
+        set_active_cache(None)
+    else:
+        inherited = get_active_cache()
+        want_dir = None if cache_dir is None else str(cache_dir)
+        have_dir = (
+            None
+            if inherited is None or inherited.cache_dir is None
+            else str(inherited.cache_dir)
+        )
+        # A fork-started worker inherits the parent's warm in-memory
+        # cache; keep it when it points at the right disk store.
+        if inherited is None or have_dir != want_dir:
+            set_active_cache(OptimizationCache(cache_dir))
+
+    from ..simulator import run as simulator_run
+
+    simulator_run.set_inline_mode(True)
+
+
+def _run_remote(task: ScenarioTask):
+    """Execute one task in a worker, returning (result, stage/cache deltas)."""
+    stage_before = metrics.stage_snapshot()
+    cache = get_active_cache()
+    cache_before = cache.stats.snapshot() if cache is not None else CacheStats()
+    result = task.fn(*task.args, **task.kwargs)
+    stage_after = metrics.stage_delta(stage_before)
+    cache_after = cache.stats.delta(cache_before) if cache is not None else CacheStats()
+    return result, stage_after, cache_after
+
+
+def run_scenarios(
+    tasks: Sequence[ScenarioTask],
+    workers: int = 1,
+) -> list[Any]:
+    """Run ``tasks`` and return their results in task order.
+
+    ``workers <= 1`` (or a single task, or a call from inside a scheduler
+    worker) executes inline; otherwise tasks are distributed over a
+    process pool.  Results are collected by submission index, never by
+    completion order, so the output is identical either way.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers <= 1 or len(tasks) < 2 or _IN_SCENARIO_WORKER:
+        return [task.fn(*task.args, **task.kwargs) for task in tasks]
+
+    active = get_active_cache()
+    cache_dir = None if active is None or active.cache_dir is None else str(active.cache_dir)
+    results: list[Any] = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        initializer=_worker_init,
+        initargs=(cache_dir, active is not None),
+    ) as pool:
+        futures = [pool.submit(_run_remote, task) for task in tasks]
+        for i, fut in enumerate(futures):
+            try:
+                result, stage_d, cache_d = fut.result()
+            except Exception as err:
+                label = tasks[i].label or f"task {i}"
+                raise RuntimeError(f"scenario {label!r} failed: {err}") from err
+            results[i] = result
+            metrics.merge_stages(stage_d)
+            if active is not None:
+                active.stats.merge(cache_d)
+    return results

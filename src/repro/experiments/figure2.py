@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import DEFAULT_TECHNIQUES, evaluate_technique
+from .runner import DEFAULT_TECHNIQUES, evaluate_scenarios
 
 __all__ = ["run"]
 
@@ -30,23 +30,27 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
+    pairs = [
+        (TEST_SYSTEMS[name], tech) for name in systems for tech in techniques
+    ]
+    outs = evaluate_scenarios(
+        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
+    )
     rows = []
-    for name in systems:
-        spec = TEST_SYSTEMS[name]
-        for tech in techniques:
-            out = evaluate_technique(spec, tech, trials=trials, seed=seed, workers=workers)
-            rows.append(
-                {
-                    "system": name,
-                    "technique": tech,
-                    "sim efficiency": out.simulated_efficiency,
-                    "std": out.simulated_std,
-                    "predicted": out.predicted_efficiency,
-                    "error": out.prediction_error,
-                    "plan": out.plan,
-                }
-            )
+    for out in outs:
+        rows.append(
+            {
+                "system": out.system,
+                "technique": out.technique,
+                "sim efficiency": out.simulated_efficiency,
+                "std": out.simulated_std,
+                "predicted": out.predicted_efficiency,
+                "error": out.prediction_error,
+                "plan": out.plan,
+            }
+        )
     return ExperimentResult(
         experiment_id="figure2",
         title="Efficiency of checkpoint interval optimization techniques (Figure 2)",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES, evaluate_technique
+from .runner import BREAKDOWN_TECHNIQUES, evaluate_scenarios
 
 __all__ = ["run"]
 
@@ -36,18 +36,22 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
+    pairs = [
+        (TEST_SYSTEMS[name], tech) for name in systems for tech in techniques
+    ]
+    outs = evaluate_scenarios(
+        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
+    )
     rows = []
-    for name in systems:
-        spec = TEST_SYSTEMS[name]
-        for tech in techniques:
-            out = evaluate_technique(spec, tech, trials=trials, seed=seed, workers=workers)
-            fr = out.breakdown_fractions
-            row = {"system": name, "technique": tech}
-            for cat in _CATS:
-                row[cat] = 100.0 * fr.get(cat, 0.0)
-            row["failed C/R total"] = row["failed_checkpoint"] + row["failed_restart"]
-            rows.append(row)
+    for out in outs:
+        fr = out.breakdown_fractions
+        row = {"system": out.system, "technique": out.technique}
+        for cat in _CATS:
+            row[cat] = 100.0 * fr.get(cat, 0.0)
+        row["failed C/R total"] = row["failed_checkpoint"] + row["failed_restart"]
+        rows.append(row)
     return ExperimentResult(
         experiment_id="figure3",
         title="Percentage of execution time per event category (Figure 3)",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ..systems import exascale_grid
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES, evaluate_technique
+from .runner import BREAKDOWN_TECHNIQUES, evaluate_scenarios
 
 __all__ = ["run"]
 
@@ -29,26 +29,31 @@ def run(
     seed: int = 0,
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+    sim_workers: int = 1,
 ) -> ExperimentResult:
+    pairs = [
+        (spec, tech)
+        for spec in exascale_grid(short_application=True)
+        for tech in techniques
+    ]
+    outs = evaluate_scenarios(
+        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
+    )
     rows = []
-    for spec in exascale_grid(short_application=True):
-        mtbf = spec.mtbf
-        top_cost = spec.checkpoint_times[-1]
-        for tech in techniques:
-            out = evaluate_technique(spec, tech, trials=trials, seed=seed, workers=workers)
-            skipped = f"L{spec.num_levels}" not in out.plan
-            rows.append(
-                {
-                    "cL (min)": top_cost,
-                    "MTBF (min)": mtbf,
-                    "technique": tech,
-                    "sim efficiency": out.simulated_efficiency,
-                    "std": out.simulated_std,
-                    "predicted": out.predicted_efficiency,
-                    "skips level-L": "yes" if skipped else "no",
-                    "plan": out.plan,
-                }
-            )
+    for (spec, tech), out in zip(pairs, outs):
+        skipped = f"L{spec.num_levels}" not in out.plan
+        rows.append(
+            {
+                "cL (min)": spec.checkpoint_times[-1],
+                "MTBF (min)": spec.mtbf,
+                "technique": tech,
+                "sim efficiency": out.simulated_efficiency,
+                "std": out.simulated_std,
+                "predicted": out.predicted_efficiency,
+                "skips level-L": "yes" if skipped else "no",
+                "plan": out.plan,
+            }
+        )
     return ExperimentResult(
         experiment_id="figure5",
         title="30-minute application under exascale scenarios (Figure 5)",

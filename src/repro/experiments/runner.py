@@ -5,18 +5,46 @@ This is the paper's experimental procedure (Section IV-C): for each
 checkpoint intervals, the simulator executes the chosen plan across many
 independent failure-randomized trials, and we record both the simulated
 efficiency (bar + std) and the model's predicted efficiency (diamond).
+
+The procedure is split into two separately schedulable stages so the
+:mod:`repro.exec` layer can cache and parallelize them independently:
+
+* :func:`optimize_technique` — the analytic Section III-C sweep.  Pure
+  function of (system physics, technique, options); consults the active
+  :class:`~repro.exec.cache.OptimizationCache` so repeated figures never
+  recompute a sweep.
+* :func:`measure_technique` — the Monte-Carlo measurement of a chosen
+  plan.  Depends additionally on ``(trials, seed)``, so it is *not*
+  cached, but it is embarrassingly parallel across scenarios.
+
+:func:`evaluate_technique` composes the two (the original single-call
+API), and :func:`evaluate_scenarios` fans a list of independent
+(system, technique) pairs across the scenario scheduler.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
+from typing import Mapping, Sequence
 
-from ..models import make_model
+from ..exec import ScenarioTask, get_active_cache, record_stage, run_scenarios
+from ..exec.cache import OptimizationCache
+from ..models import TECHNIQUES, make_model
+from ..core.interfaces import OptimizationResult
 from ..simulator import simulate_many
 from ..systems.spec import SystemSpec
 from .records import TechniqueOutcome
 
-__all__ = ["evaluate_technique", "DEFAULT_TECHNIQUES", "BREAKDOWN_TECHNIQUES"]
+__all__ = [
+    "evaluate_scenarios",
+    "evaluate_technique",
+    "measure_technique",
+    "optimize_technique",
+    "pair_seed",
+    "DEFAULT_TECHNIQUES",
+    "BREAKDOWN_TECHNIQUES",
+]
 
 #: Figure 2's five techniques, legend order.
 DEFAULT_TECHNIQUES = ("dauwe", "di", "moody", "benoit", "daly")
@@ -24,42 +52,87 @@ DEFAULT_TECHNIQUES = ("dauwe", "di", "moody", "benoit", "daly")
 BREAKDOWN_TECHNIQUES = ("dauwe", "di", "moody")
 
 
-def evaluate_technique(
+def pair_seed(seed: int | None, system_name: str, technique: str) -> int | None:
+    """Per-pair simulation seed, stable across processes and worker counts.
+
+    Derived from ``seed`` and the pair's identity so that different
+    techniques never share failure sequences (they would on a real
+    machine, but independent draws match the paper's per-setup
+    200/400-trial methodology and keep pairs independently reproducible).
+    Uses CRC32, not built-in ``hash`` — the latter is salted per process.
+    """
+    if seed is None:
+        return None
+    return zlib.crc32(f"{seed}/{system_name}/{technique}".encode())
+
+
+def optimize_technique(
     system: SystemSpec,
     technique: str,
+    model_options: Mapping | None = None,
+    sweep_options: Mapping | None = None,
+    cache: OptimizationCache | None = None,
+) -> OptimizationResult:
+    """Stage 1: the technique's own model selects the checkpoint plan.
+
+    Deterministic in its arguments, so the result is memoized in
+    ``cache`` (default: the process-wide active cache installed by the
+    CLI or the scenario scheduler's worker initializer; ``None`` active
+    cache means compute every time).  Elapsed wall-clock is recorded
+    under the ``"optimize"`` stage either way — a cache hit simply
+    records a near-zero duration.
+    """
+    model_options = dict(model_options or {})
+    sweep_options = dict(sweep_options or {})
+    if cache is None:
+        cache = get_active_cache()
+
+    def compute() -> OptimizationResult:
+        model = make_model(technique, system, **model_options)
+        return model.optimize(**sweep_options)
+
+    start = time.perf_counter()
+    if cache is not None:
+        opt = cache.get_or_compute(
+            system, technique, compute,
+            model_options=model_options, sweep_options=sweep_options,
+        )
+    else:
+        opt = compute()
+    record_stage("optimize", time.perf_counter() - start)
+    return opt
+
+
+def measure_technique(
+    system: SystemSpec,
+    technique: str,
+    opt: OptimizationResult,
     trials: int,
     seed: int | None = 0,
     workers: int = 1,
-    model_options: dict | None = None,
     **simulate_options,
 ) -> TechniqueOutcome:
-    """Optimize ``technique`` on ``system`` and measure the chosen plan.
+    """Stage 2: measure an optimized plan across failure-randomized trials.
 
-    The per-pair simulation seed is derived from ``seed`` and the pair's
-    identity so that different techniques never share failure sequences
-    (they would on a real machine, but independent draws match the
-    paper's per-setup 200/400-trial methodology and keep pairs
-    independently reproducible).
+    ``checkpoint_at_completion`` defaults to the technique's registered
+    behavior — length-blind protocols (Moody, Benoit) checkpoint on
+    schedule even at the very end of the run; length-aware ones omit the
+    pointless write.  Pass it explicitly to override.
     """
-    model = make_model(technique, system, **(model_options or {}))
-    opt = model.optimize()
-    # Length-blind protocols (Moody, Benoit) checkpoint on schedule even at
-    # the very end of the run; length-aware ones omit the pointless write.
     simulate_options.setdefault(
-        "checkpoint_at_completion", model.takes_scheduled_end_checkpoint
+        "checkpoint_at_completion",
+        TECHNIQUES[technique.lower()].takes_scheduled_end_checkpoint,
     )
-    pair_seed = None
-    if seed is not None:
-        # Stable across processes (unlike built-in str hashing).
-        pair_seed = zlib.crc32(f"{seed}/{system.name}/{technique}".encode())
+    start = time.perf_counter()
     stats = simulate_many(
         system,
         opt.plan,
         trials=trials,
-        seed=pair_seed,
+        seed=pair_seed(seed, system.name, technique),
         workers=workers,
         **simulate_options,
     )
+    record_stage("simulate", time.perf_counter() - start)
     return TechniqueOutcome(
         system=system.name,
         technique=technique,
@@ -74,3 +147,76 @@ def evaluate_technique(
         breakdown_fractions=stats.mean_breakdown.fractions(),
         mean_failures=stats.mean_failures,
     )
+
+
+def evaluate_technique(
+    system: SystemSpec,
+    technique: str,
+    trials: int,
+    seed: int | None = 0,
+    workers: int = 1,
+    model_options: dict | None = None,
+    sweep_options: dict | None = None,
+    cache: OptimizationCache | None = None,
+    **simulate_options,
+) -> TechniqueOutcome:
+    """Optimize ``technique`` on ``system`` and measure the chosen plan.
+
+    Composition of :func:`optimize_technique` and
+    :func:`measure_technique`; see those for staging, caching and
+    seeding semantics.
+    """
+    opt = optimize_technique(
+        system,
+        technique,
+        model_options=model_options,
+        sweep_options=sweep_options,
+        cache=cache,
+    )
+    return measure_technique(
+        system, technique, opt, trials, seed=seed, workers=workers,
+        **simulate_options,
+    )
+
+
+def evaluate_scenarios(
+    pairs: Sequence[tuple],
+    trials: int,
+    seed: int | None = 0,
+    workers: int = 1,
+    sim_workers: int = 1,
+    **common_options,
+) -> list[TechniqueOutcome]:
+    """Evaluate independent (system, technique) scenarios, rows in order.
+
+    Each element of ``pairs`` is ``(system, technique)`` or
+    ``(system, technique, options)`` where ``options`` is a dict of
+    per-pair keyword arguments for :func:`evaluate_technique`
+    (``model_options``, simulate options, ...) layered over
+    ``common_options``.  ``workers`` is the *scenario* fan-out; when it
+    is > 1 the per-scenario trial pool is forced to a single worker
+    (``sim_workers`` is ignored) so pools never nest — see
+    :mod:`repro.exec.scheduler`.
+
+    The returned list is ordered like ``pairs`` regardless of worker
+    count, and each row is identical to what a serial
+    :func:`evaluate_technique` loop would produce with the same ``seed``.
+    """
+    tasks = []
+    for pair in pairs:
+        system, technique, *rest = pair
+        kwargs = dict(common_options)
+        if rest:
+            kwargs.update(rest[0])
+        kwargs["trials"] = trials
+        kwargs["seed"] = seed
+        kwargs["workers"] = 1 if workers > 1 else sim_workers
+        tasks.append(
+            ScenarioTask(
+                fn=evaluate_technique,
+                args=(system, technique),
+                kwargs=kwargs,
+                label=f"{system.name}/{technique}",
+            )
+        )
+    return run_scenarios(tasks, workers=workers)

@@ -32,7 +32,7 @@ import math
 
 import numpy as np
 
-from ..core.interfaces import CheckpointModel
+from ..core.interfaces import CheckpointModel, split_grid_counts
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
 from ..systems.spec import SystemSpec
@@ -45,6 +45,7 @@ class BenoitModel(CheckpointModel):
 
     name = "benoit"
     takes_scheduled_end_checkpoint = True
+    supports_grid_eval = True
 
     def __init__(self, system: SystemSpec):
         super().__init__(system)
@@ -66,7 +67,7 @@ class BenoitModel(CheckpointModel):
     def predict_time_batch(
         self,
         levels: tuple[int, ...],
-        counts: tuple[int, ...],
+        counts,
         tau0: np.ndarray,
     ) -> np.ndarray:
         L = self.system.num_levels
@@ -75,19 +76,21 @@ class BenoitModel(CheckpointModel):
                 f"the Benoit model prices the full {L}-level protocol only, "
                 f"got levels={levels}"
             )
+        counts, tau0 = split_grid_counts(counts, np.asarray(tau0, dtype=float))
         if len(counts) != L - 1:
             raise ValueError(f"expected {L - 1} counts, got {len(counts)}")
-        tau0 = np.asarray(tau0, dtype=float)
+        counts = tuple(np.asarray(n, dtype=float) for n in counts)
         mp = self._mapping
+        shape = np.broadcast_shapes(tau0.shape, *(n.shape for n in counts))
 
         # Work between level-k checkpoints, W_k = tau0 * prod_{j<k}(N_j+1).
-        strides = [1]
+        strides = [np.asarray(1.0)]
         for n in counts:
-            strides.append(strides[-1] * (n + 1))
+            strides.append(strides[-1] * (n + 1.0))
 
         # Checkpoint overhead per unit work: positions where the protocol
         # takes *exactly* a level-k checkpoint have density 1/W_k - 1/W_{k+1}.
-        h_ckpt = np.zeros_like(tau0)
+        h_ckpt = np.zeros(shape)
         for k in range(L):
             dens = 1.0 / (tau0 * strides[k])
             if k + 1 < L:
@@ -96,7 +99,7 @@ class BenoitModel(CheckpointModel):
 
         # Failure waste per unit work: each severity-k failure restarts
         # (cost R_k) and loses half a level-k interval of wall-clock time.
-        h_fail = np.zeros_like(tau0)
+        h_fail = np.zeros(shape)
         for k in range(L):
             span = tau0 * strides[k] * (1.0 + h_ckpt)
             h_fail += mp.rates[k] * (mp.restart_times[k] + span / 2.0)

@@ -123,13 +123,13 @@ class DalyModel(CheckpointModel):
         )
         lo = max(T_B * 1e-6, seed / 16.0)
         hi = min(T_B, seed * 16.0)
-        tau, best = golden_section(fn, lo, hi, iterations=80)
+        tau, best, evals = golden_section(fn, lo, hi, iterations=80, full_output=True)
         plan = CheckpointPlan.single_level(self._level, tau)
         return OptimizationResult(
             plan=plan,
             predicted_time=best,
             predicted_efficiency=min(1.0, T_B / best) if math.isfinite(best) else 0.0,
-            evaluations=82,
+            evaluations=evals,
         )
 
     @property

@@ -30,7 +30,7 @@ import math
 
 import numpy as np
 
-from ..core.interfaces import CheckpointModel, OptimizationResult
+from ..core.interfaces import CheckpointModel, OptimizationResult, split_grid_counts
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
 from ..core.truncated import truncated_mean
@@ -46,6 +46,7 @@ class MoodyModel(CheckpointModel):
 
     name = "moody"
     takes_scheduled_end_checkpoint = True
+    supports_grid_eval = True
 
     def __init__(self, system: SystemSpec, escalating_restarts: bool = True):
         super().__init__(system)
@@ -70,10 +71,14 @@ class MoodyModel(CheckpointModel):
     def predict_time_batch(
         self,
         levels: tuple[int, ...],
-        counts: tuple[int, ...],
+        counts,
         tau0: np.ndarray,
     ) -> np.ndarray:
-        """``T_B / pattern_efficiency`` over an array of ``tau0`` values."""
+        """``T_B / pattern_efficiency`` over an array of ``tau0`` values.
+
+        ``counts`` may be a 2-D ``(V, C)`` matrix of count vectors (the
+        optimizer's batched-sweep contract); the result is then ``(V, T)``.
+        """
         eff = self.pattern_efficiency_batch(levels, counts, tau0)
         T_B = self.system.baseline_time
         with np.errstate(divide="ignore"):
@@ -90,7 +95,7 @@ class MoodyModel(CheckpointModel):
     def pattern_efficiency_batch(
         self,
         levels: tuple[int, ...],
-        counts: tuple[int, ...],
+        counts,
         tau0: np.ndarray,
     ) -> np.ndarray:
         L = self.system.num_levels
@@ -99,14 +104,18 @@ class MoodyModel(CheckpointModel):
                 f"the Moody model prices the full {L}-level protocol only, "
                 f"got levels={levels}"
             )
+        counts, tau0 = split_grid_counts(counts, np.asarray(tau0, dtype=float))
         if len(counts) != L - 1:
             raise ValueError(f"expected {L - 1} counts, got {len(counts)}")
-        tau0 = np.asarray(tau0, dtype=float)
+        counts = tuple(np.asarray(n, dtype=float) for n in counts)
         mp = self._mapping
-        shape = tau0.shape
+        shape = np.broadcast_shapes(tau0.shape, *(n.shape for n in counts))
 
-        pattern_work = tau0 * math.prod(n + 1 for n in counts)
-        tau_k = tau0.astype(float).copy()
+        stride = np.asarray(1.0)
+        for n in counts:
+            stride = stride * (n + 1.0)
+        pattern_work = tau0 * stride
+        tau_k = np.broadcast_to(tau0.astype(float), shape).copy()
         esc_in = np.zeros(shape)
         bad = np.zeros(shape, dtype=bool)
         hist_tau: list[np.ndarray] = []
@@ -123,7 +132,7 @@ class MoodyModel(CheckpointModel):
                 n_ckpt = 1.0
             else:
                 m_intervals = counts[k] + 1.0
-                n_ckpt = float(counts[k])
+                n_ckpt = counts[k]
 
             with np.errstate(over="ignore", invalid="ignore"):
                 bad |= lam_k * tau_k > _MAX_RATE_TIME

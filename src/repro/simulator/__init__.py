@@ -11,7 +11,7 @@
 
 from .accounting import SimulationStats, TimeBreakdown, TrialResult
 from .engine import default_max_time, simulate_trial
-from .run import simulate_many, trial_seeds
+from .run import set_inline_mode, simulate_many, trial_seeds
 from .tracelog import SimEvent, render_timeline, validate_timeline
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "TrialResult",
     "default_max_time",
     "render_timeline",
+    "set_inline_mode",
     "simulate_many",
     "simulate_trial",
     "trial_seeds",

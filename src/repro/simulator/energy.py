@@ -158,7 +158,9 @@ class _EnergyObjective(CheckpointModel):
     def predict_time_batch(self, levels, counts, tau0):
         import numpy as np
 
-        _, parts = self.base._evaluate(levels, counts, np.asarray(tau0, dtype=float))
+        _, parts = self.base._evaluate(
+            levels, counts, np.asarray(tau0, dtype=float), want_parts=True
+        )
         kwh = np.zeros_like(np.asarray(tau0, dtype=float))
         for name, minutes in parts.items():
             kwh = kwh + minutes * self.profile.category_power(name)

@@ -20,7 +20,22 @@ from ..systems.spec import SystemSpec
 from .accounting import SimulationStats, TrialResult
 from .engine import simulate_trial
 
-__all__ = ["simulate_many", "trial_seeds"]
+__all__ = ["simulate_many", "set_inline_mode", "trial_seeds"]
+
+#: When True, ``simulate_many`` never spawns a process pool regardless of
+#: ``workers`` — set by the scenario scheduler's worker initializer so a
+#: scenario running inside a pool worker cannot nest a second pool (which
+#: would oversubscribe the machine and, under some start methods,
+#: deadlock).  See :mod:`repro.exec.scheduler`.
+_INLINE_MODE = False
+
+
+def set_inline_mode(enabled: bool) -> bool:
+    """Force (or release) inline trial execution; returns the previous state."""
+    global _INLINE_MODE
+    previous = _INLINE_MODE
+    _INLINE_MODE = bool(enabled)
+    return previous
 
 
 def trial_seeds(seed: int | None, trials: int) -> list[np.random.SeedSequence]:
@@ -68,6 +83,10 @@ def simulate_many(
     ``workers`` > 1 distributes trials over a process pool (each process
     receives a contiguous chunk of the spawned seed sequences, so the
     result set is identical to a serial run with the same ``seed``).
+    ``workers`` is **silently ignored** — the run stays inline — when
+    ``trials < 4`` (pool startup would dominate such tiny runs) or when
+    :func:`set_inline_mode` is active because this call is already inside
+    a scenario worker process.
     ``source_factory``, when given, builds each trial's failure source
     from its per-trial generator (``source_factory(rng)``) — used by the
     Weibull study to swap the failure process while keeping per-trial
@@ -77,7 +96,7 @@ def simulate_many(
         raise ValueError(f"trials must be >= 1, got {trials}")
     seeds = trial_seeds(seed, trials)
 
-    if workers <= 1 or trials < 4:
+    if workers <= 1 or trials < 4 or _INLINE_MODE:
         results = _run_chunk(
             (system, plan, seeds, max_time, restart_semantics,
              checkpoint_at_completion, recheckpoint, source_factory)

@@ -1,0 +1,152 @@
+"""Tests for the content-addressed optimization cache (repro.exec.cache)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.interfaces import OptimizationResult
+from repro.core.plan import CheckpointPlan
+from repro.exec import (
+    OptimizationCache,
+    cache_key,
+    get_active_cache,
+    set_active_cache,
+)
+from repro.systems import SystemSpec
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    """Keep the process-wide cache out of (and unchanged by) these tests."""
+    previous = set_active_cache(None)
+    yield
+    set_active_cache(previous)
+
+
+def _result(tau0=3.5):
+    return OptimizationResult(
+        plan=CheckpointPlan(levels=(1, 2), tau0=tau0, counts=(2,)),
+        predicted_time=123.456789,
+        predicted_efficiency=0.87654321,
+        evaluations=42,
+    )
+
+
+class TestCacheKey:
+    def test_stable(self, tiny2):
+        assert cache_key(tiny2, "dauwe") == cache_key(tiny2, "dauwe")
+
+    def test_name_and_description_excluded(self, tiny2):
+        renamed = dataclasses.replace(
+            tiny2, name="renamed", description="other words"
+        )
+        assert cache_key(renamed, "dauwe") == cache_key(tiny2, "dauwe")
+
+    def test_spec_change_invalidates(self, tiny2):
+        base = cache_key(tiny2, "dauwe")
+        assert cache_key(dataclasses.replace(tiny2, mtbf=99.0), "dauwe") != base
+        assert (
+            cache_key(dataclasses.replace(tiny2, baseline_time=999.0), "dauwe")
+            != base
+        )
+        assert (
+            cache_key(
+                dataclasses.replace(tiny2, checkpoint_times=(1.0, 6.0)), "dauwe"
+            )
+            != base
+        )
+
+    def test_technique_and_options_invalidate(self, tiny2):
+        base = cache_key(tiny2, "dauwe")
+        assert cache_key(tiny2, "moody") != base
+        assert cache_key(tiny2, "dauwe", {"include_restart_failures": False}) != base
+        assert cache_key(tiny2, "dauwe", None, {"tau0_points": 10}) != base
+
+    def test_option_key_order_irrelevant(self, tiny2):
+        a = cache_key(tiny2, "dauwe", {"a": 1, "b": (2, 3)})
+        b = cache_key(tiny2, "dauwe", {"b": [2, 3], "a": 1})
+        assert a == b
+
+
+class TestOptimizationCache:
+    def test_memory_hit_and_counters(self, tiny2):
+        cache = OptimizationCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return _result()
+
+        first = cache.get_or_compute(tiny2, "dauwe", compute)
+        second = cache.get_or_compute(tiny2, "dauwe", compute)
+        assert len(calls) == 1
+        assert second == first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.disk_hits == 0
+
+    def test_options_change_is_a_miss(self, tiny2):
+        cache = OptimizationCache()
+        cache.get_or_compute(tiny2, "dauwe", _result)
+        cache.get_or_compute(
+            tiny2, "dauwe", _result, model_options={"final_interval_plus_one": True}
+        )
+        cache.get_or_compute(
+            tiny2, "dauwe", _result, sweep_options={"tau0_points": 5}
+        )
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 0
+
+    def test_disk_round_trip(self, tiny2, tmp_path):
+        warm = OptimizationCache(tmp_path)
+        stored = warm.get_or_compute(tiny2, "dauwe", _result)
+
+        cold = OptimizationCache(tmp_path)  # fresh process stand-in
+        loaded = cold.get_or_compute(
+            tiny2, "dauwe", lambda: pytest.fail("should have hit disk")
+        )
+        assert loaded == stored  # exact, including float bits
+        assert cold.stats.hits == 1
+        assert cold.stats.disk_hits == 1
+        # Once read, the entry is promoted to memory.
+        cold.get_or_compute(tiny2, "dauwe", lambda: pytest.fail("memory miss"))
+        assert cold.stats.hits == 2
+        assert cold.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tiny2, tmp_path):
+        OptimizationCache(tmp_path).get_or_compute(tiny2, "dauwe", _result)
+        key = cache_key(tiny2, "dauwe")
+        (tmp_path / f"{key}.json").write_text("{not json")
+
+        cache = OptimizationCache(tmp_path)
+        out = cache.get_or_compute(tiny2, "dauwe", lambda: _result(9.9))
+        assert out.plan.tau0 == 9.9
+        assert cache.stats.misses == 1
+        assert cache.stats.disk_hits == 0
+
+    def test_lru_eviction(self, tiny2, tiny3):
+        cache = OptimizationCache(max_entries=2)
+        b = SystemSpec(
+            name="b",
+            mtbf=77.0,
+            level_probabilities=(0.5, 0.5),
+            checkpoint_times=(1.0, 4.0),
+            baseline_time=100.0,
+        )
+        for spec in (tiny2, tiny3, b):
+            cache.put(cache_key(spec, "dauwe"), _result())
+        assert len(cache) == 2
+        assert cache.get(cache_key(tiny2, "dauwe")) is None  # evicted
+        assert cache.get(cache_key(b, "dauwe")) is not None
+
+    def test_active_cache_swap(self):
+        cache = OptimizationCache()
+        previous = set_active_cache(cache)
+        try:
+            assert get_active_cache() is cache
+        finally:
+            set_active_cache(previous)
+        assert get_active_cache() is previous

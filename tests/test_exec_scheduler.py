@@ -1,0 +1,105 @@
+"""Tests for the scenario scheduler: determinism, caching, no nested pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    OptimizationCache,
+    ScenarioTask,
+    run_scenarios,
+    set_active_cache,
+)
+from repro.exec import scheduler as scheduler_mod
+from repro.experiments import figure2
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    previous = set_active_cache(None)
+    yield
+    set_active_cache(previous)
+
+
+def _identity(value):
+    return value
+
+
+def _boom(value):
+    raise ValueError(f"bad value {value}")
+
+
+class TestRunScenarios:
+    def test_empty(self):
+        assert run_scenarios([], workers=4) == []
+
+    def test_order_stable_inline_and_parallel(self):
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(7)]
+        assert run_scenarios(tasks, workers=1) == list(range(7))
+        assert run_scenarios(tasks, workers=3) == list(range(7))
+
+    def test_single_task_stays_inline(self, monkeypatch):
+        def no_pool(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("ProcessPoolExecutor must not be used")
+
+        monkeypatch.setattr(scheduler_mod, "ProcessPoolExecutor", no_pool)
+        tasks = [ScenarioTask(_identity, args=(5,))]
+        assert run_scenarios(tasks, workers=8) == [5]
+
+    def test_inside_worker_stays_inline(self, monkeypatch):
+        def no_pool(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("nested pool")
+
+        monkeypatch.setattr(scheduler_mod, "ProcessPoolExecutor", no_pool)
+        monkeypatch.setattr(scheduler_mod, "_IN_SCENARIO_WORKER", True)
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(3)]
+        assert run_scenarios(tasks, workers=8) == [0, 1, 2]
+
+    def test_failure_carries_label(self):
+        tasks = [
+            ScenarioTask(_identity, args=(1,), label="ok"),
+            ScenarioTask(_boom, args=(2,), label="D5/dauwe"),
+        ]
+        with pytest.raises(RuntimeError, match="D5/dauwe"):
+            run_scenarios(tasks, workers=2)
+
+
+class TestFigureRowsIdentical:
+    """ISSUE acceptance: parallel and cached rows == serial uncached rows."""
+
+    _KW = dict(trials=2, seed=0, systems=("D1",), techniques=("dauwe", "daly"))
+
+    def test_parallel_matches_serial(self):
+        serial = figure2.run(workers=1, **self._KW)
+        parallel = figure2.run(workers=4, **self._KW)
+        assert parallel.rows == serial.rows
+
+    def test_cached_matches_uncached(self, tmp_path):
+        baseline = figure2.run(workers=1, **self._KW)
+
+        cache = OptimizationCache(tmp_path)
+        set_active_cache(cache)
+        cold = figure2.run(workers=1, **self._KW)
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        before = cache.stats.snapshot()
+        warm = figure2.run(workers=1, **self._KW)
+        delta = cache.stats.delta(before)
+        assert delta.misses == 0 and delta.hits == 2
+
+        assert cold.rows == baseline.rows
+        assert warm.rows == baseline.rows
+
+    def test_parallel_workers_share_disk_cache(self, tmp_path):
+        cache = OptimizationCache(tmp_path)
+        set_active_cache(cache)
+        first = figure2.run(workers=4, **self._KW)
+        # Worker deltas are folded back into the parent's counters, and
+        # their stores landed in the shared directory.
+        assert cache.stats.misses == 2
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        before = cache.stats.snapshot()
+        second = figure2.run(workers=4, **self._KW)
+        delta = cache.stats.delta(before)
+        assert delta.misses == 0 and delta.hits == 2
+        assert second.rows == first.rows

@@ -145,3 +145,81 @@ class TestSweep:
 
         with pytest.raises(ValueError, match="shape"):
             sweep_plans(BadBatch(tiny2), tau0_points=5)
+
+
+class TestGoldenSectionTolerance:
+    def test_full_output_reports_true_evaluations(self):
+        calls = [0]
+
+        def fn(t):
+            calls[0] += 1
+            return (t - 3.0) ** 2
+
+        x, fx, evals = golden_section(fn, 0.1, 10.0, full_output=True)
+        assert evals == calls[0]
+        assert x == pytest.approx(3.0, abs=1e-6)
+
+    def test_tolerance_terminates_early(self):
+        def counting(counter):
+            def fn(t):
+                counter[0] += 1
+                return (t - 3.0) ** 2
+            return fn
+
+        full_calls, tol_calls = [0], [0]
+        x_full, _, n_full = golden_section(
+            counting(full_calls), 0.1, 10.0, full_output=True
+        )
+        x_tol, _, n_tol = golden_section(
+            counting(tol_calls), 0.1, 10.0, tol=1e-4, full_output=True
+        )
+        assert n_full == full_calls[0] and n_tol == tol_calls[0]
+        assert n_tol < n_full
+        assert x_tol == pytest.approx(x_full, abs=1e-2)
+
+    def test_tol_zero_matches_legacy_output(self):
+        fn = lambda t: (t - 3.0) ** 2
+        assert golden_section(fn, 0.1, 10.0) == golden_section(
+            fn, 0.1, 10.0, tol=0.0
+        )
+
+
+class TestGridSweep:
+    """The batched (V, T) grid path must be bitwise-equal to per-vector."""
+
+    def _models(self, spec):
+        from repro.models import BenoitModel, MoodyModel
+
+        return [DauweModel(spec), MoodyModel(spec), BenoitModel(spec)]
+
+    def test_grid_matches_per_vector_sweep(self, tiny3):
+        for model in self._models(tiny3):
+            grid = sweep_plans(model)
+            flat = sweep_plans(model, grid_eval=False)
+            assert grid.plan == flat.plan, model.name
+            assert grid.predicted_time == flat.predicted_time, model.name
+            assert grid.evaluations == flat.evaluations, model.name
+
+    def test_grid_matches_per_vector_sweep_2level(self, tiny2):
+        for model in self._models(tiny2):
+            grid = sweep_plans(model)
+            flat = sweep_plans(model, grid_eval=False)
+            assert grid.plan == flat.plan, model.name
+            assert grid.predicted_time == flat.predicted_time, model.name
+
+    def test_grid_rows_match_1d_batch(self, tiny3):
+        model = DauweModel(tiny3)
+        levels = (1, 2, 3)
+        vecs = np.array([[1, 1], [2, 1], [3, 2]], dtype=float)
+        tau0 = np.linspace(1.0, 9.0, 7)
+        grid = model.predict_time_batch(levels, vecs, tau0)
+        assert grid.shape == (3, 7)
+        for i in range(vecs.shape[0]):
+            row = model.predict_time_batch(levels, tuple(vecs[i]), tau0)
+            np.testing.assert_array_equal(grid[i], row)
+
+    def test_unvectorized_model_falls_back(self, tiny2):
+        model = _QuadraticModel(tiny2)
+        assert not getattr(model, "supports_grid_eval")
+        res = sweep_plans(model)  # grid_eval=True must not break it
+        assert res.plan.counts == (3,)
