@@ -7,18 +7,34 @@ Usage::
     python -m repro all --trials 100 --report EXPERIMENTS.md
     python -m repro figure4 --quick          # 25-trial smoke run
     python -m repro all --workers 4 --cache-dir .sweep-cache
+    python -m repro figure2 --techniques dauwe,young
+    python -m repro custom --study my_study.json
 
 ``--report PATH`` additionally writes/updates the Markdown report; with
 ``all`` it contains every experiment.  Figure 6 is derived from Figure 4's
 rows, so ``all`` runs Figure 4 once and reuses it.
 
-``--workers`` fans independent (system, technique) scenarios across a
-process pool (rows are identical to a serial run); ``--sim-workers``
-instead parallelizes the trials *within* each scenario and only applies
-when ``--workers`` is 1, so pools never nest.  An optimization cache is
-active by default (in-memory; ``--cache-dir`` persists it across runs,
-``--no-cache`` disables it); per-experiment stage wall-clock and cache
-hit/miss counts go to stderr.
+``custom --study PATH`` executes a user-authored :class:`~repro.scenarios.
+StudySpec` JSON through the same pipeline as the built-in figures and
+prints a generic result table; see README's "define your own scenario"
+walkthrough for the file format.  ``--techniques NAMES`` (comma-separated)
+restricts any technique-parameterized experiment — including ``custom``
+studies — to a subset, and is the way to reach registered techniques the
+figures do not default to (e.g. ``young``).
+
+Every run that writes a report (and every ``custom`` run) also emits a
+JSON :class:`~repro.scenarios.RunManifest` next to it — study hashes,
+derived per-scenario seeds, trial counts, cache hit/miss deltas,
+per-stage wall-clock and package versions.  ``--manifest PATH`` picks the
+location explicitly.
+
+``--workers`` fans independent scenarios across a process pool (rows are
+identical to a serial run); ``--sim-workers`` instead parallelizes the
+trials *within* each scenario and only applies when ``--workers`` is 1,
+so pools never nest (a dropped request warns on stderr).  An optimization
+cache is active by default (in-memory; ``--cache-dir`` persists it across
+runs, ``--no-cache`` disables it); per-experiment stage wall-clock and
+cache hit/miss counts go to stderr.
 """
 
 from __future__ import annotations
@@ -26,6 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from .exec import (
     OptimizationCache,
@@ -36,10 +53,17 @@ from .exec import (
     stage_snapshot,
 )
 from .experiments import EXPERIMENTS, figure4, figure6, write_report
+from .models import TECHNIQUES
+from .scenarios import RunManifest, StudySpec, execute_study, generic_result
 
 __all__ = ["main", "build_parser"]
 
 _QUICK_TRIALS = 25
+
+#: Experiments whose runner accepts a ``techniques`` tuple.
+_TECHNIQUE_AWARE = frozenset(
+    {"figure2", "figure3", "figure4", "figure5", "figure6"}
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,17 +76,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all"],
-        help="experiment id, or 'all'",
+        choices=[*EXPERIMENTS.keys(), "all", "custom"],
+        help="experiment id, 'all', or 'custom' (requires --study)",
+    )
+    parser.add_argument(
+        "--study",
+        metavar="PATH",
+        default=None,
+        help="StudySpec JSON to execute (only with the 'custom' experiment)",
     )
     parser.add_argument(
         "--trials",
         type=int,
         default=None,
         help="simulation trials per scenario (default: the paper's "
-        "200, or 400 for figure5)",
+        "200, or 400 for figure5; a custom study's own values)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base RNG seed (default: 0, or a custom study's own seed)",
+    )
+    parser.add_argument(
+        "--techniques",
+        metavar="NAMES",
+        default=None,
+        help="comma-separated technique subset for technique-parameterized "
+        f"experiments; registered: {', '.join(sorted(TECHNIQUES))}",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -101,17 +143,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Markdown report to PATH",
     )
     parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write the run manifest JSON to PATH (default: next to "
+        "--report, or next to --study for 'custom')",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown"
     )
     return parser
 
 
+def _parse_techniques(
+    value: str | None, parser: argparse.ArgumentParser
+) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    names = tuple(t.strip().lower() for t in value.split(",") if t.strip())
+    if not names:
+        parser.error("--techniques needs at least one technique name")
+    unknown = [t for t in names if t not in TECHNIQUES]
+    if unknown:
+        parser.error(
+            f"unknown technique(s) {', '.join(unknown)}; "
+            f"registered: {', '.join(sorted(TECHNIQUES))}"
+        )
+    return names
+
+
+def _manifest_path(args: argparse.Namespace) -> Path | None:
+    """Where this invocation's RunManifest goes (None: don't write one)."""
+    if args.manifest:
+        return Path(args.manifest)
+    if args.report:
+        report = Path(args.report)
+        return report.with_name(report.stem + ".manifest.json")
+    if args.experiment == "custom" and args.study:
+        study = Path(args.study)
+        return study.with_name(study.stem + ".manifest.json")
+    return None
+
+
+def _run_custom(args: argparse.Namespace):
+    study = StudySpec.from_file(args.study)
+    if args.techniques_tuple is not None:
+        study = study.with_techniques(args.techniques_tuple)
+    if args.quick:
+        study = study.with_trials(_QUICK_TRIALS)
+    elif args.trials is not None:
+        study = study.with_trials(args.trials)
+    if args.seed is not None:
+        study = study.with_seed(args.seed)
+    srun = execute_study(
+        study, workers=args.workers, sim_workers=args.sim_workers
+    )
+    return generic_result(srun)
+
+
 def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
+    if name == "custom":
+        return _run_custom(args)
+    if args.techniques_tuple is not None and name not in _TECHNIQUE_AWARE:
+        print(
+            f"warning: --techniques is ignored by {name} "
+            "(not technique-parameterized)",
+            file=sys.stderr,
+        )
     runner = EXPERIMENTS[name]
     if name == "table1":
         return runner()
     kwargs = {
-        "seed": args.seed,
+        "seed": args.seed if args.seed is not None else 0,
         "workers": args.workers,
         "sim_workers": args.sim_workers,
     }
@@ -119,6 +222,8 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
         kwargs["trials"] = _QUICK_TRIALS
     elif args.trials is not None:
         kwargs["trials"] = args.trials
+    if args.techniques_tuple is not None and name in _TECHNIQUE_AWARE:
+        kwargs["techniques"] = args.techniques_tuple
     if name == "figure6":
         if "figure4" not in fig4_cache:
             fig4_cache["figure4"] = figure4.run(**kwargs)
@@ -130,7 +235,13 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.techniques_tuple = _parse_techniques(args.techniques, parser)
+    if args.experiment == "custom" and not args.study:
+        parser.error("the 'custom' experiment requires --study PATH")
+    if args.experiment != "custom" and args.study:
+        parser.error("--study only applies to the 'custom' experiment")
     if args.no_cache:
         previous_cache = set_active_cache(None)
     else:
@@ -138,13 +249,19 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS.keys()) if args.experiment == "all" else [args.experiment]
     fig4_cache: dict = {}
     results = []
+    manifest = RunManifest(workers=args.workers, sim_workers=args.sim_workers)
+    seen_records: set[int] = set()
     try:
         for name in names:
             t0 = time.time()
             stage_before = stage_snapshot()
             cache = get_active_cache()
             cache_before = cache.stats.snapshot() if cache is not None else None
-            result = _run_one(name, args, fig4_cache)
+            try:
+                result = _run_one(name, args, fig4_cache)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
             results.append(result)
             print(result.render(markdown=args.markdown))
             info = f"[{name} finished in {time.time() - t0:.1f}s"
@@ -155,9 +272,17 @@ def main(argv: list[str] | None = None) -> int:
                 info += f" | cache: {cache.stats.delta(cache_before).describe()}"
             print(info + "]", file=sys.stderr)
             print()
+            if result.manifest is not None and id(result.manifest) not in seen_records:
+                # Figure 6 carries Figure 4's record; dedupe the shared dict.
+                seen_records.add(id(result.manifest))
+                manifest.add(result.manifest)
         if args.report:
             path = write_report(results, args.report)
             print(f"report written to {path}", file=sys.stderr)
+        manifest_path = _manifest_path(args)
+        if manifest_path is not None:
+            manifest.write(manifest_path)
+            print(f"manifest written to {manifest_path}", file=sys.stderr)
     finally:
         set_active_cache(previous_cache)
     return 0

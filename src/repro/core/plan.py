@@ -179,6 +179,29 @@ class CheckpointPlan:
         """The same pattern with a different computation interval."""
         return CheckpointPlan(levels=self.levels, tau0=tau0, counts=self.counts)
 
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; round-trips losslessly through :meth:`from_dict`."""
+        return {
+            "levels": list(self.levels),
+            "tau0": self.tau0,
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckpointPlan":
+        """Rebuild (and re-validate) a plan from :meth:`to_dict` output."""
+        unknown = set(data) - {"levels", "tau0", "counts"}
+        if unknown:
+            raise ValueError(f"unknown plan field(s) {sorted(unknown)}")
+        return cls(
+            levels=tuple(data["levels"]),
+            tau0=float(data["tau0"]),
+            counts=tuple(data.get("counts", ())),
+        )
+
     def describe(self) -> str:
         """Human-readable summary, e.g. ``tau0=12.5min, L1 x3 -> L2 x2 -> L4``."""
         parts = [f"tau0={self.tau0:.4g}min"]

@@ -32,13 +32,14 @@ from .metrics import (
     stage_delta,
     stage_snapshot,
 )
-from .scheduler import ScenarioTask, run_scenarios
+from .scheduler import ScenarioTask, resolve_sim_workers, run_scenarios
 
 __all__ = [
     "CacheStats",
     "OptimizationCache",
     "ScenarioTask",
     "cache_key",
+    "resolve_sim_workers",
     "format_stage_report",
     "get_active_cache",
     "merge_stages",

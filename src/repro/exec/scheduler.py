@@ -25,6 +25,7 @@ where the work executed.
 
 from __future__ import annotations
 
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -32,7 +33,32 @@ from typing import Any, Callable, Sequence
 from . import metrics
 from .cache import CacheStats, OptimizationCache, get_active_cache, set_active_cache
 
-__all__ = ["ScenarioTask", "run_scenarios"]
+__all__ = ["ScenarioTask", "resolve_sim_workers", "run_scenarios"]
+
+#: One-shot warning guard for :func:`resolve_sim_workers` (per process).
+_WARNED_SIM_WORKERS = False
+
+
+def resolve_sim_workers(workers: int, sim_workers: int) -> int:
+    """The per-scenario trial-pool width actually honored.
+
+    ``--sim-workers`` only applies when the scenario fan-out is serial
+    (``workers <= 1``); otherwise pools would nest (DESIGN.md section 7).
+    The drop used to be silent — now the first occurrence per process
+    emits one stderr warning so a misconfigured command line is audible.
+    """
+    global _WARNED_SIM_WORKERS
+    if workers > 1 and sim_workers > 1:
+        if not _WARNED_SIM_WORKERS:
+            _WARNED_SIM_WORKERS = True
+            print(
+                f"warning: --sim-workers {sim_workers} is ignored because "
+                f"--workers {workers} > 1 parallelizes scenarios instead "
+                "(pools never nest); trials run inline within each scenario",
+                file=sys.stderr,
+            )
+        return 1
+    return sim_workers
 
 #: True inside a scheduler worker process; forces nested run_scenarios
 #: calls (and, via the simulator's inline mode, nested trial pools) to run

@@ -17,19 +17,22 @@ Four mini-studies, reported as one table (column ``study``):
 * ``eqn4-top`` — the literal ``N_L + 1`` reading of Eqn. 4 vs. the
   corrected ``N_L`` reading (DESIGN.md decision; DauweModel docstring),
   compared on prediction error against simulation.
+
+Each row is one :class:`~repro.scenarios.ScenarioSpec` with the
+``fixed`` seed policy (variants of a study share failure streams) and a
+``tags`` triple (study, variant, whether to show the model's own
+prediction); the active optimization cache deduplicates the sweeps the
+variants share — the default Dauwe sweep on D5/D8 backs three of the
+four studies.
 """
 
 from __future__ import annotations
 
-import time
-
-from ..exec import ScenarioTask, record_stage, run_scenarios
-from ..simulator import simulate_many
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import optimize_technique
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
 
 _COLUMNS = [
     ("study", None),
@@ -41,103 +44,88 @@ _COLUMNS = [
     ("plan", None),
 ]
 
-
-def _row(study, system, variant, sim, pred=None, plan=""):
-    return {
-        "study": study,
-        "system": system,
-        "variant": variant,
-        "sim efficiency": sim,
-        "predicted": pred,
-        "error": None if pred is None or sim is None else pred - sim,
-        "plan": plan,
-    }
-
-
 _NO_FAILED_CR = {
     "include_checkpoint_failures": False,
     "include_restart_failures": False,
 }
 
 
-def _measure(spec, plan, trials, seed, **simulate_options):
-    """Top-level (picklable) simulate stage: mean efficiency of one plan."""
-    start = time.perf_counter()
-    stats = simulate_many(spec, plan, trials=trials, seed=seed, **simulate_options)
-    record_stage("simulate", time.perf_counter() - start)
-    return stats.mean_efficiency
+def study(trials: int = 100, seed: int = 0) -> StudySpec:
+    """All four mini-studies as one ordered declarative study."""
+
+    def scenario(study_name, system, variant, show_predicted=True,
+                 model_options=None, simulate=None):
+        return ScenarioSpec(
+            system=TEST_SYSTEMS[system],
+            technique="dauwe",
+            model_options=model_options or {},
+            simulate=simulate or {},
+            trials=trials,
+            seed_policy="fixed",
+            label=f"{study_name}/{system}/{variant}",
+            tags={
+                "study": study_name,
+                "variant": variant,
+                "show predicted": show_predicted,
+            },
+        )
+
+    scenarios = []
+    for name in ("D1", "D5", "D8"):
+        scenarios.append(scenario("model-terms", name, "full model"))
+        scenarios.append(
+            scenario("model-terms", name, "no failed-C/R terms",
+                     model_options=_NO_FAILED_CR)
+        )
+    for name in ("D5", "D8"):
+        for semantics in ("retry", "escalate"):
+            scenarios.append(
+                scenario("restart-semantics", name, semantics,
+                         show_predicted=False,
+                         simulate={"restart_semantics": semantics})
+            )
+    for name in ("D5", "D8"):
+        for policy in ("free", "paid", "skip"):
+            scenarios.append(
+                scenario("recheckpoint", name, policy,
+                         simulate={"recheckpoint": policy})
+            )
+    for label, flag in (("N_L (corrected)", False), ("N_L + 1 (literal)", True)):
+        scenarios.append(
+            scenario("eqn4-top", "B", label,
+                     model_options={"final_interval_plus_one": flag})
+        )
+    return StudySpec(
+        study_id="ablations",
+        title="Design-decision ablations (beyond the paper's figures)",
+        seed=seed,
+        scenarios=tuple(scenarios),
+    )
 
 
 def run(
     trials: int = 100, seed: int = 0, workers: int = 1, sim_workers: int = 1
 ) -> ExperimentResult:
-    # Stage 1 — the distinct optimization problems, deduplicated: the
-    # default Dauwe sweep on D5/D8 is shared by three of the four studies
-    # (and with every figure, through the active cache).
-    memo: dict = {}
-
-    def optimized(name, **model_options):
-        key = (name, tuple(sorted(model_options.items())))
-        if key not in memo:
-            memo[key] = optimize_technique(
-                TEST_SYSTEMS[name], "dauwe", model_options=model_options
-            )
-        return memo[key]
-
-    # Stage 2 — every row is one independent simulation of an optimized
-    # plan; rows are declared in study order and filled from the
-    # scheduler's order-stable results.
-    rows: list[dict] = []
-    tasks: list[ScenarioTask] = []
-    sim_w = 1 if workers > 1 else sim_workers
-
-    def add(study, name, variant, res, pred=None, **simulate_options):
-        rows.append(_row(study, name, variant, None, pred, res.plan.describe()))
-        tasks.append(
-            ScenarioTask(
-                _measure,
-                args=(TEST_SYSTEMS[name], res.plan, trials, seed),
-                kwargs=dict(simulate_options, workers=sim_w),
-                label=f"{study}/{name}/{variant}",
-            )
+    spec = study(trials=trials, seed=seed)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    rows = []
+    for scenario, out in zip(spec.scenarios, srun.outcomes):
+        pred = out.predicted_efficiency if scenario.tags["show predicted"] else None
+        sim = out.simulated_efficiency
+        rows.append(
+            {
+                "study": scenario.tags["study"],
+                "system": out.system,
+                "variant": scenario.tags["variant"],
+                "sim efficiency": sim,
+                "predicted": pred,
+                "error": None if pred is None else pred - sim,
+                "plan": out.plan,
+            }
         )
-
-    for name in ("D1", "D5", "D8"):
-        res = optimized(name)
-        add("model-terms", name, "full model", res, res.predicted_efficiency)
-        res = optimized(name, **_NO_FAILED_CR)
-        add(
-            "model-terms", name, "no failed-C/R terms", res,
-            res.predicted_efficiency,
-        )
-
-    for name in ("D5", "D8"):
-        res = optimized(name)
-        for semantics in ("retry", "escalate"):
-            add(
-                "restart-semantics", name, semantics, res,
-                restart_semantics=semantics,
-            )
-
-    for name in ("D5", "D8"):
-        res = optimized(name)
-        for policy in ("free", "paid", "skip"):
-            add(
-                "recheckpoint", name, policy, res,
-                res.predicted_efficiency, recheckpoint=policy,
-            )
-
-    for label, flag in (("N_L (corrected)", False), ("N_L + 1 (literal)", True)):
-        res = optimized("B", final_interval_plus_one=flag)
-        add("eqn4-top", "B", label, res, res.predicted_efficiency)
-
-    for row, sim in zip(rows, run_scenarios(tasks, workers=workers)):
-        row["sim efficiency"] = sim
-        if row["predicted"] is not None:
-            row["error"] = row["predicted"] - sim
     return ExperimentResult(
         experiment_id="ablations",
-        title="Design-decision ablations (beyond the paper's figures)",
+        title=spec.title,
         caption=(
             "Each study isolates one modeling/simulation decision; see the "
             "module docstring and DESIGN.md section 4 for the rationale."
@@ -157,4 +145,5 @@ def run(
             "eqn4-top: the literal '+1' reading biases the optimizer toward "
             "denser top-level patterns and pushes predictions low.",
         ],
+        manifest=srun.record.to_dict(),
     )

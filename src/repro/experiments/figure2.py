@@ -6,6 +6,10 @@ independent failure-randomized trials (the paper uses 200).  Rows carry
 the bar (simulated mean), its error bar (std) and the diamond (the
 model's own prediction).
 
+The experiment is a declarative :class:`~repro.scenarios.StudySpec`
+(:func:`study`) executed by the shared scenario pipeline; :func:`run`
+only post-processes the outcomes into the figure's row layout.
+
 Shape expectations from the paper (asserted loosely by the benches):
 
 * multilevel (dauwe/di/moody) beats Daly everywhere, by ~2x at the hard
@@ -17,11 +21,34 @@ Shape expectations from the paper (asserted loosely by the benches):
 
 from __future__ import annotations
 
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import DEFAULT_TECHNIQUES, evaluate_scenarios
+from .runner import DEFAULT_TECHNIQUES
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
+
+
+def study(
+    trials: int = 200,
+    seed: int = 0,
+    techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
+    systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+) -> StudySpec:
+    """The Figure 2 grid as a declarative study (system-major, legend order)."""
+    return StudySpec(
+        study_id="figure2",
+        title="Efficiency of checkpoint interval optimization techniques (Figure 2)",
+        seed=seed,
+        scenarios=tuple(
+            ScenarioSpec(
+                system=TEST_SYSTEMS[name], technique=tech, trials=trials,
+                seed_policy="pair",
+            )
+            for name in systems
+            for tech in techniques
+        ),
+    )
 
 
 def run(
@@ -32,14 +59,10 @@ def run(
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    pairs = [
-        (TEST_SYSTEMS[name], tech) for name in systems for tech in techniques
-    ]
-    outs = evaluate_scenarios(
-        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
-    )
+    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
     rows = []
-    for out in outs:
+    for out in srun.outcomes:
         rows.append(
             {
                 "system": out.system,
@@ -53,7 +76,7 @@ def run(
         )
     return ExperimentResult(
         experiment_id="figure2",
-        title="Efficiency of checkpoint interval optimization techniques (Figure 2)",
+        title=spec.title,
         caption=(
             "Simulated efficiency (mean +- std over trials) of each "
             "technique's chosen intervals on the Table I systems; "
@@ -81,4 +104,5 @@ def run(
             "system B does not emerge from a faithful first-order model — "
             "our Benoit picks near-Moody plans on B (DESIGN.md section 4).",
         ],
+        manifest=srun.record.to_dict(),
     )

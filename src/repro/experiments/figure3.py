@@ -8,15 +8,19 @@ failed-checkpoint + failed-restart share grows *nonlinearly* with system
 difficulty, exceeding 30% on the most extreme systems (D7-D9), because
 the MTBF approaches the PFS checkpoint/restart duration — the reason
 models must account for failures during these events.
+
+Declaratively, this is the Figure 2 study restricted to the breakdown
+techniques; only the row post-processing (percent shares) differs.
 """
 
 from __future__ import annotations
 
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES, evaluate_scenarios
+from .runner import BREAKDOWN_TECHNIQUES
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
 
 _CATS = (
     "work",
@@ -30,6 +34,27 @@ _CATS = (
 )
 
 
+def study(
+    trials: int = 200,
+    seed: int = 0,
+    techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+    systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+) -> StudySpec:
+    return StudySpec(
+        study_id="figure3",
+        title="Percentage of execution time per event category (Figure 3)",
+        seed=seed,
+        scenarios=tuple(
+            ScenarioSpec(
+                system=TEST_SYSTEMS[name], technique=tech, trials=trials,
+                seed_policy="pair",
+            )
+            for name in systems
+            for tech in techniques
+        ),
+    )
+
+
 def run(
     trials: int = 200,
     seed: int = 0,
@@ -38,14 +63,10 @@ def run(
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    pairs = [
-        (TEST_SYSTEMS[name], tech) for name in systems for tech in techniques
-    ]
-    outs = evaluate_scenarios(
-        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
-    )
+    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
     rows = []
-    for out in outs:
+    for out in srun.outcomes:
         fr = out.breakdown_fractions
         row = {"system": out.system, "technique": out.technique}
         for cat in _CATS:
@@ -54,7 +75,7 @@ def run(
         rows.append(row)
     return ExperimentResult(
         experiment_id="figure3",
-        title="Percentage of execution time per event category (Figure 3)",
+        title=spec.title,
         caption=(
             "Average share of application time spent in each resilience/"
             "failure event category (percent), for the three best "
@@ -70,4 +91,5 @@ def run(
             "nonlinearly with difficulty, >=30% on the extreme systems "
             "(D7-D9); D8 and D9 nearly identical (they differ only in T_B).",
         ],
+        manifest=srun.record.to_dict(),
     )

@@ -3,7 +3,9 @@
 The four-level system B runs a 1440-minute application while the total
 MTBF sweeps {26, 20, 15, 6, 3} minutes and the level-L (PFS)
 checkpoint/restart time sweeps {10, 20, 30, 40} minutes — 20 scenarios,
-each measured for dauwe/di/moody (Section IV-E).
+each measured for dauwe/di/moody (Section IV-E).  :func:`study` tags
+each scenario with its grid coordinates so the rows (and Figure 6's
+error derivation) read them without reparsing system names.
 
 Shape expectations from the paper:
 
@@ -18,11 +20,51 @@ Shape expectations from the paper:
 
 from __future__ import annotations
 
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import exascale_grid
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES, evaluate_scenarios
+from .runner import BREAKDOWN_TECHNIQUES
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
+
+
+def study(
+    trials: int = 200,
+    seed: int = 0,
+    techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+    short_application: bool = False,
+    study_id: str = "figure4",
+) -> StudySpec:
+    """The exascale grid as a declarative study (cost-major, then MTBF).
+
+    ``short_application=True`` yields the Figure 5 variant: the grid
+    restricted to level-L costs {10, 20} with a 30-minute application.
+    """
+    scenarios = []
+    for spec in exascale_grid(short_application=short_application):
+        for tech in techniques:
+            scenarios.append(
+                ScenarioSpec(
+                    system=spec,
+                    technique=tech,
+                    trials=trials,
+                    seed_policy="pair",
+                    tags={
+                        "cL (min)": spec.checkpoint_times[-1],
+                        "MTBF (min)": spec.mtbf,
+                    },
+                )
+            )
+    return StudySpec(
+        study_id=study_id,
+        title=(
+            "30-minute application under exascale scenarios (Figure 5)"
+            if short_application
+            else "1440-minute application under exascale scenarios (Figure 4)"
+        ),
+        seed=seed,
+        scenarios=tuple(scenarios),
+    )
 
 
 def run(
@@ -32,21 +74,15 @@ def run(
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    pairs = [
-        (spec, tech)
-        for spec in exascale_grid(short_application=False)
-        for tech in techniques
-    ]
-    outs = evaluate_scenarios(
-        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
-    )
+    spec = study(trials=trials, seed=seed, techniques=techniques)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
     rows = []
-    for (spec, tech), out in zip(pairs, outs):
+    for scenario, out in zip(spec.scenarios, srun.outcomes):
         rows.append(
             {
-                "cL (min)": spec.checkpoint_times[-1],
-                "MTBF (min)": spec.mtbf,
-                "technique": tech,
+                "cL (min)": scenario.tags["cL (min)"],
+                "MTBF (min)": scenario.tags["MTBF (min)"],
+                "technique": out.technique,
                 "sim efficiency": out.simulated_efficiency,
                 "std": out.simulated_std,
                 "predicted": out.predicted_efficiency,
@@ -57,7 +93,7 @@ def run(
         )
     return ExperimentResult(
         experiment_id="figure4",
-        title="1440-minute application under exascale scenarios (Figure 4)",
+        title=spec.title,
         caption=(
             "System B with scaled MTBF (columns within each panel) and "
             "level-L C/R time cL (panels a-d); simulated efficiency, std, "
@@ -82,4 +118,5 @@ def run(
             "cL > 10; di (two of four levels) below dauwe/moody where "
             "efficiency > 1%.",
         ],
+        manifest=srun.record.to_dict(),
     )

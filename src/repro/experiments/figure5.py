@@ -3,7 +3,8 @@
 Same exascale grid as Figure 4 restricted to level-L costs {10, 20}, but
 the application runs only 30 minutes — *shorter than the mean time
 between level-L severity failures* — and each scenario is measured over
-400 trials (Section IV-F).
+400 trials (Section IV-F).  Declaratively this is just
+:func:`repro.experiments.figure4.study` with ``short_application=True``.
 
 Shape expectations from the paper:
 
@@ -17,11 +18,23 @@ Shape expectations from the paper:
 
 from __future__ import annotations
 
-from ..systems import exascale_grid
+from ..scenarios import StudySpec, execute_study
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES, evaluate_scenarios
+from .runner import BREAKDOWN_TECHNIQUES
+from . import figure4
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
+
+
+def study(
+    trials: int = 400,
+    seed: int = 0,
+    techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+) -> StudySpec:
+    return figure4.study(
+        trials=trials, seed=seed, techniques=techniques,
+        short_application=True, study_id="figure5",
+    )
 
 
 def run(
@@ -31,22 +44,16 @@ def run(
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    pairs = [
-        (spec, tech)
-        for spec in exascale_grid(short_application=True)
-        for tech in techniques
-    ]
-    outs = evaluate_scenarios(
-        pairs, trials=trials, seed=seed, workers=workers, sim_workers=sim_workers
-    )
+    spec = study(trials=trials, seed=seed, techniques=techniques)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
     rows = []
-    for (spec, tech), out in zip(pairs, outs):
-        skipped = f"L{spec.num_levels}" not in out.plan
+    for scenario, out in zip(spec.scenarios, srun.outcomes):
+        skipped = f"L{scenario.system.num_levels}" not in out.plan
         rows.append(
             {
-                "cL (min)": spec.checkpoint_times[-1],
-                "MTBF (min)": spec.mtbf,
-                "technique": tech,
+                "cL (min)": scenario.tags["cL (min)"],
+                "MTBF (min)": scenario.tags["MTBF (min)"],
+                "technique": out.technique,
                 "sim efficiency": out.simulated_efficiency,
                 "std": out.simulated_std,
                 "predicted": out.predicted_efficiency,
@@ -56,7 +63,7 @@ def run(
         )
     return ExperimentResult(
         experiment_id="figure5",
-        title="30-minute application under exascale scenarios (Figure 5)",
+        title=spec.title,
         caption=(
             "System B scaled as in Figure 4 (cL in {10, 20}) running a "
             "30-minute application; techniques that model application "
@@ -83,4 +90,5 @@ def run(
             "one level-L checkpoint into the 30-minute run, paid at the "
             "scheduled end position (DESIGN.md; MoodyModel docstring).",
         ],
+        manifest=srun.record.to_dict(),
     )

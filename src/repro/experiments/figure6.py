@@ -16,6 +16,7 @@ Shape expectations from the paper (Section IV-G):
 from __future__ import annotations
 
 from .records import ExperimentResult
+from .runner import BREAKDOWN_TECHNIQUES
 from . import figure4
 
 __all__ = ["run", "from_figure4"]
@@ -29,21 +30,21 @@ def from_figure4(fig4: ExperimentResult) -> ExperimentResult:
         key = (row["cL (min)"], row["MTBF (min)"])
         scenarios.setdefault(key, {})[row["technique"]] = row["error"]
 
+    techniques = []
+    for techs in scenarios.values():
+        for tech in techs:
+            if tech not in techniques:
+                techniques.append(tech)
+    anchor = "moody" if "moody" in techniques else techniques[-1]
     ordered = sorted(
-        scenarios.items(), key=lambda item: abs(item[1].get("moody", 0.0))
+        scenarios.items(), key=lambda item: abs(item[1].get(anchor, 0.0))
     )
     rows = []
     for rank, (key, errs) in enumerate(ordered, start=1):
-        rows.append(
-            {
-                "test": rank,
-                "cL (min)": key[0],
-                "MTBF (min)": key[1],
-                "dauwe error": errs.get("dauwe"),
-                "di error": errs.get("di"),
-                "moody error": errs.get("moody"),
-            }
-        )
+        row = {"test": rank, "cL (min)": key[0], "MTBF (min)": key[1]}
+        for tech in techniques:
+            row[f"{tech} error"] = errs.get(tech)
+        rows.append(row)
     return ExperimentResult(
         experiment_id="figure6",
         title="Prediction error on the Figure-4 scenarios (Figure 6)",
@@ -56,9 +57,7 @@ def from_figure4(fig4: ExperimentResult) -> ExperimentResult:
             ("test", "d"),
             ("cL (min)", "g"),
             ("MTBF (min)", "g"),
-            ("dauwe error", "+.4f"),
-            ("di error", "+.4f"),
-            ("moody error", "+.4f"),
+            *((f"{tech} error", "+.4f") for tech in techniques),
         ],
         rows=rows,
         parameters=dict(fig4.parameters),
@@ -74,8 +73,20 @@ def from_figure4(fig4: ExperimentResult) -> ExperimentResult:
             "level-L checkpoints the simulated run never takes "
             "(DESIGN.md decision 6).",
         ],
+        manifest=fig4.manifest,
     )
 
 
-def run(trials: int = 200, seed: int = 0, workers: int = 1) -> ExperimentResult:
-    return from_figure4(figure4.run(trials=trials, seed=seed, workers=workers))
+def run(
+    trials: int = 200,
+    seed: int = 0,
+    workers: int = 1,
+    techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+    sim_workers: int = 1,
+) -> ExperimentResult:
+    return from_figure4(
+        figure4.run(
+            trials=trials, seed=seed, workers=workers,
+            techniques=techniques, sim_workers=sim_workers,
+        )
+    )

@@ -8,6 +8,10 @@ paper's pattern-based optimizer and the interval-based optimizer
 (:mod:`repro.interval`) each choose their schedule, and both run under
 identical failure semantics.
 
+Each mode is a :class:`~repro.scenarios.ScenarioSpec` — pattern rows use
+the standard optimizer, interval rows set ``optimizer="interval"`` — so
+the comparison is available to hand-written study JSON as well.
+
 Expected shape: the two land close on most systems (the pattern
 optimizer's integer constraint costs little), with interval-based edging
 ahead where the per-level optimal periods are far from integer multiples
@@ -16,55 +20,43 @@ of each other.
 
 from __future__ import annotations
 
-import time
-
-from ..exec import ScenarioTask, record_stage, run_scenarios
-from ..interval import IntervalModel, simulate_schedule_many
-from ..simulator import simulate_many
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import optimize_technique
 
-__all__ = ["run"]
+__all__ = ["run", "study"]
 
 
-def _pattern_row(spec, trials, seed, workers=1):
-    """One pattern-mode scenario: cached Dauwe sweep, then simulation."""
-    pat = optimize_technique(spec, "dauwe")
-    start = time.perf_counter()
-    pat_stats = simulate_many(
-        spec, pat.plan, trials=trials, seed=seed, workers=workers
+def study(
+    trials: int = 100,
+    seed: int = 0,
+    systems: tuple[str, ...] = ("M", "B", "D1", "D4", "D7", "D9"),
+) -> StudySpec:
+    scenarios = []
+    for name in systems:
+        spec = TEST_SYSTEMS[name]
+        scenarios.append(
+            ScenarioSpec(
+                system=spec, technique="dauwe", trials=trials,
+                seed_policy="fixed",
+                label=f"interval_study/{name}/pattern",
+                tags={"mode": "pattern (dauwe)"},
+            )
+        )
+        scenarios.append(
+            ScenarioSpec(
+                system=spec, optimizer="interval", trials=trials,
+                seed_policy="fixed",
+                label=f"interval_study/{name}/interval",
+                tags={"mode": "interval (di-style)"},
+            )
+        )
+    return StudySpec(
+        study_id="interval_study",
+        title="Interval-based vs. pattern-based optimization (extension)",
+        seed=seed,
+        scenarios=tuple(scenarios),
     )
-    record_stage("simulate", time.perf_counter() - start)
-    return {
-        "system": spec.name,
-        "mode": "pattern (dauwe)",
-        "sim efficiency": pat_stats.mean_efficiency,
-        "std": pat_stats.std_efficiency,
-        "predicted": pat.predicted_efficiency,
-        "schedule": pat.plan.describe(),
-    }
-
-
-def _interval_row(spec, trials, seed):
-    """One interval-mode scenario; its schedule is not a pattern plan, so
-    its optimization is timed but not cached."""
-    start = time.perf_counter()
-    itv = IntervalModel(spec).optimize()
-    record_stage("optimize", time.perf_counter() - start)
-    start = time.perf_counter()
-    itv_stats = simulate_schedule_many(
-        spec, itv.schedule, trials=trials, seed=seed
-    )
-    record_stage("simulate", time.perf_counter() - start)
-    return {
-        "system": spec.name,
-        "mode": "interval (di-style)",
-        "sim efficiency": itv_stats.mean_efficiency,
-        "std": itv_stats.std_efficiency,
-        "predicted": itv.predicted_efficiency,
-        "schedule": itv.schedule.describe(),
-    }
 
 
 def run(
@@ -74,26 +66,23 @@ def run(
     systems: tuple[str, ...] = ("M", "B", "D1", "D4", "D7", "D9"),
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    sim_w = 1 if workers > 1 else sim_workers
-    tasks = []
-    for name in systems:
-        spec = TEST_SYSTEMS[name]
-        tasks.append(
-            ScenarioTask(
-                _pattern_row, args=(spec, trials, seed, sim_w),
-                label=f"interval_study/{name}/pattern",
-            )
+    spec = study(trials=trials, seed=seed, systems=systems)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    rows = []
+    for scenario, out in zip(spec.scenarios, srun.outcomes):
+        rows.append(
+            {
+                "system": out.system,
+                "mode": scenario.tags["mode"],
+                "sim efficiency": out.simulated_efficiency,
+                "std": out.simulated_std,
+                "predicted": out.predicted_efficiency,
+                "schedule": out.plan,
+            }
         )
-        tasks.append(
-            ScenarioTask(
-                _interval_row, args=(spec, trials, seed),
-                label=f"interval_study/{name}/interval",
-            )
-        )
-    rows = run_scenarios(tasks, workers=workers)
     return ExperimentResult(
         experiment_id="interval_study",
-        title="Interval-based vs. pattern-based optimization (extension)",
+        title=spec.title,
         caption=(
             "Each mode's own optimizer chooses the schedule; the simulator "
             "measures both under identical failure semantics (coinciding "
@@ -114,4 +103,5 @@ def run(
             "section 6): tests Di et al.'s claim that interval-based "
             "optimization can beat pattern-based.",
         ],
+        manifest=srun.record.to_dict(),
     )

@@ -100,6 +100,12 @@ class ExperimentResult:
         EXPERIMENTS.md states exactly what was measured.
     notes:
         Shape expectations and observed deviations.
+    manifest:
+        Optional :class:`~repro.scenarios.manifest.StudyRunRecord` dict
+        describing the study execution that produced these rows (study
+        hash, derived seeds, cache/stage stats).  ``None`` for results
+        not produced by the scenario pipeline (table1).  Not rendered in
+        the tables; the CLI aggregates it into the RunManifest JSON.
     """
 
     experiment_id: str
@@ -109,6 +115,7 @@ class ExperimentResult:
     rows: list[dict[str, Any]]
     parameters: dict[str, Any] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    manifest: dict[str, Any] | None = None
 
     def render(self, markdown: bool = False) -> str:
         header = f"{self.experiment_id}: {self.title}"

@@ -28,7 +28,13 @@ import time
 import zlib
 from typing import Mapping, Sequence
 
-from ..exec import ScenarioTask, get_active_cache, record_stage, run_scenarios
+from ..exec import (
+    ScenarioTask,
+    get_active_cache,
+    record_stage,
+    resolve_sim_workers,
+    run_scenarios,
+)
 from ..exec.cache import OptimizationCache
 from ..models import TECHNIQUES, make_model
 from ..core.interfaces import OptimizationResult
@@ -210,7 +216,7 @@ def evaluate_scenarios(
             kwargs.update(rest[0])
         kwargs["trials"] = trials
         kwargs["seed"] = seed
-        kwargs["workers"] = 1 if workers > 1 else sim_workers
+        kwargs["workers"] = resolve_sim_workers(workers, sim_workers)
         tasks.append(
             ScenarioTask(
                 fn=evaluate_technique,

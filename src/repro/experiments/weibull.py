@@ -7,6 +7,14 @@ extension study keeps each system's MTBF and severity mix fixed, plans
 intervals with the paper's model (which only knows rates), and then
 simulates under Weibull renewal failures of varying shape.
 
+Each (system, shape) cell is a :class:`~repro.scenarios.ScenarioSpec`
+whose failure process is the *named* ``weibull`` kind from
+:mod:`repro.failures.registry` (the 1.0 baseline keeps the default
+exponential source), so the exact same sweep is available to
+hand-written study JSON: ``{"failure": {"kind": "weibull", "shape":
+0.6}}``.  The optimization cache shares one exponential-model sweep per
+system across all shapes — the point of the study.
+
 What to expect: burstiness *helps* a checkpointed application at a fixed
 MTBF — failures cluster, so a burst mostly re-kills already-lost work
 while long quiet stretches let whole patterns complete — and the
@@ -17,46 +25,48 @@ exponential world.
 
 from __future__ import annotations
 
-import time
-from math import gamma as _gamma
-
-from ..exec import ScenarioTask, record_stage, run_scenarios
-from ..failures.sources import WeibullFailureSource
-from ..simulator import simulate_many
+from ..failures.registry import FailureSpec
+from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import optimize_technique
 
-__all__ = ["run"]
+__all__ = ["run", "study", "SHAPES"]
 
 #: Weibull shapes studied; 1.0 is the exponential baseline.
 SHAPES = (1.0, 0.8, 0.6)
 
 
-def _weibull_factory(system, shape):
-    # Scale chosen so the mean inter-arrival equals the system MTBF.
-    scale = system.mtbf / _gamma(1.0 + 1.0 / shape)
-
-    def factory(rng):
-        return WeibullFailureSource(
-            shape, scale, system.severity_probabilities, rng
-        )
-
-    return factory
-
-
-def _simulate_shape(spec, plan, shape, trials, seed, workers=1):
-    """Top-level simulate stage: rebuilds the (unpicklable) Weibull
-    source-factory closure from ``(spec, shape)`` inside the worker."""
-    kwargs = {}
-    if shape != 1.0:
-        kwargs["source_factory"] = _weibull_factory(spec, shape)
-    start = time.perf_counter()
-    stats = simulate_many(
-        spec, plan, trials=trials, seed=seed, workers=workers, **kwargs
+def study(
+    trials: int = 100,
+    seed: int = 0,
+    systems: tuple[str, ...] = ("D2", "D5", "D8"),
+    shapes: tuple[float, ...] = SHAPES,
+) -> StudySpec:
+    scenarios = []
+    for name in systems:
+        for shape in shapes:
+            failure = (
+                FailureSpec()
+                if shape == 1.0
+                else FailureSpec("weibull", {"shape": shape})
+            )
+            scenarios.append(
+                ScenarioSpec(
+                    system=TEST_SYSTEMS[name],
+                    technique="dauwe",
+                    failure=failure,
+                    trials=trials,
+                    seed_policy="fixed",
+                    label=f"weibull/{name}/shape={shape}",
+                    tags={"weibull shape": shape},
+                )
+            )
+    return StudySpec(
+        study_id="weibull",
+        title="Weibull failures vs. the exponential assumption (extension)",
+        seed=seed,
+        scenarios=tuple(scenarios),
     )
-    record_stage("simulate", time.perf_counter() - start)
-    return stats
 
 
 def run(
@@ -66,41 +76,24 @@ def run(
     systems: tuple[str, ...] = ("D2", "D5", "D8"),
     sim_workers: int = 1,
 ) -> ExperimentResult:
-    # Stage 1: one (cached) exponential-model sweep per system; every
-    # shape reuses the same plan — the point of the study.
-    plans = {
-        name: optimize_technique(TEST_SYSTEMS[name], "dauwe") for name in systems
-    }
-    sim_w = 1 if workers > 1 else sim_workers
-    meta = []
-    tasks = []
-    for name in systems:
-        res = plans[name]
-        for shape in SHAPES:
-            meta.append((name, shape, res))
-            tasks.append(
-                ScenarioTask(
-                    _simulate_shape,
-                    args=(TEST_SYSTEMS[name], res.plan, shape, trials, seed, sim_w),
-                    label=f"weibull/{name}/shape={shape}",
-                )
-            )
+    spec = study(trials=trials, seed=seed, systems=systems)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
     rows = []
-    for (name, shape, res), stats in zip(meta, run_scenarios(tasks, workers=workers)):
+    for scenario, out in zip(spec.scenarios, srun.outcomes):
         rows.append(
             {
-                "system": name,
-                "weibull shape": shape,
-                "sim efficiency": stats.mean_efficiency,
-                "std": stats.std_efficiency,
-                "predicted (exp model)": res.predicted_efficiency,
-                "error": res.predicted_efficiency - stats.mean_efficiency,
-                "plan": res.plan.describe(),
+                "system": out.system,
+                "weibull shape": scenario.tags["weibull shape"],
+                "sim efficiency": out.simulated_efficiency,
+                "std": out.simulated_std,
+                "predicted (exp model)": out.predicted_efficiency,
+                "error": out.prediction_error,
+                "plan": out.plan,
             }
         )
     return ExperimentResult(
         experiment_id="weibull",
-        title="Weibull failures vs. the exponential assumption (extension)",
+        title=spec.title,
         caption=(
             "The paper's model plans intervals assuming exponential "
             "failures; the simulator then injects Weibull renewal failures "
@@ -126,4 +119,5 @@ def run(
             "exponential model's predictions become pessimistic for "
             "bursty machines.",
         ],
+        manifest=srun.record.to_dict(),
     )

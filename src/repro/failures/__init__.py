@@ -1,5 +1,6 @@
-"""Failure processes, synthetic traces, and rate fitting."""
+"""Failure processes, synthetic traces, rate fitting, and the kind registry."""
 
+from .registry import FAILURE_KINDS, FailureSpec, register_failure_kind
 from .fitting import (
     WeibullFit,
     exponential_ks_test,
@@ -18,8 +19,11 @@ from .traces import FailureTrace, synthesize_trace
 
 __all__ = [
     "ExponentialFailureSource",
+    "FAILURE_KINDS",
     "FailureSource",
+    "FailureSpec",
     "FailureTrace",
+    "register_failure_kind",
     "TraceFailureSource",
     "WeibullFailureSource",
     "WeibullFit",

@@ -1,0 +1,145 @@
+"""Named failure-source registry: failure processes as spec-addressable data.
+
+Every scenario of the declarative study layer (:mod:`repro.scenarios`)
+names its failure process instead of constructing it, so a hand-written
+study JSON can say ``{"kind": "weibull", "shape": 0.6}`` and get exactly
+the renewal process the Weibull extension study builds in code.  A
+:class:`FailureSpec` is the serializable handle; :meth:`FailureSpec.
+source_factory` resolves it against a system into the ``source_factory``
+callable :func:`repro.simulator.simulate_many` accepts (or ``None`` for
+the simulator's built-in exponential default, which keeps the common case
+on the exact pre-existing code path).
+
+Registered kinds
+----------------
+``exponential``
+    The paper's Poisson assumption (Section III-B).  No parameters; the
+    rate and severity mix come from the system spec.  Resolves to ``None``
+    so the simulator uses its default source.
+``weibull``
+    Weibull renewal inter-arrivals.  Parameters: ``shape`` (required,
+    positive; ``< 1`` is bursty) and optional ``scale`` (minutes).  When
+    ``scale`` is omitted it is chosen so the mean inter-arrival equals the
+    system MTBF — the convention of the Weibull extension study.
+``trace``
+    Replay an explicit failure trace.  Parameters: ``times`` (strictly
+    increasing, positive, minutes) and ``severities`` (1-based ints, same
+    length).  Every trial replays the same trace.
+
+Additional kinds can be registered with :func:`register_failure_kind`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from math import gamma
+from typing import Any, Callable, Mapping
+
+from .sources import TraceFailureSource, WeibullFailureSource
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FailureSpec",
+    "register_failure_kind",
+]
+
+#: kind name -> builder(system, **params) -> source_factory | None.  A
+#: builder returns either ``None`` (use the simulator's default
+#: exponential source) or a callable ``factory(rng) -> FailureSource``
+#: invoked once per trial with the trial's generator.
+FAILURE_KINDS: dict[str, Callable] = {}
+
+
+def register_failure_kind(name: str, builder: Callable) -> None:
+    """Register ``builder`` under ``name`` (lowercased; must be new)."""
+    key = name.lower()
+    if key in FAILURE_KINDS:
+        raise ValueError(f"failure kind {name!r} is already registered")
+    FAILURE_KINDS[key] = builder
+
+
+def _build_exponential(system):
+    # None selects simulate_many's built-in ExponentialFailureSource path.
+    return None
+
+
+def _build_weibull(system, shape, scale=None):
+    shape = float(shape)
+    if shape <= 0:
+        raise ValueError(f"weibull shape must be positive, got {shape}")
+    if scale is None:
+        # Mean inter-arrival pinned to the system MTBF, as in the study.
+        scale = system.mtbf / gamma(1.0 + 1.0 / shape)
+    scale = float(scale)
+    severities = system.severity_probabilities
+
+    def factory(rng):
+        return WeibullFailureSource(shape, scale, severities, rng)
+
+    return factory
+
+
+def _build_trace(system, times, severities):
+    times = tuple(float(t) for t in times)
+    sevs = tuple(int(s) for s in severities)
+    TraceFailureSource(times, sevs)  # validate once, loudly, at resolve time
+
+    def factory(rng):
+        return TraceFailureSource(times, sevs)
+
+    return factory
+
+
+register_failure_kind("exponential", _build_exponential)
+register_failure_kind("weibull", _build_weibull)
+register_failure_kind("trace", _build_trace)
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """A named, serializable failure process (kind + parameters).
+
+    The default spec (``exponential`` with no parameters) resolves to
+    ``None`` — the simulator's built-in source — so scenarios that do not
+    care about the failure process pay nothing for the indirection.
+    """
+
+    kind: str = "exponential"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", str(self.kind).lower())
+        object.__setattr__(self, "params", dict(self.params))
+        if self.kind not in FAILURE_KINDS:
+            known = ", ".join(sorted(FAILURE_KINDS))
+            raise ValueError(f"unknown failure kind {self.kind!r}; known: {known}")
+
+    @property
+    def is_default(self) -> bool:
+        return self.kind == "exponential" and not self.params
+
+    def source_factory(self, system):
+        """Resolve against ``system``: a per-trial factory, or ``None``."""
+        return FAILURE_KINDS[self.kind](system, **self.params)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON form: ``{"kind": ..., <param>: ...}``."""
+        out: dict[str, Any] = {"kind": self.kind}
+        out.update(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"failure spec must be a mapping, got {type(data).__name__}")
+        params = {k: v for k, v in data.items() if k != "kind"}
+        return cls(kind=data.get("kind", "exponential"), params=params)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,40 @@
+"""Declarative scenario layer: studies as data, one execution pipeline.
+
+The package turns the repository's combinatorial experimental surface —
+(system x technique x failure model x T_B x trials) — into serializable
+specifications executed by a single shared pipeline:
+
+* :class:`ScenarioSpec` — one figure bar as data (system, technique or
+  interval optimizer, model/sweep/simulate options, named failure
+  process, trials, seed policy, presentation tags);
+* :class:`StudySpec` — an ordered set of scenarios plus reporting
+  directives, with lossless JSON (de)serialization, a cross-product
+  authoring shorthand, and a content hash;
+* :func:`execute_study` — fans a study's scenarios across the
+  :mod:`repro.exec` scheduler/cache and returns outcomes in scenario
+  order plus a :class:`StudyRunRecord`;
+* :class:`RunManifest` — the per-invocation reproducibility artifact
+  (study hashes, derived seeds, cache stats, stage wall-clock, package
+  versions) the CLI writes next to the Markdown report.
+
+Every built-in experiment module is now a thin spec builder + row
+post-processor on top of this package, and ``python -m repro custom
+--study my_study.json`` runs user-authored studies through the same
+machinery.  See README.md "Define your own scenario".
+"""
+
+from .manifest import RunManifest, StudyRunRecord, package_versions
+from .pipeline import StudyRun, execute_study, generic_result, scenario_seed
+from .spec import ScenarioSpec, StudySpec
+
+__all__ = [
+    "RunManifest",
+    "ScenarioSpec",
+    "StudyRun",
+    "StudyRunRecord",
+    "StudySpec",
+    "execute_study",
+    "generic_result",
+    "package_versions",
+    "scenario_seed",
+]

@@ -1,0 +1,121 @@
+"""Run manifests: every study execution leaves a machine-readable record.
+
+A :class:`StudyRunRecord` captures what one study execution actually did
+— the study's content hash, the per-scenario derived seeds and trial
+counts, the optimization-cache hit/miss deltas and the per-stage
+wall-clock from :mod:`repro.exec.metrics`.  A :class:`RunManifest`
+aggregates the records of one CLI invocation together with the runtime
+knobs and package versions, and is written as JSON next to the Markdown
+report (or wherever ``--manifest`` points), so a results table is always
+accompanied by the exact recipe that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunManifest", "StudyRunRecord", "package_versions"]
+
+#: Manifest format version; bump on incompatible schema changes.
+MANIFEST_VERSION = 1
+
+
+def package_versions() -> dict[str, str]:
+    """Versions of everything that can change a number in the tables."""
+    import numpy
+
+    from .. import __version__ as repro_version
+
+    return {
+        "repro": repro_version,
+        "numpy": numpy.__version__,
+        "python": platform.python_version(),
+    }
+
+
+@dataclass
+class StudyRunRecord:
+    """What one study execution did; the per-study manifest fragment.
+
+    ``scenarios`` holds one entry per scenario, in execution order:
+    ``{"label", "system", "technique", "trials", "seed"}`` where ``seed``
+    is the *derived* simulation seed actually passed to the simulator
+    (after the scenario's seed policy was applied to the study's base
+    seed).  ``stages`` maps stage name to ``{"seconds", "count"}`` and
+    ``cache`` carries the optimization-cache counter deltas for exactly
+    this execution.
+    """
+
+    study: str
+    study_hash: str
+    seed: int
+    scenarios: list[dict[str, Any]] = field(default_factory=list)
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    cache: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "study": self.study,
+            "study_hash": self.study_hash,
+            "seed": self.seed,
+            "scenarios": list(self.scenarios),
+            "stages": dict(self.stages),
+            "cache": dict(self.cache),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StudyRunRecord":
+        return cls(
+            study=data["study"],
+            study_hash=data["study_hash"],
+            seed=int(data["seed"]),
+            scenarios=list(data.get("scenarios", [])),
+            stages=dict(data.get("stages", {})),
+            cache=dict(data.get("cache", {})),
+        )
+
+
+@dataclass
+class RunManifest:
+    """One CLI invocation's reproducibility record (JSON-serializable)."""
+
+    studies: list[StudyRunRecord] = field(default_factory=list)
+    workers: int = 1
+    sim_workers: int = 1
+    created: str = ""
+    versions: dict[str, str] = field(default_factory=package_versions)
+
+    def __post_init__(self) -> None:
+        if not self.created:
+            self.created = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    def add(self, record: StudyRunRecord | dict[str, Any] | None) -> None:
+        """Append a study record (dict form is accepted; ``None`` ignored)."""
+        if record is None:
+            return
+        if isinstance(record, dict):
+            record = StudyRunRecord.from_dict(record)
+        self.studies.append(record)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "created": self.created,
+            "workers": self.workers,
+            "sim_workers": self.sim_workers,
+            "versions": dict(self.versions),
+            "studies": [s.to_dict() for s in self.studies],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path

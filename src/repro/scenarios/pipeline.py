@@ -1,0 +1,285 @@
+"""The one shared execution pipeline for declarative studies.
+
+Every study — built-in figure or user-authored JSON — runs through
+:func:`execute_study`: scenarios are fanned across the
+:mod:`repro.exec` scheduler (order-stable, cache-aware), each scenario
+executes its two stages (the technique's own optimization, then the
+Monte-Carlo measurement), and the call returns the per-scenario
+:class:`~repro.experiments.records.TechniqueOutcome` list *plus* a
+:class:`~repro.scenarios.manifest.StudyRunRecord` describing exactly
+what ran (derived seeds, trial counts, cache and stage deltas).
+
+The pipeline reproduces the pre-refactor modules bit for bit: the
+``pair`` seed policy goes through the exact
+:func:`~repro.experiments.runner.measure_technique` path Figures 2-5
+always used, the ``fixed`` policy mirrors the ablation/Weibull/interval
+studies' direct ``simulate_many`` calls, and failure sources are rebuilt
+inside worker processes from their :class:`~repro.failures.registry.
+FailureSpec` just as the Weibull study rebuilt its closures.
+Equality is asserted by ``tests/test_scenarios_regression.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exec import (
+    OptimizationCache,
+    ScenarioTask,
+    get_active_cache,
+    record_stage,
+    resolve_sim_workers,
+    run_scenarios,
+    set_active_cache,
+    stage_delta,
+    stage_snapshot,
+)
+from ..exec.cache import CacheStats
+from ..models import TECHNIQUES
+from .manifest import StudyRunRecord
+from .spec import ScenarioSpec, StudySpec
+
+if TYPE_CHECKING:  # runtime import would cycle: experiments imports scenarios
+    from ..experiments.records import ExperimentResult, TechniqueOutcome
+
+__all__ = ["StudyRun", "execute_study", "generic_result", "scenario_seed"]
+
+
+def scenario_seed(scenario: ScenarioSpec, base_seed: int | None) -> int | None:
+    """The simulation seed a scenario derives from the study's base seed."""
+    from ..experiments.runner import pair_seed
+
+    if scenario.seed_policy == "pair":
+        return pair_seed(base_seed, scenario.system.name, scenario.technique)
+    return base_seed
+
+
+def _execute_scenario(
+    scenario: ScenarioSpec, base_seed: int | None, sim_workers: int
+) -> TechniqueOutcome:
+    """Run one scenario's optimize + measure stages (module-level: picklable)."""
+    if scenario.optimizer == "interval":
+        return _execute_interval(scenario, base_seed)
+
+    from ..experiments.records import TechniqueOutcome
+    from ..experiments.runner import measure_technique, optimize_technique
+    from ..simulator import simulate_many
+
+    opt = optimize_technique(
+        scenario.system,
+        scenario.technique,
+        model_options=scenario.model_options,
+        sweep_options=scenario.sweep_options,
+    )
+    simulate = dict(scenario.simulate)
+    factory = scenario.failure.source_factory(scenario.system)
+    if factory is not None:
+        simulate["source_factory"] = factory
+    if scenario.seed_policy == "pair":
+        # The exact Figures 2-5 path, per-pair derived failure streams.
+        return measure_technique(
+            scenario.system, scenario.technique, opt, scenario.trials,
+            seed=base_seed, workers=sim_workers, **simulate,
+        )
+    # Fixed policy: the base seed reaches the simulator unchanged, so
+    # variants of one study share failure streams (ablations, Weibull).
+    simulate.setdefault(
+        "checkpoint_at_completion",
+        TECHNIQUES[scenario.technique].takes_scheduled_end_checkpoint,
+    )
+    start = time.perf_counter()
+    stats = simulate_many(
+        scenario.system, opt.plan, trials=scenario.trials, seed=base_seed,
+        workers=sim_workers, **simulate,
+    )
+    record_stage("simulate", time.perf_counter() - start)
+    return TechniqueOutcome(
+        system=scenario.system.name,
+        technique=scenario.technique,
+        plan=opt.plan.describe(),
+        predicted_efficiency=opt.predicted_efficiency,
+        simulated_efficiency=stats.mean_efficiency,
+        simulated_std=stats.std_efficiency,
+        trials=scenario.trials,
+        predicted_time=opt.predicted_time,
+        mean_time=stats.mean_total_time,
+        completed_fraction=stats.completed_fraction,
+        breakdown_fractions=stats.mean_breakdown.fractions(),
+        mean_failures=stats.mean_failures,
+    )
+
+
+def _execute_interval(
+    scenario: ScenarioSpec, base_seed: int | None
+) -> TechniqueOutcome:
+    """Interval-optimizer scenarios: Di-style per-level periods (extension).
+
+    The interval schedule is not a pattern plan, so its optimization is
+    timed but not cached — exactly the pre-refactor interval study.
+    """
+    from ..experiments.records import TechniqueOutcome
+    from ..interval import IntervalModel, simulate_schedule_many
+
+    if not scenario.failure.is_default:
+        raise ValueError(
+            "interval-optimizer scenarios support only the exponential "
+            f"failure process, got kind {scenario.failure.kind!r}"
+        )
+    start = time.perf_counter()
+    itv = IntervalModel(scenario.system, **scenario.model_options).optimize(
+        **scenario.sweep_options
+    )
+    record_stage("optimize", time.perf_counter() - start)
+    start = time.perf_counter()
+    stats = simulate_schedule_many(
+        scenario.system, itv.schedule, trials=scenario.trials,
+        seed=scenario_seed(scenario, base_seed), **scenario.simulate,
+    )
+    record_stage("simulate", time.perf_counter() - start)
+    return TechniqueOutcome(
+        system=scenario.system.name,
+        technique="interval",
+        plan=itv.schedule.describe(),
+        predicted_efficiency=itv.predicted_efficiency,
+        simulated_efficiency=stats.mean_efficiency,
+        simulated_std=stats.std_efficiency,
+        trials=scenario.trials,
+        predicted_time=itv.predicted_time,
+        mean_time=stats.mean_total_time,
+        completed_fraction=stats.completed_fraction,
+        breakdown_fractions=stats.mean_breakdown.fractions(),
+        mean_failures=stats.mean_failures,
+    )
+
+
+@dataclass
+class StudyRun:
+    """A study execution: outcomes in scenario order + its manifest record."""
+
+    study: StudySpec
+    outcomes: list[TechniqueOutcome]
+    record: StudyRunRecord
+
+
+def execute_study(
+    study: StudySpec, workers: int = 1, sim_workers: int = 1
+) -> StudyRun:
+    """Execute every scenario of ``study`` through the shared scheduler.
+
+    ``workers`` fans scenarios over the process pool; ``sim_workers``
+    parallelizes trials within each scenario and only applies when
+    ``workers <= 1`` (a dropped request warns once, see
+    :func:`repro.exec.resolve_sim_workers`).  When no optimization cache
+    is active, a temporary in-memory cache is installed for the duration
+    so duplicate sweeps inside one study are computed once — results are
+    unchanged either way (the sweep is a pure function).
+
+    Returns outcomes **in scenario order** regardless of worker count,
+    plus a :class:`StudyRunRecord` of the derived seeds, trial counts,
+    cache hit/miss deltas and per-stage wall-clock for exactly this call.
+    """
+    sim_w = resolve_sim_workers(workers, sim_workers)
+    temp_cache_installed = get_active_cache() is None
+    if temp_cache_installed:
+        previous = set_active_cache(OptimizationCache())
+    cache = get_active_cache()
+    stage_before = stage_snapshot()
+    cache_before = cache.stats.snapshot() if cache is not None else CacheStats()
+    try:
+        tasks = [
+            ScenarioTask(
+                _execute_scenario,
+                args=(scenario, study.seed, sim_w),
+                label=scenario.label,
+            )
+            for scenario in study.scenarios
+        ]
+        outcomes = run_scenarios(tasks, workers=workers)
+    finally:
+        if temp_cache_installed:
+            set_active_cache(previous)
+    stages = stage_delta(stage_before)
+    cache_d = cache.stats.delta(cache_before) if cache is not None else CacheStats()
+    record = StudyRunRecord(
+        study=study.study_id,
+        study_hash=study.study_hash(),
+        seed=study.seed,
+        scenarios=[
+            {
+                "label": s.label,
+                "system": s.system.name,
+                "technique": s.technique,
+                "trials": s.trials,
+                "seed": scenario_seed(s, study.seed),
+            }
+            for s in study.scenarios
+        ],
+        stages={
+            name: {"seconds": round(total, 6), "count": count}
+            for name, (total, count) in sorted(stages.items())
+        },
+        cache={
+            "hits": cache_d.hits,
+            "misses": cache_d.misses,
+            "disk_hits": cache_d.disk_hits,
+            "stores": cache_d.stores,
+        },
+    )
+    return StudyRun(study=study, outcomes=outcomes, record=record)
+
+
+#: Measurement columns of the generic (custom-study) result table.
+_GENERIC_COLUMNS = [
+    ("system", None),
+    ("technique", None),
+    ("sim efficiency", ".4f"),
+    ("std", ".4f"),
+    ("predicted", ".4f"),
+    ("error", "+.4f"),
+    ("trials", "d"),
+    ("plan", None),
+]
+
+
+def generic_result(run: StudyRun) -> ExperimentResult:
+    """Render a study execution as a generic table (the ``custom`` path).
+
+    Scenario ``tags`` become leading columns (first-appearance order), so
+    a study can label its rows without any figure-specific module.
+    """
+    from ..experiments.records import ExperimentResult
+
+    tag_keys: dict[str, None] = {}
+    for scenario in run.study.scenarios:
+        for key in scenario.tags:
+            tag_keys.setdefault(key)
+    rows = []
+    for scenario, out in zip(run.study.scenarios, run.outcomes):
+        row = {key: scenario.tags.get(key) for key in tag_keys}
+        row.update(
+            {
+                "system": out.system,
+                "technique": out.technique,
+                "sim efficiency": out.simulated_efficiency,
+                "std": out.simulated_std,
+                "predicted": out.predicted_efficiency,
+                "error": out.prediction_error,
+                "trials": out.trials,
+                "plan": out.plan,
+            }
+        )
+        rows.append(row)
+    result = ExperimentResult(
+        experiment_id=run.study.study_id,
+        title=run.study.title or f"Study {run.study.study_id}",
+        caption=run.study.caption
+        or "User-defined study executed by the shared scenario pipeline.",
+        columns=[(key, None) for key in tag_keys] + _GENERIC_COLUMNS,
+        rows=rows,
+        parameters={"seed": run.study.seed, "study_hash": run.record.study_hash},
+        notes=list(run.study.notes),
+        manifest=run.record.to_dict(),
+    )
+    return result

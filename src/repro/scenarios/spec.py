@@ -1,0 +1,390 @@
+"""Declarative scenario and study specifications.
+
+A :class:`ScenarioSpec` is one bar of a figure as *data*: which system,
+which technique (or the interval-based optimizer), the model/sweep/
+simulation options, the named failure process, the trial count and the
+seed policy.  A :class:`StudySpec` is an ordered set of scenarios plus
+presentation directives — the single currency between the optimizer, the
+:mod:`repro.exec` scheduler/cache and reporting.
+
+Every built-in experiment (``figure2`` .. ``interval_study``) is now a
+function returning a :class:`StudySpec`; user-defined studies are JSON
+files loaded with :meth:`StudySpec.from_dict`, which also supports a
+cross-product shorthand (``"systems" x "techniques"``) so a sweep is a
+few lines of JSON rather than a Python module.  Both forms run through
+the same pipeline (:mod:`repro.scenarios.pipeline`).
+
+Seed policies
+-------------
+``pair``
+    The per-(system, technique) derived stream used by Figures 2-5:
+    ``crc32(f"{seed}/{system}/{technique}")`` — different techniques
+    never share failure sequences (see :func:`repro.experiments.runner.
+    pair_seed`).
+``fixed``
+    The study's base seed is passed to the simulator unchanged — the
+    convention of the ablation/Weibull/interval studies, where *sharing*
+    the failure stream across variants is the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..failures.registry import FailureSpec
+from ..models import TECHNIQUES
+from ..systems.spec import SystemSpec
+
+__all__ = ["ScenarioSpec", "StudySpec"]
+
+_OPTIMIZERS = ("pattern", "interval")
+_SEED_POLICIES = ("pair", "fixed")
+
+#: Keys accepted in a scenario dict (used for typo rejection).
+_SCENARIO_FIELDS = (
+    "system",
+    "technique",
+    "optimizer",
+    "model_options",
+    "sweep_options",
+    "simulate",
+    "failure",
+    "trials",
+    "seed_policy",
+    "label",
+    "tags",
+)
+
+_STUDY_FIELDS = (
+    "study",
+    "title",
+    "caption",
+    "seed",
+    "trials",
+    "notes",
+    "scenarios",
+    "systems",
+    "techniques",
+    # shared per-scenario defaults for the cross-product shorthand:
+    "failure",
+    "simulate",
+    "model_options",
+    "sweep_options",
+    "seed_policy",
+)
+
+
+def _resolve_system(value: Any) -> SystemSpec:
+    """A system is a Table-I name, a spec dict, or an existing spec."""
+    if isinstance(value, SystemSpec):
+        return value
+    if isinstance(value, str):
+        from ..systems import get_system  # late import: catalog -> spec cycle
+
+        return get_system(value)
+    return SystemSpec.from_dict(value)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One independently executable experiment unit, as data.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.systems.spec.SystemSpec` under test.
+    technique:
+        Registry name of the optimizing model (``repro.models.TECHNIQUES``).
+        Ignored (forced to ``"interval"``) when ``optimizer`` is
+        ``"interval"``.
+    optimizer:
+        ``"pattern"`` (the paper's pattern-based plans, default) or
+        ``"interval"`` (the Di-style per-level-period extension).
+    model_options / sweep_options:
+        Keyword arguments for the model constructor / the Section III-C
+        sweep, exactly as :func:`repro.experiments.runner.optimize_technique`
+        takes them.
+    simulate:
+        Extra keyword arguments for the simulator (``restart_semantics``,
+        ``recheckpoint``, ``checkpoint_at_completion``, ``max_time``).
+        ``checkpoint_at_completion`` defaults to the technique's
+        registered end-checkpoint behavior when not given.
+    failure:
+        A :class:`~repro.failures.registry.FailureSpec`; the default is
+        the paper's exponential process.
+    trials:
+        Simulation trials for this scenario.
+    seed_policy:
+        ``"pair"`` or ``"fixed"`` — see the module docstring.
+    label:
+        Identifier used in progress/error reports and the run manifest;
+        defaults to ``"<system>/<technique>"``.
+    tags:
+        Free-form key/value pairs carried verbatim into result rows —
+        how figure modules attach presentation columns (study names,
+        Weibull shapes, modes) without touching the pipeline.
+    """
+
+    system: SystemSpec
+    technique: str = "dauwe"
+    optimizer: str = "pattern"
+    model_options: Mapping[str, Any] = field(default_factory=dict)
+    sweep_options: Mapping[str, Any] = field(default_factory=dict)
+    simulate: Mapping[str, Any] = field(default_factory=dict)
+    failure: FailureSpec = field(default_factory=FailureSpec)
+    trials: int = 100
+    seed_policy: str = "pair"
+    label: str = ""
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model_options", dict(self.model_options))
+        object.__setattr__(self, "sweep_options", dict(self.sweep_options))
+        object.__setattr__(self, "simulate", dict(self.simulate))
+        object.__setattr__(self, "tags", dict(self.tags))
+        if not isinstance(self.system, SystemSpec):
+            raise ValueError(
+                f"system must be a SystemSpec, got {type(self.system).__name__}"
+            )
+        if self.optimizer not in _OPTIMIZERS:
+            raise ValueError(
+                f"optimizer must be one of {_OPTIMIZERS}, got {self.optimizer!r}"
+            )
+        if self.optimizer == "interval":
+            object.__setattr__(self, "technique", "interval")
+        else:
+            object.__setattr__(self, "technique", self.technique.lower())
+            if self.technique not in TECHNIQUES:
+                known = ", ".join(TECHNIQUES)
+                raise ValueError(
+                    f"unknown technique {self.technique!r}; known: {known}"
+                )
+        if self.seed_policy not in _SEED_POLICIES:
+            raise ValueError(
+                f"seed_policy must be one of {_SEED_POLICIES}, got {self.seed_policy!r}"
+            )
+        if not isinstance(self.trials, int) or self.trials < 1:
+            raise ValueError(f"trials must be a positive int, got {self.trials!r}")
+        if not isinstance(self.failure, FailureSpec):
+            raise ValueError(
+                f"failure must be a FailureSpec, got {type(self.failure).__name__}"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", f"{self.system.name}/{self.technique}")
+
+    # ------------------------------------------------------------------
+    def with_trials(self, trials: int) -> "ScenarioSpec":
+        return replace(self, trials=int(trials))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (full system spec inline, defaults included)."""
+        return {
+            "system": self.system.to_dict(),
+            "technique": self.technique,
+            "optimizer": self.optimizer,
+            "model_options": dict(self.model_options),
+            "sweep_options": dict(self.sweep_options),
+            "simulate": dict(self.simulate),
+            "failure": self.failure.to_dict(),
+            "trials": self.trials,
+            "seed_policy": self.seed_policy,
+            "label": self.label,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"scenario must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(_SCENARIO_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(unknown)}; "
+                f"known fields: {list(_SCENARIO_FIELDS)}"
+            )
+        if "system" not in data:
+            raise ValueError("scenario is missing required field 'system'")
+        kwargs: dict[str, Any] = {"system": _resolve_system(data["system"])}
+        for key in ("technique", "optimizer", "model_options", "sweep_options",
+                    "simulate", "seed_policy", "label", "tags"):
+            if key in data:
+                kwargs[key] = data[key]
+        if "trials" in data:
+            kwargs["trials"] = int(data["trials"])
+        if "failure" in data:
+            kwargs["failure"] = FailureSpec.from_dict(data["failure"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """An ordered set of scenarios plus aggregation/reporting directives."""
+
+    study_id: str
+    scenarios: tuple[ScenarioSpec, ...]
+    title: str = ""
+    caption: str = ""
+    seed: int = 0
+    notes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "notes", tuple(self.notes))
+        if not self.study_id:
+            raise ValueError("study_id must be non-empty")
+        if not self.scenarios:
+            raise ValueError(f"study {self.study_id!r} has no scenarios")
+        if any(not isinstance(s, ScenarioSpec) for s in self.scenarios):
+            raise ValueError("scenarios must all be ScenarioSpec instances")
+
+    # ------------------------------------------------------------------
+    @property
+    def techniques(self) -> tuple[str, ...]:
+        """Distinct techniques in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self.scenarios:
+            seen.setdefault(s.technique)
+        return tuple(seen)
+
+    def with_techniques(self, techniques: Sequence[str]) -> "StudySpec":
+        """Restrict to scenarios whose technique is in ``techniques``.
+
+        This is the CLI's ``--techniques`` override; asking for a
+        technique the study never uses is an error rather than an empty
+        (and silently wrong) run.
+        """
+        wanted = tuple(t.lower() for t in techniques)
+        missing = set(wanted) - set(self.techniques)
+        if missing:
+            raise ValueError(
+                f"study {self.study_id!r} has no scenarios for technique(s) "
+                f"{sorted(missing)}; it uses: {list(self.techniques)}"
+            )
+        kept = tuple(s for s in self.scenarios if s.technique in wanted)
+        return replace(self, scenarios=kept)
+
+    def with_trials(self, trials: int) -> "StudySpec":
+        """Every scenario re-pinned to ``trials`` (the CLI's --trials/--quick)."""
+        return replace(
+            self, scenarios=tuple(s.with_trials(trials) for s in self.scenarios)
+        )
+
+    def with_seed(self, seed: int) -> "StudySpec":
+        return replace(self, seed=int(seed))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "study": self.study_id,
+            "title": self.title,
+            "caption": self.caption,
+            "seed": self.seed,
+            "notes": list(self.notes),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def study_hash(self) -> str:
+        """Content hash of the canonical study JSON (reproducibility key).
+
+        Stable across dump/load round-trips and across how the study was
+        authored (name-referenced vs inline systems, shorthand vs
+        explicit scenarios), because it hashes the fully resolved form.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:40]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        """Load a study from its dict/JSON form.
+
+        Two authoring styles are accepted:
+
+        * explicit — a ``"scenarios"`` list of scenario dicts;
+        * cross-product shorthand — ``"systems"`` (names or inline spec
+          dicts) times ``"techniques"``, sharing the study-level
+          ``failure`` / ``simulate`` / ``model_options`` /
+          ``sweep_options`` / ``seed_policy`` settings.
+
+        A study-level ``"trials"`` fills in any scenario that does not
+        set its own.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"study must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(_STUDY_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown study field(s) {sorted(unknown)}; "
+                f"known fields: {list(_STUDY_FIELDS)}"
+            )
+        if "study" not in data:
+            raise ValueError("study is missing required field 'study' (its id)")
+        default_trials = data.get("trials")
+
+        scenarios: list[ScenarioSpec] = []
+        if "scenarios" in data:
+            if "systems" in data or "techniques" in data:
+                raise ValueError(
+                    "give either an explicit 'scenarios' list or the "
+                    "'systems' x 'techniques' shorthand, not both"
+                )
+            for i, sdata in enumerate(data["scenarios"]):
+                sdata = dict(sdata)
+                if "trials" not in sdata:
+                    if default_trials is None:
+                        raise ValueError(
+                            f"scenario #{i} sets no 'trials' and the study "
+                            "has no default"
+                        )
+                    sdata["trials"] = int(default_trials)
+                scenarios.append(ScenarioSpec.from_dict(sdata))
+        else:
+            if "systems" not in data:
+                raise ValueError("study needs 'scenarios' or 'systems'")
+            if default_trials is None:
+                raise ValueError("the 'systems' shorthand requires a study-level 'trials'")
+            techniques = data.get("techniques", ["dauwe"])
+            shared = {
+                key: data[key]
+                for key in ("failure", "simulate", "model_options",
+                            "sweep_options", "seed_policy")
+                if key in data
+            }
+            for sysval in data["systems"]:
+                system = _resolve_system(sysval)
+                for tech in techniques:
+                    sdata = dict(
+                        shared, system=system, technique=tech,
+                        trials=int(default_trials),
+                    )
+                    scenarios.append(ScenarioSpec.from_dict(sdata))
+        return cls(
+            study_id=str(data["study"]),
+            scenarios=tuple(scenarios),
+            title=str(data.get("title", "")),
+            caption=str(data.get("caption", "")),
+            seed=int(data.get("seed", 0)),
+            notes=tuple(data.get("notes", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "StudySpec":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as err:
+            raise ValueError(f"cannot read study file {path}: {err}") from err
+        try:
+            return cls.from_json(text)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"study file {path} is not valid JSON: {err}") from err

@@ -11,6 +11,7 @@ out over processes.
 
 from __future__ import annotations
 
+import sys
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -28,6 +29,9 @@ __all__ = ["simulate_many", "set_inline_mode", "trial_seeds"]
 #: would oversubscribe the machine and, under some start methods,
 #: deadlock).  See :mod:`repro.exec.scheduler`.
 _INLINE_MODE = False
+
+#: One-shot guard for the tiny-run worker warning (per process).
+_WARNED_TINY_RUN = False
 
 
 def set_inline_mode(enabled: bool) -> bool:
@@ -83,10 +87,11 @@ def simulate_many(
     ``workers`` > 1 distributes trials over a process pool (each process
     receives a contiguous chunk of the spawned seed sequences, so the
     result set is identical to a serial run with the same ``seed``).
-    ``workers`` is **silently ignored** — the run stays inline — when
-    ``trials < 4`` (pool startup would dominate such tiny runs) or when
-    :func:`set_inline_mode` is active because this call is already inside
-    a scenario worker process.
+    ``workers`` is ignored — the run stays inline — when ``trials < 4``
+    (pool startup would dominate such tiny runs; one stderr warning is
+    emitted per process) or when :func:`set_inline_mode` is active
+    because this call is already inside a scenario worker process (an
+    intentional scheduler decision, not warned).
     ``source_factory``, when given, builds each trial's failure source
     from its per-trial generator (``source_factory(rng)``) — used by the
     Weibull study to swap the failure process while keeping per-trial
@@ -95,6 +100,18 @@ def simulate_many(
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     seeds = trial_seeds(seed, trials)
+
+    if workers > 1 and trials < 4 and not _INLINE_MODE:
+        # Inline mode is an intentional scheduler decision; a tiny run
+        # dropping an explicit workers request deserves one audible note.
+        global _WARNED_TINY_RUN
+        if not _WARNED_TINY_RUN:
+            _WARNED_TINY_RUN = True
+            print(
+                f"warning: workers={workers} ignored for trials={trials} "
+                "(< 4): pool startup would dominate, running inline",
+                file=sys.stderr,
+            )
 
     if workers <= 1 or trials < 4 or _INLINE_MODE:
         results = _run_chunk(

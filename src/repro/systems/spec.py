@@ -10,11 +10,23 @@ All times are in **minutes**, matching the paper's normalized units.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 __all__ = ["SystemSpec"]
+
+#: Keys accepted by :meth:`SystemSpec.from_dict`, in canonical dump order.
+_SPEC_FIELDS = (
+    "name",
+    "mtbf",
+    "level_probabilities",
+    "checkpoint_times",
+    "baseline_time",
+    "restart_times",
+    "description",
+)
 
 
 def _as_tuple(values: Sequence[float]) -> tuple[float, ...]:
@@ -180,6 +192,68 @@ class SystemSpec:
             name=name,
             description=self.description if description is None else description,
         )
+
+    # ------------------------------------------------------------------
+    # lossless serialization (the currency of declarative studies)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict carrying every constructor field losslessly.
+
+        ``restart_times`` is emitted only when explicitly set, preserving
+        the "defaults to checkpoint times" semantics across a round-trip.
+        """
+        data: dict[str, Any] = {
+            "name": self.name,
+            "mtbf": self.mtbf,
+            "level_probabilities": list(self.level_probabilities),
+            "checkpoint_times": list(self.checkpoint_times),
+            "baseline_time": self.baseline_time,
+        }
+        if self.restart_times is not None:
+            data["restart_times"] = list(self.restart_times)
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SystemSpec":
+        """Build a validated spec from :meth:`to_dict` output (or user JSON).
+
+        Unknown keys are rejected so a typo in a hand-written study file
+        (``"mtbf_minutes"``, ``"ckpt_times"``) fails loudly instead of
+        silently falling back to a default.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"system spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(_SPEC_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown system spec field(s) {sorted(unknown)}; "
+                f"known fields: {list(_SPEC_FIELDS)}"
+            )
+        missing = {"name", "mtbf", "level_probabilities", "checkpoint_times",
+                   "baseline_time"} - set(data)
+        if missing:
+            raise ValueError(f"system spec is missing required field(s) {sorted(missing)}")
+        return cls(
+            name=str(data["name"]),
+            mtbf=float(data["mtbf"]),
+            level_probabilities=tuple(data["level_probabilities"]),
+            checkpoint_times=tuple(data["checkpoint_times"]),
+            baseline_time=float(data["baseline_time"]),
+            restart_times=(
+                None if data.get("restart_times") is None
+                else tuple(data["restart_times"])
+            ),
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemSpec":
+        return cls.from_dict(json.loads(text))
 
     def summary(self) -> str:
         """One-line human-readable summary, Table I style."""

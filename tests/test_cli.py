@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,8 +22,11 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["all"])
         assert args.trials is None
-        assert args.seed == 0
+        # None means "0, or a custom study's own seed" — resolved in main().
+        assert args.seed is None
         assert args.quick is False
+        assert args.techniques is None
+        assert args.study is None
 
 
 class TestMain:
@@ -45,3 +50,130 @@ class TestMain:
         # --quick uses the fixed smoke count; just verify it runs end to
         # end on the cheapest figure path.
         assert main(["table1", "--quick"]) == 0
+
+
+class TestTechniquesFlag:
+    def test_rejects_unknown_technique(self):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--techniques", "dauwe,chandy"])
+
+    def test_warns_when_not_applicable(self, capsys):
+        assert main(["table1", "--techniques", "dauwe"]) == 0
+        assert "--techniques is ignored by table1" in capsys.readouterr().err
+
+    def test_young_baseline_reachable_figure2_style(self, capsys):
+        # Satellite: the young baseline is registered but not in any
+        # figure's default set; --techniques is the way in.  A real
+        # figure2-style run: both techniques optimize and simulate on a
+        # Table-I system and land in the same table.
+        assert main(
+            ["figure2", "--trials", "2", "--techniques", "daly,young"]
+        ) == 0
+        out = capsys.readouterr().out
+        young_rows = [l for l in out.splitlines() if " young " in f" {l} "]
+        assert len(young_rows) == 11  # one per Table-I system
+        assert any(" daly " in f" {l} " for l in out.splitlines())
+
+
+class TestCustomStudy:
+    def _write_study(self, tmp_path, **overrides):
+        system = {
+            "name": "TOY",
+            "mtbf": 40.0,
+            "level_probabilities": [0.8, 0.2],
+            "checkpoint_times": [0.5, 2.0],
+            "baseline_time": 60.0,
+        }
+        study = {
+            "study": "toy-study",
+            "title": "Toy custom study",
+            "seed": 12,
+            "trials": 3,
+            "systems": [system, "M"],
+            "techniques": ["dauwe", "daly"],
+            "failure": {"kind": "weibull", "shape": 0.7},
+            "seed_policy": "fixed",
+        }
+        study.update(overrides)
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(study))
+        return path
+
+    def test_requires_study_flag(self):
+        with pytest.raises(SystemExit):
+            main(["custom"])
+
+    def test_study_flag_only_for_custom(self, tmp_path):
+        path = self._write_study(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["figure2", "--study", str(path)])
+
+    def test_bad_study_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"study": "x", "systems": ["M"]}')  # no trials
+        assert main(["custom", "--study", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_end_to_end_with_manifest(self, tmp_path, capsys):
+        from repro.scenarios import StudySpec
+
+        path = self._write_study(tmp_path)
+        assert main(["custom", "--study", str(path)]) == 0
+        captured = capsys.readouterr()
+        # the result table: cross product of 2 systems x 2 techniques
+        assert "Toy custom study" in captured.out
+        for token in ("TOY", "M", "dauwe", "daly"):
+            assert token in captured.out
+
+        manifest_path = tmp_path / "study.manifest.json"
+        assert f"manifest written to {manifest_path}" in captured.err
+        data = json.loads(manifest_path.read_text())
+        assert data["manifest_version"] == 1
+        (record,) = data["studies"]
+        # hash matches an independent load of the study file
+        assert record["study_hash"] == StudySpec.from_file(path).study_hash()
+        # the study's own seed applied (no --seed given), fixed policy
+        assert record["seed"] == 12
+        assert [s["seed"] for s in record["scenarios"]] == [12, 12, 12, 12]
+        assert [s["trials"] for s in record["scenarios"]] == [3, 3, 3, 3]
+        assert record["study"] == "toy-study"
+        # 4 distinct (system, technique) sweeps: all cache misses, stored
+        assert record["cache"]["misses"] == 4
+        assert record["cache"]["stores"] == 4
+        assert record["cache"]["hits"] == 0
+        assert set(record["stages"]) >= {"optimize", "simulate"}
+
+    def test_overrides_seed_trials_techniques(self, tmp_path, capsys):
+        path = self._write_study(tmp_path, seed_policy="pair")
+        manifest_path = tmp_path / "m.json"
+        assert main(
+            ["custom", "--study", str(path), "--seed", "5", "--trials", "2",
+             "--techniques", "daly", "--manifest", str(manifest_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dauwe" not in out
+        from repro.experiments.runner import pair_seed
+
+        (record,) = json.loads(manifest_path.read_text())["studies"]
+        assert record["seed"] == 5
+        assert [s["technique"] for s in record["scenarios"]] == ["daly", "daly"]
+        assert [s["trials"] for s in record["scenarios"]] == [2, 2]
+        assert [s["seed"] for s in record["scenarios"]] == [
+            pair_seed(5, "TOY", "daly"), pair_seed(5, "M", "daly"),
+        ]
+
+
+class TestManifestNextToReport:
+    def test_report_run_emits_manifest(self, tmp_path, capsys):
+        report = tmp_path / "EXP.md"
+        assert main(
+            ["figure2", "--trials", "2", "--report", str(report)]
+        ) == 0
+        manifest_path = tmp_path / "EXP.manifest.json"
+        assert manifest_path.exists()
+        data = json.loads(manifest_path.read_text())
+        (record,) = data["studies"]
+        assert record["study"] == "figure2"
+        assert record["seed"] == 0
+        assert len(record["scenarios"]) == 55
+        assert {"repro", "numpy", "python"} <= set(data["versions"])

@@ -1,0 +1,53 @@
+"""Smoke test: every script in examples/ runs end to end.
+
+Each example is executed as a subprocess (the way a reader would run it)
+with quick settings where the script accepts them.  These are liveness
+checks, not numeric ones — an example that crashes on import or mid-run
+is a broken front door.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+#: script name -> quick-run argv tail (empty: the script is already quick)
+QUICK_ARGS = {
+    "compare_techniques.py": ["M", "8"],
+}
+
+
+def _scripts() -> list[Path]:
+    return sorted(EXAMPLES.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert _scripts(), "examples/ directory is missing or empty"
+    unknown = set(QUICK_ARGS) - {p.name for p in _scripts()}
+    assert not unknown, f"QUICK_ARGS names missing scripts: {unknown}"
+
+
+@pytest.mark.parametrize("script", _scripts(), ids=lambda p: p.name)
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script), *QUICK_ARGS.get(script.name, [])],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed (rc={proc.returncode})\n"
+        f"stdout:\n{proc.stdout[-2000:]}\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

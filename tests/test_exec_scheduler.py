@@ -103,3 +103,42 @@ class TestFigureRowsIdentical:
         delta = cache.stats.delta(before)
         assert delta.misses == 0 and delta.hits == 2
         assert second.rows == first.rows
+
+
+class TestDroppedWorkerWarnings:
+    """Silently-dropped parallelism requests must warn once per process."""
+
+    def test_resolve_sim_workers_warns_once(self, capsys, monkeypatch):
+        from repro.exec import resolve_sim_workers
+
+        monkeypatch.setattr(scheduler_mod, "_WARNED_SIM_WORKERS", False)
+        assert resolve_sim_workers(4, 3) == 1
+        err = capsys.readouterr().err
+        assert "--sim-workers 3" in err and "ignored" in err
+        assert resolve_sim_workers(4, 3) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_resolve_sim_workers_silent_when_honored(self, capsys, monkeypatch):
+        from repro.exec import resolve_sim_workers
+
+        monkeypatch.setattr(scheduler_mod, "_WARNED_SIM_WORKERS", False)
+        assert resolve_sim_workers(1, 3) == 3
+        assert resolve_sim_workers(4, 1) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_tiny_run_drops_workers_with_warning(self, capsys, monkeypatch):
+        from repro.simulator import run as sim_run
+        from repro.simulator import simulate_many
+        from repro.systems import TEST_SYSTEMS
+        from repro.experiments.runner import optimize_technique
+
+        opt = optimize_technique(TEST_SYSTEMS["M"], "daly")
+        monkeypatch.setattr(sim_run, "_WARNED_TINY_RUN", False)
+        inline = simulate_many(TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0)
+        pooled = simulate_many(
+            TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0, workers=4
+        )
+        err = capsys.readouterr().err
+        assert "workers=4 ignored for trials=2" in err
+        assert err.count("warning:") == 1
+        assert pooled.mean_efficiency == inline.mean_efficiency

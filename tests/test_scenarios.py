@@ -1,0 +1,284 @@
+"""Tests for the declarative scenario layer (specs, manifests, pipeline)."""
+
+from __future__ import annotations
+
+import json
+from math import gamma
+
+import pytest
+
+from repro.exec import OptimizationCache, set_active_cache
+from repro.failures import FAILURE_KINDS, FailureSpec
+from repro.failures.sources import WeibullFailureSource
+from repro.scenarios import (
+    RunManifest,
+    ScenarioSpec,
+    StudySpec,
+    execute_study,
+    generic_result,
+    scenario_seed,
+)
+from repro.experiments.runner import pair_seed
+from repro.systems import TEST_SYSTEMS, exascale_grid
+from repro.systems.spec import SystemSpec
+
+
+class TestFailureSpec:
+    def test_default_is_exponential(self):
+        spec = FailureSpec()
+        assert spec.is_default
+        assert spec.source_factory(TEST_SYSTEMS["M"]) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            FailureSpec("lognormal")
+
+    def test_round_trip(self):
+        spec = FailureSpec("weibull", {"shape": 0.7})
+        again = FailureSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert FailureSpec.from_json(spec.to_json()) == spec
+
+    def test_weibull_factory_matches_hand_built_source(self):
+        system = TEST_SYSTEMS["D2"]
+        factory = FailureSpec("weibull", {"shape": 0.8}).source_factory(system)
+        import numpy as np
+
+        src = factory(np.random.default_rng(0))
+        assert isinstance(src, WeibullFailureSource)
+        ref = WeibullFailureSource(
+            0.8,
+            system.mtbf / gamma(1.0 + 1.0 / 0.8),
+            system.severity_probabilities,
+            np.random.default_rng(0),
+        )
+        assert src.shape == ref.shape and src.scale == ref.scale
+        assert src.next_after(0.0) == ref.next_after(0.0)
+
+    def test_registry_lists_builtin_kinds(self):
+        assert {"exponential", "weibull", "trace"} <= set(FAILURE_KINDS)
+
+
+class TestScenarioSpec:
+    def test_defaults_and_label(self):
+        s = ScenarioSpec(system=TEST_SYSTEMS["M"])
+        assert s.technique == "dauwe"
+        assert s.label == "M/dauwe"
+        assert s.seed_policy == "pair"
+
+    def test_rejects_unknown_technique(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            ScenarioSpec(system=TEST_SYSTEMS["M"], technique="chandy")
+
+    def test_rejects_bad_seed_policy_and_trials(self):
+        with pytest.raises(ValueError, match="seed_policy"):
+            ScenarioSpec(system=TEST_SYSTEMS["M"], seed_policy="random")
+        with pytest.raises(ValueError, match="trials"):
+            ScenarioSpec(system=TEST_SYSTEMS["M"], trials=0)
+
+    def test_interval_optimizer_forces_technique(self):
+        s = ScenarioSpec(system=TEST_SYSTEMS["M"], optimizer="interval")
+        assert s.technique == "interval"
+
+    def test_round_trip(self):
+        s = ScenarioSpec(
+            system=TEST_SYSTEMS["D5"],
+            technique="moody",
+            simulate={"restart_semantics": "escalate"},
+            failure=FailureSpec("weibull", {"shape": 0.6}),
+            trials=7,
+            seed_policy="fixed",
+            tags={"variant": "x"},
+        )
+        again = ScenarioSpec.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert again == s
+
+    def test_from_dict_rejects_typos(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ScenarioSpec.from_dict({"system": "M", "techniqe": "dauwe"})
+
+    def test_system_by_name_and_inline_dict(self):
+        by_name = ScenarioSpec.from_dict({"system": "M", "trials": 5})
+        inline = ScenarioSpec.from_dict(
+            {"system": TEST_SYSTEMS["M"].to_dict(), "trials": 5}
+        )
+        assert by_name.system == inline.system == TEST_SYSTEMS["M"]
+
+
+class TestStudySpec:
+    def _study(self, **kwargs):
+        scenarios = tuple(
+            ScenarioSpec(system=TEST_SYSTEMS["M"], technique=t, trials=5)
+            for t in ("dauwe", "daly")
+        )
+        return StudySpec(study_id="s", scenarios=scenarios, **kwargs)
+
+    def test_requires_scenarios(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            StudySpec(study_id="s", scenarios=())
+
+    def test_techniques_and_with_techniques(self):
+        study = self._study()
+        assert study.techniques == ("dauwe", "daly")
+        assert study.with_techniques(["daly"]).techniques == ("daly",)
+        with pytest.raises(ValueError, match="no scenarios for technique"):
+            study.with_techniques(["young"])
+
+    def test_with_trials_and_seed(self):
+        study = self._study().with_trials(3).with_seed(9)
+        assert {s.trials for s in study.scenarios} == {3}
+        assert study.seed == 9
+
+    def test_round_trip_preserves_hash(self):
+        study = self._study(title="T", notes=("n1",), seed=4)
+        again = StudySpec.from_json(study.to_json())
+        assert again == study
+        assert again.study_hash() == study.study_hash()
+
+    def test_hash_changes_with_content(self):
+        study = self._study()
+        assert study.study_hash() != study.with_seed(1).study_hash()
+        assert study.study_hash() != study.with_trials(6).study_hash()
+
+    def test_shorthand_cross_product(self):
+        study = StudySpec.from_dict(
+            {
+                "study": "mini",
+                "systems": ["M", "D1"],
+                "techniques": ["dauwe", "moody"],
+                "trials": 8,
+                "seed_policy": "fixed",
+            }
+        )
+        assert len(study.scenarios) == 4
+        assert study.techniques == ("dauwe", "moody")
+        assert {s.trials for s in study.scenarios} == {8}
+        assert {s.seed_policy for s in study.scenarios} == {"fixed"}
+        # the resolved form hashes identically to its explicit equivalent
+        assert study.study_hash() == StudySpec.from_json(study.to_json()).study_hash()
+
+    def test_shorthand_requires_trials(self):
+        with pytest.raises(ValueError, match="requires a study-level 'trials'"):
+            StudySpec.from_dict({"study": "s", "systems": ["M"]})
+
+    def test_rejects_both_forms(self):
+        with pytest.raises(ValueError, match="not both"):
+            StudySpec.from_dict(
+                {"study": "s", "systems": ["M"], "trials": 2,
+                 "scenarios": [{"system": "M", "trials": 2}]}
+            )
+
+    def test_from_file_wraps_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            StudySpec.from_file(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            StudySpec.from_file(bad)
+
+
+class TestSystemSpecRoundTrip:
+    @pytest.mark.parametrize("name", sorted(TEST_SYSTEMS))
+    def test_table1_systems(self, name):
+        spec = TEST_SYSTEMS[name]
+        assert SystemSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("short", [False, True])
+    def test_exascale_grid_specs(self, short):
+        for spec in exascale_grid(short_application=short):
+            assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_nonpositive_mtbf_and_baseline(self):
+        base = TEST_SYSTEMS["M"].to_dict()
+        for key in ("mtbf", "baseline_time"):
+            bad = dict(base, **{key: 0.0})
+            with pytest.raises(ValueError, match=f"{key} must be positive"):
+                SystemSpec.from_dict(bad)
+
+    def test_rejects_mismatched_level_lengths(self):
+        base = TEST_SYSTEMS["D5"].to_dict()
+        bad = dict(base, checkpoint_times=base["checkpoint_times"][:-1])
+        with pytest.raises(ValueError, match="severity classes"):
+            SystemSpec.from_dict(bad)
+        bad = dict(base, restart_times=base["checkpoint_times"][:-1])
+        with pytest.raises(ValueError, match="severity classes"):
+            SystemSpec.from_dict(bad)
+
+    def test_rejects_unknown_and_missing_fields(self):
+        base = TEST_SYSTEMS["M"].to_dict()
+        with pytest.raises(ValueError, match="unknown system spec field"):
+            SystemSpec.from_dict(dict(base, mtbf_minutes=3.0))
+        base.pop("mtbf")
+        with pytest.raises(ValueError, match="missing required field"):
+            SystemSpec.from_dict(base)
+
+    def test_restart_times_default_survives_round_trip(self):
+        spec = TEST_SYSTEMS["M"]
+        assert spec.restart_times is None
+        assert "restart_times" not in spec.to_dict()
+        assert SystemSpec.from_json(spec.to_json()).restart_times is None
+
+
+class TestPipeline:
+    @pytest.fixture(autouse=True)
+    def cache(self):
+        previous = set_active_cache(OptimizationCache())
+        yield
+        set_active_cache(previous)
+
+    def _study(self, seed=3):
+        return StudySpec(
+            study_id="mini",
+            seed=seed,
+            scenarios=(
+                ScenarioSpec(system=TEST_SYSTEMS["M"], technique="dauwe", trials=4),
+                ScenarioSpec(
+                    system=TEST_SYSTEMS["M"], technique="daly", trials=4,
+                    seed_policy="fixed", tags={"note": "shared stream"},
+                ),
+            ),
+        )
+
+    def test_scenario_seed_policies(self):
+        study = self._study(seed=5)
+        assert scenario_seed(study.scenarios[0], 5) == pair_seed(5, "M", "dauwe")
+        assert scenario_seed(study.scenarios[1], 5) == 5
+
+    def test_execute_study_outcomes_and_record(self):
+        study = self._study()
+        run = execute_study(study)
+        assert [o.technique for o in run.outcomes] == ["dauwe", "daly"]
+        record = run.record
+        assert record.study == "mini"
+        assert record.study_hash == study.study_hash()
+        assert record.seed == 3
+        assert [s["seed"] for s in record.scenarios] == [
+            pair_seed(3, "M", "dauwe"), 3,
+        ]
+        assert [s["trials"] for s in record.scenarios] == [4, 4]
+        assert set(record.stages) >= {"optimize", "simulate"}
+        assert record.cache["misses"] == record.cache["stores"] == 2
+
+    def test_generic_result_carries_tags_and_manifest(self):
+        run = execute_study(self._study())
+        result = generic_result(run)
+        assert result.experiment_id == "mini"
+        assert [c[0] for c in result.columns][:1] == ["note"]
+        assert result.rows[1]["note"] == "shared stream"
+        assert result.rows[0]["note"] is None
+        assert result.manifest == run.record.to_dict()
+        assert result.parameters["study_hash"] == run.record.study_hash
+
+    def test_manifest_aggregation_and_write(self, tmp_path):
+        run = execute_study(self._study())
+        manifest = RunManifest(workers=2, sim_workers=1)
+        manifest.add(run.record)
+        manifest.add(run.record.to_dict())
+        manifest.add(None)
+        path = manifest.write(tmp_path / "run.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["manifest_version"] == 1
+        assert data["workers"] == 2
+        assert len(data["studies"]) == 2
+        assert data["studies"][0] == run.record.to_dict()
+        assert {"repro", "numpy", "python"} <= set(data["versions"])

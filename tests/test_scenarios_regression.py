@@ -1,0 +1,288 @@
+"""The declarative pipeline reproduces the pre-refactor paths bit for bit.
+
+Each test re-implements one pre-refactor experiment module's computation
+inline (the direct ``evaluate_technique`` / ``simulate_many`` /
+``IntervalModel`` calls those modules made before they became StudySpec
+builders) and asserts the rewritten ``run()`` produces **equal** rows —
+dict equality, so every float must match to the last bit at the same
+seed and trial count.
+"""
+
+from __future__ import annotations
+
+from math import gamma
+
+import pytest
+
+from repro.exec import OptimizationCache, set_active_cache
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    interval_study,
+    weibull,
+)
+from repro.experiments.runner import evaluate_technique, optimize_technique
+from repro.failures.sources import WeibullFailureSource
+from repro.interval import IntervalModel, simulate_schedule_many
+from repro.simulator import simulate_many
+from repro.systems import TEST_SYSTEMS, exascale_grid
+
+TRIALS = 4
+SEED = 11
+
+_FIG3_CATS = (
+    "work",
+    "checkpoint",
+    "failed_checkpoint",
+    "restart",
+    "failed_restart",
+    "rework_compute",
+    "rework_checkpoint",
+    "rework_restart",
+)
+
+
+@pytest.fixture(autouse=True)
+def shared_cache():
+    """One in-memory cache for both paths: sweeps are computed once."""
+    previous = set_active_cache(OptimizationCache())
+    yield
+    set_active_cache(previous)
+
+
+def test_figure2_rows_match_legacy_path():
+    systems = ("M", "D5")
+    techniques = ("dauwe", "di", "moody", "benoit", "daly")
+    new = figure2.run(
+        trials=TRIALS, seed=SEED, systems=systems, techniques=techniques
+    )
+    legacy = []
+    for name in systems:
+        for tech in techniques:
+            out = evaluate_technique(
+                TEST_SYSTEMS[name], tech, trials=TRIALS, seed=SEED
+            )
+            legacy.append(
+                {
+                    "system": out.system,
+                    "technique": out.technique,
+                    "sim efficiency": out.simulated_efficiency,
+                    "std": out.simulated_std,
+                    "predicted": out.predicted_efficiency,
+                    "error": out.prediction_error,
+                    "plan": out.plan,
+                }
+            )
+    assert new.rows == legacy
+
+
+def test_figure3_rows_match_legacy_path():
+    systems = ("D7",)
+    new = figure3.run(trials=TRIALS, seed=SEED, systems=systems)
+    legacy = []
+    for name in systems:
+        for tech in ("dauwe", "di", "moody"):
+            out = evaluate_technique(
+                TEST_SYSTEMS[name], tech, trials=TRIALS, seed=SEED
+            )
+            fr = out.breakdown_fractions
+            row = {"system": out.system, "technique": out.technique}
+            for cat in _FIG3_CATS:
+                row[cat] = 100.0 * fr.get(cat, 0.0)
+            row["failed C/R total"] = (
+                row["failed_checkpoint"] + row["failed_restart"]
+            )
+            legacy.append(row)
+    assert new.rows == legacy
+
+
+def test_figure4_rows_match_legacy_path():
+    techniques = ("dauwe",)
+    new = figure4.run(trials=TRIALS, seed=SEED, techniques=techniques)
+    legacy = []
+    for spec in exascale_grid(short_application=False):
+        for tech in techniques:
+            out = evaluate_technique(spec, tech, trials=TRIALS, seed=SEED)
+            legacy.append(
+                {
+                    "cL (min)": spec.checkpoint_times[-1],
+                    "MTBF (min)": spec.mtbf,
+                    "technique": tech,
+                    "sim efficiency": out.simulated_efficiency,
+                    "std": out.simulated_std,
+                    "predicted": out.predicted_efficiency,
+                    "error": out.prediction_error,
+                    "plan": out.plan,
+                    "completed": out.completed_fraction,
+                }
+            )
+    assert new.rows == legacy
+
+
+def test_figure5_rows_match_legacy_path():
+    techniques = ("moody",)
+    new = figure5.run(trials=TRIALS, seed=SEED, techniques=techniques)
+    legacy = []
+    for spec in exascale_grid(short_application=True):
+        for tech in techniques:
+            out = evaluate_technique(spec, tech, trials=TRIALS, seed=SEED)
+            legacy.append(
+                {
+                    "cL (min)": spec.checkpoint_times[-1],
+                    "MTBF (min)": spec.mtbf,
+                    "technique": tech,
+                    "sim efficiency": out.simulated_efficiency,
+                    "std": out.simulated_std,
+                    "predicted": out.predicted_efficiency,
+                    "skips level-L": (
+                        "no" if f"L{spec.num_levels}" in out.plan else "yes"
+                    ),
+                    "plan": out.plan,
+                }
+            )
+    assert new.rows == legacy
+
+
+def test_ablations_rows_match_legacy_path():
+    new = ablations.run(trials=TRIALS, seed=SEED)
+    no_failed_cr = {
+        "include_checkpoint_failures": False,
+        "include_restart_failures": False,
+    }
+
+    def legacy_row(study, name, variant, res, show_pred=True, **simulate):
+        spec = TEST_SYSTEMS[name]
+        stats = simulate_many(
+            spec, res.plan, trials=TRIALS, seed=SEED, **simulate
+        )
+        sim = stats.mean_efficiency
+        pred = res.predicted_efficiency if show_pred else None
+        return {
+            "study": study,
+            "system": name,
+            "variant": variant,
+            "sim efficiency": sim,
+            "predicted": pred,
+            "error": None if pred is None else pred - sim,
+            "plan": res.plan.describe(),
+        }
+
+    legacy = []
+    for name in ("D1", "D5", "D8"):
+        res = optimize_technique(TEST_SYSTEMS[name], "dauwe")
+        legacy.append(legacy_row("model-terms", name, "full model", res))
+        res = optimize_technique(
+            TEST_SYSTEMS[name], "dauwe", model_options=no_failed_cr
+        )
+        legacy.append(
+            legacy_row("model-terms", name, "no failed-C/R terms", res)
+        )
+    for name in ("D5", "D8"):
+        res = optimize_technique(TEST_SYSTEMS[name], "dauwe")
+        for semantics in ("retry", "escalate"):
+            legacy.append(
+                legacy_row(
+                    "restart-semantics", name, semantics, res,
+                    show_pred=False, restart_semantics=semantics,
+                )
+            )
+    for name in ("D5", "D8"):
+        res = optimize_technique(TEST_SYSTEMS[name], "dauwe")
+        for policy in ("free", "paid", "skip"):
+            legacy.append(
+                legacy_row("recheckpoint", name, policy, res,
+                           recheckpoint=policy)
+            )
+    for label, flag in (("N_L (corrected)", False), ("N_L + 1 (literal)", True)):
+        res = optimize_technique(
+            TEST_SYSTEMS["B"], "dauwe",
+            model_options={"final_interval_plus_one": flag},
+        )
+        legacy.append(legacy_row("eqn4-top", "B", label, res))
+    assert new.rows == legacy
+
+
+def test_weibull_rows_match_legacy_path():
+    systems = ("D2",)
+    new = weibull.run(trials=TRIALS, seed=SEED, systems=systems)
+    legacy = []
+    for name in systems:
+        spec = TEST_SYSTEMS[name]
+        res = optimize_technique(spec, "dauwe")
+        for shape in (1.0, 0.8, 0.6):
+            kwargs = {}
+            if shape != 1.0:
+                scale = spec.mtbf / gamma(1.0 + 1.0 / shape)
+
+                def factory(rng, _shape=shape, _scale=scale):
+                    return WeibullFailureSource(
+                        _shape, _scale, spec.severity_probabilities, rng
+                    )
+
+                kwargs["source_factory"] = factory
+            stats = simulate_many(
+                spec, res.plan, trials=TRIALS, seed=SEED, **kwargs
+            )
+            legacy.append(
+                {
+                    "system": name,
+                    "weibull shape": shape,
+                    "sim efficiency": stats.mean_efficiency,
+                    "std": stats.std_efficiency,
+                    "predicted (exp model)": res.predicted_efficiency,
+                    "error": res.predicted_efficiency - stats.mean_efficiency,
+                    "plan": res.plan.describe(),
+                }
+            )
+    assert new.rows == legacy
+
+
+def test_interval_study_rows_match_legacy_path():
+    systems = ("M", "D1")
+    new = interval_study.run(trials=TRIALS, seed=SEED, systems=systems)
+    legacy = []
+    for name in systems:
+        spec = TEST_SYSTEMS[name]
+        pat = optimize_technique(spec, "dauwe")
+        pat_stats = simulate_many(spec, pat.plan, trials=TRIALS, seed=SEED)
+        legacy.append(
+            {
+                "system": spec.name,
+                "mode": "pattern (dauwe)",
+                "sim efficiency": pat_stats.mean_efficiency,
+                "std": pat_stats.std_efficiency,
+                "predicted": pat.predicted_efficiency,
+                "schedule": pat.plan.describe(),
+            }
+        )
+        itv = IntervalModel(spec).optimize()
+        itv_stats = simulate_schedule_many(
+            spec, itv.schedule, trials=TRIALS, seed=SEED
+        )
+        legacy.append(
+            {
+                "system": spec.name,
+                "mode": "interval (di-style)",
+                "sim efficiency": itv_stats.mean_efficiency,
+                "std": itv_stats.std_efficiency,
+                "predicted": itv.predicted_efficiency,
+                "schedule": itv.schedule.describe(),
+            }
+        )
+    assert new.rows == legacy
+
+
+def test_pipeline_rows_identical_across_worker_counts():
+    """Scenario fan-out must not change a single byte of any row."""
+    serial = figure2.run(
+        trials=TRIALS, seed=SEED, systems=("M", "D2"),
+        techniques=("dauwe", "daly"),
+    )
+    fanned = figure2.run(
+        trials=TRIALS, seed=SEED, systems=("M", "D2"),
+        techniques=("dauwe", "daly"), workers=2,
+    )
+    assert serial.rows == fanned.rows
