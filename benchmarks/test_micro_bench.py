@@ -13,7 +13,7 @@ import pytest
 
 from repro.core import CheckpointPlan, DauweModel
 from repro.models import MoodyModel
-from repro.simulator import simulate_trial
+from repro.simulator import simulate_many, simulate_trial
 from repro.storage import ReedSolomonCode, XorPartnerCode
 from repro.systems import get_system
 
@@ -56,6 +56,22 @@ def test_simulator_easy_trial(benchmark, system_b):
     plan = DauweModel(system_b).optimize().plan
     r = benchmark(simulate_trial, system_b, plan, 7)
     assert r.completed
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batch"])
+def test_simulator_many_engines(benchmark, system_b, engine):
+    # A figure2-sized batch on each engine; the ratio of these two cases
+    # is the speedup `python -m repro bench` records in its grid.
+    plan = DauweModel(system_b).optimize().plan
+    stats = benchmark.pedantic(
+        simulate_many,
+        args=(system_b, plan, 200, 0),
+        kwargs=dict(engine=engine),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert stats.trials == 200
 
 
 def test_simulator_failure_storm(benchmark):

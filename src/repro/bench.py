@@ -1,0 +1,233 @@
+"""Benchmark trajectory harness: the repo's performance baseline as data.
+
+``python -m repro bench`` re-runs the core cases of the pytest-benchmark
+suite (``benchmarks/test_micro_bench.py``) programmatically — no pytest
+required — and writes ``BENCH_simulator.json`` so future changes have a
+recorded baseline to beat.  The JSON payload (schema ``repro-bench/1``)
+carries:
+
+``schema`` / ``generated`` / ``quick``
+    Format tag, UTC timestamp, and whether ``--quick`` reduced rounds.
+``git_rev`` / ``package_versions``
+    Provenance: the commit benchmarked and the versions of everything
+    that can change a number (same helper the run manifests use).
+``cases``
+    One entry per micro-case: ``name``, ``engine`` (``"scalar"``/
+    ``"batch"``/``null`` for model-only cases), ``rounds``,
+    ``seconds_best``, ``seconds_mean`` and — for simulator cases —
+    ``trials_per_sec`` (best-round throughput).
+``simulate_many``
+    The scalar-vs-batch comparison grid: for each (system, trials) cell,
+    both engines' timings, ``trials_per_sec``, the ``speedup`` ratio
+    (scalar best / batch best), and ``equal`` — whether the two engines
+    produced identical ``TrialResult`` lists for the same seeds.
+
+Equality is a hard check (a mismatch raises, so CI fails); timings are
+informational only — containers differ, so no threshold is enforced here.
+Batch-engine cells are timed warm (one discarded warm-up round) because
+the first call in a process pays one-off page-fault costs the scalar
+engine amortizes across its sequential trials.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from .core import CheckpointPlan, DauweModel
+from .models import MoodyModel
+from .scenarios.manifest import package_versions
+from .simulator import simulate_many, simulate_trial
+from .systems import get_system
+
+__all__ = ["SCHEMA", "run_bench"]
+
+#: Format tag written into every payload; bump on breaking layout changes.
+SCHEMA = "repro-bench/1"
+
+#: (system, trials) cells of the scalar-vs-batch comparison grid.  The
+#: 200-trial rows are figure2-sized batches (its per-scenario default);
+#: the 1000-trial rows (full mode only) show how the batch engine's
+#: advantage grows with width.
+_GRID_QUICK = (("B", 200), ("D4", 200), ("D8", 200))
+_GRID_FULL = _GRID_QUICK + (("B", 1000), ("D4", 1000), ("D8", 1000))
+
+
+def _git_rev() -> str | None:
+    """The benchmarked commit, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def _timeit(fn, rounds: int, warmup: int = 1) -> dict:
+    """Best/mean wall-clock of ``fn()`` over ``rounds`` timed calls."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "rounds": rounds,
+        "seconds_best": min(times),
+        "seconds_mean": sum(times) / len(times),
+    }
+
+
+def _case(name: str, fn, rounds: int, warmup: int = 1,
+          engine: str | None = None, trials: int | None = None) -> dict:
+    rec = {"name": name, "engine": engine}
+    rec.update(_timeit(fn, rounds=rounds, warmup=warmup))
+    if trials is not None:
+        rec["trials_per_sec"] = trials / rec["seconds_best"]
+    return rec
+
+
+def _timed_many(system, plan, trials: int, engine: str,
+                rounds: int, warmup: int):
+    """Time ``simulate_many`` on one engine; returns (record, trial list)."""
+    result = []
+
+    def call() -> None:
+        result[:] = simulate_many(
+            system, plan, trials=trials, seed=0,
+            engine=engine, return_trials=True,
+        )[1]
+
+    rec = _timeit(call, rounds=rounds, warmup=warmup)
+    rec["trials_per_sec"] = trials / rec["seconds_best"]
+    return rec, list(result)
+
+
+def run_bench(quick: bool = False, out: str | Path | None = None) -> dict:
+    """Run the benchmark trajectory; optionally write the JSON to ``out``.
+
+    ``quick`` trims rounds and drops the 1000-trial grid rows (the CI
+    smoke configuration).  Raises :class:`RuntimeError` if the scalar and
+    batch engines disagree on any grid cell — the equality guarantee is
+    load-bearing, the timings are not.
+    """
+    system_b = get_system("B")
+    plan_b = DauweModel(system_b).optimize().plan
+    storm_system = get_system("B").with_mtbf(3.0).with_top_level_cost(40.0)
+    storm_plan = CheckpointPlan((1, 2, 3, 4), 1.0, (1, 1, 12))
+    taus_long = np.geomspace(0.1, 1000.0, 256)
+    taus_short = np.geomspace(0.1, 300.0, 256)
+    dauwe_b = DauweModel(system_b)
+    moody_b = MoodyModel(system_b)
+
+    cases = [
+        _case(
+            "dauwe_predict_time_batch",
+            lambda: dauwe_b.predict_time_batch((1, 2, 3, 4), (1, 2, 3), taus_long),
+            rounds=10 if quick else 50,
+        ),
+        _case(
+            "moody_pattern_efficiency_batch",
+            lambda: moody_b.pattern_efficiency_batch((1, 2, 3, 4), (1, 2, 3), taus_short),
+            rounds=10 if quick else 50,
+        ),
+        _case(
+            "optimizer_sweep_D4",
+            lambda: DauweModel(get_system("D4")).optimize(),
+            rounds=1 if quick else 3,
+            warmup=0,
+        ),
+        _case(
+            "simulate_trial_easy_B",
+            lambda: simulate_trial(system_b, plan_b, 7),
+            rounds=5 if quick else 20,
+            engine="scalar",
+            trials=1,
+        ),
+        _case(
+            "simulate_trial_failure_storm",
+            lambda: simulate_trial(storm_system, storm_plan, 11, max_time=5000.0),
+            rounds=1 if quick else 3,
+            warmup=0,
+            engine="scalar",
+            trials=1,
+        ),
+    ]
+
+    grid = []
+    for name, trials in _GRID_QUICK if quick else _GRID_FULL:
+        system = get_system(name)
+        plan = DauweModel(system).optimize().plan
+        rounds = 1 if quick else 2
+        scalar_rec, scalar_trials = _timed_many(
+            system, plan, trials, "scalar", rounds=rounds, warmup=0
+        )
+        batch_rec, batch_trials = _timed_many(
+            system, plan, trials, "batch", rounds=rounds, warmup=1
+        )
+        equal = scalar_trials == batch_trials
+        if not equal:
+            bad = sum(a != b for a, b in zip(scalar_trials, batch_trials))
+            raise RuntimeError(
+                f"engine mismatch on system {name} ({trials} trials): "
+                f"{bad} TrialResult(s) differ between scalar and batch"
+            )
+        grid.append(
+            {
+                "system": name,
+                "trials": trials,
+                "plan": plan.describe(),
+                "scalar": scalar_rec,
+                "batch": batch_rec,
+                "speedup": scalar_rec["seconds_best"] / batch_rec["seconds_best"],
+                "equal": equal,
+            }
+        )
+
+    payload = {
+        "schema": SCHEMA,
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": bool(quick),
+        "git_rev": _git_rev(),
+        "package_versions": package_versions(),
+        "cases": cases,
+        "simulate_many": grid,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def format_bench(payload: dict) -> str:
+    """Human summary of a bench payload (what the CLI prints)."""
+    lines = ["case                              best [s]    mean [s]"]
+    for case in payload["cases"]:
+        lines.append(
+            f"{case['name']:<32}{case['seconds_best']:>10.4f}"
+            f"{case['seconds_mean']:>12.4f}"
+        )
+    lines.append("")
+    lines.append(
+        "simulate_many        scalar [s]   batch [s]   speedup   trials/s (batch)"
+    )
+    for cell in payload["simulate_many"]:
+        label = f"{cell['system']} x {cell['trials']}"
+        lines.append(
+            f"{label:<20}{cell['scalar']['seconds_best']:>11.3f}"
+            f"{cell['batch']['seconds_best']:>12.3f}"
+            f"{cell['speedup']:>10.2f}"
+            f"{cell['batch']['trials_per_sec']:>19.0f}"
+        )
+    return "\n".join(lines)

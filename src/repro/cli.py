@@ -9,6 +9,8 @@ Usage::
     python -m repro all --workers 4 --cache-dir .sweep-cache
     python -m repro figure2 --techniques dauwe,young
     python -m repro custom --study my_study.json
+    python -m repro figure4 --engine scalar  # pin the trial engine
+    python -m repro bench --quick            # perf baseline -> BENCH_simulator.json
 
 ``--report PATH`` additionally writes/updates the Markdown report; with
 ``all`` it contains every experiment.  Figure 6 is derived from Figure 4's
@@ -27,6 +29,15 @@ JSON :class:`~repro.scenarios.RunManifest` next to it — study hashes,
 derived per-scenario seeds, trial counts, cache hit/miss deltas,
 per-stage wall-clock and package versions.  ``--manifest PATH`` picks the
 location explicitly.
+
+``--engine`` pins the trial engine for every simulation in the run
+(``batch``/``scalar``/``auto``; the default ``auto`` uses the batched
+struct-of-arrays engine whenever it is bitwise-equivalent to the scalar
+loop, so results never depend on the flag).  ``bench`` runs the
+benchmark trajectory instead of an experiment: the micro-benchmark core
+cases plus a scalar-vs-batch comparison grid, written as JSON to
+``--bench-out`` (default ``BENCH_simulator.json``; see
+:mod:`repro.bench` for the schema).
 
 ``--workers`` fans independent scenarios across a process pool (rows are
 identical to a serial run); ``--sim-workers`` instead parallelizes the
@@ -55,6 +66,7 @@ from .exec import (
 from .experiments import EXPERIMENTS, figure4, figure6, write_report
 from .models import TECHNIQUES
 from .scenarios import RunManifest, StudySpec, execute_study, generic_result
+from .simulator.run import ENGINES, set_default_engine
 
 __all__ = ["main", "build_parser"]
 
@@ -76,8 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all", "custom"],
-        help="experiment id, 'all', or 'custom' (requires --study)",
+        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench"],
+        help="experiment id, 'all', 'custom' (requires --study), or "
+        "'bench' (benchmark trajectory, writes BENCH_simulator.json)",
     )
     parser.add_argument(
         "--study",
@@ -150,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--report, or next to --study for 'custom')",
     )
     parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=None,
+        help="trial engine for all simulations: 'batch' (struct-of-arrays "
+        "lockstep), 'scalar' (per-trial Python loop), or 'auto' (batch "
+        "whenever bitwise-equivalent; the default)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="PATH",
+        default=None,
+        help="where 'bench' writes its JSON (default: BENCH_simulator.json)",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown"
     )
     return parser
@@ -201,6 +228,29 @@ def _run_custom(args: argparse.Namespace):
     return generic_result(srun)
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """The 'bench' experiment: benchmark trajectory to BENCH_simulator.json.
+
+    The scalar/batch equality check is hard (mismatch exits non-zero);
+    timings are recorded but never asserted — containers differ.
+    """
+    from .bench import format_bench, run_bench
+
+    out = Path(args.bench_out) if args.bench_out else Path("BENCH_simulator.json")
+    t0 = time.time()
+    try:
+        payload = run_bench(quick=args.quick, out=out)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_bench(payload))
+    print(
+        f"[bench finished in {time.time() - t0:.1f}s | written to {out}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
     if name == "custom":
         return _run_custom(args)
@@ -242,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("the 'custom' experiment requires --study PATH")
     if args.experiment != "custom" and args.study:
         parser.error("--study only applies to the 'custom' experiment")
+    if args.engine is not None:
+        set_default_engine(args.engine)
+    if args.experiment == "bench":
+        return _run_bench(args)
     if args.no_cache:
         previous_cache = set_active_cache(None)
     else:

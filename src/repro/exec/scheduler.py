@@ -16,7 +16,10 @@ Worker processes are initialized with:
   sweeps are shared across workers and runs;
 * the simulator's *inline mode* (see
   :func:`repro.simulator.run.set_inline_mode`), so a scenario running in a
-  worker can never spawn a second, nested process pool for its trials.
+  worker can never spawn a second, nested process pool for its trials;
+* the parent's process-wide trial-engine default (see
+  :func:`repro.simulator.run.set_default_engine`), so ``--engine`` governs
+  every worker no matter the pool start method.
 
 Each task additionally ships its stage wall-clock and cache-stats deltas
 back to the parent, so CLI reporting sees the whole run's totals no matter
@@ -80,8 +83,15 @@ class ScenarioTask:
     label: str = ""
 
 
-def _worker_init(cache_dir, cache_enabled: bool) -> None:
-    """Configure a scheduler worker: cache wiring + no nested pools."""
+def _worker_init(cache_dir, cache_enabled: bool, default_engine: str = "auto") -> None:
+    """Configure a scheduler worker: cache wiring + no nested pools.
+
+    ``default_engine`` mirrors the parent process's simulator engine
+    default (see :func:`repro.simulator.run.set_default_engine`) so the
+    CLI's ``--engine`` flag governs trials no matter which process runs
+    them — spawn-started workers would otherwise silently reset to
+    ``"auto"``.
+    """
     global _IN_SCENARIO_WORKER
     _IN_SCENARIO_WORKER = True
     if not cache_enabled:
@@ -102,6 +112,7 @@ def _worker_init(cache_dir, cache_enabled: bool) -> None:
     from ..simulator import run as simulator_run
 
     simulator_run.set_inline_mode(True)
+    simulator_run.set_default_engine(default_engine)
 
 
 def _run_remote(task: ScenarioTask):
@@ -132,13 +143,15 @@ def run_scenarios(
     if workers <= 1 or len(tasks) < 2 or _IN_SCENARIO_WORKER:
         return [task.fn(*task.args, **task.kwargs) for task in tasks]
 
+    from ..simulator import run as simulator_run
+
     active = get_active_cache()
     cache_dir = None if active is None or active.cache_dir is None else str(active.cache_dir)
     results: list[Any] = [None] * len(tasks)
     with ProcessPoolExecutor(
         max_workers=min(workers, len(tasks)),
         initializer=_worker_init,
-        initargs=(cache_dir, active is not None),
+        initargs=(cache_dir, active is not None, simulator_run.get_default_engine()),
     ) as pool:
         futures = [pool.submit(_run_remote, task) for task in tasks]
         for i, fut in enumerate(futures):

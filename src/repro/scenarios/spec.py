@@ -110,9 +110,12 @@ class ScenarioSpec:
         takes them.
     simulate:
         Extra keyword arguments for the simulator (``restart_semantics``,
-        ``recheckpoint``, ``checkpoint_at_completion``, ``max_time``).
-        ``checkpoint_at_completion`` defaults to the technique's
-        registered end-checkpoint behavior when not given.
+        ``recheckpoint``, ``checkpoint_at_completion``, ``max_time``,
+        ``engine``).  ``checkpoint_at_completion`` defaults to the
+        technique's registered end-checkpoint behavior when not given;
+        ``engine`` (``"auto"``/``"scalar"``/``"batch"``) pins the trial
+        engine for this scenario and is validated here so a typo fails at
+        load time rather than mid-run.
     failure:
         A :class:`~repro.failures.registry.FailureSpec`; the default is
         the paper's exponential process.
@@ -173,6 +176,14 @@ class ScenarioSpec:
             raise ValueError(
                 f"failure must be a FailureSpec, got {type(self.failure).__name__}"
             )
+        engine = self.simulate.get("engine")
+        if engine is not None:
+            from ..simulator.run import ENGINES  # late: avoid import cycle
+
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"simulate.engine must be one of {ENGINES}, got {engine!r}"
+                )
         if not self.label:
             object.__setattr__(self, "label", f"{self.system.name}/{self.technique}")
 

@@ -10,8 +10,15 @@
 """
 
 from .accounting import SimulationStats, TimeBreakdown, TrialResult
+from .batch import simulate_trials_batch
 from .engine import default_max_time, simulate_trial
-from .run import set_inline_mode, simulate_many, trial_seeds
+from .run import (
+    get_default_engine,
+    set_default_engine,
+    set_inline_mode,
+    simulate_many,
+    trial_seeds,
+)
 from .tracelog import SimEvent, render_timeline, validate_timeline
 
 __all__ = [
@@ -20,10 +27,13 @@ __all__ = [
     "TimeBreakdown",
     "TrialResult",
     "default_max_time",
+    "get_default_engine",
     "render_timeline",
+    "set_default_engine",
     "set_inline_mode",
     "simulate_many",
     "simulate_trial",
+    "simulate_trials_batch",
     "trial_seeds",
     "validate_timeline",
 ]

@@ -1,0 +1,610 @@
+"""Batched struct-of-arrays trial engine: all trials in lockstep.
+
+:func:`simulate_trials_batch` advances **every trial of a
+``simulate_many`` call at once**: per-trial state (``t``, ``work``,
+``next_m``, per-level checkpoint validity, pending severity, the
+accounting buckets) lives in NumPy arrays, the checkpoint pattern and
+recovery tables are precomputed integer arrays, and each loop iteration
+resolves exactly one event for every still-active trial via masked array
+operations.  The renewal structure that makes large failure-injection
+studies tractable in prior checkpoint simulators (Sodre's restart
+analysis; Jayasekara et al.'s multi-level interval studies) is the same
+one exploited here: between failures a trial's evolution is
+deterministic, so the only per-trial randomness is the failure stream,
+which batches cleanly.
+
+Equality guarantee
+------------------
+For the configurations it accepts, this engine returns **bitwise
+identical** :class:`~repro.simulator.accounting.TrialResult` objects to
+the scalar :func:`~repro.simulator.engine.simulate_trial` loop for the
+same per-trial seeds.  Two properties make that possible:
+
+* the per-trial failure stream is drawn with the *same generator and the
+  same draw order* as the scalar engine's
+  :class:`~repro.failures.sources.ExponentialFailureSource`: one
+  ``Generator.exponential(scale, 4096)`` batch followed by one
+  ``Generator.random(4096)`` severity batch, refilled together every
+  4096 consumed failures (the scalar source consumes one gap and one
+  severity per failure, so both buffers always empty on the same call).
+  Because the scalar loop chains failure times as ``fail_t = fail_t +
+  gap`` — one sequential add per failure — a whole batch of absolute
+  failure times is precomputed with ``np.add.accumulate`` (defined as
+  the same sequential adds, unlike pairwise ``sum``), carrying the last
+  time of the previous batch into the first gap;
+* every floating-point update is performed per trial in the same order
+  and with the same operations as the scalar loop: state commits use
+  ``where=``-masked ufunc calls (``np.add(t, dur, out=t, where=ok)``),
+  which perform exactly one IEEE-754 add per selected trial and leave
+  the rest untouched, so times, accounting buckets and efficiencies
+  match to the last bit — asserted across the whole Table-I catalog by
+  ``tests/test_batch_engine.py``.
+
+The hot loop is deliberately free of fancy-indexed gather/scatter pairs
+(profiling showed index-array round-trips dominating at figure-sized
+batches); everything is full-width masked arithmetic, so the per-event
+cost is a fixed number of vector ops over the tile.
+
+Scope: exponential failure source, ``retry`` restart semantics, any
+``recheckpoint`` policy, no event recording.  ``escalate`` semantics,
+trace/Weibull sources and event timelines stay on the scalar engine
+(:func:`repro.simulator.run.simulate_many` dispatches automatically).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.plan import CheckpointPlan
+from ..systems.spec import SystemSpec
+from .accounting import TimeBreakdown, TrialResult
+from .engine import _EPS, default_max_time
+
+__all__ = ["simulate_trials_batch"]
+
+#: Per-trial RNG batch size.  Must equal the scalar
+#: :class:`~repro.failures.sources.ExponentialFailureSource` default so
+#: generator states advance identically between the two engines.
+_RNG_BATCH = 4096
+
+#: Trials advanced in lockstep per tile.  Bounds peak per-trial draw
+#: storage; tiles are independent (per-trial seeding), so tiling never
+#: changes results.
+_TILE = 1024
+
+#: Sliding-window width for the vectorized failure-time gather (a power
+#: of two so the in-window offset is a cheap mask).  Each trial's window
+#: is refreshed from its accumulated draw batch every _WINDOW consumed
+#: failures.
+_WINDOW = 64
+
+
+def simulate_trials_batch(
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    seed_seqs,
+    max_time: float | None = None,
+    restart_semantics: str = "retry",
+    checkpoint_at_completion: bool = False,
+    recheckpoint: str = "free",
+) -> list[TrialResult]:
+    """Simulate one trial per entry of ``seed_seqs``, all in lockstep.
+
+    Parameters mirror :func:`~repro.simulator.engine.simulate_trial`;
+    each ``seed_seqs`` entry seeds one trial's ``default_rng`` exactly as
+    the scalar path does.  Raises :class:`ValueError` for configurations
+    outside the batched scope (``escalate`` semantics).
+    """
+    if plan.top_level > system.num_levels:
+        raise ValueError(
+            f"plan uses level {plan.top_level} but {system.name} has "
+            f"{system.num_levels} levels"
+        )
+    if restart_semantics not in ("retry", "escalate"):
+        raise ValueError(f"unknown restart_semantics {restart_semantics!r}")
+    if restart_semantics != "retry":
+        raise ValueError(
+            "the batched engine supports restart_semantics='retry' only; "
+            "use the scalar engine for 'escalate'"
+        )
+    if recheckpoint not in ("free", "paid", "skip"):
+        raise ValueError(f"unknown recheckpoint policy {recheckpoint!r}")
+    cap = default_max_time(system) if max_time is None else float(max_time)
+
+    results: list[TrialResult] = []
+    seed_seqs = list(seed_seqs)
+    for start in range(0, len(seed_seqs), _TILE):
+        results.extend(
+            _simulate_tile(
+                system,
+                plan,
+                seed_seqs[start : start + _TILE],
+                cap,
+                checkpoint_at_completion,
+                recheckpoint,
+            )
+        )
+    return results
+
+
+def _simulate_tile(
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    seed_seqs,
+    cap: float,
+    checkpoint_at_completion: bool,
+    recheckpoint: str,
+) -> list[TrialResult]:
+    n = len(seed_seqs)
+    T_B = system.baseline_time
+    tau0 = plan.tau0
+    num_used = len(plan.levels)
+    num_sev = system.num_levels
+    T_B_lo = T_B - _EPS
+    T_B_hi = T_B + _EPS
+
+    # --- tables (identical values to the scalar engine's lists) -------
+    levels = np.array(plan.levels, dtype=np.int64)
+    ckpt_cost = np.array([system.checkpoint_time(lv) for lv in plan.levels])
+    rest_cost = np.array([system.restart_time(lv) for lv in plan.levels])
+    sev_rest_cost = np.array(
+        [system.restart_time(s) for s in range(1, num_sev + 1)]
+    )
+    period = math.prod(c + 1 for c in plan.counts) if plan.counts else 1
+    level_index_of = {lv: k for k, lv in enumerate(plan.levels)}
+    pattern = np.array(
+        [level_index_of[plan.level_at_position(m)] for m in range(1, period + 1)],
+        dtype=np.int64,
+    )
+    recover_idx = np.empty(num_sev, dtype=np.int64)
+    for s in range(1, num_sev + 1):
+        lv = plan.recovery_level(s)
+        recover_idx[s - 1] = level_index_of[lv] if lv is not None else -1
+    col = np.arange(num_used, dtype=np.int64)
+    sev_iota = np.arange(num_sev, dtype=np.int64)
+    rows = np.arange(n, dtype=np.int64)
+    rows_w = rows * _WINDOW
+
+    # --- failure stream (ExponentialFailureSource's exact draw order) --
+    # scale/cdf expressions mirror ExponentialFailureSource.__init__ and
+    # severity_sampler so every derived float is bit-identical.  Whole
+    # batches of *absolute* failure times are precomputed per trial: the
+    # scalar loop chains fail_t = fail_t + gap one add at a time, and
+    # np.add.accumulate performs those same sequential adds (the carry
+    # from the previous batch is folded into the first gap beforehand —
+    # IEEE addition is commutative, so carry + gap == gap + carry).
+    rate = float(system.failure_rate)
+    scale = 1.0 / rate
+    probs = np.asarray(system.severity_probabilities, dtype=float)
+    cdf = np.cumsum(probs / probs.sum())
+    rngs = [np.random.default_rng(ss) for ss in seed_seqs]
+    # Per-trial draw batches live in the arrays the generators allocate
+    # (accumulated in place) rather than one persistent (n, 4096) buffer
+    # pair — first-touch page faults on tens of MB would cost more than
+    # the whole setup.  The hot path gathers through a small sliding
+    # window refreshed every _WINDOW consumed failures.
+    ftime_rows: list = [None] * n
+    sev_rows: list = [None] * n
+    ptr = np.zeros(n, dtype=np.int64)
+    win_t = np.empty((n, _WINDOW))
+    win_s = np.empty((n, _WINDOW), dtype=np.int64)
+    win_t_flat = win_t.reshape(-1)
+    win_s_flat = win_s.reshape(-1)
+
+    def refill_rows(ids, carries) -> None:
+        """Draw the next (gaps, severities) batch for each trial in ``ids``.
+
+        ``ids`` are *current row* indices; the per-trial draw storage is
+        addressed through ``orig`` so it survives compaction.
+        """
+        for i, carry in zip(ids, carries):
+            j = orig[i]
+            gaps = rngs[j].exponential(scale, _RNG_BATCH)
+            gaps[0] = carry + gaps[0]
+            np.add.accumulate(gaps, out=gaps)
+            ftime_rows[j] = gaps
+            u = rngs[j].random(_RNG_BATCH)
+            # Value-equal to severity_sampler's clamped inverse-CDF lookup
+            # (min(searchsorted(cdf, u, "right") + 1, num_sev)): counting
+            # thresholds below u over cdf[:-1] yields the same class, and
+            # a handful of vector compares beats searchsorted here.
+            sev = np.ones(_RNG_BATCH, dtype=np.int64)
+            for c in cdf[:-1]:
+                sev += u >= c
+            sev_rows[j] = sev
+            win_t[i] = gaps[:_WINDOW]
+            win_s[i] = sev[:_WINDOW]
+        ptr[ids] = 0
+
+    orig = rows  # current row -> original trial index (identity until compacted)
+    refill_rows(range(n), [0.0] * n)  # source.next_after(0.0)
+    fail_t = win_t[:, 0].copy()
+    fail_s = win_s[:, 0].copy()
+
+    # --- per-trial state ----------------------------------------------
+    t = np.zeros(n)
+    work = np.zeros(n)
+    next_m = np.ones(n, dtype=np.int64)
+    valid = np.full((n, num_used), -1, dtype=np.int64)
+    sm = np.empty_like(valid)  # suffix-max scratch for candidate lookups
+    recovering = np.zeros(n, dtype=bool)
+    pending_sev = np.zeros(n, dtype=np.int64)
+    rollback_ref = np.zeros(n)
+    max_completed_m = np.zeros(n, dtype=np.int64)
+    compute_time = np.zeros(n)
+
+    acct_checkpoint = np.zeros(n)
+    acct_failed_checkpoint = np.zeros(n)
+    acct_restart = np.zeros(n)
+    acct_failed_restart = np.zeros(n)
+    acct_rework_compute = np.zeros(n)
+    acct_rework_checkpoint = np.zeros(n)
+    acct_rework_restart = np.zeros(n)
+    n_by_sev = np.zeros((n, num_sev), dtype=np.int64)
+    ckpt_ok = np.zeros(n, dtype=np.int64)
+    ckpt_fail = np.zeros(n, dtype=np.int64)
+    rst_ok = np.zeros(n, dtype=np.int64)
+    rst_fail = np.zeros(n, dtype=np.int64)
+    scratch = np.zeros(n, dtype=np.int64)
+    restored = np.zeros(n, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+
+    # Full-size result stores.  The loop works on a *compacted* live
+    # subset once enough trials finish (straggler tails would otherwise
+    # keep full-width ops running for a handful of trials); finished
+    # rows are flushed back here through ``orig``.  Until the first
+    # compaction these alias the working arrays, so flushing is a no-op
+    # self-assignment.
+    full_t, full_work, full_next_m = t, work, next_m
+    full_recovering, full_rollback_ref = recovering, rollback_ref
+    full_compute_time = compute_time
+    full_acct_checkpoint = acct_checkpoint
+    full_acct_failed_checkpoint = acct_failed_checkpoint
+    full_acct_restart = acct_restart
+    full_acct_failed_restart = acct_failed_restart
+    full_acct_rework_compute = acct_rework_compute
+    full_acct_rework_checkpoint = acct_rework_checkpoint
+    full_acct_rework_restart = acct_rework_restart
+    full_n_by_sev = n_by_sev
+    full_ckpt_ok, full_ckpt_fail = ckpt_ok, ckpt_fail
+    full_rst_ok, full_rst_fail = rst_ok, rst_fail
+    full_scratch, full_restored = scratch, restored
+
+    def flush() -> None:
+        """Scatter the live rows' state back into the full-size stores."""
+        full_t[orig] = t
+        full_work[orig] = work
+        full_next_m[orig] = next_m
+        full_recovering[orig] = recovering
+        full_rollback_ref[orig] = rollback_ref
+        full_compute_time[orig] = compute_time
+        full_acct_checkpoint[orig] = acct_checkpoint
+        full_acct_failed_checkpoint[orig] = acct_failed_checkpoint
+        full_acct_restart[orig] = acct_restart
+        full_acct_failed_restart[orig] = acct_failed_restart
+        full_acct_rework_compute[orig] = acct_rework_compute
+        full_acct_rework_checkpoint[orig] = acct_rework_checkpoint
+        full_acct_rework_restart[orig] = acct_rework_restart
+        full_n_by_sev[orig] = n_by_sev
+        full_ckpt_ok[orig] = ckpt_ok
+        full_ckpt_fail[orig] = ckpt_fail
+        full_rst_ok[orig] = rst_ok
+        full_rst_fail[orig] = rst_fail
+        full_scratch[orig] = scratch
+        full_restored[orig] = restored
+
+    def suffix_max_valid() -> None:
+        """``sm[:, k]`` = newest position valid at any used level >= k."""
+        np.copyto(sm, valid)
+        for k in range(num_used - 2, -1, -1):
+            np.maximum(sm[:, k], sm[:, k + 1], out=sm[:, k])
+
+    def on_failures(fmask: np.ndarray, attributions) -> None:
+        """Shared failure bookkeeping for every trial in ``fmask`` at once.
+
+        ``attributions`` pairs disjoint sub-masks of ``fmask`` with the
+        rework bucket their lost work belongs to (one entry per event
+        phase that saw failures this iteration).
+        """
+        s = fail_s
+        np.add(
+            n_by_sev,
+            1,
+            out=n_by_sev,
+            where=fmask[:, None] & (sev_iota[None, :] == (s - 1)[:, None]),
+        )
+        newrec = fmask & ~recovering
+        np.copyto(rollback_ref, work, where=newrec)
+        # Outside recovery pending_sev == 0 and s >= 1, so one masked
+        # maximum covers both the "new recovery" and "escalating
+        # severity while recovering" scalar branches.
+        np.maximum(pending_sev, s, out=pending_sev, where=fmask)
+        np.logical_or(recovering, fmask, out=recovering)
+        np.copyto(
+            valid,
+            np.int64(-1),
+            where=fmask[:, None] & (levels[None, :] < s[:, None]),
+        )
+        # Re-target: newest valid position able to recover pending_sev.
+        suffix_max_valid()
+        lo = recover_idx[pending_sev - 1]
+        best = sm[rows, np.maximum(lo, 0)]
+        pos = np.maximum(np.where(lo >= 0, best, np.int64(-1)), 0)
+        posw = pos * tau0
+        lost = rollback_ref - posw
+        hitpos = lost > 0
+        for mask, bucket in attributions:
+            np.add(bucket, lost, out=bucket, where=mask & hitpos)
+        np.copyto(rollback_ref, posw, where=fmask & hitpos)
+        # Pop the next (time, severity) per failed trial; refill the rare
+        # trials that exhausted their 4096-draw batch, slide the window
+        # for those that crossed a _WINDOW boundary.
+        np.add(ptr, fmask, out=ptr)
+        exhausted = ptr >= _RNG_BATCH
+        if exhausted.any():
+            ids = np.flatnonzero(exhausted)
+            refill_rows(ids, [ftime_rows[orig[i]][-1] for i in ids])
+        off = ptr & (_WINDOW - 1)
+        crossed = fmask & (off == 0) & (ptr != 0)
+        if crossed.any():
+            for i in np.flatnonzero(crossed):
+                j, p = orig[i], ptr[i]
+                win_t[i] = ftime_rows[j][p : p + _WINDOW]
+                win_s[i] = sev_rows[j][p : p + _WINDOW]
+        idx = rows_w + off
+        np.take(win_t_flat, idx, out=fail_t)
+        np.take(win_s_flat, idx, out=fail_s)
+
+    while True:
+        boundary = next_m * tau0
+        nrec = ~recovering
+        over_hi = boundary > T_B_hi
+        fin = work >= T_B_lo
+        if checkpoint_at_completion:
+            fin &= over_hi
+        fin &= nrec
+        stop = fin | (t >= cap)
+        active &= ~stop
+        live = int(active.sum())
+        if live == 0:
+            flush()
+            break
+        if live * 2 <= orig.size and orig.size > 32:
+            # Compact: flush everything, then keep only live rows.  The
+            # RNG buffers stay full-size (compacting megabytes to drop a
+            # few rows would cost more than it saves); ``orig``/``row_off``
+            # keep addressing them correctly.
+            flush()
+            keep = np.flatnonzero(active)
+            orig = orig[keep]
+            t, work, next_m = t[keep], work[keep], next_m[keep]
+            recovering = recovering[keep]
+            pending_sev = pending_sev[keep]
+            rollback_ref = rollback_ref[keep]
+            max_completed_m = max_completed_m[keep]
+            compute_time = compute_time[keep]
+            fail_t, fail_s, ptr = fail_t[keep], fail_s[keep], ptr[keep]
+            win_t, win_s = win_t[keep], win_s[keep]
+            win_t_flat = win_t.reshape(-1)
+            win_s_flat = win_s.reshape(-1)
+            valid, n_by_sev = valid[keep], n_by_sev[keep]
+            sm = np.empty_like(valid)
+            acct_checkpoint = acct_checkpoint[keep]
+            acct_failed_checkpoint = acct_failed_checkpoint[keep]
+            acct_restart = acct_restart[keep]
+            acct_failed_restart = acct_failed_restart[keep]
+            acct_rework_compute = acct_rework_compute[keep]
+            acct_rework_checkpoint = acct_rework_checkpoint[keep]
+            acct_rework_restart = acct_rework_restart[keep]
+            ckpt_ok, ckpt_fail = ckpt_ok[keep], ckpt_fail[keep]
+            rst_ok, rst_fail = rst_ok[keep], rst_fail[keep]
+            scratch, restored = scratch[keep], restored[keep]
+            rows = np.arange(orig.size, dtype=np.int64)
+            rows_w = rows * _WINDOW
+            active = np.ones(orig.size, dtype=bool)
+            boundary = next_m * tau0
+            nrec = ~recovering
+            over_hi = boundary > T_B_hi
+
+        rec = active & recovering
+        comp = active & nrec
+        bnd = comp & ~((work < boundary - _EPS) | over_hi)
+        comp ^= bnd
+        slack = fail_t - t
+        attributions: list[tuple[np.ndarray, np.ndarray]] = []
+
+        # Event fusion: a successful restart chains into its follow-up
+        # compute segment, and a successful compute into its checkpoint,
+        # within this same iteration.  Each fusion re-evaluates exactly
+        # the scalar loop's top-of-iteration predicates (completion, cap,
+        # branch selection) on the updated state, so the per-trial event
+        # sequence — and every float op — is unchanged; only the number
+        # of lockstep iterations drops (~2 events per iteration in the
+        # failure-free steady state instead of 1).
+
+        # --- restart attempts -----------------------------------------
+        if rec.any():
+            suffix_max_valid()
+            lo = recover_idx[pending_sev - 1]
+            has_lo = lo >= 0
+            best = sm[rows, np.maximum(lo, 0)]
+            pos = np.maximum(np.where(has_lo, best, np.int64(-1)), 0)
+            has = pos > 0
+            # First used level >= lo holding the chosen position: the
+            # cheapest sufficient restart, as in the scalar engine.
+            elig = (valid == pos[:, None]) & (col[None, :] >= lo[:, None])
+            k_use = np.argmax(elig, axis=1)
+            dur = np.where(
+                has,
+                rest_cost[k_use],
+                np.where(
+                    has_lo,
+                    rest_cost[np.maximum(lo, 0)],
+                    sev_rest_cost[pending_sev - 1],
+                ),
+            )
+            ok = rec & (slack >= dur)
+            np.add(t, dur, out=t, where=ok)
+            np.add(acct_restart, dur, out=acct_restart, where=ok)
+            rst_ok += ok
+            scratch += ok & ~has
+            np.copyto(work, pos * tau0, where=ok)
+            np.copyto(next_m, pos + 1, where=ok)
+            np.copyto(pending_sev, np.int64(0), where=ok)
+            recovering ^= ok
+            flr = rec ^ ok
+            if flr.any():
+                np.add(
+                    acct_failed_restart, slack, out=acct_failed_restart, where=flr
+                )
+                rst_fail += flr
+                np.copyto(t, fail_t, where=flr)
+                attributions.append((flr, acct_rework_restart))
+            if ok.any():
+                # Fuse: restarted trials proceed to their next event now.
+                boundary = next_m * tau0
+                over_hi = boundary > T_B_hi
+                fin2 = work >= T_B_lo
+                if checkpoint_at_completion:
+                    fin2 &= over_hi
+                go = ok & ~fin2 & (t < cap)
+                compx = go & ((work < boundary - _EPS) | over_hi)
+                comp |= compx
+                bnd |= go ^ compx
+                slack = fail_t - t
+
+        # --- compute segments -----------------------------------------
+        if comp.any():
+            target = np.minimum(boundary, T_B)
+            dur = target - work
+            okc = comp & (slack >= dur)
+            np.add(t, dur, out=t, where=okc)
+            np.add(compute_time, dur, out=compute_time, where=okc)
+            np.copyto(work, target, where=okc)
+            flc = comp ^ okc
+            if flc.any():
+                np.add(compute_time, slack, out=compute_time, where=flc)
+                np.add(work, slack, out=work, where=flc)
+                np.copyto(t, fail_t, where=flc)
+                attributions.append((flc, acct_rework_compute))
+            if okc.any():
+                # Fuse: trials that reached their boundary checkpoint now.
+                fin2 = work >= T_B_lo
+                if checkpoint_at_completion:
+                    fin2 &= over_hi
+                go = okc & ~fin2 & (t < cap)
+                bnd |= go & ~((work < boundary - _EPS) | over_hi)
+                slack = fail_t - t
+
+        # --- checkpoint boundaries ------------------------------------
+        if bnd.any():
+            k = pattern[(next_m - 1) % period]
+            kc = col[None, :] <= k[:, None]
+            take = bnd
+            if recheckpoint != "paid":
+                redo = bnd & (next_m <= max_completed_m)
+                if redo.any():
+                    # Recomputation past previously-completed positions:
+                    # "free" re-establishes validity at zero cost, "skip"
+                    # leaves the old recovery point as the only fallback.
+                    if recheckpoint == "free":
+                        np.copyto(
+                            valid, next_m[:, None], where=kc & redo[:, None]
+                        )
+                        restored += redo
+                    take = bnd ^ redo
+                    next_m += redo
+            if take.any():
+                dur = ckpt_cost[k]
+                okk = take & (slack >= dur)
+                np.add(t, dur, out=t, where=okk)
+                np.add(acct_checkpoint, dur, out=acct_checkpoint, where=okk)
+                ckpt_ok += okk
+                # hierarchical write: validates all levels <= k
+                np.copyto(valid, next_m[:, None], where=kc & okk[:, None])
+                np.maximum(
+                    max_completed_m, next_m, out=max_completed_m, where=okk
+                )
+                next_m += okk
+                flk = take ^ okk
+                if flk.any():
+                    np.add(
+                        acct_failed_checkpoint,
+                        slack,
+                        out=acct_failed_checkpoint,
+                        where=flk,
+                    )
+                    ckpt_fail += flk
+                    np.copyto(t, fail_t, where=flk)
+                    attributions.append((flk, acct_rework_checkpoint))
+
+        if attributions:
+            fmask = attributions[0][0]
+            for mask, _ in attributions[1:]:
+                fmask = fmask | mask
+            on_failures(fmask, attributions)
+
+    t, work, next_m = full_t, full_work, full_next_m
+    recovering, rollback_ref = full_recovering, full_rollback_ref
+    compute_time = full_compute_time
+    acct_checkpoint = full_acct_checkpoint
+    acct_failed_checkpoint = full_acct_failed_checkpoint
+    acct_restart = full_acct_restart
+    acct_failed_restart = full_acct_failed_restart
+    acct_rework_compute = full_acct_rework_compute
+    acct_rework_checkpoint = full_acct_rework_checkpoint
+    acct_rework_restart = full_acct_rework_restart
+    n_by_sev = full_n_by_sev
+    ckpt_ok, ckpt_fail = full_ckpt_ok, full_ckpt_fail
+    rst_ok, rst_fail = full_rst_ok, full_rst_fail
+    scratch, restored = full_scratch, full_restored
+
+    # Deactivated state is frozen, so final classification reproduces the
+    # scalar loop's top-of-iteration completion test.
+    completed = ~recovering & (work >= T_B_lo)
+    if checkpoint_at_completion:
+        completed &= next_m * tau0 > T_B_hi
+    # Horizon cap fired mid-recovery: only the recovery position counts
+    # as retained work (losses above it are already in rework buckets).
+    np.copyto(work, rollback_ref, where=recovering)
+
+    rework = acct_rework_compute + acct_rework_checkpoint + acct_rework_restart
+    if not np.allclose(compute_time, work + rework, rtol=1e-6, atol=1e-6):
+        worst = int(np.argmax(np.abs(compute_time - work - rework)))
+        raise RuntimeError(
+            "batched engine invariant violated: compute_time != work + rework "
+            f"(trial {worst}: {compute_time[worst]!r} != "
+            f"{work[worst]!r} + {rework[worst]!r})"
+        )
+
+    out: list[TrialResult] = []
+    for i in range(n):
+        times = TimeBreakdown(
+            work=float(work[i]),
+            checkpoint=float(acct_checkpoint[i]),
+            failed_checkpoint=float(acct_failed_checkpoint[i]),
+            restart=float(acct_restart[i]),
+            failed_restart=float(acct_failed_restart[i]),
+            rework_compute=float(acct_rework_compute[i]),
+            rework_checkpoint=float(acct_rework_checkpoint[i]),
+            rework_restart=float(acct_rework_restart[i]),
+        )
+        out.append(
+            TrialResult(
+                total_time=float(t[i]),
+                work_done=float(work[i]),
+                completed=bool(completed[i]),
+                times=times,
+                failures_by_severity=tuple(int(x) for x in n_by_sev[i]),
+                checkpoints_completed=int(ckpt_ok[i]),
+                checkpoints_failed=int(ckpt_fail[i]),
+                checkpoints_restored=int(restored[i]),
+                restarts_completed=int(rst_ok[i]),
+                restarts_failed=int(rst_fail[i]),
+                scratch_restarts=int(scratch[i]),
+                events=None,
+            )
+        )
+    return out

@@ -334,8 +334,17 @@ def simulate_trial(
         # position counts as retained work.
         work = rollback_ref
     acct.work = work
-    # compute_time == work + rework (each loss recomputed exactly once per
-    # loss event); asserted loosely here, exactly in the test suite.
+    # compute_time == work + rework: every minute of gross computation is
+    # either retained at the end or was attributed to exactly one rework
+    # bucket when a failure rolled it back.  Cheap guard here; the test
+    # suite sweeps it property-style across seeds/systems/engines.
+    rework = acct.rework_compute + acct.rework_checkpoint + acct.rework_restart
+    if not math.isclose(compute_time, work + rework, rel_tol=1e-6, abs_tol=1e-6):
+        raise RuntimeError(
+            "engine invariant violated: compute_time != work + rework "
+            f"({compute_time!r} != {work!r} + {rework!r}) for system "
+            f"{system.name}, plan {plan.describe()}"
+        )
     return TrialResult(
         total_time=t,
         work_done=work,

@@ -7,6 +7,26 @@ reproducible regardless of worker count) and aggregates them into
 and standard deviations of Figures 2, 4 and 5 and the stacked shares of
 Figure 3.  Trials are embarrassingly parallel; ``workers > 1`` fans them
 out over processes.
+
+Two trial engines sit behind the call, selected by ``engine``:
+
+* ``"batch"`` — the struct-of-arrays lockstep engine
+  (:func:`repro.simulator.batch.simulate_trials_batch`), which advances
+  all trials at once with masked NumPy operations and returns bitwise
+  identical :class:`~repro.simulator.accounting.TrialResult` objects to
+  the scalar loop for the same seeds;
+* ``"scalar"`` — one :func:`~repro.simulator.engine.simulate_trial`
+  Python loop per trial, required for trace/Weibull sources
+  (``source_factory``) and ``escalate`` restart semantics;
+* ``"auto"`` (the default) — the batched engine whenever the
+  configuration supports it and the run is at least ``_AUTO_MIN_TRIALS``
+  wide (narrower runs are faster scalar), the scalar loop otherwise.
+  Because the two engines agree bit for bit, ``auto`` never changes
+  results, only speed.
+
+``engine=None`` defers to the process-wide default (``"auto"`` unless
+:func:`set_default_engine` overrode it — the CLI's ``--engine`` flag and
+the scenario scheduler's worker initializer both thread through it).
 """
 
 from __future__ import annotations
@@ -19,9 +39,19 @@ import numpy as np
 from ..core.plan import CheckpointPlan
 from ..systems.spec import SystemSpec
 from .accounting import SimulationStats, TrialResult
+from .batch import simulate_trials_batch
 from .engine import simulate_trial
 
-__all__ = ["simulate_many", "set_inline_mode", "trial_seeds"]
+__all__ = [
+    "simulate_many",
+    "set_inline_mode",
+    "set_default_engine",
+    "get_default_engine",
+    "trial_seeds",
+]
+
+#: Recognized values of the ``engine`` parameter.
+ENGINES = ("auto", "scalar", "batch")
 
 #: When True, ``simulate_many`` never spawns a process pool regardless of
 #: ``workers`` — set by the scenario scheduler's worker initializer so a
@@ -29,6 +59,18 @@ __all__ = ["simulate_many", "set_inline_mode", "trial_seeds"]
 #: would oversubscribe the machine and, under some start methods,
 #: deadlock).  See :mod:`repro.exec.scheduler`.
 _INLINE_MODE = False
+
+#: Process-wide default engine; ``simulate_many(engine=None)`` uses it.
+_DEFAULT_ENGINE = "auto"
+
+#: Minimum trial count at which ``engine="auto"`` picks the batched
+#: engine.  Below this width the lockstep loop's fixed per-iteration
+#: numpy dispatch cost outweighs the vectorization win (measured
+#: crossover on the reference container: ~40 trials for mild systems,
+#: ~140 for failure-heavy ones), so tiny runs — notably ``--quick``'s
+#: 25 trials — stay on the scalar loop.  Results are identical either
+#: way; explicit ``engine="batch"`` ignores the threshold.
+_AUTO_MIN_TRIALS = 128
 
 #: One-shot guard for the tiny-run worker warning (per process).
 _WARNED_TINY_RUN = False
@@ -42,14 +84,86 @@ def set_inline_mode(enabled: bool) -> bool:
     return previous
 
 
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default trial engine; returns the previous one.
+
+    The CLI's ``--engine`` flag calls this once at startup, and the
+    scenario scheduler's worker initializer mirrors the parent's value
+    into every worker process, so one flag governs the whole run.
+    """
+    global _DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+def get_default_engine() -> str:
+    """The engine ``simulate_many`` uses when none is passed explicitly."""
+    return _DEFAULT_ENGINE
+
+
+def _reset_warnings() -> None:
+    """Re-arm one-shot warnings (test hook; warnings are per-process)."""
+    global _WARNED_TINY_RUN
+    _WARNED_TINY_RUN = False
+
+
 def trial_seeds(seed: int | None, trials: int) -> list[np.random.SeedSequence]:
     """Independent child seed sequences, stable across worker counts."""
     return np.random.SeedSequence(seed).spawn(trials)
 
 
-def _run_chunk(args) -> list[TrialResult]:
-    (system, plan, states, max_time, restart_semantics,
-     checkpoint_at_completion, recheckpoint, source_factory) = args
+def _resolve_engine(
+    engine: str | None, restart_semantics: str, source_factory, trials: int
+) -> bool:
+    """Whether this configuration runs on the batched engine.
+
+    ``"batch"`` on an unsupported configuration is a loud error rather
+    than a silent fallback; ``"auto"`` picks the batched engine exactly
+    when it is guaranteed bitwise-equal to the scalar one *and* the run
+    is wide enough to profit (``trials >= _AUTO_MIN_TRIALS``).
+    """
+    eng = _DEFAULT_ENGINE if engine is None else engine
+    if eng not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    supported = source_factory is None and restart_semantics == "retry"
+    if eng == "batch" and not supported:
+        raise ValueError(
+            "engine='batch' requires the built-in exponential failure "
+            "source and restart_semantics='retry'; use engine='auto' (which "
+            "falls back to the scalar loop) or engine='scalar'"
+        )
+    return eng == "batch" or (
+        eng == "auto" and supported and trials >= _AUTO_MIN_TRIALS
+    )
+
+
+#: Shared per-chunk context installed once per pool worker (see
+#: ``_chunk_worker_init``): everything except the seed list, so chunk
+#: payloads no longer re-pickle ``system``/``plan`` per chunk.
+_CHUNK_CONTEXT = None
+
+
+def _chunk_worker_init(context) -> None:
+    global _CHUNK_CONTEXT
+    _CHUNK_CONTEXT = context
+
+
+def _run_chunk(context, states) -> list[TrialResult]:
+    (system, plan, max_time, restart_semantics,
+     checkpoint_at_completion, recheckpoint, source_factory, use_batch) = context
+    if use_batch:
+        return simulate_trials_batch(
+            system,
+            plan,
+            states,
+            max_time=max_time,
+            restart_semantics=restart_semantics,
+            checkpoint_at_completion=checkpoint_at_completion,
+            recheckpoint=recheckpoint,
+        )
     out = []
     for ss in states:
         rng = np.random.default_rng(ss)
@@ -68,6 +182,11 @@ def _run_chunk(args) -> list[TrialResult]:
     return out
 
 
+def _run_chunk_in_worker(states) -> list[TrialResult]:
+    """Pool entry point: seed list in, shared context from the initializer."""
+    return _run_chunk(_CHUNK_CONTEXT, states)
+
+
 def simulate_many(
     system: SystemSpec,
     plan: CheckpointPlan,
@@ -80,13 +199,16 @@ def simulate_many(
     workers: int = 1,
     return_trials: bool = False,
     source_factory=None,
+    engine: str | None = None,
 ) -> SimulationStats | tuple[SimulationStats, list[TrialResult]]:
     """Run ``trials`` independent executions and aggregate them.
 
     Parameters mirror :func:`~repro.simulator.engine.simulate_trial`;
     ``workers`` > 1 distributes trials over a process pool (each process
     receives a contiguous chunk of the spawned seed sequences, so the
-    result set is identical to a serial run with the same ``seed``).
+    result set is identical to a serial run with the same ``seed``; the
+    shared ``system``/``plan``/options context ships once per worker via
+    the pool initializer, only seed lists travel per chunk).
     ``workers`` is ignored — the run stays inline — when ``trials < 4``
     (pool startup would dominate such tiny runs; one stderr warning is
     emitted per process) or when :func:`set_inline_mode` is active
@@ -96,9 +218,13 @@ def simulate_many(
     from its per-trial generator (``source_factory(rng)``) — used by the
     Weibull study to swap the failure process while keeping per-trial
     seeding reproducible.
+    ``engine`` selects the trial engine (``"auto"``/``"scalar"``/
+    ``"batch"``; ``None`` = the process default) — see the module
+    docstring.  Results are engine-independent bit for bit.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    use_batch = _resolve_engine(engine, restart_semantics, source_factory, trials)
     seeds = trial_seeds(seed, trials)
 
     if workers > 1 and trials < 4 and not _INLINE_MODE:
@@ -113,30 +239,22 @@ def simulate_many(
                 file=sys.stderr,
             )
 
+    context = (
+        system, plan, max_time, restart_semantics,
+        checkpoint_at_completion, recheckpoint, source_factory, use_batch,
+    )
     if workers <= 1 or trials < 4 or _INLINE_MODE:
-        results = _run_chunk(
-            (system, plan, seeds, max_time, restart_semantics,
-             checkpoint_at_completion, recheckpoint, source_factory)
-        )
+        results = _run_chunk(context, seeds)
     else:
         chunks = np.array_split(np.arange(trials), min(workers, trials))
-        payloads = [
-            (
-                system,
-                plan,
-                [seeds[i] for i in chunk],
-                max_time,
-                restart_semantics,
-                checkpoint_at_completion,
-                recheckpoint,
-                source_factory,
-            )
-            for chunk in chunks
-            if len(chunk)
-        ]
+        payloads = [[seeds[i] for i in chunk] for chunk in chunks if len(chunk)]
         results = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for part in pool.map(_run_chunk, payloads):
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_chunk_worker_init,
+            initargs=(context,),
+        ) as pool:
+            for part in pool.map(_run_chunk_in_worker, payloads):
                 results.extend(part)
 
     stats = SimulationStats.from_trials(results)

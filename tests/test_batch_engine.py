@@ -1,0 +1,279 @@
+"""Cross-engine equality, dispatch and horizon-cap tests.
+
+The batched struct-of-arrays engine (:mod:`repro.simulator.batch`)
+promises **bitwise-identical** :class:`TrialResult`s to the scalar
+per-event loop for the same seeds.  These tests enforce that promise
+across the whole Table-I catalog, every recheckpoint policy, the
+>4096-failure stream-refill path, and the figure2/figure4 pipeline rows
+— plus the dispatch rules of ``simulate_many`` and the accounting
+invariants both engines guard internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.scenarios import ScenarioSpec
+from repro.simulator import (
+    default_max_time,
+    get_default_engine,
+    set_default_engine,
+    simulate_many,
+    simulate_trial,
+    simulate_trials_batch,
+    trial_seeds,
+)
+from repro.systems import TEST_SYSTEM_ORDER, get_system
+
+_PLANS: dict[str, CheckpointPlan] = {}
+
+
+def plan_for(name: str) -> CheckpointPlan:
+    """The technique-optimized plan for a catalog system (memoized)."""
+    if name not in _PLANS:
+        _PLANS[name] = DauweModel(get_system(name)).optimize().plan
+    return _PLANS[name]
+
+
+def scalar_trials(system, plan, seeds, **kwargs):
+    """The ground truth: one scalar-engine run per seed sequence."""
+    return [
+        simulate_trial(system, plan, rng=np.random.default_rng(ss), **kwargs)
+        for ss in seeds
+    ]
+
+
+@pytest.fixture
+def restore_engine():
+    previous = get_default_engine()
+    yield
+    set_default_engine(previous)
+
+
+class TestCrossEngineEquality:
+    """batch == scalar, field for field, bit for bit."""
+
+    @pytest.mark.parametrize("name", TEST_SYSTEM_ORDER)
+    def test_catalog_systems_bitwise_equal(self, name):
+        system = get_system(name)
+        plan = plan_for(name)
+        seeds = trial_seeds(12345, 16)
+        batch = simulate_trials_batch(system, plan, seeds)
+        assert batch == scalar_trials(system, plan, seeds)
+
+    @pytest.mark.parametrize("recheckpoint", ["free", "paid", "skip"])
+    @pytest.mark.parametrize("cac", [False, True])
+    def test_recheckpoint_policies(self, recheckpoint, cac):
+        # A shortened MTBF forces frequent rollbacks past completed
+        # positions, so the redo paths (restore vs re-pay vs skip) all run.
+        system = get_system("B").with_mtbf(30.0)
+        plan = plan_for("B")
+        seeds = trial_seeds(7, 12)
+        kwargs = dict(recheckpoint=recheckpoint, checkpoint_at_completion=cac)
+        batch = simulate_trials_batch(system, plan, seeds, **kwargs)
+        assert batch == scalar_trials(system, plan, seeds, **kwargs)
+
+    def test_stream_refill_beyond_4096_failures(self):
+        # The Figure-4 failure storm: thousands of failures per trial, so
+        # per-trial RNG batches refill (the carry must chain bitwise).
+        system = get_system("B").with_mtbf(3.0).with_top_level_cost(40.0)
+        plan = CheckpointPlan((1, 2, 3, 4), 1.0, (1, 1, 12))
+        seeds = trial_seeds(11, 4)
+        batch = simulate_trials_batch(system, plan, seeds, max_time=5000.0)
+        scalar = scalar_trials(system, plan, seeds, max_time=5000.0)
+        assert batch == scalar
+        assert all(r.total_failures > 500 for r in scalar)
+
+    def test_figure2_rows_engine_independent(self, restore_engine):
+        from repro.experiments import figure2
+
+        kwargs = dict(
+            trials=8, seed=0, systems=("M", "B", "D4"),
+            techniques=("dauwe", "daly"),
+        )
+        set_default_engine("scalar")
+        scalar_rows = figure2.run(**kwargs).rows
+        set_default_engine("batch")
+        batch_rows = figure2.run(**kwargs).rows
+        assert batch_rows == scalar_rows
+
+    def test_figure4_rows_engine_independent(self, restore_engine):
+        from repro.experiments import figure4
+
+        kwargs = dict(trials=5, seed=0, techniques=("dauwe",))
+        set_default_engine("scalar")
+        scalar_rows = figure4.run(**kwargs).rows
+        set_default_engine("batch")
+        batch_rows = figure4.run(**kwargs).rows
+        assert batch_rows == scalar_rows
+
+
+class TestDispatch:
+    """simulate_many's engine parameter: selection, fallback, validation."""
+
+    def test_engines_agree_through_simulate_many(self):
+        system = get_system("D4")
+        plan = plan_for("D4")
+        runs = {
+            eng: simulate_many(
+                system, plan, trials=16, seed=3, engine=eng, return_trials=True
+            )
+            for eng in ("scalar", "batch", "auto")
+        }
+        assert runs["batch"][1] == runs["scalar"][1] == runs["auto"][1]
+        assert np.array_equal(
+            runs["batch"][0].efficiencies, runs["scalar"][0].efficiencies
+        )
+
+    def test_batch_rejects_source_factory(self):
+        with pytest.raises(ValueError, match="engine='batch'"):
+            simulate_many(
+                get_system("M"), plan_for("M"), trials=2, seed=0,
+                engine="batch",
+                source_factory=lambda rng: None,
+            )
+
+    def test_batch_rejects_escalate(self):
+        with pytest.raises(ValueError, match="engine='batch'"):
+            simulate_many(
+                get_system("M"), plan_for("M"), trials=2, seed=0,
+                engine="batch", restart_semantics="escalate",
+            )
+
+    def test_auto_falls_back_to_scalar_for_escalate(self):
+        system, plan = get_system("B"), plan_for("B")
+        auto = simulate_many(
+            system, plan, trials=6, seed=2, engine="auto",
+            restart_semantics="escalate", return_trials=True,
+        )[1]
+        scalar = simulate_many(
+            system, plan, trials=6, seed=2, engine="scalar",
+            restart_semantics="escalate", return_trials=True,
+        )[1]
+        assert auto == scalar
+
+    def test_auto_width_threshold(self):
+        # "auto" only pays for lockstep overhead when the run is wide
+        # enough to amortize it; explicit "batch" ignores the threshold.
+        from repro.simulator.run import _AUTO_MIN_TRIALS, _resolve_engine
+
+        assert _resolve_engine("auto", "retry", None, _AUTO_MIN_TRIALS) is True
+        assert _resolve_engine("auto", "retry", None, _AUTO_MIN_TRIALS - 1) is False
+        assert _resolve_engine("batch", "retry", None, 1) is True
+        assert _resolve_engine("scalar", "retry", None, 10**6) is False
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            simulate_many(
+                get_system("M"), plan_for("M"), trials=2, seed=0, engine="bogus"
+            )
+
+    def test_default_engine_roundtrip(self, restore_engine):
+        previous = set_default_engine("scalar")
+        assert previous in ("auto", "scalar", "batch")
+        assert get_default_engine() == "scalar"
+        with pytest.raises(ValueError, match="engine must be one of"):
+            set_default_engine("bogus")
+
+    def test_batch_entry_point_validation(self):
+        seeds = trial_seeds(0, 2)
+        with pytest.raises(ValueError, match="restart_semantics"):
+            simulate_trials_batch(
+                get_system("M"), plan_for("M"), seeds,
+                restart_semantics="escalate",
+            )
+        with pytest.raises(ValueError, match="recheckpoint"):
+            simulate_trials_batch(
+                get_system("M"), plan_for("M"), seeds, recheckpoint="bogus"
+            )
+
+    def test_scenario_spec_validates_engine(self):
+        spec = ScenarioSpec(system=get_system("M"), simulate={"engine": "batch"})
+        assert spec.simulate["engine"] == "batch"
+        with pytest.raises(ValueError, match="simulate.engine"):
+            ScenarioSpec(system=get_system("M"), simulate={"engine": "bogus"})
+
+    def test_scheduler_worker_init_mirrors_engine(self, restore_engine, monkeypatch):
+        # The pool initializer must install the parent's engine default
+        # (spawn-started workers would otherwise reset to "auto").
+        from repro.exec import scheduler as scheduler_mod
+        from repro.exec.cache import get_active_cache, set_active_cache
+        from repro.simulator.run import set_inline_mode
+
+        monkeypatch.setattr(scheduler_mod, "_IN_SCENARIO_WORKER", False)
+        previous_cache = get_active_cache()
+        try:
+            scheduler_mod._worker_init(None, False, "scalar")
+            assert get_default_engine() == "scalar"
+        finally:
+            set_inline_mode(False)
+            set_active_cache(previous_cache)
+
+
+class TestAccountingInvariants:
+    """Property sweep: both engines' internal guards plus the observable
+    identities (categories sum to total time; the work bucket is the
+    retained progress) across seeds and systems."""
+
+    @pytest.mark.parametrize("name", ["M", "B", "D4", "D8"])
+    @pytest.mark.parametrize("seed", [0, 17, 404])
+    def test_breakdown_identities_both_engines(self, name, seed):
+        system = get_system(name)
+        plan = plan_for(name)
+        seeds = trial_seeds(seed, 4)
+        # Both calls run the engines' compute_time == work + rework guard;
+        # a violation raises RuntimeError instead of returning.
+        for r in simulate_trials_batch(system, plan, seeds) + scalar_trials(
+            system, plan, seeds
+        ):
+            assert r.times.total() == pytest.approx(r.total_time, rel=1e-9)
+            assert r.times.work == r.work_done
+            assert 0.0 <= r.work_done <= system.baseline_time + 1e-6
+            if r.completed:
+                assert r.work_done == pytest.approx(system.baseline_time)
+
+
+class TestHorizonCap:
+    """default_max_time / max_time paths: hopeless plans stop at the cap
+    and report the rolled-back work position."""
+
+    def _hopeless(self):
+        # MTBF of one minute against multi-minute restarts: recovery
+        # essentially never succeeds, so the cap fires mid-recovery.
+        system = (
+            get_system("B")
+            .with_baseline_time(100.0)
+            .with_mtbf(1.0)
+            .with_top_level_cost(60.0)
+        )
+        plan = CheckpointPlan((1, 2, 3, 4), 1.0, (1, 1, 12))
+        return system, plan
+
+    def test_cap_mid_recovery_both_engines(self):
+        system, plan = self._hopeless()
+        seeds = trial_seeds(5, 6)
+        batch = simulate_trials_batch(system, plan, seeds, max_time=50.0)
+        scalar = scalar_trials(system, plan, seeds, max_time=50.0)
+        assert batch == scalar
+        for r in scalar:
+            assert not r.completed
+            assert r.total_time >= 50.0
+            assert r.restarts_failed > 0
+            # The reported work is the rolled-back position (acct.work is
+            # set from it), never credit for progress lost to the failure.
+            assert r.times.work == r.work_done
+            assert r.work_done < system.baseline_time
+
+    def test_default_cap_applies_when_unset(self):
+        system, plan = self._hopeless()
+        cap = default_max_time(system)
+        assert cap == max(15.0 * 100.0, 100.0 + 300.0 * 1.0)
+        seeds = trial_seeds(9, 2)
+        batch = simulate_trials_batch(system, plan, seeds)
+        scalar = scalar_trials(system, plan, seeds)
+        assert batch == scalar
+        for r in scalar:
+            assert not r.completed
+            assert r.total_time >= cap

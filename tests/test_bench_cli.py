@@ -1,0 +1,105 @@
+"""The benchmark trajectory harness: payload schema, CLI, equality gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.bench as bench_mod
+from repro.bench import SCHEMA, format_bench, run_bench
+from repro.cli import main
+from repro.simulator import get_default_engine, set_default_engine
+
+#: A tiny comparison grid so the suite stays fast; the real grid is
+#: exercised by `python -m repro bench` itself (CI runs --quick).
+_TINY_GRID = (("M", 8),)
+
+
+@pytest.fixture
+def tiny_grid(monkeypatch):
+    monkeypatch.setattr(bench_mod, "_GRID_QUICK", _TINY_GRID)
+    monkeypatch.setattr(bench_mod, "_GRID_FULL", _TINY_GRID)
+
+
+@pytest.fixture
+def restore_engine():
+    previous = get_default_engine()
+    yield
+    set_default_engine(previous)
+
+
+class TestRunBench:
+    def test_payload_schema(self, tiny_grid, tmp_path):
+        out = tmp_path / "BENCH_simulator.json"
+        payload = run_bench(quick=True, out=out)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert payload["schema"] == SCHEMA
+        assert payload["quick"] is True
+        assert set(payload["package_versions"]) == {"repro", "numpy", "python"}
+        names = [c["name"] for c in payload["cases"]]
+        assert "dauwe_predict_time_batch" in names
+        assert "simulate_trial_failure_storm" in names
+        for case in payload["cases"]:
+            assert case["seconds_best"] > 0.0
+            assert case["seconds_best"] <= case["seconds_mean"]
+
+    def test_speedup_grid(self, tiny_grid):
+        payload = run_bench(quick=True)
+        (cell,) = payload["simulate_many"]
+        assert cell["system"] == "M" and cell["trials"] == 8
+        assert cell["equal"] is True
+        assert cell["speedup"] == pytest.approx(
+            cell["scalar"]["seconds_best"] / cell["batch"]["seconds_best"]
+        )
+        for rec in (cell["scalar"], cell["batch"]):
+            assert rec["trials_per_sec"] == pytest.approx(8 / rec["seconds_best"])
+
+    def test_format_bench_mentions_every_case(self, tiny_grid):
+        payload = run_bench(quick=True)
+        text = format_bench(payload)
+        for case in payload["cases"]:
+            assert case["name"] in text
+        assert "M x 8" in text and "speedup" in text
+
+    def test_engine_mismatch_is_fatal(self, tiny_grid, monkeypatch):
+        import dataclasses
+
+        real = bench_mod._timed_many
+
+        def corrupt(system, plan, trials, engine, rounds, warmup):
+            rec, results = real(system, plan, trials, engine, rounds, warmup)
+            if engine == "batch":
+                results[0] = dataclasses.replace(
+                    results[0], total_time=results[0].total_time + 1.0
+                )
+            return rec, results
+
+        monkeypatch.setattr(bench_mod, "_timed_many", corrupt)
+        with pytest.raises(RuntimeError, match="engine mismatch"):
+            run_bench(quick=True)
+
+
+class TestBenchCli:
+    def test_bench_subcommand(self, tiny_grid, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--bench-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "speedup" in captured.out
+        assert str(out) in captured.err
+        assert json.loads(out.read_text())["schema"] == SCHEMA
+
+    def test_engine_flag_sets_process_default(
+        self, tiny_grid, tmp_path, restore_engine, capsys
+    ):
+        out = tmp_path / "bench.json"
+        assert (
+            main(["bench", "--quick", "--engine", "scalar", "--bench-out", str(out)])
+            == 0
+        )
+        assert get_default_engine() == "scalar"
+
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--engine", "bogus"])

@@ -126,19 +126,26 @@ class TestDroppedWorkerWarnings:
         assert resolve_sim_workers(4, 1) == 1
         assert capsys.readouterr().err == ""
 
-    def test_tiny_run_drops_workers_with_warning(self, capsys, monkeypatch):
+    def test_tiny_run_drops_workers_with_warning(self, capsys):
         from repro.simulator import run as sim_run
         from repro.simulator import simulate_many
         from repro.systems import TEST_SYSTEMS
         from repro.experiments.runner import optimize_technique
 
         opt = optimize_technique(TEST_SYSTEMS["M"], "daly")
-        monkeypatch.setattr(sim_run, "_WARNED_TINY_RUN", False)
+        sim_run._reset_warnings()
         inline = simulate_many(TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0)
         pooled = simulate_many(
             TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0, workers=4
         )
         err = capsys.readouterr().err
         assert "workers=4 ignored for trials=2" in err
+        assert "pool startup would dominate" in err
         assert err.count("warning:") == 1
+        # One-shot per process until re-armed.
+        simulate_many(TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0, workers=4)
+        assert capsys.readouterr().err == ""
+        sim_run._reset_warnings()
+        simulate_many(TEST_SYSTEMS["M"], opt.plan, trials=2, seed=0, workers=4)
+        assert "warning:" in capsys.readouterr().err
         assert pooled.mean_efficiency == inline.mean_efficiency

@@ -27,6 +27,24 @@ class TestParallelDispatch:
         stats = simulate_many(spec, plan, trials=2, seed=1, workers=8)
         assert stats.trials == 2
 
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_chunked_trials_equal_serial(self, engine):
+        # Chunks ship only seed lists (the shared context travels once per
+        # worker via the pool initializer); the reassembled TrialResult
+        # list must equal the serial run's, trial for trial, on either
+        # engine.
+        spec = get_system("D1").with_baseline_time(120.0)
+        plan = CheckpointPlan((1, 2), 6.0, (2,))
+        _, serial = simulate_many(
+            spec, plan, trials=9, seed=13, workers=1,
+            engine=engine, return_trials=True,
+        )
+        _, chunked = simulate_many(
+            spec, plan, trials=9, seed=13, workers=3,
+            engine=engine, return_trials=True,
+        )
+        assert chunked == serial
+
 
 class TestPackageSurface:
     def test_version(self):
