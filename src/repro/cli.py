@@ -46,17 +46,36 @@ so pools never nest (a dropped request warns on stderr).  An optimization
 cache is active by default (in-memory; ``--cache-dir`` persists it across
 runs, ``--no-cache`` disables it); per-experiment stage wall-clock and
 cache hit/miss counts go to stderr.
+
+Resilience: every run that writes a report also keeps an append-only
+*run journal* next to it (``<report>.journal.jsonl``) of completed
+scenarios, so an interrupted invocation — worker crash, Ctrl-C, SIGKILL
+— resumes where it left off when re-run (``--resume PATH`` names a
+journal explicitly, ``--no-resume`` starts fresh).  Transient scenario
+failures are retried ``--max-retries`` times with deterministic backoff,
+dead process pools are rebuilt and ultimately degraded to serial
+execution (all recorded in the manifest), and an aborted run still
+writes its partial report and a ``status: "aborted"`` manifest.
+
+Exit codes: 0 success; 1 configuration/input error; 2 usage error
+(argparse); 3 study execution failed after retries; 4 journal/spec
+mismatch under explicit ``--resume``; 130 interrupted (SIGINT).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
 
 from .exec import (
+    JournalMismatchError,
     OptimizationCache,
+    RetryPolicy,
+    StudyExecutionError,
+    StudyInterrupted,
     format_stage_report,
     get_active_cache,
     set_active_cache,
@@ -71,6 +90,15 @@ from .simulator.run import ENGINES, set_default_engine
 __all__ = ["main", "build_parser"]
 
 _QUICK_TRIALS = 25
+
+# Distinct exit codes so scripted callers can tell failure modes apart
+# (tested via subprocess in tests/test_cli.py / tests/test_chaos.py).
+EXIT_OK = 0
+EXIT_ERROR = 1  # bad input/configuration (study file, option values)
+EXIT_USAGE = 2  # argparse usage errors
+EXIT_EXECUTION = 3  # study failed after retries/degradation
+EXIT_JOURNAL = 4  # journal rejected under explicit --resume
+EXIT_INTERRUPTED = 130  # SIGINT (128 + signal number)
 
 #: Experiments whose runner accepts a ``techniques`` tuple.
 _TECHNIQUE_AWARE = frozenset(
@@ -163,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--report, or next to --study for 'custom')",
     )
     parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from (and append to) the run journal at PATH; a "
+        "journal written by a different study configuration is an error",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore any existing journal entries and start fresh "
+        "(the journal is still written)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per scenario after a transient failure "
+        "(exponential backoff, jitter derived from --seed; default: 2)",
+    )
+    parser.add_argument(
         "--engine",
         choices=list(ENGINES),
         default=None,
@@ -212,6 +261,40 @@ def _manifest_path(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _journal_path(args: argparse.Namespace) -> Path | None:
+    """Where this invocation's run journal lives (None: no journaling).
+
+    ``--resume PATH`` names it explicitly; otherwise a report-writing run
+    auto-journals next to the report, so a crashed ``--report`` run is
+    resumable simply by re-running the same command line.
+    """
+    if args.resume:
+        return Path(args.resume)
+    if args.report:
+        report = Path(args.report)
+        return report.with_name(report.stem + ".journal.jsonl")
+    return None
+
+
+def _exec_options(args: argparse.Namespace) -> dict:
+    """The resilience keywords threaded into every ``execute_study`` call."""
+    options: dict = {
+        "retry": RetryPolicy(
+            max_attempts=args.max_retries + 1,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    }
+    journal = _journal_path(args)
+    if journal is not None:
+        options["journal"] = journal
+        # Explicit --resume demands the journal match; the auto-detected
+        # journal quietly starts fresh when the spec changed.
+        options["resume"] = (
+            "never" if args.no_resume else ("require" if args.resume else "auto")
+        )
+    return options
+
+
 def _run_custom(args: argparse.Namespace):
     study = StudySpec.from_file(args.study)
     if args.techniques_tuple is not None:
@@ -223,7 +306,8 @@ def _run_custom(args: argparse.Namespace):
     if args.seed is not None:
         study = study.with_seed(args.seed)
     srun = execute_study(
-        study, workers=args.workers, sim_workers=args.sim_workers
+        study, workers=args.workers, sim_workers=args.sim_workers,
+        **_exec_options(args),
     )
     return generic_result(srun)
 
@@ -267,6 +351,7 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
         "seed": args.seed if args.seed is not None else 0,
         "workers": args.workers,
         "sim_workers": args.sim_workers,
+        **_exec_options(args),
     }
     if args.quick:
         kwargs["trials"] = _QUICK_TRIALS
@@ -284,6 +369,63 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
     return result
 
 
+def _install_sigint_handler():
+    """Make the first Ctrl-C a graceful abort and the second immediate.
+
+    The first SIGINT raises :class:`KeyboardInterrupt` in the main
+    thread (so the journal, partial report and aborted manifest get
+    flushed on the way out); a second one gives up on cleanup and exits
+    130 on the spot.  Returns the previous handler (restore it in a
+    ``finally``), or ``None`` when handlers cannot be installed here
+    (non-main thread, e.g. under some test runners).
+    """
+    state = {"interrupts": 0}
+
+    def handler(signum, frame):
+        state["interrupts"] += 1
+        if state["interrupts"] >= 2:
+            import os
+
+            print("interrupted twice; exiting immediately", file=sys.stderr)
+            os._exit(EXIT_INTERRUPTED)
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGINT, handler)
+    except ValueError:
+        return None
+
+
+def _write_abort_artifacts(args, results, manifest, error: str) -> None:
+    """Flush partial report + ``status: "aborted"`` manifest on the way out.
+
+    Both writes are atomic (temp + rename), so an abort can only leave
+    complete artifacts behind — the same contract the run journal keeps
+    per line.  Failed runs stay diagnosable without scrollback.
+    """
+    manifest.status = "aborted"
+    manifest.error = error
+    if args.report and results:
+        try:
+            path = write_report(results, args.report)
+            print(f"partial report written to {path}", file=sys.stderr)
+        except OSError as exc:  # never mask the abort itself
+            print(f"warning: could not write partial report: {exc}", file=sys.stderr)
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None:
+        try:
+            manifest.write(manifest_path)
+            print(f"aborted-run manifest written to {manifest_path}", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: could not write manifest: {exc}", file=sys.stderr)
+    journal = _journal_path(args)
+    if journal is not None and journal.exists():
+        print(
+            f"run journal at {journal} — re-run the same command to resume",
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -292,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("the 'custom' experiment requires --study PATH")
     if args.experiment != "custom" and args.study:
         parser.error("--study only applies to the 'custom' experiment")
+    if args.resume and args.no_resume:
+        parser.error("--resume and --no-resume are mutually exclusive")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
     if args.engine is not None:
         set_default_engine(args.engine)
     if args.experiment == "bench":
@@ -305,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     manifest = RunManifest(workers=args.workers, sim_workers=args.sim_workers)
     seen_records: set[int] = set()
+    previous_handler = _install_sigint_handler()
     try:
         for name in names:
             t0 = time.time()
@@ -313,9 +460,12 @@ def main(argv: list[str] | None = None) -> int:
             cache_before = cache.stats.snapshot() if cache is not None else None
             try:
                 result = _run_one(name, args, fig4_cache)
+            except JournalMismatchError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_JOURNAL
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
-                return 1
+                return EXIT_ERROR
             results.append(result)
             print(result.render(markdown=args.markdown))
             info = f"[{name} finished in {time.time() - t0:.1f}s"
@@ -324,6 +474,11 @@ def main(argv: list[str] | None = None) -> int:
                 info += f" | {stages}"
             if cache is not None:
                 info += f" | cache: {cache.stats.delta(cache_before).describe()}"
+            resumed = None
+            if result.manifest is not None:
+                resumed = result.manifest.get("resilience", {}).get("resumed")
+            if resumed:
+                info += f" | resumed {resumed} scenario(s) from journal"
             print(info + "]", file=sys.stderr)
             print()
             if result.manifest is not None and id(result.manifest) not in seen_records:
@@ -337,9 +492,23 @@ def main(argv: list[str] | None = None) -> int:
         if manifest_path is not None:
             manifest.write(manifest_path)
             print(f"manifest written to {manifest_path}", file=sys.stderr)
+    except StudyExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.record is not None:
+            manifest.add(exc.record)
+        _write_abort_artifacts(args, results, manifest, f"StudyExecutionError: {exc}")
+        return EXIT_EXECUTION
+    except KeyboardInterrupt as exc:  # includes StudyInterrupted
+        print("interrupted", file=sys.stderr)
+        if isinstance(exc, StudyInterrupted) and exc.record is not None:
+            manifest.add(exc.record)
+        _write_abort_artifacts(args, results, manifest, "interrupted (SIGINT)")
+        return EXIT_INTERRUPTED
     finally:
         set_active_cache(previous_cache)
-    return 0
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

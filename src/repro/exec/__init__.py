@@ -13,9 +13,17 @@ fast and reusable:
   :class:`OptimizationCache` so each (system, technique, options) sweep
   is computed once and reused across figures, runs and benches;
 * :mod:`~repro.exec.metrics` — per-stage wall-clock accounting reported
-  by the CLI.
+  by the CLI;
+* :mod:`~repro.exec.resilience` — the fault-tolerance layer: the
+  :class:`RetryPolicy` the scheduler retries under, the checksummed
+  :class:`RunJournal` that makes runs resumable, and the structured
+  :class:`StudyExecutionError` / :class:`StudyInterrupted` failures;
+* :mod:`~repro.exec.chaos` — the env-var-driven fault-injection harness
+  (``REPRO_CHAOS``) that fault-tolerance tests drive through the real
+  process-pool path.
 
-See README.md "Performance architecture" for the layer diagram.
+See README.md "Performance architecture" and "Resilient runs" for the
+layer diagrams.
 """
 
 from .cache import (
@@ -32,12 +40,26 @@ from .metrics import (
     stage_delta,
     stage_snapshot,
 )
+from .resilience import (
+    JournalMismatchError,
+    RetryPolicy,
+    RunJournal,
+    StudyExecutionError,
+    StudyInterrupted,
+    atomic_write_text,
+)
 from .scheduler import ScenarioTask, resolve_sim_workers, run_scenarios
 
 __all__ = [
     "CacheStats",
+    "JournalMismatchError",
     "OptimizationCache",
+    "RetryPolicy",
+    "RunJournal",
     "ScenarioTask",
+    "StudyExecutionError",
+    "StudyInterrupted",
+    "atomic_write_text",
     "cache_key",
     "resolve_sim_workers",
     "format_stage_report",

@@ -13,7 +13,12 @@ across processes and invocations.
 
 Disk entries are one file per key (``<key>.json``), written atomically via
 rename, so concurrent scenario workers sharing a cache directory never
-read torn files; a corrupt or unreadable entry is treated as a miss.
+read torn files.  Each entry additionally embeds a sha256 checksum of its
+own content which is verified on every disk read (the silent-error guard
+of Aupy et al.: never trust an unverified artifact): an entry that is
+truncated, bit-rotted or from the pre-checksum format is *quarantined* —
+renamed to ``<key>.corrupt`` so it is kept for forensics but never read
+again — counted as a miss, and announced once per process on stderr.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -88,6 +94,16 @@ def _result_to_dict(result: OptimizationResult) -> dict:
         "predicted_efficiency": result.predicted_efficiency,
         "evaluations": result.evaluations,
     }
+
+
+def _entry_checksum(payload: dict) -> str:
+    """Content checksum of one on-disk entry's payload dict."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+#: One-shot stderr warning guard for quarantined entries (per process).
+_WARNED_CORRUPT_ENTRY = False
 
 
 def _result_from_dict(data: dict) -> OptimizationResult:
@@ -175,21 +191,55 @@ class OptimizationCache:
             self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move an unverifiable entry aside (``<key>.corrupt``), warn once."""
+        global _WARNED_CORRUPT_ENTRY
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # raced with another worker or already gone: a plain miss
+        if not _WARNED_CORRUPT_ENTRY:
+            _WARNED_CORRUPT_ENTRY = True
+            print(
+                f"warning: optimization-cache entry {path.name} failed "
+                f"verification ({reason}); quarantined to {target.name} and "
+                "treated as a miss (further quarantines are silent)",
+                file=sys.stderr,
+            )
+
+    def _read_disk(self, key: str) -> OptimizationResult | None:
+        """Load + verify one disk entry; quarantine anything untrustworthy."""
+        path = self._dir / f"{key}.json"
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None  # no entry (or unreadable): a plain miss
+        try:
+            data = json.loads(raw)
+            stated = data.pop("sha256")
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path, "not a checksummed JSON entry")
+            return None
+        if not isinstance(data, dict) or _entry_checksum(data) != stated:
+            self._quarantine(path, "sha256 mismatch")
+            return None
+        try:
+            return _result_from_dict(data)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path, "verified but unparseable")
+            return None
+
     def get(self, key: str) -> OptimizationResult | None:
-        """Look up ``key`` (memory first, then disk); count hit or miss."""
+        """Look up ``key`` (memory first, then verified disk); count hit/miss."""
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             return cached
         if self._dir is not None:
-            path = self._dir / f"{key}.json"
-            try:
-                data = json.loads(path.read_text())
-                result = _result_from_dict(data)
-            except (OSError, ValueError, KeyError, TypeError):
-                pass  # missing or corrupt entry: a miss, never an error
-            else:
+            result = self._read_disk(key)
+            if result is not None:
                 self._remember(key, result)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
@@ -198,12 +248,13 @@ class OptimizationCache:
         return None
 
     def put(self, key: str, result: OptimizationResult) -> None:
-        """Store ``result`` in memory and (atomically) on disk."""
+        """Store ``result`` in memory and (atomically, checksummed) on disk."""
         self._remember(key, result)
         self.stats.stores += 1
         if self._dir is None:
             return
-        blob = json.dumps(_result_to_dict(result))
+        payload = _result_to_dict(result)
+        blob = json.dumps({**payload, "sha256": _entry_checksum(payload)})
         fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:

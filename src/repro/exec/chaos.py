@@ -1,0 +1,240 @@
+"""First-party chaos-injection harness for the scenario scheduler.
+
+Fault-injection tests should exercise the *real* ``ProcessPoolExecutor``
+path — a mocked pool cannot reproduce ``BrokenProcessPool`` semantics,
+initializer re-runs, or torn journal writes.  This module arms the
+scheduler's worker initializer and per-chunk execution hook with faults
+described by two environment variables (inherited by worker processes):
+
+``REPRO_CHAOS``
+    Comma-separated directives:
+
+    * ``kill-worker:N`` — the N-th worker process to initialize (0-based
+      across pool rebuilds) calls ``os._exit`` at its first chunk,
+      simulating a segfault and breaking the pool.
+    * ``kill-task:K`` / ``kill-task:KxR`` — the worker executing chunk
+      index ``K`` dies, ``R`` times total (default once); repeats
+      exercise the pool-rebuild ladder up to serial fallback.
+    * ``raise-task:K`` / ``raise-task:KxR`` — chunk ``K`` raises a
+      :class:`ChaosError`, ``R`` times total; exercises the retry path.
+    * ``latency-ms:MS`` — every chunk sleeps ``MS`` milliseconds first;
+      widens the window for kill-the-driver tests.
+
+``REPRO_CHAOS_DIR``
+    A directory for cross-process once-only bookkeeping (marker files
+    claimed with ``O_CREAT | O_EXCL``), so a fault fires its budgeted
+    number of times *across* workers, rebuilds and retries.  Required by
+    every directive except ``latency-ms``.
+
+Kill directives only ever fire inside scheduler worker processes — the
+serial fallback path (and plain ``workers=1`` runs) must not shoot the
+driver.  For corrupting artifacts *at rest* (cache entries, journals),
+tests call :func:`truncate_file` / :func:`corrupt_file` directly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ENV_CHAOS",
+    "ENV_CHAOS_DIR",
+    "chaos_config",
+    "corrupt_file",
+    "on_task",
+    "on_worker_start",
+    "truncate_file",
+]
+
+ENV_CHAOS = "REPRO_CHAOS"
+ENV_CHAOS_DIR = "REPRO_CHAOS_DIR"
+
+#: Exit status used by injected worker kills (mirrors SIGKILL's 128+9).
+KILL_EXIT_CODE = 137
+
+
+class ChaosError(RuntimeError):
+    """The injected failure raised by ``raise-task`` directives."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed form of ``REPRO_CHAOS`` (+ the marker directory)."""
+
+    kill_worker: frozenset[int] = frozenset()
+    kill_task: dict[int, int] = field(default_factory=dict)
+    raise_task: dict[int, int] = field(default_factory=dict)
+    latency: float = 0.0
+    dir: Path | None = None
+
+    @property
+    def needs_dir(self) -> bool:
+        return bool(self.kill_worker or self.kill_task or self.raise_task)
+
+
+def _parse_times(arg: str) -> tuple[int, int]:
+    """``"K"`` or ``"KxR"`` -> (index, repeat count)."""
+    index, _, times = arg.partition("x")
+    return int(index), int(times) if times else 1
+
+
+def _parse(spec: str, dir_value: str | None) -> ChaosConfig:
+    kill_worker: set[int] = set()
+    kill_task: dict[int, int] = {}
+    raise_task: dict[int, int] = {}
+    latency = 0.0
+    for raw in spec.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        name, sep, arg = raw.partition(":")
+        if not sep:
+            raise ValueError(f"chaos directive {raw!r} is missing its ':ARG'")
+        try:
+            if name == "kill-worker":
+                kill_worker.add(int(arg))
+            elif name == "kill-task":
+                index, times = _parse_times(arg)
+                kill_task[index] = times
+            elif name == "raise-task":
+                index, times = _parse_times(arg)
+                raise_task[index] = times
+            elif name == "latency-ms":
+                latency = float(arg) / 1000.0
+            else:
+                raise ValueError(
+                    f"unknown chaos directive {name!r}; known: kill-worker, "
+                    "kill-task, raise-task, latency-ms"
+                )
+        except ValueError as err:
+            if "chaos directive" in str(err):
+                raise
+            raise ValueError(f"bad chaos directive {raw!r}: {err}") from err
+    config = ChaosConfig(
+        kill_worker=frozenset(kill_worker),
+        kill_task=kill_task,
+        raise_task=raise_task,
+        latency=latency,
+        dir=Path(dir_value) if dir_value else None,
+    )
+    if config.needs_dir and config.dir is None:
+        raise ValueError(
+            f"{ENV_CHAOS}={spec!r} needs {ENV_CHAOS_DIR} set to a directory "
+            "for its cross-process once-only bookkeeping"
+        )
+    return config
+
+
+#: Memoized (spec, dir) -> config, so per-chunk hooks don't re-parse.
+_MEMO: tuple[tuple[str, str | None], ChaosConfig] | None = None
+
+
+def chaos_config() -> ChaosConfig | None:
+    """The active chaos configuration, or ``None`` (the common case)."""
+    global _MEMO
+    spec = os.environ.get(ENV_CHAOS)
+    if not spec:
+        return None
+    key = (spec, os.environ.get(ENV_CHAOS_DIR))
+    if _MEMO is None or _MEMO[0] != key:
+        _MEMO = (key, _parse(*key))
+    return _MEMO[1]
+
+
+def _claim(config: ChaosConfig, name: str, budget: int) -> bool:
+    """Atomically claim one of ``budget`` firings of fault ``name``.
+
+    Marker files in the chaos dir make the budget global across worker
+    processes, pool rebuilds and retries: each firing owns one marker,
+    and once all are claimed the fault never fires again.
+    """
+    config.dir.mkdir(parents=True, exist_ok=True)
+    for i in range(budget):
+        try:
+            fd = os.open(
+                config.dir / f"fired-{name}-{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+#: Ordinal this worker claimed at initialization (None outside workers
+#: or when no kill-worker directive targets it).
+_ARMED_KILL_ORDINAL: int | None = None
+
+
+def on_worker_start() -> None:
+    """Scheduler worker initializer hook: claim an ordinal, arm kills."""
+    global _ARMED_KILL_ORDINAL
+    _ARMED_KILL_ORDINAL = None
+    config = chaos_config()
+    if config is None or not config.kill_worker:
+        return
+    ordinal = 0
+    config.dir.mkdir(parents=True, exist_ok=True)
+    while True:  # claim the next free worker ordinal
+        try:
+            fd = os.open(
+                config.dir / f"worker-{ordinal}",
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            ordinal += 1
+            continue
+        os.close(fd)
+        break
+    if ordinal in config.kill_worker:
+        _ARMED_KILL_ORDINAL = ordinal
+
+
+def on_task(index: int, in_worker: bool) -> None:
+    """Per-chunk hook: inject latency, death or an exception for ``index``.
+
+    Kills are suppressed outside worker processes so chaos can never
+    take down the driver (the serial-fallback path must survive the
+    very faults that broke the pool).
+    """
+    config = chaos_config()
+    if config is None:
+        return
+    if config.latency:
+        time.sleep(config.latency)
+    if in_worker:
+        if _ARMED_KILL_ORDINAL is not None and _claim(
+            config, f"kill-worker-{_ARMED_KILL_ORDINAL}", 1
+        ):
+            os._exit(KILL_EXIT_CODE)
+        budget = config.kill_task.get(index)
+        if budget and _claim(config, f"kill-task-{index}", budget):
+            os._exit(KILL_EXIT_CODE)
+    budget = config.raise_task.get(index)
+    if budget and _claim(config, f"raise-task-{index}", budget):
+        raise ChaosError(f"chaos: injected failure in chunk {index}")
+
+
+# ----------------------------------------------------------------------
+# At-rest corruption helpers (for cache/journal integrity tests)
+
+
+def truncate_file(path: str | os.PathLike, keep_bytes: int = 0) -> Path:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes (torn write)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(0, keep_bytes)])
+    return path
+
+
+def corrupt_file(path: str | os.PathLike, garbage: bytes = b'\x00{"corrupt') -> Path:
+    """Overwrite the head of ``path`` with ``garbage`` (bit rot)."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(garbage + data[len(garbage):])
+    return path

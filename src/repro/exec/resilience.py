@@ -1,0 +1,349 @@
+"""Fault tolerance for study execution: retries, journals, structured errors.
+
+The reproduction is *about* surviving failures mid-computation, and the
+execution layer practices the same discipline on itself:
+
+* :class:`RetryPolicy` — how the scheduler retries a failed scenario and
+  when a repeatedly-broken process pool is abandoned for serial
+  in-process execution.  Backoff is exponential with *deterministic*
+  jitter derived from the run seed, so two identical invocations retry
+  on identical timetables (no wall-clock randomness sneaks into runs).
+* :class:`RunJournal` — an append-only, per-line checksummed JSONL file
+  of completed per-scenario results (the ``repro-journal/1`` format).
+  Every completed scenario is flushed and fsynced immediately, so a
+  killed run — worker segfault, driver SIGKILL, Ctrl-C — leaves a valid
+  journal behind and a re-invocation resumes from the first incomplete
+  scenario, reproducing the finished rows bitwise from the journal
+  instead of recomputing them.
+* :class:`StudyExecutionError` / :class:`StudyInterrupted` — structured
+  failures that carry the partial results and the run record instead of
+  a bare traceback, so aborted runs stay diagnosable from artifacts.
+
+Journal format (``repro-journal/1``)
+------------------------------------
+One JSON object per line, each carrying a ``"sha256"`` checksum of its
+own canonical serialization (the Aupy-style silent-error guard: an entry
+is never trusted unverified).  Two record kinds:
+
+``{"kind": "study", "format": "repro-journal/1", "study": id,
+"study_hash": h, "seed": s, "scenarios": n, "sha256": ...}``
+    Opens (or re-opens, after a spec change) a study section.
+
+``{"kind": "scenario", "study_hash": h, "index": i, "label": l,
+"seed": derived, "outcome": {...}, "sha256": ...}``
+    One completed scenario; ``outcome`` is the
+    :class:`~repro.experiments.records.TechniqueOutcome` dict form,
+    which round-trips floats exactly (JSON ``repr`` fidelity).
+
+A truncated final line (the torn write of a killed process) and any
+line failing its checksum are skipped with a single stderr warning;
+entries are independent, so every *verified* line remains usable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import sys
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # runtime import would cycle through experiments
+    from ..experiments.records import TechniqueOutcome
+    from ..scenarios.spec import StudySpec
+
+__all__ = [
+    "JOURNAL_FORMAT",
+    "JournalMismatchError",
+    "RetryPolicy",
+    "RunJournal",
+    "StudyExecutionError",
+    "StudyInterrupted",
+    "atomic_write_text",
+]
+
+#: Journal schema identifier; bump on incompatible format changes.
+JOURNAL_FORMAT = "repro-journal/1"
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+    The same torn-write guard the optimization cache uses: a reader (or
+    a crash mid-write) never sees a half-written file, only the old
+    content or the new.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler retries failures and degrades on pool breakage.
+
+    ``max_attempts`` bounds executions *per scenario* (first try
+    included); ``max_pool_rebuilds`` bounds how many times a
+    ``BrokenProcessPool`` is answered by building a fresh pool before
+    the scheduler gives up on multiprocessing and finishes the remaining
+    scenarios serially in-process.  Delays grow exponentially from
+    ``base_delay`` with deterministic jitter: the jitter stream is keyed
+    on ``(seed, key, attempt)``, so a given run retries on a
+    reproducible timetable.
+    """
+
+    max_attempts: int = 3
+    max_pool_rebuilds: int = 2
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if self.base_delay == 0:
+            return 0.0
+        rng = random.Random(zlib.crc32(f"{self.seed}/{key}/{attempt}".encode()))
+        raw = self.base_delay * (2 ** (attempt - 1)) * (0.5 + rng.random())
+        return min(raw, self.max_delay)
+
+
+# ----------------------------------------------------------------------
+# Structured failures
+
+
+class StudyExecutionError(RuntimeError):
+    """A study failed after retries were exhausted; partial results ride along.
+
+    ``partial`` is the task-order result list with ``None`` holes for
+    the scenarios that never completed, ``completed`` counts the filled
+    ones, ``events`` is the retry/rebuild event log up to the failure,
+    and ``record`` (set by :func:`~repro.scenarios.pipeline.execute_study`)
+    is the partial :class:`~repro.scenarios.manifest.StudyRunRecord`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: str = "",
+        partial: list | None = None,
+        completed: int = 0,
+        events: list | None = None,
+    ):
+        super().__init__(message)
+        self.label = label
+        self.partial = partial if partial is not None else []
+        self.completed = completed
+        self.events = events if events is not None else []
+        self.record: Any = None
+
+
+class StudyInterrupted(KeyboardInterrupt):
+    """Ctrl-C mid-study, with the partial run record attached.
+
+    Subclasses :class:`KeyboardInterrupt` so generic interrupt handling
+    (and the 130 exit convention) still applies; the CLI uses the
+    attached ``record`` to emit an ``"aborted"`` manifest.
+    """
+
+    def __init__(self, message: str = "", *, completed: int = 0):
+        super().__init__(message)
+        self.completed = completed
+        self.record: Any = None
+
+
+class JournalMismatchError(ValueError):
+    """A journal's recorded study does not match the spec being executed."""
+
+
+# ----------------------------------------------------------------------
+# Run journal
+
+
+def _checksum(record: dict) -> str:
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class RunJournal:
+    """Append-only checksummed JSONL journal of completed scenarios.
+
+    One journal file can hold several study sections (the CLI's ``all``
+    shares one journal across its seven studies); scenario entries are
+    keyed by ``study_hash``, and a new ``study`` header for an already-
+    seen study id supersedes the old section (spec changed -> old
+    entries are unreachable for resume, by construction).
+
+    Appends are flushed and fsynced per entry, so the journal is crash-
+    consistent: at worst the final line is torn, and the loader skips
+    unverifiable lines.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fh = None
+        #: study id -> most recent study_hash headered for it
+        self._latest: dict[str, str] = {}
+        #: study_hash -> {scenario index -> verified entry dict}
+        self._entries: dict[str, dict[int, dict]] = {}
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return
+        bad = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = self._verify(line)
+            if record is None:
+                bad += 1
+                continue
+            if record.get("kind") == "study":
+                self._latest[str(record["study"])] = str(record["study_hash"])
+            elif record.get("kind") == "scenario":
+                section = self._entries.setdefault(str(record["study_hash"]), {})
+                section[int(record["index"])] = record
+        if bad:
+            print(
+                f"warning: journal {self.path}: skipped {bad} corrupt/"
+                "truncated line(s); only checksum-verified entries are resumed",
+                file=sys.stderr,
+            )
+
+    @staticmethod
+    def _verify(line: str) -> dict | None:
+        """Parse one journal line; ``None`` unless its checksum verifies."""
+        try:
+            record = json.loads(line)
+            stated = record.pop("sha256")
+        except (ValueError, KeyError, TypeError, AttributeError):
+            return None
+        if not isinstance(record, dict) or _checksum(record) != stated:
+            return None
+        return record
+
+    # -- querying ------------------------------------------------------
+    def recorded_hash(self, study_id: str) -> str | None:
+        """The study_hash of the latest journaled section for ``study_id``."""
+        return self._latest.get(study_id)
+
+    def resume_state(self, study: "StudySpec") -> dict[int, "TechniqueOutcome"]:
+        """Completed outcomes journaled for exactly this study spec.
+
+        Raises :class:`JournalMismatchError` when the journal's latest
+        section for this study id was written by a *different* spec
+        (changed seed/trials/scenarios -> different ``study_hash``) —
+        resuming would silently mix incompatible rows.
+        """
+        from ..experiments.records import TechniqueOutcome
+
+        recorded = self._latest.get(study.study_id)
+        if recorded is None:
+            return {}
+        expected = study.study_hash()
+        if recorded != expected:
+            raise JournalMismatchError(
+                f"journal {self.path} records study {study.study_id!r} with "
+                f"hash {recorded[:12]}..., but the spec being executed hashes "
+                f"to {expected[:12]}... — the study definition changed "
+                "(seed, trials, scenarios or options); pass --no-resume to "
+                "start fresh or point --resume at the matching journal"
+            )
+        out: dict[int, TechniqueOutcome] = {}
+        for index, entry in self._entries.get(expected, {}).items():
+            if 0 <= index < len(study.scenarios):
+                out[index] = TechniqueOutcome.from_dict(entry["outcome"])
+        return out
+
+    # -- writing -------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        record = dict(record)
+        record["sha256"] = _checksum(record)
+        if self._fh is None:
+            if self.path.parent and not self.path.parent.exists():
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def begin_study(self, study: "StudySpec") -> None:
+        """Open a section for ``study`` (no-op when it is already current)."""
+        study_hash = study.study_hash()
+        if self._latest.get(study.study_id) == study_hash:
+            return
+        self._append(
+            {
+                "kind": "study",
+                "format": JOURNAL_FORMAT,
+                "study": study.study_id,
+                "study_hash": study_hash,
+                "seed": study.seed,
+                "scenarios": len(study.scenarios),
+            }
+        )
+        self._latest[study.study_id] = study_hash
+
+    def record_scenario(
+        self,
+        study_hash: str,
+        index: int,
+        label: str,
+        seed: int | None,
+        outcome: "TechniqueOutcome",
+    ) -> None:
+        """Journal one completed scenario (flushed + fsynced before return)."""
+        entry = {
+            "kind": "scenario",
+            "study_hash": study_hash,
+            "index": int(index),
+            "label": label,
+            "seed": seed,
+            "outcome": outcome.to_dict(),
+        }
+        self._append(entry)
+        self._entries.setdefault(study_hash, {})[int(index)] = entry
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

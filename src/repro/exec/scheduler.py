@@ -1,4 +1,4 @@
-"""Scenario scheduler: order-stable fan-out of independent experiment units.
+"""Scenario scheduler: order-stable, fault-tolerant fan-out of experiment units.
 
 Every figure of the reproduction is a flat list of independent
 (system, technique, options) scenarios, each internally sequential
@@ -19,22 +19,47 @@ Worker processes are initialized with:
   worker can never spawn a second, nested process pool for its trials;
 * the parent's process-wide trial-engine default (see
   :func:`repro.simulator.run.set_default_engine`), so ``--engine`` governs
-  every worker no matter the pool start method.
+  every worker no matter the pool start method;
+* the chaos harness (:mod:`repro.exec.chaos`), when ``REPRO_CHAOS`` is
+  set, so fault-injection tests exercise this real pool path.
 
 Each task additionally ships its stage wall-clock and cache-stats deltas
 back to the parent, so CLI reporting sees the whole run's totals no matter
 where the work executed.
+
+Fault tolerance (the degradation ladder)
+----------------------------------------
+Failures are answered per the :class:`~repro.exec.resilience.RetryPolicy`:
+
+1. a task raising an ordinary exception is retried in place, up to
+   ``max_attempts`` executions with deterministic exponential backoff;
+2. a dead worker (``BrokenProcessPool`` — segfault, OOM-kill, injected
+   ``os._exit``) is answered by building a **fresh pool** and resubmitting
+   every not-yet-completed task, up to ``max_pool_rebuilds`` times;
+3. past that, the scheduler stops trusting multiprocessing entirely and
+   finishes the remaining tasks **serially in-process** (loud stderr
+   note; recorded in ``events`` and thence the run manifest).
+
+Exhausted retries raise a structured
+:class:`~repro.exec.resilience.StudyExecutionError` carrying the partial
+result list instead of a bare traceback.  Completed results are reported
+incrementally through ``on_result`` (completion order), which is how the
+run journal stays crash-consistent: a result is journaled the moment it
+exists, not when the whole study finishes.
 """
 
 from __future__ import annotations
 
 import sys
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from . import metrics
+from . import chaos, metrics
 from .cache import CacheStats, OptimizationCache, get_active_cache, set_active_cache
+from .resilience import RetryPolicy, StudyExecutionError
 
 __all__ = ["ScenarioTask", "resolve_sim_workers", "run_scenarios"]
 
@@ -113,22 +138,114 @@ def _worker_init(cache_dir, cache_enabled: bool, default_engine: str = "auto") -
 
     simulator_run.set_inline_mode(True)
     simulator_run.set_default_engine(default_engine)
+    chaos.on_worker_start()
 
 
-def _run_remote(task: ScenarioTask):
+def _run_remote(task: ScenarioTask, index: int = 0):
     """Execute one task in a worker, returning (result, stage/cache deltas)."""
     stage_before = metrics.stage_snapshot()
     cache = get_active_cache()
     cache_before = cache.stats.snapshot() if cache is not None else CacheStats()
+    chaos.on_task(index, in_worker=True)
     result = task.fn(*task.args, **task.kwargs)
     stage_after = metrics.stage_delta(stage_before)
     cache_after = cache.stats.delta(cache_before) if cache is not None else CacheStats()
     return result, stage_after, cache_after
 
 
+class _TaskState:
+    """Bookkeeping shared by the inline, pooled and fallback paths."""
+
+    def __init__(
+        self,
+        tasks: list[ScenarioTask],
+        policy: RetryPolicy,
+        events: list,
+        on_result: Callable[[int, Any], None] | None,
+    ):
+        self.tasks = tasks
+        self.policy = policy
+        self.events = events
+        self.on_result = on_result
+        self.results: list[Any] = [None] * len(tasks)
+        self.done: list[bool] = [False] * len(tasks)
+        self.attempts: list[int] = [0] * len(tasks)
+
+    def remaining(self) -> list[int]:
+        return [i for i, d in enumerate(self.done) if not d]
+
+    def complete(self, index: int, result: Any) -> None:
+        self.results[index] = result
+        self.done[index] = True
+        if self.on_result is not None:
+            self.on_result(index, result)
+
+    def fail(self, index: int, err: Exception) -> None:
+        """Count a failed attempt; raise when exhausted, else back off."""
+        self.attempts[index] += 1
+        label = self.tasks[index].label or f"task {index}"
+        if self.attempts[index] >= self.policy.max_attempts:
+            exc = StudyExecutionError(
+                f"scenario {label!r} failed after "
+                f"{self.attempts[index]} attempt(s): {err}",
+                label=label,
+                partial=list(self.results),
+                completed=sum(self.done),
+                events=list(self.events),
+            )
+            raise exc from err
+        self.events.append(
+            {
+                "event": "task_retry",
+                "task": label,
+                "attempt": self.attempts[index],
+                "error": str(err),
+            }
+        )
+        print(
+            f"warning: scenario {label!r} failed "
+            f"(attempt {self.attempts[index]}/{self.policy.max_attempts}): "
+            f"{err}; retrying",
+            file=sys.stderr,
+        )
+        time.sleep(self.policy.delay(self.attempts[index], key=label))
+
+
+def _run_serial(state: _TaskState) -> None:
+    """Execute every unfinished task inline, honoring the retry policy."""
+    for i in state.remaining():
+        while not state.done[i]:
+            task = state.tasks[i]
+            try:
+                if not _IN_SCENARIO_WORKER:
+                    chaos.on_task(i, in_worker=False)
+                result = task.fn(*task.args, **task.kwargs)
+            except Exception as err:
+                state.fail(i, err)  # raises StudyExecutionError when exhausted
+            else:
+                state.complete(i, result)
+
+
+def _drain_finished(state: _TaskState, fmap: dict, active) -> None:
+    """Harvest results of futures that finished before a pool broke."""
+    for fut in [f for f in fmap if f.done()]:
+        index = fmap.pop(fut)
+        try:
+            result, stage_d, cache_d = fut.result()
+        except BaseException:
+            continue  # broken/cancelled/failed: will be resubmitted
+        metrics.merge_stages(stage_d)
+        if active is not None:
+            active.stats.merge(cache_d)
+        state.complete(index, result)
+
+
 def run_scenarios(
     tasks: Sequence[ScenarioTask],
     workers: int = 1,
+    retry: RetryPolicy | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+    events: list | None = None,
 ) -> list[Any]:
     """Run ``tasks`` and return their results in task order.
 
@@ -136,32 +253,103 @@ def run_scenarios(
     worker) executes inline; otherwise tasks are distributed over a
     process pool.  Results are collected by submission index, never by
     completion order, so the output is identical either way.
+
+    ``retry`` configures the fault-tolerance ladder (module docstring);
+    the default :class:`~repro.exec.resilience.RetryPolicy` retries each
+    task up to three executions and rebuilds a broken pool twice before
+    degrading to serial.  ``on_result(index, result)`` fires the moment a
+    task completes (completion order — the journaling hook), and retry/
+    rebuild/degradation events are appended to ``events`` when given.
     """
     tasks = list(tasks)
     if not tasks:
         return []
+    state = _TaskState(
+        tasks,
+        retry if retry is not None else RetryPolicy(),
+        events if events is not None else [],
+        on_result,
+    )
     if workers <= 1 or len(tasks) < 2 or _IN_SCENARIO_WORKER:
-        return [task.fn(*task.args, **task.kwargs) for task in tasks]
+        _run_serial(state)
+        return state.results
 
     from ..simulator import run as simulator_run
 
     active = get_active_cache()
     cache_dir = None if active is None or active.cache_dir is None else str(active.cache_dir)
-    results: list[Any] = [None] * len(tasks)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)),
-        initializer=_worker_init,
-        initargs=(cache_dir, active is not None, simulator_run.get_default_engine()),
-    ) as pool:
-        futures = [pool.submit(_run_remote, task) for task in tasks]
-        for i, fut in enumerate(futures):
+    initargs = (cache_dir, active is not None, simulator_run.get_default_engine())
+    rebuilds = 0
+    pool = None
+    try:
+        while not all(state.done):
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks)),
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+            fmap = {
+                pool.submit(_run_remote, tasks[i], i): i for i in state.remaining()
+            }
             try:
-                result, stage_d, cache_d = fut.result()
-            except Exception as err:
-                label = tasks[i].label or f"task {i}"
-                raise RuntimeError(f"scenario {label!r} failed: {err}") from err
-            results[i] = result
-            metrics.merge_stages(stage_d)
-            if active is not None:
-                active.stats.merge(cache_d)
-    return results
+                while fmap:
+                    finished, _ = wait(list(fmap), return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        index = fmap.pop(fut)
+                        try:
+                            result, stage_d, cache_d = fut.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as err:
+                            state.fail(index, err)  # raises when exhausted
+                            fmap[pool.submit(_run_remote, tasks[index], index)] = index
+                        else:
+                            metrics.merge_stages(stage_d)
+                            if active is not None:
+                                active.stats.merge(cache_d)
+                            state.complete(index, result)
+                pool.shutdown()
+                pool = None
+            except BrokenProcessPool as err:
+                _drain_finished(state, fmap, active)
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                rebuilds += 1
+                remaining = len(state.remaining())
+                if rebuilds > state.policy.max_pool_rebuilds:
+                    state.events.append(
+                        {
+                            "event": "serial_fallback",
+                            "pool_failures": rebuilds,
+                            "remaining": remaining,
+                        }
+                    )
+                    print(
+                        f"warning: process pool died {rebuilds} time(s) "
+                        f"({err}); giving up on multiprocessing and running "
+                        f"the remaining {remaining} scenario(s) serially "
+                        "in-process",
+                        file=sys.stderr,
+                    )
+                    _run_serial(state)
+                    break
+                state.events.append(
+                    {
+                        "event": "pool_rebuild",
+                        "pool_failures": rebuilds,
+                        "remaining": remaining,
+                    }
+                )
+                print(
+                    f"warning: a scenario worker died ({err}); rebuilding "
+                    f"the process pool (rebuild {rebuilds}/"
+                    f"{state.policy.max_pool_rebuilds}) and resubmitting "
+                    f"{remaining} scenario(s)",
+                    file=sys.stderr,
+                )
+                time.sleep(state.policy.delay(rebuilds, key="pool"))
+    finally:
+        if pool is not None:
+            # Error/interrupt path: don't wait on in-flight work.
+            pool.shutdown(wait=False, cancel_futures=True)
+    return state.results

@@ -104,10 +104,12 @@ def study(trials: int = 100, seed: int = 0) -> StudySpec:
 
 
 def run(
-    trials: int = 100, seed: int = 0, workers: int = 1, sim_workers: int = 1
+    trials: int = 100, seed: int = 0, workers: int = 1, sim_workers: int = 1,
+    **exec_options,
 ) -> ExperimentResult:
     spec = study(trials=trials, seed=seed)
-    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
+                         **exec_options)
     rows = []
     for scenario, out in zip(spec.scenarios, srun.outcomes):
         pred = out.predicted_efficiency if scenario.tags["show predicted"] else None

@@ -62,9 +62,11 @@ def run(
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
     sim_workers: int = 1,
+    **exec_options,
 ) -> ExperimentResult:
     spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems)
-    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
+                         **exec_options)
     rows = []
     for out in srun.outcomes:
         fr = out.breakdown_fractions

@@ -73,9 +73,11 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
+    **exec_options,
 ) -> ExperimentResult:
     spec = study(trials=trials, seed=seed, techniques=techniques)
-    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
+                         **exec_options)
     rows = []
     for scenario, out in zip(spec.scenarios, srun.outcomes):
         rows.append(

@@ -65,9 +65,11 @@ def run(
     workers: int = 1,
     systems: tuple[str, ...] = ("M", "B", "D1", "D4", "D7", "D9"),
     sim_workers: int = 1,
+    **exec_options,
 ) -> ExperimentResult:
     spec = study(trials=trials, seed=seed, systems=systems)
-    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
+                         **exec_options)
     rows = []
     for scenario, out in zip(spec.scenarios, srun.outcomes):
         rows.append(

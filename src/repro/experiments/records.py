@@ -39,6 +39,48 @@ class TechniqueOutcome:
         """Predicted minus simulated efficiency — Figure 6's quantity."""
         return self.predicted_efficiency - self.simulated_efficiency
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form; floats survive a dump/load round trip bitwise.
+
+        This is the run journal's scenario payload: a resumed outcome
+        must equal the freshly computed one exactly, which JSON's
+        ``repr``-based float serialization guarantees.
+        """
+        return {
+            "system": self.system,
+            "technique": self.technique,
+            "plan": self.plan,
+            "predicted_efficiency": self.predicted_efficiency,
+            "simulated_efficiency": self.simulated_efficiency,
+            "simulated_std": self.simulated_std,
+            "trials": self.trials,
+            "predicted_time": self.predicted_time,
+            "mean_time": self.mean_time,
+            "completed_fraction": self.completed_fraction,
+            "breakdown_fractions": dict(self.breakdown_fractions),
+            "mean_failures": self.mean_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TechniqueOutcome":
+        return cls(
+            system=str(data["system"]),
+            technique=str(data["technique"]),
+            plan=str(data["plan"]),
+            predicted_efficiency=float(data["predicted_efficiency"]),
+            simulated_efficiency=float(data["simulated_efficiency"]),
+            simulated_std=float(data["simulated_std"]),
+            trials=int(data["trials"]),
+            predicted_time=float(data["predicted_time"]),
+            mean_time=float(data["mean_time"]),
+            completed_fraction=float(data["completed_fraction"]),
+            breakdown_fractions={
+                str(k): float(v)
+                for k, v in dict(data.get("breakdown_fractions", {})).items()
+            },
+            mean_failures=float(data.get("mean_failures", 0.0)),
+        )
+
 
 def _fmt(value: Any, spec: str | None) -> str:
     if value is None:

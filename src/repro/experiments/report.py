@@ -38,6 +38,12 @@ def render_report(results: Iterable[ExperimentResult]) -> str:
 
 
 def write_report(results: Iterable[ExperimentResult], path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(render_report(results))
-    return path
+    """Render and write the report atomically (temp file + rename).
+
+    The CLI also calls this from its interrupt path to flush a *partial*
+    report; atomic replacement guarantees the file on disk is always a
+    complete render, never a torn write.
+    """
+    from ..exec.resilience import atomic_write_text
+
+    return atomic_write_text(Path(path), render_report(results))

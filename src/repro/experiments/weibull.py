@@ -75,9 +75,11 @@ def run(
     workers: int = 1,
     systems: tuple[str, ...] = ("D2", "D5", "D8"),
     sim_workers: int = 1,
+    **exec_options,
 ) -> ExperimentResult:
     spec = study(trials=trials, seed=seed, systems=systems)
-    srun = execute_study(spec, workers=workers, sim_workers=sim_workers)
+    srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
+                         **exec_options)
     rows = []
     for scenario, out in zip(spec.scenarios, srun.outcomes):
         rows.append(

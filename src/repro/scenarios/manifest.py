@@ -48,7 +48,10 @@ class StudyRunRecord:
     (after the scenario's seed policy was applied to the study's base
     seed).  ``stages`` maps stage name to ``{"seconds", "count"}`` and
     ``cache`` carries the optimization-cache counter deltas for exactly
-    this execution.
+    this execution.  ``resilience`` records the fault-tolerance story of
+    the execution: how many scenarios were resumed from a journal versus
+    executed fresh, the journal path, and every retry / pool-rebuild /
+    serial-fallback event the scheduler logged.
     """
 
     study: str
@@ -57,6 +60,7 @@ class StudyRunRecord:
     scenarios: list[dict[str, Any]] = field(default_factory=list)
     stages: dict[str, dict[str, float]] = field(default_factory=dict)
     cache: dict[str, int] = field(default_factory=dict)
+    resilience: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -66,6 +70,7 @@ class StudyRunRecord:
             "scenarios": list(self.scenarios),
             "stages": dict(self.stages),
             "cache": dict(self.cache),
+            "resilience": dict(self.resilience),
         }
 
     @classmethod
@@ -77,17 +82,27 @@ class StudyRunRecord:
             scenarios=list(data.get("scenarios", [])),
             stages=dict(data.get("stages", {})),
             cache=dict(data.get("cache", {})),
+            resilience=dict(data.get("resilience", {})),
         )
 
 
 @dataclass
 class RunManifest:
-    """One CLI invocation's reproducibility record (JSON-serializable)."""
+    """One CLI invocation's reproducibility record (JSON-serializable).
+
+    ``status`` is ``"complete"`` for a run that finished every requested
+    experiment and ``"aborted"`` otherwise (Ctrl-C, exhausted retries);
+    an aborted manifest still carries the records of everything that
+    *did* complete plus an ``error`` summary, so failed runs are
+    diagnosable from their artifacts alone.
+    """
 
     studies: list[StudyRunRecord] = field(default_factory=list)
     workers: int = 1
     sim_workers: int = 1
     created: str = ""
+    status: str = "complete"
+    error: str = ""
     versions: dict[str, str] = field(default_factory=package_versions)
 
     def __post_init__(self) -> None:
@@ -103,19 +118,28 @@ class RunManifest:
         self.studies.append(record)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "manifest_version": MANIFEST_VERSION,
             "created": self.created,
+            "status": self.status,
             "workers": self.workers,
             "sim_workers": self.sim_workers,
             "versions": dict(self.versions),
             "studies": [s.to_dict() for s in self.studies],
         }
+        if self.error:
+            out["error"] = self.error
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path: str | Path) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the manifest atomically (temp file + rename).
+
+        An interrupt arriving mid-write must never leave a torn manifest
+        next to the report — same contract as the cache and the journal.
+        """
+        from ..exec.resilience import atomic_write_text
+
+        return atomic_write_text(Path(path), self.to_json() + "\n")

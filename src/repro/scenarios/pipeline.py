@@ -21,13 +21,19 @@ Equality is asserted by ``tests/test_scenarios_regression.py``.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from ..exec import (
     OptimizationCache,
+    RetryPolicy,
+    RunJournal,
     ScenarioTask,
+    StudyExecutionError,
+    StudyInterrupted,
     get_active_cache,
     record_stage,
     resolve_sim_workers,
@@ -37,6 +43,7 @@ from ..exec import (
     stage_snapshot,
 )
 from ..exec.cache import CacheStats
+from ..exec.resilience import JournalMismatchError
 from ..models import TECHNIQUES
 from .manifest import StudyRunRecord
 from .spec import ScenarioSpec, StudySpec
@@ -45,6 +52,10 @@ if TYPE_CHECKING:  # runtime import would cycle: experiments imports scenarios
     from ..experiments.records import ExperimentResult, TechniqueOutcome
 
 __all__ = ["StudyRun", "execute_study", "generic_result", "scenario_seed"]
+
+#: Accepted ``resume`` arguments of :func:`execute_study` (bools are
+#: aliases: ``True`` -> ``"auto"``, ``False`` -> ``"never"``).
+_RESUME_MODES = ("auto", "require", "never")
 
 
 def scenario_seed(scenario: ScenarioSpec, base_seed: int | None) -> int | None:
@@ -163,46 +174,14 @@ class StudyRun:
     record: StudyRunRecord
 
 
-def execute_study(
-    study: StudySpec, workers: int = 1, sim_workers: int = 1
-) -> StudyRun:
-    """Execute every scenario of ``study`` through the shared scheduler.
-
-    ``workers`` fans scenarios over the process pool; ``sim_workers``
-    parallelizes trials within each scenario and only applies when
-    ``workers <= 1`` (a dropped request warns once, see
-    :func:`repro.exec.resolve_sim_workers`).  When no optimization cache
-    is active, a temporary in-memory cache is installed for the duration
-    so duplicate sweeps inside one study are computed once — results are
-    unchanged either way (the sweep is a pure function).
-
-    Returns outcomes **in scenario order** regardless of worker count,
-    plus a :class:`StudyRunRecord` of the derived seeds, trial counts,
-    cache hit/miss deltas and per-stage wall-clock for exactly this call.
-    """
-    sim_w = resolve_sim_workers(workers, sim_workers)
-    temp_cache_installed = get_active_cache() is None
-    if temp_cache_installed:
-        previous = set_active_cache(OptimizationCache())
-    cache = get_active_cache()
-    stage_before = stage_snapshot()
-    cache_before = cache.stats.snapshot() if cache is not None else CacheStats()
-    try:
-        tasks = [
-            ScenarioTask(
-                _execute_scenario,
-                args=(scenario, study.seed, sim_w),
-                label=scenario.label,
-            )
-            for scenario in study.scenarios
-        ]
-        outcomes = run_scenarios(tasks, workers=workers)
-    finally:
-        if temp_cache_installed:
-            set_active_cache(previous)
-    stages = stage_delta(stage_before)
-    cache_d = cache.stats.delta(cache_before) if cache is not None else CacheStats()
-    record = StudyRunRecord(
+def _build_record(
+    study: StudySpec,
+    stages: dict,
+    cache_d: CacheStats,
+    resilience: dict[str, Any],
+) -> StudyRunRecord:
+    """Assemble the per-study manifest record (complete or partial run)."""
+    return StudyRunRecord(
         study=study.study_id,
         study_hash=study.study_hash(),
         seed=study.seed,
@@ -226,7 +205,156 @@ def execute_study(
             "disk_hits": cache_d.disk_hits,
             "stores": cache_d.stores,
         },
+        resilience=resilience,
     )
+
+
+def execute_study(
+    study: StudySpec,
+    workers: int = 1,
+    sim_workers: int = 1,
+    journal: str | Path | RunJournal | None = None,
+    resume: bool | str = "auto",
+    retry: RetryPolicy | None = None,
+) -> StudyRun:
+    """Execute every scenario of ``study`` through the shared scheduler.
+
+    ``workers`` fans scenarios over the process pool; ``sim_workers``
+    parallelizes trials within each scenario and only applies when
+    ``workers <= 1`` (a dropped request warns once, see
+    :func:`repro.exec.resolve_sim_workers`).  When no optimization cache
+    is active, a temporary in-memory cache is installed for the duration
+    so duplicate sweeps inside one study are computed once — results are
+    unchanged either way (the sweep is a pure function).
+
+    Fault tolerance:
+
+    * ``journal`` — a path (or open :class:`~repro.exec.RunJournal`):
+      every completed scenario is appended, checksummed, flushed and
+      fsynced, so an interrupted run can be resumed.
+    * ``resume`` — ``"auto"`` (default; resume from matching journal
+      entries, start fresh with a stderr note when the journal was
+      written by a different spec), ``"require"`` (a mismatching journal
+      is a :class:`~repro.exec.JournalMismatchError`), or ``"never"``
+      (ignore existing entries).  ``True``/``False`` alias
+      ``"auto"``/``"never"``.  Resumed scenarios are **not** re-executed;
+      their outcomes are reconstructed from the journal bitwise.
+    * ``retry`` — the scheduler's :class:`~repro.exec.RetryPolicy`
+      (retries, pool rebuilds, serial degradation).
+
+    Returns outcomes **in scenario order** regardless of worker count,
+    plus a :class:`StudyRunRecord` of the derived seeds, trial counts,
+    cache hit/miss deltas, per-stage wall-clock and the resilience
+    summary (resumed vs executed counts, retry/degradation events) for
+    exactly this call.  On unrecoverable failure the raised
+    :class:`~repro.exec.StudyExecutionError` (or, for Ctrl-C,
+    :class:`~repro.exec.StudyInterrupted`) carries the partial record.
+    """
+    mode = {True: "auto", False: "never"}.get(resume, resume)
+    if mode not in _RESUME_MODES:
+        raise ValueError(f"resume must be one of {_RESUME_MODES}, got {resume!r}")
+    sim_w = resolve_sim_workers(workers, sim_workers)
+
+    owns_journal = journal is not None and not isinstance(journal, RunJournal)
+    jr: RunJournal | None = None
+    restored: dict[int, TechniqueOutcome] = {}
+    if journal is not None:
+        jr = journal if isinstance(journal, RunJournal) else RunJournal(journal)
+        if mode != "never":
+            try:
+                restored = jr.resume_state(study)
+            except JournalMismatchError:
+                if mode == "require":
+                    if owns_journal:
+                        jr.close()
+                    raise
+                print(
+                    f"warning: journal {jr.path} was written by a different "
+                    f"configuration of study {study.study_id!r}; starting "
+                    "this study fresh (pass --resume to make this an error)",
+                    file=sys.stderr,
+                )
+        jr.begin_study(study)
+    study_hash = study.study_hash()
+
+    temp_cache_installed = get_active_cache() is None
+    if temp_cache_installed:
+        previous = set_active_cache(OptimizationCache())
+    cache = get_active_cache()
+    stage_before = stage_snapshot()
+    cache_before = cache.stats.snapshot() if cache is not None else CacheStats()
+    events: list[dict[str, Any]] = []
+    pending = [i for i in range(len(study.scenarios)) if i not in restored]
+    outcomes_map: dict[int, TechniqueOutcome] = dict(restored)
+
+    def resilience(interrupted: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "resumed": len(restored),
+            "executed": len(outcomes_map) - len(restored),
+            "pending": len(study.scenarios) - len(outcomes_map),
+            "events": list(events),
+        }
+        if jr is not None:
+            out["journal"] = str(jr.path)
+        if interrupted:
+            out["interrupted"] = True
+        return out
+
+    def finish_record(interrupted: bool = False) -> StudyRunRecord:
+        stages = stage_delta(stage_before)
+        cache_d = (
+            cache.stats.delta(cache_before) if cache is not None else CacheStats()
+        )
+        return _build_record(study, stages, cache_d, resilience(interrupted))
+
+    def on_result(task_index: int, outcome: TechniqueOutcome) -> None:
+        index = pending[task_index]
+        outcomes_map[index] = outcome
+        if jr is not None:
+            scenario = study.scenarios[index]
+            jr.record_scenario(
+                study_hash,
+                index,
+                scenario.label,
+                scenario_seed(scenario, study.seed),
+                outcome,
+            )
+
+    try:
+        tasks = [
+            ScenarioTask(
+                _execute_scenario,
+                args=(study.scenarios[i], study.seed, sim_w),
+                label=study.scenarios[i].label,
+            )
+            for i in pending
+        ]
+        try:
+            run_scenarios(
+                tasks,
+                workers=workers,
+                retry=retry,
+                on_result=on_result,
+                events=events,
+            )
+        except StudyExecutionError as err:
+            err.record = finish_record(interrupted=True)
+            raise
+        except KeyboardInterrupt:
+            exc = StudyInterrupted(
+                f"study {study.study_id!r} interrupted after "
+                f"{len(outcomes_map)}/{len(study.scenarios)} scenario(s)",
+                completed=len(outcomes_map),
+            )
+            exc.record = finish_record(interrupted=True)
+            raise exc from None
+        outcomes = [outcomes_map[i] for i in range(len(study.scenarios))]
+    finally:
+        if temp_cache_installed:
+            set_active_cache(previous)
+        if owns_journal and jr is not None:
+            jr.close()
+    record = finish_record()
     return StudyRun(study=study, outcomes=outcomes, record=record)
 
 

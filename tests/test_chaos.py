@@ -1,0 +1,353 @@
+"""Fault-injection tests: real pools, real kills, real resumption.
+
+Everything here is marked ``chaos`` (CI runs ``pytest -m chaos`` as a
+dedicated fault-injection step).  The in-process tests drive the actual
+``ProcessPoolExecutor`` path with the :mod:`repro.exec.chaos` harness —
+worker processes inherit ``REPRO_CHAOS`` via fork — and the subprocess
+tests deliver SIGKILL/SIGINT to a real ``python -m repro`` driver and
+assert the resumed run reproduces an uninterrupted one byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    RetryPolicy,
+    ScenarioTask,
+    StudyExecutionError,
+    run_scenarios,
+    set_active_cache,
+)
+from repro.exec import chaos
+from repro.exec.chaos import ChaosError
+from repro.scenarios import ScenarioSpec, StudySpec, execute_study
+from repro.systems import TEST_SYSTEMS
+
+pytestmark = pytest.mark.chaos
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+_FAST = RetryPolicy(base_delay=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    previous = set_active_cache(None)
+    yield
+    set_active_cache(previous)
+
+
+@pytest.fixture
+def arm(monkeypatch, tmp_path):
+    """Arm the chaos harness for this (and forked worker) process(es)."""
+
+    def _arm(spec: str) -> Path:
+        marker_dir = tmp_path / "chaos-markers"
+        monkeypatch.setenv(chaos.ENV_CHAOS, spec)
+        monkeypatch.setenv(chaos.ENV_CHAOS_DIR, str(marker_dir))
+        return marker_dir
+
+    return _arm
+
+
+def _identity(value):
+    return value
+
+
+class TestDirectiveParsing:
+    def test_unknown_directive(self):
+        with pytest.raises(ValueError, match="unknown chaos directive"):
+            chaos._parse("explode:3", "/tmp/x")
+
+    def test_missing_arg(self):
+        with pytest.raises(ValueError, match="missing its ':ARG'"):
+            chaos._parse("latency-ms", None)
+
+    def test_missing_dir(self):
+        with pytest.raises(ValueError, match="REPRO_CHAOS_DIR"):
+            chaos._parse("kill-task:0", None)
+
+    def test_repeats_and_latency(self):
+        config = chaos._parse("kill-task:2x3,raise-task:1,latency-ms:250", "/d")
+        assert config.kill_task == {2: 3}
+        assert config.raise_task == {1: 1}
+        assert config.latency == 0.25
+
+    def test_inactive_without_env(self, monkeypatch):
+        monkeypatch.delenv(chaos.ENV_CHAOS, raising=False)
+        assert chaos.chaos_config() is None
+
+
+class TestInjectedExceptions:
+    def test_serial_retry_recovers(self, arm):
+        arm("raise-task:1x2")
+        events: list = []
+        tasks = [ScenarioTask(_identity, args=(i,), label=f"t{i}") for i in range(3)]
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        assert run_scenarios(tasks, retry=policy, events=events) == [0, 1, 2]
+        assert [e["event"] for e in events] == ["task_retry", "task_retry"]
+        assert all(e["task"] == "t1" for e in events)
+
+    def test_pooled_retry_recovers(self, arm, capsys):
+        arm("raise-task:0x1")
+        events: list = []
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(4)]
+        assert run_scenarios(tasks, workers=2, retry=_FAST, events=events) == [
+            0, 1, 2, 3,
+        ]
+        assert [e["event"] for e in events] == ["task_retry"]
+        capsys.readouterr()
+
+    def test_exhausted_budget_is_structured(self, arm, capsys):
+        arm("raise-task:0x9")
+        tasks = [
+            ScenarioTask(_identity, args=(0,), label="victim"),
+            ScenarioTask(_identity, args=(1,), label="ok"),
+        ]
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(StudyExecutionError, match="victim") as info:
+            run_scenarios(tasks, retry=policy)
+        assert info.value.label == "victim"
+        assert isinstance(info.value.__cause__, ChaosError)
+        capsys.readouterr()
+
+
+class TestWorkerKills:
+    def test_worker_kill_triggers_pool_rebuild(self, arm, capsys):
+        arm("kill-worker:0")
+        events: list = []
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(6)]
+        assert run_scenarios(tasks, workers=2, retry=_FAST, events=events) == list(
+            range(6)
+        )
+        kinds = [e["event"] for e in events]
+        assert "pool_rebuild" in kinds
+        assert "serial_fallback" not in kinds
+        assert "rebuilding" in capsys.readouterr().err
+
+    def test_repeated_kills_degrade_to_serial(self, arm, capsys):
+        # chunk 0 is murdered every time a pool tries it (budget 5); with
+        # one rebuild allowed the scheduler must finish serially — where
+        # kills are suppressed (never shoot the driver).
+        arm("kill-task:0x5")
+        events: list = []
+        policy = RetryPolicy(base_delay=0.0, max_pool_rebuilds=1)
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(4)]
+        assert run_scenarios(tasks, workers=2, retry=policy, events=events) == [
+            0, 1, 2, 3,
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("pool_rebuild") == 1
+        assert kinds.count("serial_fallback") == 1
+        err = capsys.readouterr().err
+        assert "giving up on multiprocessing" in err
+
+    def test_study_survives_worker_kill_and_records_events(self, arm, capsys):
+        arm("kill-worker:0")
+        study = StudySpec(
+            study_id="chaos-mini",
+            seed=5,
+            scenarios=tuple(
+                ScenarioSpec(system=TEST_SYSTEMS[s], technique=t, trials=2)
+                for s in ("M", "D1")
+                for t in ("dauwe", "daly")
+            ),
+        )
+        baseline = execute_study(study)  # no chaos in serial driver path
+        capsys.readouterr()
+        run = execute_study(study, workers=2, retry=_FAST)
+        assert run.outcomes == baseline.outcomes
+        kinds = [e["event"] for e in run.record.resilience["events"]]
+        assert "pool_rebuild" in kinds
+        capsys.readouterr()
+
+
+class TestFailedStudyJournalsCompletedWork:
+    def test_failure_then_resume_completes(self, arm, tmp_path, capsys):
+        study = StudySpec(
+            study_id="chaos-j",
+            seed=1,
+            scenarios=tuple(
+                ScenarioSpec(system=TEST_SYSTEMS["M"], technique=t, trials=2)
+                for t in ("dauwe", "daly")
+            ),
+        )
+        baseline = execute_study(study)
+        journal = tmp_path / "j.jsonl"
+
+        arm("raise-task:1x9")  # scenario 1 never succeeds this run
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(StudyExecutionError) as info:
+            execute_study(study, journal=journal, retry=policy)
+        record = info.value.record
+        assert record is not None
+        assert record.resilience["interrupted"] is True
+        assert record.resilience["executed"] == 1
+        assert record.resilience["pending"] == 1
+
+        # chaos off: the resumed run reuses scenario 0 and finishes 1
+        os.environ.pop(chaos.ENV_CHAOS)
+        resumed = execute_study(study, journal=journal, retry=policy)
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.record.resilience["resumed"] == 1
+        assert resumed.record.resilience["executed"] == 1
+        capsys.readouterr()
+
+
+def _strip_timestamp(report: str) -> str:
+    return "\n".join(
+        line for line in report.splitlines() if not line.startswith("*Generated ")
+    )
+
+
+def _cli_env(**extra: str) -> dict:
+    env = {**os.environ, "PYTHONPATH": _SRC}
+    env.pop(chaos.ENV_CHAOS, None)
+    env.pop(chaos.ENV_CHAOS_DIR, None)
+    env.update(extra)
+    return env
+
+
+def _cli_cmd(directory: Path) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "figure2",
+        "--trials", "2", "--seed", "1", "--techniques", "dauwe,daly",
+        "--no-cache", "--report", str(directory / "rep.md"),
+    ]
+
+
+def _wait_for_journal(proc, journal: Path, lines: int, timeout: float = 90.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.exists() and journal.read_text().count('"kind":"scenario"') >= lines:
+            return
+        if proc.poll() is not None:
+            pytest.fail(f"driver exited early with {proc.returncode}")
+        time.sleep(0.05)
+    pytest.fail(f"journal never reached {lines} scenario entries")
+
+
+def _verified_scenario_lines(journal: Path) -> int:
+    """Count checksum-verified scenario entries (a torn tail line doesn't)."""
+    from repro.exec.resilience import RunJournal
+
+    return sum(
+        1
+        for line in journal.read_text().splitlines()
+        if (record := RunJournal._verify(line)) and record.get("kind") == "scenario"
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_report(tmp_path_factory) -> str:
+    """One uninterrupted reference run shared by the kill/resume tests."""
+    base_dir = tmp_path_factory.mktemp("baseline")
+    subprocess.run(
+        _cli_cmd(base_dir), env=_cli_env(), check=True, capture_output=True
+    )
+    return _strip_timestamp((base_dir / "rep.md").read_text())
+
+
+class TestDriverKillAndResume:
+    """ISSUE acceptance: SIGKILL the driver mid-run, resume, identical rows."""
+
+    def test_sigkill_then_resume_reproduces_report(self, tmp_path, baseline_report):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        journal = run_dir / "rep.journal.jsonl"
+
+        # latency-ms slows each scenario so the kill lands mid-study
+        proc = subprocess.Popen(
+            _cli_cmd(run_dir),
+            env=_cli_env(REPRO_CHAOS="latency-ms:300"),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            _wait_for_journal(proc, journal, lines=2)
+            proc.kill()  # SIGKILL: no handlers, no cleanup
+        finally:
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        assert not (run_dir / "rep.md").exists()  # died before any report
+
+        survivors = _verified_scenario_lines(journal)
+        assert survivors >= 2  # fsync'd lines outlive the process
+
+        # Re-running the same command auto-resumes from the journal.
+        second = subprocess.run(
+            _cli_cmd(run_dir), env=_cli_env(), capture_output=True, text=True
+        )
+        assert second.returncode == 0
+        assert f"resumed {survivors} scenario(s)" in second.stderr
+
+        assert _strip_timestamp((run_dir / "rep.md").read_text()) == baseline_report
+
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        (record,) = manifest["studies"]
+        assert record["resilience"]["resumed"] == survivors
+        assert record["resilience"]["executed"] == 22 - survivors
+
+
+class TestExecutionFailureExitCode:
+    def test_exhausted_retries_exit_3_with_aborted_manifest(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        marker_dir = tmp_path / "markers"
+        proc = subprocess.run(
+            _cli_cmd(run_dir) + ["--max-retries", "0"],
+            env=_cli_env(
+                REPRO_CHAOS="raise-task:0x99", REPRO_CHAOS_DIR=str(marker_dir)
+            ),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 3
+        assert "failed after 1 attempt(s)" in proc.stderr
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "aborted"
+        assert "StudyExecutionError" in manifest["error"]
+
+
+class TestSigintGracefulAbort:
+    def test_sigint_flushes_artifacts_and_resumes(self, tmp_path, baseline_report):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        journal = run_dir / "rep.journal.jsonl"
+
+        proc = subprocess.Popen(
+            _cli_cmd(run_dir),
+            env=_cli_env(REPRO_CHAOS="latency-ms:300"),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        _wait_for_journal(proc, journal, lines=1)
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 130
+        assert "interrupted" in stderr
+        assert "re-run the same command to resume" in stderr
+
+        # the graceful path wrote an aborted manifest atomically
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "aborted"
+        assert "interrupted" in manifest["error"]
+
+        second = subprocess.run(
+            _cli_cmd(run_dir), env=_cli_env(), capture_output=True, text=True
+        )
+        assert second.returncode == 0
+        assert "resumed" in second.stderr
+        assert _strip_timestamp((run_dir / "rep.md").read_text()) == baseline_report
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "complete"

@@ -172,8 +172,94 @@ class TestManifestNextToReport:
         manifest_path = tmp_path / "EXP.manifest.json"
         assert manifest_path.exists()
         data = json.loads(manifest_path.read_text())
+        assert data["status"] == "complete"
         (record,) = data["studies"]
         assert record["study"] == "figure2"
         assert record["seed"] == 0
         assert len(record["scenarios"]) == 55
         assert {"repro", "numpy", "python"} <= set(data["versions"])
+
+
+class TestResumeFlagsAndExitCodes:
+    """The resilience surface of the CLI: journals, resume, exit codes."""
+
+    def _study_file(self, tmp_path):
+        study = {
+            "study": "toy",
+            "seed": 12,
+            "trials": 2,
+            "systems": ["M"],
+            "techniques": ["dauwe", "daly"],
+            "seed_policy": "fixed",
+        }
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(study))
+        return path
+
+    def test_resume_and_no_resume_conflict_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(["figure2", "--resume", "j.jsonl", "--no-resume"])
+        assert info.value.code == 2
+
+    def test_negative_max_retries_is_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["figure2", "--max-retries", "-1"])
+        assert info.value.code == 2
+
+    def test_report_run_journals_and_resumes(self, tmp_path, capsys):
+        path = self._study_file(tmp_path)
+        report = tmp_path / "out.md"
+        args = ["custom", "--study", str(path), "--report", str(report)]
+        assert main(args) == 0
+        journal = tmp_path / "out.journal.jsonl"
+        assert journal.exists()
+        assert journal.read_text().count('"kind":"scenario"') == 2
+        capsys.readouterr()
+
+        assert main(args) == 0
+        assert "resumed 2 scenario(s) from journal" in capsys.readouterr().err
+        (record,) = json.loads(
+            (tmp_path / "out.manifest.json").read_text()
+        )["studies"]
+        assert record["resilience"]["resumed"] == 2
+        assert record["resilience"]["executed"] == 0
+
+    def test_explicit_resume_mismatch_exits_4(self, tmp_path, capsys):
+        path = self._study_file(tmp_path)
+        journal = tmp_path / "j.jsonl"
+        assert main(
+            ["custom", "--study", str(path), "--resume", str(journal)]
+        ) == 0
+        capsys.readouterr()
+        # same journal, different seed -> different study_hash
+        assert main(
+            ["custom", "--study", str(path), "--seed", "5",
+             "--resume", str(journal)]
+        ) == 4
+        assert "study definition changed" in capsys.readouterr().err
+
+    def test_auto_detected_mismatch_warns_and_runs_fresh(self, tmp_path, capsys):
+        path = self._study_file(tmp_path)
+        report = tmp_path / "out.md"
+        base = ["custom", "--study", str(path), "--report", str(report)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "5"]) == 0
+        err = capsys.readouterr().err
+        assert "different configuration" in err
+        assert "starting this study fresh" in err
+
+    def test_no_resume_recomputes(self, tmp_path, capsys):
+        path = self._study_file(tmp_path)
+        report = tmp_path / "out.md"
+        base = ["custom", "--study", str(path), "--report", str(report)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--no-resume"]) == 0
+        assert "resumed" not in capsys.readouterr().err
+
+    def test_bad_study_file_still_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"study": "x", "systems": ["M"]}')
+        assert main(["custom", "--study", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

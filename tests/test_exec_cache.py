@@ -150,3 +150,83 @@ class TestOptimizationCache:
         finally:
             set_active_cache(previous)
         assert get_active_cache() is previous
+
+
+class TestEntryIntegrity:
+    """Disk entries are checksummed; anything unverifiable is quarantined."""
+
+    @pytest.fixture(autouse=True)
+    def _rearm_warning(self, monkeypatch):
+        from repro.exec import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_WARNED_CORRUPT_ENTRY", False)
+
+    def _entry_path(self, tiny2, tmp_path):
+        OptimizationCache(tmp_path).get_or_compute(tiny2, "dauwe", _result)
+        return tmp_path / f"{cache_key(tiny2, 'dauwe')}.json"
+
+    def test_entries_carry_checksum(self, tiny2, tmp_path):
+        import json
+
+        path = self._entry_path(tiny2, tmp_path)
+        data = json.loads(path.read_text())
+        assert len(data["sha256"]) == 64
+
+    def test_bit_rot_quarantines_and_recomputes(self, tiny2, tmp_path, capsys):
+        from repro.exec.chaos import corrupt_file
+
+        path = self._entry_path(tiny2, tmp_path)
+        corrupt_file(path)
+
+        cache = OptimizationCache(tmp_path)
+        out = cache.get_or_compute(tiny2, "dauwe", lambda: _result(7.7))
+        assert out.plan.tau0 == 7.7
+        assert path.with_suffix(".corrupt").exists()  # kept for forensics
+        assert "quarantined" in capsys.readouterr().err
+        # the recompute re-stored a valid entry
+        fresh = OptimizationCache(tmp_path)
+        assert fresh.get_or_compute(
+            tiny2, "dauwe", lambda: pytest.fail("should hit disk")
+        ).plan.tau0 == 7.7
+
+    def test_tampered_payload_fails_checksum(self, tiny2, tmp_path, capsys):
+        path = self._entry_path(tiny2, tmp_path)
+        path.write_text(path.read_text().replace('"tau0": 3.5', '"tau0": 9.5'))
+
+        cache = OptimizationCache(tmp_path)
+        assert cache.get(cache_key(tiny2, "dauwe")) is None
+        assert cache.stats.misses == 1
+        assert path.with_suffix(".corrupt").exists()
+        assert "sha256 mismatch" in capsys.readouterr().err
+
+    def test_truncated_entry_quarantined(self, tiny2, tmp_path, capsys):
+        from repro.exec.chaos import truncate_file
+
+        path = self._entry_path(tiny2, tmp_path)
+        truncate_file(path, keep_bytes=30)
+
+        assert OptimizationCache(tmp_path).get(cache_key(tiny2, "dauwe")) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_legacy_unchecksummed_entry_quarantined(self, tiny2, tmp_path, capsys):
+        import json
+
+        path = self._entry_path(tiny2, tmp_path)
+        data = json.loads(path.read_text())
+        del data["sha256"]  # the pre-checksum on-disk format
+        path.write_text(json.dumps(data))
+
+        assert OptimizationCache(tmp_path).get(cache_key(tiny2, "dauwe")) is None
+        assert path.with_suffix(".corrupt").exists()
+        assert "not a checksummed JSON entry" in capsys.readouterr().err
+
+    def test_warning_fires_once_per_process(self, tiny2, tiny3, tmp_path, capsys):
+        for spec in (tiny2, tiny3):
+            OptimizationCache(tmp_path).get_or_compute(spec, "dauwe", _result)
+            (tmp_path / f"{cache_key(spec, 'dauwe')}.json").write_text("{rot")
+
+        cache = OptimizationCache(tmp_path)
+        assert cache.get(cache_key(tiny2, "dauwe")) is None
+        assert cache.get(cache_key(tiny3, "dauwe")) is None
+        assert capsys.readouterr().err.count("warning:") == 1

@@ -1,0 +1,367 @@
+"""Tests for fault-tolerant execution: retries, run journal, resume.
+
+The chaos-injection tests that exercise the *real* process-pool path
+(worker kills, pool rebuilds, driver SIGKILL) live in ``test_chaos.py``;
+this module covers the resilience building blocks and the journal/resume
+contract in-process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import (
+    JournalMismatchError,
+    OptimizationCache,
+    RetryPolicy,
+    RunJournal,
+    ScenarioTask,
+    StudyExecutionError,
+    atomic_write_text,
+    run_scenarios,
+    set_active_cache,
+)
+from repro.exec import chaos
+from repro.exec.resilience import JOURNAL_FORMAT
+from repro.experiments.records import TechniqueOutcome
+from repro.scenarios import ScenarioSpec, StudySpec, execute_study
+from repro.simulator.run import set_default_engine
+from repro.systems import TEST_SYSTEMS
+
+
+@pytest.fixture(autouse=True)
+def _no_active_cache():
+    previous = set_active_cache(None)
+    yield
+    set_active_cache(previous)
+
+
+def _outcome(i: int = 0) -> TechniqueOutcome:
+    """An outcome with repr-unfriendly floats (round-trip stress)."""
+    return TechniqueOutcome(
+        system=f"S{i}",
+        technique="dauwe",
+        plan="L1 x3 / L2",
+        predicted_efficiency=0.1 + 0.2 + i,
+        simulated_efficiency=1.0 / 3.0,
+        simulated_std=2.0**-40,
+        trials=7 + i,
+        predicted_time=123.456789e-7,
+        mean_time=9.999999999999998,
+        completed_fraction=1.0,
+        breakdown_fractions={"checkpoint": 0.125, "rework": 1e-17},
+        mean_failures=1.5,
+    )
+
+
+def _study(seed: int = 3, trials: int = 4, systems=("M",)) -> StudySpec:
+    scenarios = tuple(
+        ScenarioSpec(system=TEST_SYSTEMS[name], technique=t, trials=trials)
+        for name in systems
+        for t in ("dauwe", "daly")
+    )
+    return StudySpec(study_id="mini", seed=seed, scenarios=scenarios)
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.txt"
+        assert atomic_write_text(target, "one") == target
+        assert target.read_text() == "one"
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+        # no temp droppings left behind
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestRetryPolicy:
+    def test_deterministic_jitter(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.delay(1, key="x") == b.delay(1, key="x")
+        assert a.delay(2, key="x") == b.delay(2, key="x")
+        # seed, key and attempt all perturb the jitter stream
+        assert a.delay(1, key="x") != RetryPolicy(seed=8).delay(1, key="x")
+        assert a.delay(1, key="x") != a.delay(1, key="y")
+        assert a.delay(1, key="x") != a.delay(2, key="x")
+
+    def test_exponential_envelope_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
+        for attempt in (1, 2, 3):
+            d = policy.delay(attempt)
+            assert 0.1 * 2 ** (attempt - 1) * 0.5 <= d or d == 1.0
+            assert d <= 1.0
+        assert policy.delay(30) == 1.0  # capped, no overflow
+
+    def test_zero_base_is_zero(self):
+        assert RetryPolicy(base_delay=0.0).delay(5, key="k") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="max_pool_rebuilds"):
+            RetryPolicy(max_pool_rebuilds=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-0.1)
+
+
+class TestTechniqueOutcomeRoundTrip:
+    def test_bitwise_through_json(self):
+        out = _outcome(1)
+        again = TechniqueOutcome.from_dict(json.loads(json.dumps(out.to_dict())))
+        assert again == out  # dataclass eq: exact float bits
+
+    def test_defaults_tolerated(self):
+        data = _outcome().to_dict()
+        data.pop("breakdown_fractions")
+        data.pop("mean_failures")
+        loaded = TechniqueOutcome.from_dict(data)
+        assert loaded.breakdown_fractions == {}
+        assert loaded.mean_failures == 0.0
+
+
+class TestRunJournal:
+    def _fill(self, path, study):
+        with RunJournal(path) as jr:
+            jr.begin_study(study)
+            h = study.study_hash()
+            for i, scenario in enumerate(study.scenarios):
+                jr.record_scenario(h, i, scenario.label, 11 + i, _outcome(i))
+
+    def test_round_trip(self, tmp_path):
+        study = _study()
+        path = tmp_path / "run.journal.jsonl"
+        self._fill(path, study)
+
+        again = RunJournal(path)
+        assert again.recorded_hash("mini") == study.study_hash()
+        restored = again.resume_state(study)
+        assert set(restored) == {0, 1}
+        assert restored[0] == _outcome(0)
+        assert restored[1] == _outcome(1)
+
+    def test_format_header_present(self, tmp_path):
+        study = _study()
+        path = tmp_path / "j.jsonl"
+        self._fill(path, study)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "study"
+        assert first["format"] == JOURNAL_FORMAT
+        assert first["scenarios"] == 2
+
+    def test_begin_study_is_idempotent(self, tmp_path):
+        study = _study()
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as jr:
+            jr.begin_study(study)
+            jr.begin_study(study)
+        with RunJournal(path) as jr:
+            jr.begin_study(study)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_torn_tail_is_skipped_with_warning(self, tmp_path, capsys):
+        study = _study()
+        path = tmp_path / "j.jsonl"
+        self._fill(path, study)
+        chaos.truncate_file(path, keep_bytes=len(path.read_bytes()) - 20)
+
+        restored = RunJournal(path).resume_state(study)
+        assert set(restored) == {0}  # last line torn, first survives
+        assert "skipped 1 corrupt" in capsys.readouterr().err
+
+    def test_corrupt_line_is_skipped(self, tmp_path, capsys):
+        study = _study()
+        path = tmp_path / "j.jsonl"
+        self._fill(path, study)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"index":0', '"index":1')  # bit flip
+        path.write_text("\n".join(lines) + "\n")
+
+        restored = RunJournal(path).resume_state(study)
+        assert set(restored) == {1}
+        assert "checksum-verified" in capsys.readouterr().err
+
+    def test_unchecksummed_line_is_skipped(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "study", "study": "mini"}\nnot json at all\n')
+        jr = RunJournal(path)
+        assert jr.recorded_hash("mini") is None
+        assert "skipped 2" in capsys.readouterr().err
+
+    def test_mismatched_spec_raises(self, tmp_path):
+        study = _study(seed=3)
+        path = tmp_path / "j.jsonl"
+        self._fill(path, study)
+        with pytest.raises(JournalMismatchError, match="--no-resume"):
+            RunJournal(path).resume_state(study.with_seed(4))
+
+    def test_new_header_supersedes_old_section(self, tmp_path):
+        old = _study(seed=3)
+        path = tmp_path / "j.jsonl"
+        self._fill(path, old)
+        new = old.with_seed(4)
+        with RunJournal(path) as jr:
+            jr.begin_study(new)
+        jr = RunJournal(path)
+        assert jr.recorded_hash("mini") == new.study_hash()
+        assert jr.resume_state(new) == {}  # nothing journaled for new spec
+        with pytest.raises(JournalMismatchError):
+            jr.resume_state(old)
+
+    def test_out_of_range_index_ignored(self, tmp_path):
+        study = _study()
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as jr:
+            jr.begin_study(study)
+            jr.record_scenario(study.study_hash(), 99, "ghost", 0, _outcome())
+        assert RunJournal(path).resume_state(study) == {}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        jr = RunJournal(tmp_path / "nope.jsonl")
+        assert jr.recorded_hash("mini") is None
+        assert jr.resume_state(_study()) == {}
+
+
+def _flaky(marker: str, value):
+    """Fails until its marker file exists (so exactly the first attempt)."""
+    import os
+
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("injected transient failure")
+    return value
+
+
+def _boom(value):
+    raise ValueError(f"bad value {value}")
+
+
+def _identity(value):
+    return value
+
+
+class TestRunScenariosRetry:
+    _FAST = RetryPolicy(base_delay=0.0)
+
+    def test_transient_failure_is_retried(self, tmp_path, capsys):
+        marker = str(tmp_path / "fired")
+        events: list = []
+        tasks = [ScenarioTask(_flaky, args=(marker, 5), label="flaky")]
+        assert run_scenarios(tasks, retry=self._FAST, events=events) == [5]
+        (event,) = events
+        assert event["event"] == "task_retry"
+        assert event["task"] == "flaky"
+        assert "retrying" in capsys.readouterr().err
+
+    def test_transient_failure_is_retried_in_pool(self, tmp_path):
+        marker = str(tmp_path / "fired")
+        events: list = []
+        tasks = [
+            ScenarioTask(_identity, args=(1,), label="ok"),
+            ScenarioTask(_flaky, args=(marker, 2), label="flaky"),
+        ]
+        assert run_scenarios(tasks, workers=2, retry=self._FAST, events=events) == [1, 2]
+        assert [e["event"] for e in events] == ["task_retry"]
+
+    def test_exhausted_retries_carry_partial_results(self, capsys):
+        tasks = [
+            ScenarioTask(_identity, args=(1,), label="ok"),
+            ScenarioTask(_boom, args=(2,), label="D5/dauwe"),
+        ]
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(StudyExecutionError, match="D5/dauwe") as info:
+            run_scenarios(tasks, retry=policy, events=[])
+        err = info.value
+        assert err.label == "D5/dauwe"
+        assert err.partial == [1, None]
+        assert err.completed == 1
+        assert [e["event"] for e in err.events] == ["task_retry"]
+        capsys.readouterr()  # swallow the retry warning
+
+    def test_on_result_fires_per_completion(self):
+        seen: list = []
+        tasks = [ScenarioTask(_identity, args=(i,)) for i in range(3)]
+        run_scenarios(tasks, on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestExecuteStudyResume:
+    def test_full_resume_is_bitwise_identical(self, tmp_path):
+        study = _study()
+        journal = tmp_path / "j.jsonl"
+        fresh = execute_study(study, journal=journal)
+        assert fresh.record.resilience == {
+            "resumed": 0, "executed": 2, "pending": 0, "events": [],
+            "journal": str(journal),
+        }
+        resumed = execute_study(study, journal=journal)
+        assert resumed.outcomes == fresh.outcomes  # exact float bits
+        assert resumed.record.resilience["resumed"] == 2
+        assert resumed.record.resilience["executed"] == 0
+
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_partial_resume_matches_uninterrupted(self, tmp_path, engine, workers):
+        """ISSUE acceptance: killed-after-k resume == uninterrupted, exactly."""
+        set_default_engine(engine)
+        try:
+            study = _study(trials=3, systems=("M", "D1"))  # 4 scenarios
+            baseline = execute_study(study, workers=workers)
+
+            # Simulate a run killed after scenario 0: journal holds the
+            # header plus one completed scenario (crash-consistent file).
+            journal = tmp_path / f"j-{engine}-{workers}.jsonl"
+            execute_study(study, journal=journal)
+            lines = journal.read_text().splitlines()
+            journal.write_text("\n".join(lines[:2]) + "\n")
+
+            resumed = execute_study(study, workers=workers, journal=journal)
+            assert resumed.outcomes == baseline.outcomes
+            assert resumed.record.resilience["resumed"] == 1
+            assert resumed.record.resilience["executed"] == 3
+        finally:
+            set_default_engine("auto")
+
+    def test_resume_require_rejects_mismatch(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        execute_study(_study(seed=3), journal=journal)
+        with pytest.raises(JournalMismatchError, match="study definition changed"):
+            execute_study(_study(seed=4), journal=journal, resume="require")
+
+    def test_resume_auto_warns_and_runs_fresh_on_mismatch(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        execute_study(_study(seed=3), journal=journal)
+        run = execute_study(_study(seed=4), journal=journal, resume="auto")
+        assert run.record.resilience["resumed"] == 0
+        assert run.record.resilience["executed"] == 2
+        assert "different configuration" in capsys.readouterr().err
+        # the superseding header makes the new spec resumable in turn
+        again = execute_study(_study(seed=4), journal=journal)
+        assert again.record.resilience["resumed"] == 2
+
+    def test_resume_never_ignores_entries(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        execute_study(_study(), journal=journal)
+        run = execute_study(_study(), journal=journal, resume=False)
+        assert run.record.resilience["resumed"] == 0
+        assert run.record.resilience["executed"] == 2
+
+    def test_invalid_resume_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="resume must be one of"):
+            execute_study(_study(), journal=tmp_path / "j.jsonl", resume="maybe")
+
+    def test_no_journal_records_empty_resilience(self):
+        run = execute_study(_study())
+        assert run.record.resilience == {
+            "resumed": 0, "executed": 2, "pending": 0, "events": [],
+        }
+
+    def test_open_journal_instance_is_not_closed(self, tmp_path):
+        study = _study()
+        with RunJournal(tmp_path / "j.jsonl") as jr:
+            execute_study(study, journal=jr)
+            # still usable: the caller owns its lifetime
+            assert set(jr.resume_state(study)) == {0, 1}
