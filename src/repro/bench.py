@@ -45,7 +45,7 @@ from .scenarios.manifest import package_versions
 from .simulator import simulate_many, simulate_trial
 from .systems import get_system
 
-__all__ = ["SCHEMA", "run_bench"]
+__all__ = ["SCHEMA", "compare_to_baseline", "run_bench"]
 
 #: Format tag written into every payload; bump on breaking layout changes.
 SCHEMA = "repro-bench/1"
@@ -208,6 +208,69 @@ def run_bench(quick: bool = False, out: str | Path | None = None) -> dict:
     if out is not None:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
     return payload
+
+
+def compare_to_baseline(
+    payload: dict, baseline: dict, tolerance: float = 0.05
+) -> list[str]:
+    """Throughput regressions of ``payload`` against a recorded baseline.
+
+    Pure comparison — no I/O, no timing.  Cells are matched by case name
+    (and by ``(system, trials, engine)`` for the ``simulate_many`` grid);
+    a cell counts as a regression when its best-round throughput
+    (``trials_per_sec``, falling back to ``1 / seconds_best`` for
+    model-only cases) drops more than ``tolerance`` below the baseline's.
+    Returns one human-readable finding per regression — empty means the
+    guard passes.  Cells present on only one side are ignored (grids
+    differ between ``--quick`` and full runs).
+
+    This is the ``--check-baseline`` guard for the numerics-hardened
+    model paths: the guard layer claims zero overhead on finite inputs,
+    and this is where that claim is measured against
+    ``BENCH_simulator.json``.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    findings: list[str] = []
+
+    def check(label: str, new_tps: float, old_tps: float) -> None:
+        if old_tps <= 0:
+            return
+        if new_tps < old_tps * (1.0 - tolerance):
+            drop = 100.0 * (1.0 - new_tps / old_tps)
+            findings.append(
+                f"{label}: {new_tps:.1f}/s vs baseline {old_tps:.1f}/s "
+                f"({drop:.1f}% slower, tolerance {100.0 * tolerance:.0f}%)"
+            )
+
+    def throughput(rec: dict) -> float:
+        if "trials_per_sec" in rec:
+            return float(rec["trials_per_sec"])
+        best = float(rec.get("seconds_best", 0.0))
+        return 1.0 / best if best > 0 else 0.0
+
+    old_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    for case in payload.get("cases", []):
+        old = old_cases.get(case["name"])
+        if old is not None:
+            check(f"case {case['name']}", throughput(case), throughput(old))
+
+    old_grid = {
+        (cell["system"], cell["trials"], engine): cell[engine]
+        for cell in baseline.get("simulate_many", [])
+        for engine in ("scalar", "batch")
+        if engine in cell
+    }
+    for cell in payload.get("simulate_many", []):
+        for engine in ("scalar", "batch"):
+            old = old_grid.get((cell["system"], cell["trials"], engine))
+            if engine in cell and old is not None:
+                check(
+                    f"simulate_many {cell['system']} x {cell['trials']} ({engine})",
+                    throughput(cell[engine]),
+                    throughput(old),
+                )
+    return findings
 
 
 def format_bench(payload: dict) -> str:

@@ -83,6 +83,7 @@ from .exec import (
     stage_snapshot,
 )
 from .experiments import EXPERIMENTS, figure4, figure6, write_report
+from .experiments.runner import DEFAULT_TECHNIQUES
 from .models import TECHNIQUES
 from .scenarios import RunManifest, StudySpec, execute_study, generic_result
 from .simulator.run import ENGINES, set_default_engine
@@ -116,9 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench"],
-        help="experiment id, 'all', 'custom' (requires --study), or "
-        "'bench' (benchmark trajectory, writes BENCH_simulator.json)",
+        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench", "validate"],
+        help="experiment id, 'all', 'custom' (requires --study), "
+        "'bench' (benchmark trajectory, writes BENCH_simulator.json), or "
+        "'validate' (numerics-guard cross-check of every model; "
+        "--stress swaps in the adversarial catalog)",
     )
     parser.add_argument(
         "--study",
@@ -226,6 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="where 'bench' writes its JSON (default: BENCH_simulator.json)",
     )
     parser.add_argument(
+        "--check-baseline",
+        nargs="?",
+        const="BENCH_simulator.json",
+        default=None,
+        metavar="PATH",
+        help="with 'bench': compare throughput against the recorded "
+        "baseline JSON (default: BENCH_simulator.json) and exit non-zero "
+        "on a regression beyond 5%%",
+    )
+    parser.add_argument(
+        "--stress",
+        action="store_true",
+        help="with 'validate': use the adversarial stress catalog "
+        "(extreme MTBFs, free/mammoth checkpoints, 1e6-node variants) "
+        "instead of the paper's Table I systems",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown"
     )
     return parser
@@ -318,21 +338,70 @@ def _run_bench(args: argparse.Namespace) -> int:
     The scalar/batch equality check is hard (mismatch exits non-zero);
     timings are recorded but never asserted — containers differ.
     """
-    from .bench import format_bench, run_bench
+    import json
+
+    from .bench import compare_to_baseline, format_bench, run_bench
 
     out = Path(args.bench_out) if args.bench_out else Path("BENCH_simulator.json")
+    baseline = None
+    if args.check_baseline is not None:
+        # Read before running: the run may overwrite the baseline file.
+        baseline_path = Path(args.check_baseline)
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot read bench baseline {baseline_path}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
     t0 = time.time()
     try:
         payload = run_bench(quick=args.quick, out=out)
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     print(format_bench(payload))
     print(
         f"[bench finished in {time.time() - t0:.1f}s | written to {out}]",
         file=sys.stderr,
     )
-    return 0
+    if baseline is not None:
+        findings = compare_to_baseline(payload, baseline)
+        if findings:
+            print("bench baseline regressions:", file=sys.stderr)
+            for finding in findings:
+                print(f"  {finding}", file=sys.stderr)
+            return EXIT_EXECUTION
+        print("bench baseline check: within tolerance", file=sys.stderr)
+    return EXIT_OK
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    """The 'validate' experiment: numerics-guard cross-check (see repro.validate).
+
+    Exits :data:`EXIT_OK` when every invariant holds (predictions finite
+    or ``+inf``, never NaN; every ``+inf`` loud; no crashes) and
+    :data:`EXIT_EXECUTION` when any violation is found.  Deviation bands
+    and event totals are informational output either way.
+    """
+    from .validate import format_validation, run_validation
+
+    t0 = time.time()
+    report = run_validation(
+        stress=args.stress,
+        quick=args.quick,
+        techniques=args.techniques_tuple or DEFAULT_TECHNIQUES,
+        trials=args.trials,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    print(format_validation(report))
+    print(
+        f"[validate finished in {time.time() - t0:.1f}s | "
+        f"{'OK' if report.ok else 'VIOLATIONS FOUND'}]",
+        file=sys.stderr,
+    )
+    return EXIT_OK if report.ok else EXIT_EXECUTION
 
 
 def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
@@ -440,8 +509,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.engine is not None:
         set_default_engine(args.engine)
+    if args.stress and args.experiment != "validate":
+        parser.error("--stress only applies to the 'validate' experiment")
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "validate":
+        return _run_validate(args)
     if args.no_cache:
         previous_cache = set_active_cache(None)
     else:

@@ -45,6 +45,7 @@ import numpy as np
 
 from ..systems.spec import SystemSpec
 from .interfaces import CheckpointModel, split_grid_counts
+from .numerics import ModelDiagnostics, flag
 from .plan import CheckpointPlan
 from .severity import LevelMapping
 from .truncated import truncated_mean, unprotected_completion_time
@@ -89,6 +90,7 @@ class DauweModel(CheckpointModel):
 
     name = "dauwe"
     supports_grid_eval = True
+    supports_diagnostics = True
 
     def __init__(
         self,
@@ -121,9 +123,16 @@ class DauweModel(CheckpointModel):
         return m
 
     # ------------------------------------------------------------------
-    def predict_time(self, plan: CheckpointPlan) -> float:
+    def predict_time(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
         """Expected execution time ``T_ML`` (Eqn. 4 recursion) for ``plan``."""
-        out = self.predict_time_batch(plan.levels, plan.counts, np.array([plan.tau0]))
+        out = self.predict_time_batch(
+            plan.levels, plan.counts, np.array([plan.tau0]), diagnostics=diagnostics
+        )
         return float(out[0])
 
     def predict_time_batch(
@@ -131,6 +140,8 @@ class DauweModel(CheckpointModel):
         levels: tuple[int, ...],
         counts,
         tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> np.ndarray:
         """Vectorized :meth:`predict_time` over an array of ``tau0`` values.
 
@@ -138,9 +149,16 @@ class DauweModel(CheckpointModel):
         with a 1-D ``tau0`` grid, returning the full ``(V, T)`` time
         surface in one evaluation of the stage recursion — the optimizer's
         batched-sweep contract (``supports_grid_eval``).
+
+        ``diagnostics`` collects a :class:`NumericsEvent` for every clamp,
+        overflow and NaN the evaluation hits (see
+        :mod:`repro.core.numerics`); the returned times are identical with
+        or without it.
         """
         counts, tau0 = split_grid_counts(counts, np.asarray(tau0, dtype=float))
-        total, _ = self._evaluate(levels, counts, tau0, want_parts=False)
+        total, _ = self._evaluate(
+            levels, counts, tau0, want_parts=False, diagnostics=diagnostics
+        )
         return total
 
     def predict_breakdown(self, plan: CheckpointPlan) -> Mapping[str, float]:
@@ -168,6 +186,7 @@ class DauweModel(CheckpointModel):
         counts,
         tau0: np.ndarray,
         want_parts: bool = False,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
         """Stage recursion over ``tau0``; ``counts`` entries may be arrays.
 
@@ -177,6 +196,15 @@ class DauweModel(CheckpointModel):
         same expressions — grid cells are bitwise identical to the
         corresponding 1-D calls.  ``want_parts=False`` skips the per-event
         bookkeeping that only :meth:`predict_breakdown` needs.
+
+        The guard policy is finite-or-``+inf``: every cell whose expected
+        time diverges (clamp, overflow or NaN) is pinned to ``+inf``, and
+        with ``diagnostics`` supplied each such cell is recorded as a
+        :class:`~repro.core.numerics.NumericsEvent` at a
+        ``"<model>.<site>"`` key.  The enclosing ``errstate`` only quiets
+        the hardware flags for the non-finite cells that are recorded and
+        remapped below — finite cells take the exact same arithmetic path
+        as the unguarded code.
         """
         if len(counts) != len(levels) - 1:
             raise ValueError(
@@ -194,12 +222,24 @@ class DauweModel(CheckpointModel):
         for n in counts:
             stride = stride * (n + 1.0)
         # Eqn. (3): number of top-used-level checkpoints over the whole run.
-        n_top = T_B / (tau0 * stride)
+        # A subnormal tau0 can underflow the denominator; the resulting
+        # inf/NaN cells are flagged and pinned at the end of the routine.
+        with np.errstate(over="ignore", divide="ignore"):
+            n_top = T_B / (tau0 * stride)
 
         tau_k = np.broadcast_to(tau0.astype(float), shape).copy()  # tau_hat_1
         hist_tau: list[np.ndarray] = []
         hist_rework: list[np.ndarray] = []  # gamma_j * E(tau_j, lam_j)
         bad = np.zeros(shape, dtype=bool)
+
+        def expm1_rec(x, site):
+            # safe_expm1 without its errstate: the stage loop below already
+            # holds one, and re-entering per call costs ~5% of a sweep.
+            out = np.expm1(x)
+            if diagnostics is not None:
+                diagnostics.record_mask(site, "overflow", np.isinf(out), values=x, label="x")
+                diagnostics.record_mask(site, "nan", np.isnan(out), values=x, label="x")
+            return out
         # Per-stage overhead terms are "per level-(k+1) interval"; to report
         # whole-run totals each stage's terms are later scaled by the number
         # of such intervals in the run (the product of the interval counts
@@ -221,8 +261,12 @@ class DauweModel(CheckpointModel):
                 m_intervals = n_top + 1.0 if self.final_interval_plus_one else n_top
 
             with np.errstate(over="ignore", invalid="ignore"):
-                bad |= lam_k * tau_k > _MAX_RATE_TIME
-                gamma = np.expm1(lam_k * tau_k)  # Eqn. (5)
+                rate_time = lam_k * tau_k
+                bad |= flag(
+                    diagnostics, f"{self.name}.gamma", "clamp",
+                    rate_time > _MAX_RATE_TIME, values=rate_time, label="rate_time",
+                )
+                gamma = expm1_rec(rate_time, f"{self.name}.gamma")  # Eqn. (5)
                 E_tau = np.asarray(truncated_mean(tau_k, lam_k))
                 T_Wtau = gamma * E_tau * m_intervals  # Eqn. (6)
                 T_d = n_ckpt * delta  # Eqn. (7)
@@ -231,8 +275,12 @@ class DauweModel(CheckpointModel):
                 hist_rework.append(gamma * E_tau)
 
                 if self.include_checkpoint_failures and delta > 0:
-                    bad |= lam_c * delta > _MAX_RATE_TIME
-                    alpha = n_ckpt * np.expm1(lam_c * delta)  # Eqn. (8)
+                    bad |= flag(
+                        diagnostics, f"{self.name}.alpha", "clamp",
+                        lam_c * delta > _MAX_RATE_TIME,
+                        values=lam_c * delta, label="rate_time",
+                    )
+                    alpha = n_ckpt * expm1_rec(lam_c * delta, f"{self.name}.alpha")  # Eqn. (8)
                     T_df = alpha * truncated_mean(delta, lam_c)  # Eqn. (9)
                     # Eqn. (10): progress lost with the failed checkpoint.
                     lost = zeros()
@@ -250,8 +298,12 @@ class DauweModel(CheckpointModel):
                 )
                 T_r = beta * R  # Eqn. (13)
                 if self.include_restart_failures and R > 0:
-                    bad |= lam_c * R > _MAX_RATE_TIME
-                    zeta = beta * np.expm1(lam_c * R)  # Eqn. (12)
+                    bad |= flag(
+                        diagnostics, f"{self.name}.zeta", "clamp",
+                        lam_c * R > _MAX_RATE_TIME,
+                        values=lam_c * R, label="rate_time",
+                    )
+                    zeta = beta * expm1_rec(lam_c * R, f"{self.name}.zeta")  # Eqn. (12)
                     T_rf = zeta * truncated_mean(R, lam_c)  # Eqn. (14)
                 else:
                     T_rf = zeros()
@@ -298,7 +350,11 @@ class DauweModel(CheckpointModel):
         total = tau_k
         if mp.unprotected_rate > 0:
             with np.errstate(over="ignore", invalid="ignore"):
-                bad |= mp.unprotected_rate * total > _MAX_RATE_TIME
+                bad |= flag(
+                    diagnostics, f"{self.name}.unprotected", "clamp",
+                    mp.unprotected_rate * total > _MAX_RATE_TIME,
+                    values=mp.unprotected_rate * total, label="rate_time",
+                )
                 grown = np.asarray(
                     unprotected_completion_time(
                         total, mp.unprotected_rate, mp.unprotected_restart
@@ -311,6 +367,12 @@ class DauweModel(CheckpointModel):
                     )
             total = grown
 
+        # Guard invariant: NaN never escapes, and every +inf cell that was
+        # not already claimed by a clamp above is recorded as it is pinned.
+        bad |= flag(diagnostics, f"{self.name}.total", "nan", np.isnan(total))
+        bad |= flag(
+            diagnostics, f"{self.name}.total", "divergence", np.isinf(total) & ~bad
+        )
         bad |= ~np.isfinite(total)
         total = np.where(bad, np.inf, total)
         return total, parts

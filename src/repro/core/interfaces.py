@@ -13,10 +13,12 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
 from ..systems.spec import SystemSpec
+from .numerics import OptimizationCertificate
 from .plan import CheckpointPlan
 
 __all__ = ["CheckpointModel", "OptimizationResult", "split_grid_counts"]
@@ -61,20 +63,62 @@ class OptimizationResult:
         ``T_B / predicted_time`` — the paper's efficiency metric.
     evaluations:
         Number of candidate plans the sweep evaluated (diagnostics).
+    certificate:
+        Bounded-iteration evidence for the sweep
+        (:class:`~repro.core.numerics.OptimizationCertificate`): total
+        evaluations spent, numerics events observed while optimizing, and
+        whether refinement moved the sweep winner.  ``None`` for results
+        produced before the guard layer (or deserialized from old cache
+        entries).
     """
 
     plan: CheckpointPlan
     predicted_time: float
     predicted_efficiency: float
     evaluations: int = 0
+    certificate: OptimizationCertificate | None = None
 
     def __post_init__(self) -> None:
+        if math.isnan(self.predicted_time):
+            raise ValueError("predicted_time is NaN (numerics-guard violation)")
         if not (self.predicted_time > 0):
             raise ValueError(f"predicted_time must be positive, got {self.predicted_time}")
+        if math.isnan(self.predicted_efficiency):
+            raise ValueError("predicted_efficiency is NaN (numerics-guard violation)")
         if not (0 < self.predicted_efficiency <= 1 + 1e-9):
             raise ValueError(
                 f"predicted efficiency must be in (0, 1], got {self.predicted_efficiency}"
             )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; round-trips losslessly through :meth:`from_dict`.
+
+        ``certificate`` is emitted only when present, so entries written
+        by older code deserialize unchanged.
+        """
+        data: dict[str, Any] = {
+            "plan": self.plan.to_dict(),
+            "predicted_time": self.predicted_time,
+            "predicted_efficiency": self.predicted_efficiency,
+            "evaluations": self.evaluations,
+        }
+        if self.certificate is not None:
+            data["certificate"] = self.certificate.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizationResult":
+        cert = data.get("certificate")
+        return cls(
+            plan=CheckpointPlan.from_dict(data["plan"]),
+            predicted_time=float(data["predicted_time"]),
+            predicted_efficiency=float(data["predicted_efficiency"]),
+            evaluations=int(data.get("evaluations", 0)),
+            certificate=(
+                None if cert is None else OptimizationCertificate.from_dict(cert)
+            ),
+        )
 
 
 class CheckpointModel(ABC):
@@ -96,6 +140,14 @@ class CheckpointModel(ABC):
     #: one count vector at a time.
     supports_grid_eval: bool = False
 
+    #: Whether ``predict_time`` / ``predict_time_batch`` accept a
+    #: keyword-only ``diagnostics=`` argument
+    #: (:class:`~repro.core.numerics.ModelDiagnostics`) recording every
+    #: clamp/overflow/divergence as a structured event.  The optimizer
+    #: only threads its diagnostics through models that opt in, so
+    #: third-party models with the plain signature keep working.
+    supports_diagnostics: bool = False
+
     #: Whether the deployed protocol takes a checkpoint whose scheduled
     #: position coincides with application completion.  Length-*blind*
     #: techniques (Moody, Benoit) checkpoint on schedule because their
@@ -113,12 +165,20 @@ class CheckpointModel(ABC):
         """Expected wall-clock execution time (minutes) under ``plan``.
 
         Must return ``math.inf`` for plans the model deems hopeless rather
-        than raising, so the optimizer can sweep freely.
+        than raising, so the optimizer can sweep freely.  NaN is never an
+        acceptable return value — the numerics guard
+        (:mod:`repro.core.numerics`) pins invalid cells to ``+inf`` and
+        records why.
         """
 
     def predict_efficiency(self, plan: CheckpointPlan) -> float:
         """The paper's efficiency metric: ``T_B / E[T]`` for ``plan``."""
         t = self.predict_time(plan)
+        if math.isnan(t):
+            raise ValueError(
+                f"model returned NaN time for {plan.describe()} "
+                "(numerics-guard violation: predictions must be finite or +inf)"
+            )
         if not (t > 0):
             raise ValueError(f"model returned non-positive time {t} for {plan.describe()}")
         if math.isinf(t):

@@ -1,0 +1,370 @@
+"""Numerics guard: safe evaluation primitives and structured diagnostics.
+
+The model equations legitimately diverge at the edges of their domain —
+``expm1(lam * tau)`` overflows for failure-dominated systems, the
+negative-binomial retry count explodes as per-attempt failure probability
+approaches 1, and steady-state efficiencies collapse to zero.  The guard
+layer's contract is that every model answer is **finite or ``+inf``,
+never NaN**, and that every clamp, overflow or divergence that turned a
+would-be number into ``+inf`` is *recorded* as a structured
+:class:`NumericsEvent` instead of being silently masked.
+
+Invariants (enforced by ``repro.validate`` and the test suite):
+
+1. *Finite-or-inf*: model predictions are strictly positive finite floats
+   or ``+inf``; NaN never escapes a guarded evaluation.
+2. *Exactness*: on inputs where the unguarded code produced a finite
+   value, the guarded code is **bitwise identical** — the primitives only
+   observe and record, they do not reroute finite arithmetic.
+3. *Loudness*: whenever a prediction is ``+inf``, at least one event was
+   recorded on the :class:`ModelDiagnostics` for that evaluation (when
+   one was supplied).
+
+Event ``kind`` taxonomy:
+
+==============  =====================================================
+``clamp``       a guard threshold fired (e.g. ``lam * tau`` beyond the
+                negative-binomial horizon) and the result was pinned
+                to ``+inf`` by policy
+``overflow``    floating-point overflow produced ``+inf`` organically
+``divergence``  a quantity left its meaningful domain (zero/negative
+                efficiency, infeasible refinement bracket, ...)
+``nan``         an invalid operation produced NaN (always re-mapped to
+                ``+inf`` before the caller sees it)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "NumericsEvent",
+    "ModelDiagnostics",
+    "OptimizationCertificate",
+    "flag",
+    "safe_expm1",
+    "safe_div",
+    "log1p_sum",
+    "prod1p",
+]
+
+
+@dataclass
+class NumericsEvent:
+    """Aggregated record of one kind of numeric incident at one site.
+
+    Attributes
+    ----------
+    site:
+        Where in the evaluation the incident happened, dotted by owner —
+        e.g. ``"dauwe.gamma"``, ``"moody.efficiency"``,
+        ``"optimizer.grid"``.
+    kind:
+        Taxonomy entry: ``"clamp"``, ``"overflow"``, ``"divergence"`` or
+        ``"nan"`` (see the module docstring).
+    count:
+        Number of grid cells / scalar evaluations affected.
+    worst:
+        Worst offender inputs observed, keyed by a caller-chosen label
+        (e.g. ``{"rate_time": 1.2e4}``) — enough to reproduce the most
+        extreme cell without storing the whole grid.
+    """
+
+    site: str
+    kind: str
+    count: int = 0
+    worst: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"site": self.site, "kind": self.kind, "count": self.count}
+        if self.worst:
+            data["worst"] = dict(self.worst)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NumericsEvent":
+        return cls(
+            site=str(data["site"]),
+            kind=str(data["kind"]),
+            count=int(data["count"]),
+            worst={str(k): float(v) for k, v in dict(data.get("worst", {})).items()},
+        )
+
+
+def _worst_of(values, mask) -> float:
+    """Largest offending value under ``mask``; NaN offenders rank worst."""
+    vals = np.broadcast_to(np.asarray(values, dtype=float), np.shape(mask))
+    off = vals[np.asarray(mask, dtype=bool)] if np.ndim(mask) else np.atleast_1d(vals)
+    if off.size == 0:
+        return math.inf
+    with np.errstate(invalid="ignore"):
+        return float(np.max(np.where(np.isnan(off), np.inf, off)))
+
+
+class ModelDiagnostics:
+    """Per-evaluation accumulator of :class:`NumericsEvent` records.
+
+    One instance is threaded through ``predict_time(..., diagnostics=)``
+    and the optimizer sweep; events with the same ``(site, kind)`` are
+    aggregated (counts summed, worst offenders maxed), so the object stays
+    O(#sites) even across million-cell grids.
+    """
+
+    def __init__(self) -> None:
+        self._events: dict[tuple[str, str], NumericsEvent] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        site: str,
+        kind: str,
+        count: int = 1,
+        worst: Mapping[str, float] | None = None,
+    ) -> None:
+        """Add ``count`` incidents at ``(site, kind)``."""
+        if count <= 0:
+            return
+        ev = self._events.get((site, kind))
+        if ev is None:
+            ev = NumericsEvent(site=site, kind=kind)
+            self._events[(site, kind)] = ev
+        ev.count += int(count)
+        if worst:
+            for label, value in worst.items():
+                value = float(value)
+                prev = ev.worst.get(label)
+                if prev is None or value > prev:
+                    ev.worst[label] = value
+
+    def record_mask(
+        self,
+        site: str,
+        kind: str,
+        mask,
+        values=None,
+        label: str = "value",
+    ) -> None:
+        """Record every True cell of a boolean ``mask`` (scalar or array).
+
+        ``values`` (broadcastable to ``mask``) supplies the offending
+        inputs; the maximum over flagged cells is kept as the worst
+        offender under ``label``.
+        """
+        n = int(np.count_nonzero(mask))
+        if n == 0:
+            return
+        worst = {label: _worst_of(values, mask)} if values is not None else None
+        self.record(site, kind, count=n, worst=worst)
+
+    def merge(self, other: "ModelDiagnostics") -> None:
+        """Fold ``other``'s events into this accumulator."""
+        for ev in other.events():
+            self.record(ev.site, ev.kind, count=ev.count, worst=ev.worst)
+
+    # ------------------------------------------------------------------
+    def events(self) -> list[NumericsEvent]:
+        """All events, sorted by site then kind (deterministic output)."""
+        return [self._events[k] for k in sorted(self._events)]
+
+    def counts(self) -> dict[str, int]:
+        """Flat ``{"site:kind": count}`` mapping (the manifest currency)."""
+        return {f"{ev.site}:{ev.kind}": ev.count for ev in self.events()}
+
+    @property
+    def total(self) -> int:
+        return sum(ev.count for ev in self._events.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ModelDiagnostics {self.counts()!r}>"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"total": self.total, "events": [ev.to_dict() for ev in self.events()]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelDiagnostics":
+        diag = cls()
+        for item in data.get("events", ()):
+            ev = NumericsEvent.from_dict(item)
+            diag.record(ev.site, ev.kind, count=ev.count, worst=ev.worst)
+        return diag
+
+
+def flag(
+    diagnostics: ModelDiagnostics | None,
+    site: str,
+    kind: str,
+    mask,
+    values=None,
+    label: str = "value",
+):
+    """Record ``mask``'s True cells (when diagnostics are on) and return it.
+
+    Designed for the models' guard lines: ``bad |= flag(diag, site, kind,
+    condition, ...)`` records the incident and keeps the original boolean
+    flow — with ``diagnostics=None`` it is exactly the bare condition, so
+    the finite path is untouched.
+    """
+    if diagnostics is not None:
+        diagnostics.record_mask(site, kind, mask, values=values, label=label)
+    return mask
+
+
+# ----------------------------------------------------------------------
+# safe evaluation primitives
+# ----------------------------------------------------------------------
+def safe_expm1(
+    x,
+    diagnostics: ModelDiagnostics | None = None,
+    site: str = "expm1",
+):
+    """``expm1(x)`` with overflow recorded instead of silently suppressed.
+
+    Bitwise identical to ``np.expm1`` under ``errstate(over="ignore")``:
+    overflow still yields ``+inf`` (the mathematically honest limit), but
+    each overflowing cell is recorded as an ``overflow`` event carrying
+    the largest offending exponent.
+    """
+    x = np.asarray(x, dtype=float)
+    with np.errstate(over="ignore", invalid="ignore"):
+        out = np.expm1(x)
+    if diagnostics is not None:
+        diagnostics.record_mask(site, "overflow", np.isinf(out), values=x, label="x")
+        diagnostics.record_mask(site, "nan", np.isnan(out), values=x, label="x")
+    return out
+
+
+def safe_div(
+    num,
+    den,
+    diagnostics: ModelDiagnostics | None = None,
+    site: str = "div",
+):
+    """Elementwise ``num / den`` with divergences recorded, never warned.
+
+    ``x / 0 -> inf`` (``divergence`` event), ``0 / 0`` and ``inf / inf``
+    -> NaN (``nan`` event) — the raw IEEE quotient is returned unchanged
+    so callers decide the remap policy; on finite quotients the result is
+    bitwise identical to the bare division.
+    """
+    num = np.asarray(num, dtype=float)
+    den = np.asarray(den, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        out = num / den
+    if diagnostics is not None:
+        diagnostics.record_mask(
+            site, "divergence", np.isinf(out), values=den, label="denominator"
+        )
+        diagnostics.record_mask(
+            site, "nan", np.isnan(out), values=den, label="denominator"
+        )
+    return out
+
+
+def log1p_sum(factors: Iterable):
+    """``sum(log1p(f))`` — the log of ``prod(1 + f)``, overflow-free.
+
+    The magnitude channel for :func:`prod1p`: even when the direct product
+    overflows, the log-space sum remains finite and identifies how far
+    past the representable range the chain went.
+    """
+    out = np.asarray(0.0)
+    for f in factors:
+        out = out + np.log1p(np.asarray(f, dtype=float))
+    return out
+
+
+def prod1p(
+    factors: Iterable,
+    diagnostics: ModelDiagnostics | None = None,
+    site: str = "prod1p",
+):
+    """``prod(1 + f)`` over ``factors`` with overflow recorded in log space.
+
+    The product is computed directly — bitwise identical to the naive
+    chain ``(f0+1)*(f1+1)*...`` used by the models' stride computations —
+    and only when a cell overflows is the log-space magnitude
+    (:func:`log1p_sum`) evaluated to report the worst offender.
+    """
+    factors = list(factors)
+    out = np.asarray(1.0)
+    with np.errstate(over="ignore"):
+        for f in factors:
+            out = out * (np.asarray(f, dtype=float) + 1.0)
+    if diagnostics is not None and np.isinf(out).any():
+        diagnostics.record_mask(
+            site, "overflow", np.isinf(out), values=log1p_sum(factors), label="log_product"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# optimization certificate
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OptimizationCertificate:
+    """Bounded-iteration evidence attached to an ``OptimizationResult``.
+
+    Attributes
+    ----------
+    evaluations:
+        Total candidate-plan evaluations the sweep + refinement performed
+        (the iteration bound actually spent).
+    events:
+        Flat ``{"site:kind": count}`` numerics-event totals observed while
+        optimizing — clamps, overflows, divergences and NaNs seen across
+        the whole grid, in :meth:`ModelDiagnostics.counts` form.
+    refinement_moved:
+        Whether the golden-section/hill-climb refinement changed the sweep
+        winner (different counts, different ``tau0`` or a strictly better
+        predicted time).
+    """
+
+    evaluations: int
+    events: Mapping[str, int] = field(default_factory=dict)
+    refinement_moved: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", {str(k): int(v) for k, v in dict(self.events).items()}
+        )
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "evaluations": self.evaluations,
+            "events": dict(self.events),
+            "refinement_moved": self.refinement_moved,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizationCertificate":
+        return cls(
+            evaluations=int(data["evaluations"]),
+            events={str(k): int(v) for k, v in dict(data.get("events", {})).items()},
+            refinement_moved=bool(data.get("refinement_moved", False)),
+        )
+
+    @classmethod
+    def from_diagnostics(
+        cls,
+        diagnostics: ModelDiagnostics,
+        evaluations: int,
+        refinement_moved: bool = False,
+    ) -> "OptimizationCertificate":
+        return cls(
+            evaluations=evaluations,
+            events=diagnostics.counts(),
+            refinement_moved=refinement_moved,
+        )

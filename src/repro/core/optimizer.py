@@ -31,6 +31,7 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from .interfaces import CheckpointModel, OptimizationResult
+from .numerics import ModelDiagnostics, OptimizationCertificate
 from .plan import CheckpointPlan
 
 __all__ = ["sweep_plans", "golden_section", "enumerate_count_vectors"]
@@ -100,6 +101,19 @@ def golden_section(
     ``tol > 0`` enables early termination once the bracket has shrunk to
     ``tol * max(|lo|, |hi|)`` (relative width) — the iteration budget then
     acts as a cap rather than a fixed cost.
+
+    Degenerate objectives have a defined contract rather than undefined
+    behaviour (pinned by the regression tests):
+
+    * **All-infinite** ``fn``: every comparison sees ``inf <= inf``, so the
+      bracket walks toward ``lo`` and the search returns
+      ``(x, math.inf)`` for some interior ``x`` — the caller must treat a
+      non-finite minimum as "no feasible interval", never as a value.
+    * **Flat / already-converged bracket**: with ``tol > 0`` and
+      ``hi - lo`` at or below the width floor the loop exits immediately
+      after the two probe evaluations (``evaluations == 2``) and returns
+      the better probe.  A flat ``fn`` returns one of the probes with the
+      shared value — stable, not an error.
     """
     if not (hi > lo):
         raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
@@ -128,16 +142,55 @@ def golden_section(
     return x, fx
 
 
+def _model_kwargs(
+    model: CheckpointModel, diagnostics: ModelDiagnostics | None
+) -> dict:
+    """Diagnostics keyword for models that opt in, empty otherwise.
+
+    Third-party models predating the numerics guard keep their plain
+    ``predict_time(plan)`` signature; only ``supports_diagnostics`` models
+    receive the accumulator.
+    """
+    if diagnostics is not None and getattr(model, "supports_diagnostics", False):
+        return {"diagnostics": diagnostics}
+    return {}
+
+
+def _poison_check(
+    times: np.ndarray, diagnostics: ModelDiagnostics | None, tau0s
+) -> None:
+    """Record NaN poisoning of a batch grid as a loud diagnostic.
+
+    A NaN anywhere in a sweep grid means a model violated the
+    finite-or-``+inf`` contract; the cells still lose (they are masked to
+    ``inf`` by the unchanged selection logic below) but the event makes
+    the violation visible in the optimization certificate instead of
+    silently vanishing into the mask.
+    """
+    if diagnostics is None:
+        return
+    nan_mask = np.isnan(times)
+    if nan_mask.any():
+        diagnostics.record_mask(
+            "optimizer.grid", "nan", nan_mask,
+            values=np.broadcast_to(tau0s, times.shape), label="tau0",
+        )
+
+
 def _batch_eval(
     model: CheckpointModel,
     levels: tuple[int, ...],
     counts: tuple[int, ...],
     tau0s: np.ndarray,
+    diagnostics: ModelDiagnostics | None = None,
 ) -> np.ndarray:
     """Vectorized model evaluation with a scalar fallback."""
     batch = getattr(model, "predict_time_batch", None)
     if batch is not None:
-        out = np.asarray(batch(levels, counts, tau0s), dtype=float)
+        out = np.asarray(
+            batch(levels, counts, tau0s, **_model_kwargs(model, diagnostics)),
+            dtype=float,
+        )
         if out.shape != tau0s.shape:
             raise ValueError(
                 f"{type(model).__name__}.predict_time_batch returned shape "
@@ -165,6 +218,7 @@ def _grid_eval_subset(
     vecs: list[tuple[int, ...]],
     tau0s: np.ndarray,
     pattern_cap: float,
+    diagnostics: ModelDiagnostics | None = None,
 ) -> tuple[float, tuple[int, ...], float, int]:
     """Evaluate every (count vector, tau0) cell of one level subset batched.
 
@@ -172,6 +226,8 @@ def _grid_eval_subset(
     subset.  Infeasible cells (pattern work exceeding ``pattern_cap``) are
     masked to infinity rather than skipped, so the winning cell — and the
     first-wins tie-breaking order — matches the per-vector sweep exactly.
+    NaN cells are additionally recorded as ``optimizer.grid`` poisoning
+    events on ``diagnostics`` before being masked.
     """
     best_time = math.inf
     best_counts: tuple[int, ...] = ()
@@ -185,7 +241,10 @@ def _grid_eval_subset(
         if not feasible.any():
             continue
         times = np.asarray(
-            model.predict_time_batch(levels, counts_mat, tau0s), dtype=float
+            model.predict_time_batch(
+                levels, counts_mat, tau0s, **_model_kwargs(model, diagnostics)
+            ),
+            dtype=float,
         )
         if times.shape != (len(chunk), tau0s.size):
             raise ValueError(
@@ -194,6 +253,7 @@ def _grid_eval_subset(
                 f"{(len(chunk), tau0s.size)}"
             )
         evaluations += int(feasible.sum())
+        _poison_check(times, diagnostics, tau0s[None, :])
         times = np.where(feasible & np.isfinite(times), times, math.inf)
         v, t = divmod(int(np.argmin(times)), tau0s.size)
         if times[v, t] < best_time:
@@ -212,6 +272,7 @@ def sweep_plans(
     refine: bool = True,
     max_pattern_work: float | None = None,
     grid_eval: bool = True,
+    diagnostics: ModelDiagnostics | None = None,
 ) -> OptimizationResult:
     """Run the Section III-C bounded sweep for ``model`` and refine the winner.
 
@@ -226,7 +287,16 @@ def sweep_plans(
     ``supports_grid_eval``; ``False`` forces the one-call-per-count-vector
     path (kept for models without a grid-capable batch method, and as the
     benchmark baseline).  Both paths select the same winning plan.
+
+    Numerics events — clamps/overflows recorded by ``supports_diagnostics``
+    models, NaN grid poisoning, infeasible refinement brackets — are
+    aggregated on ``diagnostics`` (an internal accumulator is created when
+    none is passed) and summarized in the
+    :class:`~repro.core.numerics.OptimizationCertificate` attached to the
+    returned result.
     """
+    if diagnostics is None:
+        diagnostics = ModelDiagnostics()
     system = model.system
     T_B = system.baseline_time
     pattern_cap = max_pattern_work if max_pattern_work is not None else T_B
@@ -251,7 +321,7 @@ def sweep_plans(
             if not vecs:
                 continue
             s_time, s_counts, s_tau0, s_evals = _grid_eval_subset(
-                model, levels, vecs, tau0s, pattern_cap
+                model, levels, vecs, tau0s, pattern_cap, diagnostics
             )
             evaluations += s_evals
             if s_time < best_time:
@@ -266,8 +336,9 @@ def sweep_plans(
             if not mask.any():
                 continue
             ts = tau0s[mask]
-            times = _batch_eval(model, levels, counts, ts)
+            times = _batch_eval(model, levels, counts, ts, diagnostics)
             evaluations += ts.size
+            _poison_check(times, diagnostics, ts)
             finite = np.isfinite(times)
             if not finite.any():
                 continue
@@ -284,11 +355,17 @@ def sweep_plans(
             "every candidate evaluated to infinite expected time"
         )
 
+    refinement_moved = False
     if refine:
+        sweep_winner = (best_levels, best_counts, best_tau0, best_time)
         best_levels, best_counts, best_tau0, best_time, extra = _refine(
-            model, best_levels, best_counts, best_tau0, best_time, lo, pattern_cap
+            model, best_levels, best_counts, best_tau0, best_time, lo, pattern_cap,
+            diagnostics,
         )
         evaluations += extra
+        refinement_moved = (
+            (best_levels, best_counts, best_tau0, best_time) != sweep_winner
+        )
 
     plan = CheckpointPlan(levels=best_levels, tau0=best_tau0, counts=best_counts)
     return OptimizationResult(
@@ -296,6 +373,9 @@ def sweep_plans(
         predicted_time=best_time,
         predicted_efficiency=min(1.0, T_B / best_time) if math.isfinite(best_time) else 0.0,
         evaluations=evaluations,
+        certificate=OptimizationCertificate.from_diagnostics(
+            diagnostics, evaluations=evaluations, refinement_moved=refinement_moved
+        ),
     )
 
 
@@ -314,22 +394,40 @@ def _refine(
     time: float,
     tau0_lo: float,
     pattern_cap: float,
+    diagnostics: ModelDiagnostics | None = None,
 ):
     """Golden-section tau0 polish + integer hill-climb on the counts."""
     evals = 0
+    # The polish runs diagnostics-free: it re-evaluates scalar points
+    # inside the region the grid sweep already swept (and recorded events
+    # for), and threading the collector through ~300 one-element
+    # predict_time calls costs ~20% of optimize() wall-clock for no new
+    # information.  Refinement-specific incidents (infeasible brackets)
+    # are still recorded below under "optimizer.refine".
+    kwargs = _model_kwargs(model, None)
 
     def polish(cts: tuple[int, ...], center: float) -> tuple[float, float]:
         nonlocal evals
         stride = math.prod(n + 1 for n in cts)
         hi_t = pattern_cap / stride
         if hi_t <= tau0_lo:
+            # Contract: a candidate whose feasible tau0 bracket is empty
+            # (pattern can't fit even at the smallest interval) is priced
+            # +inf at the incoming center — it can never win the climb.
+            # Recorded so certificates show the hill-climb probed past the
+            # feasible region rather than silently skipping.
+            if diagnostics is not None:
+                diagnostics.record(
+                    "optimizer.refine", "divergence",
+                    worst={"stride": float(stride)},
+                )
             return center, math.inf
         a = max(tau0_lo, center / 4.0)
         b = min(hi_t, center * 4.0)
         if not b > a:
             a, b = tau0_lo, hi_t
         fn = lambda t: model.predict_time(
-            CheckpointPlan(levels=levels, tau0=t, counts=cts)
+            CheckpointPlan(levels=levels, tau0=t, counts=cts), **kwargs
         )
         t0, tt, n = golden_section(fn, a, b, tol=_REFINE_TOL, full_output=True)
         evals += n

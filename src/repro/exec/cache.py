@@ -34,7 +34,6 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 from ..core.interfaces import OptimizationResult
-from ..core.plan import CheckpointPlan
 from ..systems.spec import SystemSpec
 
 __all__ = [
@@ -46,8 +45,11 @@ __all__ = [
 ]
 
 #: Bump when the optimizer's output semantics change incompatibly, so
-#: stale on-disk entries from older code are never reused.
-_KEY_VERSION = 1
+#: stale on-disk entries from older code are never reused.  v2: results
+#: carry the numerics-guard optimization certificate (evaluations, event
+#: counts, refinement movement) and serialize via
+#: ``OptimizationResult.to_dict``.
+_KEY_VERSION = 2
 
 
 def _canonical(value):
@@ -86,14 +88,9 @@ def cache_key(
 
 
 def _result_to_dict(result: OptimizationResult) -> dict:
-    return {
-        "levels": list(result.plan.levels),
-        "tau0": result.plan.tau0,
-        "counts": list(result.plan.counts),
-        "predicted_time": result.predicted_time,
-        "predicted_efficiency": result.predicted_efficiency,
-        "evaluations": result.evaluations,
-    }
+    # Canonical serialization lives on the dataclass itself; the cache
+    # adds only the checksum envelope.
+    return result.to_dict()
 
 
 def _entry_checksum(payload: dict) -> str:
@@ -107,16 +104,7 @@ _WARNED_CORRUPT_ENTRY = False
 
 
 def _result_from_dict(data: dict) -> OptimizationResult:
-    return OptimizationResult(
-        plan=CheckpointPlan(
-            levels=tuple(data["levels"]),
-            tau0=float(data["tau0"]),
-            counts=tuple(data["counts"]),
-        ),
-        predicted_time=float(data["predicted_time"]),
-        predicted_efficiency=float(data["predicted_efficiency"]),
-        evaluations=int(data["evaluations"]),
-    )
+    return OptimizationResult.from_dict(data)
 
 
 @dataclass

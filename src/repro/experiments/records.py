@@ -33,6 +33,11 @@ class TechniqueOutcome:
     completed_fraction: float
     breakdown_fractions: Mapping[str, float] = field(default_factory=dict)
     mean_failures: float = 0.0
+    #: Numerics-guard event counts (``"site:kind" -> count``) recorded by
+    #: the model during plan optimization — the per-outcome slice of the
+    #: manifest's ``numerics`` block.  Empty when the sweep stayed fully
+    #: inside the model's comfortable regime.
+    numerics: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def prediction_error(self) -> float:
@@ -59,6 +64,7 @@ class TechniqueOutcome:
             "completed_fraction": self.completed_fraction,
             "breakdown_fractions": dict(self.breakdown_fractions),
             "mean_failures": self.mean_failures,
+            "numerics": dict(self.numerics),
         }
 
     @classmethod
@@ -79,6 +85,9 @@ class TechniqueOutcome:
                 for k, v in dict(data.get("breakdown_fractions", {})).items()
             },
             mean_failures=float(data.get("mean_failures", 0.0)),
+            numerics={
+                str(k): int(v) for k, v in dict(data.get("numerics", {})).items()
+            },
         )
 
 

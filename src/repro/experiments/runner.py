@@ -152,6 +152,9 @@ def measure_technique(
         completed_fraction=stats.completed_fraction,
         breakdown_fractions=stats.mean_breakdown.fractions(),
         mean_failures=stats.mean_failures,
+        numerics=(
+            dict(opt.certificate.events) if opt.certificate is not None else {}
+        ),
     )
 
 

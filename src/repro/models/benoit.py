@@ -33,6 +33,7 @@ import math
 import numpy as np
 
 from ..core.interfaces import CheckpointModel, split_grid_counts
+from ..core.numerics import ModelDiagnostics, flag, safe_div
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
 from ..systems.spec import SystemSpec
@@ -46,6 +47,7 @@ class BenoitModel(CheckpointModel):
     name = "benoit"
     takes_scheduled_end_checkpoint = True
     supports_grid_eval = True
+    supports_diagnostics = True
 
     def __init__(self, system: SystemSpec):
         super().__init__(system)
@@ -58,9 +60,15 @@ class BenoitModel(CheckpointModel):
         return [tuple(range(1, self.system.num_levels + 1))]
 
     # ------------------------------------------------------------------
-    def predict_time(self, plan: CheckpointPlan) -> float:
+    def predict_time(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
         out = self.predict_time_batch(
-            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float),
+            diagnostics=diagnostics,
         )
         return float(out[0])
 
@@ -69,6 +77,8 @@ class BenoitModel(CheckpointModel):
         levels: tuple[int, ...],
         counts,
         tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> np.ndarray:
         L = self.system.num_levels
         if tuple(levels) != tuple(range(1, L + 1)):
@@ -88,24 +98,35 @@ class BenoitModel(CheckpointModel):
         for n in counts:
             strides.append(strides[-1] * (n + 1.0))
 
-        # Checkpoint overhead per unit work: positions where the protocol
-        # takes *exactly* a level-k checkpoint have density 1/W_k - 1/W_{k+1}.
-        h_ckpt = np.zeros(shape)
-        for k in range(L):
-            dens = 1.0 / (tau0 * strides[k])
-            if k + 1 < L:
-                dens = dens - 1.0 / (tau0 * strides[k + 1])
-            h_ckpt += mp.checkpoint_times[k] * dens
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            # Checkpoint overhead per unit work: positions where the protocol
+            # takes *exactly* a level-k checkpoint have density
+            # 1/W_k - 1/W_{k+1}.  A vanishing W_k makes the density diverge;
+            # safe_div records it instead of warning.
+            h_ckpt = np.zeros(shape)
+            for k in range(L):
+                dens = safe_div(
+                    1.0, tau0 * strides[k], diagnostics, f"{self.name}.density"
+                )
+                if k + 1 < L:
+                    dens = dens - safe_div(
+                        1.0, tau0 * strides[k + 1], diagnostics, f"{self.name}.density"
+                    )
+                h_ckpt += mp.checkpoint_times[k] * dens
 
-        # Failure waste per unit work: each severity-k failure restarts
-        # (cost R_k) and loses half a level-k interval of wall-clock time.
-        h_fail = np.zeros(shape)
-        for k in range(L):
-            span = tau0 * strides[k] * (1.0 + h_ckpt)
-            h_fail += mp.rates[k] * (mp.restart_times[k] + span / 2.0)
+            # Failure waste per unit work: each severity-k failure restarts
+            # (cost R_k) and loses half a level-k interval of wall-clock time.
+            h_fail = np.zeros(shape)
+            for k in range(L):
+                span = tau0 * strides[k] * (1.0 + h_ckpt)
+                h_fail += mp.rates[k] * (mp.restart_times[k] + span / 2.0)
 
-        overhead = h_ckpt + h_fail
-        total = self.system.baseline_time * (1.0 + overhead)
+            overhead = h_ckpt + h_fail
+            total = self.system.baseline_time * (1.0 + overhead)
+        # Guard invariant: never NaN, and every non-finite prediction is
+        # recorded as it is pinned to +inf.
+        flag(diagnostics, f"{self.name}.total", "nan", np.isnan(total))
+        flag(diagnostics, f"{self.name}.total", "divergence", np.isinf(total))
         return np.where(np.isfinite(total), total, math.inf)
 
     # ------------------------------------------------------------------

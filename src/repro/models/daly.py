@@ -29,6 +29,7 @@ import math
 import numpy as np
 
 from ..core.interfaces import CheckpointModel, OptimizationResult
+from ..core.numerics import ModelDiagnostics, OptimizationCertificate, flag
 from ..core.optimizer import golden_section
 from ..core.plan import CheckpointPlan
 from ..systems.spec import SystemSpec
@@ -71,6 +72,7 @@ class DalyModel(CheckpointModel):
     """
 
     name = "daly"
+    supports_diagnostics = True
 
     def __init__(self, system: SystemSpec):
         super().__init__(system)
@@ -82,9 +84,15 @@ class DalyModel(CheckpointModel):
         return [(self._level,)]
 
     # ------------------------------------------------------------------
-    def predict_time(self, plan: CheckpointPlan) -> float:
+    def predict_time(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
         out = self.predict_time_batch(
-            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float),
+            diagnostics=diagnostics,
         )
         return float(out[0])
 
@@ -93,6 +101,8 @@ class DalyModel(CheckpointModel):
         levels: tuple[int, ...],
         counts: tuple[int, ...],
         tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> np.ndarray:
         if tuple(levels) != (self._level,) or counts:
             raise ValueError(
@@ -103,13 +113,56 @@ class DalyModel(CheckpointModel):
         M = self.system.mtbf
         T_B = self.system.baseline_time
         exponent = (tau0 + self._delta) / M
-        with np.errstate(over="ignore"):
-            per_work = np.where(
-                exponent > _EXP_OVERFLOW,
-                np.inf,
-                M * math.exp(self._restart / M) * np.expm1(exponent) / tau0,
+        restart_exp = self._restart / M
+        if restart_exp > _EXP_OVERFLOW:
+            # exp(R/M) alone exceeds the representable range: recovery is
+            # slower than the failure horizon at any interval, so every
+            # plan is hopeless.  Without this guard math.exp raises
+            # OverflowError and the sweep crashes.
+            flag(
+                diagnostics, f"{self.name}.restart", "clamp",
+                np.ones(tau0.shape, dtype=bool),
+                values=restart_exp, label="restart_over_mtbf",
             )
-        return per_work * T_B
+            return np.full(tau0.shape, np.inf)
+        clamp = flag(
+            diagnostics, f"{self.name}.exponent", "clamp",
+            exponent > _EXP_OVERFLOW, values=exponent, label="exponent",
+        )
+        with np.errstate(over="ignore", invalid="ignore"):
+            raw = M * math.exp(restart_exp) * np.expm1(exponent) / tau0
+            per_work = np.where(clamp, np.inf, raw)
+        # Organic overflow below the clamp threshold (huge M, tiny tau0)
+        # and any NaN from degenerate inputs are recorded and pinned to
+        # +inf — finite cells are bitwise identical to the bare formula.
+        flag(
+            diagnostics, f"{self.name}.total", "overflow",
+            np.isinf(raw) & ~clamp, values=exponent, label="exponent",
+        )
+        nan_mask = flag(diagnostics, f"{self.name}.total", "nan", np.isnan(per_work))
+        per_work = np.where(nan_mask, np.inf, per_work)
+        # Underflow guard: for subnormal tau0 with a free checkpoint the
+        # exponent underflows and expm1 returns 0, collapsing the per-work
+        # cost below its analytic infimum of 1 (failure-free execution).
+        # Pin to that floor — unreachable for any Table I system, whose
+        # PFS cost keeps the exponent well above the underflow range.
+        with np.errstate(invalid="ignore"):
+            floor = flag(
+                diagnostics, f"{self.name}.underflow", "clamp",
+                per_work < 1.0, values=tau0, label="tau0",
+            )
+        per_work = np.where(floor, 1.0, per_work)
+        # The final rescale by T_B can overflow on its own when per-work
+        # cost is huge-but-finite and the application is long; that last
+        # escape to +inf must be recorded too.
+        with np.errstate(over="ignore"):
+            total = per_work * T_B
+        flag(
+            diagnostics, f"{self.name}.total", "overflow",
+            np.isinf(total) & np.isfinite(per_work),
+            values=per_work, label="per_work_time",
+        )
+        return total
 
     # ------------------------------------------------------------------
     def optimize(self, **sweep_options) -> OptimizationResult:
@@ -117,19 +170,31 @@ class DalyModel(CheckpointModel):
         if sweep_options:
             return super().optimize(**sweep_options)
         T_B = self.system.baseline_time
+        diag = ModelDiagnostics()
         seed = min(daly_optimum_interval(self._delta, self.system.mtbf), T_B)
         fn = lambda t: float(
-            self.predict_time_batch((self._level,), (), np.array([t]))[0]
+            self.predict_time_batch(
+                (self._level,), (), np.array([t]), diagnostics=diag
+            )[0]
         )
         lo = max(T_B * 1e-6, seed / 16.0)
         hi = min(T_B, seed * 16.0)
         tau, best, evals = golden_section(fn, lo, hi, iterations=80, full_output=True)
+        if not math.isfinite(best):
+            raise RuntimeError(
+                f"{type(self).__name__} found no feasible plan for "
+                f"{self.system.name}; every candidate evaluated to infinite "
+                "expected time"
+            )
         plan = CheckpointPlan.single_level(self._level, tau)
         return OptimizationResult(
             plan=plan,
             predicted_time=best,
-            predicted_efficiency=min(1.0, T_B / best) if math.isfinite(best) else 0.0,
+            predicted_efficiency=min(1.0, T_B / best),
             evaluations=evals,
+            certificate=OptimizationCertificate.from_diagnostics(
+                diag, evaluations=evals, refinement_moved=tau != seed
+            ),
         )
 
     @property
@@ -151,10 +216,18 @@ class YoungModel(DalyModel):
         T_B = self.system.baseline_time
         tau = min(young_optimum_interval(self._delta, self.system.mtbf), T_B)
         plan = CheckpointPlan.single_level(self._level, tau)
-        t = self.predict_time(plan)
+        diag = ModelDiagnostics()
+        t = self.predict_time(plan, diagnostics=diag)
+        if not math.isfinite(t):
+            raise RuntimeError(
+                f"{type(self).__name__} found no feasible plan for "
+                f"{self.system.name}; the first-order interval evaluated to "
+                "infinite expected time"
+            )
         return OptimizationResult(
             plan=plan,
             predicted_time=t,
-            predicted_efficiency=min(1.0, T_B / t) if math.isfinite(t) else 0.0,
+            predicted_efficiency=min(1.0, T_B / t),
             evaluations=1,
+            certificate=OptimizationCertificate.from_diagnostics(diag, evaluations=1),
         )

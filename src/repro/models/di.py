@@ -19,6 +19,12 @@ the restart-failure terms (Eqns. 12 and 14) switched off and the plan
 space restricted to the top-two-levels subsets.  Failures during
 *checkpoints* remain modeled, matching the paper's attribution of Di's
 error solely to restart-failure neglect.
+
+The numerics guard (see :mod:`repro.core.numerics`) is inherited from the
+base recursion: ``predict_time(..., diagnostics=)`` records clamp and
+overflow events under ``"di.*"`` sites (the ``name`` attribute prefixes
+every site), and the restart-failure (``zeta``) site never fires because
+the term is disabled.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ import math
 import numpy as np
 
 from ..core.interfaces import CheckpointModel, OptimizationResult, split_grid_counts
+from ..core.numerics import ModelDiagnostics, flag, safe_expm1
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
 from ..core.truncated import truncated_mean
@@ -47,6 +48,7 @@ class MoodyModel(CheckpointModel):
     name = "moody"
     takes_scheduled_end_checkpoint = True
     supports_grid_eval = True
+    supports_diagnostics = True
 
     def __init__(self, system: SystemSpec, escalating_restarts: bool = True):
         super().__init__(system)
@@ -62,9 +64,15 @@ class MoodyModel(CheckpointModel):
         return [tuple(range(1, self.system.num_levels + 1))]
 
     # ------------------------------------------------------------------
-    def predict_time(self, plan: CheckpointPlan) -> float:
+    def predict_time(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
         out = self.predict_time_batch(
-            plan.levels, plan.counts, np.array([plan.tau0], dtype=float)
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float),
+            diagnostics=diagnostics,
         )
         return float(out[0])
 
@@ -73,16 +81,32 @@ class MoodyModel(CheckpointModel):
         levels: tuple[int, ...],
         counts,
         tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> np.ndarray:
         """``T_B / pattern_efficiency`` over an array of ``tau0`` values.
 
         ``counts`` may be a 2-D ``(V, C)`` matrix of count vectors (the
         optimizer's batched-sweep contract); the result is then ``(V, T)``.
+        A zero steady-state efficiency means the pattern never makes
+        progress; the predicted time is ``+inf`` and — unlike the bare
+        division that would silently produce it — the collapse is recorded
+        as a ``moody.efficiency`` divergence event.
         """
-        eff = self.pattern_efficiency_batch(levels, counts, tau0)
+        eff = self.pattern_efficiency_batch(levels, counts, tau0, diagnostics=diagnostics)
         T_B = self.system.baseline_time
-        with np.errstate(divide="ignore"):
-            return np.where(eff > 0, T_B / eff, math.inf)
+        flag(diagnostics, f"{self.name}.efficiency", "divergence", eff <= 0)
+        with np.errstate(divide="ignore", over="ignore"):
+            times = np.where(eff > 0, T_B / eff, math.inf)
+        # An efficiency that is positive but subnormal-tiny overflows
+        # T_B / eff to +inf on its own; that escape hatch must be as loud
+        # as the eff <= 0 one (the silent-inf path the stress validator
+        # originally caught).
+        flag(
+            diagnostics, f"{self.name}.efficiency", "overflow",
+            np.isinf(times) & (eff > 0), values=eff, label="efficiency",
+        )
+        return times
 
     def pattern_efficiency(self, plan: CheckpointPlan) -> float:
         """Steady-state efficiency of one pattern (SCR's own metric)."""
@@ -97,6 +121,8 @@ class MoodyModel(CheckpointModel):
         levels: tuple[int, ...],
         counts,
         tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
     ) -> np.ndarray:
         L = self.system.num_levels
         if tuple(levels) != tuple(range(1, L + 1)):
@@ -135,8 +161,12 @@ class MoodyModel(CheckpointModel):
                 n_ckpt = counts[k]
 
             with np.errstate(over="ignore", invalid="ignore"):
-                bad |= lam_k * tau_k > _MAX_RATE_TIME
-                gamma = np.expm1(lam_k * tau_k)
+                rate_time = lam_k * tau_k
+                bad |= flag(
+                    diagnostics, f"{self.name}.gamma", "clamp",
+                    rate_time > _MAX_RATE_TIME, values=rate_time, label="rate_time",
+                )
+                gamma = safe_expm1(rate_time, diagnostics, f"{self.name}.gamma")
                 E_tau = np.asarray(truncated_mean(tau_k, lam_k))
                 T_Wtau = gamma * E_tau * m_intervals
                 T_d = n_ckpt * delta
@@ -144,8 +174,14 @@ class MoodyModel(CheckpointModel):
                 hist_rework.append(gamma * E_tau)
 
                 if delta > 0:
-                    bad |= lam_c * delta > _MAX_RATE_TIME
-                    alpha = n_ckpt * np.expm1(lam_c * delta)
+                    bad |= flag(
+                        diagnostics, f"{self.name}.alpha", "clamp",
+                        lam_c * delta > _MAX_RATE_TIME,
+                        values=lam_c * delta, label="rate_time",
+                    )
+                    alpha = n_ckpt * safe_expm1(
+                        lam_c * delta, diagnostics, f"{self.name}.alpha"
+                    )
                     T_df = alpha * truncated_mean(delta, lam_c)
                     lost = np.zeros(shape)
                     for j in range(k + 1):
@@ -164,7 +200,11 @@ class MoodyModel(CheckpointModel):
                 )
 
                 if R > 0:
-                    bad |= lam_c * R > _MAX_RATE_TIME
+                    bad |= flag(
+                        diagnostics, f"{self.name}.restart", "clamp",
+                        lam_c * R > _MAX_RATE_TIME,
+                        values=lam_c * R, label="rate_time",
+                    )
                     p_fail = -np.expm1(-lam_c * R)
                 else:
                     p_fail = np.zeros(shape)
@@ -183,7 +223,10 @@ class MoodyModel(CheckpointModel):
                     successes = demand
                     failed = demand * p_fail / (1.0 - p_fail)
                     esc_out = np.zeros(shape)
-                    bad |= ~np.isfinite(failed)
+                    bad |= flag(
+                        diagnostics, f"{self.name}.retry", "divergence",
+                        ~np.isfinite(failed), values=p_fail, label="p_fail",
+                    )
 
                 T_r = successes * R
                 T_rf = failed * (truncated_mean(R, lam_c) if R > 0 else 0.0)
@@ -199,6 +242,12 @@ class MoodyModel(CheckpointModel):
                 )
                 esc_in = esc_out
 
+        # Guard invariant: NaN never escapes, and every diverged pattern
+        # span not already claimed by a clamp is recorded as it is zeroed.
+        bad |= flag(diagnostics, f"{self.name}.pattern", "nan", np.isnan(tau_k))
+        bad |= flag(
+            diagnostics, f"{self.name}.pattern", "divergence", np.isinf(tau_k) & ~bad
+        )
         bad |= ~np.isfinite(tau_k)
         with np.errstate(invalid="ignore", divide="ignore"):
             eff = np.where(bad | (tau_k <= 0), 0.0, pattern_work / tau_k)

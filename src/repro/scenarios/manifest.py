@@ -51,7 +51,11 @@ class StudyRunRecord:
     this execution.  ``resilience`` records the fault-tolerance story of
     the execution: how many scenarios were resumed from a journal versus
     executed fresh, the journal path, and every retry / pool-rebuild /
-    serial-fallback event the scheduler logged.
+    serial-fallback event the scheduler logged.  ``numerics`` aggregates
+    the numerics-guard event counts (``"site:kind" -> count``) the
+    models recorded while optimizing this study's scenarios — an empty
+    block means every sweep stayed inside the models' comfortable
+    regime.
     """
 
     study: str
@@ -61,6 +65,7 @@ class StudyRunRecord:
     stages: dict[str, dict[str, float]] = field(default_factory=dict)
     cache: dict[str, int] = field(default_factory=dict)
     resilience: dict[str, Any] = field(default_factory=dict)
+    numerics: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -71,6 +76,7 @@ class StudyRunRecord:
             "stages": dict(self.stages),
             "cache": dict(self.cache),
             "resilience": dict(self.resilience),
+            "numerics": dict(self.numerics),
         }
 
     @classmethod
@@ -83,6 +89,9 @@ class StudyRunRecord:
             stages=dict(data.get("stages", {})),
             cache=dict(data.get("cache", {})),
             resilience=dict(data.get("resilience", {})),
+            numerics={
+                str(k): int(v) for k, v in dict(data.get("numerics", {})).items()
+            },
         )
 
 

@@ -25,7 +25,7 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..exec import (
     OptimizationCache,
@@ -179,6 +179,7 @@ def _build_record(
     stages: dict,
     cache_d: CacheStats,
     resilience: dict[str, Any],
+    numerics: dict[str, int] | None = None,
 ) -> StudyRunRecord:
     """Assemble the per-study manifest record (complete or partial run)."""
     return StudyRunRecord(
@@ -206,7 +207,17 @@ def _build_record(
             "stores": cache_d.stores,
         },
         resilience=resilience,
+        numerics=dict(numerics or {}),
     )
+
+
+def aggregate_numerics(outcomes: Iterable[TechniqueOutcome]) -> dict[str, int]:
+    """Sum per-outcome numerics-guard event counts into one sorted block."""
+    totals: dict[str, int] = {}
+    for outcome in outcomes:
+        for key, count in outcome.numerics.items():
+            totals[key] = totals.get(key, 0) + int(count)
+    return dict(sorted(totals.items()))
 
 
 def execute_study(
@@ -305,7 +316,10 @@ def execute_study(
         cache_d = (
             cache.stats.delta(cache_before) if cache is not None else CacheStats()
         )
-        return _build_record(study, stages, cache_d, resilience(interrupted))
+        return _build_record(
+            study, stages, cache_d, resilience(interrupted),
+            numerics=aggregate_numerics(outcomes_map.values()),
+        )
 
     def on_result(task_index: int, outcome: TechniqueOutcome) -> None:
         index = pending[task_index]

@@ -11,15 +11,29 @@ from .catalog import (
     get_system,
 )
 from .spec import SystemSpec
+from .stress import (
+    STRESS_SYSTEM_ORDER,
+    STRESS_SYSTEMS,
+    boundary_taus,
+    get_stress_system,
+    million_node_variant,
+    stress_systems,
+)
 
 __all__ = [
     "EXASCALE_BASELINE_LONG",
     "EXASCALE_BASELINE_SHORT",
+    "STRESS_SYSTEM_ORDER",
+    "STRESS_SYSTEMS",
     "SystemSpec",
     "TEST_SYSTEM_ORDER",
     "TEST_SYSTEMS",
+    "boundary_taus",
     "exascale_grid",
     "exascale_mtbf_values",
     "exascale_top_costs",
+    "get_stress_system",
     "get_system",
+    "million_node_variant",
+    "stress_systems",
 ]

@@ -79,6 +79,27 @@ class SystemSpec:
         object.__setattr__(self, "checkpoint_times", _as_tuple(self.checkpoint_times))
         if self.restart_times is not None:
             object.__setattr__(self, "restart_times", _as_tuple(self.restart_times))
+        # Finiteness first: NaN slips past every ordered comparison below
+        # (``nan <= 0`` is False) and inf would silently propagate into the
+        # models, so both are rejected outright (numerics-guard contract).
+        if not math.isfinite(self.mtbf):
+            raise ValueError(f"mtbf must be finite, got {self.mtbf}")
+        if not math.isfinite(self.baseline_time):
+            raise ValueError(f"baseline_time must be finite, got {self.baseline_time}")
+        if any(not math.isfinite(p) for p in self.level_probabilities):
+            raise ValueError(
+                f"severity probabilities must be finite, got {self.level_probabilities}"
+            )
+        if any(not math.isfinite(d) for d in self.checkpoint_times):
+            raise ValueError(
+                f"checkpoint times must be finite, got {self.checkpoint_times}"
+            )
+        if self.restart_times is not None and any(
+            not math.isfinite(r) for r in self.restart_times
+        ):
+            raise ValueError(f"restart times must be finite, got {self.restart_times}")
+        if any(r < 0 for r in self.restart_times or ()):
+            raise ValueError("restart times must be non-negative")
         if self.mtbf <= 0:
             raise ValueError(f"mtbf must be positive, got {self.mtbf}")
         if self.baseline_time <= 0:

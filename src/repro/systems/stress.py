@@ -1,0 +1,211 @@
+"""Adversarial stress catalog for the numerics guard.
+
+Where :mod:`repro.systems.catalog` transcribes the paper's Table I, this
+module deliberately leaves the models' derivation regime: near-zero and
+enormous MTBFs, free and mammoth checkpoints, severity distributions
+pinched to a single class, applications shorter than a checkpoint and
+longer than the failure horizon, and 10^6-node scaled variants of every
+Table I system.  Every spec here passes :class:`SystemSpec` validation —
+the point is not malformed *inputs* but extreme *regimes*: feeding these
+to the five models must yield finite-or-``+inf`` predictions (never NaN,
+never a crash) with every clamp/overflow recorded as a
+:class:`~repro.core.numerics.NumericsEvent`.
+
+``repro.validate --stress`` (see :mod:`repro.validate`) sweeps every model
+over this catalog plus per-system domain-boundary ``tau0`` values from
+:func:`boundary_taus`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .catalog import TEST_SYSTEM_ORDER, TEST_SYSTEMS
+from .spec import SystemSpec
+
+__all__ = [
+    "STRESS_SYSTEMS",
+    "STRESS_SYSTEM_ORDER",
+    "boundary_taus",
+    "get_stress_system",
+    "million_node_variant",
+    "stress_systems",
+]
+
+#: Scale factor applied to MTBF for the "10^6-node" variants: failure
+#: rate grows linearly with component count, and Table I's machines sit
+#: around the 10^4-node mark (Mira: 49k nodes; Coastal: ~1k), so two
+#: orders of magnitude of extra failure rate is the forecast regime the
+#: paper's Section IV-E exascale discussion targets from above.
+MILLION_NODE_MTBF_FACTOR = 100.0
+
+
+def million_node_variant(spec: SystemSpec) -> SystemSpec:
+    """``spec`` scaled to ~10^6 nodes: MTBF divided by 100.
+
+    Severity shares and per-level costs are kept — the paper's own
+    Figure 4/5 scaling argument (lower levels spread data across the
+    machine and are insensitive to scale) applied pessimistically to
+    every level.
+    """
+    return spec.with_mtbf(spec.mtbf / MILLION_NODE_MTBF_FACTOR).renamed(
+        f"{spec.name}@1e6n",
+        description=f"{spec.name} scaled to ~1e6 nodes (MTBF / "
+        f"{MILLION_NODE_MTBF_FACTOR:g}); {spec.description}".strip("; "),
+    )
+
+
+def _handcrafted() -> dict[str, SystemSpec]:
+    """The pathological corner cases, each probing one failure mode."""
+    specs = [
+        SystemSpec(
+            name="storm",
+            mtbf=1e-3,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.05, 0.5),
+            baseline_time=60.0,
+            description="near-zero MTBF: failures every 60ms, every plan hopeless "
+            "(expm1 overflow / negative-binomial clamp territory)",
+        ),
+        SystemSpec(
+            name="calm",
+            mtbf=1e12,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.05, 0.5),
+            baseline_time=1440.0,
+            description="enormous MTBF: failure terms underflow toward zero, "
+            "optimum degenerates to checkpoint-free",
+        ),
+        SystemSpec(
+            name="free-ckpt",
+            mtbf=100.0,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.0, 0.0),
+            baseline_time=1440.0,
+            description="zero-cost checkpoints at every level: alpha/T_df terms "
+            "vanish, density terms divide by vanishing work",
+        ),
+        SystemSpec(
+            name="free-low",
+            mtbf=100.0,
+            level_probabilities=(0.9, 0.1),
+            checkpoint_times=(0.0, 30.0),
+            baseline_time=1440.0,
+            description="free level-1 next to an expensive PFS: maximal cost "
+            "asymmetry between adjacent levels",
+        ),
+        SystemSpec(
+            name="mammoth-ckpt",
+            mtbf=100.0,
+            level_probabilities=(0.5, 0.5),
+            checkpoint_times=(1.0, 1e6),
+            baseline_time=1440.0,
+            description="checkpoint far larger than both MTBF and application: "
+            "every PFS write is doomed (lam*delta >> clamp threshold)",
+        ),
+        SystemSpec(
+            name="skew-low",
+            mtbf=50.0,
+            level_probabilities=(1.0 - 1e-6, 1e-6),
+            checkpoint_times=(0.1, 10.0),
+            baseline_time=1440.0,
+            description="pathological severity ratio: top level protects a "
+            "1e-6 sliver of the failure mass",
+        ),
+        SystemSpec(
+            name="skew-high",
+            mtbf=50.0,
+            level_probabilities=(1e-6, 1.0 - 1e-6),
+            checkpoint_times=(0.1, 10.0),
+            baseline_time=1440.0,
+            description="inverted severity ratio: essentially every failure "
+            "needs the PFS checkpoint",
+        ),
+        SystemSpec(
+            name="blink-app",
+            mtbf=100.0,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.05, 5.0),
+            baseline_time=1e-3,
+            description="application far shorter than any checkpoint: tau0 "
+            "domain (0, T_B) collapses to sub-millisecond intervals",
+        ),
+        SystemSpec(
+            name="epoch-app",
+            mtbf=1e7,
+            level_probabilities=(0.7, 0.3),
+            checkpoint_times=(0.05, 5.0),
+            baseline_time=1e9,
+            description="application of ~1900 years on a reliable machine: "
+            "huge-count patterns, products prone to overflow",
+        ),
+        SystemSpec(
+            name="deep5",
+            mtbf=30.0,
+            level_probabilities=(0.4, 0.3, 0.15, 0.1, 0.05),
+            checkpoint_times=(0.01, 0.05, 0.25, 1.25, 6.25),
+            baseline_time=1440.0,
+            description="five-level hierarchy under heavy failure load: "
+            "deepest stage recursion the catalog exercises",
+        ),
+    ]
+    return {s.name: s for s in specs}
+
+
+def _build() -> dict[str, SystemSpec]:
+    systems = _handcrafted()
+    for name in TEST_SYSTEM_ORDER:
+        variant = million_node_variant(TEST_SYSTEMS[name])
+        systems[variant.name] = variant
+    return systems
+
+
+#: The full adversarial catalog: handcrafted corner cases plus the
+#: 10^6-node variants of every Table I system (M/B/D1-D9).
+STRESS_SYSTEMS: dict[str, SystemSpec] = _build()
+
+#: Deterministic iteration order (handcrafted first, then scaled Table I).
+STRESS_SYSTEM_ORDER: tuple[str, ...] = tuple(STRESS_SYSTEMS)
+
+
+def get_stress_system(name: str) -> SystemSpec:
+    """Look up a stress system by name (case-sensitive), with a clear error."""
+    try:
+        return STRESS_SYSTEMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stress system {name!r}; available: {list(STRESS_SYSTEM_ORDER)}"
+        ) from None
+
+
+def stress_systems() -> list[SystemSpec]:
+    """The catalog in deterministic order."""
+    return [STRESS_SYSTEMS[name] for name in STRESS_SYSTEM_ORDER]
+
+
+def boundary_taus(system: SystemSpec) -> list[float]:
+    """Domain-boundary ``tau0`` probes for ``system``.
+
+    The model domain is ``0 < tau0 <= T_B``; this returns values hugging
+    both ends plus interior magnitudes: the smallest positive double,
+    denormal-adjacent and absolute tiny values, fractions of ``T_B``, and
+    ``T_B`` itself.  All values are valid :class:`CheckpointPlan`
+    intervals (positive, finite); duplicates after clamping to the domain
+    are removed while preserving order.
+    """
+    T_B = system.baseline_time
+    candidates = [
+        float(np.nextafter(0.0, 1.0)),  # smallest positive subnormal
+        1e-300,                         # extreme but normal magnitude
+        1e-12,
+        T_B * 1e-6,
+        T_B * 0.5,
+        T_B,
+    ]
+    out: list[float] = []
+    for t in candidates:
+        if 0.0 < t <= T_B and math.isfinite(t) and t not in out:
+            out.append(t)
+    return out

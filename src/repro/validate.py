@@ -1,0 +1,390 @@
+"""Cross-check validator: optimize-then-simulate under adversarial regimes.
+
+``python -m repro validate [--stress] [--quick]`` runs every technique
+over a system catalog — the paper's Table I by default, the adversarial
+:data:`~repro.systems.stress.STRESS_SYSTEMS` with ``--stress`` — and
+checks the numerics-guard invariants end to end:
+
+1. **Boundary predictions**: each model is evaluated on every
+   :func:`~repro.systems.stress.boundary_taus` probe of every candidate
+   level subset.  Predictions must be finite-or-``+inf`` and strictly
+   positive; NaN anywhere is a violation, and an ``+inf`` from a
+   diagnostics-capable model without a recorded
+   :class:`~repro.core.numerics.NumericsEvent` is a *silent-inf*
+   violation (the guard must be loud).
+2. **Optimization**: the Section III-C sweep must either return a finite
+   plan carrying an :class:`~repro.core.numerics.OptimizationCertificate`
+   or raise the defined ``RuntimeError`` ("no feasible plan") — reported
+   as a ``hopeless`` verdict, not a failure.  Any other exception is a
+   crash violation.
+3. **Simulation cross-check**: feasible plans are measured by the
+   simulator (small trial counts, wall-clock-capped) and the
+   model-vs-simulator efficiency deviation is *reported* as a band —
+   models legitimately deviate outside their derivation regime, so
+   deviation is informative output, never an invariant.
+
+The command exits non-zero iff an invariant is violated; deviation bands
+and per-site event totals always print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .core.numerics import ModelDiagnostics
+from .core.plan import CheckpointPlan
+from .experiments.runner import DEFAULT_TECHNIQUES, pair_seed
+from .models import make_model
+from .simulator import simulate_many
+from .systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
+from .systems.spec import SystemSpec
+from .systems.stress import boundary_taus, stress_systems
+
+__all__ = [
+    "PairReport",
+    "ValidationReport",
+    "Violation",
+    "format_validation",
+    "run_validation",
+]
+
+#: Per-trial event-scale caps above which the simulation cross-check is
+#: skipped (the discrete simulator walks every checkpoint position and
+#: failure; beyond these the check would dominate the validator's
+#: wall-clock without testing anything new about the *models*).
+_MAX_EXPECTED_FAILURES = 2e4
+_MAX_PATTERN_POSITIONS = 5e4
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach; any violation makes the validator exit non-zero."""
+
+    system: str
+    technique: str
+    check: str  # "nan" | "non-positive" | "silent-inf" | "crash"
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "technique": self.technique,
+            "check": self.check,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class PairReport:
+    """Outcome of validating one (system, technique) pair."""
+
+    system: str
+    technique: str
+    verdict: str  # "ok" | "hopeless" | "predict-only" | "crash"
+    predicted_efficiency: float | None = None
+    simulated_efficiency: float | None = None
+    deviation: float | None = None
+    probe_evaluations: int = 0
+    events: Mapping[str, int] = field(default_factory=dict)
+    note: str = ""
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.events.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "technique": self.technique,
+            "verdict": self.verdict,
+            "predicted_efficiency": self.predicted_efficiency,
+            "simulated_efficiency": self.simulated_efficiency,
+            "deviation": self.deviation,
+            "probe_evaluations": self.probe_evaluations,
+            "events": dict(self.events),
+            "note": self.note,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Everything one ``repro validate`` run observed."""
+
+    catalog: str  # "standard" | "stress"
+    pairs: list[PairReport] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def event_totals(self) -> dict[str, int]:
+        """Aggregate ``site:kind`` event counts across every pair."""
+        totals: dict[str, int] = {}
+        for pair in self.pairs:
+            for key, count in pair.events.items():
+                totals[key] = totals.get(key, 0) + count
+        return dict(sorted(totals.items()))
+
+    def deviation_band(self) -> tuple[float, float] | None:
+        """(min, max) predicted-minus-simulated efficiency, when measured."""
+        devs = [p.deviation for p in self.pairs if p.deviation is not None]
+        if not devs:
+            return None
+        return min(devs), max(devs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "catalog": self.catalog,
+            "ok": self.ok,
+            "pairs": [p.to_dict() for p in self.pairs],
+            "violations": [v.to_dict() for v in self.violations],
+            "event_totals": self.event_totals(),
+        }
+
+
+def _probe_specs(model) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """(levels, counts) combinations probed at every boundary tau0."""
+    probes: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    for levels in model.candidate_level_subsets():
+        num_counts = len(levels) - 1
+        if num_counts == 0:
+            probes.append((tuple(levels), ()))
+        else:
+            probes.append((tuple(levels), (1,) * num_counts))
+            probes.append((tuple(levels), (4,) * num_counts))
+    return probes
+
+
+def _check_predictions(
+    report: ValidationReport,
+    pair: PairReport,
+    times: np.ndarray,
+    events_before: int,
+    diag: ModelDiagnostics | None,
+    context: str,
+) -> None:
+    """Apply the finite-or-inf invariants to one batch of predictions."""
+    times = np.asarray(times, dtype=float)
+    if np.isnan(times).any():
+        report.violations.append(
+            Violation(pair.system, pair.technique, "nan",
+                      f"NaN prediction at {context}")
+        )
+    finite = np.isfinite(times)
+    if (times[finite] <= 0).any():
+        report.violations.append(
+            Violation(pair.system, pair.technique, "non-positive",
+                      f"non-positive finite prediction at {context}")
+        )
+    if diag is not None and np.isinf(times).any() and diag.total == events_before:
+        report.violations.append(
+            Violation(pair.system, pair.technique, "silent-inf",
+                      f"+inf prediction with no recorded event at {context}")
+        )
+
+
+def _probe_boundaries(
+    report: ValidationReport,
+    pair: PairReport,
+    model,
+    system: SystemSpec,
+    diag: ModelDiagnostics | None,
+) -> None:
+    """Invariant check 1: boundary-of-domain predictions."""
+    taus = np.asarray(boundary_taus(system), dtype=float)
+    for levels, counts in _probe_specs(model):
+        context = f"levels={levels} counts={counts}"
+        kwargs = {"diagnostics": diag} if diag is not None else {}
+        before = diag.total if diag is not None else 0
+        batch = getattr(model, "predict_time_batch", None)
+        if batch is not None:
+            times = np.asarray(batch(levels, counts, taus, **kwargs), dtype=float)
+        else:
+            times = np.array(
+                [
+                    model.predict_time(
+                        CheckpointPlan(levels=levels, tau0=float(t), counts=counts),
+                        **kwargs,
+                    )
+                    for t in taus
+                ],
+                dtype=float,
+            )
+        pair.probe_evaluations += times.size
+        _check_predictions(report, pair, times, before, diag, context)
+
+
+def _sweep_options(system: SystemSpec, quick: bool) -> dict:
+    """Stress-tuned sweep bounds: coarse but fully guarded."""
+    return {
+        "tau0_points": 16 if quick else 32,
+        "count_candidates": (1, 2, 4, 8, 16),
+    }
+
+
+def _simulation_tractable(
+    system: SystemSpec, plan: CheckpointPlan, predicted_time: float
+) -> bool:
+    # Gate on the *predicted makespan*, not the baseline: a barely
+    # feasible plan (tiny efficiency) runs orders of magnitude longer
+    # than T_B and accrues a failure event per MTBF for the whole span.
+    horizon = (
+        predicted_time
+        if math.isfinite(predicted_time) and predicted_time > 0
+        else system.baseline_time
+    )
+    expected_failures = horizon / system.mtbf
+    positions = system.baseline_time / plan.tau0
+    return (
+        expected_failures <= _MAX_EXPECTED_FAILURES
+        and positions <= _MAX_PATTERN_POSITIONS
+    )
+
+
+def _validate_pair(
+    report: ValidationReport,
+    system: SystemSpec,
+    technique: str,
+    trials: int,
+    seed: int,
+    quick: bool,
+) -> PairReport:
+    pair = PairReport(system=system.name, technique=technique, verdict="ok")
+    model = make_model(technique, system)
+    diag = (
+        ModelDiagnostics()
+        if getattr(model, "supports_diagnostics", False)
+        else None
+    )
+    try:
+        _probe_boundaries(report, pair, model, system, diag)
+
+        try:
+            opt = model.optimize(**_sweep_options(system, quick))
+        except RuntimeError as exc:
+            # The defined "no feasible plan" contract: a verdict, not a bug.
+            pair.verdict = "hopeless"
+            pair.note = str(exc)
+            return pair
+
+        if opt.certificate is not None:
+            for key, count in opt.certificate.events.items():
+                diag_events = dict(pair.events)
+                diag_events[key] = diag_events.get(key, 0) + count
+                pair.events = diag_events
+        pair.predicted_efficiency = opt.predicted_efficiency
+        _check_predictions(
+            report, pair, np.array([opt.predicted_time]),
+            0, None, "optimize() result",
+        )
+
+        if not _simulation_tractable(system, opt.plan, opt.predicted_time):
+            pair.verdict = "predict-only"
+            pair.note = "simulation skipped (event count beyond validator caps)"
+            return pair
+
+        stats = simulate_many(
+            system,
+            opt.plan,
+            trials=trials,
+            seed=pair_seed(seed, system.name, technique),
+            max_time=(
+                50.0 * opt.predicted_time
+                if math.isfinite(opt.predicted_time)
+                else None
+            ),
+        )
+        pair.simulated_efficiency = stats.mean_efficiency
+        if stats.mean_efficiency > 0:
+            pair.deviation = opt.predicted_efficiency - stats.mean_efficiency
+    except Exception as exc:  # noqa: BLE001 - crash *is* the invariant
+        pair.verdict = "crash"
+        pair.note = f"{type(exc).__name__}: {exc}"
+        report.violations.append(
+            Violation(system.name, technique, "crash", pair.note)
+        )
+    finally:
+        if diag is not None:
+            merged = dict(pair.events)
+            for key, count in diag.counts().items():
+                merged[key] = merged.get(key, 0) + count
+            pair.events = merged
+    return pair
+
+
+def run_validation(
+    stress: bool = False,
+    quick: bool = False,
+    techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    systems: Sequence[SystemSpec] | None = None,
+    trials: int | None = None,
+    seed: int = 0,
+) -> ValidationReport:
+    """Validate every technique against a system catalog.
+
+    ``stress=True`` swaps the paper's Table I catalog for the adversarial
+    :data:`~repro.systems.stress.STRESS_SYSTEMS`.  ``quick=True`` coarsens
+    the sweeps and shrinks the trial count — the CI smoke configuration.
+    ``systems`` overrides the catalog entirely (any validated
+    :class:`SystemSpec` list).
+    """
+    if systems is None:
+        if stress:
+            systems = stress_systems()
+        else:
+            systems = [TEST_SYSTEMS[name] for name in TEST_SYSTEM_ORDER]
+    if trials is None:
+        trials = 6 if quick else 24
+    report = ValidationReport(catalog="stress" if stress else "standard")
+    for system in systems:
+        for technique in techniques:
+            report.pairs.append(
+                _validate_pair(report, system, technique, trials, seed, quick)
+            )
+    return report
+
+
+def format_validation(report: ValidationReport) -> str:
+    """Human-readable validation summary (one line per pair)."""
+    lines = [
+        f"numerics validation — {report.catalog} catalog, "
+        f"{len(report.pairs)} (system, technique) pairs"
+    ]
+    for p in report.pairs:
+        bits = [f"{p.system}/{p.technique}: {p.verdict}"]
+        if p.predicted_efficiency is not None:
+            bits.append(f"pred_eff={p.predicted_efficiency:.4f}")
+        if p.simulated_efficiency is not None:
+            bits.append(f"sim_eff={p.simulated_efficiency:.4f}")
+        if p.deviation is not None:
+            bits.append(f"dev={p.deviation:+.4f}")
+        if p.total_events:
+            bits.append(f"events={p.total_events}")
+        if p.note:
+            bits.append(f"({p.note})")
+        lines.append("  " + "  ".join(bits))
+    band = report.deviation_band()
+    if band is not None:
+        lines.append(
+            f"model-vs-simulator efficiency deviation band: "
+            f"[{band[0]:+.4f}, {band[1]:+.4f}]"
+        )
+    totals = report.event_totals()
+    if totals:
+        lines.append("numerics events by site:")
+        for key, count in totals.items():
+            lines.append(f"  {key}: {count}")
+    else:
+        lines.append("numerics events: none recorded")
+    if report.violations:
+        lines.append(f"VIOLATIONS ({len(report.violations)}):")
+        for v in report.violations:
+            lines.append(f"  {v.system}/{v.technique} [{v.check}]: {v.detail}")
+    else:
+        lines.append("invariants: all checks passed (finite-or-inf, NaN-free, loud)")
+    return "\n".join(lines)

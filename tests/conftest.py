@@ -6,6 +6,23 @@ import pytest
 
 from repro.systems import SystemSpec, get_system
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # CI runs with --hypothesis-profile=ci: derandomized (same examples
+    # on every run, so a red build is reproducible locally), no deadline
+    # (shared runners have noisy clocks), and the suppressed health check
+    # allows the module-scoped model instances the property tests reuse.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+except ImportError:  # hypothesis is a dev extra; tests skip without it
+    pass
+
 
 @pytest.fixture
 def tiny2() -> SystemSpec:

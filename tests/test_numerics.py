@@ -1,0 +1,289 @@
+"""Numerics guard: primitives, diagnostics, certificates, model threading.
+
+Covers the three invariants of :mod:`repro.core.numerics` — finite-or-inf,
+bitwise exactness on finite paths, and loudness of every ``+inf`` — plus
+the NaN rejection added to :class:`OptimizationResult` and
+``predict_efficiency``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.interfaces import OptimizationResult
+from repro.core.numerics import (
+    ModelDiagnostics,
+    NumericsEvent,
+    OptimizationCertificate,
+    flag,
+    log1p_sum,
+    prod1p,
+    safe_div,
+    safe_expm1,
+)
+from repro.core.plan import CheckpointPlan
+from repro.models import TECHNIQUES, make_model
+from repro.systems import STRESS_SYSTEMS, get_system
+
+ALL_TECHNIQUES = ("dauwe", "di", "moody", "benoit", "daly")
+
+
+class TestModelDiagnostics:
+    def test_record_aggregates_counts_and_worst(self):
+        diag = ModelDiagnostics()
+        diag.record("dauwe.gamma", "clamp", count=3, worst={"rate_time": 600.0})
+        diag.record("dauwe.gamma", "clamp", count=2, worst={"rate_time": 900.0})
+        (ev,) = diag.events()
+        assert ev.count == 5
+        assert ev.worst == {"rate_time": 900.0}
+        assert diag.counts() == {"dauwe.gamma:clamp": 5}
+        assert diag.total == 5
+        assert bool(diag)
+
+    def test_zero_count_record_is_dropped(self):
+        diag = ModelDiagnostics()
+        diag.record("x", "clamp", count=0)
+        assert not diag
+        assert diag.total == 0
+
+    def test_record_mask_counts_true_cells(self):
+        diag = ModelDiagnostics()
+        values = np.array([1.0, 700.0, 2.0, 9000.0])
+        diag.record_mask("m.site", "overflow", values > 500.0, values=values,
+                         label="x")
+        (ev,) = diag.events()
+        assert ev.count == 2
+        assert ev.worst == {"x": 9000.0}
+
+    def test_record_mask_nan_offender_ranks_worst(self):
+        diag = ModelDiagnostics()
+        values = np.array([math.nan, 10.0])
+        diag.record_mask("m.site", "nan", np.array([True, True]), values=values)
+        (ev,) = diag.events()
+        assert ev.worst["value"] == math.inf
+
+    def test_merge_folds_events(self):
+        a, b = ModelDiagnostics(), ModelDiagnostics()
+        a.record("s", "clamp", count=1, worst={"v": 1.0})
+        b.record("s", "clamp", count=4, worst={"v": 7.0})
+        b.record("t", "nan", count=2)
+        a.merge(b)
+        assert a.counts() == {"s:clamp": 5, "t:nan": 2}
+        assert a.events()[0].worst == {"v": 7.0}
+
+    def test_events_sorted_deterministically(self):
+        diag = ModelDiagnostics()
+        diag.record("z.site", "nan")
+        diag.record("a.site", "clamp")
+        diag.record("a.site", "overflow")
+        keys = [(ev.site, ev.kind) for ev in diag.events()]
+        assert keys == sorted(keys)
+
+    def test_dict_round_trip(self):
+        diag = ModelDiagnostics()
+        diag.record("dauwe.gamma", "overflow", count=7, worst={"x": 712.5})
+        restored = ModelDiagnostics.from_dict(
+            json.loads(json.dumps(diag.to_dict()))
+        )
+        assert restored.counts() == diag.counts()
+        assert restored.events()[0].worst == diag.events()[0].worst
+
+    def test_numerics_event_round_trip(self):
+        ev = NumericsEvent(site="s", kind="clamp", count=3, worst={"v": 2.0})
+        assert NumericsEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestPrimitives:
+    def test_flag_returns_mask_unchanged(self):
+        diag = ModelDiagnostics()
+        mask = np.array([True, False, True])
+        out = flag(diag, "s", "clamp", mask, values=np.array([1.0, 2.0, 3.0]))
+        assert out is mask
+        assert diag.counts() == {"s:clamp": 2}
+
+    def test_flag_without_diagnostics_is_identity(self):
+        mask = np.array([True])
+        assert flag(None, "s", "clamp", mask) is mask
+
+    def test_safe_expm1_matches_numpy_on_finite(self):
+        x = np.array([-3.0, 0.0, 1.5, 100.0])
+        diag = ModelDiagnostics()
+        out = safe_expm1(x, diag, "s")
+        np.testing.assert_array_equal(out, np.expm1(x))
+        assert not diag  # nothing overflowed
+
+    def test_safe_expm1_records_overflow(self):
+        diag = ModelDiagnostics()
+        out = safe_expm1(np.array([1.0, 1e4]), diag, "s")
+        assert out[1] == math.inf
+        assert diag.counts() == {"s:overflow": 1}
+        assert diag.events()[0].worst == {"x": 1e4}
+
+    def test_safe_div_matches_ieee_and_records(self):
+        diag = ModelDiagnostics()
+        out = safe_div(
+            np.array([1.0, 1.0, 0.0]), np.array([4.0, 0.0, 0.0]), diag, "s"
+        )
+        assert out[0] == 0.25
+        assert out[1] == math.inf
+        assert math.isnan(out[2])
+        counts = diag.counts()
+        assert counts["s:divergence"] == 1
+        assert counts["s:nan"] == 1
+
+    def test_prod1p_identical_to_naive_chain(self):
+        factors = [np.array([0.5, 2.0]), np.array([1.0, 3.0]), 0.25]
+        naive = (factors[0] + 1.0) * (factors[1] + 1.0) * (0.25 + 1.0)
+        np.testing.assert_array_equal(prod1p(factors), naive)
+
+    def test_prod1p_records_overflow_with_log_magnitude(self):
+        diag = ModelDiagnostics()
+        out = prod1p([1e308, 1e308], diag, "s")
+        assert np.isinf(out)
+        (ev,) = diag.events()
+        assert ev.kind == "overflow"
+        expected = float(log1p_sum([1e308, 1e308]))
+        assert ev.worst["log_product"] == pytest.approx(expected)
+
+
+class TestOptimizationCertificate:
+    def test_round_trip_through_json(self):
+        cert = OptimizationCertificate(
+            evaluations=1234,
+            events={"dauwe.gamma:clamp": 9},
+            refinement_moved=True,
+        )
+        restored = OptimizationCertificate.from_dict(
+            json.loads(json.dumps(cert.to_dict()))
+        )
+        assert restored == cert
+        assert restored.total_events == 9
+
+    def test_from_diagnostics(self):
+        diag = ModelDiagnostics()
+        diag.record("s", "clamp", count=2)
+        cert = OptimizationCertificate.from_diagnostics(diag, evaluations=10)
+        assert cert.events == {"s:clamp": 2}
+        assert not cert.refinement_moved
+
+
+class TestInterfacesNaNRejection:
+    def _plan(self):
+        return CheckpointPlan((1, 2), 5.0, (3,))
+
+    def test_result_rejects_nan_time(self):
+        with pytest.raises(ValueError, match="numerics-guard"):
+            OptimizationResult(
+                plan=self._plan(),
+                predicted_time=math.nan,
+                predicted_efficiency=0.9,
+                evaluations=1,
+            )
+
+    def test_result_rejects_nan_efficiency(self):
+        with pytest.raises(ValueError, match="numerics-guard"):
+            OptimizationResult(
+                plan=self._plan(),
+                predicted_time=100.0,
+                predicted_efficiency=math.nan,
+                evaluations=1,
+            )
+
+    def test_predict_efficiency_rejects_nan_model_output(self, tiny2):
+        model = make_model("dauwe", tiny2)
+        model.predict_time = lambda plan, **kw: math.nan  # force a bad model
+        with pytest.raises(ValueError, match="NaN"):
+            model.predict_efficiency(self._plan())
+
+    def test_result_serialization_round_trip_with_certificate(self):
+        result = OptimizationResult(
+            plan=self._plan(),
+            predicted_time=123.456,
+            predicted_efficiency=0.9,
+            evaluations=42,
+            certificate=OptimizationCertificate(
+                evaluations=42, events={"s:clamp": 1}, refinement_moved=True
+            ),
+        )
+        restored = OptimizationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored == result
+        assert restored.certificate is not None
+        assert restored.certificate.events == {"s:clamp": 1}
+
+    def test_result_serialization_without_certificate(self):
+        result = OptimizationResult(
+            plan=self._plan(),
+            predicted_time=123.456,
+            predicted_efficiency=0.9,
+            evaluations=42,
+        )
+        data = result.to_dict()
+        assert "certificate" not in data
+        assert OptimizationResult.from_dict(data) == result
+
+
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+class TestModelGuardThreading:
+    """Every model: diagnostics change nothing, and +inf is always loud."""
+
+    def _probe(self, model, taus):
+        levels = model.candidate_level_subsets()[0]
+        counts = (2,) * (len(levels) - 1)
+        return levels, counts, np.asarray(taus, dtype=float)
+
+    def test_diagnostics_do_not_change_finite_predictions(self, technique):
+        model = make_model(technique, get_system("B"))
+        levels, counts, taus = self._probe(model, np.geomspace(0.1, 100.0, 32))
+        bare = model.predict_time_batch(levels, counts, taus)
+        diag = ModelDiagnostics()
+        guarded = model.predict_time_batch(levels, counts, taus, diagnostics=diag)
+        np.testing.assert_array_equal(bare, guarded)
+
+    def test_extreme_regime_is_finite_or_inf_and_loud(self, technique):
+        model = make_model(technique, STRESS_SYSTEMS["storm"])
+        levels, counts, taus = self._probe(
+            model, [1e-300, 1e-6, 1.0, 30.0, 60.0]
+        )
+        diag = ModelDiagnostics()
+        out = model.predict_time_batch(levels, counts, taus, diagnostics=diag)
+        assert not np.isnan(out).any()
+        assert np.all(out[np.isfinite(out)] > 0)
+        if np.isinf(out).any():
+            assert diag.total > 0, "silent +inf: loudness invariant broken"
+
+    def test_supports_diagnostics_flag_set(self, technique):
+        assert TECHNIQUES[technique].supports_diagnostics is True
+
+
+class TestSweepCertificate:
+    def test_sweep_attaches_certificate(self, tiny2):
+        model = make_model("dauwe", tiny2)
+        result = model.optimize(tau0_points=16)
+        cert = result.certificate
+        assert cert is not None
+        assert cert.evaluations == result.evaluations
+        assert cert.evaluations > 0
+
+    def test_certificate_counts_sweep_clamps(self):
+        model = make_model("dauwe", STRESS_SYSTEMS["deep5"])
+        result = model.optimize(tau0_points=16)
+        assert result.certificate is not None
+        # deep5 is failure-dominated enough that some grid cells clamp.
+        assert result.certificate.total_events > 0
+
+    def test_daly_closed_form_certificate(self):
+        model = make_model("daly", get_system("M"))
+        result = model.optimize()
+        assert result.certificate is not None
+        assert result.certificate.evaluations == result.evaluations
+
+    def test_daly_hopeless_system_raises_runtime_error(self):
+        model = make_model("daly", STRESS_SYSTEMS["storm"])
+        with pytest.raises(RuntimeError, match="no feasible plan"):
+            model.optimize()

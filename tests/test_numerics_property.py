@@ -1,0 +1,84 @@
+"""Property test: any spec that survives validation is safe to evaluate.
+
+Hypothesis generates *hostile* systems — magnitudes spanning twenty-plus
+orders, severity shares pinched to slivers, free and mammoth checkpoints.
+The only filter is :class:`SystemSpec` validation itself; anything it
+accepts must yield finite-or-``+inf`` (never NaN) predictions from all
+five models at any in-domain ``tau0``, with every ``+inf`` accompanied by
+a recorded :class:`NumericsEvent` (the loudness invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.numerics import ModelDiagnostics
+from repro.models import make_model
+from repro.systems import SystemSpec, boundary_taus
+
+ALL_TECHNIQUES = ("dauwe", "di", "moody", "benoit", "daly")
+
+#: Magnitudes deliberately beyond any physical system: the point is that
+#: *validation*, not model goodwill, is the only gate.
+_extreme = st.floats(
+    min_value=1e-9, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def hostile_systems(draw):
+    levels = draw(st.integers(min_value=1, max_value=4))
+    # Severity shares: raw positive weights, renormalized by the spec.
+    weights = [
+        draw(st.floats(min_value=1e-6, max_value=1.0)) for _ in range(levels)
+    ]
+    total = sum(weights)
+    probs = tuple(w / total for w in weights)
+    # Non-decreasing checkpoint costs, zero allowed (free checkpoints).
+    base = draw(st.floats(min_value=0.0, max_value=1e6))
+    costs = [base]
+    for _ in range(levels - 1):
+        costs.append(costs[-1] + draw(st.floats(min_value=0.0, max_value=1e6)))
+    return SystemSpec(
+        name="hostile",
+        mtbf=draw(_extreme),
+        level_probabilities=probs,
+        checkpoint_times=tuple(costs),
+        baseline_time=draw(_extreme),
+    )
+
+
+class TestSurvivingSpecsNeverNaN:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+    @given(spec=hostile_systems())
+    def test_all_models_finite_or_inf_and_loud(self, spec):
+        taus = np.asarray(boundary_taus(spec), dtype=float)
+        for technique in ALL_TECHNIQUES:
+            model = make_model(technique, spec)
+            diag = ModelDiagnostics()
+            for levels in model.candidate_level_subsets():
+                counts = (3,) * (len(levels) - 1)
+                out = np.asarray(
+                    model.predict_time_batch(
+                        levels, counts, taus, diagnostics=diag
+                    ),
+                    dtype=float,
+                )
+                assert not np.isnan(out).any(), (
+                    f"{technique} produced NaN on {spec.summary()}"
+                )
+                finite = np.isfinite(out)
+                assert (out[finite] > 0).all(), (
+                    f"{technique} produced a non-positive finite time "
+                    f"on {spec.summary()}"
+                )
+                if np.isinf(out).any():
+                    assert diag.total > 0, (
+                        f"{technique} produced silent +inf on {spec.summary()}"
+                    )

@@ -184,6 +184,52 @@ class TestGoldenSectionTolerance:
         )
 
 
+class TestGoldenSectionDegenerateContracts:
+    """The defined behaviour on hostile objectives (numerics-guard pins)."""
+
+    def test_all_infinite_objective_returns_inf_minimum(self):
+        # Every comparison sees inf <= inf, the bracket walks toward lo,
+        # and the caller gets an interior x with an *infinite* minimum —
+        # the signal that no feasible interval exists.  Never NaN, never
+        # an exception.
+        x, fx, evals = golden_section(
+            lambda t: math.inf, 1.0, 9.0, full_output=True
+        )
+        assert fx == math.inf
+        assert not math.isnan(x)
+        assert 1.0 <= x <= 9.0
+        assert evals > 0
+
+    def test_all_infinite_objective_with_tolerance(self):
+        x, fx = golden_section(lambda t: math.inf, 1.0, 9.0, tol=1e-3)
+        assert fx == math.inf
+        assert 1.0 <= x <= 9.0
+
+    def test_flat_objective_returns_a_probe(self):
+        x, fx, evals = golden_section(
+            lambda t: 7.0, 0.5, 4.5, full_output=True
+        )
+        assert fx == 7.0
+        assert 0.5 <= x <= 4.5
+        assert evals > 0
+
+    def test_already_converged_bracket_exits_after_two_probes(self):
+        # hi - lo below the tol-derived width floor at entry: the loop
+        # must exit immediately after evaluating the two interior probes.
+        calls = [0]
+
+        def fn(t):
+            calls[0] += 1
+            return (t - 3.0) ** 2
+
+        x, fx, evals = golden_section(
+            fn, 3.0, 3.0 + 1e-9, tol=1e-3, full_output=True
+        )
+        assert evals == 2
+        assert calls[0] == 2
+        assert x == pytest.approx(3.0, abs=1e-6)
+
+
 class TestGridSweep:
     """The batched (V, T) grid path must be bitwise-equal to per-vector."""
 

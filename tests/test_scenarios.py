@@ -18,6 +18,7 @@ from repro.scenarios import (
     generic_result,
     scenario_seed,
 )
+from repro.scenarios.manifest import StudyRunRecord
 from repro.experiments.runner import pair_seed
 from repro.systems import TEST_SYSTEMS, exascale_grid
 from repro.systems.spec import SystemSpec
@@ -268,6 +269,38 @@ class TestPipeline:
         assert result.rows[0]["note"] is None
         assert result.manifest == run.record.to_dict()
         assert result.parameters["study_hash"] == run.record.study_hash
+
+    def test_record_carries_numerics_block(self):
+        # Dauwe's sweep probes tau0 grid points extreme enough to clamp
+        # gamma even on Table I's M; the study record must aggregate those
+        # events next to the resilience block and round-trip through JSON.
+        run = execute_study(self._study())
+        assert run.record.numerics, "dauwe sweep on M is expected to clamp"
+        assert any(k.startswith("dauwe.") for k in run.record.numerics)
+        assert all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in run.record.numerics.items()
+        )
+        restored = StudyRunRecord.from_dict(
+            json.loads(json.dumps(run.record.to_dict()))
+        )
+        assert restored.numerics == run.record.numerics
+        dauwe_outcome = next(o for o in run.outcomes if o.technique == "dauwe")
+        assert dauwe_outcome.numerics  # per-outcome slice populated too
+
+    def test_numerics_block_empty_for_quiet_sweep(self):
+        # Daly's closed-form-seeded refinement on M never leaves the
+        # comfortable regime, so the block is present but empty.
+        study = StudySpec(
+            study_id="quiet",
+            seed=3,
+            scenarios=(
+                ScenarioSpec(system=TEST_SYSTEMS["M"], technique="daly", trials=2),
+            ),
+        )
+        run = execute_study(study)
+        assert "numerics" in run.record.to_dict()
+        assert run.record.numerics == {}
 
     def test_manifest_aggregation_and_write(self, tmp_path):
         run = execute_study(self._study())

@@ -58,6 +58,47 @@ class TestValidation:
             make(level_probabilities=(), checkpoint_times=())
 
 
+class TestFinitenessValidation:
+    """NaN/inf must be rejected at construction — NaN slips past every
+    ordered comparison (``nan <= 0`` is False), so without these checks a
+    poisoned spec would silently propagate into every model."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_mtbf_must_be_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            make(mtbf=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_baseline_must_be_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            make(baseline_time=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_probabilities_must_be_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            make(level_probabilities=(0.7, bad))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_checkpoint_times_must_be_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            make(checkpoint_times=(1.0, bad))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_restart_times_must_be_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            make(restart_times=(1.0, bad))
+
+    def test_restart_times_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make(restart_times=(-1.0, 4.0))
+
+    def test_nan_in_from_dict_rejected(self):
+        data = make().to_dict()
+        data["mtbf"] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            SystemSpec.from_dict(data)
+
+
 class TestDerived:
     def test_failure_rate_is_inverse_mtbf(self):
         assert make(mtbf=50.0).failure_rate == pytest.approx(0.02)

@@ -1,0 +1,162 @@
+"""Adversarial stress catalog + the optimize-then-simulate validator.
+
+The catalog's contract: every spec passes :class:`SystemSpec` validation
+(the point is extreme *regimes*, not malformed inputs), and feeding it to
+the models yields finite-or-``+inf`` predictions with every escape to
+``+inf`` recorded.  The validator's contract: verdicts per (system,
+technique) pair, zero invariant violations on the shipped code, and a
+non-zero CLI exit iff an invariant is violated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    STRESS_SYSTEM_ORDER,
+    STRESS_SYSTEMS,
+    SystemSpec,
+    TEST_SYSTEM_ORDER,
+    boundary_taus,
+    get_stress_system,
+    million_node_variant,
+    stress_systems,
+)
+from repro.validate import (
+    PairReport,
+    ValidationReport,
+    Violation,
+    format_validation,
+    run_validation,
+)
+
+
+class TestStressCatalog:
+    def test_catalog_covers_handcrafted_plus_scaled_table1(self):
+        # 10 handcrafted corner cases + every Table I system at 1e6 nodes.
+        scaled = [n for n in STRESS_SYSTEM_ORDER if n.endswith("@1e6n")]
+        assert len(scaled) == len(TEST_SYSTEM_ORDER)
+        assert len(STRESS_SYSTEM_ORDER) == 10 + len(TEST_SYSTEM_ORDER)
+
+    def test_every_spec_passes_validation(self):
+        for spec in stress_systems():
+            assert isinstance(spec, SystemSpec)
+            assert math.isfinite(spec.mtbf) and spec.mtbf > 0
+            assert sum(spec.severity_probabilities) == pytest.approx(1.0)
+
+    def test_million_node_variant_scales_mtbf_only(self):
+        base = STRESS_SYSTEMS["deep5"]
+        variant = million_node_variant(base)
+        assert variant.mtbf == base.mtbf / 100.0
+        assert variant.name == "deep5@1e6n"
+        assert variant.checkpoint_times == base.checkpoint_times
+        assert variant.level_probabilities == base.level_probabilities
+
+    def test_get_stress_system_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_stress_system("nope")
+
+    def test_boundary_taus_stay_in_domain(self):
+        for spec in stress_systems():
+            taus = boundary_taus(spec)
+            assert taus, spec.name
+            assert len(set(taus)) == len(taus)
+            for t in taus:
+                assert 0.0 < t <= spec.baseline_time
+                assert math.isfinite(t)
+
+    def test_boundary_taus_include_both_extremes(self):
+        taus = boundary_taus(STRESS_SYSTEMS["calm"])
+        assert min(taus) == float(np.nextafter(0.0, 1.0))
+        assert max(taus) == STRESS_SYSTEMS["calm"].baseline_time
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A representative slice: a Table I system, a hopeless regime, a
+        # domain-collapse regime and a long-application overflow regime.
+        systems = [
+            STRESS_SYSTEMS[name]
+            for name in ("storm", "blink-app", "calm", "deep5")
+        ]
+        return run_validation(stress=True, quick=True, systems=systems, trials=4)
+
+    def test_no_violations_on_shipped_code(self, report):
+        assert report.violations == []
+        assert report.ok
+
+    def test_every_pair_has_a_verdict(self, report):
+        verdicts = {p.verdict for p in report.pairs}
+        assert verdicts <= {"ok", "hopeless", "predict-only"}
+        assert len(report.pairs) == 4 * 5  # systems x techniques
+
+    def test_storm_is_hopeless_for_length_aware_models(self, report):
+        storm = {p.technique: p for p in report.pairs if p.system == "storm"}
+        assert storm["dauwe"].verdict == "hopeless"
+        assert storm["daly"].verdict == "hopeless"
+
+    def test_events_were_recorded_somewhere(self, report):
+        totals = report.event_totals()
+        assert totals, "stress systems must exercise at least one guard"
+        assert all(count > 0 for count in totals.values())
+
+    def test_deviation_band_present_when_sims_ran(self, report):
+        band = report.deviation_band()
+        assert band is not None
+        lo, hi = band
+        assert lo <= hi
+
+    def test_report_serializes_to_json(self, report):
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["catalog"] == "stress"
+        assert len(data["pairs"]) == len(report.pairs)
+
+    def test_format_is_human_readable(self, report):
+        text = format_validation(report)
+        assert "storm/dauwe" in text
+        assert "invariants: all checks passed" in text
+
+    def test_violation_makes_report_not_ok(self):
+        rep = ValidationReport(catalog="standard")
+        rep.pairs.append(PairReport(system="s", technique="t", verdict="crash"))
+        rep.violations.append(Violation("s", "t", "crash", "boom"))
+        assert not rep.ok
+        assert "VIOLATIONS" in format_validation(rep)
+
+
+class TestValidateCli:
+    def test_validate_exit_zero_on_clean_run(self):
+        from repro.cli import main
+
+        # Restrict to the two cheapest techniques so the smoke test stays
+        # fast; the full catalogs run in CI via `validate --quick`.
+        code = main(
+            ["validate", "--quick", "--techniques", "daly", "--trials", "2"]
+        )
+        assert code == 0
+
+    def test_stress_flag_rejected_outside_validate(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["figure2", "--stress"])
+        assert exc.value.code == 2
+
+    def test_validate_reports_catalog_choice(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "validate", "--quick", "--stress",
+                "--techniques", "daly", "--trials", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stress catalog" in out
