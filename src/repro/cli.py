@@ -11,6 +11,8 @@ Usage::
     python -m repro custom --study my_study.json
     python -m repro figure4 --engine scalar  # pin the trial engine
     python -m repro bench --quick            # perf baseline -> BENCH_simulator.json
+    python -m repro figure2 --objective availability
+    python -m repro figure4 --silent-mtbf 2000 --silent-verify 0.2 --silent-latency 10
 
 ``--report PATH`` additionally writes/updates the Markdown report; with
 ``all`` it contains every experiment.  Figure 6 is derived from Figure 4's
@@ -38,6 +40,13 @@ benchmark trajectory instead of an experiment: the micro-benchmark core
 cases plus a scalar-vs-batch comparison grid, written as JSON to
 ``--bench-out`` (default ``BENCH_simulator.json``; see
 :mod:`repro.bench` for the schema).
+
+``--objective`` re-optimizes every technique-parameterized experiment
+(figure2-figure6) for a different goal (``availability``: steady-state
+useful-work fraction); ``--silent-mtbf``/``--silent-verify``/
+``--silent-latency`` overlay a silent-error (SDC) process on both the
+models and the simulator.  Omitting them reproduces the paper's
+fail-stop, minimum-time setting byte for byte.
 
 ``--workers`` fans independent scenarios across a process pool (rows are
 identical to a serial run); ``--sim-workers`` instead parallelizes the
@@ -82,6 +91,8 @@ from .exec import (
     stage_delta,
     stage_snapshot,
 )
+from .core.interfaces import OBJECTIVES
+from .core.silent import SilentErrorSpec
 from .experiments import EXPERIMENTS, figure4, figure6, write_report
 from .experiments.runner import DEFAULT_TECHNIQUES
 from .models import TECHNIQUES
@@ -148,6 +159,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated technique subset for technique-parameterized "
         f"experiments; registered: {', '.join(sorted(TECHNIQUES))}",
+    )
+    parser.add_argument(
+        "--objective",
+        choices=sorted(OBJECTIVES),
+        default=None,
+        help="optimization objective for technique-parameterized "
+        "experiments (figure2-figure6): 'time' (the paper's expected "
+        "completion time, default) or 'availability' (steady-state "
+        "useful-work fraction)",
+    )
+    parser.add_argument(
+        "--silent-mtbf",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="overlay a silent-error (SDC) process with this mean time "
+        "between strikes (minutes) on technique-parameterized experiments",
+    )
+    parser.add_argument(
+        "--silent-verify",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="verification time appended to every checkpoint write "
+        "(minutes; requires --silent-mtbf; default 0)",
+    )
+    parser.add_argument(
+        "--silent-latency",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="strike-to-detection latency (minutes; requires "
+        "--silent-mtbf; default 0)",
     )
     parser.add_argument(
         "--workers",
@@ -266,6 +310,26 @@ def _parse_techniques(
             f"registered: {', '.join(sorted(TECHNIQUES))}"
         )
     return names
+
+
+def _parse_silent(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> SilentErrorSpec | None:
+    """Fold the three --silent-* flags into one validated spec (or None)."""
+    if args.silent_mtbf is None:
+        if args.silent_verify is not None or args.silent_latency is not None:
+            parser.error(
+                "--silent-verify/--silent-latency require --silent-mtbf"
+            )
+        return None
+    try:
+        return SilentErrorSpec(
+            mtbf=args.silent_mtbf,
+            verify_cost=args.silent_verify or 0.0,
+            detection_latency=args.silent_latency or 0.0,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _manifest_path(args: argparse.Namespace) -> Path | None:
@@ -428,6 +492,11 @@ def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
         kwargs["trials"] = args.trials
     if args.techniques_tuple is not None and name in _TECHNIQUE_AWARE:
         kwargs["techniques"] = args.techniques_tuple
+    if name in _TECHNIQUE_AWARE:
+        if args.objective is not None:
+            kwargs["objective"] = args.objective
+        if args.silent_spec is not None:
+            kwargs["silent_errors"] = args.silent_spec
     if name == "figure6":
         if "figure4" not in fig4_cache:
             fig4_cache["figure4"] = figure4.run(**kwargs)
@@ -499,6 +568,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     args.techniques_tuple = _parse_techniques(args.techniques, parser)
+    args.silent_spec = _parse_silent(args, parser)
+    if (
+        args.objective is not None or args.silent_spec is not None
+    ) and args.experiment not in _TECHNIQUE_AWARE:
+        parser.error(
+            "--objective/--silent-* apply only to "
+            f"{', '.join(sorted(_TECHNIQUE_AWARE))} (a custom study sets "
+            "them per scenario in its JSON)"
+        )
     if args.experiment == "custom" and not args.study:
         parser.error("the 'custom' experiment requires --study PATH")
     if args.experiment != "custom" and args.study:

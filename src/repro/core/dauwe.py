@@ -34,6 +34,13 @@ Extensions that the paper exercises but does not write out:
   ``include_restart_failures`` disable the ``alpha``/``zeta`` machinery to
   quantify exactly the modeling gap the paper attributes to prior work
   (Sections IV-D, IV-G).
+* **Silent errors** (``silent_errors=``): verification cost ``V`` joins
+  every checkpoint write and silent strikes are priced at the shallowest
+  used level whose checkpoint spacing exceeds the detection latency
+  ``D`` (see :mod:`repro.core.silent` for the shared approximations).
+* **Steady-state availability** (:meth:`DauweModel.predict_availability`):
+  the same recursion over a single top-level cycle yields the
+  useful-work fraction that the ``availability`` objective maximizes.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from .interfaces import CheckpointModel, split_grid_counts
 from .numerics import ModelDiagnostics, flag
 from .plan import CheckpointPlan
 from .severity import LevelMapping
+from .silent import SilentErrorSpec
 from .truncated import truncated_mean, unprotected_completion_time
 
 __all__ = ["DauweModel"]
@@ -86,11 +94,26 @@ class DauweModel(CheckpointModel):
     allow_level_skipping:
         Offer prefix level subsets to the optimizer so short applications
         may omit top-level checkpoints (Section IV-F).
+    silent_errors:
+        Optional :class:`~repro.core.silent.SilentErrorSpec` (or its dict
+        form) enabling the silent-error failure mode.  The verification
+        cost ``V`` is added to every level's checkpoint time, and silent
+        strikes are priced at the shallowest used level whose checkpoint
+        spacing exceeds the detection latency ``D`` (a deeper level's
+        spacing is needed before its newest checkpoint predates a strike
+        detected ``D`` late); cells where *no* used level's spacing beats
+        ``D`` treat silent errors like unprotected severities — a
+        from-scratch renewal at the silent rate.  ``None`` (default) is
+        bitwise-transparent: the evaluation takes the exact fail-stop-only
+        arithmetic path.
     """
 
     name = "dauwe"
     supports_grid_eval = True
     supports_diagnostics = True
+    #: Full silent-error fidelity: V, D and the recovery level are all
+    #: threaded through the stage recursion (baselines are "cost-only").
+    silent_error_fidelity = "full"
 
     def __init__(
         self,
@@ -99,12 +122,14 @@ class DauweModel(CheckpointModel):
         include_restart_failures: bool = True,
         final_interval_plus_one: bool = False,
         allow_level_skipping: bool = True,
+        silent_errors: SilentErrorSpec | Mapping | None = None,
     ):
         super().__init__(system)
         self.include_checkpoint_failures = include_checkpoint_failures
         self.include_restart_failures = include_restart_failures
         self.final_interval_plus_one = final_interval_plus_one
         self.allow_level_skipping = allow_level_skipping
+        self.silent_errors = SilentErrorSpec.resolve(silent_errors)
         self._mappings: dict[tuple[int, ...], LevelMapping] = {}
 
     # ------------------------------------------------------------------
@@ -161,6 +186,51 @@ class DauweModel(CheckpointModel):
         )
         return total
 
+    def predict_availability(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
+        """Steady-state useful-work fraction of ``plan``'s pattern.
+
+        The availability objective's native hook: the expected duration of
+        one top-level cycle (``_evaluate(steady_state=True)``) divides the
+        useful work it advances, ``tau0 * stride``.  Plans that leave any
+        severity unprotected — or whose silent errors cannot be caught by
+        any used level — have no steady state and report ``0.0``.
+        """
+        out = self.predict_availability_batch(
+            plan.levels, plan.counts, np.array([plan.tau0]), diagnostics=diagnostics
+        )
+        return float(out[0])
+
+    def predict_availability_batch(
+        self,
+        levels: tuple[int, ...],
+        counts,
+        tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_availability`; grid contract as for
+        :meth:`predict_time_batch`."""
+        counts, tau0 = split_grid_counts(counts, np.asarray(tau0, dtype=float))
+        total, _ = self._evaluate(
+            levels, counts, tau0, want_parts=False, diagnostics=diagnostics,
+            steady_state=True,
+        )
+        work = np.asarray(tau0, dtype=float)
+        for n in counts:
+            work = work * (np.asarray(n, dtype=float) + 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            avail = np.where(
+                np.isfinite(total) & (total > 0),
+                work / np.where(total > 0, total, 1.0),
+                0.0,
+            )
+        return np.broadcast_to(avail, total.shape)
+
     def predict_breakdown(self, plan: CheckpointPlan) -> Mapping[str, float]:
         """Per-event-type expected time totals for ``plan``.
 
@@ -187,8 +257,17 @@ class DauweModel(CheckpointModel):
         tau0: np.ndarray,
         want_parts: bool = False,
         diagnostics: ModelDiagnostics | None = None,
+        steady_state: bool = False,
     ) -> tuple[np.ndarray, dict[str, np.ndarray] | None]:
         """Stage recursion over ``tau0``; ``counts`` entries may be arrays.
+
+        ``steady_state=True`` evaluates one top-level pattern *cycle*
+        instead of the whole run: the top stage prices exactly one
+        interval and one checkpoint (``n_ckpt = m_intervals = 1``) and the
+        unprotected scratch-restart fold is replaced by an infeasibility
+        mark — a cycle struck at a positive renewal rate from scratch has
+        no steady state, so its availability is zero.  This is the basis
+        of :meth:`predict_availability_batch`.
 
         Every arithmetic step is elementwise, so scalar counts with a 1-D
         ``tau0`` (the classic path) and ``(V, 1)`` count columns with a
@@ -232,6 +311,14 @@ class DauweModel(CheckpointModel):
         hist_rework: list[np.ndarray] = []  # gamma_j * E(tau_j, lam_j)
         bad = np.zeros(shape, dtype=bool)
 
+        silent = self.silent_errors
+        if silent is not None:
+            # Which cells already price silent errors at some stage, and
+            # the running product of lower interval counts (level-(k+1)
+            # checkpoints are ``tau0 * stride_k`` work apart).
+            silent_done = np.zeros(shape, dtype=bool)
+            stride_k = np.asarray(1.0)
+
         def expm1_rec(x, site):
             # safe_expm1 without its errstate: the stage loop below already
             # holds one, and re-entering per call costs ~5% of a sweep.
@@ -251,11 +338,18 @@ class DauweModel(CheckpointModel):
             lam_k = mp.rates[k]
             lam_c = mp.cumulative_rates[k]
             delta = mp.checkpoint_times[k]
+            if silent is not None:
+                delta = delta + silent.verify_cost
             R = mp.restart_times[k]
             if k < u - 1:
                 N_k = counts[k]
                 m_intervals = N_k + 1.0
                 n_ckpt = N_k
+            elif steady_state:
+                # One top-level cycle: a single interval, a single
+                # checkpoint — the renewal unit of the availability ratio.
+                n_ckpt = 1.0
+                m_intervals = 1.0
             else:
                 n_ckpt = n_top
                 m_intervals = n_top + 1.0 if self.final_interval_plus_one else n_top
@@ -308,23 +402,67 @@ class DauweModel(CheckpointModel):
                 else:
                     T_rf = zeros()
 
-                if want_parts:
-                    stage_parts.append(
-                        {
-                            "checkpoint": np.broadcast_to(
-                                np.asarray(T_d, dtype=float), shape
-                            ),
-                            "failed_checkpoint": T_df,
-                            "restart": T_r,
-                            "failed_restart": T_rf,
-                            "rework_compute": T_Wtau,
-                            "rework_checkpoint": T_Wd,
-                        }
+                T_sil = None
+                if silent is not None:
+                    # Silent strikes roll back to the shallowest level
+                    # whose checkpoint spacing exceeds the detection
+                    # latency: only then is the newest checkpoint at that
+                    # level typically older than the strike when the
+                    # detector fires.  Per event the run loses the strike
+                    # position within the interval, the latency window,
+                    # and a level-k restart.
+                    spacing = tau0 * stride_k
+                    sel = (
+                        np.broadcast_to(
+                            spacing > silent.detection_latency, shape
+                        )
+                        & ~silent_done
                     )
+                    T_sil = zeros()
+                    if np.any(sel):
+                        lam_s = silent.rate
+                        rate_time_s = lam_s * tau_k
+                        bad |= flag(
+                            diagnostics, f"{self.name}.silent", "clamp",
+                            sel & (rate_time_s > _MAX_RATE_TIME),
+                            values=rate_time_s, label="rate_time",
+                        )
+                        gamma_s = expm1_rec(
+                            np.where(sel, rate_time_s, 0.0),
+                            f"{self.name}.silent",
+                        )
+                        E_s = np.asarray(truncated_mean(tau_k, lam_s))
+                        T_sil = np.where(
+                            sel,
+                            gamma_s
+                            * (E_s + silent.detection_latency + R)
+                            * m_intervals,
+                            0.0,
+                        )
+                        silent_done = silent_done | sel
+                    if k < u - 1:
+                        stride_k = stride_k * (N_k + 1.0)
+
+                if want_parts:
+                    entry = {
+                        "checkpoint": np.broadcast_to(
+                            np.asarray(T_d, dtype=float), shape
+                        ),
+                        "failed_checkpoint": T_df,
+                        "restart": T_r,
+                        "failed_restart": T_rf,
+                        "rework_compute": T_Wtau,
+                        "rework_checkpoint": T_Wd,
+                    }
+                    if T_sil is not None:
+                        entry["silent"] = T_sil
+                    stage_parts.append(entry)
                     stage_multipliers.append(m_intervals)
 
                 # Eqn. (4)
                 tau_k = tau_k * m_intervals + T_d + T_df + T_r + T_rf + T_Wtau + T_Wd
+                if T_sil is not None:
+                    tau_k = tau_k + T_sil
 
         parts: dict[str, np.ndarray] | None = None
         if want_parts:
@@ -340,6 +478,8 @@ class DauweModel(CheckpointModel):
                 "rework_checkpoint": zeros(),
                 "unprotected": zeros(),
             }
+            if silent is not None:
+                parts["silent"] = zeros()
             for k in range(u):
                 mult = np.ones(shape)
                 for j in range(k + 1, u):
@@ -348,17 +488,68 @@ class DauweModel(CheckpointModel):
                     parts[key] = parts[key] + val * mult
 
         total = tau_k
-        if mp.unprotected_rate > 0:
+        resid = None
+        if silent is not None:
+            # Cells whose every used level is spaced tighter than the
+            # detection latency never hold a pre-strike checkpoint: their
+            # silent errors force a from-scratch renewal, exactly like
+            # unprotected fail-stop severities.
+            resid = np.where(silent_done, 0.0, silent.rate)
+        if steady_state:
+            # A cycle struck from scratch at a positive renewal rate has
+            # no steady state: mark it infeasible (availability zero).
+            infeasible = np.broadcast_to(
+                np.asarray(mp.unprotected_rate > 0), shape
+            ).copy()
+            if resid is not None:
+                infeasible |= resid > 0
+            bad |= flag(
+                diagnostics, f"{self.name}.availability", "divergence",
+                infeasible & ~bad,
+            )
+        elif resid is None:
+            if mp.unprotected_rate > 0:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    bad |= flag(
+                        diagnostics, f"{self.name}.unprotected", "clamp",
+                        mp.unprotected_rate * total > _MAX_RATE_TIME,
+                        values=mp.unprotected_rate * total, label="rate_time",
+                    )
+                    grown = np.asarray(
+                        unprotected_completion_time(
+                            total, mp.unprotected_rate, mp.unprotected_restart
+                        )
+                    )
+                if want_parts:
+                    with np.errstate(invalid="ignore"):
+                        parts["unprotected"] = np.where(
+                            np.isfinite(grown) & np.isfinite(total), grown - total, np.inf
+                        )
+                total = grown
+        elif mp.unprotected_rate > 0 or bool(np.any(resid > 0)):
+            # Blend the fail-stop unprotected renewal with the silent
+            # residual: rates add, and the per-event overhead is the
+            # rate-weighted mean of the severity restart and the silent
+            # detection latency (a corruption does not reboot hardware —
+            # its only per-event overhead beyond lost work is ``D``).
             with np.errstate(over="ignore", invalid="ignore"):
+                rate_eff = mp.unprotected_rate + resid
+                overhead = (
+                    mp.unprotected_rate * mp.unprotected_restart
+                    + resid * silent.detection_latency
+                )
+                restart_eff = np.where(
+                    rate_eff > 0,
+                    overhead / np.where(rate_eff > 0, rate_eff, 1.0),
+                    0.0,
+                )
                 bad |= flag(
                     diagnostics, f"{self.name}.unprotected", "clamp",
-                    mp.unprotected_rate * total > _MAX_RATE_TIME,
-                    values=mp.unprotected_rate * total, label="rate_time",
+                    rate_eff * total > _MAX_RATE_TIME,
+                    values=rate_eff * total, label="rate_time",
                 )
                 grown = np.asarray(
-                    unprotected_completion_time(
-                        total, mp.unprotected_rate, mp.unprotected_restart
-                    )
+                    unprotected_completion_time(total, rate_eff, restart_eff)
                 )
             if want_parts:
                 with np.errstate(invalid="ignore"):

@@ -6,6 +6,26 @@ it can *predict* the expected execution time of a candidate
 :class:`~repro.core.plan.CheckpointPlan` and *optimize* over its own plan
 space.  The simulator then measures each technique's chosen plan, which is
 exactly the paper's experimental procedure (Section IV-C).
+
+Objectives
+----------
+*What* the sweep optimizes is itself pluggable: an :class:`Objective`
+turns model evaluations into a score the shared optimizer minimizes.
+Two objectives are registered:
+
+* ``"time"`` — minimize expected execution time (the paper's objective
+  and the default; scores *are* the predicted times, so the swept plans
+  are bitwise identical to the pre-objective code);
+* ``"availability"`` — maximize the steady-state useful-work fraction
+  (Saxena et al., arXiv:2410.18124), scored as ``-availability`` so the
+  same minimizer applies.  Models exposing a native
+  ``predict_availability_batch`` (the Dauwe family) are scored by it;
+  for the rest, availability falls back to ``T_B / E[T]`` — the
+  per-application work fraction, whose argmax coincides with the time
+  optimum (documented degradation).
+
+Register a new objective by adding an :class:`Objective` instance to
+:data:`OBJECTIVES`; see DESIGN.md §11 for the full plug-in contract.
 """
 
 from __future__ import annotations
@@ -21,7 +41,14 @@ from ..systems.spec import SystemSpec
 from .numerics import OptimizationCertificate
 from .plan import CheckpointPlan
 
-__all__ = ["CheckpointModel", "OptimizationResult", "split_grid_counts"]
+__all__ = [
+    "CheckpointModel",
+    "OBJECTIVES",
+    "Objective",
+    "OptimizationResult",
+    "get_objective",
+    "split_grid_counts",
+]
 
 
 def split_grid_counts(counts, tau0: np.ndarray):
@@ -47,6 +74,168 @@ def split_grid_counts(counts, tau0: np.ndarray):
     return counts, tau0
 
 
+class Objective(ABC):
+    """What the shared sweep optimizes, expressed as a score to *minimize*.
+
+    The optimizer's selection machinery (grid argmin, first-wins
+    tie-breaking, golden-section polish, hill-climb) is objective-blind:
+    it minimizes whatever :meth:`batch_scores` / :meth:`plan_score`
+    return, with ``+inf`` meaning "infeasible under this objective" and
+    NaN treated as grid poisoning.  :meth:`summarize` then translates the
+    winning score back into the ``(predicted_time,
+    predicted_efficiency)`` pair every report consumes.
+    """
+
+    #: Registry key, e.g. ``"time"`` or ``"availability"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def batch_scores(
+        self,
+        model: "CheckpointModel",
+        levels: tuple[int, ...],
+        counts,
+        tau0s: np.ndarray,
+        **model_kwargs,
+    ) -> np.ndarray:
+        """Scores for a ``tau0`` vector (or a 2-D counts grid) — minimized.
+
+        ``counts`` is a tuple for the per-vector path or a ``(V, C)``
+        matrix for grid-capable models (see :func:`split_grid_counts`);
+        the returned array mirrors the shape of the corresponding
+        ``predict_time_batch`` call.  ``model_kwargs`` carries the
+        optimizer's ``diagnostics=`` keyword for models that opt in.
+        """
+
+    @abstractmethod
+    def plan_score(
+        self, model: "CheckpointModel", plan: CheckpointPlan, **model_kwargs
+    ) -> float:
+        """Scalar score of one plan (the refinement's objective function)."""
+
+    @abstractmethod
+    def summarize(
+        self, model: "CheckpointModel", plan: CheckpointPlan, score: float
+    ) -> tuple[float, float]:
+        """``(predicted_time, predicted_efficiency)`` for the winning plan."""
+
+
+class TimeObjective(Objective):
+    """Minimize expected execution time — the paper's Section III-C sweep.
+
+    Scores *are* the model's predicted times, so plans, predicted times
+    and efficiencies are bitwise identical to the pre-objective
+    optimizer.
+    """
+
+    name = "time"
+
+    def batch_scores(self, model, levels, counts, tau0s, **model_kwargs):
+        batch = getattr(model, "predict_time_batch", None)
+        if batch is not None:
+            return np.asarray(batch(levels, counts, tau0s, **model_kwargs), dtype=float)
+        return np.array(
+            [
+                model.predict_time(
+                    CheckpointPlan(levels=levels, tau0=float(t), counts=counts)
+                )
+                for t in tau0s
+            ],
+            dtype=float,
+        )
+
+    def plan_score(self, model, plan, **model_kwargs):
+        return model.predict_time(plan, **model_kwargs)
+
+    def summarize(self, model, plan, score):
+        T_B = model.system.baseline_time
+        efficiency = min(1.0, T_B / score) if math.isfinite(score) else 0.0
+        return score, efficiency
+
+
+class AvailabilityObjective(Objective):
+    """Maximize the useful-work fraction (Saxena et al., arXiv:2410.18124).
+
+    Scored as ``-availability`` so the shared minimizer applies; plans
+    with zero availability (e.g. level subsets leaving some severity
+    unprotected, which in steady state eventually lose everything) score
+    ``+inf`` — infeasible under this objective even when their expected
+    *time* is finite.  That asymmetry is what makes availability-optimal
+    plans differ from time-optimal ones.
+
+    Models with a native ``predict_availability_batch`` /
+    ``predict_availability`` (the Dauwe recursion family) are scored by
+    their steady-state per-pattern availability.  Everything else
+    degrades to ``T_B / E[T]`` — the whole-application useful-work
+    fraction, which is monotone in predicted time and therefore selects
+    the time-optimal plan (a documented predict-only degradation; Moody's
+    predicted time is itself ``T_B / steady-state availability``, so for
+    it the two framings coincide exactly).
+    """
+
+    name = "availability"
+
+    def _scores_from(self, avail: np.ndarray) -> np.ndarray:
+        return np.where(
+            np.isnan(avail), math.nan, np.where(avail > 0.0, -avail, math.inf)
+        )
+
+    def batch_scores(self, model, levels, counts, tau0s, **model_kwargs):
+        batch = getattr(model, "predict_availability_batch", None)
+        if batch is not None:
+            avail = np.asarray(
+                batch(levels, counts, tau0s, **model_kwargs), dtype=float
+            )
+        else:
+            times = TimeObjective.batch_scores(
+                self, model, levels, counts, tau0s, **model_kwargs
+            )
+            with np.errstate(invalid="ignore"):
+                avail = np.where(
+                    np.isfinite(times), model.system.baseline_time / times, 0.0
+                )
+            avail = np.where(np.isnan(times), math.nan, avail)
+        return self._scores_from(avail)
+
+    def plan_score(self, model, plan, **model_kwargs):
+        native = getattr(model, "predict_availability", None)
+        if native is not None:
+            avail = float(native(plan, **model_kwargs))
+        else:
+            t = model.predict_time(plan, **model_kwargs)
+            avail = (
+                model.system.baseline_time / t if math.isfinite(t) and t > 0 else 0.0
+            )
+        if math.isnan(avail):
+            return math.nan
+        return -avail if avail > 0.0 else math.inf
+
+    def summarize(self, model, plan, score):
+        availability = min(1.0, -score)
+        # The winner's time prediction is recomputed for reporting (may
+        # legitimately be +inf for availability-feasible plans whose
+        # expected makespan diverges).
+        return float(model.predict_time(plan)), availability
+
+
+#: Registered objectives, keyed by :attr:`Objective.name`.
+OBJECTIVES: dict[str, Objective] = {
+    obj.name: obj for obj in (TimeObjective(), AvailabilityObjective())
+}
+
+
+def get_objective(objective: "str | Objective") -> Objective:
+    """Resolve an objective name (or pass an instance through)."""
+    if isinstance(objective, Objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown objective {objective!r}; registered: {sorted(OBJECTIVES)}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class OptimizationResult:
     """Outcome of a checkpoint-interval optimization.
@@ -58,9 +247,13 @@ class OptimizationResult:
     predicted_time:
         The optimizing model's expected execution time for ``plan``
         (minutes).  This is the quantity shown as the "diamond" prediction
-        markers in Figures 2, 4 and 5.
+        markers in Figures 2, 4 and 5.  Under the ``availability``
+        objective it is the reporting-only time prediction of the
+        availability-optimal plan and may be ``+inf``.
     predicted_efficiency:
-        ``T_B / predicted_time`` — the paper's efficiency metric.
+        ``T_B / predicted_time`` — the paper's efficiency metric — under
+        the ``time`` objective; the predicted steady-state useful-work
+        fraction under ``availability``.
     evaluations:
         Number of candidate plans the sweep evaluated (diagnostics).
     certificate:
@@ -70,6 +263,11 @@ class OptimizationResult:
         whether refinement moved the sweep winner.  ``None`` for results
         produced before the guard layer (or deserialized from old cache
         entries).
+    objective:
+        Registered name of the objective that selected ``plan``
+        (``"time"`` by default).  Serialized only when not ``"time"``,
+        so results written before the objective layer round-trip
+        unchanged.
     """
 
     plan: CheckpointPlan
@@ -77,6 +275,7 @@ class OptimizationResult:
     predicted_efficiency: float
     evaluations: int = 0
     certificate: OptimizationCertificate | None = None
+    objective: str = "time"
 
     def __post_init__(self) -> None:
         if math.isnan(self.predicted_time):
@@ -105,6 +304,8 @@ class OptimizationResult:
         }
         if self.certificate is not None:
             data["certificate"] = self.certificate.to_dict()
+        if self.objective != "time":
+            data["objective"] = self.objective
         return data
 
     @classmethod
@@ -118,6 +319,7 @@ class OptimizationResult:
             certificate=(
                 None if cert is None else OptimizationCertificate.from_dict(cert)
             ),
+            objective=str(data.get("objective", "time")),
         )
 
 
@@ -147,6 +349,14 @@ class CheckpointModel(ABC):
     #: only threads its diagnostics through models that opt in, so
     #: third-party models with the plain signature keep working.
     supports_diagnostics: bool = False
+
+    #: How faithfully the model prices the silent-error failure mode when
+    #: constructed with ``silent_errors=``: ``"full"`` (verification cost,
+    #: detection latency and recovery-level selection all threaded —
+    #: the Dauwe recursion), ``"cost-only"`` (only the verification cost
+    #: ``V`` inflates checkpoint writes — the closed-form baselines), or
+    #: ``None`` (the model does not accept the option).
+    silent_error_fidelity: str | None = None
 
     #: Whether the deployed protocol takes a checkpoint whose scheduled
     #: position coincides with application completion.  Length-*blind*
@@ -195,17 +405,21 @@ class CheckpointModel(ABC):
         (Section IV-F); Di returns the top-two-levels variants.
         """
 
-    def optimize(self, **sweep_options) -> OptimizationResult:
-        """Select the plan minimizing this model's predicted time.
+    def optimize(
+        self, objective: str | Objective = "time", **sweep_options
+    ) -> OptimizationResult:
+        """Select the plan optimizing ``objective`` under this model.
 
         Runs the bounded brute-force sweep of Section III-C over
         ``candidate_level_subsets() x tau0 grid x integer counts`` followed
-        by a golden-section refinement of ``tau0``.  Keyword arguments are
+        by a golden-section refinement of ``tau0``, scoring candidates with
+        the registered :class:`Objective` (``"time"`` — the paper's, and
+        the default — or ``"availability"``).  Keyword arguments are
         forwarded to :func:`repro.core.optimizer.sweep_plans`.
         """
         from .optimizer import sweep_plans  # local import to avoid a cycle
 
-        return sweep_plans(self, **sweep_options)
+        return sweep_plans(self, objective=objective, **sweep_options)
 
     # ------------------------------------------------------------------
     def validate_plan(self, plan: CheckpointPlan) -> None:

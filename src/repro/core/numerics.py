@@ -326,11 +326,18 @@ class OptimizationCertificate:
         Whether the golden-section/hill-climb refinement changed the sweep
         winner (different counts, different ``tau0`` or a strictly better
         predicted time).
+    objective:
+        Registered name of the objective the sweep optimized
+        (``"time"`` — the default and the only pre-objective behavior —
+        or ``"availability"``).  Serialized only when not ``"time"``, so
+        certificates written before the objective layer round-trip
+        unchanged.
     """
 
     evaluations: int
     events: Mapping[str, int] = field(default_factory=dict)
     refinement_moved: bool = False
+    objective: str = "time"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -342,11 +349,14 @@ class OptimizationCertificate:
         return sum(self.events.values())
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "evaluations": self.evaluations,
             "events": dict(self.events),
             "refinement_moved": self.refinement_moved,
         }
+        if self.objective != "time":
+            data["objective"] = self.objective
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "OptimizationCertificate":
@@ -354,6 +364,7 @@ class OptimizationCertificate:
             evaluations=int(data["evaluations"]),
             events={str(k): int(v) for k, v in dict(data.get("events", {})).items()},
             refinement_moved=bool(data.get("refinement_moved", False)),
+            objective=str(data.get("objective", "time")),
         )
 
     @classmethod
@@ -362,9 +373,11 @@ class OptimizationCertificate:
         diagnostics: ModelDiagnostics,
         evaluations: int,
         refinement_moved: bool = False,
+        objective: str = "time",
     ) -> "OptimizationCertificate":
         return cls(
             evaluations=evaluations,
             events=diagnostics.counts(),
             refinement_moved=refinement_moved,
+            objective=objective,
         )

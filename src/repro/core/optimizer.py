@@ -30,7 +30,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from .interfaces import CheckpointModel, OptimizationResult
+from .interfaces import CheckpointModel, Objective, OptimizationResult, get_objective
 from .numerics import ModelDiagnostics, OptimizationCertificate
 from .plan import CheckpointPlan
 
@@ -89,12 +89,17 @@ def golden_section(
     iterations: int = 60,
     tol: float = 0.0,
     full_output: bool = False,
+    sense: str = "min",
 ) -> tuple[float, float] | tuple[float, float, int]:
-    """Minimize a unimodal scalar function on ``[lo, hi]``.
+    """Optimize a unimodal scalar function on ``[lo, hi]``.
 
     Returns ``(argmin, min)``, or ``(argmin, min, evaluations)`` with
     ``full_output=True`` where ``evaluations`` is the exact number of
-    ``fn`` calls made.  The model cost curves in ``tau0`` are smooth and
+    ``fn`` calls made.  ``sense="min"`` (the default) minimizes;
+    ``sense="max"`` maximizes — the registered objectives all reduce to
+    scores-to-minimize, but callers optimizing a raw quantity (e.g. an
+    availability curve directly) can flip the sense instead of negating
+    by hand.  The model cost curves in ``tau0`` are smooth and
     unimodal for fixed counts (checkpoint overhead decreasing, failure
     rework increasing), which golden-section search exploits.
 
@@ -115,6 +120,16 @@ def golden_section(
       the better probe.  A flat ``fn`` returns one of the probes with the
       shared value — stable, not an error.
     """
+    if sense not in ("min", "max"):
+        raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
+    if sense == "max":
+        x, fx, evals = golden_section(
+            lambda t: -fn(t), lo, hi, iterations=iterations, tol=tol,
+            full_output=True,
+        )
+        if full_output:
+            return x, -fx, evals
+        return x, -fx
     if not (hi > lo):
         raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
     invphi = (math.sqrt(5.0) - 1.0) / 2.0
@@ -183,27 +198,27 @@ def _batch_eval(
     counts: tuple[int, ...],
     tau0s: np.ndarray,
     diagnostics: ModelDiagnostics | None = None,
+    objective: Objective | None = None,
 ) -> np.ndarray:
-    """Vectorized model evaluation with a scalar fallback."""
-    batch = getattr(model, "predict_time_batch", None)
-    if batch is not None:
-        out = np.asarray(
-            batch(levels, counts, tau0s, **_model_kwargs(model, diagnostics)),
-            dtype=float,
-        )
-        if out.shape != tau0s.shape:
-            raise ValueError(
-                f"{type(model).__name__}.predict_time_batch returned shape "
-                f"{out.shape}, expected {tau0s.shape}"
-            )
-        return out
-    return np.array(
-        [
-            model.predict_time(CheckpointPlan(levels=levels, tau0=float(t), counts=counts))
-            for t in tau0s
-        ],
+    """Vectorized objective scoring (with the objective's scalar fallback).
+
+    Under the default ``time`` objective this is exactly the model's
+    ``predict_time_batch`` (or a scalar ``predict_time`` loop), so the
+    returned scores are the predicted times, bitwise.
+    """
+    obj = get_objective("time") if objective is None else objective
+    out = np.asarray(
+        obj.batch_scores(
+            model, levels, counts, tau0s, **_model_kwargs(model, diagnostics)
+        ),
         dtype=float,
     )
+    if out.shape != tau0s.shape:
+        raise ValueError(
+            f"{type(model).__name__} batch scores for objective "
+            f"{obj.name!r} have shape {out.shape}, expected {tau0s.shape}"
+        )
+    return out
 
 
 #: Count vectors per batched grid evaluation.  Bounds peak memory (each
@@ -219,17 +234,19 @@ def _grid_eval_subset(
     tau0s: np.ndarray,
     pattern_cap: float,
     diagnostics: ModelDiagnostics | None = None,
+    objective: Objective | None = None,
 ) -> tuple[float, tuple[int, ...], float, int]:
     """Evaluate every (count vector, tau0) cell of one level subset batched.
 
-    Returns ``(best_time, best_counts, best_tau0, evaluations)`` for the
+    Returns ``(best_score, best_counts, best_tau0, evaluations)`` for the
     subset.  Infeasible cells (pattern work exceeding ``pattern_cap``) are
     masked to infinity rather than skipped, so the winning cell — and the
     first-wins tie-breaking order — matches the per-vector sweep exactly.
     NaN cells are additionally recorded as ``optimizer.grid`` poisoning
     events on ``diagnostics`` before being masked.
     """
-    best_time = math.inf
+    obj = get_objective("time") if objective is None else objective
+    best_score = math.inf
     best_counts: tuple[int, ...] = ()
     best_tau0 = float(tau0s[-1])
     evaluations = 0
@@ -240,27 +257,28 @@ def _grid_eval_subset(
         feasible = tau0s[None, :] * strides <= pattern_cap
         if not feasible.any():
             continue
-        times = np.asarray(
-            model.predict_time_batch(
-                levels, counts_mat, tau0s, **_model_kwargs(model, diagnostics)
+        scores = np.asarray(
+            obj.batch_scores(
+                model, levels, counts_mat, tau0s,
+                **_model_kwargs(model, diagnostics),
             ),
             dtype=float,
         )
-        if times.shape != (len(chunk), tau0s.size):
+        if scores.shape != (len(chunk), tau0s.size):
             raise ValueError(
-                f"{type(model).__name__}.predict_time_batch returned shape "
-                f"{times.shape} for a counts grid, expected "
-                f"{(len(chunk), tau0s.size)}"
+                f"{type(model).__name__} batch scores for objective "
+                f"{obj.name!r} have shape {scores.shape} for a counts grid, "
+                f"expected {(len(chunk), tau0s.size)}"
             )
         evaluations += int(feasible.sum())
-        _poison_check(times, diagnostics, tau0s[None, :])
-        times = np.where(feasible & np.isfinite(times), times, math.inf)
-        v, t = divmod(int(np.argmin(times)), tau0s.size)
-        if times[v, t] < best_time:
-            best_time = float(times[v, t])
+        _poison_check(scores, diagnostics, tau0s[None, :])
+        scores = np.where(feasible & np.isfinite(scores), scores, math.inf)
+        v, t = divmod(int(np.argmin(scores)), tau0s.size)
+        if scores[v, t] < best_score:
+            best_score = float(scores[v, t])
             best_counts = tuple(int(c) for c in chunk[v])
             best_tau0 = float(tau0s[t])
-    return best_time, best_counts, best_tau0, evaluations
+    return best_score, best_counts, best_tau0, evaluations
 
 
 def sweep_plans(
@@ -273,6 +291,7 @@ def sweep_plans(
     max_pattern_work: float | None = None,
     grid_eval: bool = True,
     diagnostics: ModelDiagnostics | None = None,
+    objective: str | Objective = "time",
 ) -> OptimizationResult:
     """Run the Section III-C bounded sweep for ``model`` and refine the winner.
 
@@ -280,6 +299,14 @@ def sweep_plans(
     log-spaced grid inside ``(0, T_B)`` and count vectors are pruned so a
     full pattern never exceeds the application's work
     (``tau0 * prod(N_i + 1) <= T_B``).
+
+    ``objective`` selects the registered scoring
+    (:data:`~repro.core.interfaces.OBJECTIVES`): the default ``"time"``
+    minimizes predicted execution time — every score below *is* a
+    predicted time, bitwise identical to the pre-objective sweep — while
+    ``"availability"`` maximizes the steady-state useful-work fraction
+    (scored as its negation, ``+inf`` marking availability-infeasible
+    plans such as level subsets that leave a severity unprotected).
 
     ``grid_eval=True`` (the default) evaluates the entire
     ``(count vector x tau0)`` grid of each level subset in batched 2-D
@@ -297,6 +324,7 @@ def sweep_plans(
     """
     if diagnostics is None:
         diagnostics = ModelDiagnostics()
+    obj = get_objective(objective)
     system = model.system
     T_B = system.baseline_time
     pattern_cap = max_pattern_work if max_pattern_work is not None else T_B
@@ -307,7 +335,7 @@ def sweep_plans(
         raise ValueError(f"invalid tau0 bounds [{lo}, {hi}] (pattern cap {pattern_cap})")
     tau0s = np.geomspace(lo, hi, tau0_points)
 
-    best_time = math.inf
+    best_score = math.inf
     best_levels: tuple[int, ...] | None = None
     best_counts: tuple[int, ...] = ()
     best_tau0 = hi
@@ -320,12 +348,12 @@ def sweep_plans(
             vecs = list(vec_iter)
             if not vecs:
                 continue
-            s_time, s_counts, s_tau0, s_evals = _grid_eval_subset(
-                model, levels, vecs, tau0s, pattern_cap, diagnostics
+            s_score, s_counts, s_tau0, s_evals = _grid_eval_subset(
+                model, levels, vecs, tau0s, pattern_cap, diagnostics, obj
             )
             evaluations += s_evals
-            if s_time < best_time:
-                best_time = s_time
+            if s_score < best_score:
+                best_score = s_score
                 best_levels = levels
                 best_counts = s_counts
                 best_tau0 = s_tau0
@@ -336,46 +364,54 @@ def sweep_plans(
             if not mask.any():
                 continue
             ts = tau0s[mask]
-            times = _batch_eval(model, levels, counts, ts, diagnostics)
+            scores = _batch_eval(model, levels, counts, ts, diagnostics, obj)
             evaluations += ts.size
-            _poison_check(times, diagnostics, ts)
-            finite = np.isfinite(times)
+            _poison_check(scores, diagnostics, ts)
+            finite = np.isfinite(scores)
             if not finite.any():
                 continue
-            idx = int(np.argmin(np.where(finite, times, math.inf)))
-            if times[idx] < best_time:
-                best_time = float(times[idx])
+            idx = int(np.argmin(np.where(finite, scores, math.inf)))
+            if scores[idx] < best_score:
+                best_score = float(scores[idx])
                 best_levels = levels
                 best_counts = counts
                 best_tau0 = float(ts[idx])
 
     if best_levels is None:
+        detail = (
+            "every candidate evaluated to infinite expected time"
+            if obj.name == "time"
+            else f"every candidate was infeasible under the {obj.name!r} objective"
+        )
         raise RuntimeError(
             f"{type(model).__name__} found no feasible plan for {system.name}; "
-            "every candidate evaluated to infinite expected time"
+            + detail
         )
 
     refinement_moved = False
     if refine:
-        sweep_winner = (best_levels, best_counts, best_tau0, best_time)
-        best_levels, best_counts, best_tau0, best_time, extra = _refine(
-            model, best_levels, best_counts, best_tau0, best_time, lo, pattern_cap,
-            diagnostics,
+        sweep_winner = (best_levels, best_counts, best_tau0, best_score)
+        best_levels, best_counts, best_tau0, best_score, extra = _refine(
+            model, best_levels, best_counts, best_tau0, best_score, lo, pattern_cap,
+            diagnostics, obj,
         )
         evaluations += extra
         refinement_moved = (
-            (best_levels, best_counts, best_tau0, best_time) != sweep_winner
+            (best_levels, best_counts, best_tau0, best_score) != sweep_winner
         )
 
     plan = CheckpointPlan(levels=best_levels, tau0=best_tau0, counts=best_counts)
+    predicted_time, predicted_efficiency = obj.summarize(model, plan, best_score)
     return OptimizationResult(
         plan=plan,
-        predicted_time=best_time,
-        predicted_efficiency=min(1.0, T_B / best_time) if math.isfinite(best_time) else 0.0,
+        predicted_time=predicted_time,
+        predicted_efficiency=predicted_efficiency,
         evaluations=evaluations,
         certificate=OptimizationCertificate.from_diagnostics(
-            diagnostics, evaluations=evaluations, refinement_moved=refinement_moved
+            diagnostics, evaluations=evaluations, refinement_moved=refinement_moved,
+            objective=obj.name,
         ),
+        objective=obj.name,
     )
 
 
@@ -391,12 +427,14 @@ def _refine(
     levels: tuple[int, ...],
     counts: tuple[int, ...],
     tau0: float,
-    time: float,
+    score: float,
     tau0_lo: float,
     pattern_cap: float,
     diagnostics: ModelDiagnostics | None = None,
+    objective: Objective | None = None,
 ):
     """Golden-section tau0 polish + integer hill-climb on the counts."""
+    obj = get_objective("time") if objective is None else objective
     evals = 0
     # The polish runs diagnostics-free: it re-evaluates scalar points
     # inside the region the grid sweep already swept (and recorded events
@@ -426,16 +464,16 @@ def _refine(
         b = min(hi_t, center * 4.0)
         if not b > a:
             a, b = tau0_lo, hi_t
-        fn = lambda t: model.predict_time(
-            CheckpointPlan(levels=levels, tau0=t, counts=cts), **kwargs
+        fn = lambda t: obj.plan_score(
+            model, CheckpointPlan(levels=levels, tau0=t, counts=cts), **kwargs
         )
         t0, tt, n = golden_section(fn, a, b, tol=_REFINE_TOL, full_output=True)
         evals += n
         return t0, tt
 
-    tau0, t_ref = polish(counts, tau0)
-    if t_ref < time:
-        time = t_ref
+    tau0, s_ref = polish(counts, tau0)
+    if s_ref < score:
+        score = s_ref
 
     steps = (1, 2, 4)
     for _ in range(50):  # bounded hill-climb; typically converges in a few moves
@@ -448,8 +486,8 @@ def _refine(
                         continue
                     cts = counts[:k] + (cand,) + counts[k + 1 :]
                     t0, tt = polish(cts, tau0)
-                    if tt < time:
-                        counts, tau0, time = cts, t0, tt
+                    if tt < score:
+                        counts, tau0, score = cts, t0, tt
                         improved = True
                         break
                 if improved:
@@ -458,4 +496,4 @@ def _refine(
                 break
         if not improved:
             break
-    return levels, counts, tau0, time, evals
+    return levels, counts, tau0, score, evals

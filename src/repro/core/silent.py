@@ -1,0 +1,179 @@
+"""Silent-error (SDC) failure-mode specification and strike stream.
+
+Fail-stop failures — the paper's only failure mode — announce themselves;
+silent data corruptions (Aupy/Benoit et al., arXiv:1310.8486) do not: a
+strike corrupts the running state, every checkpoint written *after* the
+strike captures the corruption, and the error only surfaces after a
+detection latency ``D``, at which point the run must roll back to a
+checkpoint taken *before* the strike (a deeper level, or scratch, when
+the newer levels are all poisoned).  Guarding against this costs a
+verification step of duration ``V`` appended to every checkpoint write.
+
+:class:`SilentErrorSpec` is the strict-validated parameter block threaded
+through models (``silent_errors=`` model option), both trial engines, the
+scenario specs and the CLI.  :class:`SilentStream` is the shared
+strike-time source: both the scalar and the batched engine consume the
+same class with identically seeded generators, which is what makes their
+silent-error trials bitwise identical.
+
+Modelling approximations (shared by models and simulator, documented
+here once):
+
+* at most one strike is "armed" at a time — strikes landing between an
+  armed strike and its detection are dropped at detection time, because
+  the rollback to a pre-strike checkpoint cures them too;
+* a fail-stop rollback does **not** disarm a pending strike: the
+  detector still fires at ``strike + D`` and re-validates state
+  (checkpoints newer than the strike are invalidated — usually a no-op
+  after the rollback — and the restart cost is paid), a conservative
+  "detector memory" semantics;
+* a strike still armed when the application completes is counted
+  (``silent_undetected``) but does not change the outcome — the run
+  finished on possibly-corrupted state, which is precisely the hazard
+  the availability objective prices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["SilentErrorSpec", "SilentStream"]
+
+_SPEC_FIELDS = ("mtbf", "verify_cost", "detection_latency")
+
+
+@dataclass(frozen=True)
+class SilentErrorSpec:
+    """Parameters of the silent-error failure mode.
+
+    Attributes
+    ----------
+    mtbf:
+        Mean time between silent errors (minutes of wall-clock; strikes
+        form a Poisson process on wall-clock time, like fail-stop
+        failures).
+    verify_cost:
+        ``V`` — verification time appended to every checkpoint write at
+        every level (minutes).
+    detection_latency:
+        ``D`` — delay between a strike and its detection (minutes).
+        Checkpoints completed inside the window are corrupted and get
+        invalidated at detection.
+    """
+
+    mtbf: float
+    verify_cost: float = 0.0
+    detection_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.mtbf) and self.mtbf > 0):
+            raise ValueError(
+                f"silent-error mtbf must be positive and finite, got {self.mtbf!r}"
+            )
+        if not (math.isfinite(self.verify_cost) and self.verify_cost >= 0):
+            raise ValueError(
+                f"verify_cost must be >= 0 and finite, got {self.verify_cost!r}"
+            )
+        if not (
+            math.isfinite(self.detection_latency) and self.detection_latency >= 0
+        ):
+            raise ValueError(
+                f"detection_latency must be >= 0 and finite, "
+                f"got {self.detection_latency!r}"
+            )
+
+    @property
+    def rate(self) -> float:
+        """Strike rate ``1 / mtbf`` (per minute)."""
+        return 1.0 / self.mtbf
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mtbf": self.mtbf,
+            "verify_cost": self.verify_cost,
+            "detection_latency": self.detection_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SilentErrorSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"silent_errors must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_SPEC_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown silent_errors field(s) {sorted(unknown)}; "
+                f"known fields: {list(_SPEC_FIELDS)}"
+            )
+        if "mtbf" not in data:
+            raise ValueError("silent_errors is missing required field 'mtbf'")
+        return cls(
+            mtbf=float(data["mtbf"]),
+            verify_cost=float(data.get("verify_cost", 0.0)),
+            detection_latency=float(data.get("detection_latency", 0.0)),
+        )
+
+    @classmethod
+    def resolve(cls, value) -> "SilentErrorSpec | None":
+        """Normalize a user-facing value: None, a spec, or its dict form."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls.from_dict(value)
+
+
+#: Strike times drawn per refill; matches the batched engine's fail-stop
+#: refill width so both streams amortize identically.
+_STREAM_BATCH = 4096
+
+
+class SilentStream:
+    """Ordered strike times for one trial, drawn in 4096-wide batches.
+
+    Gap draws accumulate into absolute times with the carry folded into
+    the first gap of the next batch — the exact mechanics of the batched
+    engine's fail-stop refill — and both trial engines consume this same
+    class with the same per-trial child generator, so their silent-error
+    draw sequences are bitwise identical by construction.
+    """
+
+    __slots__ = ("_scale", "_rng", "_times", "_idx", "_carry")
+
+    def __init__(self, spec: SilentErrorSpec, rng: np.random.Generator):
+        self._scale = spec.mtbf
+        self._rng = rng
+        self._times = np.empty(0)
+        self._idx = 0
+        self._carry = 0.0
+
+    def _refill(self) -> None:
+        gaps = self._rng.exponential(self._scale, _STREAM_BATCH)
+        gaps[0] += self._carry
+        self._times = np.add.accumulate(gaps)
+        self._carry = float(self._times[-1])
+        self._idx = 0
+
+    def peek(self) -> float:
+        """The next strike time (does not consume it)."""
+        if self._idx >= self._times.size:
+            self._refill()
+        return float(self._times[self._idx])
+
+    def pop(self) -> float:
+        """Consume and return the next strike time."""
+        value = self.peek()
+        self._idx += 1
+        return value
+
+    def skip_past(self, t: float) -> int:
+        """Drop every strike at or before ``t``; returns how many."""
+        dropped = 0
+        while self.peek() <= t:
+            self._idx += 1
+            dropped += 1
+        return dropped

@@ -24,7 +24,7 @@ from __future__ import annotations
 from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import DEFAULT_TECHNIQUES
+from .runner import DEFAULT_TECHNIQUES, variant_parameters
 
 __all__ = ["run", "study"]
 
@@ -34,8 +34,16 @@ def study(
     seed: int = 0,
     techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+    objective: str = "time",
+    silent_errors=None,
 ) -> StudySpec:
-    """The Figure 2 grid as a declarative study (system-major, legend order)."""
+    """The Figure 2 grid as a declarative study (system-major, legend order).
+
+    ``objective``/``silent_errors`` re-run the grid under the availability
+    objective or with a silent-error overlay (defaults reproduce the
+    paper's figure byte for byte) — see :class:`~repro.scenarios.
+    ScenarioSpec` for both knobs.
+    """
     return StudySpec(
         study_id="figure2",
         title="Efficiency of checkpoint interval optimization techniques (Figure 2)",
@@ -43,7 +51,8 @@ def study(
         scenarios=tuple(
             ScenarioSpec(
                 system=TEST_SYSTEMS[name], technique=tech, trials=trials,
-                seed_policy="pair",
+                seed_policy="pair", objective=objective,
+                silent_errors=silent_errors,
             )
             for name in systems
             for tech in techniques
@@ -58,9 +67,12 @@ def run(
     techniques: tuple[str, ...] = DEFAULT_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
     sim_workers: int = 1,
+    objective: str = "time",
+    silent_errors=None,
     **exec_options,
 ) -> ExperimentResult:
-    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems)
+    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems,
+                 objective=objective, silent_errors=silent_errors)
     srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
                          **exec_options)
     rows = []
@@ -95,7 +107,8 @@ def run(
             ("plan", None),
         ],
         rows=rows,
-        parameters={"trials": trials, "seed": seed},
+        parameters={"trials": trials, "seed": seed,
+                    **variant_parameters(objective, silent_errors)},
         notes=[
             "Paper shape: multilevel >= Daly everywhere (up to ~2x on D7-D9); "
             "Benoit optimistic and degrading with difficulty; dauwe/di/moody "

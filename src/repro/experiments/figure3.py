@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES
+from .runner import BREAKDOWN_TECHNIQUES, variant_parameters
 
 __all__ = ["run", "study"]
 
@@ -39,6 +39,8 @@ def study(
     seed: int = 0,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
+    objective: str = "time",
+    silent_errors=None,
 ) -> StudySpec:
     return StudySpec(
         study_id="figure3",
@@ -47,7 +49,8 @@ def study(
         scenarios=tuple(
             ScenarioSpec(
                 system=TEST_SYSTEMS[name], technique=tech, trials=trials,
-                seed_policy="pair",
+                seed_policy="pair", objective=objective,
+                silent_errors=silent_errors,
             )
             for name in systems
             for tech in techniques
@@ -62,9 +65,12 @@ def run(
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     systems: tuple[str, ...] = TEST_SYSTEM_ORDER,
     sim_workers: int = 1,
+    objective: str = "time",
+    silent_errors=None,
     **exec_options,
 ) -> ExperimentResult:
-    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems)
+    spec = study(trials=trials, seed=seed, techniques=techniques, systems=systems,
+                 objective=objective, silent_errors=silent_errors)
     srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
                          **exec_options)
     rows = []
@@ -87,7 +93,8 @@ def run(
         + [(c, ".2f") for c in _CATS]
         + [("failed C/R total", ".2f")],
         rows=rows,
-        parameters={"trials": trials, "seed": seed},
+        parameters={"trials": trials, "seed": seed,
+                    **variant_parameters(objective, silent_errors)},
         notes=[
             "Paper shape: failed-checkpoint+failed-restart share grows "
             "nonlinearly with difficulty, >=30% on the extreme systems "

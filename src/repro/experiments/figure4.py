@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..scenarios import ScenarioSpec, StudySpec, execute_study
 from ..systems import exascale_grid
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES
+from .runner import BREAKDOWN_TECHNIQUES, variant_parameters
 
 __all__ = ["run", "study"]
 
@@ -34,11 +34,16 @@ def study(
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     short_application: bool = False,
     study_id: str = "figure4",
+    objective: str = "time",
+    silent_errors=None,
 ) -> StudySpec:
     """The exascale grid as a declarative study (cost-major, then MTBF).
 
     ``short_application=True`` yields the Figure 5 variant: the grid
     restricted to level-L costs {10, 20} with a 30-minute application.
+    ``objective``/``silent_errors`` re-run the grid under the
+    availability objective or a silent-error overlay (defaults keep the
+    paper's figure byte-identical).
     """
     scenarios = []
     for spec in exascale_grid(short_application=short_application):
@@ -49,6 +54,8 @@ def study(
                     technique=tech,
                     trials=trials,
                     seed_policy="pair",
+                    objective=objective,
+                    silent_errors=silent_errors,
                     tags={
                         "cL (min)": spec.checkpoint_times[-1],
                         "MTBF (min)": spec.mtbf,
@@ -73,9 +80,12 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
+    objective: str = "time",
+    silent_errors=None,
     **exec_options,
 ) -> ExperimentResult:
-    spec = study(trials=trials, seed=seed, techniques=techniques)
+    spec = study(trials=trials, seed=seed, techniques=techniques,
+                 objective=objective, silent_errors=silent_errors)
     srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
                          **exec_options)
     rows = []
@@ -114,7 +124,8 @@ def run(
             ("plan", None),
         ],
         rows=rows,
-        parameters={"trials": trials, "seed": seed},
+        parameters={"trials": trials, "seed": seed,
+                    **variant_parameters(objective, silent_errors)},
         notes=[
             "Paper shape: MTBF dominates cL; 3-min MTBF -> <1% efficiency for "
             "cL > 10; di (two of four levels) below dauwe/moody where "

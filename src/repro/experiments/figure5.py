@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..scenarios import StudySpec, execute_study
 from .records import ExperimentResult
-from .runner import BREAKDOWN_TECHNIQUES
+from .runner import BREAKDOWN_TECHNIQUES, variant_parameters
 from . import figure4
 
 __all__ = ["run", "study"]
@@ -30,10 +30,13 @@ def study(
     trials: int = 400,
     seed: int = 0,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
+    objective: str = "time",
+    silent_errors=None,
 ) -> StudySpec:
     return figure4.study(
         trials=trials, seed=seed, techniques=techniques,
         short_application=True, study_id="figure5",
+        objective=objective, silent_errors=silent_errors,
     )
 
 
@@ -43,9 +46,12 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
+    objective: str = "time",
+    silent_errors=None,
     **exec_options,
 ) -> ExperimentResult:
-    spec = study(trials=trials, seed=seed, techniques=techniques)
+    spec = study(trials=trials, seed=seed, techniques=techniques,
+                 objective=objective, silent_errors=silent_errors)
     srun = execute_study(spec, workers=workers, sim_workers=sim_workers,
                          **exec_options)
     rows = []
@@ -83,7 +89,8 @@ def run(
             ("plan", None),
         ],
         rows=rows,
-        parameters={"trials": trials, "seed": seed},
+        parameters={"trials": trials, "seed": seed,
+                    **variant_parameters(objective, silent_errors)},
         notes=[
             "Paper shape: dauwe/di skip level-L everywhere here and beat "
             "moody by up to ~20 points, at slightly higher std.",

@@ -83,10 +83,13 @@ def run(
     workers: int = 1,
     techniques: tuple[str, ...] = BREAKDOWN_TECHNIQUES,
     sim_workers: int = 1,
+    objective: str = "time",
+    silent_errors=None,
 ) -> ExperimentResult:
     return from_figure4(
         figure4.run(
             trials=trials, seed=seed, workers=workers,
             techniques=techniques, sim_workers=sim_workers,
+            objective=objective, silent_errors=silent_errors,
         )
     )

@@ -48,6 +48,7 @@ __all__ = [
     "measure_technique",
     "optimize_technique",
     "pair_seed",
+    "variant_parameters",
     "DEFAULT_TECHNIQUES",
     "BREAKDOWN_TECHNIQUES",
 ]
@@ -56,6 +57,23 @@ __all__ = [
 DEFAULT_TECHNIQUES = ("dauwe", "di", "moody", "benoit", "daly")
 #: The three best performers, used for Figures 3-6 (Section IV-D onward).
 BREAKDOWN_TECHNIQUES = ("dauwe", "di", "moody")
+
+
+def variant_parameters(objective: str = "time", silent_errors=None) -> dict:
+    """Report-parameter entries for a non-default objective/failure mode.
+
+    Empty for the paper's defaults, so baseline reports (and the tests
+    that assert them byte-identical to the seed) are untouched; a
+    variant run names what it optimized and what it injected.
+    """
+    out: dict = {}
+    if objective != "time":
+        out["objective"] = objective
+    if silent_errors is not None:
+        from ..core.silent import SilentErrorSpec
+
+        out["silent_errors"] = SilentErrorSpec.resolve(silent_errors).to_dict()
+    return out
 
 
 def pair_seed(seed: int | None, system_name: str, technique: str) -> int | None:

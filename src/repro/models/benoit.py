@@ -36,6 +36,7 @@ from ..core.interfaces import CheckpointModel, split_grid_counts
 from ..core.numerics import ModelDiagnostics, flag, safe_div
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
+from ..core.silent import SilentErrorSpec
 from ..systems.spec import SystemSpec
 
 __all__ = ["BenoitModel"]
@@ -48,9 +49,13 @@ class BenoitModel(CheckpointModel):
     takes_scheduled_end_checkpoint = True
     supports_grid_eval = True
     supports_diagnostics = True
+    #: Cost-only silent-error degradation: ``V`` inflates the checkpoint
+    #: densities, nothing else — first-order waste has no latency notion.
+    silent_error_fidelity = "cost-only"
 
-    def __init__(self, system: SystemSpec):
+    def __init__(self, system: SystemSpec, silent_errors=None):
         super().__init__(system)
+        self.silent_errors = SilentErrorSpec.resolve(silent_errors)
         self._mapping = LevelMapping.build(
             system, tuple(range(1, system.num_levels + 1))
         )
@@ -104,6 +109,11 @@ class BenoitModel(CheckpointModel):
             # 1/W_k - 1/W_{k+1}.  A vanishing W_k makes the density diverge;
             # safe_div records it instead of warning.
             h_ckpt = np.zeros(shape)
+            verify = (
+                self.silent_errors.verify_cost
+                if self.silent_errors is not None
+                else 0.0
+            )
             for k in range(L):
                 dens = safe_div(
                     1.0, tau0 * strides[k], diagnostics, f"{self.name}.density"
@@ -112,7 +122,7 @@ class BenoitModel(CheckpointModel):
                     dens = dens - safe_div(
                         1.0, tau0 * strides[k + 1], diagnostics, f"{self.name}.density"
                     )
-                h_ckpt += mp.checkpoint_times[k] * dens
+                h_ckpt += (mp.checkpoint_times[k] + verify) * dens
 
             # Failure waste per unit work: each severity-k failure restarts
             # (cost R_k) and loses half a level-k interval of wall-clock time.
@@ -130,7 +140,7 @@ class BenoitModel(CheckpointModel):
         return np.where(np.isfinite(total), total, math.inf)
 
     # ------------------------------------------------------------------
-    def optimize(self, **sweep_options):
+    def optimize(self, objective="time", **sweep_options):
         """Steady-state sweep: like Moody's model the pattern ignores ``T_B``.
 
         The waste rate ``H`` is independent of application length, so the
@@ -146,4 +156,4 @@ class BenoitModel(CheckpointModel):
             ),
         )
         sweep_options.setdefault("tau0_max", sweep_options["max_pattern_work"])
-        return super().optimize(**sweep_options)
+        return super().optimize(objective=objective, **sweep_options)

@@ -28,10 +28,11 @@ import math
 
 import numpy as np
 
-from ..core.interfaces import CheckpointModel, OptimizationResult
+from ..core.interfaces import CheckpointModel, OptimizationResult, get_objective
 from ..core.numerics import ModelDiagnostics, OptimizationCertificate, flag
 from ..core.optimizer import golden_section
 from ..core.plan import CheckpointPlan
+from ..core.silent import SilentErrorSpec
 from ..systems.spec import SystemSpec
 
 __all__ = ["DalyModel", "YoungModel", "daly_optimum_interval", "young_optimum_interval"]
@@ -73,11 +74,19 @@ class DalyModel(CheckpointModel):
 
     name = "daly"
     supports_diagnostics = True
+    #: Baselines only price the verification cost ``V`` (added to the
+    #: checkpoint write); detection latency and recovery-level selection
+    #: are outside their formulations.  Documented degradation — the
+    #: Dauwe recursion is the "full"-fidelity silent-error model.
+    silent_error_fidelity = "cost-only"
 
-    def __init__(self, system: SystemSpec):
+    def __init__(self, system: SystemSpec, silent_errors=None):
         super().__init__(system)
+        self.silent_errors = SilentErrorSpec.resolve(silent_errors)
         self._level = system.num_levels
         self._delta = system.checkpoint_time(self._level)
+        if self.silent_errors is not None:
+            self._delta += self.silent_errors.verify_cost
         self._restart = system.restart_time(self._level)
 
     def candidate_level_subsets(self) -> list[tuple[int, ...]]:
@@ -165,10 +174,16 @@ class DalyModel(CheckpointModel):
         return total
 
     # ------------------------------------------------------------------
-    def optimize(self, **sweep_options) -> OptimizationResult:
-        """Daly's closed-form seed refined on the exact cost curve."""
-        if sweep_options:
-            return super().optimize(**sweep_options)
+    def optimize(self, objective="time", **sweep_options) -> OptimizationResult:
+        """Daly's closed-form seed refined on the exact cost curve.
+
+        The closed-form fast path serves the default time objective only;
+        explicit sweep options or a non-time objective route through the
+        generic sweep (whose availability fallback is ``T_B / T`` — for a
+        single-level technique the two optima coincide).
+        """
+        if sweep_options or get_objective(objective).name != "time":
+            return super().optimize(objective=objective, **sweep_options)
         T_B = self.system.baseline_time
         diag = ModelDiagnostics()
         seed = min(daly_optimum_interval(self._delta, self.system.mtbf), T_B)
@@ -212,7 +227,11 @@ class YoungModel(DalyModel):
 
     name = "young"
 
-    def optimize(self, **sweep_options) -> OptimizationResult:
+    def optimize(self, objective="time", **sweep_options) -> OptimizationResult:
+        # Young's technique is a fixed formula, not a search: the first-
+        # order interval is the plan under every objective, and its
+        # fallback availability is the efficiency already reported.
+        obj = get_objective(objective)
         T_B = self.system.baseline_time
         tau = min(young_optimum_interval(self._delta, self.system.mtbf), T_B)
         plan = CheckpointPlan.single_level(self._level, tau)
@@ -229,5 +248,8 @@ class YoungModel(DalyModel):
             predicted_time=t,
             predicted_efficiency=min(1.0, T_B / t),
             evaluations=1,
-            certificate=OptimizationCertificate.from_diagnostics(diag, evaluations=1),
+            certificate=OptimizationCertificate.from_diagnostics(
+                diag, evaluations=1, objective=obj.name
+            ),
+            objective=obj.name,
         )

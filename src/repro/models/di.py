@@ -40,12 +40,18 @@ class DiModel(DauweModel):
 
     name = "di"
 
-    def __init__(self, system: SystemSpec, allow_level_skipping: bool = True):
+    def __init__(
+        self,
+        system: SystemSpec,
+        allow_level_skipping: bool = True,
+        silent_errors=None,
+    ):
         super().__init__(
             system,
             include_checkpoint_failures=True,
             include_restart_failures=False,
             allow_level_skipping=allow_level_skipping,
+            silent_errors=silent_errors,
         )
 
     def candidate_level_subsets(self) -> list[tuple[int, ...]]:

@@ -34,6 +34,7 @@ from ..core.interfaces import CheckpointModel, OptimizationResult, split_grid_co
 from ..core.numerics import ModelDiagnostics, flag, safe_expm1
 from ..core.plan import CheckpointPlan
 from ..core.severity import LevelMapping
+from ..core.silent import SilentErrorSpec
 from ..core.truncated import truncated_mean
 from ..systems.spec import SystemSpec
 
@@ -49,12 +50,21 @@ class MoodyModel(CheckpointModel):
     takes_scheduled_end_checkpoint = True
     supports_grid_eval = True
     supports_diagnostics = True
+    #: Cost-only silent-error degradation: ``V`` joins every checkpoint
+    #: write, but the Markov chain has no detection-latency state.
+    silent_error_fidelity = "cost-only"
 
-    def __init__(self, system: SystemSpec, escalating_restarts: bool = True):
+    def __init__(
+        self,
+        system: SystemSpec,
+        escalating_restarts: bool = True,
+        silent_errors=None,
+    ):
         super().__init__(system)
         #: Escalation is SCR's documented assumption; turning it off is the
         #: ablation the paper implicitly performs when explaining Figure 6.
         self.escalating_restarts = escalating_restarts
+        self.silent_errors = SilentErrorSpec.resolve(silent_errors)
         self._mapping = LevelMapping.build(
             system, tuple(range(1, system.num_levels + 1))
         )
@@ -116,6 +126,35 @@ class MoodyModel(CheckpointModel):
         return float(out[0])
 
     # ------------------------------------------------------------------
+    # SCR's pattern efficiency *is* the steady-state useful-work fraction,
+    # so the availability objective's native hooks are aliases — and since
+    # predict_time is exactly T_B / efficiency, the time and availability
+    # optima coincide for this model (a property the objective tests pin).
+    def predict_availability(
+        self,
+        plan: CheckpointPlan,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> float:
+        out = self.pattern_efficiency_batch(
+            plan.levels, plan.counts, np.array([plan.tau0], dtype=float),
+            diagnostics=diagnostics,
+        )
+        return float(out[0])
+
+    def predict_availability_batch(
+        self,
+        levels: tuple[int, ...],
+        counts,
+        tau0: np.ndarray,
+        *,
+        diagnostics: ModelDiagnostics | None = None,
+    ) -> np.ndarray:
+        return self.pattern_efficiency_batch(
+            levels, counts, tau0, diagnostics=diagnostics
+        )
+
+    # ------------------------------------------------------------------
     def pattern_efficiency_batch(
         self,
         levels: tuple[int, ...],
@@ -151,6 +190,8 @@ class MoodyModel(CheckpointModel):
             lam_k = mp.rates[k]
             lam_c = mp.cumulative_rates[k]
             delta = mp.checkpoint_times[k]
+            if self.silent_errors is not None:
+                delta = delta + self.silent_errors.verify_cost
             R = mp.restart_times[k]
             top = k == L - 1
             if top:

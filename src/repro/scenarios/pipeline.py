@@ -78,16 +78,27 @@ def _execute_scenario(
     from ..experiments.runner import measure_technique, optimize_technique
     from ..simulator import simulate_many
 
+    # objective/silent_errors thread through as plain option entries so
+    # the optimization cache key (JSON of the options) changes exactly
+    # when they are non-default and default runs keep their cached plans.
+    model_options = dict(scenario.model_options)
+    sweep_options = dict(scenario.sweep_options)
+    if scenario.silent_errors is not None:
+        model_options["silent_errors"] = scenario.silent_errors.to_dict()
+    if scenario.objective != "time":
+        sweep_options["objective"] = scenario.objective
     opt = optimize_technique(
         scenario.system,
         scenario.technique,
-        model_options=scenario.model_options,
-        sweep_options=scenario.sweep_options,
+        model_options=model_options,
+        sweep_options=sweep_options,
     )
     simulate = dict(scenario.simulate)
     factory = scenario.failure.source_factory(scenario.system)
     if factory is not None:
         simulate["source_factory"] = factory
+    if scenario.silent_errors is not None:
+        simulate["silent_errors"] = scenario.silent_errors
     if scenario.seed_policy == "pair":
         # The exact Figures 2-5 path, per-pair derived failure streams.
         return measure_technique(
@@ -137,6 +148,12 @@ def _execute_interval(
         raise ValueError(
             "interval-optimizer scenarios support only the exponential "
             f"failure process, got kind {scenario.failure.kind!r}"
+        )
+    if scenario.objective != "time" or scenario.silent_errors is not None:
+        raise ValueError(
+            "interval-optimizer scenarios support only objective='time' "
+            "without silent errors (the per-level-period schedule has no "
+            "availability/silent-error formulation yet)"
         )
     start = time.perf_counter()
     itv = IntervalModel(scenario.system, **scenario.model_options).optimize(
@@ -193,6 +210,16 @@ def _build_record(
                 "technique": s.technique,
                 "trials": s.trials,
                 "seed": scenario_seed(s, study.seed),
+                # non-default objective/failure-mode blocks are recorded so
+                # a manifest says what was optimized; absent = the paper's
+                # time objective without silent errors (keeps old manifests
+                # byte-identical).
+                **({"objective": s.objective} if s.objective != "time" else {}),
+                **(
+                    {"silent_errors": s.silent_errors.to_dict()}
+                    if s.silent_errors is not None
+                    else {}
+                ),
             }
             for s in study.scenarios
         ],

@@ -49,10 +49,12 @@ _SCENARIO_FIELDS = (
     "system",
     "technique",
     "optimizer",
+    "objective",
     "model_options",
     "sweep_options",
     "simulate",
     "failure",
+    "silent_errors",
     "trials",
     "seed_policy",
     "label",
@@ -75,6 +77,8 @@ _STUDY_FIELDS = (
     "model_options",
     "sweep_options",
     "seed_policy",
+    "objective",
+    "silent_errors",
 )
 
 
@@ -104,6 +108,11 @@ class ScenarioSpec:
     optimizer:
         ``"pattern"`` (the paper's pattern-based plans, default) or
         ``"interval"`` (the Di-style per-level-period extension).
+    objective:
+        What the optimizer minimizes: ``"time"`` (the paper's expected
+        completion time, default) or ``"availability"`` (maximize the
+        steady-state useful-work fraction).  Validated against the
+        :data:`repro.core.interfaces.OBJECTIVES` registry.
     model_options / sweep_options:
         Keyword arguments for the model constructor / the Section III-C
         sweep, exactly as :func:`repro.experiments.runner.optimize_technique`
@@ -119,6 +128,13 @@ class ScenarioSpec:
     failure:
         A :class:`~repro.failures.registry.FailureSpec`; the default is
         the paper's exponential process.
+    silent_errors:
+        A :class:`~repro.core.silent.SilentErrorSpec` (or its mapping
+        form, or ``None``): overlays a silent-error process on both the
+        model (verification cost, detection-latency pricing) and the
+        simulator (corrupted checkpoints detected late force deeper
+        restarts).  ``None`` — the default — reproduces the paper's
+        fail-stop-only setting byte for byte.
     trials:
         Simulation trials for this scenario.
     seed_policy:
@@ -135,10 +151,12 @@ class ScenarioSpec:
     system: SystemSpec
     technique: str = "dauwe"
     optimizer: str = "pattern"
+    objective: str = "time"
     model_options: Mapping[str, Any] = field(default_factory=dict)
     sweep_options: Mapping[str, Any] = field(default_factory=dict)
     simulate: Mapping[str, Any] = field(default_factory=dict)
     failure: FailureSpec = field(default_factory=FailureSpec)
+    silent_errors: Any = None
     trials: int = 100
     seed_policy: str = "pair"
     label: str = ""
@@ -176,6 +194,14 @@ class ScenarioSpec:
             raise ValueError(
                 f"failure must be a FailureSpec, got {type(self.failure).__name__}"
             )
+        from ..core.interfaces import get_objective  # late: avoid cycle
+
+        object.__setattr__(self, "objective", get_objective(self.objective).name)
+        from ..core.silent import SilentErrorSpec
+
+        object.__setattr__(
+            self, "silent_errors", SilentErrorSpec.resolve(self.silent_errors)
+        )
         engine = self.simulate.get("engine")
         if engine is not None:
             from ..simulator.run import ENGINES  # late: avoid import cycle
@@ -192,8 +218,13 @@ class ScenarioSpec:
         return replace(self, trials=int(trials))
 
     def to_dict(self) -> dict[str, Any]:
-        """Canonical JSON form (full system spec inline, defaults included)."""
-        return {
+        """Canonical JSON form (full system spec inline, defaults included).
+
+        ``objective``/``silent_errors`` appear only when non-default, so
+        every pre-existing study keeps its ``study_hash`` (and its cached
+        results) unchanged.
+        """
+        out: dict[str, Any] = {
             "system": self.system.to_dict(),
             "technique": self.technique,
             "optimizer": self.optimizer,
@@ -206,6 +237,11 @@ class ScenarioSpec:
             "label": self.label,
             "tags": dict(self.tags),
         }
+        if self.objective != "time":
+            out["objective"] = self.objective
+        if self.silent_errors is not None:
+            out["silent_errors"] = self.silent_errors.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -220,8 +256,9 @@ class ScenarioSpec:
         if "system" not in data:
             raise ValueError("scenario is missing required field 'system'")
         kwargs: dict[str, Any] = {"system": _resolve_system(data["system"])}
-        for key in ("technique", "optimizer", "model_options", "sweep_options",
-                    "simulate", "seed_policy", "label", "tags"):
+        for key in ("technique", "optimizer", "objective", "model_options",
+                    "sweep_options", "simulate", "silent_errors",
+                    "seed_policy", "label", "tags"):
             if key in data:
                 kwargs[key] = data[key]
         if "trials" in data:
@@ -364,7 +401,8 @@ class StudySpec:
             shared = {
                 key: data[key]
                 for key in ("failure", "simulate", "model_options",
-                            "sweep_options", "seed_policy")
+                            "sweep_options", "seed_policy", "objective",
+                            "silent_errors")
                 if key in data
             }
             for sysval in data["systems"]:

@@ -101,6 +101,13 @@ class TrialResult:
     restarts_completed: int = 0
     restarts_failed: int = 0
     scratch_restarts: int = 0
+    #: Silent-error detections that fired during the trial (each one
+    #: invalidates post-strike checkpoints and forces a rollback); zero
+    #: unless the run was simulated with ``silent_errors``.
+    silent_detections: int = 0
+    #: Silent strikes still armed when the application completed — the
+    #: run finished on possibly-corrupted state.
+    silent_undetected: int = 0
     #: Ordered event timeline; populated when ``record_events=True``.
     events: "list | None" = None
 

@@ -46,9 +46,18 @@ batches); everything is full-width masked arithmetic, so the per-event
 cost is a fixed number of vector ops over the tile.
 
 Scope: exponential failure source, ``retry`` restart semantics, any
-``recheckpoint`` policy, no event recording.  ``escalate`` semantics,
-trace/Weibull sources and event timelines stay on the scalar engine
-(:func:`repro.simulator.run.simulate_many` dispatches automatically).
+``recheckpoint`` policy, optional silent errors, no event recording.
+``escalate`` semantics, trace/Weibull sources and event timelines stay on
+the scalar engine (:func:`repro.simulator.run.simulate_many` dispatches
+automatically).
+
+Silent errors (``silent_errors=``) keep the equality guarantee: both
+engines consume the same :class:`~repro.core.silent.SilentStream` class
+seeded from the same per-trial spawn, arming/detection comparisons are
+the same absolute-time compares, and every detection-path float update
+mirrors the scalar handler op for op.  With the option off the silent
+branches are skipped entirely — the fail-stop walk is byte-identical to
+the pre-silent engine.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ import math
 import numpy as np
 
 from ..core.plan import CheckpointPlan
+from ..core.silent import SilentErrorSpec, SilentStream
 from ..systems.spec import SystemSpec
 from .accounting import TimeBreakdown, TrialResult
 from .engine import _EPS, default_max_time
@@ -89,6 +99,7 @@ def simulate_trials_batch(
     restart_semantics: str = "retry",
     checkpoint_at_completion: bool = False,
     recheckpoint: str = "free",
+    silent_errors: SilentErrorSpec | None = None,
 ) -> list[TrialResult]:
     """Simulate one trial per entry of ``seed_seqs``, all in lockstep.
 
@@ -112,6 +123,7 @@ def simulate_trials_batch(
     if recheckpoint not in ("free", "paid", "skip"):
         raise ValueError(f"unknown recheckpoint policy {recheckpoint!r}")
     cap = default_max_time(system) if max_time is None else float(max_time)
+    silent = SilentErrorSpec.resolve(silent_errors)
 
     results: list[TrialResult] = []
     seed_seqs = list(seed_seqs)
@@ -124,6 +136,7 @@ def simulate_trials_batch(
                 cap,
                 checkpoint_at_completion,
                 recheckpoint,
+                silent,
             )
         )
     return results
@@ -136,6 +149,7 @@ def _simulate_tile(
     cap: float,
     checkpoint_at_completion: bool,
     recheckpoint: str,
+    silent: SilentErrorSpec | None,
 ) -> list[TrialResult]:
     n = len(seed_seqs)
     T_B = system.baseline_time
@@ -147,7 +161,10 @@ def _simulate_tile(
 
     # --- tables (identical values to the scalar engine's lists) -------
     levels = np.array(plan.levels, dtype=np.int64)
-    ckpt_cost = np.array([system.checkpoint_time(lv) for lv in plan.levels])
+    verify = silent.verify_cost if silent is not None else 0.0
+    ckpt_cost = np.array(
+        [system.checkpoint_time(lv) + verify for lv in plan.levels]
+    )
     rest_cost = np.array([system.restart_time(lv) for lv in plan.levels])
     sev_rest_cost = np.array(
         [system.restart_time(s) for s in range(1, num_sev + 1)]
@@ -251,6 +268,26 @@ def _simulate_tile(
     restored = np.zeros(n, dtype=np.int64)
     active = np.ones(n, dtype=bool)
 
+    # --- silent-error state (allocated only when the mode is on) ------
+    # One strike "armed" per trial; its detection at strike + D.  The
+    # streams are the same SilentStream class the scalar engine uses,
+    # seeded from the same per-trial spawn, so strike draws are bitwise
+    # identical; ``next_strike`` caches each stream's peek() so arming is
+    # one vector compare (pops are a python loop over the rare armers).
+    if silent is not None:
+        D_lat = silent.detection_latency
+        sstreams = [
+            SilentStream(silent, np.random.default_rng(ss.spawn(1)[0]))
+            for ss in seed_seqs
+        ]
+        next_strike = np.array([st.peek() for st in sstreams])
+        armed = np.zeros(n, dtype=bool)
+        strike_t = np.full(n, np.inf)
+        detect_t = np.full(n, np.inf)
+        valid_t = np.zeros((n, num_used))  # completion time of valid[:, k]
+        silent_det = np.zeros(n, dtype=np.int64)
+        full_armed, full_strike_t, full_silent_det = armed, strike_t, silent_det
+
     # Full-size result stores.  The loop works on a *compacted* live
     # subset once enough trials finish (straggler tails would otherwise
     # keep full-width ops running for a handful of trials); finished
@@ -294,6 +331,10 @@ def _simulate_tile(
         full_rst_fail[orig] = rst_fail
         full_scratch[orig] = scratch
         full_restored[orig] = restored
+        if silent is not None:
+            full_armed[orig] = armed
+            full_strike_t[orig] = strike_t
+            full_silent_det[orig] = silent_det
 
     def suffix_max_valid() -> None:
         """``sm[:, k]`` = newest position valid at any used level >= k."""
@@ -357,6 +398,52 @@ def _simulate_tile(
         np.take(win_t_flat, idx, out=fail_t)
         np.take(win_s_flat, idx, out=fail_s)
 
+    def arm_strikes(mask: np.ndarray, dur) -> None:
+        """Arm the next silent strike for ``mask`` trials whose strike
+        lands inside the nominal segment ``[t, t + dur)`` — the scalar
+        ``seg_fate`` arming step, one compare plus a rare python loop."""
+        arm = mask & ~armed & (next_strike < t + dur)
+        if arm.any():
+            for i in np.flatnonzero(arm):
+                st = sstreams[orig[i]]
+                strike_t[i] = st.pop()
+                detect_t[i] = strike_t[i] + D_lat
+                next_strike[i] = st.peek()
+            armed[arm] = True
+
+    def on_detections(dmask: np.ndarray, det_attr) -> None:
+        """Vectorized mirror of the scalar engine's ``on_detection``:
+        invalidate post-strike checkpoints, enter (or keep) recovery at
+        severity 1, re-target, attribute lost work per phase, disarm."""
+        nonlocal silent_det
+        silent_det += dmask
+        np.copyto(
+            valid,
+            np.int64(-1),
+            where=dmask[:, None] & (valid >= 0) & (valid_t > strike_t[:, None]),
+        )
+        newrec = dmask & ~recovering
+        np.copyto(rollback_ref, work, where=newrec)
+        np.maximum(pending_sev, np.int64(1), out=pending_sev, where=dmask)
+        np.logical_or(recovering, dmask, out=recovering)
+        suffix_max_valid()
+        lo = recover_idx[pending_sev - 1]
+        best = sm[rows, np.maximum(lo, 0)]
+        pos = np.maximum(np.where(lo >= 0, best, np.int64(-1)), 0)
+        posw = pos * tau0
+        lost = rollback_ref - posw
+        hitpos = lost > 0
+        for mask, bucket in det_attr:
+            np.add(bucket, lost, out=bucket, where=mask & hitpos)
+        np.copyto(rollback_ref, posw, where=dmask & hitpos)
+        armed[dmask] = False
+        for i in np.flatnonzero(dmask):
+            st = sstreams[orig[i]]
+            st.skip_past(detect_t[i])
+            next_strike[i] = st.peek()
+        strike_t[dmask] = np.inf
+        detect_t[dmask] = np.inf
+
     while True:
         boundary = next_m * tau0
         nrec = ~recovering
@@ -401,6 +488,10 @@ def _simulate_tile(
             ckpt_ok, ckpt_fail = ckpt_ok[keep], ckpt_fail[keep]
             rst_ok, rst_fail = rst_ok[keep], rst_fail[keep]
             scratch, restored = scratch[keep], restored[keep]
+            if silent is not None:
+                armed, strike_t = armed[keep], strike_t[keep]
+                detect_t, next_strike = detect_t[keep], next_strike[keep]
+                valid_t, silent_det = valid_t[keep], silent_det[keep]
             rows = np.arange(orig.size, dtype=np.int64)
             rows_w = rows * _WINDOW
             active = np.ones(orig.size, dtype=bool)
@@ -414,6 +505,7 @@ def _simulate_tile(
         comp ^= bnd
         slack = fail_t - t
         attributions: list[tuple[np.ndarray, np.ndarray]] = []
+        det_attr: list[tuple[np.ndarray, np.ndarray]] = []
 
         # Event fusion: a successful restart chains into its follow-up
         # compute segment, and a successful compute into its checkpoint,
@@ -445,7 +537,16 @@ def _simulate_tile(
                     sev_rest_cost[pending_sev - 1],
                 ),
             )
-            ok = rec & (slack >= dur)
+            if silent is None:
+                ok = rec & (slack >= dur)
+                flr = rec ^ ok
+                detr = None
+            else:
+                arm_strikes(rec, dur)
+                dslack = detect_t - t
+                ok = rec & (slack >= dur) & (dslack >= dur)
+                flr = rec & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
+                detr = rec & ~ok & ~flr
             np.add(t, dur, out=t, where=ok)
             np.add(acct_restart, dur, out=acct_restart, where=ok)
             rst_ok += ok
@@ -454,7 +555,6 @@ def _simulate_tile(
             np.copyto(next_m, pos + 1, where=ok)
             np.copyto(pending_sev, np.int64(0), where=ok)
             recovering ^= ok
-            flr = rec ^ ok
             if flr.any():
                 np.add(
                     acct_failed_restart, slack, out=acct_failed_restart, where=flr
@@ -462,6 +562,13 @@ def _simulate_tile(
                 rst_fail += flr
                 np.copyto(t, fail_t, where=flr)
                 attributions.append((flr, acct_rework_restart))
+            if detr is not None and detr.any():
+                np.add(
+                    acct_failed_restart, dslack, out=acct_failed_restart, where=detr
+                )
+                rst_fail += detr
+                np.copyto(t, detect_t, where=detr)
+                det_attr.append((detr, acct_rework_restart))
             if ok.any():
                 # Fuse: restarted trials proceed to their next event now.
                 boundary = next_m * tau0
@@ -479,16 +586,29 @@ def _simulate_tile(
         if comp.any():
             target = np.minimum(boundary, T_B)
             dur = target - work
-            okc = comp & (slack >= dur)
+            if silent is None:
+                okc = comp & (slack >= dur)
+                flc = comp ^ okc
+                detc = None
+            else:
+                arm_strikes(comp, dur)
+                dslack = detect_t - t
+                okc = comp & (slack >= dur) & (dslack >= dur)
+                flc = comp & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
+                detc = comp & ~okc & ~flc
             np.add(t, dur, out=t, where=okc)
             np.add(compute_time, dur, out=compute_time, where=okc)
             np.copyto(work, target, where=okc)
-            flc = comp ^ okc
             if flc.any():
                 np.add(compute_time, slack, out=compute_time, where=flc)
                 np.add(work, slack, out=work, where=flc)
                 np.copyto(t, fail_t, where=flc)
                 attributions.append((flc, acct_rework_compute))
+            if detc is not None and detc.any():
+                np.add(compute_time, dslack, out=compute_time, where=detc)
+                np.add(work, dslack, out=work, where=detc)
+                np.copyto(t, detect_t, where=detc)
+                det_attr.append((detc, acct_rework_compute))
             if okc.any():
                 # Fuse: trials that reached their boundary checkpoint now.
                 fin2 = work >= T_B_lo
@@ -513,22 +633,38 @@ def _simulate_tile(
                         np.copyto(
                             valid, next_m[:, None], where=kc & redo[:, None]
                         )
+                        if silent is not None:
+                            np.copyto(
+                                valid_t, t[:, None], where=kc & redo[:, None]
+                            )
                         restored += redo
                     take = bnd ^ redo
                     next_m += redo
             if take.any():
                 dur = ckpt_cost[k]
-                okk = take & (slack >= dur)
+                if silent is None:
+                    okk = take & (slack >= dur)
+                    flk = take ^ okk
+                    detk = None
+                else:
+                    arm_strikes(take, dur)
+                    dslack = detect_t - t
+                    okk = take & (slack >= dur) & (dslack >= dur)
+                    flk = take & (slack < dur) & (
+                        (dslack >= dur) | (fail_t <= detect_t)
+                    )
+                    detk = take & ~okk & ~flk
                 np.add(t, dur, out=t, where=okk)
                 np.add(acct_checkpoint, dur, out=acct_checkpoint, where=okk)
                 ckpt_ok += okk
                 # hierarchical write: validates all levels <= k
                 np.copyto(valid, next_m[:, None], where=kc & okk[:, None])
+                if silent is not None:
+                    np.copyto(valid_t, t[:, None], where=kc & okk[:, None])
                 np.maximum(
                     max_completed_m, next_m, out=max_completed_m, where=okk
                 )
                 next_m += okk
-                flk = take ^ okk
                 if flk.any():
                     np.add(
                         acct_failed_checkpoint,
@@ -539,12 +675,27 @@ def _simulate_tile(
                     ckpt_fail += flk
                     np.copyto(t, fail_t, where=flk)
                     attributions.append((flk, acct_rework_checkpoint))
+                if detk is not None and detk.any():
+                    np.add(
+                        acct_failed_checkpoint,
+                        dslack,
+                        out=acct_failed_checkpoint,
+                        where=detk,
+                    )
+                    ckpt_fail += detk
+                    np.copyto(t, detect_t, where=detk)
+                    det_attr.append((detk, acct_rework_checkpoint))
 
         if attributions:
             fmask = attributions[0][0]
             for mask, _ in attributions[1:]:
                 fmask = fmask | mask
             on_failures(fmask, attributions)
+        if det_attr:
+            dmask = det_attr[0][0]
+            for mask, _ in det_attr[1:]:
+                dmask = dmask | mask
+            on_detections(dmask, det_attr)
 
     t, work, next_m = full_t, full_work, full_next_m
     recovering, rollback_ref = full_recovering, full_rollback_ref
@@ -566,6 +717,13 @@ def _simulate_tile(
     completed = ~recovering & (work >= T_B_lo)
     if checkpoint_at_completion:
         completed &= next_m * tau0 > T_B_hi
+    if silent is None:
+        silent_det_out = silent_undet_out = np.zeros(n, dtype=np.int64)
+    else:
+        silent_det_out = full_silent_det
+        silent_undet_out = (
+            completed & full_armed & (full_strike_t <= t)
+        ).astype(np.int64)
     # Horizon cap fired mid-recovery: only the recovery position counts
     # as retained work (losses above it are already in rework buckets).
     np.copyto(work, rollback_ref, where=recovering)
@@ -604,6 +762,8 @@ def _simulate_tile(
                 restarts_completed=int(rst_ok[i]),
                 restarts_failed=int(rst_fail[i]),
                 scratch_restarts=int(scratch[i]),
+                silent_detections=int(silent_det_out[i]),
+                silent_undetected=int(silent_undet_out[i]),
                 events=None,
             )
         )

@@ -23,7 +23,12 @@ random failures, implementing exactly the semantics the paper states:
 * after a restart the application recomputes lost work; what happens at
   checkpoint positions it had already completed is governed by the
   ``recheckpoint`` policy (the default matches the analytic models'
-  assumptions — see the parameter documentation and DESIGN.md 7a).
+  assumptions — see the parameter documentation and DESIGN.md 7a);
+* optionally (``silent_errors=``), silent data corruptions strike from a
+  dedicated Poisson stream and surface a detection latency later, at
+  which point every checkpoint completed after the strike is invalidated
+  and the run rolls back to the newest pre-strike checkpoint — the
+  semantics and approximations live in :mod:`repro.core.silent`.
 
 The walk is O(1) per event with batched RNG draws; a horizon cap bounds
 near-zero-efficiency scenarios, whose efficiency is then reported by the
@@ -37,6 +42,7 @@ import math
 import numpy as np
 
 from ..core.plan import CheckpointPlan
+from ..core.silent import SilentErrorSpec, SilentStream
 from ..failures.sources import ExponentialFailureSource, FailureSource
 from ..systems.spec import SystemSpec
 from .accounting import TimeBreakdown, TrialResult
@@ -70,6 +76,8 @@ def simulate_trial(
     checkpoint_at_completion: bool = False,
     recheckpoint: str = "free",
     record_events: bool = False,
+    silent_errors: SilentErrorSpec | None = None,
+    silent_rng: np.random.Generator | int | None = None,
 ) -> TrialResult:
     """Simulate one execution of ``system``'s application under ``plan``.
 
@@ -116,6 +124,21 @@ def simulate_trial(
         Record a :class:`~repro.simulator.tracelog.SimEvent` timeline in
         ``TrialResult.events`` (off by default: the hot loop stays
         allocation-free for large sweeps).
+    silent_errors:
+        Optional :class:`~repro.core.silent.SilentErrorSpec` (or dict)
+        enabling silent data corruptions: the verification cost ``V``
+        joins every checkpoint write, strikes arrive from a dedicated
+        Poisson stream, and a strike is detected ``D`` later — at which
+        point every checkpoint completed after the strike is invalidated
+        and the run rolls back to the newest pre-strike checkpoint (or
+        scratch).  See :mod:`repro.core.silent` for the shared
+        approximations; ``None`` leaves the fail-stop walk untouched.
+    silent_rng:
+        Seed or generator for the silent strike stream.  It must be
+        *separate* from the fail-stop ``rng`` so enabling silent errors
+        does not perturb the fail-stop draw sequence (and so both engines
+        draw identical strikes); :func:`~repro.simulator.run.simulate_many`
+        derives it from the trial's seed automatically.
     """
     if plan.top_level > system.num_levels:
         raise ValueError(
@@ -134,12 +157,20 @@ def simulate_trial(
         source = ExponentialFailureSource.for_system(system, rng)
     cap = default_max_time(system) if max_time is None else float(max_time)
 
+    silent = SilentErrorSpec.resolve(silent_errors)
+    sstream: SilentStream | None = None
+    if silent is not None:
+        if not isinstance(silent_rng, np.random.Generator):
+            silent_rng = np.random.default_rng(silent_rng)
+        sstream = SilentStream(silent, silent_rng)
+
     T_B = system.baseline_time
     tau0 = plan.tau0
     levels = plan.levels
     num_used = len(levels)
     num_sev = system.num_levels
-    ckpt_cost = [system.checkpoint_time(lv) for lv in levels]
+    verify = silent.verify_cost if silent is not None else 0.0
+    ckpt_cost = [system.checkpoint_time(lv) + verify for lv in levels]
     rest_cost = [system.restart_time(lv) for lv in levels]
     sev_rest_cost = [system.restart_time(s) for s in range(1, num_sev + 1)]
 
@@ -161,9 +192,16 @@ def simulate_trial(
     work = 0.0
     next_m = 1  # next checkpoint position index
     valid = [-1] * num_used  # newest checkpointed position index per level
+    valid_t = [0.0] * num_used  # wall-clock completion time of valid[k]
     recovering = False
     pending_sev = 0
     rollback_ref = 0.0
+    # Silent-error state: one strike "armed" at a time (see
+    # repro.core.silent); its detection fires at strike + D.
+    armed = False
+    strike_t = math.inf
+    detect_t = math.inf
+    silent_det = silent_undet = 0
 
     compute_time = 0.0
     acct = TimeBreakdown()
@@ -218,6 +256,57 @@ def simulate_trial(
             rollback_ref = pos
         fail_t, fail_s = source.next_after(fail_t)
 
+    def seg_fate(dur: float) -> int:
+        """Classify the segment starting at ``t``: 0 commit, 1 fail, 2 detect.
+
+        Arms the next silent strike when it lands inside the nominal
+        segment (arming is mere pre-computation — strikes live on wall
+        clock, so arming one the segment never reaches is harmless).  A
+        failure wins a failure/detection tie.
+        """
+        nonlocal armed, strike_t, detect_t
+        if sstream is not None and not armed and sstream.peek() < t + dur:
+            strike_t = sstream.pop()
+            detect_t = strike_t + silent.detection_latency
+            armed = True
+        fail_in = fail_t - t < dur
+        det_in = armed and detect_t - t < dur
+        if fail_in and (not det_in or fail_t <= detect_t):
+            return 1
+        if det_in:
+            return 2
+        return 0
+
+    def on_detection(category: str) -> None:
+        """A silent strike surfaces ``D`` after it corrupted the state.
+
+        Every checkpoint completed after the strike captured the
+        corruption and is invalidated; the run rolls back to the newest
+        surviving checkpoint (detection is severity-agnostic — any level
+        can restore clean pre-strike state), or to scratch.
+        """
+        nonlocal recovering, pending_sev, rollback_ref, armed, silent_det
+        silent_det += 1
+        for k in range(num_used):
+            if valid[k] >= 0 and valid_t[k] > strike_t:
+                valid[k] = -1
+        if not recovering:
+            recovering = True
+            pending_sev = 1
+            rollback_ref = work
+        pos = candidate(pending_sev) * tau0
+        lost = rollback_ref - pos
+        if lost > 0:
+            if category == "compute":
+                acct.rework_compute += lost
+            elif category == "checkpoint":
+                acct.rework_checkpoint += lost
+            else:
+                acct.rework_restart += lost
+            rollback_ref = pos
+        armed = False
+        sstream.skip_past(detect_t)
+
     while True:
         if (
             work >= T_B - _EPS
@@ -244,7 +333,8 @@ def simulate_trial(
                 dur = (
                     rest_cost[k_lo] if k_lo >= 0 else sev_rest_cost[pending_sev - 1]
                 )
-            if fail_t - t >= dur:
+            fate = seg_fate(dur)
+            if fate == 0:
                 if events is not None:
                     events.append(
                         SimEvent(t, t + dur, "restart", level=levels[k_use] if pos_idx > 0 else (levels[k_lo] if k_lo >= 0 else pending_sev))
@@ -258,7 +348,7 @@ def simulate_trial(
                 next_m = pos_idx + 1
                 recovering = False
                 pending_sev = 0
-            else:
+            elif fate == 1:
                 elapsed = fail_t - t
                 if events is not None:
                     events.append(
@@ -270,6 +360,14 @@ def simulate_trial(
                 rst_fail += 1
                 t = fail_t
                 on_failure("restart")
+            else:
+                elapsed = detect_t - t
+                if events is not None:
+                    events.append(SimEvent(t, detect_t, "silent_detect"))
+                acct.failed_restart += elapsed
+                rst_fail += 1
+                t = detect_t
+                on_detection("restart")
             continue
 
         boundary = next_m * tau0
@@ -277,13 +375,14 @@ def simulate_trial(
             # Compute toward the next checkpoint position or completion.
             target = min(boundary, T_B)
             dur = target - work
-            if fail_t - t >= dur:
+            fate = seg_fate(dur)
+            if fate == 0:
                 if events is not None:
                     events.append(SimEvent(t, t + dur, "compute"))
                 t += dur
                 compute_time += dur
                 work = target
-            else:
+            elif fate == 1:
                 elapsed = fail_t - t
                 if events is not None:
                     events.append(SimEvent(t, fail_t, "compute", severity=fail_s))
@@ -291,6 +390,14 @@ def simulate_trial(
                 work += elapsed
                 t = fail_t
                 on_failure("compute")
+            else:
+                elapsed = detect_t - t
+                if events is not None:
+                    events.append(SimEvent(t, detect_t, "silent_detect"))
+                compute_time += elapsed
+                work += elapsed
+                t = detect_t
+                on_detection("compute")
             continue
 
         # At a checkpoint boundary (work == boundary <= T_B).
@@ -302,11 +409,13 @@ def simulate_trial(
             if recheckpoint == "free":
                 for j in range(k + 1):
                     valid[j] = next_m
+                    valid_t[j] = t
                 restored += 1
             next_m += 1
             continue
         dur = ckpt_cost[k]
-        if fail_t - t >= dur:
+        fate = seg_fate(dur)
+        if fate == 0:
             if events is not None:
                 events.append(SimEvent(t, t + dur, "checkpoint", level=levels[k]))
             t += dur
@@ -314,10 +423,11 @@ def simulate_trial(
             ckpt_ok += 1
             for j in range(k + 1):  # hierarchical: validates all levels <= k
                 valid[j] = next_m
+                valid_t[j] = t
             if next_m > max_completed_m:
                 max_completed_m = next_m
             next_m += 1
-        else:
+        elif fate == 1:
             elapsed = fail_t - t
             if events is not None:
                 events.append(
@@ -327,7 +437,19 @@ def simulate_trial(
             ckpt_fail += 1
             t = fail_t
             on_failure("checkpoint")
+        else:
+            elapsed = detect_t - t
+            if events is not None:
+                events.append(SimEvent(t, detect_t, "silent_detect"))
+            acct.failed_checkpoint += elapsed
+            ckpt_fail += 1
+            t = detect_t
+            on_detection("checkpoint")
 
+    if completed and armed and strike_t <= t:
+        # The application finished before the armed strike's detection
+        # fired: possibly-corrupted results shipped (see repro.core.silent).
+        silent_undet = 1
     if recovering:
         # Horizon cap fired mid-recovery: the rolled-back progress was
         # already attributed to a rework bucket, so only the recovery
@@ -357,5 +479,7 @@ def simulate_trial(
         restarts_completed=rst_ok,
         restarts_failed=rst_fail,
         scratch_restarts=scratch,
+        silent_detections=silent_det,
+        silent_undetected=silent_undet,
         events=events,
     )

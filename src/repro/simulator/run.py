@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..core.plan import CheckpointPlan
+from ..core.silent import SilentErrorSpec
 from ..systems.spec import SystemSpec
 from .accounting import SimulationStats, TrialResult
 from .batch import simulate_trials_batch
@@ -75,6 +76,9 @@ _AUTO_MIN_TRIALS = 128
 #: One-shot guard for the tiny-run worker warning (per process).
 _WARNED_TINY_RUN = False
 
+#: One-shot guard for the auto→scalar wide-run fallback warning.
+_WARNED_SCALAR_FALLBACK = False
+
 
 def set_inline_mode(enabled: bool) -> bool:
     """Force (or release) inline trial execution; returns the previous state."""
@@ -106,8 +110,9 @@ def get_default_engine() -> str:
 
 def _reset_warnings() -> None:
     """Re-arm one-shot warnings (test hook; warnings are per-process)."""
-    global _WARNED_TINY_RUN
+    global _WARNED_TINY_RUN, _WARNED_SCALAR_FALLBACK
     _WARNED_TINY_RUN = False
+    _WARNED_SCALAR_FALLBACK = False
 
 
 def trial_seeds(seed: int | None, trials: int) -> list[np.random.SeedSequence]:
@@ -135,6 +140,23 @@ def _resolve_engine(
             "source and restart_semantics='retry'; use engine='auto' (which "
             "falls back to the scalar loop) or engine='scalar'"
         )
+    if eng == "auto" and not supported and trials >= _AUTO_MIN_TRIALS:
+        # A wide run silently losing the vectorized engine is a surprise
+        # worth one stderr note per process (mirrors the tiny-run warning).
+        global _WARNED_SCALAR_FALLBACK
+        if not _WARNED_SCALAR_FALLBACK:
+            _WARNED_SCALAR_FALLBACK = True
+            reason = (
+                "a custom failure source"
+                if source_factory is not None
+                else f"restart_semantics={restart_semantics!r}"
+            )
+            print(
+                f"warning: engine='auto' fell back to the scalar loop for "
+                f"a {trials}-trial run: {reason} is outside the batched "
+                "engine's scope (results are identical, only slower)",
+                file=sys.stderr,
+            )
     return eng == "batch" or (
         eng == "auto" and supported and trials >= _AUTO_MIN_TRIALS
     )
@@ -152,8 +174,8 @@ def _chunk_worker_init(context) -> None:
 
 
 def _run_chunk(context, states) -> list[TrialResult]:
-    (system, plan, max_time, restart_semantics,
-     checkpoint_at_completion, recheckpoint, source_factory, use_batch) = context
+    (system, plan, max_time, restart_semantics, checkpoint_at_completion,
+     recheckpoint, source_factory, silent_errors, use_batch) = context
     if use_batch:
         return simulate_trials_batch(
             system,
@@ -163,9 +185,18 @@ def _run_chunk(context, states) -> list[TrialResult]:
             restart_semantics=restart_semantics,
             checkpoint_at_completion=checkpoint_at_completion,
             recheckpoint=recheckpoint,
+            silent_errors=silent_errors,
         )
     out = []
     for ss in states:
+        # The silent stream's child seed is spawned exactly once per
+        # trial, matching the batched engine, so both engines see
+        # identical strike times for the same seed sequence.
+        srng = (
+            np.random.default_rng(ss.spawn(1)[0])
+            if silent_errors is not None
+            else None
+        )
         rng = np.random.default_rng(ss)
         out.append(
             simulate_trial(
@@ -177,6 +208,8 @@ def _run_chunk(context, states) -> list[TrialResult]:
                 restart_semantics=restart_semantics,
                 checkpoint_at_completion=checkpoint_at_completion,
                 recheckpoint=recheckpoint,
+                silent_errors=silent_errors,
+                silent_rng=srng,
             )
         )
     return out
@@ -200,6 +233,7 @@ def simulate_many(
     return_trials: bool = False,
     source_factory=None,
     engine: str | None = None,
+    silent_errors=None,
 ) -> SimulationStats | tuple[SimulationStats, list[TrialResult]]:
     """Run ``trials`` independent executions and aggregate them.
 
@@ -221,6 +255,12 @@ def simulate_many(
     ``engine`` selects the trial engine (``"auto"``/``"scalar"``/
     ``"batch"``; ``None`` = the process default) — see the module
     docstring.  Results are engine-independent bit for bit.
+    ``silent_errors`` (a :class:`~repro.core.silent.SilentErrorSpec`,
+    mapping, or ``None``) overlays a silent-error process on every trial:
+    each trial draws its strike times from a dedicated child stream of
+    its seed sequence, so fail-stop draws — and therefore every run with
+    ``silent_errors=None`` — are byte-identical to before, and both
+    engines agree bit for bit with the overlay on.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -240,8 +280,9 @@ def simulate_many(
             )
 
     context = (
-        system, plan, max_time, restart_semantics,
-        checkpoint_at_completion, recheckpoint, source_factory, use_batch,
+        system, plan, max_time, restart_semantics, checkpoint_at_completion,
+        recheckpoint, source_factory, SilentErrorSpec.resolve(silent_errors),
+        use_batch,
     )
     if workers <= 1 or trials < 4 or _INLINE_MODE:
         results = _run_chunk(context, seeds)

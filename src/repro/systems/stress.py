@@ -13,7 +13,10 @@ never a crash) with every clamp/overflow recorded as a
 
 ``repro.validate --stress`` (see :mod:`repro.validate`) sweeps every model
 over this catalog plus per-system domain-boundary ``tau0`` values from
-:func:`boundary_taus`.
+:func:`boundary_taus`, and additionally crosses each system with the
+availability objective and the :func:`silent_variants` silent-error
+overlays (strike rates, verification costs and detection latencies
+scaled to the system's own magnitudes).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import math
 
 import numpy as np
 
+from ..core.silent import SilentErrorSpec
 from .catalog import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .spec import SystemSpec
 
@@ -31,6 +35,7 @@ __all__ = [
     "boundary_taus",
     "get_stress_system",
     "million_node_variant",
+    "silent_variants",
     "stress_systems",
 ]
 
@@ -183,6 +188,37 @@ def get_stress_system(name: str) -> SystemSpec:
 def stress_systems() -> list[SystemSpec]:
     """The catalog in deterministic order."""
     return [STRESS_SYSTEMS[name] for name in STRESS_SYSTEM_ORDER]
+
+
+def silent_variants(system: SystemSpec) -> list[SilentErrorSpec]:
+    """Silent-error corner regimes scaled to ``system``'s own magnitudes.
+
+    Three overlays per system, each probing one extreme of the SDC
+    model/simulator paths:
+
+    1. bare strikes — instant detection, free verification (the pure
+       corruption-rate term);
+    2. adversarial — verification as costly as the PFS checkpoint and a
+       detection latency of half the MTBF, so most checkpoint spacings
+       sit *inside* the detection window (deep-rollback pricing);
+    3. undetectable — latency beyond ten applications' worth of work, so
+       no level's spacing beats it and the whole rate must fold into the
+       unprotected-renewal residual.
+    """
+    mtbf = system.mtbf
+    c_top = system.checkpoint_times[-1]
+    return [
+        SilentErrorSpec(mtbf=5.0 * mtbf),
+        SilentErrorSpec(
+            mtbf=5.0 * mtbf,
+            verify_cost=c_top,
+            detection_latency=0.5 * mtbf,
+        ),
+        SilentErrorSpec(
+            mtbf=1e6 * mtbf,
+            detection_latency=10.0 * system.baseline_time,
+        ),
+    ]
 
 
 def boundary_taus(system: SystemSpec) -> list[float]:

@@ -22,6 +22,15 @@ checks the numerics-guard invariants end to end:
    model-vs-simulator efficiency deviation is *reported* as a band —
    models legitimately deviate outside their derivation regime, so
    deviation is informative output, never an invariant.
+4. **Objective/failure-mode variants**: the multilevel trio is
+   re-validated under the availability objective (availability
+   predictions must be NaN-free and within ``[0, 1]`` at every boundary
+   probe; the model's availability is cross-checked against the
+   simulator's measured useful-work fraction as a deviation band), and
+   the Dauwe recursion under each system-scaled
+   :func:`~repro.systems.stress.silent_variants` overlay — where the
+   scalar and batched trial engines must stay **bitwise identical**
+   (any divergence is an ``engine-divergence`` violation).
 
 The command exits non-zero iff an invariant is violated; deviation bands
 and per-site event totals always print.
@@ -37,12 +46,13 @@ import numpy as np
 
 from .core.numerics import ModelDiagnostics
 from .core.plan import CheckpointPlan
+from .core.silent import SilentErrorSpec
 from .experiments.runner import DEFAULT_TECHNIQUES, pair_seed
 from .models import make_model
 from .simulator import simulate_many
 from .systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .systems.spec import SystemSpec
-from .systems.stress import boundary_taus, stress_systems
+from .systems.stress import boundary_taus, silent_variants, stress_systems
 
 __all__ = [
     "PairReport",
@@ -58,6 +68,11 @@ __all__ = [
 #: wall-clock without testing anything new about the *models*).
 _MAX_EXPECTED_FAILURES = 2e4
 _MAX_PATTERN_POSITIONS = 5e4
+#: Total scalar-loop event budget for the engine-parity re-run: the
+#: scalar engine processes events one at a time in Python, so parity is
+#: only checked where its worst case stays cheap (the bitwise invariant
+#: is also pinned by the test suite on moderate configurations).
+_MAX_PARITY_EVENTS = 1e4
 
 
 @dataclass(frozen=True)
@@ -80,7 +95,12 @@ class Violation:
 
 @dataclass
 class PairReport:
-    """Outcome of validating one (system, technique) pair."""
+    """Outcome of validating one (system, technique) pair.
+
+    ``variant`` names a non-default configuration of the pair — the
+    availability objective (``"availability"``) or a silent-error
+    overlay (``"sdc0"``..) — and is empty for the paper's baseline runs.
+    """
 
     system: str
     technique: str
@@ -91,6 +111,7 @@ class PairReport:
     probe_evaluations: int = 0
     events: Mapping[str, int] = field(default_factory=dict)
     note: str = ""
+    variant: str = ""
 
     @property
     def total_events(self) -> int:
@@ -107,6 +128,7 @@ class PairReport:
             "probe_evaluations": self.probe_evaluations,
             "events": dict(self.events),
             "note": self.note,
+            "variant": self.variant,
         }
 
 
@@ -219,6 +241,75 @@ def _probe_boundaries(
         _check_predictions(report, pair, times, before, diag, context)
 
 
+def _probe_availability(
+    report: ValidationReport,
+    pair: PairReport,
+    model,
+    system: SystemSpec,
+    diag: ModelDiagnostics | None,
+) -> None:
+    """Availability invariants: NaN-free and within [0, 1] at the boundaries.
+
+    Zero is legitimate (infeasible under the availability objective, e.g.
+    an unprotected severity class), so unlike time predictions there is
+    no positivity requirement — only range and NaN-freedom.
+    """
+    batch = getattr(model, "predict_availability_batch", None)
+    if batch is None:
+        return
+    taus = np.asarray(boundary_taus(system), dtype=float)
+    for levels, counts in _probe_specs(model):
+        context = f"availability levels={levels} counts={counts}"
+        kwargs = {"diagnostics": diag} if diag is not None else {}
+        avail = np.asarray(batch(levels, counts, taus, **kwargs), dtype=float)
+        pair.probe_evaluations += avail.size
+        if np.isnan(avail).any():
+            report.violations.append(
+                Violation(pair.system, pair.technique, "nan",
+                          f"NaN availability at {context}")
+            )
+        if ((avail < 0.0) | (avail > 1.0 + 1e-9)).any():
+            report.violations.append(
+                Violation(pair.system, pair.technique, "availability-range",
+                          f"availability outside [0, 1] at {context}")
+            )
+
+
+def _check_engine_parity(
+    report: ValidationReport,
+    pair: PairReport,
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    silent_errors: SilentErrorSpec,
+    trials: int,
+    seed: int | None,
+    max_time: float | None,
+) -> None:
+    """Scalar-vs-batch bitwise identity with the silent overlay on.
+
+    The two trial engines promise bitwise-equal results for the same
+    seeds; the silent-error threading must preserve that, so any field
+    differing in any trial is an ``engine-divergence`` invariant
+    violation, not a tolerance question.
+    """
+    common = dict(
+        trials=min(trials, 8), seed=seed, max_time=max_time,
+        silent_errors=silent_errors, return_trials=True,
+    )
+    _, scalar = simulate_many(system, plan, engine="scalar", **common)
+    _, batch = simulate_many(system, plan, engine="batch", **common)
+    for i, (a, b) in enumerate(zip(scalar, batch)):
+        if a != b:
+            report.violations.append(
+                Violation(
+                    pair.system, pair.technique, "engine-divergence",
+                    f"scalar and batch engines disagree on trial {i} "
+                    f"under silent errors {silent_errors.to_dict()}",
+                )
+            )
+            return
+
+
 def _sweep_options(system: SystemSpec, quick: bool) -> dict:
     """Stress-tuned sweep bounds: coarse but fully guarded."""
     return {
@@ -227,18 +318,41 @@ def _sweep_options(system: SystemSpec, quick: bool) -> dict:
     }
 
 
-def _simulation_tractable(
-    system: SystemSpec, plan: CheckpointPlan, predicted_time: float
-) -> bool:
-    # Gate on the *predicted makespan*, not the baseline: a barely
-    # feasible plan (tiny efficiency) runs orders of magnitude longer
-    # than T_B and accrues a failure event per MTBF for the whole span.
+def _worst_case_events(
+    system: SystemSpec,
+    predicted_time: float,
+    silent_errors: SilentErrorSpec | None,
+) -> float:
+    """Per-trial event-count bound used to gate simulation cost.
+
+    Gate on the *predicted makespan*, not the baseline: a barely
+    feasible plan (tiny efficiency) runs orders of magnitude longer
+    than T_B and accrues a failure event per MTBF for the whole span.
+    A silent overlay adds its strike rate, and a positive detection
+    latency can invalidate committed checkpoints until trials hit the
+    ``max_time`` ceiling (50x predicted) — in that regime the model's
+    makespan is no bound at all, so the ceiling itself is the horizon.
+    """
     horizon = (
         predicted_time
         if math.isfinite(predicted_time) and predicted_time > 0
         else system.baseline_time
     )
-    expected_failures = horizon / system.mtbf
+    rate = 1.0 / system.mtbf
+    if silent_errors is not None:
+        rate += silent_errors.rate
+        if silent_errors.detection_latency > 0:
+            horizon *= 50.0
+    return horizon * rate
+
+
+def _simulation_tractable(
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    predicted_time: float,
+    silent_errors: SilentErrorSpec | None = None,
+) -> bool:
+    expected_failures = _worst_case_events(system, predicted_time, silent_errors)
     positions = system.baseline_time / plan.tau0
     return (
         expected_failures <= _MAX_EXPECTED_FAILURES
@@ -253,9 +367,17 @@ def _validate_pair(
     trials: int,
     seed: int,
     quick: bool,
+    objective: str = "time",
+    silent_errors: SilentErrorSpec | None = None,
+    variant: str = "",
 ) -> PairReport:
-    pair = PairReport(system=system.name, technique=technique, verdict="ok")
-    model = make_model(technique, system)
+    pair = PairReport(
+        system=system.name, technique=technique, verdict="ok", variant=variant
+    )
+    model_options = (
+        {"silent_errors": silent_errors} if silent_errors is not None else {}
+    )
+    model = make_model(technique, system, **model_options)
     diag = (
         ModelDiagnostics()
         if getattr(model, "supports_diagnostics", False)
@@ -263,9 +385,13 @@ def _validate_pair(
     )
     try:
         _probe_boundaries(report, pair, model, system, diag)
+        if objective == "availability":
+            _probe_availability(report, pair, model, system, diag)
 
         try:
-            opt = model.optimize(**_sweep_options(system, quick))
+            opt = model.optimize(
+                objective=objective, **_sweep_options(system, quick)
+            )
         except RuntimeError as exc:
             # The defined "no feasible plan" contract: a verdict, not a bug.
             pair.verdict = "hopeless"
@@ -283,25 +409,42 @@ def _validate_pair(
             0, None, "optimize() result",
         )
 
-        if not _simulation_tractable(system, opt.plan, opt.predicted_time):
+        if not _simulation_tractable(
+            system, opt.plan, opt.predicted_time, silent_errors
+        ):
             pair.verdict = "predict-only"
             pair.note = "simulation skipped (event count beyond validator caps)"
             return pair
 
+        max_time = (
+            50.0 * opt.predicted_time
+            if math.isfinite(opt.predicted_time)
+            else None
+        )
         stats = simulate_many(
             system,
             opt.plan,
             trials=trials,
             seed=pair_seed(seed, system.name, technique),
-            max_time=(
-                50.0 * opt.predicted_time
-                if math.isfinite(opt.predicted_time)
-                else None
-            ),
+            max_time=max_time,
+            silent_errors=silent_errors,
         )
+        # With the availability objective, predicted_efficiency is the
+        # model's steady-state availability and the simulator's
+        # efficiency is the measured useful-work fraction — the same
+        # quantity, so the deviation band stays meaningful.
         pair.simulated_efficiency = stats.mean_efficiency
         if stats.mean_efficiency > 0:
             pair.deviation = opt.predicted_efficiency - stats.mean_efficiency
+        if silent_errors is not None:
+            parity_budget = min(trials, 8) * _worst_case_events(
+                system, opt.predicted_time, silent_errors
+            )
+            if parity_budget <= _MAX_PARITY_EVENTS:
+                _check_engine_parity(
+                    report, pair, system, opt.plan, silent_errors,
+                    trials, pair_seed(seed, system.name, technique), max_time,
+                )
     except Exception as exc:  # noqa: BLE001 - crash *is* the invariant
         pair.verdict = "crash"
         pair.note = f"{type(exc).__name__}: {exc}"
@@ -346,6 +489,31 @@ def run_validation(
             report.pairs.append(
                 _validate_pair(report, system, technique, trials, seed, quick)
             )
+    # Availability pass: the multilevel trio has native availability
+    # predictions worth cross-checking against measured useful-work
+    # fractions; the closed-form baselines degrade to the time optimum
+    # (documented), so re-validating them would only repeat the time pass.
+    avail_techs = [t for t in techniques if t in ("dauwe", "di", "moody")]
+    for system in systems:
+        for technique in avail_techs:
+            report.pairs.append(
+                _validate_pair(
+                    report, system, technique, trials, seed, quick,
+                    objective="availability", variant="availability",
+                )
+            )
+    # Silent-error pass: the full-fidelity Dauwe recursion against each
+    # system-scaled overlay, including the scalar-vs-batch engine parity
+    # invariant (any bitwise divergence is a violation).
+    if "dauwe" in techniques:
+        for system in systems:
+            for i, overlay in enumerate(silent_variants(system)):
+                report.pairs.append(
+                    _validate_pair(
+                        report, system, "dauwe", trials, seed, quick,
+                        silent_errors=overlay, variant=f"sdc{i}",
+                    )
+                )
     return report
 
 
@@ -356,7 +524,10 @@ def format_validation(report: ValidationReport) -> str:
         f"{len(report.pairs)} (system, technique) pairs"
     ]
     for p in report.pairs:
-        bits = [f"{p.system}/{p.technique}: {p.verdict}"]
+        name = f"{p.system}/{p.technique}"
+        if p.variant:
+            name += f"@{p.variant}"
+        bits = [f"{name}: {p.verdict}"]
         if p.predicted_efficiency is not None:
             bits.append(f"pred_eff={p.predicted_efficiency:.4f}")
         if p.simulated_efficiency is not None:

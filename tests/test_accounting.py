@@ -116,3 +116,55 @@ class TestSimulationStats:
         stats = self.make_stats([0.6])
         lo, hi = stats.confidence_interval()
         assert lo == hi == pytest.approx(0.6)
+
+
+# ----------------------------------------------------------------------
+# Property tests: the TimeBreakdown algebra availability reporting
+# leans on.  ``__add__`` and ``scaled`` must preserve ``total()`` (up
+# to float re-association) and ``fractions()`` must be a probability
+# vector whenever the breakdown is non-degenerate.
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_CATEGORIES = list(TimeBreakdown().as_dict())
+
+_minutes = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+_breakdowns = st.builds(
+    TimeBreakdown, **{name: _minutes for name in _CATEGORIES}
+)
+
+
+class TestTimeBreakdownProperties:
+    @given(a=_breakdowns, b=_breakdowns)
+    def test_addition_preserves_total(self, a, b):
+        combined = a + b
+        assert combined.total() == pytest.approx(
+            a.total() + b.total(), rel=1e-12, abs=1e-9
+        )
+        # and is per-field exact, which is the stronger statement
+        for name in _CATEGORIES:
+            assert combined.as_dict()[name] == (
+                a.as_dict()[name] + b.as_dict()[name]
+            )
+
+    @given(bd=_breakdowns, k=st.floats(min_value=0.0, max_value=1e6,
+                                       allow_nan=False, allow_infinity=False))
+    def test_scaling_preserves_total(self, bd, k):
+        assert bd.scaled(k).total() == pytest.approx(
+            k * bd.total(), rel=1e-12, abs=1e-9
+        )
+
+    @given(bd=_breakdowns)
+    def test_fractions_sum_to_one_when_nondegenerate(self, bd):
+        fr = bd.fractions()
+        assert set(fr) == set(_CATEGORIES)
+        if bd.total() > 0:
+            assert sum(fr.values()) == pytest.approx(1.0)
+            assert all(0.0 <= v <= 1.0 + 1e-12 for v in fr.values())
+        else:
+            assert all(v == 0.0 for v in fr.values())

@@ -1,0 +1,273 @@
+"""The pluggable-objective and silent-error seams.
+
+Covers the contracts the refactor introduced: objective registration and
+serialization back-compat (absent key = ``time``), the availability
+objective genuinely changing a plan (pinned on a stress system), the
+silent-error spec's strict validation, bitwise scalar/batch engine
+parity with silent errors *on*, transparency when the mode is off, the
+scenario-spec blocks (study hashes move only when a block is present),
+and the audible ``engine="auto"`` scalar fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CheckpointPlan, DauweModel
+from repro.models.moody import MoodyModel
+from repro.core.interfaces import (
+    OBJECTIVES,
+    OptimizationResult,
+    get_objective,
+)
+from repro.core.silent import SilentErrorSpec
+from repro.scenarios import ScenarioSpec, StudySpec
+from repro.simulator import simulate_many
+from repro.simulator import run as run_mod
+from repro.systems import get_system
+from repro.systems.stress import get_stress_system, silent_variants
+
+
+class TestObjectiveRegistry:
+    def test_builtin_objectives_registered(self):
+        assert set(OBJECTIVES) == {"time", "availability"}
+
+    def test_get_objective_resolves_and_passes_through(self):
+        time_obj = get_objective("time")
+        assert time_obj.name == "time"
+        assert get_objective(time_obj) is time_obj
+
+    def test_unknown_objective_is_loud(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            get_objective("throughput")
+
+    def test_optimize_rejects_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            DauweModel(get_system("M")).optimize(objective="throughput")
+
+
+class TestObjectiveSerialization:
+    def _result(self, objective):
+        return OptimizationResult(
+            plan=CheckpointPlan((1, 2), 5.0, (3,)),
+            predicted_time=100.0,
+            predicted_efficiency=0.9,
+            evaluations=7,
+            objective=objective,
+        )
+
+    def test_time_objective_not_serialized(self):
+        # Results written before the objective layer must round-trip
+        # unchanged, so the default never appears in the payload.
+        data = self._result("time").to_dict()
+        assert "objective" not in data
+        assert OptimizationResult.from_dict(data).objective == "time"
+
+    def test_availability_objective_round_trips(self):
+        data = self._result("availability").to_dict()
+        assert data["objective"] == "availability"
+        again = OptimizationResult.from_dict(data)
+        assert again == self._result("availability")
+
+    def test_legacy_payload_defaults_to_time(self):
+        data = self._result("time").to_dict()
+        data.pop("objective", None)  # simulate a pre-objective cache entry
+        assert OptimizationResult.from_dict(data).objective == "time"
+
+
+class TestAvailabilityOptimization:
+    def test_optimize_carries_objective(self):
+        result = DauweModel(get_system("M")).optimize(objective="availability")
+        assert result.objective == "availability"
+        assert 0.0 < result.predicted_efficiency <= 1.0
+
+    def test_blink_app_availability_plan_differs_from_time_plan(self):
+        # The acceptance regression: on an application far shorter than
+        # any checkpoint, minimizing makespan skips the PFS level
+        # entirely, while maximizing the useful-work fraction pays for
+        # level-2 protection.  Pinned levels, not just "different".
+        model = DauweModel(get_stress_system("blink-app"))
+        time_opt = model.optimize()
+        avail_opt = model.optimize(objective="availability")
+        assert time_opt.plan.levels == (1,)
+        assert avail_opt.plan.levels == (1, 2)
+        assert time_opt.plan != avail_opt.plan
+
+    def test_non_native_model_degrades_to_time_optimum(self):
+        # Models without a native availability notion score T_B / E[T],
+        # which is monotone in predicted time: same plan either way.
+        model = MoodyModel(get_system("M"))
+        time_opt = model.optimize()
+        avail_opt = model.optimize(objective="availability")
+        # The golden-section polish works on a rescaled score, so tau0
+        # can move by an ulp; the selected pattern must be the same.
+        assert avail_opt.plan.levels == time_opt.plan.levels
+        assert avail_opt.plan.counts == time_opt.plan.counts
+        assert avail_opt.plan.tau0 == pytest.approx(time_opt.plan.tau0)
+        assert avail_opt.objective == "availability"
+
+
+class TestSilentErrorSpec:
+    def test_validation_is_strict(self):
+        with pytest.raises(ValueError):
+            SilentErrorSpec(mtbf=0.0)
+        with pytest.raises(ValueError):
+            SilentErrorSpec(mtbf=-5.0)
+        with pytest.raises(ValueError):
+            SilentErrorSpec(mtbf=float("inf"))
+        with pytest.raises(ValueError):
+            SilentErrorSpec(mtbf=100.0, verify_cost=-1.0)
+        with pytest.raises(ValueError):
+            SilentErrorSpec(mtbf=100.0, detection_latency=float("nan"))
+
+    def test_round_trip_and_unknown_key_rejection(self):
+        spec = SilentErrorSpec(mtbf=250.0, verify_cost=1.5, detection_latency=30.0)
+        assert SilentErrorSpec.from_dict(spec.to_dict()) == spec
+        bad = dict(spec.to_dict(), verfy_cost=1.0)
+        with pytest.raises(ValueError, match="verfy_cost"):
+            SilentErrorSpec.from_dict(bad)
+
+    def test_resolve_forms(self):
+        spec = SilentErrorSpec(mtbf=100.0)
+        assert SilentErrorSpec.resolve(None) is None
+        assert SilentErrorSpec.resolve(spec) is spec
+        assert SilentErrorSpec.resolve({"mtbf": 100.0}) == spec
+
+    def test_stress_variants_scale_to_the_system(self):
+        system = get_system("B")
+        variants = silent_variants(system)
+        assert len(variants) == 3
+        bare, adversarial, undetectable = variants
+        assert bare.verify_cost == 0.0 and bare.detection_latency == 0.0
+        assert adversarial.verify_cost == system.checkpoint_times[-1]
+        assert adversarial.detection_latency == pytest.approx(0.5 * system.mtbf)
+        assert undetectable.detection_latency > system.baseline_time
+
+
+class TestSilentEngineParity:
+    """scalar == batch, field for field, with silent errors on."""
+
+    SPECS = [
+        SilentErrorSpec(mtbf=400.0),
+        SilentErrorSpec(mtbf=400.0, verify_cost=2.0, detection_latency=60.0),
+    ]
+
+    @pytest.mark.parametrize("name", ["M", "B"])
+    @pytest.mark.parametrize("spec", SPECS, ids=["bare", "adversarial"])
+    def test_engines_bitwise_identical(self, name, spec):
+        system = get_system(name)
+        plan = DauweModel(system, silent_errors=spec).optimize().plan
+        common = dict(trials=32, seed=9, silent_errors=spec, return_trials=True)
+        _, scalar = simulate_many(system, plan, engine="scalar", **common)
+        _, batch = simulate_many(system, plan, engine="batch", **common)
+        assert scalar == batch  # TrialResult equality is bitwise
+        # The comparison must not be vacuous: strikes actually landed.
+        assert sum(r.silent_detections for r in scalar) > 0
+
+    def test_detection_latency_costs_time(self):
+        # A detected strike forces rework from a pre-strike checkpoint,
+        # so the adversarial overlay must not be free.
+        system = get_system("M")
+        plan = DauweModel(system).optimize().plan
+        base = simulate_many(system, plan, trials=16, seed=3)
+        hit = simulate_many(
+            system, plan, trials=16, seed=3,
+            silent_errors=SilentErrorSpec(
+                mtbf=200.0, verify_cost=1.0, detection_latency=30.0
+            ),
+        )
+        assert hit.mean_efficiency < base.mean_efficiency
+
+    def test_off_mode_reports_zero_silent_counters(self):
+        system = get_system("M")
+        plan = DauweModel(system).optimize().plan
+        for engine in ("scalar", "batch"):
+            _, trials = simulate_many(
+                system, plan, trials=8, seed=1,
+                engine=engine, return_trials=True,
+            )
+            assert all(r.silent_detections == 0 for r in trials)
+            assert all(r.silent_undetected == 0 for r in trials)
+
+
+class TestScenarioSpecBlocks:
+    def _scenario(self, **kw):
+        return ScenarioSpec(
+            label="t", system=get_system("M"), technique="dauwe",
+            trials=4, **kw,
+        )
+
+    def test_defaults_leave_serialization_untouched(self):
+        data = self._scenario().to_dict()
+        assert "objective" not in data
+        assert "silent_errors" not in data
+
+    def test_blocks_round_trip(self):
+        spec = self._scenario(
+            objective="availability",
+            silent_errors={"mtbf": 500.0, "detection_latency": 10.0},
+        )
+        assert isinstance(spec.silent_errors, SilentErrorSpec)
+        data = spec.to_dict()
+        assert data["objective"] == "availability"
+        assert data["silent_errors"] == {
+            "mtbf": 500.0, "verify_cost": 0.0, "detection_latency": 10.0,
+        }
+        again = ScenarioSpec.from_dict(data)
+        assert again.objective == "availability"
+        assert again.silent_errors == spec.silent_errors
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            self._scenario(objective="throughput")
+
+    def test_study_hash_moves_only_with_the_blocks(self):
+        base = StudySpec(
+            study_id="s", title="t",
+            scenarios=(self._scenario(),),
+        )
+        with_obj = StudySpec(
+            study_id="s", title="t",
+            scenarios=(self._scenario(objective="availability"),),
+        )
+        with_silent = StudySpec(
+            study_id="s", title="t",
+            scenarios=(self._scenario(silent_errors={"mtbf": 500.0}),),
+        )
+        assert base.study_hash() != with_obj.study_hash()
+        assert base.study_hash() != with_silent.study_hash()
+        # and the default-valued spec hashes like one that never heard
+        # of the new fields: nothing default is serialized.
+        assert "objective" not in base.to_dict()["scenarios"][0]
+
+
+class TestAudibleScalarFallback:
+    def test_auto_fallback_warns_once_per_process(self, capsys):
+        run_mod._reset_warnings()
+        system = get_system("B").with_baseline_time(1.0)
+        plan = CheckpointPlan((1,), 0.5, ())
+        try:
+            for _ in range(2):
+                simulate_many(
+                    system, plan, trials=run_mod._AUTO_MIN_TRIALS, seed=0,
+                    engine="auto", restart_semantics="escalate",
+                )
+            err = capsys.readouterr().err
+            assert err.count("fell back to the scalar loop") == 1
+            assert "restart_semantics='escalate'" in err
+        finally:
+            run_mod._reset_warnings()
+
+    def test_narrow_runs_stay_quiet(self, capsys):
+        run_mod._reset_warnings()
+        system = get_system("B").with_baseline_time(1.0)
+        plan = CheckpointPlan((1,), 0.5, ())
+        try:
+            simulate_many(
+                system, plan, trials=4, seed=0,
+                engine="auto", restart_semantics="escalate",
+            )
+            assert "fell back" not in capsys.readouterr().err
+        finally:
+            run_mod._reset_warnings()

@@ -93,7 +93,19 @@ class TestRunValidation:
     def test_every_pair_has_a_verdict(self, report):
         verdicts = {p.verdict for p in report.pairs}
         assert verdicts <= {"ok", "hopeless", "predict-only"}
-        assert len(report.pairs) == 4 * 5  # systems x techniques
+        # systems x techniques baseline, + the availability pass (the
+        # multilevel trio) and the three silent overlays per system.
+        assert len(report.pairs) == 4 * 5 + 4 * 3 + 4 * 3
+
+    def test_variant_passes_present(self, report):
+        variants = {p.variant for p in report.pairs}
+        assert variants == {"", "availability", "sdc0", "sdc1", "sdc2"}
+        baseline = [p for p in report.pairs if not p.variant]
+        assert len(baseline) == 4 * 5
+        avail = [p for p in report.pairs if p.variant == "availability"]
+        assert {p.technique for p in avail} == {"dauwe", "di", "moody"}
+        silent = [p for p in report.pairs if p.variant.startswith("sdc")]
+        assert {p.technique for p in silent} == {"dauwe"}
 
     def test_storm_is_hopeless_for_length_aware_models(self, report):
         storm = {p.technique: p for p in report.pairs if p.system == "storm"}
@@ -121,6 +133,11 @@ class TestRunValidation:
         text = format_validation(report)
         assert "storm/dauwe" in text
         assert "invariants: all checks passed" in text
+
+    def test_format_labels_variant_pairs(self, report):
+        text = format_validation(report)
+        assert "calm/dauwe@availability" in text
+        assert "calm/dauwe@sdc0" in text
 
     def test_violation_makes_report_not_ok(self):
         rep = ValidationReport(catalog="standard")
