@@ -3,24 +3,38 @@
 ``python -m repro bench`` re-runs the core cases of the pytest-benchmark
 suite (``benchmarks/test_micro_bench.py``) programmatically — no pytest
 required — and writes ``BENCH_simulator.json`` so future changes have a
-recorded baseline to beat.  The JSON payload (schema ``repro-bench/1``)
+recorded baseline to beat.  The JSON payload (schema ``repro-bench/2``)
 carries:
 
 ``schema`` / ``generated`` / ``quick``
     Format tag, UTC timestamp, and whether ``--quick`` reduced rounds.
-``git_rev`` / ``package_versions``
-    Provenance: the commit benchmarked and the versions of everything
-    that can change a number (same helper the run manifests use).
+``git_rev`` / ``git_dirty`` / ``package_versions``
+    Provenance: the commit benchmarked, whether the working tree had
+    uncommitted changes when the numbers were taken (a baseline is
+    typically generated *before* the commit that lands it, so
+    ``git_rev`` alone names the wrong revision — re-stamp with a clean
+    tree after landing), and the versions of everything that can change
+    a number (same helper the run manifests use).
 ``cases``
     One entry per micro-case: ``name``, ``engine`` (``"scalar"``/
     ``"batch"``/``null`` for model-only cases), ``rounds``,
     ``seconds_best``, ``seconds_mean`` and — for simulator cases —
     ``trials_per_sec`` (best-round throughput).
 ``simulate_many``
-    The scalar-vs-batch comparison grid: for each (system, trials) cell,
-    both engines' timings, ``trials_per_sec``, the ``speedup`` ratio
-    (scalar best / batch best), and ``equal`` — whether the two engines
-    produced identical ``TrialResult`` lists for the same seeds.
+    The scalar-vs-batch comparison grid: for each (system, trials) cell
+    — including Weibull and trace-driven cells, labelled
+    ``"B+weibull(0.7)"`` / ``"D4+trace"`` so baseline comparison keys
+    stay distinct — both engines' timings, ``trials_per_sec``, the
+    ``speedup`` ratio (scalar best / batch best), and ``equal`` —
+    whether the two engines produced identical ``TrialResult`` lists
+    for the same seeds.
+``auto_crossover``
+    The ``engine="auto"`` width threshold: the ``configured`` value in
+    effect (:func:`repro.simulator.run.get_auto_min_trials`) and, when
+    the run was invoked with ``--crossover``, the ``measured`` sweep —
+    per-system scalar/batch timings over a ladder of trial counts, the
+    first width where the batch engine wins, and the recommended
+    process-wide threshold (export it as ``REPRO_AUTO_MIN_TRIALS``).
 
 Equality is a hard check (a mismatch raises, so CI fails); timings are
 informational only — containers differ, so no threshold is enforced here.
@@ -40,22 +54,68 @@ from pathlib import Path
 import numpy as np
 
 from .core import CheckpointPlan, DauweModel
+from .failures import FailureSpec
 from .models import MoodyModel
 from .scenarios.manifest import package_versions
 from .simulator import simulate_many, simulate_trial
+from .simulator.run import get_auto_min_trials
 from .systems import get_system
 
-__all__ = ["SCHEMA", "compare_to_baseline", "run_bench"]
+__all__ = ["SCHEMA", "compare_to_baseline", "measure_crossover", "run_bench"]
 
 #: Format tag written into every payload; bump on breaking layout changes.
-SCHEMA = "repro-bench/1"
+#: v2 added ``git_dirty``, ``auto_crossover`` and the Weibull/trace grid
+#: cells (labelled ``"<system>+<source>"`` so the ``(system, trials,
+#: engine)`` baseline keys stay distinct from the exponential rows).
+SCHEMA = "repro-bench/2"
 
-#: (system, trials) cells of the scalar-vs-batch comparison grid.  The
-#: 200-trial rows are figure2-sized batches (its per-scenario default);
-#: the 1000-trial rows (full mode only) show how the batch engine's
-#: advantage grows with width.
-_GRID_QUICK = (("B", 200), ("D4", 200), ("D8", 200))
-_GRID_FULL = _GRID_QUICK + (("B", 1000), ("D4", 1000), ("D8", 1000))
+
+def _trace_spec(system, events: int = 512) -> FailureSpec:
+    """A deterministic replay trace pinned to ``system``'s failure load.
+
+    Exponential inter-arrivals at the system MTBF from a fixed-seed
+    generator — realistic spacing, bit-identical across runs — with
+    severities cycling over the system's levels.  Every trial replays
+    the same trace (that is what a trace source *is*), so the cell
+    exercises the shared-trace fast path of the batch engine.
+    """
+    rng = np.random.default_rng(20260808)
+    times = np.cumsum(rng.exponential(system.mtbf, events))
+    sevs = rng.integers(1, len(system.severity_probabilities) + 1, events)
+    return FailureSpec(
+        kind="trace",
+        params={"times": [float(x) for x in times],
+                "severities": [int(x) for x in sevs]},
+    )
+
+
+#: (label, system, trials, failure spec) cells of the scalar-vs-batch
+#: comparison grid.  The 200-trial rows are figure2-sized batches (its
+#: per-scenario default); the 1000-trial rows (full mode only) show how
+#: the batch engine's advantage grows with width.  The Weibull and
+#: trace rows keep ``--check-baseline``'s regression gate on the
+#: non-exponential engine paths.
+_WEIBULL = FailureSpec(kind="weibull", params={"shape": 0.7})
+_GRID_QUICK = (
+    ("B", "B", 200, None),
+    ("D4", "D4", 200, None),
+    ("D8", "D8", 200, None),
+    ("B+weibull(0.7)", "B", 200, _WEIBULL),
+    ("D4+trace", "D4", 200, "trace"),
+)
+_GRID_FULL = _GRID_QUICK + (
+    ("B", "B", 1000, None),
+    ("D4", "D4", 1000, None),
+    ("D8", "D8", 1000, None),
+    ("B+weibull(0.7)", "B", 1000, _WEIBULL),
+    ("D4+trace", "D4", 1000, "trace"),
+)
+
+#: Trial-count ladder swept by :func:`measure_crossover`, and the
+#: systems it sweeps (the mildest and the harshest of the Table I
+#: catalog — their crossovers bracket the rest).
+_CROSSOVER_WIDTHS = (8, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+_CROSSOVER_SYSTEMS = ("B", "D8")
 
 
 def _git_rev() -> str | None:
@@ -72,6 +132,23 @@ def _git_rev() -> str | None:
         return None
     rev = proc.stdout.strip()
     return rev if proc.returncode == 0 and rev else None
+
+
+def _git_dirty() -> bool | None:
+    """Whether the working tree differs from HEAD (None outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return bool(proc.stdout.strip())
 
 
 def _timeit(fn, rounds: int, warmup: int = 1) -> dict:
@@ -100,7 +177,7 @@ def _case(name: str, fn, rounds: int, warmup: int = 1,
 
 
 def _timed_many(system, plan, trials: int, engine: str,
-                rounds: int, warmup: int):
+                rounds: int, warmup: int, source_factory=None):
     """Time ``simulate_many`` on one engine; returns (record, trial list)."""
     result = []
 
@@ -108,6 +185,7 @@ def _timed_many(system, plan, trials: int, engine: str,
         result[:] = simulate_many(
             system, plan, trials=trials, seed=0,
             engine=engine, return_trials=True,
+            source_factory=source_factory,
         )[1]
 
     rec = _timeit(call, rounds=rounds, warmup=warmup)
@@ -115,13 +193,71 @@ def _timed_many(system, plan, trials: int, engine: str,
     return rec, list(result)
 
 
-def run_bench(quick: bool = False, out: str | Path | None = None) -> dict:
+def measure_crossover(widths=None, systems=None) -> dict:
+    """Measure the batch/scalar crossover width on this machine.
+
+    For each system, times both engines over the ``widths`` ladder and
+    reports the smallest trial count from which the batch engine stays
+    ahead for every larger width measured (transient wins below it do
+    not count).  ``recommended`` is the largest such crossover across
+    the swept systems — the conservative process-wide
+    ``engine="auto"`` threshold: above it *every* swept system runs
+    faster batched.  ``None`` means the batch engine never established
+    a lead, so ``auto`` should keep the scalar loop (keep the
+    configured default).
+    """
+    if widths is None:
+        widths = _CROSSOVER_WIDTHS
+    if systems is None:
+        systems = _CROSSOVER_SYSTEMS
+    out: dict = {"widths": list(widths), "systems": {}, "recommended": None}
+    crossings = []
+    for name in systems:
+        system = get_system(name)
+        plan = DauweModel(system).optimize().plan
+        rows = []
+        for trials in widths:
+            rounds = max(1, min(5, 128 // trials))
+            scalar_rec, _ = _timed_many(
+                system, plan, trials, "scalar", rounds=rounds, warmup=0
+            )
+            batch_rec, _ = _timed_many(
+                system, plan, trials, "batch", rounds=rounds, warmup=1
+            )
+            rows.append(
+                {
+                    "trials": trials,
+                    "scalar_seconds": scalar_rec["seconds_best"],
+                    "batch_seconds": batch_rec["seconds_best"],
+                    "speedup": scalar_rec["seconds_best"]
+                    / batch_rec["seconds_best"],
+                }
+            )
+        crossover = None
+        for i, row in enumerate(rows):
+            if all(r["speedup"] >= 1.0 for r in rows[i:]):
+                crossover = row["trials"]
+                break
+        out["systems"][name] = {"sweep": rows, "crossover": crossover}
+        crossings.append(crossover)
+    if all(c is not None for c in crossings):
+        out["recommended"] = max(crossings)
+    return out
+
+
+def run_bench(
+    quick: bool = False,
+    out: str | Path | None = None,
+    crossover: bool = False,
+) -> dict:
     """Run the benchmark trajectory; optionally write the JSON to ``out``.
 
     ``quick`` trims rounds and drops the 1000-trial grid rows (the CI
-    smoke configuration).  Raises :class:`RuntimeError` if the scalar and
-    batch engines disagree on any grid cell — the equality guarantee is
-    load-bearing, the timings are not.
+    smoke configuration); ``crossover`` additionally sweeps
+    :func:`measure_crossover` and records the result in the payload.
+    Raises :class:`RuntimeError` if the scalar and batch engines
+    disagree on any grid cell — the equality guarantee is load-bearing,
+    the timings are not.
     """
     system_b = get_system("B")
     plan_b = DauweModel(system_b).optimize().plan
@@ -167,26 +303,31 @@ def run_bench(quick: bool = False, out: str | Path | None = None) -> dict:
     ]
 
     grid = []
-    for name, trials in _GRID_QUICK if quick else _GRID_FULL:
+    for label, name, trials, spec in _GRID_QUICK if quick else _GRID_FULL:
         system = get_system(name)
         plan = DauweModel(system).optimize().plan
+        if spec == "trace":
+            spec = _trace_spec(system)
+        factory = None if spec is None else spec.source_factory(system)
         rounds = 1 if quick else 2
         scalar_rec, scalar_trials = _timed_many(
-            system, plan, trials, "scalar", rounds=rounds, warmup=0
+            system, plan, trials, "scalar", rounds=rounds, warmup=0,
+            source_factory=factory,
         )
         batch_rec, batch_trials = _timed_many(
-            system, plan, trials, "batch", rounds=rounds, warmup=1
+            system, plan, trials, "batch", rounds=rounds, warmup=1,
+            source_factory=factory,
         )
         equal = scalar_trials == batch_trials
         if not equal:
             bad = sum(a != b for a, b in zip(scalar_trials, batch_trials))
             raise RuntimeError(
-                f"engine mismatch on system {name} ({trials} trials): "
+                f"engine mismatch on system {label} ({trials} trials): "
                 f"{bad} TrialResult(s) differ between scalar and batch"
             )
         grid.append(
             {
-                "system": name,
+                "system": label,
                 "trials": trials,
                 "plan": plan.describe(),
                 "scalar": scalar_rec,
@@ -201,9 +342,14 @@ def run_bench(quick: bool = False, out: str | Path | None = None) -> dict:
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": bool(quick),
         "git_rev": _git_rev(),
+        "git_dirty": _git_dirty(),
         "package_versions": package_versions(),
         "cases": cases,
         "simulate_many": grid,
+        "auto_crossover": {
+            "configured": get_auto_min_trials(),
+            "measured": measure_crossover() if crossover else None,
+        },
     }
     if out is not None:
         Path(out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -293,4 +439,36 @@ def format_bench(payload: dict) -> str:
             f"{cell['speedup']:>10.2f}"
             f"{cell['batch']['trials_per_sec']:>19.0f}"
         )
+    crossover = payload.get("auto_crossover") or {}
+    measured = crossover.get("measured")
+    if measured is not None:
+        lines.append("")
+        lines.append("auto crossover       trials    scalar [s]   batch [s]   speedup")
+        for name, entry in measured["systems"].items():
+            for row in entry["sweep"]:
+                lines.append(
+                    f"{name:<20}{row['trials']:>7}"
+                    f"{row['scalar_seconds']:>13.4f}"
+                    f"{row['batch_seconds']:>12.4f}"
+                    f"{row['speedup']:>10.2f}"
+                )
+            mark = entry["crossover"]
+            lines.append(
+                f"{name} crossover: "
+                + (f">= {mark} trials" if mark is not None
+                   else "not reached (scalar stays ahead)")
+            )
+        recommended = measured["recommended"]
+        configured = crossover.get("configured")
+        if recommended is not None:
+            lines.append(
+                f"recommended engine='auto' threshold: {recommended} "
+                f"(configured: {configured}; export "
+                f"REPRO_AUTO_MIN_TRIALS={recommended} to adopt)"
+            )
+        else:
+            lines.append(
+                "recommended engine='auto' threshold: keep configured "
+                f"{configured} (batch never established a lead)"
+            )
     return "\n".join(lines)

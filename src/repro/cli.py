@@ -37,9 +37,12 @@ location explicitly.
 struct-of-arrays engine whenever it is bitwise-equivalent to the scalar
 loop, so results never depend on the flag).  ``bench`` runs the
 benchmark trajectory instead of an experiment: the micro-benchmark core
-cases plus a scalar-vs-batch comparison grid, written as JSON to
-``--bench-out`` (default ``BENCH_simulator.json``; see
-:mod:`repro.bench` for the schema).
+cases plus a scalar-vs-batch comparison grid (exponential, Weibull and
+trace cells), written as JSON to ``--bench-out`` (default
+``BENCH_simulator.json``; see :mod:`repro.bench` for the schema).
+``bench --crossover`` additionally sweeps a trial-count ladder on both
+engines and prints the recommended ``engine="auto"`` width threshold
+for this machine (``REPRO_AUTO_MIN_TRIALS`` adopts it).
 
 ``--objective`` re-optimizes every technique-parameterized experiment
 (figure2-figure6) for a different goal (``availability``: steady-state
@@ -283,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
         "on a regression beyond 5%%",
     )
     parser.add_argument(
+        "--crossover",
+        action="store_true",
+        help="with 'bench': re-measure the batch/scalar crossover width "
+        "on this machine and print the recommended engine='auto' "
+        "threshold (adopt it via REPRO_AUTO_MIN_TRIALS)",
+    )
+    parser.add_argument(
         "--stress",
         action="store_true",
         help="with 'validate': use the adversarial stress catalog "
@@ -421,7 +431,7 @@ def _run_bench(args: argparse.Namespace) -> int:
             return EXIT_ERROR
     t0 = time.time()
     try:
-        payload = run_bench(quick=args.quick, out=out)
+        payload = run_bench(quick=args.quick, out=out, crossover=args.crossover)
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

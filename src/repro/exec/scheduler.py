@@ -108,14 +108,23 @@ class ScenarioTask:
     label: str = ""
 
 
-def _worker_init(cache_dir, cache_enabled: bool, default_engine: str = "auto") -> None:
+def _worker_init(
+    cache_dir,
+    cache_enabled: bool,
+    default_engine: str = "auto",
+    auto_min_trials: int | None = None,
+) -> None:
     """Configure a scheduler worker: cache wiring + no nested pools.
 
     ``default_engine`` mirrors the parent process's simulator engine
     default (see :func:`repro.simulator.run.set_default_engine`) so the
     CLI's ``--engine`` flag governs trials no matter which process runs
     them — spawn-started workers would otherwise silently reset to
-    ``"auto"``.
+    ``"auto"``.  ``auto_min_trials`` likewise mirrors the parent's
+    batch/scalar crossover threshold (programmatic
+    :func:`repro.simulator.run.set_auto_min_trials` overrides would
+    otherwise be lost in spawn-started workers; the environment override
+    survives either way).
     """
     global _IN_SCENARIO_WORKER
     _IN_SCENARIO_WORKER = True
@@ -138,6 +147,8 @@ def _worker_init(cache_dir, cache_enabled: bool, default_engine: str = "auto") -
 
     simulator_run.set_inline_mode(True)
     simulator_run.set_default_engine(default_engine)
+    if auto_min_trials is not None:
+        simulator_run.set_auto_min_trials(auto_min_trials)
     chaos.on_worker_start()
 
 
@@ -278,7 +289,12 @@ def run_scenarios(
 
     active = get_active_cache()
     cache_dir = None if active is None or active.cache_dir is None else str(active.cache_dir)
-    initargs = (cache_dir, active is not None, simulator_run.get_default_engine())
+    initargs = (
+        cache_dir,
+        active is not None,
+        simulator_run.get_default_engine(),
+        simulator_run.get_auto_min_trials(),
+    )
     rebuilds = 0
     pool = None
     try:

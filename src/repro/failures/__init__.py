@@ -1,6 +1,17 @@
 """Failure processes, synthetic traces, rate fitting, and the kind registry."""
 
-from .registry import FAILURE_KINDS, FailureSpec, register_failure_kind
+from .batching import (
+    ExponentialStreamSpec,
+    TraceStreamSpec,
+    WeibullStreamSpec,
+)
+from .registry import (
+    FAILURE_KINDS,
+    FailureSpec,
+    TraceSourceFactory,
+    WeibullSourceFactory,
+    register_failure_kind,
+)
 from .fitting import (
     WeibullFit,
     exponential_ks_test,
@@ -19,13 +30,18 @@ from .traces import FailureTrace, synthesize_trace
 
 __all__ = [
     "ExponentialFailureSource",
+    "ExponentialStreamSpec",
     "FAILURE_KINDS",
     "FailureSource",
     "FailureSpec",
     "FailureTrace",
     "register_failure_kind",
     "TraceFailureSource",
+    "TraceSourceFactory",
+    "TraceStreamSpec",
     "WeibullFailureSource",
+    "WeibullSourceFactory",
+    "WeibullStreamSpec",
     "WeibullFit",
     "exponential_ks_test",
     "fit_exponential_rates",

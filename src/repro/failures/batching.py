@@ -1,0 +1,193 @@
+"""Batchable failure-stream descriptors for the lockstep trial engine.
+
+The struct-of-arrays engine (:mod:`repro.simulator.batch`) advances every
+trial at once, so it cannot call ``source.next_after`` one failure at a
+time.  What it *can* do — because every supported failure process is a
+renewal (or replay) process whose scalar source draws in fixed-size
+batches — is precompute whole batches of **absolute** failure times per
+trial with exactly the scalar source's generator and draw order.  A
+*stream spec* is the picklable, declarative description of one such
+process; ``spec.spawn(seed_seq)`` builds the per-trial stream whose
+``refill(carry)`` returns the next ``(times, severities)`` batch of
+:data:`RNG_BATCH` entries.
+
+Bitwise contract (mirrors :mod:`repro.failures.sources` exactly):
+
+* :class:`ExponentialStreamSpec` /: one ``Generator.exponential(scale,
+  4096)`` gap batch followed by one ``Generator.random(4096)`` severity
+  batch — the order :class:`~repro.failures.sources.
+  ExponentialFailureSource` uses, both buffers emptying on the same
+  draw;
+* :class:`WeibullStreamSpec`: ``scale * Generator.weibull(shape, 4096)``
+  (the scalar source multiplies the whole array at refill time, so the
+  product is computed on identical operands), then the severity batch;
+* :class:`TraceStreamSpec`: no RNG at all — the trace's absolute times
+  are replayed per trial, padded with an ``inf``/severity-1 tail once
+  exhausted (the scalar source's "never fails again" contract).
+
+The scalar sources chain ``fail_t = fail_t + gap`` one IEEE add at a
+time; ``np.add.accumulate`` performs those same sequential adds, with the
+previous batch's last absolute time folded into the first gap beforehand
+(IEEE addition is commutative, so ``carry + gap == gap + carry``).
+Severities come from the same threshold-count formulation the batch
+engine has always used, value-equal to ``severity_sampler``'s clamped
+inverse-CDF lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "RNG_BATCH",
+    "ExponentialStreamSpec",
+    "TraceStreamSpec",
+    "WeibullStreamSpec",
+]
+
+#: Per-trial draw batch size; must equal the scalar sources' default so
+#: generator states advance identically between engines.
+RNG_BATCH = 4096
+
+
+def _severity_cdf(probabilities) -> np.ndarray:
+    """The severity CDF, computed with ``severity_sampler``'s exact ops."""
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1 or probs.size == 0 or (probs <= 0).any():
+        raise ValueError(f"invalid severity probabilities {probabilities}")
+    return np.cumsum(probs / probs.sum())
+
+
+def _severity_batch(rng: np.random.Generator, cdf: np.ndarray) -> np.ndarray:
+    """One 4096-draw severity batch.
+
+    Value-equal to ``severity_sampler``'s clamped inverse-CDF lookup
+    (``min(searchsorted(cdf, u, "right") + 1, num_sev)``): counting
+    thresholds below ``u`` over ``cdf[:-1]`` yields the same class, and a
+    handful of vector compares beats ``searchsorted`` here.
+    """
+    u = rng.random(RNG_BATCH)
+    sev = np.ones(RNG_BATCH, dtype=np.int64)
+    for c in cdf[:-1]:
+        sev += u >= c
+    return sev
+
+
+class _RenewalTrialStream:
+    """Per-trial renewal stream: i.i.d. gaps + i.i.d. severities."""
+
+    __slots__ = ("_rng", "_draw_gaps", "_cdf")
+
+    def __init__(self, rng, draw_gaps, cdf):
+        self._rng = rng
+        self._draw_gaps = draw_gaps
+        self._cdf = cdf
+
+    def refill(self, carry: float) -> tuple[np.ndarray, np.ndarray]:
+        gaps = self._draw_gaps(self._rng)
+        gaps[0] = carry + gaps[0]
+        np.add.accumulate(gaps, out=gaps)
+        return gaps, _severity_batch(self._rng, self._cdf)
+
+
+@dataclass(frozen=True)
+class ExponentialStreamSpec:
+    """The paper's Poisson process — the batch engine's historical default."""
+
+    rate: float
+    severity_probabilities: tuple
+
+    def spawn(self, seed_seq) -> _RenewalTrialStream:
+        rate = float(self.rate)
+        scale = 1.0 / rate
+        cdf = _severity_cdf(self.severity_probabilities)
+        return _RenewalTrialStream(
+            np.random.default_rng(seed_seq),
+            lambda rng: rng.exponential(scale, RNG_BATCH),
+            cdf,
+        )
+
+
+@dataclass(frozen=True)
+class WeibullStreamSpec:
+    """Weibull renewal inter-arrivals (mirrors ``WeibullFailureSource``)."""
+
+    shape: float
+    scale: float
+    severity_probabilities: tuple
+
+    def spawn(self, seed_seq) -> _RenewalTrialStream:
+        shape = float(self.shape)
+        scale = float(self.scale)
+        cdf = _severity_cdf(self.severity_probabilities)
+        return _RenewalTrialStream(
+            np.random.default_rng(seed_seq),
+            lambda rng: scale * rng.weibull(shape, RNG_BATCH),
+            cdf,
+        )
+
+
+class _TraceTrialStream:
+    """Per-trial replay cursor over a shared padded trace."""
+
+    __slots__ = ("_times", "_sevs", "_chunk")
+
+    def __init__(self, times: np.ndarray, sevs: np.ndarray):
+        self._times = times
+        self._sevs = sevs
+        self._chunk = 0
+
+    def refill(self, carry: float) -> tuple[np.ndarray, np.ndarray]:
+        # Times are already absolute; the carry (last time of the
+        # previous batch) is irrelevant to a replayed trace.
+        lo = self._chunk * RNG_BATCH
+        self._chunk += 1
+        if lo >= self._times.size:
+            return _INF_TAIL, _ONE_TAIL
+        return self._times[lo : lo + RNG_BATCH], self._sevs[lo : lo + RNG_BATCH]
+
+
+#: Shared failure-free tail chunks for exhausted traces (read-only).
+_INF_TAIL = np.full(RNG_BATCH, np.inf)
+_INF_TAIL.setflags(write=False)
+_ONE_TAIL = np.ones(RNG_BATCH, dtype=np.int64)
+_ONE_TAIL.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class TraceStreamSpec:
+    """Deterministic trace replay; every trial sees the same failures.
+
+    The trace is validated (positive, strictly increasing times; 1-based
+    severities) by the scalar :class:`~repro.failures.sources.
+    TraceFailureSource` constructor at registry-resolve time; here it is
+    merely padded to a whole number of :data:`RNG_BATCH` chunks with the
+    infinite failure-free tail.
+    """
+
+    times: tuple
+    severities: tuple
+
+    def spawn(self, seed_seq) -> _TraceTrialStream:
+        # seed_seq is accepted for interface uniformity but unused: the
+        # scalar TraceFailureSource never touches the trial generator
+        # either, so generator states stay identical between engines.
+        times, sevs = _padded_trace(self.times, self.severities)
+        return _TraceTrialStream(times, sevs)
+
+
+@lru_cache(maxsize=8)
+def _padded_trace(times: tuple, severities: tuple) -> tuple:
+    """Pad a trace to whole RNG_BATCH chunks (shared across trials)."""
+    k = len(times)
+    size = max(((k + RNG_BATCH - 1) // RNG_BATCH) * RNG_BATCH, RNG_BATCH)
+    ts = np.full(size, np.inf)
+    ss = np.ones(size, dtype=np.int64)
+    ts[:k] = times
+    ss[:k] = severities
+    ts.setflags(write=False)
+    ss.setflags(write=False)
+    return ts, ss

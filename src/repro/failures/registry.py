@@ -36,11 +36,14 @@ from dataclasses import dataclass, field
 from math import gamma
 from typing import Any, Callable, Mapping
 
+from .batching import TraceStreamSpec, WeibullStreamSpec
 from .sources import TraceFailureSource, WeibullFailureSource
 
 __all__ = [
     "FAILURE_KINDS",
     "FailureSpec",
+    "TraceSourceFactory",
+    "WeibullSourceFactory",
     "register_failure_kind",
 ]
 
@@ -64,6 +67,49 @@ def _build_exponential(system):
     return None
 
 
+@dataclass(frozen=True)
+class WeibullSourceFactory:
+    """Per-trial Weibull source builder, with a batch-engine descriptor.
+
+    Module-level and frozen (unlike the closures registry builders used
+    to return) so it pickles across process boundaries, and it carries
+    its parameters declaratively: ``batch_stream`` is the
+    :class:`~repro.failures.batching.WeibullStreamSpec` the lockstep
+    engine consumes to draw the *same* per-trial failure clock the
+    scalar source would.
+    """
+
+    shape: float
+    scale: float
+    severity_probabilities: tuple
+
+    def __call__(self, rng):
+        return WeibullFailureSource(
+            self.shape, self.scale, self.severity_probabilities, rng
+        )
+
+    @property
+    def batch_stream(self) -> WeibullStreamSpec:
+        return WeibullStreamSpec(
+            self.shape, self.scale, self.severity_probabilities
+        )
+
+
+@dataclass(frozen=True)
+class TraceSourceFactory:
+    """Per-trial trace replay builder, with a batch-engine descriptor."""
+
+    times: tuple
+    severities: tuple
+
+    def __call__(self, rng):
+        return TraceFailureSource(self.times, self.severities)
+
+    @property
+    def batch_stream(self) -> TraceStreamSpec:
+        return TraceStreamSpec(self.times, self.severities)
+
+
 def _build_weibull(system, shape, scale=None):
     shape = float(shape)
     if shape <= 0:
@@ -71,24 +117,16 @@ def _build_weibull(system, shape, scale=None):
     if scale is None:
         # Mean inter-arrival pinned to the system MTBF, as in the study.
         scale = system.mtbf / gamma(1.0 + 1.0 / shape)
-    scale = float(scale)
-    severities = system.severity_probabilities
-
-    def factory(rng):
-        return WeibullFailureSource(shape, scale, severities, rng)
-
-    return factory
+    return WeibullSourceFactory(
+        shape, float(scale), tuple(system.severity_probabilities)
+    )
 
 
 def _build_trace(system, times, severities):
     times = tuple(float(t) for t in times)
     sevs = tuple(int(s) for s in severities)
     TraceFailureSource(times, sevs)  # validate once, loudly, at resolve time
-
-    def factory(rng):
-        return TraceFailureSource(times, sevs)
-
-    return factory
+    return TraceSourceFactory(times, sevs)
 
 
 register_failure_kind("exponential", _build_exponential)

@@ -182,6 +182,130 @@ def _execute_interval(
     )
 
 
+#: ``simulate`` option keys the packed fast path understands.  Anything
+#: else (an explicit ``workers`` request, exotic options) defers that
+#: scenario to the normal per-scenario path.
+_PACK_SIM_KEYS = frozenset(
+    (
+        "restart_semantics",
+        "recheckpoint",
+        "checkpoint_at_completion",
+        "max_time",
+        "engine",
+    )
+)
+
+
+def _packable(scenario: ScenarioSpec) -> bool:
+    """Whether a scenario can join the packed lockstep universe."""
+    if scenario.optimizer != "pattern":
+        return False
+    if any(key not in _PACK_SIM_KEYS for key in scenario.simulate):
+        return False
+    if scenario.simulate.get("engine") == "scalar":
+        return False
+    factory = scenario.failure.source_factory(scenario.system)
+    return (
+        factory is None
+        or getattr(factory, "batch_stream", None) is not None
+    )
+
+
+def _simulate_scenarios_packed(
+    study: StudySpec, indices: list[int]
+) -> list[tuple[int, TechniqueOutcome]]:
+    """Optimize each scenario, then measure all of them in **one** packed
+    struct-of-arrays universe (:func:`repro.simulator.simulate_packed`).
+
+    Small scenarios no longer pay one full lockstep loop each: trials
+    from every scenario advance through the same tensorized iteration.
+    Outcomes are bitwise identical to the per-scenario path — the packed
+    engine's per-trial gathers reproduce each scenario's exact float ops
+    and the optimize stage goes through the same cached
+    :func:`~repro.experiments.runner.optimize_technique` — asserted by
+    ``tests/test_batch_engine.py`` and ``tests/test_scenarios.py``.
+    """
+    from ..experiments.records import TechniqueOutcome
+    from ..experiments.runner import optimize_technique
+    from ..simulator import SimulationStats, trial_seeds
+    from ..simulator.batch import BatchRequest, simulate_packed
+
+    requests: list[BatchRequest] = []
+    meta = []
+    for i in indices:
+        s = study.scenarios[i]
+        model_options = dict(s.model_options)
+        sweep_options = dict(s.sweep_options)
+        if s.silent_errors is not None:
+            model_options["silent_errors"] = s.silent_errors.to_dict()
+        if s.objective != "time":
+            sweep_options["objective"] = s.objective
+        opt = optimize_technique(
+            s.system,
+            s.technique,
+            model_options=model_options,
+            sweep_options=sweep_options,
+        )
+        simulate = dict(s.simulate)
+        simulate.pop("engine", None)
+        factory = s.failure.source_factory(s.system)
+        requests.append(
+            BatchRequest(
+                system=s.system,
+                plan=opt.plan,
+                seed_seqs=trial_seeds(scenario_seed(s, study.seed), s.trials),
+                max_time=simulate.pop("max_time", None),
+                restart_semantics=simulate.pop("restart_semantics", "retry"),
+                checkpoint_at_completion=simulate.pop(
+                    "checkpoint_at_completion",
+                    TECHNIQUES[s.technique].takes_scheduled_end_checkpoint,
+                ),
+                recheckpoint=simulate.pop("recheckpoint", "free"),
+                silent_errors=s.silent_errors,
+                stream=None if factory is None else factory.batch_stream,
+            )
+        )
+        meta.append((i, s, opt))
+
+    start = time.perf_counter()
+    packed = simulate_packed(requests)
+    record_stage("simulate", time.perf_counter() - start)
+
+    out: list[tuple[int, TechniqueOutcome]] = []
+    for (i, s, opt), results in zip(meta, packed):
+        stats = SimulationStats.from_trials(results)
+        extra = {}
+        if s.seed_policy == "pair":
+            # measure_technique records the optimizer's numerics
+            # certificate; the fixed-policy path never did.
+            extra["numerics"] = (
+                dict(opt.certificate.events)
+                if opt.certificate is not None
+                else {}
+            )
+        out.append(
+            (
+                i,
+                TechniqueOutcome(
+                    system=s.system.name,
+                    technique=s.technique,
+                    plan=opt.plan.describe(),
+                    predicted_efficiency=opt.predicted_efficiency,
+                    simulated_efficiency=stats.mean_efficiency,
+                    simulated_std=stats.std_efficiency,
+                    trials=s.trials,
+                    predicted_time=opt.predicted_time,
+                    mean_time=stats.mean_total_time,
+                    completed_fraction=stats.completed_fraction,
+                    breakdown_fractions=stats.mean_breakdown.fractions(),
+                    mean_failures=stats.mean_failures,
+                    **extra,
+                ),
+            )
+        )
+    return out
+
+
 @dataclass
 class StudyRun:
     """A study execution: outcomes in scenario order + its manifest record."""
@@ -348,8 +472,7 @@ def execute_study(
             numerics=aggregate_numerics(outcomes_map.values()),
         )
 
-    def on_result(task_index: int, outcome: TechniqueOutcome) -> None:
-        index = pending[task_index]
+    def record_outcome(index: int, outcome: TechniqueOutcome) -> None:
         outcomes_map[index] = outcome
         if jr is not None:
             scenario = study.scenarios[index]
@@ -361,16 +484,51 @@ def execute_study(
                 outcome,
             )
 
-    try:
-        tasks = [
-            ScenarioTask(
-                _execute_scenario,
-                args=(study.scenarios[i], study.seed, sim_w),
-                label=study.scenarios[i].label,
-            )
-            for i in pending
-        ]
+    def on_result(task_index: int, outcome: TechniqueOutcome) -> None:
+        record_outcome(pending[task_index], outcome)
+
+    def try_packed() -> None:
+        """Serial fast path: measure every packable scenario in one
+        packed lockstep universe instead of one ``simulate_many`` call
+        each.  Results are bitwise identical, so any surprise (an
+        unresolvable source, an engine invariant) falls back to the
+        normal per-scenario path with an event breadcrumb rather than
+        failing the study."""
+        from ..exec.chaos import chaos_config
+        from ..simulator import get_default_engine
+
+        if (
+            workers > 1
+            or sim_w > 1
+            or len(pending) < 2
+            or chaos_config() is not None
+            or get_default_engine() == "scalar"
+        ):
+            return
         try:
+            packable = [i for i in pending if _packable(study.scenarios[i])]
+            if len(packable) < 2:
+                return
+            for index, outcome in _simulate_scenarios_packed(study, packable):
+                record_outcome(index, outcome)
+            events.append(
+                {"type": "packed_simulate", "scenarios": len(packable)}
+            )
+        except Exception as err:
+            events.append({"type": "packed_fallback", "error": str(err)})
+
+    try:
+        try:
+            try_packed()
+            pending = [i for i in pending if i not in outcomes_map]
+            tasks = [
+                ScenarioTask(
+                    _execute_scenario,
+                    args=(study.scenarios[i], study.seed, sim_w),
+                    label=study.scenarios[i].label,
+                )
+                for i in pending
+            ]
             run_scenarios(
                 tasks,
                 workers=workers,

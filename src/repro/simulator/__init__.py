@@ -10,7 +10,7 @@
 """
 
 from .accounting import SimulationStats, TimeBreakdown, TrialResult
-from .batch import simulate_trials_batch
+from .batch import BatchRequest, simulate_packed, simulate_trials_batch
 from .engine import default_max_time, simulate_trial
 from .run import (
     get_default_engine,
@@ -22,6 +22,7 @@ from .run import (
 from .tracelog import SimEvent, render_timeline, validate_timeline
 
 __all__ = [
+    "BatchRequest",
     "SimEvent",
     "SimulationStats",
     "TimeBreakdown",
@@ -32,6 +33,7 @@ __all__ = [
     "set_default_engine",
     "set_inline_mode",
     "simulate_many",
+    "simulate_packed",
     "simulate_trial",
     "simulate_trials_batch",
     "trial_seeds",

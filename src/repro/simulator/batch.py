@@ -5,13 +5,25 @@
 ``next_m``, per-level checkpoint validity, pending severity, the
 accounting buckets) lives in NumPy arrays, the checkpoint pattern and
 recovery tables are precomputed integer arrays, and each loop iteration
-resolves exactly one event for every still-active trial via masked array
-operations.  The renewal structure that makes large failure-injection
-studies tractable in prior checkpoint simulators (Sodre's restart
-analysis; Jayasekara et al.'s multi-level interval studies) is the same
-one exploited here: between failures a trial's evolution is
-deterministic, so the only per-trial randomness is the failure stream,
-which batches cleanly.
+resolves at least one event for every still-active trial via masked
+array operations.  The renewal structure that makes large
+failure-injection studies tractable in prior checkpoint simulators
+(Sodre's restart analysis; Jayasekara et al.'s multi-level interval
+studies) is the same one exploited here: between failures a trial's
+evolution is deterministic, so the only per-trial randomness is the
+failure stream, which batches cleanly — for *any* renewal or replay
+process, not just the exponential one (see
+:mod:`repro.failures.batching`).
+
+:func:`simulate_packed` generalizes the tile to a **multi-scenario
+universe**: trials from several (system, plan, options) requests share
+the same ``t``/``work``/``next_m``/``valid`` arrays with a scenario-id
+column, and per-scenario pattern/cost/recovery tables are gathered per
+trial.  A study of many small scenarios then advances through one
+tensorized loop instead of one ``simulate_many`` call per scenario,
+amortizing the fixed per-iteration NumPy dispatch cost that dominates
+at figure-sized trial counts.  The :mod:`repro.scenarios` pipeline uses
+this as its serial fast path.
 
 Equality guarantee
 ------------------
@@ -21,9 +33,9 @@ the scalar :func:`~repro.simulator.engine.simulate_trial` loop for the
 same per-trial seeds.  Two properties make that possible:
 
 * the per-trial failure stream is drawn with the *same generator and the
-  same draw order* as the scalar engine's
-  :class:`~repro.failures.sources.ExponentialFailureSource`: one
-  ``Generator.exponential(scale, 4096)`` batch followed by one
+  same draw order* as the scalar engine's failure sources: one gap batch
+  (``Generator.exponential(scale, 4096)``, or ``scale *
+  Generator.weibull(shape, 4096)``) followed by one
   ``Generator.random(4096)`` severity batch, refilled together every
   4096 consumed failures (the scalar source consumes one gap and one
   severity per failure, so both buffers always empty on the same call).
@@ -31,7 +43,9 @@ same per-trial seeds.  Two properties make that possible:
   gap`` — one sequential add per failure — a whole batch of absolute
   failure times is precomputed with ``np.add.accumulate`` (defined as
   the same sequential adds, unlike pairwise ``sum``), carrying the last
-  time of the previous batch into the first gap;
+  time of the previous batch into the first gap.  Trace replay needs no
+  generator at all: the absolute times are shared, padded with the
+  scalar source's infinite failure-free tail;
 * every floating-point update is performed per trial in the same order
   and with the same operations as the scalar loop: state commits use
   ``where=``-masked ufunc calls (``np.add(t, dur, out=t, where=ok)``),
@@ -40,16 +54,21 @@ same per-trial seeds.  Two properties make that possible:
   match to the last bit — asserted across the whole Table-I catalog by
   ``tests/test_batch_engine.py``.
 
+``escalate`` restart semantics are a masked level promotion inside the
+shared failure handler (an equal-severity failure during recovery bumps
+the pending severity one level, exactly the scalar branch), so both
+restart semantics run batched.  The remaining scalar-only feature is
+event-timeline recording (``record_events``), which is inherently
+per-trial.
+
 The hot loop is deliberately free of fancy-indexed gather/scatter pairs
 (profiling showed index-array round-trips dominating at figure-sized
 batches); everything is full-width masked arithmetic, so the per-event
-cost is a fixed number of vector ops over the tile.
-
-Scope: exponential failure source, ``retry`` restart semantics, any
-``recheckpoint`` policy, optional silent errors, no event recording.
-``escalate`` semantics, trace/Weibull sources and event timelines stay on
-the scalar engine (:func:`repro.simulator.run.simulate_many` dispatches
-automatically).
+cost is a fixed number of vector ops over the tile.  Event fusion
+chains restart→compute→checkpoint→compute→... within one iteration
+(:data:`_FUSE_ROUNDS` rounds), re-evaluating the scalar loop's
+top-of-iteration predicates at each hop so per-trial event sequences
+are unchanged while lockstep iterations drop severalfold.
 
 Silent errors (``silent_errors=``) keep the equality guarantee: both
 engines consume the same :class:`~repro.core.silent.SilentStream` class
@@ -63,21 +82,23 @@ the pre-silent engine.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..core.plan import CheckpointPlan
 from ..core.silent import SilentErrorSpec, SilentStream
+from ..failures.batching import ExponentialStreamSpec, RNG_BATCH
 from ..systems.spec import SystemSpec
 from .accounting import TimeBreakdown, TrialResult
 from .engine import _EPS, default_max_time
 
-__all__ = ["simulate_trials_batch"]
+__all__ = ["BatchRequest", "simulate_packed", "simulate_trials_batch"]
 
-#: Per-trial RNG batch size.  Must equal the scalar
-#: :class:`~repro.failures.sources.ExponentialFailureSource` default so
+#: Per-trial RNG batch size; re-exported from the stream layer so the
 #: generator states advance identically between the two engines.
-_RNG_BATCH = 4096
+_RNG_BATCH = RNG_BATCH
 
 #: Trials advanced in lockstep per tile.  Bounds peak per-trial draw
 #: storage; tiles are independent (per-trial seeding), so tiling never
@@ -90,6 +111,112 @@ _TILE = 1024
 #: failures.
 _WINDOW = 64
 
+#: Maximum compute→checkpoint hops fused into one lockstep iteration
+#: (after the restart hop).  Fusion only changes *when* an event is
+#: processed, never the per-trial event sequence, so any value is
+#: bitwise-safe.  2 measured best across the Table I grid: deeper
+#: rounds keep paying full-width masked ops for the shrinking set of
+#: trials whose chains have not been broken by a failure, and the
+#: adaptive cutoff in the main loop already stops early when few
+#: trials continue.
+_FUSE_ROUNDS = 2
+
+#: Padding value for unused level-table columns in packed (multi-
+#: scenario) tiles: larger than any real checkpoint level, so a padded
+#: column is never invalidated (``levels < severity`` stays False) and
+#: its ``valid`` entry stays -1 forever.
+_LEVEL_PAD = np.int64(2**31)
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One scenario's worth of trials for :func:`simulate_packed`.
+
+    ``seed_seqs`` is the list of per-trial ``SeedSequence`` objects
+    (one trial each, same contract as :func:`simulate_trials_batch`);
+    ``stream`` is an optional failure-stream descriptor from
+    :mod:`repro.failures.batching` (``None`` = the system's exponential
+    default); ``silent_errors`` accepts anything
+    :meth:`~repro.core.silent.SilentErrorSpec.resolve` does.
+    """
+
+    system: SystemSpec
+    plan: CheckpointPlan
+    seed_seqs: Sequence
+    max_time: float | None = None
+    restart_semantics: str = "retry"
+    checkpoint_at_completion: bool = False
+    recheckpoint: str = "free"
+    silent_errors: object = None
+    stream: object = None
+
+
+class _Config:
+    """Precomputed per-scenario tables and options (tile-independent)."""
+
+    def __init__(self, req: BatchRequest):
+        system, plan = req.system, req.plan
+        if plan.top_level > system.num_levels:
+            raise ValueError(
+                f"plan uses level {plan.top_level} but {system.name} has "
+                f"{system.num_levels} levels"
+            )
+        if req.restart_semantics not in ("retry", "escalate"):
+            raise ValueError(
+                f"unknown restart_semantics {req.restart_semantics!r}"
+            )
+        if req.recheckpoint not in ("free", "paid", "skip"):
+            raise ValueError(f"unknown recheckpoint policy {req.recheckpoint!r}")
+        self.system = system
+        self.plan = plan
+        self.T_B = system.baseline_time
+        self.tau0 = plan.tau0
+        self.cap = (
+            default_max_time(system) if req.max_time is None
+            else float(req.max_time)
+        )
+        self.escalate = req.restart_semantics == "escalate"
+        self.cac = bool(req.checkpoint_at_completion)
+        self.recheckpoint = req.recheckpoint
+        self.silent = SilentErrorSpec.resolve(req.silent_errors)
+        self.num_used = len(plan.levels)
+        self.num_sev = system.num_levels
+        self.levels = np.array(plan.levels, dtype=np.int64)
+        verify = self.silent.verify_cost if self.silent is not None else 0.0
+        self.ckpt_cost = np.array(
+            [system.checkpoint_time(lv) + verify for lv in plan.levels]
+        )
+        self.rest_cost = np.array(
+            [system.restart_time(lv) for lv in plan.levels]
+        )
+        self.sev_rest_cost = np.array(
+            [system.restart_time(s) for s in range(1, self.num_sev + 1)]
+        )
+        self.period = (
+            math.prod(c + 1 for c in plan.counts) if plan.counts else 1
+        )
+        level_index_of = {lv: k for k, lv in enumerate(plan.levels)}
+        self.pattern = np.array(
+            [
+                level_index_of[plan.level_at_position(m)]
+                for m in range(1, self.period + 1)
+            ],
+            dtype=np.int64,
+        )
+        self.recover_idx = np.empty(self.num_sev, dtype=np.int64)
+        for s in range(1, self.num_sev + 1):
+            lv = plan.recovery_level(s)
+            self.recover_idx[s - 1] = (
+                level_index_of[lv] if lv is not None else -1
+            )
+        stream = req.stream
+        if stream is None:
+            stream = ExponentialStreamSpec(
+                float(system.failure_rate),
+                tuple(system.severity_probabilities),
+            )
+        self.stream = stream
+
 
 def simulate_trials_batch(
     system: SystemSpec,
@@ -100,108 +227,177 @@ def simulate_trials_batch(
     checkpoint_at_completion: bool = False,
     recheckpoint: str = "free",
     silent_errors: SilentErrorSpec | None = None,
+    stream=None,
 ) -> list[TrialResult]:
     """Simulate one trial per entry of ``seed_seqs``, all in lockstep.
 
     Parameters mirror :func:`~repro.simulator.engine.simulate_trial`;
     each ``seed_seqs`` entry seeds one trial's ``default_rng`` exactly as
-    the scalar path does.  Raises :class:`ValueError` for configurations
-    outside the batched scope (``escalate`` semantics).
+    the scalar path does.  ``stream`` selects the failure process (a
+    descriptor from :mod:`repro.failures.batching`; ``None`` = the
+    system's exponential default).
     """
-    if plan.top_level > system.num_levels:
-        raise ValueError(
-            f"plan uses level {plan.top_level} but {system.name} has "
-            f"{system.num_levels} levels"
-        )
-    if restart_semantics not in ("retry", "escalate"):
-        raise ValueError(f"unknown restart_semantics {restart_semantics!r}")
-    if restart_semantics != "retry":
-        raise ValueError(
-            "the batched engine supports restart_semantics='retry' only; "
-            "use the scalar engine for 'escalate'"
-        )
-    if recheckpoint not in ("free", "paid", "skip"):
-        raise ValueError(f"unknown recheckpoint policy {recheckpoint!r}")
-    cap = default_max_time(system) if max_time is None else float(max_time)
-    silent = SilentErrorSpec.resolve(silent_errors)
-
-    results: list[TrialResult] = []
-    seed_seqs = list(seed_seqs)
-    for start in range(0, len(seed_seqs), _TILE):
-        results.extend(
-            _simulate_tile(
-                system,
-                plan,
-                seed_seqs[start : start + _TILE],
-                cap,
-                checkpoint_at_completion,
-                recheckpoint,
-                silent,
+    return simulate_packed(
+        [
+            BatchRequest(
+                system=system,
+                plan=plan,
+                seed_seqs=list(seed_seqs),
+                max_time=max_time,
+                restart_semantics=restart_semantics,
+                checkpoint_at_completion=checkpoint_at_completion,
+                recheckpoint=recheckpoint,
+                silent_errors=silent_errors,
+                stream=stream,
             )
-        )
-    return results
+        ]
+    )[0]
+
+
+def simulate_packed(requests: Sequence[BatchRequest]) -> list[list[TrialResult]]:
+    """Simulate several scenarios' trials in one shared lockstep universe.
+
+    Each request is validated independently; trials from all requests
+    are concatenated (scenario-id column), tiled to :data:`_TILE`, and
+    advanced together.  Results are bitwise identical to issuing one
+    :func:`simulate_trials_batch` call per request — and therefore to
+    the scalar loop — because every per-trial constant the hot loop
+    touches is gathered through the scenario id before use.
+    """
+    configs = [_Config(req) for req in requests]
+    flat_sid: list[int] = []
+    flat_seeds: list = []
+    for ci, req in enumerate(requests):
+        seqs = list(req.seed_seqs)
+        flat_sid.extend([ci] * len(seqs))
+        flat_seeds.extend(seqs)
+
+    per_request: list[list[TrialResult]] = [[] for _ in requests]
+    for start in range(0, len(flat_seeds), _TILE):
+        sid = flat_sid[start : start + _TILE]
+        seeds = flat_seeds[start : start + _TILE]
+        # Remap to tile-local config ids so single-scenario tiles (the
+        # overwhelmingly common case) bind the scalar-constant fast path.
+        used = sorted(set(sid))
+        local = {ci: k for k, ci in enumerate(used)}
+        tile_configs = [configs[ci] for ci in used]
+        tile_sid = np.array([local[ci] for ci in sid], dtype=np.int64)
+        results = _simulate_tile(tile_configs, tile_sid, seeds)
+        for ci, res in zip(sid, results):
+            per_request[ci].append(res)
+    return per_request
+
+
+def _uniform(values: list):
+    """The single shared value, or ``None`` when the tile is heterogeneous."""
+    first = values[0]
+    return first if all(v == first for v in values[1:]) else None
 
 
 def _simulate_tile(
-    system: SystemSpec,
-    plan: CheckpointPlan,
-    seed_seqs,
-    cap: float,
-    checkpoint_at_completion: bool,
-    recheckpoint: str,
-    silent: SilentErrorSpec | None,
+    configs: list[_Config], sid: np.ndarray, seed_seqs: list
 ) -> list[TrialResult]:
     n = len(seed_seqs)
-    T_B = system.baseline_time
-    tau0 = plan.tau0
-    num_used = len(plan.levels)
-    num_sev = system.num_levels
-    T_B_lo = T_B - _EPS
-    T_B_hi = T_B + _EPS
+    nconf = len(configs)
+    single = nconf == 1
+    c0 = configs[0]
 
-    # --- tables (identical values to the scalar engine's lists) -------
-    levels = np.array(plan.levels, dtype=np.int64)
-    verify = silent.verify_cost if silent is not None else 0.0
-    ckpt_cost = np.array(
-        [system.checkpoint_time(lv) + verify for lv in plan.levels]
+    # --- per-tile constants: python scalars when every scenario in the
+    # tile agrees (the single-scenario fast path and homogeneous packs),
+    # per-trial gathered arrays otherwise.  The hot-loop expressions are
+    # written once and work for both bindings.
+    def const(values, dtype=float):
+        u = _uniform(values)
+        if u is not None:
+            return u
+        return np.asarray(values, dtype=dtype)[sid]
+
+    tau0_q = const([c.tau0 for c in configs])
+    T_B_q = const([c.T_B for c in configs])
+    T_B_lo_q = const([c.T_B - _EPS for c in configs])
+    T_B_hi_q = const([c.T_B + _EPS for c in configs])
+    cap_q = const([c.cap for c in configs])
+
+    esc0 = _uniform([c.escalate for c in configs])
+    esc_any = esc0 is not False  # True, or mixed
+    esc_tr = (
+        None if esc0 is not None
+        else np.array([c.escalate for c in configs], dtype=bool)[sid]
     )
-    rest_cost = np.array([system.restart_time(lv) for lv in plan.levels])
-    sev_rest_cost = np.array(
-        [system.restart_time(s) for s in range(1, num_sev + 1)]
+    cac0 = _uniform([c.cac for c in configs])
+    cac_tr = (
+        None if cac0 is not None
+        else np.array([c.cac for c in configs], dtype=bool)[sid]
     )
-    period = math.prod(c + 1 for c in plan.counts) if plan.counts else 1
-    level_index_of = {lv: k for k, lv in enumerate(plan.levels)}
-    pattern = np.array(
-        [level_index_of[plan.level_at_position(m)] for m in range(1, period + 1)],
-        dtype=np.int64,
-    )
-    recover_idx = np.empty(num_sev, dtype=np.int64)
-    for s in range(1, num_sev + 1):
-        lv = plan.recovery_level(s)
-        recover_idx[s - 1] = level_index_of[lv] if lv is not None else -1
-    col = np.arange(num_used, dtype=np.int64)
-    sev_iota = np.arange(num_sev, dtype=np.int64)
+    notcac_tr = None if cac_tr is None else ~cac_tr
+    recheck0 = _uniform([c.recheckpoint for c in configs])
+    if recheck0 is None:
+        paid_tr = np.array(
+            [c.recheckpoint == "paid" for c in configs], dtype=bool
+        )[sid]
+        free_tr = np.array(
+            [c.recheckpoint == "free" for c in configs], dtype=bool
+        )[sid]
+    else:
+        paid_tr = free_tr = None
+    all_paid = recheck0 == "paid"
+
+    num_used_max = max(c.num_used for c in configs)
+    num_sev_max = max(c.num_sev for c in configs)
+    num_sev_q = const([c.num_sev for c in configs], dtype=np.int64)
+
+    if single:
+        levels_bc = c0.levels[None, :]
+        ckpt_cost0, rest_cost0 = c0.ckpt_cost, c0.rest_cost
+        sev_rest0, recover0 = c0.sev_rest_cost, c0.recover_idx
+        levels_tr = ckpt_cost_tr = rest_cost_tr = None
+        sev_rest_tr = recover_tr = None
+        pattern_flat = c0.pattern
+        pat_off = None
+        period_q = c0.period
+    else:
+        def pad2(arrs, width, fill, dtype):
+            out = np.full((nconf, width), fill, dtype=dtype)
+            for i, a in enumerate(arrs):
+                out[i, : a.size] = a
+            return out
+
+        levels_tr = pad2(
+            [c.levels for c in configs], num_used_max, _LEVEL_PAD, np.int64
+        )[sid]
+        levels_bc = levels_tr
+        ckpt_cost_tr = pad2(
+            [c.ckpt_cost for c in configs], num_used_max, 0.0, float
+        )[sid]
+        rest_cost_tr = pad2(
+            [c.rest_cost for c in configs], num_used_max, 0.0, float
+        )[sid]
+        sev_rest_tr = pad2(
+            [c.sev_rest_cost for c in configs], num_sev_max, 0.0, float
+        )[sid]
+        recover_tr = pad2(
+            [c.recover_idx for c in configs], num_sev_max, -1, np.int64
+        )[sid]
+        ckpt_cost0 = rest_cost0 = sev_rest0 = recover0 = None
+        pattern_flat = np.concatenate([c.pattern for c in configs])
+        offsets = np.cumsum([0] + [c.period for c in configs[:-1]])
+        pat_off = offsets[sid]
+        period_q = const([c.period for c in configs], dtype=np.int64)
+
+    col = np.arange(num_used_max, dtype=np.int64)
     rows = np.arange(n, dtype=np.int64)
     rows_w = rows * _WINDOW
 
-    # --- failure stream (ExponentialFailureSource's exact draw order) --
-    # scale/cdf expressions mirror ExponentialFailureSource.__init__ and
-    # severity_sampler so every derived float is bit-identical.  Whole
-    # batches of *absolute* failure times are precomputed per trial: the
-    # scalar loop chains fail_t = fail_t + gap one add at a time, and
-    # np.add.accumulate performs those same sequential adds (the carry
-    # from the previous batch is folded into the first gap beforehand —
-    # IEEE addition is commutative, so carry + gap == gap + carry).
-    rate = float(system.failure_rate)
-    scale = 1.0 / rate
-    probs = np.asarray(system.severity_probabilities, dtype=float)
-    cdf = np.cumsum(probs / probs.sum())
-    rngs = [np.random.default_rng(ss) for ss in seed_seqs]
-    # Per-trial draw batches live in the arrays the generators allocate
-    # (accumulated in place) rather than one persistent (n, 4096) buffer
-    # pair — first-touch page faults on tens of MB would cost more than
-    # the whole setup.  The hot path gathers through a small sliding
-    # window refreshed every _WINDOW consumed failures.
+    # --- failure streams (each scenario's scalar source's exact draw
+    # order; see repro.failures.batching for the bitwise contract) -----
+    providers = [
+        configs[s].stream.spawn(ss) for s, ss in zip(sid, seed_seqs)
+    ]
+    # Per-trial draw batches live in the arrays the providers allocate
+    # rather than one persistent (n, 4096) buffer pair — first-touch
+    # page faults on tens of MB would cost more than the whole setup.
+    # The hot path gathers through a small sliding window refreshed
+    # every _WINDOW consumed failures.
     ftime_rows: list = [None] * n
     sev_rows: list = [None] * n
     ptr = np.zeros(n, dtype=np.int64)
@@ -211,28 +407,18 @@ def _simulate_tile(
     win_s_flat = win_s.reshape(-1)
 
     def refill_rows(ids, carries) -> None:
-        """Draw the next (gaps, severities) batch for each trial in ``ids``.
+        """Next (times, severities) batch for each trial in ``ids``.
 
         ``ids`` are *current row* indices; the per-trial draw storage is
         addressed through ``orig`` so it survives compaction.
         """
         for i, carry in zip(ids, carries):
             j = orig[i]
-            gaps = rngs[j].exponential(scale, _RNG_BATCH)
-            gaps[0] = carry + gaps[0]
-            np.add.accumulate(gaps, out=gaps)
-            ftime_rows[j] = gaps
-            u = rngs[j].random(_RNG_BATCH)
-            # Value-equal to severity_sampler's clamped inverse-CDF lookup
-            # (min(searchsorted(cdf, u, "right") + 1, num_sev)): counting
-            # thresholds below u over cdf[:-1] yields the same class, and
-            # a handful of vector compares beats searchsorted here.
-            sev = np.ones(_RNG_BATCH, dtype=np.int64)
-            for c in cdf[:-1]:
-                sev += u >= c
-            sev_rows[j] = sev
-            win_t[i] = gaps[:_WINDOW]
-            win_s[i] = sev[:_WINDOW]
+            times, sevs = providers[j].refill(carry)
+            ftime_rows[j] = times
+            sev_rows[j] = sevs
+            win_t[i] = times[:_WINDOW]
+            win_s[i] = sevs[:_WINDOW]
         ptr[ids] = 0
 
     orig = rows  # current row -> original trial index (identity until compacted)
@@ -244,7 +430,7 @@ def _simulate_tile(
     t = np.zeros(n)
     work = np.zeros(n)
     next_m = np.ones(n, dtype=np.int64)
-    valid = np.full((n, num_used), -1, dtype=np.int64)
+    valid = np.full((n, num_used_max), -1, dtype=np.int64)
     sm = np.empty_like(valid)  # suffix-max scratch for candidate lookups
     recovering = np.zeros(n, dtype=bool)
     pending_sev = np.zeros(n, dtype=np.int64)
@@ -259,7 +445,7 @@ def _simulate_tile(
     acct_rework_compute = np.zeros(n)
     acct_rework_checkpoint = np.zeros(n)
     acct_rework_restart = np.zeros(n)
-    n_by_sev = np.zeros((n, num_sev), dtype=np.int64)
+    n_by_sev = np.zeros((n, num_sev_max), dtype=np.int64)
     ckpt_ok = np.zeros(n, dtype=np.int64)
     ckpt_fail = np.zeros(n, dtype=np.int64)
     rst_ok = np.zeros(n, dtype=np.int64)
@@ -268,23 +454,35 @@ def _simulate_tile(
     restored = np.zeros(n, dtype=np.int64)
     active = np.ones(n, dtype=bool)
 
-    # --- silent-error state (allocated only when the mode is on) ------
-    # One strike "armed" per trial; its detection at strike + D.  The
-    # streams are the same SilentStream class the scalar engine uses,
-    # seeded from the same per-trial spawn, so strike draws are bitwise
-    # identical; ``next_strike`` caches each stream's peek() so arming is
-    # one vector compare (pops are a python loop over the rare armers).
-    if silent is not None:
-        D_lat = silent.detection_latency
-        sstreams = [
-            SilentStream(silent, np.random.default_rng(ss.spawn(1)[0]))
-            for ss in seed_seqs
+    # --- silent-error state (allocated only when the mode is on for at
+    # least one scenario in the tile; trials of silent-off scenarios see
+    # inf sentinels, so every masked float op matches their scalar walk).
+    silents = [c.silent for c in configs]
+    any_silent = any(s is not None for s in silents)
+    if any_silent:
+        d_lat_by_trial = [
+            (
+                silents[s].detection_latency
+                if silents[s] is not None
+                else math.inf
+            )
+            for s in sid
         ]
-        next_strike = np.array([st.peek() for st in sstreams])
+        sstreams = [
+            (
+                SilentStream(silents[s], np.random.default_rng(ss.spawn(1)[0]))
+                if silents[s] is not None
+                else None
+            )
+            for s, ss in zip(sid, seed_seqs)
+        ]
+        next_strike = np.array(
+            [st.peek() if st is not None else math.inf for st in sstreams]
+        )
         armed = np.zeros(n, dtype=bool)
         strike_t = np.full(n, np.inf)
         detect_t = np.full(n, np.inf)
-        valid_t = np.zeros((n, num_used))  # completion time of valid[:, k]
+        valid_t = np.zeros((n, num_used_max))  # completion time of valid[:, k]
         silent_det = np.zeros(n, dtype=np.int64)
         full_armed, full_strike_t, full_silent_det = armed, strike_t, silent_det
 
@@ -331,7 +529,7 @@ def _simulate_tile(
         full_rst_fail[orig] = rst_fail
         full_scratch[orig] = scratch
         full_restored[orig] = restored
-        if silent is not None:
+        if any_silent:
             full_armed[orig] = armed
             full_strike_t[orig] = strike_t
             full_silent_det[orig] = silent_det
@@ -339,8 +537,20 @@ def _simulate_tile(
     def suffix_max_valid() -> None:
         """``sm[:, k]`` = newest position valid at any used level >= k."""
         np.copyto(sm, valid)
-        for k in range(num_used - 2, -1, -1):
+        for k in range(num_used_max - 2, -1, -1):
             np.maximum(sm[:, k], sm[:, k + 1], out=sm[:, k])
+
+    def take_rest(k):
+        return rest_cost0[k] if single else rest_cost_tr[rows, k]
+
+    def take_ckpt(k):
+        return ckpt_cost0[k] if single else ckpt_cost_tr[rows, k]
+
+    def take_sevrest(s_idx):
+        return sev_rest0[s_idx] if single else sev_rest_tr[rows, s_idx]
+
+    def take_recover(s_idx):
+        return recover0[s_idx] if single else recover_tr[rows, s_idx]
 
     def on_failures(fmask: np.ndarray, attributions) -> None:
         """Shared failure bookkeeping for every trial in ``fmask`` at once.
@@ -350,12 +560,21 @@ def _simulate_tile(
         phase that saw failures this iteration).
         """
         s = fail_s
-        np.add(
-            n_by_sev,
-            1,
-            out=n_by_sev,
-            where=fmask[:, None] & (sev_iota[None, :] == (s - 1)[:, None]),
-        )
+        # fidx rows are unique (one failure per trial per call), so the
+        # fancy in-place add is well-defined — and O(failed) instead of
+        # the O(n * S) masked broadcast.
+        fidx = np.flatnonzero(fmask)
+        n_by_sev[fidx, s[fidx] - 1] += 1
+        if esc_any:
+            # escalate: an equal-severity failure while already
+            # recovering promotes the pending severity one level (the
+            # scalar engine's Moody-style branch, masked).  The
+            # by-severity count above uses the *original* severity, as
+            # the scalar loop does.
+            esc = fmask & recovering & (s == pending_sev) & (s < num_sev_q)
+            if esc_tr is not None:
+                esc &= esc_tr
+            s = s + esc
         newrec = fmask & ~recovering
         np.copyto(rollback_ref, work, where=newrec)
         # Outside recovery pending_sev == 0 and s >= 1, so one masked
@@ -366,14 +585,14 @@ def _simulate_tile(
         np.copyto(
             valid,
             np.int64(-1),
-            where=fmask[:, None] & (levels[None, :] < s[:, None]),
+            where=fmask[:, None] & (levels_bc < s[:, None]),
         )
         # Re-target: newest valid position able to recover pending_sev.
         suffix_max_valid()
-        lo = recover_idx[pending_sev - 1]
+        lo = take_recover(pending_sev - 1)
         best = sm[rows, np.maximum(lo, 0)]
         pos = np.maximum(np.where(lo >= 0, best, np.int64(-1)), 0)
-        posw = pos * tau0
+        posw = pos * tau0_q
         lost = rollback_ref - posw
         hitpos = lost > 0
         for mask, bucket in attributions:
@@ -407,7 +626,7 @@ def _simulate_tile(
             for i in np.flatnonzero(arm):
                 st = sstreams[orig[i]]
                 strike_t[i] = st.pop()
-                detect_t[i] = strike_t[i] + D_lat
+                detect_t[i] = strike_t[i] + d_lat_by_trial[orig[i]]
                 next_strike[i] = st.peek()
             armed[arm] = True
 
@@ -415,8 +634,7 @@ def _simulate_tile(
         """Vectorized mirror of the scalar engine's ``on_detection``:
         invalidate post-strike checkpoints, enter (or keep) recovery at
         severity 1, re-target, attribute lost work per phase, disarm."""
-        nonlocal silent_det
-        silent_det += dmask
+        np.add(silent_det, dmask, out=silent_det)
         np.copyto(
             valid,
             np.int64(-1),
@@ -427,10 +645,10 @@ def _simulate_tile(
         np.maximum(pending_sev, np.int64(1), out=pending_sev, where=dmask)
         np.logical_or(recovering, dmask, out=recovering)
         suffix_max_valid()
-        lo = recover_idx[pending_sev - 1]
+        lo = take_recover(pending_sev - 1)
         best = sm[rows, np.maximum(lo, 0)]
         pos = np.maximum(np.where(lo >= 0, best, np.int64(-1)), 0)
-        posw = pos * tau0
+        posw = pos * tau0_q
         lost = rollback_ref - posw
         hitpos = lost > 0
         for mask, bucket in det_attr:
@@ -444,15 +662,219 @@ def _simulate_tile(
         strike_t[dmask] = np.inf
         detect_t[dmask] = np.inf
 
+    attributions: list[tuple[np.ndarray, np.ndarray]] = []
+    det_attr: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def successors(moved: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Re-evaluate the scalar top-of-iteration predicates for trials
+        whose state just advanced; returns (compute, checkpoint) masks of
+        those that continue this iteration.  Fusion never changes a
+        trial's event sequence, only when it is processed, so trials not
+        picked up here are simply handled next iteration."""
+        boundary = next_m * tau0_q
+        over = boundary > T_B_hi_q
+        fin2 = work >= T_B_lo_q
+        if cac0 is True:
+            fin2 = fin2 & over
+        elif cac_tr is not None:
+            fin2 = fin2 & (over | notcac_tr)
+        go = moved & ~fin2 & (t < cap_q)
+        compx = go & ((work < boundary - _EPS) | over)
+        return compx, go ^ compx
+
+    def restart_block(rec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        suffix_max_valid()
+        lo = take_recover(pending_sev - 1)
+        has_lo = lo >= 0
+        best = sm[rows, np.maximum(lo, 0)]
+        pos = np.maximum(np.where(has_lo, best, np.int64(-1)), 0)
+        has = pos > 0
+        # First used level >= lo holding the chosen position: the
+        # cheapest sufficient restart, as in the scalar engine.
+        elig = (valid == pos[:, None]) & (col[None, :] >= lo[:, None])
+        k_use = np.argmax(elig, axis=1)
+        dur = np.where(
+            has,
+            take_rest(k_use),
+            np.where(
+                has_lo,
+                take_rest(np.maximum(lo, 0)),
+                take_sevrest(pending_sev - 1),
+            ),
+        )
+        slack = fail_t - t
+        if not any_silent:
+            ok = rec & (slack >= dur)
+            flr = rec ^ ok
+            detr = None
+        else:
+            arm_strikes(rec, dur)
+            dslack = detect_t - t
+            ok = rec & (slack >= dur) & (dslack >= dur)
+            flr = rec & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
+            detr = rec & ~ok & ~flr
+        np.add(t, dur, out=t, where=ok)
+        np.add(acct_restart, dur, out=acct_restart, where=ok)
+        np.add(rst_ok, ok, out=rst_ok)
+        np.add(scratch, ok & ~has, out=scratch)
+        np.copyto(work, pos * tau0_q, where=ok)
+        np.copyto(next_m, pos + 1, where=ok)
+        np.copyto(pending_sev, np.int64(0), where=ok)
+        np.logical_xor(recovering, ok, out=recovering)
+        if flr.any():
+            np.add(
+                acct_failed_restart, slack, out=acct_failed_restart, where=flr
+            )
+            np.add(rst_fail, flr, out=rst_fail)
+            np.copyto(t, fail_t, where=flr)
+            attributions.append((flr, acct_rework_restart))
+        if detr is not None and detr.any():
+            np.add(
+                acct_failed_restart, dslack, out=acct_failed_restart, where=detr
+            )
+            np.add(rst_fail, detr, out=rst_fail)
+            np.copyto(t, detect_t, where=detr)
+            det_attr.append((detr, acct_rework_restart))
+        if ok.any():
+            return successors(ok)
+        return _ZFALSE, _ZFALSE
+
+    def compute_block(comp: np.ndarray) -> np.ndarray:
+        boundary = next_m * tau0_q
+        target = np.minimum(boundary, T_B_q)
+        dur = target - work
+        slack = fail_t - t
+        if not any_silent:
+            okc = comp & (slack >= dur)
+            flc = comp ^ okc
+            detc = None
+        else:
+            arm_strikes(comp, dur)
+            dslack = detect_t - t
+            okc = comp & (slack >= dur) & (dslack >= dur)
+            flc = comp & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
+            detc = comp & ~okc & ~flc
+        np.add(t, dur, out=t, where=okc)
+        np.add(compute_time, dur, out=compute_time, where=okc)
+        np.copyto(work, target, where=okc)
+        if flc.any():
+            np.add(compute_time, slack, out=compute_time, where=flc)
+            np.add(work, slack, out=work, where=flc)
+            np.copyto(t, fail_t, where=flc)
+            attributions.append((flc, acct_rework_compute))
+        if detc is not None and detc.any():
+            np.add(compute_time, dslack, out=compute_time, where=detc)
+            np.add(work, dslack, out=work, where=detc)
+            np.copyto(t, detect_t, where=detc)
+            det_attr.append((detc, acct_rework_compute))
+        if okc.any():
+            # A committed compute segment ends at its boundary (or at
+            # completion); only the checkpoint successor can fire.
+            _, bndx = successors(okc)
+            return bndx
+        return _ZFALSE
+
+    def checkpoint_block(
+        bnd: np.ndarray, fuse: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = (next_m - 1) % period_q
+        if pat_off is not None:
+            idx = idx + pat_off
+        k = np.take(pattern_flat, idx)
+        kc = col[None, :] <= k[:, None]
+        take = bnd
+        redo = None
+        if not all_paid:
+            redo = bnd & (next_m <= max_completed_m)
+            if paid_tr is not None:
+                redo &= ~paid_tr
+            if redo.any():
+                # Recomputation past previously-completed positions:
+                # "free" re-establishes validity at zero cost, "skip"
+                # leaves the old recovery point as the only fallback.
+                free_redo = redo if free_tr is None else redo & free_tr
+                if recheck0 == "free" or free_tr is not None:
+                    np.copyto(
+                        valid, next_m[:, None], where=kc & free_redo[:, None]
+                    )
+                    if any_silent:
+                        np.copyto(
+                            valid_t, t[:, None], where=kc & free_redo[:, None]
+                        )
+                    np.add(restored, free_redo, out=restored)
+                take = bnd ^ redo
+                np.add(next_m, redo, out=next_m)
+            else:
+                redo = None
+        okk = _ZFALSE
+        if take.any():
+            dur = take_ckpt(k)
+            slack = fail_t - t
+            if not any_silent:
+                okk = take & (slack >= dur)
+                flk = take ^ okk
+                detk = None
+            else:
+                arm_strikes(take, dur)
+                dslack = detect_t - t
+                okk = take & (slack >= dur) & (dslack >= dur)
+                flk = take & (slack < dur) & (
+                    (dslack >= dur) | (fail_t <= detect_t)
+                )
+                detk = take & ~okk & ~flk
+            np.add(t, dur, out=t, where=okk)
+            np.add(acct_checkpoint, dur, out=acct_checkpoint, where=okk)
+            np.add(ckpt_ok, okk, out=ckpt_ok)
+            # hierarchical write: validates all levels <= k
+            np.copyto(valid, next_m[:, None], where=kc & okk[:, None])
+            if any_silent:
+                np.copyto(valid_t, t[:, None], where=kc & okk[:, None])
+            np.maximum(
+                max_completed_m, next_m, out=max_completed_m, where=okk
+            )
+            np.add(next_m, okk, out=next_m)
+            if flk.any():
+                np.add(
+                    acct_failed_checkpoint,
+                    slack,
+                    out=acct_failed_checkpoint,
+                    where=flk,
+                )
+                np.add(ckpt_fail, flk, out=ckpt_fail)
+                np.copyto(t, fail_t, where=flk)
+                attributions.append((flk, acct_rework_checkpoint))
+            if detk is not None and detk.any():
+                np.add(
+                    acct_failed_checkpoint,
+                    dslack,
+                    out=acct_failed_checkpoint,
+                    where=detk,
+                )
+                np.add(ckpt_fail, detk, out=ckpt_fail)
+                np.copyto(t, detect_t, where=detk)
+                det_attr.append((detk, acct_rework_checkpoint))
+        # Both a committed checkpoint and a redo hop continue to their
+        # next event (normally the next compute segment) this iteration.
+        if not fuse:
+            return _ZFALSE, _ZFALSE
+        moved = okk if redo is None else okk | redo
+        if moved.any():
+            return successors(moved)
+        return _ZFALSE, _ZFALSE
+
+    _ZFALSE = np.zeros(n, dtype=bool)
+
     while True:
-        boundary = next_m * tau0
+        boundary = next_m * tau0_q
         nrec = ~recovering
-        over_hi = boundary > T_B_hi
-        fin = work >= T_B_lo
-        if checkpoint_at_completion:
+        over_hi = boundary > T_B_hi_q
+        fin = work >= T_B_lo_q
+        if cac0 is True:
             fin &= over_hi
+        elif cac_tr is not None:
+            fin &= over_hi | notcac_tr
         fin &= nrec
-        stop = fin | (t >= cap)
+        stop = fin | (t >= cap_q)
         active &= ~stop
         live = int(active.sum())
         if live == 0:
@@ -461,7 +883,7 @@ def _simulate_tile(
         if live * 2 <= orig.size and orig.size > 32:
             # Compact: flush everything, then keep only live rows.  The
             # RNG buffers stay full-size (compacting megabytes to drop a
-            # few rows would cost more than it saves); ``orig``/``row_off``
+            # few rows would cost more than it saves); ``orig``/``rows_w``
             # keep addressing them correctly.
             flush()
             keep = np.flatnonzero(active)
@@ -488,203 +910,82 @@ def _simulate_tile(
             ckpt_ok, ckpt_fail = ckpt_ok[keep], ckpt_fail[keep]
             rst_ok, rst_fail = rst_ok[keep], rst_fail[keep]
             scratch, restored = scratch[keep], restored[keep]
-            if silent is not None:
+            if any_silent:
                 armed, strike_t = armed[keep], strike_t[keep]
                 detect_t, next_strike = detect_t[keep], next_strike[keep]
                 valid_t, silent_det = valid_t[keep], silent_det[keep]
+            if not single:
+                levels_tr = levels_tr[keep]
+                levels_bc = levels_tr
+                ckpt_cost_tr = ckpt_cost_tr[keep]
+                rest_cost_tr = rest_cost_tr[keep]
+                sev_rest_tr = sev_rest_tr[keep]
+                recover_tr = recover_tr[keep]
+                if pat_off is not None:
+                    pat_off = pat_off[keep]
+            if isinstance(tau0_q, np.ndarray):
+                tau0_q = tau0_q[keep]
+            if isinstance(T_B_q, np.ndarray):
+                T_B_q = T_B_q[keep]
+            if isinstance(T_B_lo_q, np.ndarray):
+                T_B_lo_q = T_B_lo_q[keep]
+            if isinstance(T_B_hi_q, np.ndarray):
+                T_B_hi_q = T_B_hi_q[keep]
+            if isinstance(cap_q, np.ndarray):
+                cap_q = cap_q[keep]
+            if isinstance(period_q, np.ndarray):
+                period_q = period_q[keep]
+            if isinstance(num_sev_q, np.ndarray):
+                num_sev_q = num_sev_q[keep]
+            if esc_tr is not None:
+                esc_tr = esc_tr[keep]
+            if cac_tr is not None:
+                cac_tr, notcac_tr = cac_tr[keep], notcac_tr[keep]
+            if paid_tr is not None:
+                paid_tr, free_tr = paid_tr[keep], free_tr[keep]
             rows = np.arange(orig.size, dtype=np.int64)
             rows_w = rows * _WINDOW
             active = np.ones(orig.size, dtype=bool)
-            boundary = next_m * tau0
+            _ZFALSE = np.zeros(orig.size, dtype=bool)
+            boundary = next_m * tau0_q
             nrec = ~recovering
-            over_hi = boundary > T_B_hi
+            over_hi = boundary > T_B_hi_q
 
         rec = active & recovering
-        comp = active & nrec
-        bnd = comp & ~((work < boundary - _EPS) | over_hi)
-        comp ^= bnd
-        slack = fail_t - t
-        attributions: list[tuple[np.ndarray, np.ndarray]] = []
-        det_attr: list[tuple[np.ndarray, np.ndarray]] = []
+        nact = active & nrec
+        comp = nact & ((work < boundary - _EPS) | over_hi)
+        bnd = nact ^ comp
+        attributions.clear()
+        det_attr.clear()
 
         # Event fusion: a successful restart chains into its follow-up
-        # compute segment, and a successful compute into its checkpoint,
-        # within this same iteration.  Each fusion re-evaluates exactly
-        # the scalar loop's top-of-iteration predicates (completion, cap,
-        # branch selection) on the updated state, so the per-trial event
+        # compute segment, a successful compute into its checkpoint, and
+        # a successful (or redone) checkpoint back into the next compute
+        # — up to _FUSE_ROUNDS compute/checkpoint hops per iteration.
+        # Each hop re-evaluates exactly the scalar loop's
+        # top-of-iteration predicates (completion, cap, branch
+        # selection) on the updated state, so the per-trial event
         # sequence — and every float op — is unchanged; only the number
-        # of lockstep iterations drops (~2 events per iteration in the
-        # failure-free steady state instead of 1).
-
-        # --- restart attempts -----------------------------------------
+        # of lockstep iterations drops.
         if rec.any():
-            suffix_max_valid()
-            lo = recover_idx[pending_sev - 1]
-            has_lo = lo >= 0
-            best = sm[rows, np.maximum(lo, 0)]
-            pos = np.maximum(np.where(has_lo, best, np.int64(-1)), 0)
-            has = pos > 0
-            # First used level >= lo holding the chosen position: the
-            # cheapest sufficient restart, as in the scalar engine.
-            elig = (valid == pos[:, None]) & (col[None, :] >= lo[:, None])
-            k_use = np.argmax(elig, axis=1)
-            dur = np.where(
-                has,
-                rest_cost[k_use],
-                np.where(
-                    has_lo,
-                    rest_cost[np.maximum(lo, 0)],
-                    sev_rest_cost[pending_sev - 1],
-                ),
-            )
-            if silent is None:
-                ok = rec & (slack >= dur)
-                flr = rec ^ ok
-                detr = None
-            else:
-                arm_strikes(rec, dur)
-                dslack = detect_t - t
-                ok = rec & (slack >= dur) & (dslack >= dur)
-                flr = rec & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
-                detr = rec & ~ok & ~flr
-            np.add(t, dur, out=t, where=ok)
-            np.add(acct_restart, dur, out=acct_restart, where=ok)
-            rst_ok += ok
-            scratch += ok & ~has
-            np.copyto(work, pos * tau0, where=ok)
-            np.copyto(next_m, pos + 1, where=ok)
-            np.copyto(pending_sev, np.int64(0), where=ok)
-            recovering ^= ok
-            if flr.any():
-                np.add(
-                    acct_failed_restart, slack, out=acct_failed_restart, where=flr
-                )
-                rst_fail += flr
-                np.copyto(t, fail_t, where=flr)
-                attributions.append((flr, acct_rework_restart))
-            if detr is not None and detr.any():
-                np.add(
-                    acct_failed_restart, dslack, out=acct_failed_restart, where=detr
-                )
-                rst_fail += detr
-                np.copyto(t, detect_t, where=detr)
-                det_attr.append((detr, acct_rework_restart))
-            if ok.any():
-                # Fuse: restarted trials proceed to their next event now.
-                boundary = next_m * tau0
-                over_hi = boundary > T_B_hi
-                fin2 = work >= T_B_lo
-                if checkpoint_at_completion:
-                    fin2 &= over_hi
-                go = ok & ~fin2 & (t < cap)
-                compx = go & ((work < boundary - _EPS) | over_hi)
-                comp |= compx
-                bnd |= go ^ compx
-                slack = fail_t - t
-
-        # --- compute segments -----------------------------------------
-        if comp.any():
-            target = np.minimum(boundary, T_B)
-            dur = target - work
-            if silent is None:
-                okc = comp & (slack >= dur)
-                flc = comp ^ okc
-                detc = None
-            else:
-                arm_strikes(comp, dur)
-                dslack = detect_t - t
-                okc = comp & (slack >= dur) & (dslack >= dur)
-                flc = comp & (slack < dur) & ((dslack >= dur) | (fail_t <= detect_t))
-                detc = comp & ~okc & ~flc
-            np.add(t, dur, out=t, where=okc)
-            np.add(compute_time, dur, out=compute_time, where=okc)
-            np.copyto(work, target, where=okc)
-            if flc.any():
-                np.add(compute_time, slack, out=compute_time, where=flc)
-                np.add(work, slack, out=work, where=flc)
-                np.copyto(t, fail_t, where=flc)
-                attributions.append((flc, acct_rework_compute))
-            if detc is not None and detc.any():
-                np.add(compute_time, dslack, out=compute_time, where=detc)
-                np.add(work, dslack, out=work, where=detc)
-                np.copyto(t, detect_t, where=detc)
-                det_attr.append((detc, acct_rework_compute))
-            if okc.any():
-                # Fuse: trials that reached their boundary checkpoint now.
-                fin2 = work >= T_B_lo
-                if checkpoint_at_completion:
-                    fin2 &= over_hi
-                go = okc & ~fin2 & (t < cap)
-                bnd |= go & ~((work < boundary - _EPS) | over_hi)
-                slack = fail_t - t
-
-        # --- checkpoint boundaries ------------------------------------
-        if bnd.any():
-            k = pattern[(next_m - 1) % period]
-            kc = col[None, :] <= k[:, None]
-            take = bnd
-            if recheckpoint != "paid":
-                redo = bnd & (next_m <= max_completed_m)
-                if redo.any():
-                    # Recomputation past previously-completed positions:
-                    # "free" re-establishes validity at zero cost, "skip"
-                    # leaves the old recovery point as the only fallback.
-                    if recheckpoint == "free":
-                        np.copyto(
-                            valid, next_m[:, None], where=kc & redo[:, None]
-                        )
-                        if silent is not None:
-                            np.copyto(
-                                valid_t, t[:, None], where=kc & redo[:, None]
-                            )
-                        restored += redo
-                    take = bnd ^ redo
-                    next_m += redo
-            if take.any():
-                dur = ckpt_cost[k]
-                if silent is None:
-                    okk = take & (slack >= dur)
-                    flk = take ^ okk
-                    detk = None
-                else:
-                    arm_strikes(take, dur)
-                    dslack = detect_t - t
-                    okk = take & (slack >= dur) & (dslack >= dur)
-                    flk = take & (slack < dur) & (
-                        (dslack >= dur) | (fail_t <= detect_t)
-                    )
-                    detk = take & ~okk & ~flk
-                np.add(t, dur, out=t, where=okk)
-                np.add(acct_checkpoint, dur, out=acct_checkpoint, where=okk)
-                ckpt_ok += okk
-                # hierarchical write: validates all levels <= k
-                np.copyto(valid, next_m[:, None], where=kc & okk[:, None])
-                if silent is not None:
-                    np.copyto(valid_t, t[:, None], where=kc & okk[:, None])
-                np.maximum(
-                    max_completed_m, next_m, out=max_completed_m, where=okk
-                )
-                next_m += okk
-                if flk.any():
-                    np.add(
-                        acct_failed_checkpoint,
-                        slack,
-                        out=acct_failed_checkpoint,
-                        where=flk,
-                    )
-                    ckpt_fail += flk
-                    np.copyto(t, fail_t, where=flk)
-                    attributions.append((flk, acct_rework_checkpoint))
-                if detk is not None and detk.any():
-                    np.add(
-                        acct_failed_checkpoint,
-                        dslack,
-                        out=acct_failed_checkpoint,
-                        where=detk,
-                    )
-                    ckpt_fail += detk
-                    np.copyto(t, detect_t, where=detk)
-                    det_attr.append((detk, acct_rework_checkpoint))
+            c2, b2 = restart_block(rec)
+            comp = comp | c2
+            bnd = bnd | b2
+        for _round in range(_FUSE_ROUNDS):
+            if comp.any():
+                bnd = bnd | compute_block(comp)
+            if not bnd.any():
+                break
+            last = _round + 1 == _FUSE_ROUNDS
+            comp, bnd = checkpoint_block(bnd, fuse=not last)
+            if last:
+                break
+            # Adaptive cutoff: every round costs full-width ops whether
+            # one trial continues or all of them; when few do (failure-
+            # heavy regimes break chains early), defer them to the next
+            # iteration instead of paying another round now.
+            if (int(comp.sum()) + int(bnd.sum())) * 4 < live:
+                break
 
         if attributions:
             fmask = attributions[0][0]
@@ -713,11 +1014,16 @@ def _simulate_tile(
     scratch, restored = full_scratch, full_restored
 
     # Deactivated state is frozen, so final classification reproduces the
-    # scalar loop's top-of-iteration completion test.
-    completed = ~recovering & (work >= T_B_lo)
-    if checkpoint_at_completion:
-        completed &= next_m * tau0 > T_B_hi
-    if silent is None:
+    # scalar loop's top-of-iteration completion test (per-trial constants
+    # regathered at full width — the loop's bindings were compacted).
+    tb_lo_f = np.array([c.T_B - _EPS for c in configs])[sid]
+    tb_hi_f = np.array([c.T_B + _EPS for c in configs])[sid]
+    tau0_f = np.array([c.tau0 for c in configs])[sid]
+    cac_f = np.array([c.cac for c in configs], dtype=bool)[sid]
+    completed = ~recovering & (work >= tb_lo_f)
+    if cac_f.any():
+        completed &= (next_m * tau0_f > tb_hi_f) | ~cac_f
+    if not any_silent:
         silent_det_out = silent_undet_out = np.zeros(n, dtype=np.int64)
     else:
         silent_det_out = full_silent_det
@@ -739,6 +1045,7 @@ def _simulate_tile(
 
     out: list[TrialResult] = []
     for i in range(n):
+        num_sev_i = configs[sid[i]].num_sev
         times = TimeBreakdown(
             work=float(work[i]),
             checkpoint=float(acct_checkpoint[i]),
@@ -755,7 +1062,9 @@ def _simulate_tile(
                 work_done=float(work[i]),
                 completed=bool(completed[i]),
                 times=times,
-                failures_by_severity=tuple(int(x) for x in n_by_sev[i]),
+                failures_by_severity=tuple(
+                    int(x) for x in n_by_sev[i, :num_sev_i]
+                ),
                 checkpoints_completed=int(ckpt_ok[i]),
                 checkpoints_failed=int(ckpt_fail[i]),
                 checkpoints_restored=int(restored[i]),

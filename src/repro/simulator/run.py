@@ -16,13 +16,19 @@ Two trial engines sit behind the call, selected by ``engine``:
   identical :class:`~repro.simulator.accounting.TrialResult` objects to
   the scalar loop for the same seeds;
 * ``"scalar"`` — one :func:`~repro.simulator.engine.simulate_trial`
-  Python loop per trial, required for trace/Weibull sources
-  (``source_factory``) and ``escalate`` restart semantics;
+  Python loop per trial.  The batched engine covers the exponential,
+  Weibull, and trace failure processes (any ``source_factory`` exposing
+  a ``batch_stream`` descriptor, see :mod:`repro.failures.batching`)
+  under both ``retry`` and ``escalate`` semantics, so the scalar loop is
+  only *required* for opaque custom source factories and event-timeline
+  recording;
 * ``"auto"`` (the default) — the batched engine whenever the
   configuration supports it and the run is at least ``_AUTO_MIN_TRIALS``
-  wide (narrower runs are faster scalar), the scalar loop otherwise.
-  Because the two engines agree bit for bit, ``auto`` never changes
-  results, only speed.
+  wide (narrower runs are faster scalar; override the threshold with the
+  ``REPRO_AUTO_MIN_TRIALS`` environment variable, or measure your
+  machine's crossover with ``python -m repro bench --crossover``), the
+  scalar loop otherwise.  Because the two engines agree bit for bit,
+  ``auto`` never changes results, only speed.
 
 ``engine=None`` defers to the process-wide default (``"auto"`` unless
 :func:`set_default_engine` overrode it — the CLI's ``--engine`` flag and
@@ -31,6 +37,7 @@ the scenario scheduler's worker initializer both thread through it).
 
 from __future__ import annotations
 
+import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
 
@@ -48,6 +55,8 @@ __all__ = [
     "set_inline_mode",
     "set_default_engine",
     "get_default_engine",
+    "set_auto_min_trials",
+    "get_auto_min_trials",
     "trial_seeds",
 ]
 
@@ -70,8 +79,46 @@ _DEFAULT_ENGINE = "auto"
 #: crossover on the reference container: ~40 trials for mild systems,
 #: ~140 for failure-heavy ones), so tiny runs — notably ``--quick``'s
 #: 25 trials — stay on the scalar loop.  Results are identical either
-#: way; explicit ``engine="batch"`` ignores the threshold.
-_AUTO_MIN_TRIALS = 128
+#: way; explicit ``engine="batch"`` ignores the threshold.  Override
+#: with ``REPRO_AUTO_MIN_TRIALS`` (``python -m repro bench --crossover``
+#: measures the right value for the current machine).
+def _auto_min_trials_default() -> int:
+    raw = os.environ.get("REPRO_AUTO_MIN_TRIALS")
+    if raw is None:
+        return 128
+    try:
+        value = int(raw)
+    except ValueError:
+        print(
+            f"warning: ignoring non-integer REPRO_AUTO_MIN_TRIALS={raw!r}",
+            file=sys.stderr,
+        )
+        return 128
+    return max(value, 1)
+
+
+_AUTO_MIN_TRIALS = _auto_min_trials_default()
+
+
+def set_auto_min_trials(threshold: int | None = None) -> int:
+    """Set the process-wide auto-engine crossover threshold; returns the
+    previous value.  ``None`` re-reads the environment default
+    (``REPRO_AUTO_MIN_TRIALS``, falling back to the built-in 128).  The
+    scenario scheduler mirrors this into its workers like the engine
+    default, so one programmatic override governs a whole study run.
+    """
+    global _AUTO_MIN_TRIALS
+    previous = _AUTO_MIN_TRIALS
+    _AUTO_MIN_TRIALS = (
+        _auto_min_trials_default() if threshold is None
+        else max(int(threshold), 1)
+    )
+    return previous
+
+
+def get_auto_min_trials() -> int:
+    """The trial count at which ``engine="auto"`` switches to batch."""
+    return _AUTO_MIN_TRIALS
 
 #: One-shot guard for the tiny-run worker warning (per process).
 _WARNED_TINY_RUN = False
@@ -133,12 +180,17 @@ def _resolve_engine(
     eng = _DEFAULT_ENGINE if engine is None else engine
     if eng not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-    supported = source_factory is None and restart_semantics == "retry"
+    supported = (
+        source_factory is None
+        or getattr(source_factory, "batch_stream", None) is not None
+    )
     if eng == "batch" and not supported:
         raise ValueError(
-            "engine='batch' requires the built-in exponential failure "
-            "source and restart_semantics='retry'; use engine='auto' (which "
-            "falls back to the scalar loop) or engine='scalar'"
+            "engine='batch' requires a batchable failure source (the "
+            "built-in exponential default, or a source_factory exposing a "
+            "batch_stream descriptor — see repro.failures.batching); use "
+            "engine='auto' (which falls back to the scalar loop) or "
+            "engine='scalar'"
         )
     if eng == "auto" and not supported and trials >= _AUTO_MIN_TRIALS:
         # A wide run silently losing the vectorized engine is a surprise
@@ -146,15 +198,11 @@ def _resolve_engine(
         global _WARNED_SCALAR_FALLBACK
         if not _WARNED_SCALAR_FALLBACK:
             _WARNED_SCALAR_FALLBACK = True
-            reason = (
-                "a custom failure source"
-                if source_factory is not None
-                else f"restart_semantics={restart_semantics!r}"
-            )
             print(
                 f"warning: engine='auto' fell back to the scalar loop for "
-                f"a {trials}-trial run: {reason} is outside the batched "
-                "engine's scope (results are identical, only slower)",
+                f"a {trials}-trial run: a custom failure source without a "
+                "batch_stream descriptor is outside the batched engine's "
+                "scope (results are identical, only slower)",
                 file=sys.stderr,
             )
     return eng == "batch" or (
@@ -186,6 +234,9 @@ def _run_chunk(context, states) -> list[TrialResult]:
             checkpoint_at_completion=checkpoint_at_completion,
             recheckpoint=recheckpoint,
             silent_errors=silent_errors,
+            stream=(
+                None if source_factory is None else source_factory.batch_stream
+            ),
         )
     out = []
     for ss in states:

@@ -4,9 +4,12 @@ The batched struct-of-arrays engine (:mod:`repro.simulator.batch`)
 promises **bitwise-identical** :class:`TrialResult`s to the scalar
 per-event loop for the same seeds.  These tests enforce that promise
 across the whole Table-I catalog, every recheckpoint policy, the
->4096-failure stream-refill path, and the figure2/figure4 pipeline rows
-— plus the dispatch rules of ``simulate_many`` and the accounting
-invariants both engines guard internally.
+>4096-failure stream-refill path, Weibull/trace failure sources,
+``escalate`` restart semantics, silent errors, packed multi-scenario
+universes (:func:`simulate_packed` and the ``execute_study`` fast
+path), and the figure2/figure4 pipeline rows — plus the dispatch rules
+of ``simulate_many`` and the accounting invariants both engines guard
+internally.
 """
 
 from __future__ import annotations
@@ -15,12 +18,15 @@ import numpy as np
 import pytest
 
 from repro.core import CheckpointPlan, DauweModel
+from repro.failures import FailureSpec
 from repro.scenarios import ScenarioSpec
 from repro.simulator import (
+    BatchRequest,
     default_max_time,
     get_default_engine,
     set_default_engine,
     simulate_many,
+    simulate_packed,
     simulate_trial,
     simulate_trials_batch,
     trial_seeds,
@@ -37,12 +43,47 @@ def plan_for(name: str) -> CheckpointPlan:
     return _PLANS[name]
 
 
-def scalar_trials(system, plan, seeds, **kwargs):
-    """The ground truth: one scalar-engine run per seed sequence."""
-    return [
-        simulate_trial(system, plan, rng=np.random.default_rng(ss), **kwargs)
-        for ss in seeds
-    ]
+def scalar_trials(system, plan, seeds, source_factory=None, **kwargs):
+    """The ground truth: one scalar-engine run per seed sequence.
+
+    Mirrors ``simulate_many``'s per-trial seeding exactly: the silent
+    stream's generator is spawned from the trial's seed sequence
+    (exactly once, *mutating* it — so silent-error parity tests must
+    hand each engine its own freshly built ``trial_seeds`` list), the
+    failure source is built from the trial's own generator.
+    """
+    out = []
+    for ss in seeds:
+        silent_rng = (
+            np.random.default_rng(ss.spawn(1)[0])
+            if kwargs.get("silent_errors") is not None
+            else None
+        )
+        rng = np.random.default_rng(ss)
+        source = source_factory(rng) if source_factory is not None else None
+        out.append(
+            simulate_trial(
+                system, plan, rng=rng, source=source,
+                silent_rng=silent_rng, **kwargs,
+            )
+        )
+    return out
+
+
+def weibull_factory(system, shape=0.7):
+    """The registry's Weibull factory (carries a ``batch_stream``)."""
+    return FailureSpec("weibull", {"shape": shape}).source_factory(system)
+
+
+def trace_factory(system, events=64, spacing=0.9):
+    """A deterministic replay trace sized to ``system``'s failure load."""
+    times = tuple((i + 1) * spacing * system.mtbf for i in range(events))
+    sevs = tuple(
+        (i % len(system.severity_probabilities)) + 1 for i in range(events)
+    )
+    return FailureSpec(
+        "trace", {"times": times, "severities": sevs}
+    ).source_factory(system)
 
 
 @pytest.fixture
@@ -127,32 +168,54 @@ class TestDispatch:
             runs["batch"][0].efficiencies, runs["scalar"][0].efficiencies
         )
 
-    def test_batch_rejects_source_factory(self):
-        with pytest.raises(ValueError, match="engine='batch'"):
+    def test_batch_rejects_opaque_source_factory(self):
+        # A raw closure gives the engine no batch_stream descriptor to
+        # reproduce the draw order from, so explicit "batch" is a loud
+        # error (and "auto" a warned scalar fallback) — not a guess.
+        with pytest.raises(ValueError, match="batch_stream"):
             simulate_many(
                 get_system("M"), plan_for("M"), trials=2, seed=0,
                 engine="batch",
                 source_factory=lambda rng: None,
             )
 
-    def test_batch_rejects_escalate(self):
-        with pytest.raises(ValueError, match="engine='batch'"):
-            simulate_many(
-                get_system("M"), plan_for("M"), trials=2, seed=0,
-                engine="batch", restart_semantics="escalate",
-            )
-
-    def test_auto_falls_back_to_scalar_for_escalate(self):
+    def test_batch_runs_escalate(self):
         system, plan = get_system("B"), plan_for("B")
-        auto = simulate_many(
-            system, plan, trials=6, seed=2, engine="auto",
+        batch = simulate_many(
+            system, plan, trials=8, seed=2, engine="batch",
             restart_semantics="escalate", return_trials=True,
         )[1]
         scalar = simulate_many(
-            system, plan, trials=6, seed=2, engine="scalar",
+            system, plan, trials=8, seed=2, engine="scalar",
             restart_semantics="escalate", return_trials=True,
         )[1]
-        assert auto == scalar
+        assert batch == scalar
+
+    def test_auto_batches_registry_sources(self):
+        # The registry's weibull/trace factories expose batch_stream, so
+        # "auto" no longer routes them to the scalar loop.
+        from repro.simulator.run import _resolve_engine
+
+        system = get_system("B")
+        assert _resolve_engine("auto", "retry", weibull_factory(system), 10**6)
+        assert _resolve_engine("auto", "retry", trace_factory(system), 10**6)
+        assert not _resolve_engine("auto", "retry", lambda rng: None, 10**6)
+
+    def test_auto_min_trials_override(self):
+        from repro.simulator.run import (
+            _resolve_engine,
+            get_auto_min_trials,
+            set_auto_min_trials,
+        )
+
+        previous = set_auto_min_trials(7)
+        try:
+            assert get_auto_min_trials() == 7
+            assert _resolve_engine("auto", "retry", None, 7) is True
+            assert _resolve_engine("auto", "retry", None, 6) is False
+        finally:
+            set_auto_min_trials(previous)
+        assert get_auto_min_trials() == previous
 
     def test_auto_width_threshold(self):
         # "auto" only pays for lockstep overhead when the run is wide
@@ -182,7 +245,7 @@ class TestDispatch:
         with pytest.raises(ValueError, match="restart_semantics"):
             simulate_trials_batch(
                 get_system("M"), plan_for("M"), seeds,
-                restart_semantics="escalate",
+                restart_semantics="bogus",
             )
         with pytest.raises(ValueError, match="recheckpoint"):
             simulate_trials_batch(
@@ -200,16 +263,226 @@ class TestDispatch:
         # (spawn-started workers would otherwise reset to "auto").
         from repro.exec import scheduler as scheduler_mod
         from repro.exec.cache import get_active_cache, set_active_cache
-        from repro.simulator.run import set_inline_mode
+        from repro.simulator.run import (
+            get_auto_min_trials,
+            set_auto_min_trials,
+            set_inline_mode,
+        )
 
         monkeypatch.setattr(scheduler_mod, "_IN_SCENARIO_WORKER", False)
         previous_cache = get_active_cache()
+        previous_threshold = get_auto_min_trials()
         try:
-            scheduler_mod._worker_init(None, False, "scalar")
+            scheduler_mod._worker_init(None, False, "scalar", 33)
             assert get_default_engine() == "scalar"
+            assert get_auto_min_trials() == 33
         finally:
+            set_auto_min_trials(previous_threshold)
             set_inline_mode(False)
             set_active_cache(previous_cache)
+
+
+class TestFullCoverageParity:
+    """Weibull/trace sources and escalate semantics: batch == scalar,
+    bit for bit, across the catalog and the stress regimes."""
+
+    @pytest.mark.parametrize("name", TEST_SYSTEM_ORDER)
+    @pytest.mark.parametrize("semantics", ["retry", "escalate"])
+    def test_weibull_parity_catalog(self, name, semantics):
+        system = get_system(name)
+        plan = plan_for(name)
+        factory = weibull_factory(system)
+        seeds = trial_seeds(101, 10)
+        batch = simulate_trials_batch(
+            system, plan, seeds,
+            stream=factory.batch_stream, restart_semantics=semantics,
+        )
+        assert batch == scalar_trials(
+            system, plan, seeds,
+            source_factory=factory, restart_semantics=semantics,
+        )
+
+    @pytest.mark.parametrize("shape", [0.5, 1.5])
+    @pytest.mark.parametrize("semantics", ["retry", "escalate"])
+    def test_weibull_shapes_stress_regime(self, shape, semantics):
+        # Infant-mortality (0.5) and wear-out (1.5) hazards against a
+        # shortened MTBF: failure storms, deep rollbacks, paid redos.
+        system = get_system("D4").with_mtbf(40.0)
+        plan = plan_for("D4")
+        factory = weibull_factory(system, shape=shape)
+        seeds = trial_seeds(77, 8)
+        kwargs = dict(restart_semantics=semantics, recheckpoint="paid")
+        batch = simulate_trials_batch(
+            system, plan, seeds, stream=factory.batch_stream, **kwargs
+        )
+        assert batch == scalar_trials(
+            system, plan, seeds, source_factory=factory, **kwargs
+        )
+
+    @pytest.mark.parametrize("semantics", ["retry", "escalate"])
+    def test_trace_parity(self, semantics):
+        system = get_system("D4")
+        plan = plan_for("D4")
+        factory = trace_factory(system)
+        seeds = trial_seeds(5, 8)
+        batch = simulate_trials_batch(
+            system, plan, seeds,
+            stream=factory.batch_stream, restart_semantics=semantics,
+        )
+        scalar = scalar_trials(
+            system, plan, seeds,
+            source_factory=factory, restart_semantics=semantics,
+        )
+        assert batch == scalar
+        assert any(r.total_failures > 0 for r in scalar)
+
+    def test_trace_exhaustion_runs_failure_free_tail(self):
+        # A trace shorter than the run: after the last replayed event
+        # both engines must coast to completion with no further failures.
+        system = get_system("B")
+        plan = plan_for("B")
+        factory = trace_factory(system, events=2, spacing=0.3)
+        seeds = trial_seeds(3, 6)
+        batch = simulate_trials_batch(
+            system, plan, seeds, stream=factory.batch_stream
+        )
+        scalar = scalar_trials(system, plan, seeds, source_factory=factory)
+        assert batch == scalar
+        assert all(r.completed and r.total_failures <= 2 for r in scalar)
+
+    @pytest.mark.parametrize("name", TEST_SYSTEM_ORDER)
+    def test_escalate_parity_catalog(self, name):
+        system = get_system(name)
+        plan = plan_for(name)
+        seeds = trial_seeds(2024, 12)
+        batch = simulate_trials_batch(
+            system, plan, seeds, restart_semantics="escalate"
+        )
+        assert batch == scalar_trials(
+            system, plan, seeds, restart_semantics="escalate"
+        )
+
+    @pytest.mark.parametrize("semantics", ["retry", "escalate"])
+    def test_silent_errors_parity(self, semantics):
+        # Fresh seed lists per engine: the scalar reference *spawns* the
+        # silent stream's child from each trial's SeedSequence, which
+        # mutates it — reuse would shift the batch engine's streams.
+        system = get_system("D4")
+        plan = plan_for("D4")
+        silent = {
+            "mtbf": system.mtbf * 2.0,
+            "verify_cost": 3.0,
+            "detection_latency": 45.0,
+        }
+        kwargs = dict(restart_semantics=semantics, silent_errors=silent)
+        batch = simulate_trials_batch(
+            system, plan, trial_seeds(8, 10), **kwargs
+        )
+        assert batch == scalar_trials(
+            system, plan, trial_seeds(8, 10), **kwargs
+        )
+
+
+class TestPackedUniverse:
+    """simulate_packed: one struct-of-arrays universe over heterogeneous
+    scenarios == per-request batch calls == the scalar ground truth."""
+
+    def _requests(self):
+        # Deliberately heterogeneous: different systems (different level
+        # counts and tables), semantics, redo policies, failure sources
+        # and silent-error settings in one universe.
+        b, d4, m = get_system("B"), get_system("D4"), get_system("M")
+        wb = weibull_factory(d4)
+        return [
+            dict(system=b, plan=plan_for("B"), n=40, seed=1, kwargs={}),
+            dict(
+                system=d4, plan=plan_for("D4"), n=25, seed=2,
+                factory=wb,
+                kwargs=dict(restart_semantics="escalate",
+                            recheckpoint="paid"),
+            ),
+            dict(
+                system=m, plan=plan_for("M"), n=33, seed=3,
+                kwargs=dict(silent_errors={
+                    "mtbf": m.mtbf, "verify_cost": 1.0,
+                    "detection_latency": 20.0,
+                }),
+            ),
+        ]
+
+    def test_packed_matches_solo_and_scalar(self):
+        specs = self._requests()
+        packed = simulate_packed(
+            [
+                BatchRequest(
+                    system=s["system"], plan=s["plan"],
+                    seed_seqs=trial_seeds(s["seed"], s["n"]),
+                    stream=(
+                        s["factory"].batch_stream if "factory" in s else None
+                    ),
+                    **s["kwargs"],
+                )
+                for s in specs
+            ]
+        )
+        for got, s in zip(packed, specs):
+            solo = simulate_trials_batch(
+                s["system"], s["plan"], trial_seeds(s["seed"], s["n"]),
+                stream=s["factory"].batch_stream if "factory" in s else None,
+                **s["kwargs"],
+            )
+            scalar = scalar_trials(
+                s["system"], s["plan"], trial_seeds(s["seed"], s["n"]),
+                source_factory=s.get("factory"), **s["kwargs"],
+            )
+            assert got == solo
+            assert got == scalar
+
+    def test_single_request_pack_is_the_batch_entry_point(self):
+        system, plan = get_system("B"), plan_for("B")
+        [packed] = simulate_packed(
+            [BatchRequest(system=system, plan=plan,
+                          seed_seqs=trial_seeds(4, 12))]
+        )
+        assert packed == simulate_trials_batch(
+            system, plan, trial_seeds(4, 12)
+        )
+
+    def test_study_packed_path_matches_per_scenario(self, restore_engine):
+        # The execute_study fast path: outcomes must be bitwise equal to
+        # the scalar per-scenario pipeline, and the record must carry
+        # the packed_simulate breadcrumb (auto run) / not (scalar run).
+        from repro.scenarios import StudySpec, execute_study
+
+        study = StudySpec(
+            study_id="packed-regression",
+            seed=11,
+            scenarios=tuple(
+                ScenarioSpec(
+                    system=get_system(name), technique=tech, trials=12,
+                    simulate=simulate,
+                )
+                for name, tech, simulate in (
+                    ("M", "dauwe", {}),
+                    ("B", "daly", {"restart_semantics": "escalate"}),
+                    ("B", "dauwe", {"recheckpoint": "paid"}),
+                )
+            ),
+        )
+        set_default_engine("auto")
+        packed_run = execute_study(study)
+        set_default_engine("scalar")
+        scalar_run = execute_study(study)
+        assert packed_run.outcomes == scalar_run.outcomes
+        packed_events = [
+            e["type"] for e in packed_run.record.resilience["events"]
+        ]
+        assert "packed_simulate" in packed_events
+        assert "packed_fallback" not in packed_events
+        scalar_events = [
+            e["type"] for e in scalar_run.record.resilience["events"]
+        ]
+        assert "packed_simulate" not in scalar_events
 
 
 class TestAccountingInvariants:

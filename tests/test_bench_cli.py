@@ -13,13 +13,19 @@ from repro.simulator import get_default_engine, set_default_engine
 
 #: A tiny comparison grid so the suite stays fast; the real grid is
 #: exercised by `python -m repro bench` itself (CI runs --quick).
-_TINY_GRID = (("M", 8),)
+_TINY_GRID = (("M", "M", 8, None),)
 
 
 @pytest.fixture
 def tiny_grid(monkeypatch):
     monkeypatch.setattr(bench_mod, "_GRID_QUICK", _TINY_GRID)
     monkeypatch.setattr(bench_mod, "_GRID_FULL", _TINY_GRID)
+
+
+@pytest.fixture
+def tiny_crossover(monkeypatch):
+    monkeypatch.setattr(bench_mod, "_CROSSOVER_WIDTHS", (4, 8))
+    monkeypatch.setattr(bench_mod, "_CROSSOVER_SYSTEMS", ("M",))
 
 
 @pytest.fixture
@@ -44,6 +50,31 @@ class TestRunBench:
         for case in payload["cases"]:
             assert case["seconds_best"] > 0.0
             assert case["seconds_best"] <= case["seconds_mean"]
+        # v2 provenance and crossover blocks: the dirty flag reflects the
+        # working tree, the crossover block carries the configured
+        # threshold and no measurement unless --crossover asked for one.
+        assert payload["git_dirty"] in (True, False, None)
+        assert payload["auto_crossover"]["measured"] is None
+        assert payload["auto_crossover"]["configured"] >= 1
+
+    def test_crossover_sweep(self, tiny_grid, tiny_crossover):
+        payload = run_bench(quick=True, crossover=True)
+        measured = payload["auto_crossover"]["measured"]
+        assert measured["widths"] == [4, 8]
+        sweep = measured["systems"]["M"]["sweep"]
+        assert [row["trials"] for row in sweep] == [4, 8]
+        for row in sweep:
+            assert row["scalar_seconds"] > 0.0
+            assert row["batch_seconds"] > 0.0
+            assert row["speedup"] == pytest.approx(
+                row["scalar_seconds"] / row["batch_seconds"]
+            )
+        crossing = measured["systems"]["M"]["crossover"]
+        assert crossing in (None, 4, 8)
+        assert measured["recommended"] == crossing
+        text = format_bench(payload)
+        assert "auto crossover" in text
+        assert "recommended engine='auto' threshold" in text
 
     def test_speedup_grid(self, tiny_grid):
         payload = run_bench(quick=True)
@@ -68,8 +99,10 @@ class TestRunBench:
 
         real = bench_mod._timed_many
 
-        def corrupt(system, plan, trials, engine, rounds, warmup):
-            rec, results = real(system, plan, trials, engine, rounds, warmup)
+        def corrupt(system, plan, trials, engine, rounds, warmup,
+                    source_factory=None):
+            rec, results = real(system, plan, trials, engine, rounds, warmup,
+                                source_factory=source_factory)
             if engine == "batch":
                 results[0] = dataclasses.replace(
                     results[0], total_time=results[0].total_time + 1.0

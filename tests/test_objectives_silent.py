@@ -243,6 +243,16 @@ class TestScenarioSpecBlocks:
 
 
 class TestAudibleScalarFallback:
+    # Only an *opaque* custom source (no batch_stream descriptor) still
+    # routes "auto" to the scalar loop; escalate and the registry's
+    # weibull/trace factories run batched now.
+
+    @staticmethod
+    def _opaque_factory():
+        from repro.failures.sources import WeibullFailureSource
+
+        return lambda rng: WeibullFailureSource(0.7, 100.0, (1.0,), rng)
+
     def test_auto_fallback_warns_once_per_process(self, capsys):
         run_mod._reset_warnings()
         system = get_system("B").with_baseline_time(1.0)
@@ -251,11 +261,11 @@ class TestAudibleScalarFallback:
             for _ in range(2):
                 simulate_many(
                     system, plan, trials=run_mod._AUTO_MIN_TRIALS, seed=0,
-                    engine="auto", restart_semantics="escalate",
+                    engine="auto", source_factory=self._opaque_factory(),
                 )
             err = capsys.readouterr().err
             assert err.count("fell back to the scalar loop") == 1
-            assert "restart_semantics='escalate'" in err
+            assert "batch_stream" in err
         finally:
             run_mod._reset_warnings()
 
@@ -266,7 +276,7 @@ class TestAudibleScalarFallback:
         try:
             simulate_many(
                 system, plan, trials=4, seed=0,
-                engine="auto", restart_semantics="escalate",
+                engine="auto", source_factory=self._opaque_factory(),
             )
             assert "fell back" not in capsys.readouterr().err
         finally:

@@ -294,7 +294,10 @@ class TestExecuteStudyResume:
         journal = tmp_path / "j.jsonl"
         fresh = execute_study(study, journal=journal)
         assert fresh.record.resilience == {
-            "resumed": 0, "executed": 2, "pending": 0, "events": [],
+            "resumed": 0, "executed": 2, "pending": 0,
+            # The serial fast path measures both scenarios in one packed
+            # lockstep universe; the breadcrumb records that it ran.
+            "events": [{"type": "packed_simulate", "scenarios": 2}],
             "journal": str(journal),
         }
         resumed = execute_study(study, journal=journal)
@@ -356,7 +359,8 @@ class TestExecuteStudyResume:
     def test_no_journal_records_empty_resilience(self):
         run = execute_study(_study())
         assert run.record.resilience == {
-            "resumed": 0, "executed": 2, "pending": 0, "events": [],
+            "resumed": 0, "executed": 2, "pending": 0,
+            "events": [{"type": "packed_simulate", "scenarios": 2}],
         }
 
     def test_open_journal_instance_is_not_closed(self, tmp_path):
