@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI smoke test for `repro serve`: boot, /health, /plan, graceful stop.
+
+Starts a real service subprocess on an ephemeral port, polls ``/health``
+until it answers, round-trips one ``POST /plan`` (the response's
+``result`` block must reconstruct to the same ``OptimizationResult``,
+certificate included), then sends SIGTERM and requires the graceful
+drain to exit 0.  Any deviation exits non-zero and fails the CI step.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+
+def fail(message: str, proc: subprocess.Popen | None = None) -> None:
+    print(f"service smoke: FAIL: {message}", file=sys.stderr)
+    if proc is not None:
+        proc.kill()
+        _, err = proc.communicate(timeout=30)
+        sys.stderr.write(err or "")
+    raise SystemExit(1)
+
+
+def get_json(url: str, timeout: float = 30.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post_json(url: str, body: dict, timeout: float = 120.0):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode(), method="POST"
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--service-dir", ".ci-service",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    if not line.startswith("SERVE "):
+        fail(f"no SERVE announcement (got {line!r})", proc)
+    url = line.split(None, 1)[1].strip()
+    print(f"service smoke: serving at {url}")
+
+    deadline = time.monotonic() + 30.0
+    health = None
+    while time.monotonic() < deadline:
+        try:
+            _, health = get_json(f"{url}/health", timeout=5.0)
+            break
+        except OSError:
+            time.sleep(0.2)
+    if health is None:
+        fail("/health never answered", proc)
+    if health["status"] != "ok" or health["breaker"]["state"] != "closed":
+        fail(f"unhealthy at boot: {health}", proc)
+    print("service smoke: /health ok")
+
+    status, plan = post_json(
+        f"{url}/plan", {"system": "D7", "technique": "dauwe"}
+    )
+    if status != 200:
+        fail(f"/plan answered {status}", proc)
+    # Certificate round-trip: the served result must reconstruct exactly.
+    sys.path.insert(0, "src")
+    from repro.core.interfaces import OptimizationResult
+
+    rebuilt = OptimizationResult.from_dict(plan["result"])
+    if rebuilt.to_dict() != plan["result"]:
+        fail("served OptimizationResult does not round-trip", proc)
+    if rebuilt.certificate is None or rebuilt.certificate.evaluations <= 0:
+        fail(f"missing/empty certificate in {plan['result']}", proc)
+    if plan["predicted_time"] <= 0:
+        fail(f"non-positive predicted_time {plan['predicted_time']}", proc)
+    print(
+        "service smoke: /plan ok "
+        f"(predicted_time={plan['predicted_time']:.1f}s, "
+        f"{rebuilt.certificate.evaluations} evaluations certified)"
+    )
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        _, err = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        fail("server did not exit within 60s of SIGTERM", proc)
+    if proc.returncode != 0:
+        sys.stderr.write(err)
+        fail(f"drain exited {proc.returncode}, expected 0")
+    if "drained clean" not in err:
+        sys.stderr.write(err)
+        fail("drain did not report 'drained clean'")
+    print("service smoke: graceful SIGTERM drain ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

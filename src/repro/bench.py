@@ -151,33 +151,56 @@ def _git_dirty() -> bool | None:
     return bool(proc.stdout.strip())
 
 
-def _timeit(fn, rounds: int, warmup: int = 1) -> dict:
-    """Best/mean wall-clock of ``fn()`` over ``rounds`` timed calls."""
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _timeit(fn, rounds: int, warmup: int = 1, repeats: int = 1) -> dict:
+    """Best/mean wall-clock of ``fn()`` over ``rounds`` timed calls.
+
+    ``repeats > 1`` runs the whole measurement that many times and keeps
+    the *median* best/mean — the de-flaking knob behind
+    ``--baseline-repeats``: a single sample in a shared container sees
+    ±10-25% noise, the median of three rarely does.
+    """
     for _ in range(warmup):
         fn()
-    times = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return {
+    bests, means = [], []
+    for _ in range(max(1, repeats)):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        bests.append(min(times))
+        means.append(sum(times) / len(times))
+    rec = {
         "rounds": rounds,
-        "seconds_best": min(times),
-        "seconds_mean": sum(times) / len(times),
+        "seconds_best": _median(bests),
+        "seconds_mean": _median(means),
     }
+    if repeats > 1:
+        rec["repeats"] = repeats
+    return rec
 
 
 def _case(name: str, fn, rounds: int, warmup: int = 1,
-          engine: str | None = None, trials: int | None = None) -> dict:
+          engine: str | None = None, trials: int | None = None,
+          repeats: int = 1) -> dict:
     rec = {"name": name, "engine": engine}
-    rec.update(_timeit(fn, rounds=rounds, warmup=warmup))
+    rec.update(_timeit(fn, rounds=rounds, warmup=warmup, repeats=repeats))
     if trials is not None:
         rec["trials_per_sec"] = trials / rec["seconds_best"]
     return rec
 
 
 def _timed_many(system, plan, trials: int, engine: str,
-                rounds: int, warmup: int, source_factory=None):
+                rounds: int, warmup: int, source_factory=None,
+                repeats: int = 1):
     """Time ``simulate_many`` on one engine; returns (record, trial list)."""
     result = []
 
@@ -188,7 +211,7 @@ def _timed_many(system, plan, trials: int, engine: str,
             source_factory=source_factory,
         )[1]
 
-    rec = _timeit(call, rounds=rounds, warmup=warmup)
+    rec = _timeit(call, rounds=rounds, warmup=warmup, repeats=repeats)
     rec["trials_per_sec"] = trials / rec["seconds_best"]
     return rec, list(result)
 
@@ -249,16 +272,22 @@ def run_bench(
     quick: bool = False,
     out: str | Path | None = None,
     crossover: bool = False,
+    repeats: int = 1,
 ) -> dict:
     """Run the benchmark trajectory; optionally write the JSON to ``out``.
 
     ``quick`` trims rounds and drops the 1000-trial grid rows (the CI
     smoke configuration); ``crossover`` additionally sweeps
     :func:`measure_crossover` and records the result in the payload.
-    Raises :class:`RuntimeError` if the scalar and batch engines
-    disagree on any grid cell — the equality guarantee is load-bearing,
-    the timings are not.
+    ``repeats`` re-measures every timed cell that many times and keeps
+    per-cell medians (``--baseline-repeats``; the crossover sweep is
+    informational and always measures once).  Raises
+    :class:`RuntimeError` if the scalar and batch engines disagree on
+    any grid cell — the equality guarantee is load-bearing, the timings
+    are not.
     """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     system_b = get_system("B")
     plan_b = DauweModel(system_b).optimize().plan
     storm_system = get_system("B").with_mtbf(3.0).with_top_level_cost(40.0)
@@ -272,18 +301,18 @@ def run_bench(
         _case(
             "dauwe_predict_time_batch",
             lambda: dauwe_b.predict_time_batch((1, 2, 3, 4), (1, 2, 3), taus_long),
-            rounds=10 if quick else 50,
+            rounds=10 if quick else 50, repeats=repeats,
         ),
         _case(
             "moody_pattern_efficiency_batch",
             lambda: moody_b.pattern_efficiency_batch((1, 2, 3, 4), (1, 2, 3), taus_short),
-            rounds=10 if quick else 50,
+            rounds=10 if quick else 50, repeats=repeats,
         ),
         _case(
             "optimizer_sweep_D4",
             lambda: DauweModel(get_system("D4")).optimize(),
             rounds=1 if quick else 3,
-            warmup=0,
+            warmup=0, repeats=repeats,
         ),
         _case(
             "simulate_trial_easy_B",
@@ -291,6 +320,7 @@ def run_bench(
             rounds=5 if quick else 20,
             engine="scalar",
             trials=1,
+            repeats=repeats,
         ),
         _case(
             "simulate_trial_failure_storm",
@@ -299,6 +329,7 @@ def run_bench(
             warmup=0,
             engine="scalar",
             trials=1,
+            repeats=repeats,
         ),
     ]
 
@@ -312,11 +343,11 @@ def run_bench(
         rounds = 1 if quick else 2
         scalar_rec, scalar_trials = _timed_many(
             system, plan, trials, "scalar", rounds=rounds, warmup=0,
-            source_factory=factory,
+            source_factory=factory, repeats=repeats,
         )
         batch_rec, batch_trials = _timed_many(
             system, plan, trials, "batch", rounds=rounds, warmup=1,
-            source_factory=factory,
+            source_factory=factory, repeats=repeats,
         )
         equal = scalar_trials == batch_trials
         if not equal:
@@ -341,6 +372,7 @@ def run_bench(
         "schema": SCHEMA,
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": bool(quick),
+        "repeats": int(repeats),
         "git_rev": _git_rev(),
         "git_dirty": _git_dirty(),
         "package_versions": package_versions(),

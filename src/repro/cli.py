@@ -131,11 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench", "validate"],
+        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench", "validate", "serve"],
         help="experiment id, 'all', 'custom' (requires --study), "
-        "'bench' (benchmark trajectory, writes BENCH_simulator.json), or "
+        "'bench' (benchmark trajectory, writes BENCH_simulator.json), "
         "'validate' (numerics-guard cross-check of every model; "
-        "--stress swaps in the adversarial catalog)",
+        "--stress swaps in the adversarial catalog), or 'serve' (HTTP "
+        "planning service: POST /plan, POST /study, GET /health)",
     )
     parser.add_argument(
         "--study",
@@ -262,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(exponential backoff, jitter derived from --seed; default: 2)",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-scenario watchdog deadline in seconds: a hung scenario "
+        "is cancelled into the retry ladder instead of stalling the run "
+        "(default: no deadline; also disables the packed fast path)",
+    )
+    parser.add_argument(
         "--engine",
         choices=list(ENGINES),
         default=None,
@@ -286,6 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
         "on a regression beyond 5%%",
     )
     parser.add_argument(
+        "--baseline-tol",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="with 'bench --check-baseline': relative throughput tolerance "
+        "before a cell counts as a regression (default: REPRO_BENCH_TOL "
+        "env var, else 0.05)",
+    )
+    parser.add_argument(
+        "--baseline-repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="with 'bench --check-baseline': run the timed cells N times "
+        "and compare the median against the baseline, defeating container "
+        "timing jitter (default: 3; plain 'bench' runs once)",
+    )
+    parser.add_argument(
         "--crossover",
         action="store_true",
         help="with 'bench': re-measure the batch/scalar crossover width "
@@ -301,6 +329,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--markdown", action="store_true", help="print tables as Markdown"
+    )
+    service = parser.add_argument_group(
+        "serve", "options for the 'serve' experiment (see README: Serving plans)"
+    )
+    service.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = ephemeral; the chosen port is "
+        "announced on stdout as 'SERVE http://HOST:PORT')",
+    )
+    service.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="plan-computation worker processes (default: 1)",
+    )
+    service.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission queue depth before requests are shed with 429 "
+        "(default: 8)",
+    )
+    service.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="per-request deadline when the client sends none "
+        "(X-Deadline-Ms header or deadline_ms query override; default: 30)",
+    )
+    service.add_argument(
+        "--service-dir",
+        metavar="PATH",
+        default=".repro-service",
+        help="directory for study journals (default: .repro-service); "
+        "re-POSTing a spec resumes from its journal here",
+    )
+    service.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SEC",
+        help="SIGTERM grace period for in-flight requests and studies "
+        "(default: 10; journaled studies abandoned past it exit 75)",
+    )
+    service.add_argument(
+        "--max-studies",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent background study runs (default: 1)",
     )
     return parser
 
@@ -378,6 +464,8 @@ def _exec_options(args: argparse.Namespace) -> dict:
             seed=args.seed if args.seed is not None else 0,
         )
     }
+    if args.task_timeout is not None:
+        options["task_timeout"] = args.task_timeout
     journal = _journal_path(args)
     if journal is not None:
         options["journal"] = journal
@@ -413,8 +501,9 @@ def _run_bench(args: argparse.Namespace) -> int:
     timings are recorded but never asserted — containers differ.
     """
     import json
+    import os
 
-    from .bench import compare_to_baseline, format_bench, run_bench
+    from .bench import SCHEMA, compare_to_baseline, format_bench, run_bench
 
     out = Path(args.bench_out) if args.bench_out else Path("BENCH_simulator.json")
     baseline = None
@@ -429,9 +518,46 @@ def _run_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return EXIT_ERROR
+        if baseline.get("schema") != SCHEMA:
+            # A silent cross-schema comparison would report nonsense
+            # regressions (or mask real ones); refuse loudly instead.
+            print(
+                f"error: bench baseline {baseline_path} has schema "
+                f"{baseline.get('schema')!r} but this build writes "
+                f"{SCHEMA!r}; re-record the baseline "
+                "(python -m repro bench) before gating on it",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+    tolerance = args.baseline_tol
+    if tolerance is None:
+        env_tol = os.environ.get("REPRO_BENCH_TOL", "")
+        try:
+            tolerance = float(env_tol) if env_tol else 0.05
+        except ValueError:
+            print(
+                f"error: REPRO_BENCH_TOL={env_tol!r} is not a number",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+    if not 0 < tolerance < 1:
+        print(
+            f"error: baseline tolerance must be in (0, 1), got {tolerance}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    if args.baseline_repeats < 1:
+        print("error: --baseline-repeats must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    # Gated runs repeat the timed cells and keep per-cell medians; a
+    # single sample in a noisy container flakes any honest tolerance.
+    repeats = args.baseline_repeats if baseline is not None else 1
     t0 = time.time()
     try:
-        payload = run_bench(quick=args.quick, out=out, crossover=args.crossover)
+        payload = run_bench(
+            quick=args.quick, out=out, crossover=args.crossover,
+            repeats=repeats,
+        )
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -441,14 +567,46 @@ def _run_bench(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if baseline is not None:
-        findings = compare_to_baseline(payload, baseline)
+        findings = compare_to_baseline(payload, baseline, tolerance=tolerance)
         if findings:
             print("bench baseline regressions:", file=sys.stderr)
             for finding in findings:
                 print(f"  {finding}", file=sys.stderr)
             return EXIT_EXECUTION
-        print("bench baseline check: within tolerance", file=sys.stderr)
+        print(
+            f"bench baseline check: within tolerance ({tolerance:.0%}, "
+            f"median of {repeats})",
+            file=sys.stderr,
+        )
     return EXIT_OK
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The 'serve' experiment: block in the asyncio planning service."""
+    from .service import ServiceConfig, serve
+
+    if args.service_workers < 1:
+        print("error: --service-workers must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
+    if args.default_deadline <= 0:
+        print("error: --default-deadline must be positive", file=sys.stderr)
+        return EXIT_ERROR
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.default_deadline,
+        task_timeout=args.task_timeout,
+        service_dir=args.service_dir,
+        max_studies=args.max_studies,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        return serve(config)
+    except OSError as exc:  # bind failure: port taken, bad host
+        print(f"error: cannot start service: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 def _run_validate(args: argparse.Namespace) -> int:
@@ -595,6 +753,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume and --no-resume are mutually exclusive")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
     if args.engine is not None:
         set_default_engine(args.engine)
     if args.stress and args.experiment != "validate":
@@ -607,6 +767,13 @@ def main(argv: list[str] | None = None) -> int:
         previous_cache = set_active_cache(None)
     else:
         previous_cache = set_active_cache(OptimizationCache(args.cache_dir))
+    if args.experiment == "serve":
+        # The service shares the CLI's cache installation (hits show up
+        # in /health) and owns its own signal handling for drain.
+        try:
+            return _run_serve(args)
+        finally:
+            set_active_cache(previous_cache)
     names = list(EXPERIMENTS.keys()) if args.experiment == "all" else [args.experiment]
     fig4_cache: dict = {}
     results = []

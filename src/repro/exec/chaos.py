@@ -20,6 +20,21 @@ described by two environment variables (inherited by worker processes):
     * ``latency-ms:MS`` — every chunk sleeps ``MS`` milliseconds first;
       widens the window for kill-the-driver tests.
 
+    Service-side directives (consumed by :mod:`repro.service`):
+
+    * ``slow-handler:MS`` — every HTTP handler stalls ``MS`` milliseconds
+      before doing any work; proves request deadlines fire (a client must
+      see ``504``, never a hung socket).
+    * ``drop-connection:K`` / ``drop-connection:KxR`` — the server slams
+      the ``K``-th accepted request's connection shut without writing a
+      response, ``R`` times total; clients must surface a connection
+      error promptly and the server must keep serving.
+    * ``crash-plan:K`` / ``crash-plan:KxR`` — the service worker process
+      computing plan request ``K`` calls ``os._exit`` mid-optimization,
+      ``R`` times total; exercises the supervisor's pool rebuild and the
+      circuit breaker (never fires in the driver process, so the serial
+      fallback survives the same directive).
+
 ``REPRO_CHAOS_DIR``
     A directory for cross-process once-only bookkeeping (marker files
     claimed with ``O_CREAT | O_EXCL``), so a fault fires its budgeted
@@ -45,9 +60,12 @@ __all__ = [
     "ENV_CHAOS",
     "ENV_CHAOS_DIR",
     "chaos_config",
+    "claim_drop_connection",
     "corrupt_file",
+    "on_plan_task",
     "on_task",
     "on_worker_start",
+    "service_slow_seconds",
     "truncate_file",
 ]
 
@@ -70,11 +88,20 @@ class ChaosConfig:
     kill_task: dict[int, int] = field(default_factory=dict)
     raise_task: dict[int, int] = field(default_factory=dict)
     latency: float = 0.0
+    slow_handler: float = 0.0
+    drop_connection: dict[int, int] = field(default_factory=dict)
+    crash_plan: dict[int, int] = field(default_factory=dict)
     dir: Path | None = None
 
     @property
     def needs_dir(self) -> bool:
-        return bool(self.kill_worker or self.kill_task or self.raise_task)
+        return bool(
+            self.kill_worker
+            or self.kill_task
+            or self.raise_task
+            or self.drop_connection
+            or self.crash_plan
+        )
 
 
 def _parse_times(arg: str) -> tuple[int, int]:
@@ -87,7 +114,10 @@ def _parse(spec: str, dir_value: str | None) -> ChaosConfig:
     kill_worker: set[int] = set()
     kill_task: dict[int, int] = {}
     raise_task: dict[int, int] = {}
+    drop_connection: dict[int, int] = {}
+    crash_plan: dict[int, int] = {}
     latency = 0.0
+    slow_handler = 0.0
     for raw in spec.split(","):
         raw = raw.strip()
         if not raw:
@@ -106,10 +136,19 @@ def _parse(spec: str, dir_value: str | None) -> ChaosConfig:
                 raise_task[index] = times
             elif name == "latency-ms":
                 latency = float(arg) / 1000.0
+            elif name == "slow-handler":
+                slow_handler = float(arg) / 1000.0
+            elif name == "drop-connection":
+                index, times = _parse_times(arg)
+                drop_connection[index] = times
+            elif name == "crash-plan":
+                index, times = _parse_times(arg)
+                crash_plan[index] = times
             else:
                 raise ValueError(
                     f"unknown chaos directive {name!r}; known: kill-worker, "
-                    "kill-task, raise-task, latency-ms"
+                    "kill-task, raise-task, latency-ms, slow-handler, "
+                    "drop-connection, crash-plan"
                 )
         except ValueError as err:
             if "chaos directive" in str(err):
@@ -120,6 +159,9 @@ def _parse(spec: str, dir_value: str | None) -> ChaosConfig:
         kill_task=kill_task,
         raise_task=raise_task,
         latency=latency,
+        slow_handler=slow_handler,
+        drop_connection=drop_connection,
+        crash_plan=crash_plan,
         dir=Path(dir_value) if dir_value else None,
     )
     if config.needs_dir and config.dir is None:
@@ -218,6 +260,53 @@ def on_task(index: int, in_worker: bool) -> None:
     budget = config.raise_task.get(index)
     if budget and _claim(config, f"raise-task-{index}", budget):
         raise ChaosError(f"chaos: injected failure in chunk {index}")
+
+
+# ----------------------------------------------------------------------
+# Service-side hooks (consumed by repro.service)
+
+
+def service_slow_seconds() -> float:
+    """Seconds every service handler must stall (``slow-handler`` directive).
+
+    Unbudgeted by design: a slow dependency stays slow until the operator
+    fixes it, so every request pays — the deadline machinery, not luck,
+    must keep clients unblocked.
+    """
+    config = chaos_config()
+    return config.slow_handler if config is not None else 0.0
+
+
+def claim_drop_connection(index: int) -> bool:
+    """Whether the server should slam request ``index``'s connection shut."""
+    config = chaos_config()
+    if config is None:
+        return False
+    budget = config.drop_connection.get(index)
+    return bool(budget and _claim(config, f"drop-connection-{index}", budget))
+
+
+def on_plan_task(index: int) -> None:
+    """Hook inside the service's plan computation for request ``index``.
+
+    ``crash-plan`` kills the hosting process — but only when it *is* a
+    pool worker (``multiprocessing.parent_process()`` is set).  In the
+    supervisor's serial-fallback mode the same computation runs in the
+    driver, where the directive must not fire: the fallback exists to
+    survive exactly these crashes.
+    """
+    config = chaos_config()
+    if config is None:
+        return
+    budget = config.crash_plan.get(index)
+    if not budget:
+        return
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        return
+    if _claim(config, f"crash-plan-{index}", budget):
+        os._exit(KILL_EXIT_CODE)
 
 
 # ----------------------------------------------------------------------

@@ -10,15 +10,25 @@ own stopwatch code.
 Counters are process-global and monotonically increasing; callers take a
 :func:`stage_snapshot` before a block of work and diff with
 :func:`stage_delta` after, exactly like the cache's stats.
+
+The module also provides the event-tier primitives the planning service's
+telemetry builds on: :func:`percentile` (nearest-rank, the convention
+latency SLOs use) and :class:`LatencyWindow`, a bounded sliding window of
+per-event durations that summarizes to p50/p95/p99 without unbounded
+memory — the "event-based -> aggregated" half of the three-tier metric
+shape (SNIPPETS.md section 3).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 __all__ = [
+    "LatencyWindow",
     "format_stage_report",
     "merge_stages",
+    "percentile",
     "record_stage",
     "stage_delta",
     "stage_snapshot",
@@ -65,6 +75,66 @@ def merge_stages(delta: dict[str, tuple[float, int]]) -> None:
             entry = _STAGES.setdefault(name, [0.0, 0])
             entry[0] += total
             entry[1] += count
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    ``values`` must be sorted ascending and non-empty.  Nearest-rank
+    (ceil(q/100 * n), 1-based) is the conservative SLO convention: the
+    reported p99 is an actually-observed latency, never an interpolation
+    below one.
+    """
+    if not values:
+        raise ValueError("percentile of an empty list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    rank = max(1, min(len(values), -(-(q * len(values)) // 100)))
+    return values[int(rank) - 1]
+
+
+class LatencyWindow:
+    """Bounded sliding window of event durations with percentile summary.
+
+    The event tier of the three-tier metric shape: every completed event
+    appends one duration (seconds); the window keeps the most recent
+    ``limit`` of them plus lifetime count/total, and :meth:`summary`
+    aggregates the window to p50/p95/p99/mean/max in milliseconds.
+    Thread-safe — the service records from handler tasks while ``/health``
+    summarizes concurrently.
+    """
+
+    def __init__(self, limit: int = 2048):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=limit)
+        self.count = 0
+        self.total_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(seconds)
+            self.count += 1
+            self.total_seconds += seconds
+
+    def summary(self) -> dict:
+        """Aggregated view of the current window (empty -> zero counts)."""
+        with self._lock:
+            window = sorted(self._window)
+            count = self.count
+        if not window:
+            return {"count": 0, "window": 0}
+        to_ms = 1000.0
+        return {
+            "count": count,
+            "window": len(window),
+            "p50_ms": percentile(window, 50) * to_ms,
+            "p95_ms": percentile(window, 95) * to_ms,
+            "p99_ms": percentile(window, 99) * to_ms,
+            "mean_ms": (sum(window) / len(window)) * to_ms,
+            "max_ms": window[-1] * to_ms,
+        }
 
 
 def format_stage_report(delta: dict[str, tuple[float, int]]) -> str:

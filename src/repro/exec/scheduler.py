@@ -40,6 +40,17 @@ Failures are answered per the :class:`~repro.exec.resilience.RetryPolicy`:
    finishes the remaining tasks **serially in-process** (loud stderr
    note; recorded in ``events`` and thence the run manifest).
 
+A *hung* worker is a failure too: with ``task_timeout`` set, any task
+still running past its per-task deadline is cancelled into the same
+ladder — its pool is torn down (worker processes terminated, so a wedged
+C loop cannot stall the study), the timeout costs the task one retry
+attempt, and a fresh pool resumes the remainder.  Timeout rebuilds do
+**not** count toward ``max_pool_rebuilds`` (a slow task is not a broken
+pool); exhausted attempts raise the usual structured error.  On the
+serial path the task runs under a daemon-thread watchdog: past the
+deadline the thread is abandoned (it cannot be killed) and the attempt
+accounting proceeds identically.
+
 Exhausted retries raise a structured
 :class:`~repro.exec.resilience.StudyExecutionError` carrying the partial
 result list instead of a bare traceback.  Completed results are reported
@@ -51,6 +62,7 @@ exists, not when the whole study finishes.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -222,7 +234,36 @@ class _TaskState:
         time.sleep(self.policy.delay(self.attempts[index], key=label))
 
 
-def _run_serial(state: _TaskState) -> None:
+def _call_with_watchdog(task: ScenarioTask, timeout: float):
+    """Run ``task`` in a daemon thread, abandoning it past ``timeout``.
+
+    The serial path's best-available cancellation: a Python thread cannot
+    be killed, so a wedged task is left behind (daemon — it dies with the
+    process) and a :class:`TimeoutError` feeds the retry ladder instead of
+    the whole study stalling.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = task.fn(*task.args, **task.kwargs)
+        except BaseException as err:  # delivered to the caller below
+            box["error"] = err
+
+    thread = threading.Thread(target=target, daemon=True, name="task-watchdog")
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TimeoutError(
+            f"task still running after {timeout:.1f}s watchdog timeout "
+            "(abandoned in a daemon thread)"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def _run_serial(state: _TaskState, task_timeout: float | None = None) -> None:
     """Execute every unfinished task inline, honoring the retry policy."""
     for i in state.remaining():
         while not state.done[i]:
@@ -230,11 +271,37 @@ def _run_serial(state: _TaskState) -> None:
             try:
                 if not _IN_SCENARIO_WORKER:
                     chaos.on_task(i, in_worker=False)
-                result = task.fn(*task.args, **task.kwargs)
+                if task_timeout is None:
+                    result = task.fn(*task.args, **task.kwargs)
+                else:
+                    result = _call_with_watchdog(task, task_timeout)
             except Exception as err:
                 state.fail(i, err)  # raises StudyExecutionError when exhausted
             else:
                 state.complete(i, result)
+
+
+class _TasksHung(Exception):
+    """Internal: pooled tasks exceeded ``task_timeout`` (indices attached)."""
+
+    def __init__(self, indices: list[int]):
+        super().__init__(f"{len(indices)} task(s) hung")
+        self.indices = indices
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, killing its workers.
+
+    ``shutdown(wait=False)`` alone would leave a wedged worker process
+    running (and holding its CPU) forever; hung-task handling must
+    terminate the processes themselves.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _drain_finished(state: _TaskState, fmap: dict, active) -> None:
@@ -257,6 +324,7 @@ def run_scenarios(
     retry: RetryPolicy | None = None,
     on_result: Callable[[int, Any], None] | None = None,
     events: list | None = None,
+    task_timeout: float | None = None,
 ) -> list[Any]:
     """Run ``tasks`` and return their results in task order.
 
@@ -271,10 +339,17 @@ def run_scenarios(
     degrading to serial.  ``on_result(index, result)`` fires the moment a
     task completes (completion order — the journaling hook), and retry/
     rebuild/degradation events are appended to ``events`` when given.
+
+    ``task_timeout`` arms the per-task watchdog (seconds): a task still
+    running past the deadline costs one retry attempt and its pool is
+    torn down and rebuilt (module docstring, "hung worker").  ``None``
+    (the default) preserves the historical wait-forever behavior.
     """
     tasks = list(tasks)
     if not tasks:
         return []
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be positive, got {task_timeout}")
     state = _TaskState(
         tasks,
         retry if retry is not None else RetryPolicy(),
@@ -282,7 +357,7 @@ def run_scenarios(
         on_result,
     )
     if workers <= 1 or len(tasks) < 2 or _IN_SCENARIO_WORKER:
-        _run_serial(state)
+        _run_serial(state, task_timeout)
         return state.results
 
     from ..simulator import run as simulator_run
@@ -304,28 +379,82 @@ def run_scenarios(
                 initializer=_worker_init,
                 initargs=initargs,
             )
-            fmap = {
-                pool.submit(_run_remote, tasks[i], i): i for i in state.remaining()
-            }
+            fmap: dict = {}
+            deadlines: dict = {}
+
+            def submit(index: int) -> None:
+                fut = pool.submit(_run_remote, tasks[index], index)
+                fmap[fut] = index
+                if task_timeout is not None:
+                    deadlines[fut] = time.monotonic() + task_timeout
+
+            for i in state.remaining():
+                submit(i)
             try:
                 while fmap:
-                    finished, _ = wait(list(fmap), return_when=FIRST_COMPLETED)
+                    wait_timeout = None
+                    if task_timeout is not None:
+                        wait_timeout = max(
+                            0.0, min(deadlines[f] for f in fmap) - time.monotonic()
+                        )
+                    finished, _ = wait(
+                        list(fmap), timeout=wait_timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
                     for fut in finished:
                         index = fmap.pop(fut)
+                        deadlines.pop(fut, None)
                         try:
                             result, stage_d, cache_d = fut.result()
                         except BrokenProcessPool:
                             raise
                         except Exception as err:
                             state.fail(index, err)  # raises when exhausted
-                            fmap[pool.submit(_run_remote, tasks[index], index)] = index
+                            submit(index)
                         else:
                             metrics.merge_stages(stage_d)
                             if active is not None:
                                 active.stats.merge(cache_d)
                             state.complete(index, result)
+                    if task_timeout is not None:
+                        now = time.monotonic()
+                        hung = sorted(
+                            fmap[f] for f in fmap
+                            if not f.done() and now >= deadlines[f]
+                        )
+                        if hung:
+                            raise _TasksHung(hung)
                 pool.shutdown()
                 pool = None
+            except _TasksHung as err:
+                _drain_finished(state, fmap, active)
+                _terminate_pool(pool)
+                pool = None
+                state.events.append(
+                    {
+                        "event": "task_timeout",
+                        "tasks": [
+                            state.tasks[i].label or f"task {i}"
+                            for i in err.indices
+                        ],
+                        "timeout": task_timeout,
+                    }
+                )
+                print(
+                    f"warning: {len(err.indices)} scenario(s) exceeded the "
+                    f"{task_timeout:.1f}s task watchdog; terminating the "
+                    "pool and retrying them in a fresh one",
+                    file=sys.stderr,
+                )
+                for index in err.indices:
+                    # Counts one retry attempt; raises when exhausted.
+                    state.fail(
+                        index,
+                        TimeoutError(
+                            f"still running after {task_timeout:.1f}s "
+                            "task watchdog timeout"
+                        ),
+                    )
             except BrokenProcessPool as err:
                 _drain_finished(state, fmap, active)
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -347,7 +476,7 @@ def run_scenarios(
                         "in-process",
                         file=sys.stderr,
                     )
-                    _run_serial(state)
+                    _run_serial(state, task_timeout)
                     break
                 state.events.append(
                     {

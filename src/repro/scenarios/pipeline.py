@@ -378,6 +378,7 @@ def execute_study(
     journal: str | Path | RunJournal | None = None,
     resume: bool | str = "auto",
     retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
 ) -> StudyRun:
     """Execute every scenario of ``study`` through the shared scheduler.
 
@@ -403,6 +404,13 @@ def execute_study(
       their outcomes are reconstructed from the journal bitwise.
     * ``retry`` — the scheduler's :class:`~repro.exec.RetryPolicy`
       (retries, pool rebuilds, serial degradation).
+    * ``task_timeout`` — per-scenario watchdog deadline in seconds: a
+      hung scenario (wedged worker, stuck I/O) is cancelled into the
+      retry ladder instead of stalling the whole study (see
+      :func:`repro.exec.run_scenarios`).  Setting it also disables the
+      packed fast path — one fused ``simulate_packed`` call cannot be
+      cancelled per scenario, so each scenario runs as its own
+      watchdogged task.
 
     Returns outcomes **in scenario order** regardless of worker count,
     plus a :class:`StudyRunRecord` of the derived seeds, trial counts,
@@ -501,6 +509,7 @@ def execute_study(
             workers > 1
             or sim_w > 1
             or len(pending) < 2
+            or task_timeout is not None
             or chaos_config() is not None
             or get_default_engine() == "scalar"
         ):
@@ -535,6 +544,7 @@ def execute_study(
                 retry=retry,
                 on_result=on_result,
                 events=events,
+                task_timeout=task_timeout,
             )
         except StudyExecutionError as err:
             err.record = finish_record(interrupted=True)

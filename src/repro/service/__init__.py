@@ -1,0 +1,44 @@
+"""Planning-as-a-service: the asyncio HTTP layer over the repro stack.
+
+``repro serve`` starts :class:`PlanningService` — ``POST /plan`` answers
+optimal checkpoint plans from a supervised worker pool, ``POST /study``
+runs journaled studies in the background, and ``GET /health`` exposes
+queue depth, circuit-breaker state and three-tier latency metrics.
+Stdlib only; robustness (deadlines, backpressure, graceful drain) is the
+design center — see DESIGN.md §12.
+"""
+
+from .app import (
+    EXIT_DRAIN_ABANDONED,
+    PlanningService,
+    ServiceConfig,
+    serve,
+)
+from .http import HttpError, Request, Response
+from .studies import StudyJob, StudyManager
+from .supervisor import (
+    BreakerOpen,
+    CircuitBreaker,
+    PlanSupervisor,
+    PlanTimeout,
+    WorkerCrashed,
+)
+from .telemetry import ServiceTelemetry
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "EXIT_DRAIN_ABANDONED",
+    "HttpError",
+    "PlanSupervisor",
+    "PlanTimeout",
+    "PlanningService",
+    "Request",
+    "Response",
+    "ServiceConfig",
+    "ServiceTelemetry",
+    "StudyJob",
+    "StudyManager",
+    "WorkerCrashed",
+    "serve",
+]

@@ -1,0 +1,552 @@
+"""The planning service: routes, admission, deadlines, drain.
+
+``repro serve`` binds this asyncio server.  Its contract is small and
+its failure behavior is the point:
+
+* ``POST /plan`` — a :class:`~repro.systems.SystemSpec` (catalog name or
+  inline JSON) plus a technique; answers with the optimal plan and its
+  :class:`~repro.core.interfaces.OptimizationResult` certificate.
+  Computation happens on the supervised worker pool
+  (:mod:`repro.service.supervisor`); results land in the active
+  optimization cache, and identical concurrent requests are coalesced
+  onto one in-flight computation (single-flight, keyed by the cache's
+  content hash).
+* ``POST /study`` — a :class:`~repro.scenarios.StudySpec`; journaled
+  background run, ``202`` with a ``study_hash`` to poll.
+* ``GET /study/{hash}`` — progress / result of a submitted study.
+* ``GET /health`` — queue depth, breaker state, cache hit ratio and the
+  three-tier metrics block (:mod:`repro.service.telemetry`).
+
+Robustness rules, enforced here:
+
+* **deadlines** — every request gets one (``X-Deadline-Ms`` header or
+  ``deadline_ms`` query parameter, else the configured default).  The
+  whole handler runs under ``asyncio.wait_for``; expiry cancels the
+  handler cooperatively and answers ``504``.  No client ever hangs on a
+  wedged handler — including chaos-injected stalls.
+* **backpressure** — admission is a bounded queue in front of a slot
+  semaphore.  When the queue is full the request is shed immediately
+  with ``429`` and ``Retry-After``; overload never manifests as a
+  stalled socket.
+* **drain** — SIGTERM/SIGINT stop the listener, let in-flight handlers
+  finish, and give running studies a drain budget; studies that outlive
+  it are abandoned *journaled* (resume by re-POSTing) and the process
+  exits :data:`EXIT_DRAIN_ABANDONED` instead of 0 so operators can tell
+  the difference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+
+from ..core.interfaces import OptimizationResult
+from ..exec import chaos
+from ..exec.cache import cache_key, get_active_cache
+from ..models import TECHNIQUES
+from ..systems import get_system
+from ..systems.spec import SystemSpec
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    read_request,
+    render_response,
+)
+from .studies import StudyManager
+from .supervisor import (
+    BreakerOpen,
+    CircuitBreaker,
+    PlanSupervisor,
+    PlanTimeout,
+    WorkerCrashed,
+)
+from .telemetry import ServiceTelemetry
+
+__all__ = [
+    "EXIT_DRAIN_ABANDONED",
+    "PlanningService",
+    "ServiceConfig",
+    "serve",
+]
+
+#: Exit code when drain timed out with journaled work abandoned
+#: (EX_TEMPFAIL: safe to retry — re-POST the study to resume).
+EXIT_DRAIN_ABANDONED = 75
+
+
+class _UpstreamFailed(Exception):
+    """The coalesced-onto computation failed; followers should retry."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` lets the operator tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is announced on stdout
+    workers: int = 1  # plan-computation worker processes
+    queue_limit: int = 8  # admission queue depth before shedding 429s
+    default_deadline: float = 30.0  # seconds; per-request override allowed
+    max_deadline: float = 300.0
+    task_timeout: float | None = None  # per-scenario watchdog for studies
+    service_dir: str = ".repro-service"  # study journals live here
+    max_studies: int = 1  # concurrent background study runs
+    drain_timeout: float = 10.0  # SIGTERM grace for handlers + studies
+    breaker_threshold: int = 3
+    breaker_backoff: float = 1.0
+    sample_interval: float = 1.0
+
+
+def _compute_plan(index, system_data, technique, model_options, sweep_options):
+    """Worker-side plan computation (module-level: must pickle).
+
+    Runs in a pool worker initialized like scheduler workers, so the
+    shared disk cache and chaos directives apply; returns a plain dict
+    because :class:`OptimizationResult` round-trips losslessly and a
+    dict survives any pickling regime.
+    """
+    from ..experiments.runner import optimize_technique
+
+    chaos.on_plan_task(index)
+    system = SystemSpec.from_dict(system_data)
+    result = optimize_technique(
+        system, technique,
+        model_options=model_options, sweep_options=sweep_options,
+    )
+    return result.to_dict()
+
+
+def _parse_plan_request(data) -> tuple[SystemSpec, str, dict, dict]:
+    """Validate a ``POST /plan`` body; :class:`HttpError` 422 on nonsense."""
+    if not isinstance(data, dict):
+        raise HttpError(422, "plan request must be a JSON object")
+    system_field = data.get("system")
+    if isinstance(system_field, str):
+        try:
+            system = get_system(system_field)
+        except (KeyError, ValueError) as err:
+            raise HttpError(422, f"unknown system {system_field!r}") from err
+    elif isinstance(system_field, dict):
+        try:
+            system = SystemSpec.from_dict(system_field)
+        except (ValueError, TypeError, KeyError) as err:
+            raise HttpError(422, f"invalid system spec: {err}") from err
+    else:
+        raise HttpError(
+            422, "plan request needs 'system': a catalog name or a spec object"
+        )
+    technique = data.get("technique")
+    if not isinstance(technique, str) or technique.lower() not in TECHNIQUES:
+        raise HttpError(
+            422,
+            f"'technique' must be one of {sorted(TECHNIQUES)}, "
+            f"got {technique!r}",
+        )
+    model_options = data.get("model_options") or {}
+    sweep_options = data.get("sweep_options") or {}
+    if not isinstance(model_options, dict) or not isinstance(sweep_options, dict):
+        raise HttpError(422, "model_options/sweep_options must be objects")
+    return system, technique.lower(), model_options, sweep_options
+
+
+class PlanningService:
+    """One server process: listener, admission queue, supervised workers."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        if cfg.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {cfg.queue_limit}")
+        self.telemetry = ServiceTelemetry(sample_interval=cfg.sample_interval)
+        self.breaker = CircuitBreaker(
+            failure_threshold=cfg.breaker_threshold,
+            base_backoff=cfg.breaker_backoff,
+        )
+        self.supervisor = PlanSupervisor(workers=cfg.workers)
+        self.studies = StudyManager(
+            cfg.service_dir,
+            max_concurrent=cfg.max_studies,
+            task_timeout=cfg.task_timeout,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._sampler: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+        self._slots = asyncio.Semaphore(max(1, cfg.workers))
+        self._waiting = 0  # admission queue depth
+        self._active = 0  # handlers currently inside a slot
+        self._open_requests = 0  # handlers at any stage (for drain)
+        self._inflight: dict[str, asyncio.Future] = {}  # single-flight
+        self._request_ids = itertools.count()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._sampler = asyncio.create_task(self._sample_loop())
+        url = f"http://{self.config.host}:{self.port}"
+        # Machine-readable announcement first (tests and scripts parse
+        # it to discover an ephemeral port), human line on stderr.
+        print(f"SERVE {url}", flush=True)
+        print(f"service: listening on {url}", file=sys.stderr)
+
+    async def _sample_loop(self) -> None:
+        while True:
+            self.telemetry.sample(self._waiting, self._active)
+            await asyncio.sleep(self.config.sample_interval)
+
+    def request_shutdown(self, sig: int = signal.SIGTERM) -> None:
+        if not self._shutdown.is_set():
+            print(
+                f"service: received {signal.Signals(sig).name}; draining "
+                "(listener closed, in-flight work finishing)",
+                file=sys.stderr,
+            )
+            self._shutdown.set()
+
+    async def run_until_shutdown(self) -> int:
+        """Serve until :meth:`request_shutdown`; returns the exit code."""
+        await self._shutdown.wait()
+        return await self._drain()
+
+    async def _drain(self) -> int:
+        cfg = self.config
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + cfg.drain_timeout
+        while self._open_requests and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        study_budget = max(0.1, deadline - time.monotonic())
+        studies_done = await asyncio.to_thread(self.studies.drain, study_budget)
+        if self._sampler is not None:
+            self._sampler.cancel()
+        self.supervisor.shutdown()
+        if self._open_requests or not studies_done:
+            print(
+                "service: drain incomplete "
+                f"({self._open_requests} request(s) abandoned, journaled "
+                "studies resumable); exiting "
+                f"{EXIT_DRAIN_ABANDONED}",
+                file=sys.stderr,
+            )
+            return EXIT_DRAIN_ABANDONED
+        print("service: drained clean; bye", file=sys.stderr)
+        return 0
+
+    # -- connection handling -------------------------------------------
+    def _deadline_for(self, request: Request) -> float:
+        raw = request.headers.get(
+            "x-deadline-ms", request.query.get("deadline_ms", "")
+        )
+        if raw:
+            try:
+                deadline = float(raw) / 1000.0
+            except ValueError as err:
+                raise HttpError(
+                    400, f"bad deadline {raw!r} (milliseconds expected)"
+                ) from err
+            if deadline <= 0:
+                raise HttpError(400, "deadline must be positive")
+            return min(deadline, self.config.max_deadline)
+        return self.config.default_deadline
+
+    @staticmethod
+    def _path_class(path: str) -> str:
+        if path.startswith("/study/"):
+            return "/study/*"
+        return path
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._open_requests += 1
+        try:
+            await self._serve_one(reader, writer)
+        finally:
+            self._open_requests -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_one(self, reader, writer) -> None:
+        started = time.perf_counter()
+        request: Request | None = None
+        try:
+            request = await asyncio.wait_for(read_request(reader), timeout=10.0)
+        except asyncio.TimeoutError:
+            writer.write(render_response(error_response(
+                HttpError(408, "timed out reading the request")
+            )))
+            return
+        except HttpError as err:
+            writer.write(render_response(error_response(err)))
+            return
+        if request is None:
+            return
+
+        index = next(self._request_ids)
+        if chaos.claim_drop_connection(index):
+            # Chaos: slam the connection shut mid-request; the client
+            # must see a clean connection error, never a hang.
+            writer.transport.abort()
+            return
+
+        try:
+            deadline = self._deadline_for(request)
+            response = await asyncio.wait_for(
+                self._dispatch(request, index, started, deadline), deadline
+            )
+        except asyncio.TimeoutError:
+            self.telemetry.record_deadline()
+            response = error_response(HttpError(
+                504,
+                f"request exceeded its {deadline * 1000:.0f}ms deadline",
+            ))
+        except HttpError as err:
+            response = error_response(err)
+        except BreakerOpen as err:
+            response = error_response(HttpError(
+                503, str(err),
+                headers={"retry-after": f"{max(1, round(err.retry_after))}"},
+            ))
+        except asyncio.CancelledError:
+            raise
+        except Exception as err:  # noqa: BLE001 — the server must not die
+            print(
+                f"service: handler error on {request.method} "
+                f"{request.path}: {type(err).__name__}: {err}",
+                file=sys.stderr,
+            )
+            response = error_response(HttpError(
+                500, f"{type(err).__name__}: {err}"
+            ))
+        try:
+            writer.write(render_response(response))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self.telemetry.record_request(
+            self._path_class(request.path),
+            response.status,
+            time.perf_counter() - started,
+        )
+
+    # -- routing -------------------------------------------------------
+    async def _dispatch(
+        self, request: Request, index: int, started: float, deadline: float
+    ) -> Response:
+        slow = chaos.service_slow_seconds()
+        if slow > 0:
+            await asyncio.sleep(slow)
+        method, path = request.method, request.path
+        if path == "/health":
+            if method != "GET":
+                raise HttpError(405, "health is GET-only")
+            return Response(200, self._health_body())
+        if path == "/plan":
+            if method != "POST":
+                raise HttpError(405, "plan is POST-only")
+            async with self._admitted():
+                return await self._plan(request, index, started, deadline)
+        if path == "/study":
+            if method != "POST":
+                raise HttpError(405, "study submission is POST-only")
+            async with self._admitted():
+                return self._submit_study(request)
+        if path.startswith("/study/"):
+            if method != "GET":
+                raise HttpError(405, "study polling is GET-only")
+            job = self.studies.get(path[len("/study/"):])
+            return Response(200, job.describe())
+        raise HttpError(404, f"no route for {method} {path}")
+
+    def _admitted(self):
+        return _Admission(self)
+
+    # -- /plan ----------------------------------------------------------
+    def _plan_body(self, system, technique, result, cache_state) -> dict:
+        return {
+            "system": system.name,
+            "technique": technique,
+            "cache": cache_state,
+            "plan": result.plan.to_dict(),
+            "predicted_time": result.predicted_time,
+            "predicted_efficiency": result.predicted_efficiency,
+            "result": result.to_dict(),
+        }
+
+    async def _plan(
+        self, request: Request, index: int, started: float, deadline: float
+    ) -> Response:
+        system, technique, model_options, sweep_options = _parse_plan_request(
+            request.json()
+        )
+        key = cache_key(system, technique, model_options, sweep_options)
+        cache = get_active_cache()
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return Response(
+                    200, self._plan_body(system, technique, cached, "hit")
+                )
+
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.telemetry.record_coalesced()
+            try:
+                result = await asyncio.shield(existing)
+            except _UpstreamFailed as err:
+                raise HttpError(
+                    503,
+                    f"the coalesced-onto computation failed ({err}); retry",
+                    headers={"retry-after": "1"},
+                ) from err
+            return Response(
+                200, self._plan_body(system, technique, result, "coalesced")
+            )
+
+        self.breaker.check()
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = fut
+        try:
+            budget = max(0.1, deadline - (time.perf_counter() - started))
+            if self.config.task_timeout is not None:
+                budget = min(budget, self.config.task_timeout)
+            raw = await self.supervisor.run(
+                _compute_plan,
+                index, system.to_dict(), technique,
+                model_options, sweep_options,
+                timeout=budget,
+            )
+            result = OptimizationResult.from_dict(raw)
+        except PlanTimeout as err:
+            self.breaker.record_failure()
+            self.telemetry.record_deadline()
+            self._fail_inflight(key, fut, err)
+            raise HttpError(504, str(err)) from err
+        except WorkerCrashed as err:
+            self.breaker.record_failure()
+            self._fail_inflight(key, fut, err)
+            raise HttpError(
+                500, f"plan computation crashed its workers: {err}"
+            ) from err
+        except BaseException as err:
+            # Model's own exception (bad options), cancellation, etc. —
+            # not evidence the pool is broken; the breaker stays put.
+            self._fail_inflight(key, fut, err)
+            raise
+        self.breaker.record_success()
+        if cache is not None:
+            cache.put(key, result)
+        self._inflight.pop(key, None)
+        fut.set_result(result)
+        return Response(200, self._plan_body(system, technique, result, "miss"))
+
+    def _fail_inflight(self, key: str, fut: asyncio.Future, err) -> None:
+        self._inflight.pop(key, None)
+        if not fut.done():
+            fut.set_exception(_UpstreamFailed(f"{type(err).__name__}: {err}"))
+            fut.exception()  # mark retrieved: no-waiter case must not warn
+
+    # -- /study ---------------------------------------------------------
+    def _submit_study(self, request: Request) -> Response:
+        data = request.json()
+        if not isinstance(data, dict):
+            raise HttpError(422, "study request must be a StudySpec object")
+        job, created = self.studies.submit(data)
+        if not created:
+            self.telemetry.record_coalesced()
+        status = 202 if job.status == "running" else 200
+        return Response(status, job.describe(include_outcomes=True))
+
+    # -- /health --------------------------------------------------------
+    def _health_body(self) -> dict:
+        cache = get_active_cache()
+        if cache is None:
+            cache_block: dict = {"active": False}
+        else:
+            stats = cache.stats
+            seen = stats.hits + stats.misses
+            cache_block = {
+                "active": True,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "disk_hits": stats.disk_hits,
+                "hit_ratio": (stats.hits / seen) if seen else None,
+            }
+        return {
+            "status": "draining" if self._shutdown.is_set() else "ok",
+            "queue": {
+                "depth": self._waiting,
+                "limit": self.config.queue_limit,
+                "in_flight": self._active,
+                "slots": max(1, self.config.workers),
+            },
+            "breaker": self.breaker.describe(),
+            "supervisor": self.supervisor.describe(),
+            "cache": cache_block,
+            "studies": self.studies.describe(),
+            "metrics": self.telemetry.snapshot(),
+        }
+
+
+class _Admission:
+    """Bounded admission: queue up to ``queue_limit``, then shed 429s."""
+
+    def __init__(self, service: PlanningService):
+        self.service = service
+
+    async def __aenter__(self):
+        svc = self.service
+        if svc._shutdown.is_set():
+            raise HttpError(503, "service is draining")
+        if svc._waiting >= svc.config.queue_limit:
+            svc.telemetry.record_shed()
+            raise HttpError(
+                429,
+                f"admission queue full ({svc._waiting} waiting, "
+                f"limit {svc.config.queue_limit})",
+                headers={"retry-after": "1"},
+            )
+        svc._waiting += 1
+        try:
+            # The handler's wait_for deadline covers this wait too: a
+            # request that queues past its deadline 504s, never hangs.
+            await svc._slots.acquire()
+        finally:
+            svc._waiting -= 1
+        svc._active += 1
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self.service._active -= 1
+        self.service._slots.release()
+        return False
+
+
+async def _amain(config: ServiceConfig) -> int:
+    service = PlanningService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            sig, service.request_shutdown, sig
+        )
+    return await service.run_until_shutdown()
+
+
+def serve(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+    return asyncio.run(_amain(config or ServiceConfig()))

@@ -1,0 +1,182 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the planning service.
+
+Stdlib only, by project rule — no aiohttp, no frameworks.  This module
+knows just enough HTTP for the service's contract: parse one request
+(request line, headers, ``Content-Length`` body) from an
+``asyncio.StreamReader``, render one response, close the connection
+(``Connection: close`` on every response — the service optimizes for
+robustness and testability, not keep-alive throughput; clients that care
+about connection reuse sit behind a proxy).
+
+Request bodies are capped (:data:`MAX_BODY_BYTES`) so a hostile or
+confused client cannot balloon the server's memory, and header parsing is
+budgeted the same way — overload must degrade to clean ``4xx``/``5xx``
+responses, never to an OOM kill.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "Request",
+    "Response",
+    "error_response",
+    "read_request",
+    "render_response",
+]
+
+#: Largest accepted request body; a StudySpec JSON is a few kilobytes.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Largest accepted request head (request line + headers).
+_MAX_HEAD_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str, headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON (:class:`HttpError` 400 on garbage)."""
+        if not self.body:
+            raise HttpError(400, "request body is empty (expected JSON)")
+        try:
+            return json.loads(self.body)
+        except ValueError as err:
+            raise HttpError(400, f"request body is not valid JSON: {err}") from err
+
+
+@dataclass
+class Response:
+    """One response about to be rendered; body may be any JSON-able value."""
+
+    status: int = 200
+    body: object = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` when the client closed the connection.
+
+    Malformed input raises :class:`HttpError` (the connection handler
+    renders it and closes) — a bad client costs one error response, not a
+    stack trace in the server log.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None  # clean EOF between requests
+        raise HttpError(400, "truncated request head") from err
+    except asyncio.LimitOverrunError as err:
+        raise HttpError(413, "request head too large") from err
+    if len(head) > _MAX_HEAD_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as err:
+            raise HttpError(400, "malformed Content-Length") from err
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body over {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as err:
+            raise HttpError(400, "truncated request body") from err
+
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: Response) -> bytes:
+    """Serialize ``response``; non-``bytes`` bodies are JSON-encoded."""
+    body = response.body
+    content_type = "application/octet-stream"
+    if body is None:
+        payload = b""
+    elif isinstance(body, bytes):
+        payload = body
+    elif isinstance(body, str):
+        payload = body.encode()
+        content_type = "text/plain; charset=utf-8"
+    else:
+        payload = (json.dumps(body, indent=2, sort_keys=True) + "\n").encode()
+        content_type = "application/json"
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = {
+        "content-type": content_type,
+        "content-length": str(len(payload)),
+        "connection": "close",
+        **{k.lower(): str(v) for k, v in response.headers.items()},
+    }
+    for name, value in headers.items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+
+
+def error_response(err: HttpError) -> Response:
+    """The JSON rendering of an :class:`HttpError`."""
+    return Response(
+        status=err.status,
+        body={"error": err.message, "status": err.status},
+        headers=err.headers,
+    )

@@ -1,0 +1,244 @@
+"""Journaled study execution behind the service: submit, poll, resume.
+
+``POST /study`` hands a :class:`~repro.scenarios.StudySpec` to this
+manager; the study runs through the same
+:func:`~repro.scenarios.execute_study` pipeline as the CLI, on a worker
+thread (the pipeline is synchronous and CPU-heavy — a thread keeps the
+event loop serving ``/health`` while scenarios execute), with a run
+journal at ``<service-dir>/<study_hash>.journal.jsonl``.
+
+Identity is content-addressed: a study *is* its ``study_hash``, so
+re-POSTing a spec whose run is already in flight coalesces onto that run
+(single-flight for studies), re-POSTing after completion returns the
+finished result, and re-POSTing after a crash **resumes from the
+journal** — the byte-identical-resume guarantee the chaos suite asserts
+is inherited directly from PR 4's journal machinery.
+
+Progress is observable mid-run: the journal passed to the pipeline is a
+counting subclass, so ``GET /study/{hash}`` reports completed/total
+scenarios without touching the journal file.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exec.resilience import RunJournal, StudyExecutionError
+from ..scenarios import StudySpec, execute_study
+from .http import HttpError
+
+__all__ = ["StudyJob", "StudyManager"]
+
+
+class _CountingJournal(RunJournal):
+    """A run journal that reports scenario completions to its job."""
+
+    def __init__(self, path, job: "StudyJob"):
+        self._job = job
+        super().__init__(path)
+
+    def record_scenario(self, *args, **kwargs) -> None:
+        super().record_scenario(*args, **kwargs)
+        self._job.executed += 1
+
+
+@dataclass
+class StudyJob:
+    """One submitted study and everything ``GET /study/{hash}`` reports."""
+
+    spec: StudySpec
+    study_hash: str
+    journal_path: Path
+    status: str = "running"  # running | done | failed
+    resumed: int = 0
+    executed: int = 0
+    error: str | None = None
+    outcomes: list | None = None
+    record: dict | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    thread: threading.Thread | None = None
+
+    @property
+    def completed(self) -> int:
+        return self.resumed + self.executed
+
+    @property
+    def total(self) -> int:
+        return len(self.spec.scenarios)
+
+    def describe(self, include_outcomes: bool = True) -> dict:
+        out = {
+            "study": self.spec.study_id,
+            "study_hash": self.study_hash,
+            "status": self.status,
+            "completed": self.completed,
+            "total": self.total,
+            "resumed": self.resumed,
+            "journal": str(self.journal_path),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.status == "done" and include_outcomes:
+            out["outcomes"] = self.outcomes
+            out["manifest"] = self.record
+        return out
+
+
+class StudyManager:
+    """Owns study jobs, their worker threads and their journals."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_concurrent: int = 1,
+        task_timeout: float | None = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.root = Path(root)
+        self.max_concurrent = max_concurrent
+        self.task_timeout = task_timeout
+        self.draining = False
+        self._lock = threading.Lock()
+        #: study_hash -> job (finished jobs stay around for polling)
+        self._jobs: dict[str, StudyJob] = {}
+
+    # -- submission ----------------------------------------------------
+    def running(self) -> list[StudyJob]:
+        with self._lock:
+            return [j for j in self._jobs.values() if j.status == "running"]
+
+    def submit(self, data: dict) -> tuple[StudyJob, bool]:
+        """Admit a study; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an identical spec (same
+        ``study_hash``) is already known — running, done, or failed —
+        in which case that job is returned instead of duplicating work.
+        A failed job is retried (fresh thread, resumed from its journal).
+        """
+        try:
+            spec = StudySpec.from_dict(data)
+        except (ValueError, TypeError, KeyError) as err:
+            raise HttpError(422, f"invalid StudySpec: {err}") from err
+        study_hash = spec.study_hash()
+        with self._lock:
+            existing = self._jobs.get(study_hash)
+            if existing is not None and existing.status != "failed":
+                return existing, False
+            if self.draining:
+                raise HttpError(
+                    503, "service is draining; not admitting new studies"
+                )
+            active = sum(
+                1 for j in self._jobs.values() if j.status == "running"
+            )
+            if active >= self.max_concurrent:
+                raise HttpError(
+                    429,
+                    f"{active} study run(s) already in flight "
+                    f"(limit {self.max_concurrent}); retry later",
+                    headers={"retry-after": "5"},
+                )
+            self.root.mkdir(parents=True, exist_ok=True)
+            job = StudyJob(
+                spec=spec,
+                study_hash=study_hash,
+                journal_path=self.root / f"{study_hash[:32]}.journal.jsonl",
+            )
+            self._jobs[study_hash] = job
+            job.thread = threading.Thread(
+                target=self._run, args=(job,), daemon=True,
+                name=f"study-{study_hash[:8]}",
+            )
+            job.thread.start()
+        return job, True
+
+    def get(self, study_hash: str) -> StudyJob:
+        with self._lock:
+            job = self._jobs.get(study_hash)
+        if job is None:
+            hint = ""
+            candidate = self.root / f"{study_hash[:32]}.journal.jsonl"
+            if candidate.exists():
+                hint = (
+                    "; a journal for it exists — re-POST the spec to "
+                    "/study to resume"
+                )
+            raise HttpError(404, f"unknown study {study_hash!r}{hint}")
+        return job
+
+    # -- execution (worker thread) -------------------------------------
+    def _run(self, job: StudyJob) -> None:
+        journal = _CountingJournal(job.journal_path, job)
+        try:
+            run = execute_study(
+                job.spec,
+                journal=journal,
+                resume="auto",
+                task_timeout=self.task_timeout,
+            )
+            job.resumed = int(run.record.resilience.get("resumed", 0))
+            # record_scenario already counted executions live; trust the
+            # pipeline's final tally in case of resumed entries.
+            job.executed = int(run.record.resilience.get("executed", 0))
+            job.outcomes = [outcome.to_dict() for outcome in run.outcomes]
+            job.record = run.record.to_dict()
+            job.status = "done"
+        except StudyExecutionError as err:
+            job.error = str(err)
+            job.record = (
+                err.record.to_dict() if err.record is not None else None
+            )
+            job.status = "failed"
+        except BaseException as err:  # never lose a thread silently
+            job.error = f"{type(err).__name__}: {err}"
+            job.status = "failed"
+        finally:
+            job.finished_at = time.time()
+            journal.close()
+        if job.status == "failed":
+            print(
+                f"service: study {job.spec.study_id!r} failed: {job.error} "
+                f"(journal {job.journal_path} holds "
+                f"{job.completed}/{job.total} scenarios)",
+                file=sys.stderr,
+            )
+
+    # -- drain ---------------------------------------------------------
+    def drain(self, timeout: float) -> bool:
+        """Stop admitting and wait for running studies.
+
+        Returns ``True`` when everything finished inside ``timeout``.
+        Abandoned studies are safe by construction: every completed
+        scenario is already fsynced in the journal, so a re-POST of the
+        same spec resumes with zero lost work.
+        """
+        with self._lock:
+            self.draining = True
+        deadline = time.monotonic() + timeout
+        for job in self.running():
+            if job.thread is not None:
+                job.thread.join(max(0.0, deadline - time.monotonic()))
+        leftovers = self.running()
+        for job in leftovers:
+            print(
+                f"service: drain timeout — study {job.spec.study_id!r} "
+                f"abandoned at {job.completed}/{job.total} scenarios "
+                f"(journaled at {job.journal_path}; resume by re-POSTing)",
+                file=sys.stderr,
+            )
+        return not leftovers
+
+    def describe(self) -> dict:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return {
+            "running": sum(1 for j in jobs if j.status == "running"),
+            "done": sum(1 for j in jobs if j.status == "done"),
+            "failed": sum(1 for j in jobs if j.status == "failed"),
+        }

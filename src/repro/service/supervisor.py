@@ -1,0 +1,300 @@
+"""Supervised plan-computation pool: rebuilds, serial fallback, breaker.
+
+The service must answer "what is the optimal plan for this system" from
+worker *processes* — the optimizer is CPU-bound Python, and a crash
+(injected or real) must cost a worker, never the server.  This module
+reuses the scheduler's degradation-ladder discipline
+(:mod:`repro.exec.scheduler`) in asyncio form:
+
+1. computations run on a :class:`~concurrent.futures.ProcessPoolExecutor`
+   initialized exactly like scheduler workers (shared cache dir, inline
+   simulator mode, chaos hooks);
+2. a dead worker (``BrokenProcessPool``) triggers a pool rebuild, up to
+   ``max_rebuilds`` times over the supervisor's lifetime;
+3. past that the supervisor stops trusting multiprocessing and runs
+   computations on a thread (serial fallback — slower, crash-unsafe, but
+   the event loop stays responsive and the service stays up).
+
+A hung computation (``timeout``) is answered like the scheduler's task
+watchdog: the pool is torn down (worker processes terminated) and
+rebuilt, and the caller gets :class:`PlanTimeout` — the request's 504.
+
+The :class:`CircuitBreaker` sits in front: repeated model crashes trip
+it open, callers are refused fast (503 with ``Retry-After``) instead of
+feeding more work to a crashing model, and after a backoff the breaker
+half-opens to let one probe through.  Success closes it; another crash
+re-trips with doubled backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..exec.cache import get_active_cache
+from ..exec.scheduler import _terminate_pool, _worker_init
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "PlanSupervisor",
+    "PlanTimeout",
+    "WorkerCrashed",
+]
+
+
+class PlanTimeout(Exception):
+    """The computation outlived its deadline; its worker was put down."""
+
+
+class WorkerCrashed(Exception):
+    """The computation's worker died twice for one request.
+
+    One in-place retry on a fresh pool is transparent (a worker can die
+    for reasons unrelated to the request); a second death for the same
+    request is evidence the *request* kills workers, so the failure goes
+    to the caller — and thence the circuit breaker — instead of burning
+    the whole rebuild budget on one poisoned input.
+    """
+
+
+class BreakerOpen(Exception):
+    """The circuit breaker is open; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"circuit breaker open; retry in {retry_after:.1f}s"
+        )
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Classic three-state breaker over consecutive computation failures.
+
+    ``closed`` (normal) -> ``open`` after ``failure_threshold``
+    consecutive failures -> ``half_open`` after the backoff elapses (one
+    probe allowed) -> ``closed`` on probe success, or back to ``open``
+    with doubled backoff on probe failure.  Backoff doubles per trip from
+    ``base_backoff`` up to ``max_backoff``.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        base_backoff: float = 1.0,
+        max_backoff: float = 60.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if base_backoff <= 0 or max_backoff < base_backoff:
+            raise ValueError("need 0 < base_backoff <= max_backoff")
+        self.failure_threshold = failure_threshold
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+        self._backoff = base_backoff
+
+    def _retry_at(self) -> float:
+        return self._opened_at + self._backoff
+
+    def check(self) -> None:
+        """Gate a computation: raise :class:`BreakerOpen` while open.
+
+        An open breaker whose backoff has elapsed transitions to
+        ``half_open`` and lets exactly this caller through as the probe.
+        """
+        if self.state == "closed":
+            return
+        now = time.monotonic()
+        if self.state == "open":
+            if now < self._retry_at():
+                raise BreakerOpen(max(0.0, self._retry_at() - now))
+            self.state = "half_open"
+            return
+        # half_open: one probe is already in flight; refuse the rest
+        raise BreakerOpen(max(0.0, self._retry_at() - now))
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            print("service: circuit breaker closed (probe succeeded)",
+                  file=sys.stderr)
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._backoff = self.base_backoff
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state == "half_open":
+                self._backoff = min(self._backoff * 2.0, self.max_backoff)
+            self.state = "open"
+            self.trips += 1
+            self._opened_at = time.monotonic()
+            print(
+                f"service: circuit breaker OPEN after "
+                f"{self.consecutive_failures} consecutive failure(s); "
+                f"refusing plan work for {self._backoff:.1f}s",
+                file=sys.stderr,
+            )
+
+    def describe(self) -> dict:
+        out = {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "failure_threshold": self.failure_threshold,
+        }
+        if self.state == "open":
+            out["retry_in_seconds"] = max(
+                0.0, self._retry_at() - time.monotonic()
+            )
+        return out
+
+
+class PlanSupervisor:
+    """Owns the plan-computation pool and its degradation ladder."""
+
+    def __init__(self, workers: int = 1, max_rebuilds: int = 2):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.max_rebuilds = max_rebuilds
+        self.rebuilds = 0
+        self.timeouts = 0
+        self.serial_fallback = False
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial: ThreadPoolExecutor | None = None
+
+    # -- pool lifecycle ------------------------------------------------
+    def _initargs(self) -> tuple:
+        from ..simulator import run as simulator_run
+
+        active = get_active_cache()
+        cache_dir = (
+            None if active is None or active.cache_dir is None
+            else str(active.cache_dir)
+        )
+        return (
+            cache_dir,
+            active is not None,
+            simulator_run.get_default_engine(),
+            simulator_run.get_auto_min_trials(),
+        )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=self._initargs(),
+            )
+        return self._pool
+
+    def _ensure_serial(self) -> ThreadPoolExecutor:
+        if self._serial is None:
+            self._serial = ThreadPoolExecutor(
+                max_workers=max(1, self.workers),
+                thread_name_prefix="plan-serial",
+            )
+        return self._serial
+
+    def _drop_pool(self, terminate: bool = False) -> None:
+        if self._pool is not None:
+            if terminate:
+                _terminate_pool(self._pool)
+            else:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.workers,
+            "rebuilds": self.rebuilds,
+            "timeouts": self.timeouts,
+            "serial_fallback": self.serial_fallback,
+        }
+
+    # -- execution -----------------------------------------------------
+    async def run(self, fn, *args, timeout: float | None = None):
+        """Run ``fn(*args)`` on the supervised pool.
+
+        Raises :class:`PlanTimeout` past ``timeout`` (the hung worker's
+        pool is terminated and will be rebuilt lazily), re-raises the
+        computation's own exception unchanged, retries once in place on
+        ``BrokenProcessPool`` (a fresh pool) and raises
+        :class:`WorkerCrashed` on the second death for the same request.
+        Once the lifetime rebuild budget is spent, all further work runs
+        serially on threads (crashes can no longer kill it, at the cost
+        of living with the computation in-process).
+        """
+        loop = asyncio.get_running_loop()
+        crashes = 0
+        while True:
+            if self.serial_fallback:
+                future = loop.run_in_executor(self._ensure_serial(), fn, *args)
+                # Serial threads cannot be killed; the deadline still
+                # unblocks the caller (the thread finishes in the dark).
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.timeouts += 1
+                    raise PlanTimeout(
+                        f"serial computation exceeded {timeout:.1f}s"
+                    ) from None
+            pool = self._ensure_pool()
+            cf_future = pool.submit(fn, *args)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(asyncio.wrap_future(cf_future)), timeout
+                )
+            except asyncio.TimeoutError:
+                self.timeouts += 1
+                self._drop_pool(terminate=True)
+                raise PlanTimeout(
+                    f"plan computation exceeded {timeout:.1f}s; "
+                    "its worker pool was terminated"
+                ) from None
+            except BrokenProcessPool:
+                self._drop_pool()
+                self.rebuilds += 1
+                crashes += 1
+                if self.rebuilds > self.max_rebuilds:
+                    self.serial_fallback = True
+                    print(
+                        f"service: plan pool died {self.rebuilds} time(s); "
+                        "giving up on multiprocessing — computations now "
+                        "run serially in-process",
+                        file=sys.stderr,
+                    )
+                    continue
+                if crashes >= 2:
+                    raise WorkerCrashed(
+                        f"plan worker died {crashes} times for one request "
+                        "(fresh pool each time); refusing to retry it again"
+                    ) from None
+                print(
+                    "service: a plan worker died; rebuilding the pool "
+                    f"(rebuild {self.rebuilds}/{self.max_rebuilds}) and "
+                    "retrying the request once",
+                    file=sys.stderr,
+                )
+                continue
+
+    def shutdown(self) -> None:
+        self._drop_pool()
+        if self._serial is not None:
+            self._serial.shutdown(wait=False, cancel_futures=True)
+            self._serial = None

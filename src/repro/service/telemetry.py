@@ -1,0 +1,145 @@
+"""Three-tier service telemetry: sampled, event-based, aggregated.
+
+The metric taxonomy follows the AsyncFlow FastSim shape (SNIPPETS.md
+section 3), built on the event-tier primitives of
+:mod:`repro.exec.metrics`:
+
+* **sampled** — fixed-interval snapshots of continuous state (admission
+  queue depth, in-flight handlers); the time-series view that shows
+  saturation building, not just its aftermath;
+* **event-based** — one record per completed request (path class,
+  status, latency) kept in a bounded sliding window; the distribution
+  view where a mean would hide the tail;
+* **aggregated** — computed on demand from the event window: request
+  counts by status, p50/p95/p99/mean/max latency (overall and per path
+  class), shed/coalesced counters.
+
+Everything is bounded: the sampled series and event window are deques
+with ``maxlen``, so a week of uptime costs the same memory as a minute.
+Thread-safety note: the service is single-event-loop, but study worker
+threads also record events, so counters go through a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+from ..exec.metrics import LatencyWindow, percentile
+
+__all__ = ["ServiceTelemetry"]
+
+#: How often the background sampler snapshots continuous state.
+DEFAULT_SAMPLE_INTERVAL = 1.0
+
+
+class ServiceTelemetry:
+    """Collects the three metric tiers for one service process."""
+
+    def __init__(
+        self,
+        sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+        sample_limit: int = 600,
+        event_limit: int = 2048,
+    ):
+        if sample_interval <= 0:
+            raise ValueError(f"sample_interval must be positive, got {sample_interval}")
+        self.sample_interval = sample_interval
+        self.started = time.time()
+        self._lock = threading.Lock()
+        #: sampled tier: (unix time, queue depth, in-flight handlers)
+        self._samples: deque[tuple[float, int, int]] = deque(maxlen=sample_limit)
+        #: event tier: (path class, status, seconds), most recent last
+        self._events: deque[tuple[str, int, float]] = deque(maxlen=event_limit)
+        self._latency = LatencyWindow(limit=event_limit)
+        self._by_status: Counter[int] = Counter()
+        self._by_path: Counter[str] = Counter()
+        self._shed = 0
+        self._coalesced = 0
+        self._deadline_hits = 0
+
+    # -- recording -----------------------------------------------------
+    def sample(self, queue_depth: int, in_flight: int) -> None:
+        """Sampled tier: one fixed-interval snapshot of continuous state."""
+        with self._lock:
+            self._samples.append((time.time(), queue_depth, in_flight))
+
+    def record_request(self, path: str, status: int, seconds: float) -> None:
+        """Event tier: one completed request (any status, any path)."""
+        with self._lock:
+            self._events.append((path, status, seconds))
+            self._by_status[status] += 1
+            self._by_path[path] += 1
+        self._latency.record(seconds)
+
+    def record_shed(self) -> None:
+        """A request refused with 429 by the admission queue."""
+        with self._lock:
+            self._shed += 1
+
+    def record_coalesced(self) -> None:
+        """A request served by riding an identical in-flight computation."""
+        with self._lock:
+            self._coalesced += 1
+
+    def record_deadline(self) -> None:
+        """A request cancelled at its deadline (504)."""
+        with self._lock:
+            self._deadline_hits += 1
+
+    # -- reporting -----------------------------------------------------
+    def _latency_block(self, seconds: list[float]) -> dict:
+        if not seconds:
+            return {"count": 0}
+        ordered = sorted(seconds)
+        return {
+            "count": len(ordered),
+            "p50_ms": percentile(ordered, 50) * 1000.0,
+            "p95_ms": percentile(ordered, 95) * 1000.0,
+            "p99_ms": percentile(ordered, 99) * 1000.0,
+            "mean_ms": sum(ordered) / len(ordered) * 1000.0,
+            "max_ms": ordered[-1] * 1000.0,
+        }
+
+    def snapshot(self) -> dict:
+        """The full three-tier block ``/health`` embeds."""
+        with self._lock:
+            samples = list(self._samples)
+            events = list(self._events)
+            by_status = dict(self._by_status)
+            by_path = dict(self._by_path)
+            shed, coalesced, deadlines = (
+                self._shed, self._coalesced, self._deadline_hits,
+            )
+        per_path: dict[str, dict] = {}
+        for path in sorted(by_path):
+            per_path[path] = self._latency_block(
+                [s for p, _, s in events if p == path]
+            )
+        return {
+            "sampled": {
+                "interval_seconds": self.sample_interval,
+                "series": [
+                    {"t": t, "queue_depth": depth, "in_flight": in_flight}
+                    for t, depth, in_flight in samples[-60:]
+                ],
+            },
+            "events": {
+                "window": len(events),
+                "recent": [
+                    {"path": p, "status": s, "ms": sec * 1000.0}
+                    for p, s, sec in events[-10:]
+                ],
+            },
+            "aggregated": {
+                "requests_total": sum(by_status.values()),
+                "by_status": {str(k): v for k, v in sorted(by_status.items())},
+                "shed_total": shed,
+                "coalesced_total": coalesced,
+                "deadline_total": deadlines,
+                "latency_ms": self._latency.summary(),
+                "latency_by_path": per_path,
+                "uptime_seconds": time.time() - self.started,
+            },
+        }

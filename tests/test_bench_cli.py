@@ -100,9 +100,9 @@ class TestRunBench:
         real = bench_mod._timed_many
 
         def corrupt(system, plan, trials, engine, rounds, warmup,
-                    source_factory=None):
+                    source_factory=None, repeats=1):
             rec, results = real(system, plan, trials, engine, rounds, warmup,
-                                source_factory=source_factory)
+                                source_factory=source_factory, repeats=repeats)
             if engine == "batch":
                 results[0] = dataclasses.replace(
                     results[0], total_time=results[0].total_time + 1.0
@@ -223,3 +223,81 @@ class TestCompareToBaseline:
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ValueError, match="tolerance"):
             bench_mod.compare_to_baseline(_payload(), _payload(), tolerance=0.0)
+
+
+class TestBaselineDeflake:
+    """The gate must be noise-proof: medians, tunable tolerance, loud
+    schema mismatches — a flaky bench gate is worse than none."""
+
+    def test_repeats_keep_medians(self, tiny_grid):
+        payload = run_bench(quick=True, repeats=2)
+        assert payload["repeats"] == 2
+        for case in payload["cases"]:
+            assert case["repeats"] == 2
+            assert case["seconds_best"] > 0.0
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_bench(quick=True, repeats=0)
+
+    def test_schema_mismatch_is_loud(self, tiny_grid, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema": "repro-bench-v0", "cases": []}))
+        code = main(
+            [
+                "bench", "--quick", "--bench-out", str(tmp_path / "b.json"),
+                "--check-baseline", str(stale),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "schema" in err
+        assert "re-record the baseline" in err
+
+    def test_tolerance_flag_out_of_range(self, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "--quick", "--bench-out", str(tmp_path / "b.json"),
+                "--baseline-tol", "1.5",
+            ]
+        )
+        assert code == 1
+        assert "tolerance must be in (0, 1)" in capsys.readouterr().err
+
+    def test_bad_env_tolerance_is_an_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_BENCH_TOL", "lots")
+        code = main(
+            ["bench", "--quick", "--bench-out", str(tmp_path / "b.json")]
+        )
+        assert code == 1
+        assert "REPRO_BENCH_TOL" in capsys.readouterr().err
+
+    def test_gated_run_reports_tolerance_and_repeats(
+        self, tiny_grid, tmp_path, monkeypatch, capsys
+    ):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--quick", "--bench-out", str(out)]) == 0
+        monkeypatch.setenv("REPRO_BENCH_TOL", "0.9")  # env fallback path
+        code = main(
+            [
+                "bench", "--quick", "--bench-out", str(tmp_path / "b2.json"),
+                "--check-baseline", str(out), "--baseline-repeats", "2",
+            ]
+        )
+        assert code == 0  # at 90% tolerance only a real break fails
+        err = capsys.readouterr().err
+        assert "within tolerance (90%, median of 2)" in err
+        assert json.loads((tmp_path / "b2.json").read_text())["repeats"] == 2
+
+    def test_flag_beats_env(self, tiny_grid, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "b.json"
+        assert main(["bench", "--quick", "--bench-out", str(out)]) == 0
+        monkeypatch.setenv("REPRO_BENCH_TOL", "lots")  # ignored: flag wins
+        code = main(
+            [
+                "bench", "--quick", "--bench-out", str(tmp_path / "b2.json"),
+                "--check-baseline", str(out), "--baseline-tol", "0.9",
+            ]
+        )
+        assert code == 0
+        assert "within tolerance (90%" in capsys.readouterr().err

@@ -351,3 +351,93 @@ class TestSigintGracefulAbort:
         assert _strip_timestamp((run_dir / "rep.md").read_text()) == baseline_report
         manifest = json.loads((run_dir / "rep.manifest.json").read_text())
         assert manifest["status"] == "complete"
+
+
+class TestKillDuringPackedExecution:
+    """SIGINT inside the fused ``simulate_packed`` call: the whole batch
+    must stay pending (nothing half-journaled) and resume must re-run it
+    packed, reproducing an uninterrupted report byte for byte."""
+
+    # Big enough that the single packed call dominates the run (~7s here)
+    # and a kill 1s after the journal header lands squarely inside it.
+    _SPEC = {
+        "study": "packed-kill",
+        "seed": 1,
+        "trials": 8000,
+        "systems": ["M", "B"],
+        "techniques": ["dauwe", "daly"],
+    }
+
+    def _cmd(self, directory: Path) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "custom",
+            "--study", str(directory / "study.json"),
+            "--no-cache", "--report", str(directory / "rep.md"),
+        ]
+
+    def _prepare(self, directory: Path) -> None:
+        directory.mkdir()
+        (directory / "study.json").write_text(json.dumps(self._SPEC))
+
+    def test_sigint_mid_packed_leaves_batch_pending_then_resumes(
+        self, tmp_path
+    ):
+        base_dir = tmp_path / "base"
+        self._prepare(base_dir)
+        subprocess.run(
+            self._cmd(base_dir), env=_cli_env(), check=True, capture_output=True
+        )
+        baseline = _strip_timestamp((base_dir / "rep.md").read_text())
+        base_manifest = json.loads((base_dir / "rep.manifest.json").read_text())
+        assert base_manifest["studies"][0]["resilience"]["events"] == [
+            {"type": "packed_simulate", "scenarios": 4}
+        ]
+
+        run_dir = tmp_path / "run"
+        self._prepare(run_dir)
+        journal = run_dir / "rep.journal.jsonl"
+        proc = subprocess.Popen(
+            self._cmd(run_dir),
+            env=_cli_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # Wait for the journal *header* (written before the packed call
+        # starts), then land the SIGINT inside the fused call.
+        deadline = time.monotonic() + 60.0
+        while not journal.exists():
+            if proc.poll() is not None:
+                pytest.fail(f"driver exited early with {proc.returncode}")
+            if time.monotonic() > deadline:
+                pytest.fail("journal header never appeared")
+            time.sleep(0.05)
+        time.sleep(1.0)
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 130
+        assert "interrupted" in stderr
+
+        # Atomicity: the packed batch journals only on completion, so the
+        # kill leaves zero scenario entries — all four stay pending.
+        assert _verified_scenario_lines(journal) == 0
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "aborted"
+        (record,) = manifest["studies"]
+        assert record["resilience"]["executed"] == 0
+        assert record["resilience"]["pending"] == 4
+
+        second = subprocess.run(
+            self._cmd(run_dir), env=_cli_env(), capture_output=True, text=True
+        )
+        assert second.returncode == 0
+        assert _strip_timestamp((run_dir / "rep.md").read_text()) == baseline
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        (record,) = manifest["studies"]
+        assert record["resilience"]["resumed"] == 0
+        assert record["resilience"]["executed"] == 4
+        # the resumed run took the packed fast path again
+        assert {"type": "packed_simulate", "scenarios": 4} in (
+            record["resilience"]["events"]
+        )

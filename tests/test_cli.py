@@ -263,3 +263,46 @@ class TestResumeFlagsAndExitCodes:
         bad.write_text('{"study": "x", "systems": ["M"]}')
         assert main(["custom", "--study", str(bad)]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestTaskTimeoutFlag:
+    def test_negative_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--task-timeout", "-1"])
+        assert "--task-timeout must be positive" in capsys.readouterr().err
+
+    def test_zero_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["custom", "--study", "x.json", "--task-timeout", "0"])
+        assert "--task-timeout must be positive" in capsys.readouterr().err
+
+    def test_watchdogged_run_matches_plain(self, tmp_path, capsys):
+        """--task-timeout threads through to execute_study and, when no
+        task hangs, changes nothing about the results."""
+        report_a = tmp_path / "a.md"
+        report_b = tmp_path / "b.md"
+        base = ["figure2", "--trials", "2", "--seed", "1",
+                "--techniques", "dauwe", "--no-cache"]
+        assert main(base + ["--report", str(report_a)]) == 0
+        assert main(
+            base + ["--report", str(report_b), "--task-timeout", "600"]
+        ) == 0
+        capsys.readouterr()
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("*Generated ")
+        )
+        assert strip(report_a.read_text()) == strip(report_b.read_text())
+
+
+class TestServeFlags:
+    def test_serve_flag_validation(self, capsys):
+        assert main(["serve", "--service-workers", "0"]) == 1
+        assert "--service-workers must be >= 1" in capsys.readouterr().err
+        assert main(["serve", "--default-deadline", "-5"]) == 1
+        assert "--default-deadline must be positive" in capsys.readouterr().err
+
+    def test_study_flag_still_custom_only(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--study", "x.json"])
+        assert "--study only applies" in capsys.readouterr().err

@@ -19,6 +19,7 @@ from repro.exec import (
     RunJournal,
     ScenarioTask,
     StudyExecutionError,
+    StudyInterrupted,
     atomic_write_text,
     run_scenarios,
     set_active_cache,
@@ -369,3 +370,122 @@ class TestExecuteStudyResume:
             execute_study(study, journal=jr)
             # still usable: the caller owns its lifetime
             assert set(jr.resume_state(study)) == {0, 1}
+
+
+def _hang(value):
+    import time
+
+    time.sleep(60)
+    return value
+
+
+def _hang_once(marker: str, value):
+    """Hangs on its first call only (the marker survives pool restarts)."""
+    import os
+    import time
+
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(60)
+    return value
+
+
+class TestTaskWatchdog:
+    _FAST = RetryPolicy(base_delay=0.0)
+
+    def test_invalid_timeout_rejected(self):
+        tasks = [ScenarioTask(_identity, args=(1,))]
+        with pytest.raises(ValueError, match="task_timeout must be positive"):
+            run_scenarios(tasks, task_timeout=0)
+
+    def test_serial_hung_task_exhausts_attempts(self, capsys):
+        tasks = [ScenarioTask(_hang, args=(1,), label="stuck")]
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(StudyExecutionError, match="watchdog timeout"):
+            run_scenarios(tasks, retry=policy, task_timeout=0.2)
+        capsys.readouterr()  # swallow the retry warning
+
+    def test_serial_hang_once_recovers(self, tmp_path, capsys):
+        marker = str(tmp_path / "hung")
+        tasks = [
+            ScenarioTask(_hang_once, args=(marker, 7), label="slow"),
+            ScenarioTask(_identity, args=(1,)),
+        ]
+        events: list = []
+        results = run_scenarios(
+            tasks, retry=self._FAST, events=events, task_timeout=0.3
+        )
+        assert results == [7, 1]
+        # serial watchdog feeds the ordinary retry ladder
+        assert [e["event"] for e in events] == ["task_retry"]
+        assert "watchdog" in capsys.readouterr().err
+
+    def test_pooled_hang_once_terminates_pool_and_retries(
+        self, tmp_path, capsys
+    ):
+        marker = str(tmp_path / "hung")
+        tasks = [
+            ScenarioTask(_hang_once, args=(marker, 7), label="slow"),
+            ScenarioTask(_identity, args=(1,)),
+        ]
+        events: list = []
+        results = run_scenarios(
+            tasks, workers=2, retry=self._FAST, events=events, task_timeout=2.0
+        )
+        assert results == [7, 1]
+        names = [e["event"] for e in events]
+        assert "task_timeout" in names
+        hung = next(e for e in events if e["event"] == "task_timeout")
+        assert hung["tasks"] == ["slow"]
+        assert hung["timeout"] == 2.0
+        assert "terminating the pool" in capsys.readouterr().err
+
+    def test_execute_study_threads_task_timeout(self, tmp_path, capsys):
+        # A watchdogged study takes the per-scenario path (packed is
+        # disabled) and still matches a plain run bit-for-bit.
+        study = _study(trials=2)
+        baseline = execute_study(study)
+        run = execute_study(study, task_timeout=60.0)
+        assert run.outcomes == baseline.outcomes
+        assert run.record.resilience["events"] == []
+
+
+class TestPackedInterruptResume:
+    def test_interrupt_mid_packed_leaves_all_pending(
+        self, tmp_path, monkeypatch
+    ):
+        """SIGINT inside the fused packed call journals *nothing*; resume
+        re-runs the whole batch packed and matches bit-for-bit."""
+        import repro.simulator.batch as batch
+
+        study = _study(trials=3, systems=("M", "D1"))  # 4 scenarios
+        baseline = execute_study(study)
+        assert baseline.record.resilience["events"] == [
+            {"type": "packed_simulate", "scenarios": 4}
+        ]
+
+        journal = tmp_path / "j.jsonl"
+        real = batch.simulate_packed
+
+        def _interrupted(requests):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(batch, "simulate_packed", _interrupted)
+        with pytest.raises(StudyInterrupted) as excinfo:
+            execute_study(study, journal=journal)
+        err = excinfo.value
+        assert err.completed == 0
+        assert err.record.resilience["executed"] == 0
+        assert err.record.resilience["pending"] == 4
+        # crash-consistent journal: header only, no half-journaled batch
+        assert len(journal.read_text().splitlines()) == 1
+
+        monkeypatch.setattr(batch, "simulate_packed", real)
+        resumed = execute_study(study, journal=journal)
+        assert resumed.outcomes == baseline.outcomes
+        assert resumed.record.resilience["resumed"] == 0
+        assert resumed.record.resilience["executed"] == 4
+        assert {"type": "packed_simulate", "scenarios": 4} in (
+            resumed.record.resilience["events"]
+        )

@@ -1,0 +1,608 @@
+"""Tests for the planning service (repro.service): HTTP plumbing,
+telemetry tiers, circuit breaker, supervision, admission, and full
+socket-level round-trips of /plan, /study and /health.
+
+The chaos-injection coverage (crashed workers, dropped connections,
+SIGKILL'd servers) lives in tests/test_service_chaos.py under ``-m
+chaos``; this file covers the sunny-day contracts and the pure state
+machines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exec import OptimizationCache, set_active_cache
+from repro.exec.metrics import LatencyWindow, percentile
+from repro.service import (
+    BreakerOpen,
+    CircuitBreaker,
+    HttpError,
+    PlanSupervisor,
+    PlanTimeout,
+    PlanningService,
+    ServiceConfig,
+    ServiceTelemetry,
+    WorkerCrashed,
+)
+from repro.service.app import _parse_plan_request
+from repro.service.http import Request, Response, read_request, render_response
+from repro.systems import TEST_SYSTEMS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    previous = set_active_cache(OptimizationCache())
+    yield
+    set_active_cache(previous)
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+
+
+def _parse(raw: bytes) -> Request | None:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestHttp:
+    def test_parse_request_with_body_and_query(self):
+        body = b'{"x": 1}'
+        raw = (
+            b"POST /plan?deadline_ms=250 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Deadline-Ms: 100\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        req = _parse(raw)
+        assert req.method == "POST"
+        assert req.path == "/plan"
+        assert req.query == {"deadline_ms": "250"}
+        assert req.headers["x-deadline-ms"] == "100"  # names lowercased
+        assert req.json() == {"x": 1}
+
+    def test_clean_eof_is_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as info:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError) as info:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        from repro.service.http import MAX_BODY_BYTES
+
+        raw = f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        with pytest.raises(HttpError) as info:
+            _parse(raw.encode())
+        assert info.value.status == 413
+
+    def test_bad_json_body_is_400(self):
+        req = _parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot")
+        with pytest.raises(HttpError) as info:
+            req.json()
+        assert info.value.status == 400
+
+    def test_render_response_json(self):
+        raw = render_response(Response(200, {"a": 1}))
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"content-type: application/json" in head
+        assert b"connection: close" in head
+        assert json.loads(payload) == {"a": 1}
+
+    def test_render_response_extra_headers(self):
+        raw = render_response(
+            Response(429, {"error": "x"}, headers={"Retry-After": "3"})
+        )
+        assert b"retry-after: 3" in raw.split(b"\r\n\r\n")[0]
+
+
+# ----------------------------------------------------------------------
+# Metrics primitives
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_latency_window_summary(self):
+        window = LatencyWindow(limit=100)
+        for ms in range(1, 101):
+            window.record(ms / 1000.0)
+        summary = window.summary()
+        assert summary["count"] == 100
+        assert summary["p50_ms"] == pytest.approx(50.0)
+        assert summary["p95_ms"] == pytest.approx(95.0)
+        assert summary["p99_ms"] == pytest.approx(99.0)
+        assert summary["max_ms"] == pytest.approx(100.0)
+
+    def test_latency_window_is_bounded(self):
+        window = LatencyWindow(limit=4)
+        for ms in (1, 2, 3, 4, 5, 6):
+            window.record(ms / 1000.0)
+        summary = window.summary()
+        assert summary["count"] == 6  # lifetime events
+        assert summary["window"] == 4  # bounded memory
+        assert summary["p50_ms"] >= 4.0  # old events aged out
+
+
+class TestTelemetry:
+    def test_three_tiers_present(self):
+        tel = ServiceTelemetry(sample_interval=0.5)
+        tel.sample(queue_depth=2, in_flight=1)
+        tel.record_request("/plan", 200, 0.010)
+        tel.record_request("/plan", 200, 0.030)
+        tel.record_request("/health", 200, 0.001)
+        tel.record_shed()
+        tel.record_coalesced()
+        snap = tel.snapshot()
+        assert snap["sampled"]["interval_seconds"] == 0.5
+        assert snap["sampled"]["series"][-1]["queue_depth"] == 2
+        assert snap["events"]["window"] == 3
+        agg = snap["aggregated"]
+        assert agg["requests_total"] == 3
+        assert agg["by_status"] == {"200": 3}
+        assert agg["shed_total"] == 1
+        assert agg["coalesced_total"] == 1
+        assert agg["latency_ms"]["count"] == 3
+        assert set(agg["latency_by_path"]) == {"/plan", "/health"}
+        assert agg["latency_by_path"]["/plan"]["count"] == 2
+        assert agg["latency_by_path"]["/plan"]["p50_ms"] >= 10.0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_half_opens(self):
+        breaker = CircuitBreaker(failure_threshold=2, base_backoff=0.05)
+        breaker.check()
+        breaker.record_failure()
+        breaker.check()  # one failure: still closed
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(BreakerOpen) as info:
+            breaker.check()
+        assert info.value.retry_after <= 0.05
+        time.sleep(0.06)
+        breaker.check()  # backoff elapsed: this caller is the probe
+        assert breaker.state == "half_open"
+        with pytest.raises(BreakerOpen):
+            breaker.check()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.describe()["trips"] == 1
+
+    def test_probe_failure_doubles_backoff(self):
+        breaker = CircuitBreaker(failure_threshold=1, base_backoff=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        breaker.check()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert breaker._backoff == pytest.approx(0.1)
+        assert breaker.describe()["trips"] == 2
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(base_backoff=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(base_backoff=2.0, max_backoff=1.0)
+
+
+# ----------------------------------------------------------------------
+# Supervisor (pool lifecycle without HTTP)
+
+
+def _double(value):
+    return value * 2
+
+
+def _sleep_forever(_value):
+    time.sleep(60.0)
+
+
+def _exit_in_worker(value):
+    """Kills pool workers; survives (returns) when run in the driver."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return value
+
+
+class TestPlanSupervisor:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_runs_on_pool(self):
+        sup = PlanSupervisor(workers=1)
+        try:
+            assert self._run(sup.run(_double, 21)) == 42
+        finally:
+            sup.shutdown()
+
+    def test_timeout_raises_plan_timeout_and_recovers(self):
+        sup = PlanSupervisor(workers=1)
+        try:
+            async def scenario():
+                with pytest.raises(PlanTimeout):
+                    await sup.run(_sleep_forever, 0, timeout=0.3)
+                # the hung worker was terminated; a fresh pool still works
+                return await sup.run(_double, 5, timeout=30.0)
+
+            assert self._run(scenario()) == 10
+            assert sup.timeouts == 1
+        finally:
+            sup.shutdown()
+
+    def test_second_crash_for_one_request_raises(self):
+        sup = PlanSupervisor(workers=1, max_rebuilds=5)
+        try:
+            with pytest.raises(WorkerCrashed):
+                self._run(sup.run(_exit_in_worker, 1))
+            assert sup.rebuilds == 2
+        finally:
+            sup.shutdown()
+
+    def test_exhausted_rebuilds_fall_back_to_serial(self, capsys):
+        sup = PlanSupervisor(workers=1, max_rebuilds=0)
+        try:
+            assert self._run(sup.run(_exit_in_worker, "ok")) == "ok"
+            assert sup.serial_fallback is True
+            assert "giving up on multiprocessing" in capsys.readouterr().err
+            # subsequent calls stay serial
+            assert self._run(sup.run(_double, 3)) == 6
+        finally:
+            sup.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Request validation + admission (no sockets)
+
+
+class TestParsePlanRequest:
+    def test_catalog_name(self):
+        system, technique, mo, so = _parse_plan_request(
+            {"system": "B", "technique": "Dauwe"}
+        )
+        assert system.name == "B"
+        assert technique == "dauwe"
+        assert mo == {} and so == {}
+
+    def test_inline_spec(self):
+        inline = TEST_SYSTEMS["M"].to_dict()
+        system, _, _, _ = _parse_plan_request(
+            {"system": inline, "technique": "daly"}
+        )
+        assert system.mtbf == TEST_SYSTEMS["M"].mtbf
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            [],
+            {},
+            {"system": "no-such-system", "technique": "dauwe"},
+            {"system": "B"},
+            {"system": "B", "technique": "no-such-technique"},
+            {"system": "B", "technique": "dauwe", "model_options": 7},
+        ],
+    )
+    def test_invalid_is_422(self, body):
+        with pytest.raises(HttpError) as info:
+            _parse_plan_request(body)
+        assert info.value.status == 422
+
+
+class TestAdmission:
+    def test_queue_full_sheds_429_with_retry_after(self):
+        async def scenario():
+            svc = PlanningService(ServiceConfig(queue_limit=1, workers=1))
+            first = svc._admitted()
+            await first.__aenter__()  # takes the only slot
+            waiter = asyncio.ensure_future(svc._admitted().__aenter__())
+            await asyncio.sleep(0.02)  # waiter is now queued
+            assert svc._waiting == 1
+            with pytest.raises(HttpError) as info:
+                await svc._admitted().__aenter__()
+            assert info.value.status == 429
+            assert "retry-after" in info.value.headers
+            await first.__aexit__(None, None, None)
+            admission = await waiter  # freed slot admits the queued one
+            await admission.__aexit__(None, None, None)
+            assert svc.telemetry.snapshot()["aggregated"]["shed_total"] == 1
+
+        asyncio.run(scenario())
+
+    def test_draining_refuses_503(self):
+        async def scenario():
+            svc = PlanningService(ServiceConfig())
+            svc._shutdown.set()
+            with pytest.raises(HttpError) as info:
+                await svc._admitted().__aenter__()
+            assert info.value.status == 503
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Socket-level round trips
+
+
+def _run_service(client_fn, **config_kwargs):
+    """Run ``client_fn(url)`` in a thread against an in-process service.
+
+    Returns ``(client result, exit code)`` after a graceful drain.
+    """
+    out: dict = {}
+
+    async def main():
+        svc = PlanningService(ServiceConfig(**config_kwargs))
+        await svc.start()
+        url = f"http://127.0.0.1:{svc.port}"
+        errors: list[BaseException] = []
+
+        def runner():
+            try:
+                out["value"] = client_fn(url)
+            except BaseException as err:  # surfaced after drain
+                errors.append(err)
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        while thread.is_alive():
+            await asyncio.sleep(0.02)
+        thread.join()
+        svc.request_shutdown()
+        out["exit"] = await svc.run_until_shutdown()
+        if errors:
+            raise errors[0]
+
+    asyncio.run(main())
+    return out.get("value"), out["exit"]
+
+
+def _post(url: str, path: str, body: dict, headers: dict | None = None):
+    req = urllib.request.Request(
+        f"{url}{path}",
+        data=json.dumps(body).encode(),
+        method="POST",
+        headers=headers or {},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _get(url: str, path: str):
+    with urllib.request.urlopen(f"{url}{path}", timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestServiceRoundTrip:
+    def test_plan_miss_then_hit_then_health(self):
+        def client(url):
+            body = {"system": "B", "technique": "dauwe"}
+            status1, first = _post(url, "/plan", body)
+            status2, second = _post(url, "/plan", body)
+            _, health = _get(url, "/health")
+            return status1, first, status2, second, health
+
+        (s1, first, s2, second, health), exit_code = _run_service(client)
+        assert (s1, s2) == (200, 200)
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert first["result"] == second["result"]
+        assert first["result"]["certificate"] is not None
+        assert first["predicted_efficiency"] == pytest.approx(
+            first["result"]["predicted_efficiency"]
+        )
+        # /health: breaker closed, cache ratio counted, latency tiers live
+        assert health["status"] == "ok"
+        assert health["breaker"]["state"] == "closed"
+        assert health["cache"]["hits"] >= 1
+        assert 0 < health["cache"]["hit_ratio"] <= 1
+        agg = health["metrics"]["aggregated"]
+        assert agg["requests_total"] >= 2
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert agg["latency_ms"][key] > 0
+        assert exit_code == 0
+
+    def test_plan_round_trips_certificate(self):
+        from repro.core.interfaces import OptimizationResult
+        from repro.experiments.runner import optimize_technique
+        from repro.systems import get_system
+
+        def client(url):
+            return _post(url, "/plan", {"system": "D4", "technique": "moody"})
+
+        (_, payload), _ = _run_service(client)
+        served = OptimizationResult.from_dict(payload["result"])
+        direct = optimize_technique(get_system("D4"), "moody")
+        assert served.to_dict() == direct.to_dict()
+        assert served.certificate.evaluations > 0
+
+    def test_deadline_expiry_is_504_not_a_hang(self):
+        def client(url):
+            start = time.monotonic()
+            try:
+                _post(
+                    url, "/plan",
+                    {"system": "D8", "technique": "dauwe"},
+                    headers={"X-Deadline-Ms": "1"},
+                )
+            except urllib.error.HTTPError as err:
+                return err.code, time.monotonic() - start
+            pytest.fail("expected a 504")
+
+        (code, elapsed), _ = _run_service(client)
+        assert code == 504
+        assert elapsed < 10.0
+
+    def test_single_flight_coalesces_identical_requests(self):
+        body = {
+            "system": "D7",
+            "technique": "dauwe",
+        }
+
+        def client(url):
+            results = [None, None]
+
+            def issue(slot):
+                results[slot] = _post(url, "/plan", body)[1]
+
+            threads = [
+                threading.Thread(target=issue, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            _, health = _get(url, "/health")
+            return results, health
+
+        (results, health), _ = _run_service(client)
+        states = sorted(r["cache"] for r in results)
+        assert "miss" in states
+        assert states != ["miss", "miss"]  # second rode the first (or its cache)
+        assert results[0]["result"] == results[1]["result"]
+        if "coalesced" in states:
+            assert health["metrics"]["aggregated"]["coalesced_total"] >= 1
+
+    def test_errors_and_unknown_routes(self):
+        def client(url):
+            findings = {}
+            for label, method, path, body in [
+                ("404", "GET", "/nope", None),
+                ("405", "GET", "/plan", None),
+                ("422", "POST", "/plan", {"system": "no-such", "technique": "dauwe"}),
+                ("404-study", "GET", "/study/ffff", None),
+            ]:
+                try:
+                    if body is None:
+                        urllib.request.urlopen(f"{url}{path}", timeout=10)
+                    else:
+                        _post(url, path, body)
+                except urllib.error.HTTPError as err:
+                    findings[label] = err.code
+            # malformed JSON body
+            req = urllib.request.Request(
+                f"{url}/plan", data=b"not json", method="POST"
+            )
+            try:
+                urllib.request.urlopen(req, timeout=10)
+            except urllib.error.HTTPError as err:
+                findings["400"] = err.code
+            return findings
+
+        findings, _ = _run_service(client)
+        assert findings == {
+            "404": 404, "405": 405, "422": 422, "404-study": 404, "400": 400,
+        }
+
+    def test_study_submit_poll_and_dedupe(self, tmp_path):
+        study = {
+            "study": "svc-study",
+            "systems": ["M"],
+            "techniques": ["dauwe", "daly"],
+            "trials": 3,
+            "seed": 5,
+        }
+
+        def client(url):
+            status, submitted = _post(url, "/study", study)
+            assert status == 202
+            study_hash = submitted["study_hash"]
+            for _ in range(600):
+                _, polled = _get(url, f"/study/{study_hash}")
+                if polled["status"] != "running":
+                    break
+                time.sleep(0.05)
+            status2, reposted = _post(url, "/study", study)
+            return submitted, polled, status2, reposted
+
+        (submitted, polled, status2, reposted), exit_code = _run_service(
+            client, service_dir=str(tmp_path / "svc")
+        )
+        assert submitted["status"] == "running"
+        assert polled["status"] == "done"
+        assert polled["completed"] == polled["total"] == 2
+        assert len(polled["outcomes"]) == 2
+        assert polled["manifest"]["study"] == "svc-study"
+        # identical re-POST returns the finished job, no second run
+        assert status2 == 200
+        assert reposted["status"] == "done"
+        assert reposted["outcomes"] == polled["outcomes"]
+        assert exit_code == 0
+
+    def test_study_results_match_direct_execution(self, tmp_path):
+        from repro.scenarios import StudySpec, execute_study
+
+        study = {
+            "study": "svc-parity",
+            "systems": ["M"],
+            "techniques": ["daly"],
+            "trials": 4,
+            "seed": 9,
+        }
+
+        def client(url):
+            _, submitted = _post(url, "/study", study)
+            study_hash = submitted["study_hash"]
+            for _ in range(600):
+                _, polled = _get(url, f"/study/{study_hash}")
+                if polled["status"] != "running":
+                    return polled
+                time.sleep(0.05)
+            pytest.fail("study never finished")
+
+        polled, _ = _run_service(client, service_dir=str(tmp_path / "svc"))
+        direct = execute_study(StudySpec.from_dict(study))
+        assert polled["outcomes"] == [o.to_dict() for o in direct.outcomes]

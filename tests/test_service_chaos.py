@@ -1,0 +1,399 @@
+"""Chaos tests for the planning service: the failure matrix, for real.
+
+Every test here is marked ``chaos`` (CI's fault-injection step).  The
+in-process tests arm :mod:`repro.exec.chaos` service directives against
+a real :class:`~repro.service.PlanningService` on a real socket and
+assert the advertised failure behavior: deadlines fire instead of
+clients hanging, dropped connections surface promptly, crashing plan
+workers trip the circuit breaker and the service recovers, overload
+sheds ``429`` instead of stalling sockets.  The subprocess tests SIGKILL
+and SIGTERM a real ``python -m repro serve`` driver and assert journaled
+studies survive: resume-by-re-POST reproduces an uninterrupted run's
+outcomes exactly, and an overrun drain exits ``EXIT_DRAIN_ABANDONED``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.exec import OptimizationCache, set_active_cache
+from repro.exec import chaos
+from repro.scenarios import StudySpec, execute_study
+from repro.service import EXIT_DRAIN_ABANDONED, PlanningService, ServiceConfig
+
+pytestmark = pytest.mark.chaos
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    previous = set_active_cache(OptimizationCache())
+    yield
+    set_active_cache(previous)
+
+
+@pytest.fixture
+def arm(monkeypatch, tmp_path):
+    """Arm the chaos harness for this (and forked worker) process(es)."""
+
+    def _arm(spec: str) -> Path:
+        marker_dir = tmp_path / "chaos-markers"
+        monkeypatch.setenv(chaos.ENV_CHAOS, spec)
+        monkeypatch.setenv(chaos.ENV_CHAOS_DIR, str(marker_dir))
+        return marker_dir
+
+    return _arm
+
+
+def _run_service(client_fn, **config_kwargs):
+    """Run ``client_fn(url)`` in a thread against an in-process service.
+
+    Returns ``(client result, exit code)`` after a graceful drain.
+    """
+    out: dict = {}
+
+    async def main():
+        import asyncio
+
+        svc = PlanningService(ServiceConfig(**config_kwargs))
+        await svc.start()
+        url = f"http://127.0.0.1:{svc.port}"
+        errors: list[BaseException] = []
+
+        def runner():
+            try:
+                out["value"] = client_fn(url)
+            except BaseException as err:  # surfaced after drain
+                errors.append(err)
+
+        thread = threading.Thread(target=runner)
+        thread.start()
+        while thread.is_alive():
+            await asyncio.sleep(0.02)
+        thread.join()
+        svc.request_shutdown()
+        out["exit"] = await svc.run_until_shutdown()
+        if errors:
+            raise errors[0]
+
+    import asyncio
+
+    asyncio.run(main())
+    return out.get("value"), out["exit"]
+
+
+def _req(url, path, body=None, headers=None, timeout=60):
+    """One request; returns ``(status, parsed body, headers)`` even for
+    error responses (urllib raises on 4xx/5xx)."""
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        f"{url}{path}",
+        data=data,
+        method="POST" if data is not None else "GET",
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            headers = {k.lower(): v for k, v in resp.headers.items()}
+            return resp.status, json.loads(resp.read()), headers
+    except urllib.error.HTTPError as err:
+        headers = {k.lower(): v for k, v in err.headers.items()}
+        return err.code, json.loads(err.read()), headers
+
+
+class TestSlowHandlerDeadline:
+    def test_stalled_handler_504s_within_deadline(self, arm):
+        """slow-handler stalls every handler 5s; a 300ms-deadline client
+        must get its 504 long before the stall ends — never a hang."""
+        arm("slow-handler:5000")
+
+        def client(url):
+            started = time.monotonic()
+            status, body, _ = _req(
+                url, "/plan",
+                {"system": "M", "technique": "dauwe"},
+                headers={"X-Deadline-Ms": "300"},
+            )
+            return status, body, time.monotonic() - started
+
+        (status, body, elapsed), exit_code = _run_service(client)
+        assert status == 504
+        assert "deadline" in body["error"]
+        assert elapsed < 4.0  # the deadline fired, not the stall
+        assert exit_code == 0
+
+
+class TestDropConnection:
+    def test_client_errors_promptly_and_server_survives(self, arm):
+        arm("drop-connection:0")
+
+        def client(url):
+            started = time.monotonic()
+            with pytest.raises(
+                (urllib.error.URLError, ConnectionError, http.client.HTTPException)
+            ):
+                urllib.request.urlopen(f"{url}/health", timeout=30)
+            elapsed = time.monotonic() - started
+            status, body, _ = _req(url, "/health")  # request 1: served
+            return elapsed, status, body
+
+        (elapsed, status, body), exit_code = _run_service(client)
+        assert elapsed < 5.0  # a clean connection error, not a hang
+        assert status == 200
+        assert body["status"] == "ok"
+        assert exit_code == 0
+
+
+class TestCrashingPlanWorkers:
+    def test_poisoned_plan_trips_breaker_then_recovers(self, arm):
+        """Request 0's worker dies on every pool attempt: two deaths for
+        one request -> 500, breaker (threshold 1) trips OPEN -> 503 with
+        Retry-After, and after the backoff the probe succeeds."""
+        arm("crash-plan:0x9")
+        plan = {"system": "M", "technique": "dauwe"}
+
+        def client(url):
+            s0, b0, _ = _req(url, "/plan", plan)  # request index 0
+            s1, b1, h1 = _req(url, "/plan", plan)
+            _, health_open, _ = _req(url, "/health")
+            time.sleep(0.6)  # past the 0.3s breaker backoff
+            s2, b2, _ = _req(url, "/plan", plan)  # the half-open probe
+            _, health_closed, _ = _req(url, "/health")
+            return (s0, b0), (s1, b1, h1), health_open, (s2, b2), health_closed
+
+        (
+            (s0, b0), (s1, b1, h1), health_open, (s2, b2), health_closed
+        ), exit_code = _run_service(
+            client, breaker_threshold=1, breaker_backoff=0.3
+        )
+        assert s0 == 500
+        assert "crashed its workers" in b0["error"]
+        assert s1 == 503
+        assert "circuit breaker open" in b1["error"]
+        assert h1.get("retry-after") is not None
+        assert health_open["breaker"]["state"] == "open"
+        assert health_open["breaker"]["trips"] == 1
+        # the probe carries a fresh request index: the poison is gone and
+        # the very spec that crashed two workers now answers fine
+        assert s2 == 200
+        assert b2["cache"] == "miss"
+        assert health_closed["breaker"]["state"] == "closed"
+        assert health_closed["supervisor"]["rebuilds"] == 2
+        assert health_closed["supervisor"]["serial_fallback"] is False
+        assert exit_code == 0
+
+    def test_repeated_crashes_degrade_to_serial_fallback(self, arm):
+        """Three requests each cost one worker: the rebuild budget (2)
+        runs out and the third computes in-process via the serial
+        fallback — where crash-plan must not fire.  No client ever sees
+        an error."""
+        arm("crash-plan:0x1,crash-plan:1x1,crash-plan:2x1")
+
+        def client(url):
+            statuses = []
+            for body in (
+                {"system": "M", "technique": "dauwe"},
+                {"system": "M", "technique": "daly"},
+                {"system": "B", "technique": "dauwe"},
+            ):
+                status, payload, _ = _req(url, "/plan", body)
+                statuses.append((status, payload.get("cache")))
+            _, health, _ = _req(url, "/health")
+            return statuses, health
+
+        (statuses, health), exit_code = _run_service(client)
+        assert statuses == [(200, "miss")] * 3
+        assert health["supervisor"]["rebuilds"] == 3
+        assert health["supervisor"]["serial_fallback"] is True
+        assert health["breaker"]["state"] == "closed"
+        assert exit_code == 0
+
+
+class TestOverloadSheds429:
+    def test_queue_full_sheds_immediately_with_retry_after(self):
+        """queue_limit=1, workers=1: one slow plan holds the slot, one
+        waits, the third is shed 429 *immediately* (no stalled socket).
+        The queued requests 504 on their own deadlines — nobody hangs."""
+        heavy = {"sweep_options": {"tau0_points": 20000}}
+
+        def client(url):
+            results: dict = {}
+
+            def post(name, body):
+                results[name] = _req(
+                    url, "/plan", body, headers={"X-Deadline-Ms": "2500"}
+                )
+
+            a = threading.Thread(target=post, args=(
+                "a", {"system": "M", "technique": "dauwe", **heavy}
+            ))
+            b = threading.Thread(target=post, args=(
+                "b", {"system": "M", "technique": "daly", **heavy}
+            ))
+            a.start()
+            time.sleep(0.8)  # a holds the slot (~2.5s of sweep left)
+            b.start()
+            time.sleep(0.5)  # b is queued; the queue (limit 1) is full
+            started = time.monotonic()
+            status, body, headers = _req(
+                url, "/plan", {"system": "B", "technique": "dauwe"}
+            )
+            shed_elapsed = time.monotonic() - started
+            a.join()
+            b.join()
+            _, health, _ = _req(url, "/health")
+            return status, body, headers, shed_elapsed, results, health
+
+        (
+            status, body, headers, shed_elapsed, results, health
+        ), exit_code = _run_service(client, queue_limit=1, workers=1)
+        assert status == 429
+        assert "admission queue full" in body["error"]
+        assert headers.get("retry-after") == "1"
+        assert shed_elapsed < 2.0  # shed at admission, not queued to death
+        # the deliberately-slow requests died on their deadlines, not ours
+        assert results["a"][0] == 504
+        assert results["b"][0] == 504
+        assert health["metrics"]["aggregated"]["shed_total"] >= 1
+        assert health["metrics"]["aggregated"]["deadline_total"] >= 2
+        assert exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# Subprocess tests: a real `repro serve` driver, killed for real.
+
+
+def _cli_env() -> dict:
+    import os
+
+    env = {**os.environ, "PYTHONPATH": _SRC}
+    env.pop(chaos.ENV_CHAOS, None)
+    env.pop(chaos.ENV_CHAOS_DIR, None)
+    return env
+
+
+def _start_serve(service_dir: Path, *extra: str):
+    """Launch ``repro serve`` and return ``(proc, url)`` once it's bound."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--service-dir", str(service_dir), *extra,
+        ],
+        env=_cli_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()  # "SERVE http://host:port"
+    if not line.startswith("SERVE "):
+        proc.kill()
+        pytest.fail(f"serve never announced itself (got {line!r})")
+    return proc, line.split(None, 1)[1].strip()
+
+
+_STUDY_SPEC = {
+    "study": "svc-chaos",
+    "seed": 2,
+    "trials": 4000,
+    "systems": ["M", "B"],
+    "techniques": ["dauwe", "daly"],
+}
+
+
+def _wait_for_scenarios(proc, journal: Path, lines: int, timeout=90.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if (
+            journal.exists()
+            and journal.read_text().count('"kind":"scenario"') >= lines
+        ):
+            return
+        if proc.poll() is not None:
+            pytest.fail(f"serve exited early with {proc.returncode}")
+        time.sleep(0.05)
+    pytest.fail(f"journal never reached {lines} scenario entries")
+
+
+class TestServerKillAndResume:
+    def test_sigkill_mid_study_then_restart_resumes_identically(self, tmp_path):
+        """SIGKILL the server mid-study; a fresh server on the same
+        service dir resumes the journal on re-POST and the outcomes match
+        a direct uninterrupted run exactly (JSON float bits and all)."""
+        service_dir = tmp_path / "svc"
+        # --task-timeout keeps the study on the per-scenario path, so the
+        # journal grows line by line and the kill lands mid-study.
+        proc, url = _start_serve(service_dir, "--task-timeout", "120")
+        try:
+            status, submitted, _ = _req(url, "/study", _STUDY_SPEC)
+            assert status == 202
+            study_hash = submitted["study_hash"]
+            journal = Path(submitted["journal"])
+            _wait_for_scenarios(proc, journal, lines=1)
+            proc.kill()
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        survivors = journal.read_text().count('"kind":"scenario"')
+        assert survivors >= 1  # fsync'd lines outlive the process
+
+        proc2, url2 = _start_serve(service_dir, "--task-timeout", "120")
+        try:
+            status, resubmitted, _ = _req(url2, "/study", _STUDY_SPEC)
+            assert status in (200, 202)
+            assert resubmitted["study_hash"] == study_hash
+            deadline = time.monotonic() + 90.0
+            while time.monotonic() < deadline:
+                status, polled, _ = _req(url2, f"/study/{study_hash}")
+                if polled["status"] != "running":
+                    break
+                time.sleep(0.2)
+            assert polled["status"] == "done"
+            assert polled["completed"] == polled["total"] == 4
+            assert polled["resumed"] >= min(survivors, 4)
+        finally:
+            proc2.terminate()
+            proc2.wait(timeout=30)
+
+        # no lost journaled work: byte-identical to a direct run
+        direct = execute_study(StudySpec.from_dict(_STUDY_SPEC))
+        assert polled["outcomes"] == [o.to_dict() for o in direct.outcomes]
+
+
+class TestDrainTimeoutExitCode:
+    def test_sigterm_with_running_study_exits_75(self, tmp_path):
+        """A drain that cannot finish its study abandons it (journaled)
+        and exits EXIT_DRAIN_ABANDONED, not 0."""
+        service_dir = tmp_path / "svc"
+        spec = {**_STUDY_SPEC, "trials": 200000}  # far outlives the drain
+        proc, url = _start_serve(service_dir, "--drain-timeout", "1")
+        try:
+            status, submitted, _ = _req(url, "/study", spec)
+            assert status == 202
+            # the journal header proves the run started and is resumable
+            journal = Path(submitted["journal"])
+            deadline = time.monotonic() + 60.0
+            while not journal.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert journal.exists()
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        assert proc.returncode == EXIT_DRAIN_ABANDONED
+        assert "drain" in stderr
+        assert "abandoned" in stderr
+        assert "resume by re-POSTing" in stderr
