@@ -69,9 +69,16 @@ dead process pools are rebuilt and ultimately degraded to serial
 execution (all recorded in the manifest), and an aborted run still
 writes its partial report and a ``status: "aborted"`` manifest.
 
+``journal --journal PATH`` audits a run journal without executing
+anything: every line is checksum-verified, each study section is
+summarized (completed vs pending scenarios, superseded sections), and a
+torn final line — the expected artifact of a killed process — is
+reported separately from real corruption.
+
 Exit codes: 0 success; 1 configuration/input error; 2 usage error
 (argparse); 3 study execution failed after retries; 4 journal/spec
-mismatch under explicit ``--resume``; 130 interrupted (SIGINT).
+mismatch under explicit ``--resume`` or corruption found by the
+``journal`` audit; 130 interrupted (SIGINT).
 """
 
 from __future__ import annotations
@@ -131,12 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS.keys(), "all", "custom", "bench", "validate", "serve"],
+        choices=[
+            *EXPERIMENTS.keys(), "all", "custom", "bench", "validate",
+            "serve", "journal",
+        ],
         help="experiment id, 'all', 'custom' (requires --study), "
         "'bench' (benchmark trajectory, writes BENCH_simulator.json), "
         "'validate' (numerics-guard cross-check of every model; "
-        "--stress swaps in the adversarial catalog), or 'serve' (HTTP "
-        "planning service: POST /plan, POST /study, GET /health)",
+        "--stress swaps in the adversarial catalog), 'serve' (HTTP "
+        "planning service: POST /plan, POST /study, GET /health), or "
+        "'journal' (audit a run journal: per-line checksums, section "
+        "summaries, pending scenarios, torn-tail detection; requires "
+        "--journal PATH)",
     )
     parser.add_argument(
         "--study",
@@ -319,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'bench': re-measure the batch/scalar crossover width "
         "on this machine and print the recommended engine='auto' "
         "threshold (adopt it via REPRO_AUTO_MIN_TRIALS)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="with 'journal': the run-journal file to audit "
+        "(e.g. EXPERIMENTS.journal.jsonl or a service-dir journal)",
+    )
+    parser.add_argument(
+        "--validate-out",
+        metavar="PATH",
+        default=None,
+        help="with 'validate': also write the full validation report "
+        "as JSON to PATH (the CI stress-validation artifact)",
     )
     parser.add_argument(
         "--stress",
@@ -628,12 +655,41 @@ def _run_validate(args: argparse.Namespace) -> int:
         seed=args.seed if args.seed is not None else 0,
     )
     print(format_validation(report))
+    if args.validate_out:
+        import json
+
+        from .exec.resilience import atomic_write_text
+
+        out = Path(args.validate_out)
+        atomic_write_text(out, json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"validation report written to {out}", file=sys.stderr)
     print(
         f"[validate finished in {time.time() - t0:.1f}s | "
         f"{'OK' if report.ok else 'VIOLATIONS FOUND'}]",
         file=sys.stderr,
     )
     return EXIT_OK if report.ok else EXIT_EXECUTION
+
+
+def _run_journal(args: argparse.Namespace) -> int:
+    """The 'journal' experiment: checksum audit of a run journal.
+
+    Prints the per-section summary (completed vs pending scenarios,
+    superseded sections, torn tail) and exits :data:`EXIT_JOURNAL` when
+    any *terminated* line fails its checksum or any scenario entry is
+    orphaned — the journal holds entries resume would silently drop.  A
+    torn final line (the expected artifact of a killed process) is
+    reported but does not fail the audit.
+    """
+    from .exec.resilience import audit_journal, format_audit
+
+    try:
+        audit = audit_journal(args.journal)
+    except OSError as exc:
+        print(f"error: cannot read journal {args.journal}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(format_audit(audit))
+    return EXIT_OK if audit.ok else EXIT_JOURNAL
 
 
 def _run_one(name: str, args: argparse.Namespace, fig4_cache: dict):
@@ -759,10 +815,18 @@ def main(argv: list[str] | None = None) -> int:
         set_default_engine(args.engine)
     if args.stress and args.experiment != "validate":
         parser.error("--stress only applies to the 'validate' experiment")
+    if args.validate_out and args.experiment != "validate":
+        parser.error("--validate-out only applies to the 'validate' experiment")
+    if args.journal and args.experiment != "journal":
+        parser.error("--journal only applies to the 'journal' experiment")
+    if args.experiment == "journal" and not args.journal:
+        parser.error("the 'journal' experiment requires --journal PATH")
     if args.experiment == "bench":
         return _run_bench(args)
     if args.experiment == "validate":
         return _run_validate(args)
+    if args.experiment == "journal":
+        return _run_journal(args)
     if args.no_cache:
         previous_cache = set_active_cache(None)
     else:

@@ -14,6 +14,7 @@ from .dauwe import DauweModel
 from .interfaces import CheckpointModel, OptimizationResult
 from .optimizer import enumerate_count_vectors, golden_section, sweep_plans
 from .plan import CheckpointPlan
+from .regime import RegimePlanResult, SegmentPlan, plan_regimes
 from .severity import LevelMapping
 from .truncated import (
     expected_failed_attempts,
@@ -30,11 +31,14 @@ __all__ = [
     "DauweModel",
     "LevelMapping",
     "OptimizationResult",
+    "RegimePlanResult",
+    "SegmentPlan",
     "enumerate_count_vectors",
     "expected_failed_attempts",
     "expected_failures",
     "failure_probability",
     "golden_section",
+    "plan_regimes",
     "survival_probability",
     "sweep_plans",
     "truncated_mean",

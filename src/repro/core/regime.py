@@ -1,0 +1,188 @@
+"""Per-regime re-optimization with boundary carryover pricing.
+
+A static plan is optimal only for the regime it was optimized against.
+Under a :class:`~repro.systems.regime.RegimeSchedule` the planning
+question becomes piecewise: *within* each stationary segment the paper's
+machinery applies unchanged (optimize the scaled system), and the only
+genuinely new cost is at the *boundaries* — work performed since the
+last checkpoint is in flight when the regime flips, and the new regime's
+failure rate taxes it until the next checkpoint commits.
+
+:func:`plan_regimes` prices exactly that decomposition:
+
+1. **per-segment plans** — each segment's effective system
+   (``schedule.scaled_system``) is optimized independently (Dauwe by
+   default), giving a plan and a predicted efficiency ``e_j`` (useful
+   work per wall-clock minute) for the stationary stretch;
+2. **fluid walk** — the run is walked segment by segment at rate
+   ``e_j`` to find how much work lands in each segment and when the run
+   finishes;
+3. **boundary carryover** — at each crossed boundary the un-checkpointed
+   in-flight work ``D = w mod tau0_j`` is exposed to the *next* regime's
+   failure rate for the ``D / e_{j+1}`` wall-clock minutes it takes to
+   reach the next checkpoint; to first order the expected rework is
+
+       ``carry_j = lam_{j+1} * (D / e_{j+1}) * D``
+
+   (expected number of strikes in the exposure window times the work
+   each would destroy).  The carryover is added to the predicted
+   makespan, so two schedules that differ only in where their boundaries
+   cut the checkpoint pattern price differently — the quantity the
+   oracle walker in :mod:`repro.simulator.adaptive` exploits by swapping
+   plans at checkpoint commits rather than mid-interval.
+
+The result is intentionally a *prediction*, symmetric with the paper's
+``T_ML``: the adaptive simulator measures the same decomposition
+empirically (replans, detection latency, regret).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..systems.regime import RegimeSchedule
+from ..systems.spec import SystemSpec
+from .dauwe import DauweModel
+from .plan import CheckpointPlan
+
+__all__ = ["RegimePlanResult", "SegmentPlan", "plan_regimes"]
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """One segment's stationary optimization result."""
+
+    index: int
+    start: float  # wall-clock minutes; schedule boundary
+    rate: float  # effective system failure rate in this segment
+    plan: CheckpointPlan
+    predicted_time: float  # T_ML of the whole application under this regime
+    predicted_efficiency: float  # useful work per wall-clock minute
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "rate": self.rate,
+            "plan": self.plan.to_dict(),
+            "predicted_time": self.predicted_time,
+            "predicted_efficiency": self.predicted_efficiency,
+        }
+
+
+@dataclass(frozen=True)
+class RegimePlanResult:
+    """Per-segment plans plus the carryover-priced makespan prediction."""
+
+    segments: tuple[SegmentPlan, ...]
+    #: Predicted wall-clock completion time under the schedule-aware
+    #: piecewise plan (``inf`` when some load-bearing segment is hopeless).
+    predicted_makespan: float
+    #: First-order boundary carryover, one entry per boundary the fluid
+    #: walk crossed before completion (already included in the makespan).
+    carryover: tuple[float, ...]
+
+    def plan_for_segment(self, j: int) -> CheckpointPlan:
+        return self.segments[j].plan
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "segments": [s.to_dict() for s in self.segments],
+            "predicted_makespan": self.predicted_makespan,
+            "carryover": list(self.carryover),
+        }
+
+
+def plan_regimes(
+    system: SystemSpec,
+    schedule: RegimeSchedule,
+    model_factory=DauweModel,
+    model_options: Mapping[str, Any] | None = None,
+    sweep_options: Mapping[str, Any] | None = None,
+) -> RegimePlanResult:
+    """Optimize every segment of ``schedule`` and price the boundaries.
+
+    ``model_factory`` is any :class:`~repro.core.interfaces.
+    CheckpointModel` subclass (the Dauwe model by default — the regime
+    layer's reference planner); ``model_options`` / ``sweep_options``
+    pass through to its constructor and ``optimize`` respectively.
+    """
+    model_options = dict(model_options or {})
+    sweep_options = dict(sweep_options or {})
+    T_B = system.baseline_time
+
+    segments: list[SegmentPlan] = []
+    for j in range(schedule.num_segments):
+        scaled = schedule.scaled_system(system, j)
+        try:
+            result = model_factory(scaled, **model_options).optimize(**sweep_options)
+            plan_j = result.plan
+            pred = float(result.predicted_time)
+        except RuntimeError:
+            # No feasible plan for this segment's regime: keep flying the
+            # previous segment's plan (there is nothing better to swap
+            # to).  A first segment with no feasible plan means the base
+            # study itself is hopeless — let that error propagate.
+            if not segments:
+                raise
+            plan_j = segments[-1].plan
+            pred = math.inf
+        # Efficiency as work per wall-clock minute of the *prediction*;
+        # a hopeless segment (infinite prediction) advances no work.
+        eff = T_B / pred if math.isfinite(pred) and pred > 0 else 0.0
+        segments.append(
+            SegmentPlan(
+                index=j,
+                start=schedule.boundaries[j],
+                rate=system.failure_rate * schedule.segments[j].rate_scale,
+                plan=plan_j,
+                predicted_time=pred,
+                predicted_efficiency=eff,
+            )
+        )
+
+    # Fluid walk: advance work at each segment's predicted efficiency,
+    # pricing the in-flight work at every boundary actually crossed.
+    t = 0.0
+    w = 0.0
+    carry: list[float] = []
+    makespan = math.inf
+    for j, seg in enumerate(segments):
+        remaining = T_B - w
+        if remaining <= 0:
+            makespan = t
+            break
+        last = j == len(segments) - 1
+        if seg.predicted_efficiency <= 0:
+            if last:
+                break  # hopeless forever: makespan stays +inf
+            t = schedule.boundaries[j + 1]
+            continue
+        if not last:
+            wall = max(0.0, schedule.boundaries[j + 1] - t)
+            done = wall * seg.predicted_efficiency
+            if done < remaining:
+                w += done
+                t = schedule.boundaries[j + 1]
+                # Boundary carryover: work past the last committed
+                # checkpoint position, exposed to the next regime.
+                tau0 = seg.plan.tau0
+                exposed = w - math.floor(w / tau0) * tau0
+                nxt = segments[j + 1]
+                if exposed > 0 and nxt.predicted_efficiency > 0:
+                    cost = nxt.rate * (exposed / nxt.predicted_efficiency) * exposed
+                    carry.append(cost)
+                    t += cost
+                elif exposed > 0:
+                    carry.append(math.inf)
+                continue
+        makespan = t + remaining / seg.predicted_efficiency
+        break
+
+    return RegimePlanResult(
+        segments=tuple(segments),
+        predicted_makespan=makespan,
+        carryover=tuple(carry),
+    )

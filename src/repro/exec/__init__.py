@@ -41,17 +41,21 @@ from .metrics import (
     stage_snapshot,
 )
 from .resilience import (
+    JournalAudit,
     JournalMismatchError,
     RetryPolicy,
     RunJournal,
     StudyExecutionError,
     StudyInterrupted,
     atomic_write_text,
+    audit_journal,
+    format_audit,
 )
 from .scheduler import ScenarioTask, resolve_sim_workers, run_scenarios
 
 __all__ = [
     "CacheStats",
+    "JournalAudit",
     "JournalMismatchError",
     "OptimizationCache",
     "RetryPolicy",
@@ -60,7 +64,9 @@ __all__ = [
     "StudyExecutionError",
     "StudyInterrupted",
     "atomic_write_text",
+    "audit_journal",
     "cache_key",
+    "format_audit",
     "resolve_sim_workers",
     "format_stage_report",
     "get_active_cache",

@@ -59,12 +59,15 @@ if TYPE_CHECKING:  # runtime import would cycle through experiments
 
 __all__ = [
     "JOURNAL_FORMAT",
+    "JournalAudit",
     "JournalMismatchError",
     "RetryPolicy",
     "RunJournal",
     "StudyExecutionError",
     "StudyInterrupted",
     "atomic_write_text",
+    "audit_journal",
+    "format_audit",
 ]
 
 #: Journal schema identifier; bump on incompatible format changes.
@@ -347,3 +350,159 @@ class RunJournal:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Journal audit (``repro journal``)
+
+
+@dataclass
+class JournalAudit:
+    """What a checksum audit of one journal file found.
+
+    ``corrupt`` counts *terminated* lines that fail parsing or their own
+    checksum — evidence of real damage (bit rot, concurrent writers,
+    hand edits).  A torn **tail** — a final line without a terminating
+    newline that does not verify — is the expected artifact of a killed
+    process and is reported separately (``torn_tail``), not as
+    corruption: the journal's append discipline guarantees at most one
+    such line, and resume skips it by construction.
+
+    ``sections`` holds one entry per ``study`` header, in file order:
+    study id and hash, declared scenario count, the verified completed
+    indices, the pending (missing) indices, and whether a later header
+    for the same study id superseded the section (its entries are
+    unreachable for resume).
+    """
+
+    path: Path
+    lines: int = 0
+    verified: int = 0
+    corrupt: int = 0
+    torn_tail: bool = False
+    orphans: int = 0
+    sections: list = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.sections is None:
+            self.sections = []
+
+    @property
+    def ok(self) -> bool:
+        """Whether the journal is fully trustworthy (torn tail excused)."""
+        return self.corrupt == 0 and self.orphans == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "ok": self.ok,
+            "lines": self.lines,
+            "verified": self.verified,
+            "corrupt": self.corrupt,
+            "torn_tail": self.torn_tail,
+            "orphans": self.orphans,
+            "sections": list(self.sections),
+        }
+
+
+def audit_journal(path: str | os.PathLike) -> JournalAudit:
+    """Verify every line of a run journal and summarize its sections.
+
+    Unlike :class:`RunJournal`'s loader — which tolerates damage to keep
+    resume available — the audit *accounts for* every line: checksums
+    verified, corrupt lines counted, the torn tail identified, and each
+    study section summarized with its completed and pending scenario
+    indices.  Scenario entries whose ``study_hash`` matches no header
+    are counted as ``orphans`` (they would never be resumed).
+
+    Raises :class:`OSError` when the file cannot be read.
+    """
+    path = Path(path)
+    text = path.read_text()
+    audit = JournalAudit(path=path)
+    raw_lines = text.splitlines()
+    #: study_hash -> section dict (sections keeps file order)
+    by_hash: dict[str, dict] = {}
+    latest: dict[str, dict] = {}
+    for i, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        audit.lines += 1
+        record = RunJournal._verify(line)
+        if record is None:
+            is_tail = i == len(raw_lines) - 1 and not text.endswith("\n")
+            if is_tail:
+                audit.torn_tail = True
+            else:
+                audit.corrupt += 1
+            continue
+        audit.verified += 1
+        if record.get("kind") == "study":
+            section = {
+                "study": str(record["study"]),
+                "study_hash": str(record["study_hash"]),
+                "declared": int(record.get("scenarios", 0)),
+                "completed": [],
+                "superseded": False,
+            }
+            previous = latest.get(section["study"])
+            if previous is not None:
+                previous["superseded"] = True
+            latest[section["study"]] = section
+            by_hash[section["study_hash"]] = section
+            audit.sections.append(section)
+        elif record.get("kind") == "scenario":
+            section = by_hash.get(str(record.get("study_hash")))
+            if section is None:
+                audit.orphans += 1
+            else:
+                index = int(record["index"])
+                if index not in section["completed"]:
+                    section["completed"].append(index)
+    for section in audit.sections:
+        section["completed"].sort()
+        done = set(section["completed"])
+        section["pending"] = [
+            i for i in range(section["declared"]) if i not in done
+        ]
+    return audit
+
+
+def format_audit(audit: JournalAudit) -> str:
+    """Human-readable audit summary (the ``repro journal`` output)."""
+    lines = [
+        f"journal {audit.path}: {audit.lines} line(s), "
+        f"{audit.verified} verified, {audit.corrupt} corrupt"
+        + (", torn tail" if audit.torn_tail else "")
+        + (f", {audit.orphans} orphan entr(y/ies)" if audit.orphans else "")
+    ]
+    for s in audit.sections:
+        status = "superseded" if s["superseded"] else (
+            "complete" if not s["pending"] else "resumable"
+        )
+        lines.append(
+            f"  study {s['study']!r} [{s['study_hash'][:12]}...] — "
+            f"{len(s['completed'])}/{s['declared']} scenario(s) journaled "
+            f"({status})"
+        )
+        if s["pending"] and not s["superseded"]:
+            preview = ", ".join(str(i) for i in s["pending"][:8])
+            more = (
+                f" (+{len(s['pending']) - 8} more)"
+                if len(s["pending"]) > 8
+                else ""
+            )
+            lines.append(f"    pending: {preview}{more}")
+    if not audit.sections:
+        lines.append("  (no study sections)")
+    lines.append(
+        "verdict: "
+        + (
+            "clean — every entry checksum-verified"
+            if audit.ok and not audit.torn_tail
+            else "usable — torn tail skipped on resume; all other entries verified"
+            if audit.ok
+            else "CORRUPT — unverifiable entries present; resume will skip them"
+        )
+    )
+    return "\n".join(lines)

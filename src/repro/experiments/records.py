@@ -38,6 +38,12 @@ class TechniqueOutcome:
     #: manifest's ``numerics`` block.  Empty when the sweep stayed fully
     #: inside the model's comfortable regime.
     numerics: Mapping[str, int] = field(default_factory=dict)
+    #: Adaptive-replanning comparison block (static vs adaptive vs oracle
+    #: means, replans, detection latency, regret) — the serialized
+    #: :class:`~repro.simulator.AdaptiveComparison`.  Empty for ordinary
+    #: single-policy scenarios, so every pre-existing journal entry and
+    #: manifest stays byte-identical.
+    adaptive: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def prediction_error(self) -> float:
@@ -65,6 +71,9 @@ class TechniqueOutcome:
             "breakdown_fractions": dict(self.breakdown_fractions),
             "mean_failures": self.mean_failures,
             "numerics": dict(self.numerics),
+            # only-when-set: pre-regime journals and manifests keep their
+            # exact bytes, and resumed outcomes still round-trip bitwise.
+            **({"adaptive": dict(self.adaptive)} if self.adaptive else {}),
         }
 
     @classmethod
@@ -88,6 +97,7 @@ class TechniqueOutcome:
             numerics={
                 str(k): int(v) for k, v in dict(data.get("numerics", {})).items()
             },
+            adaptive=dict(data.get("adaptive", {})),
         )
 
 

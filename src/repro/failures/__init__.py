@@ -2,12 +2,14 @@
 
 from .batching import (
     ExponentialStreamSpec,
+    PiecewiseStreamSpec,
     TraceStreamSpec,
     WeibullStreamSpec,
 )
 from .registry import (
     FAILURE_KINDS,
     FailureSpec,
+    RegimeSourceFactory,
     TraceSourceFactory,
     WeibullSourceFactory,
     register_failure_kind,
@@ -22,6 +24,7 @@ from .fitting import (
 from .sources import (
     ExponentialFailureSource,
     FailureSource,
+    PiecewiseExponentialFailureSource,
     TraceFailureSource,
     WeibullFailureSource,
     severity_sampler,
@@ -35,6 +38,9 @@ __all__ = [
     "FailureSource",
     "FailureSpec",
     "FailureTrace",
+    "PiecewiseExponentialFailureSource",
+    "PiecewiseStreamSpec",
+    "RegimeSourceFactory",
     "register_failure_kind",
     "TraceFailureSource",
     "TraceSourceFactory",

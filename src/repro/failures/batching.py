@@ -44,6 +44,7 @@ import numpy as np
 __all__ = [
     "RNG_BATCH",
     "ExponentialStreamSpec",
+    "PiecewiseStreamSpec",
     "TraceStreamSpec",
     "WeibullStreamSpec",
 ]
@@ -177,6 +178,91 @@ class TraceStreamSpec:
         # either, so generator states stay identical between engines.
         times, sevs = _padded_trace(self.times, self.severities)
         return _TraceTrialStream(times, sevs)
+
+
+class _PiecewiseTrialStream:
+    """Per-trial piecewise-exponential stream via time rescaling.
+
+    An inhomogeneous Poisson process whose rate is piecewise constant is
+    a homogeneous unit-rate process in the integrated-hazard ("unit")
+    domain.  The stream draws unit-rate exponential gaps, accumulates
+    them with the scalar sources' exact sequential-add chain, and maps
+    each cumulated hazard ``u`` back to wall-clock time through the
+    inverse integrated hazard: with segment start times ``t0[j]``, rates
+    ``lam[j]`` and hazard-at-boundary ``u0[j]``,
+
+        ``time = t0[j] + (u - u0[j]) / lam[j]``  where ``u0[j] <= u``.
+
+    The engine's ``carry`` argument (the previous batch's last absolute
+    *time*) is ignored — like the trace stream, this process keeps its
+    own clock, here the cumulated hazard ``_u_last``.  The scalar
+    :class:`~repro.failures.sources.PiecewiseExponentialFailureSource`
+    wraps this same class, so both engines consume identical draws and
+    compute identical IEEE float times by construction.
+    """
+
+    __slots__ = ("_rng", "_cdf", "_t0", "_u0", "_lam", "_u_last")
+
+    def __init__(self, rng, boundaries, rates, cdf):
+        self._rng = rng
+        self._cdf = cdf
+        self._t0 = np.asarray(boundaries, dtype=float)
+        self._lam = np.asarray(rates, dtype=float)
+        # Integrated hazard at each segment start; the final segment is
+        # open-ended so its hazard grows without bound.
+        u0 = np.zeros(self._t0.size)
+        if self._t0.size > 1:
+            u0[1:] = np.cumsum(self._lam[:-1] * np.diff(self._t0))
+        self._u0 = u0
+        self._u_last = 0.0
+
+    def refill(self, carry: float) -> tuple[np.ndarray, np.ndarray]:
+        gaps = self._rng.exponential(1.0, RNG_BATCH)
+        gaps[0] = self._u_last + gaps[0]
+        np.add.accumulate(gaps, out=gaps)
+        self._u_last = float(gaps[-1])
+        j = np.searchsorted(self._u0, gaps, side="right") - 1
+        times = self._t0[j] + (gaps - self._u0[j]) / self._lam[j]
+        return times, _severity_batch(self._rng, self._cdf)
+
+
+@dataclass(frozen=True)
+class PiecewiseStreamSpec:
+    """Piecewise-constant-rate Poisson failures (regime schedules).
+
+    ``boundaries`` are segment start times (first entry 0.0, strictly
+    increasing) and ``rates`` the per-segment system failure rates — the
+    resolved form of a :class:`~repro.systems.regime.RegimeSchedule`
+    against one system.  Severities stay i.i.d. across segments (a
+    regime rescales *how often* failures strike, not *what* they hit).
+    """
+
+    boundaries: tuple
+    rates: tuple
+    severity_probabilities: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.rates) or not self.rates:
+            raise ValueError(
+                f"need one rate per boundary, got {len(self.rates)} rates "
+                f"for {len(self.boundaries)} boundaries"
+            )
+        if self.boundaries[0] != 0.0:
+            raise ValueError(
+                f"the first segment must start at 0.0, got {self.boundaries[0]}"
+            )
+        if any(b <= a for a, b in zip(self.boundaries, self.boundaries[1:])):
+            raise ValueError(f"boundaries must increase strictly: {self.boundaries}")
+        if any(r <= 0 or not np.isfinite(r) for r in self.rates):
+            raise ValueError(f"segment rates must be positive finite: {self.rates}")
+
+    def spawn(self, seed_seq) -> _PiecewiseTrialStream:
+        return _PiecewiseTrialStream(
+            np.random.default_rng(seed_seq),
+            self.boundaries,
+            self.rates,
+            _severity_cdf(self.severity_probabilities),
+        )
 
 
 @lru_cache(maxsize=8)

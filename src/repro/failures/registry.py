@@ -36,12 +36,17 @@ from dataclasses import dataclass, field
 from math import gamma
 from typing import Any, Callable, Mapping
 
-from .batching import TraceStreamSpec, WeibullStreamSpec
-from .sources import TraceFailureSource, WeibullFailureSource
+from .batching import PiecewiseStreamSpec, TraceStreamSpec, WeibullStreamSpec
+from .sources import (
+    PiecewiseExponentialFailureSource,
+    TraceFailureSource,
+    WeibullFailureSource,
+)
 
 __all__ = [
     "FAILURE_KINDS",
     "FailureSpec",
+    "RegimeSourceFactory",
     "TraceSourceFactory",
     "WeibullSourceFactory",
     "register_failure_kind",
@@ -108,6 +113,44 @@ class TraceSourceFactory:
     @property
     def batch_stream(self) -> TraceStreamSpec:
         return TraceStreamSpec(self.times, self.severities)
+
+
+@dataclass(frozen=True)
+class RegimeSourceFactory:
+    """Per-trial piecewise-exponential source builder (regime schedules).
+
+    The resolved form of a :class:`~repro.systems.regime.RegimeSchedule`
+    against one system: segment start times plus the *effective* system
+    failure rate in each segment (``base_rate * nodes_scale /
+    mtbf_scale``).  Frozen and module-level so it pickles into scenario
+    workers, with ``batch_stream`` exposing the
+    :class:`~repro.failures.batching.PiecewiseStreamSpec` descriptor —
+    ``engine="auto"`` dispatches regime-scheduled scenarios to the
+    lockstep engine exactly like the stationary kinds.
+    """
+
+    boundaries: tuple
+    rates: tuple
+    severity_probabilities: tuple
+
+    @classmethod
+    def for_system(cls, system, schedule) -> "RegimeSourceFactory":
+        return cls(
+            boundaries=schedule.boundaries,
+            rates=schedule.effective_rates(system.failure_rate),
+            severity_probabilities=tuple(system.severity_probabilities),
+        )
+
+    def __call__(self, rng):
+        return PiecewiseExponentialFailureSource(
+            self.boundaries, self.rates, self.severity_probabilities, rng
+        )
+
+    @property
+    def batch_stream(self) -> PiecewiseStreamSpec:
+        return PiecewiseStreamSpec(
+            self.boundaries, self.rates, self.severity_probabilities
+        )
 
 
 def _build_weibull(system, shape, scale=None):

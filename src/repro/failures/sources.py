@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "FailureSource",
     "ExponentialFailureSource",
+    "PiecewiseExponentialFailureSource",
     "TraceFailureSource",
     "WeibullFailureSource",
     "severity_sampler",
@@ -104,6 +105,51 @@ class ExponentialFailureSource:
         gap = self._gaps[self._idx]
         self._idx += 1
         return t + float(gap), self._severity()
+
+
+class PiecewiseExponentialFailureSource:
+    """Poisson failures under a piecewise-constant rate (regime schedules).
+
+    The scalar face of :class:`~repro.failures.batching.
+    PiecewiseStreamSpec`: it *wraps the batch engine's per-trial stream
+    class directly*, consuming one precomputed absolute failure time per
+    ``next_after`` call, so scalar and batched trials draw from the same
+    generator in the same order and compute the same IEEE float times —
+    bitwise parity by construction rather than by re-derivation.  Like
+    the trace source, the process owns its clock: the ``t`` argument is
+    only an ordering contract (returned times strictly increase).
+    """
+
+    def __init__(
+        self,
+        boundaries: Sequence[float],
+        rates: Sequence[float],
+        severity_probabilities: Sequence[float],
+        rng: np.random.Generator,
+    ):
+        from .batching import PiecewiseStreamSpec, _PiecewiseTrialStream, _severity_cdf
+
+        # Validate through the frozen spec so both faces reject exactly
+        # the same malformed schedules with the same message.
+        PiecewiseStreamSpec(
+            tuple(float(b) for b in boundaries),
+            tuple(float(r) for r in rates),
+            tuple(float(p) for p in severity_probabilities),
+        )
+        self._stream = _PiecewiseTrialStream(
+            rng, boundaries, rates, _severity_cdf(severity_probabilities)
+        )
+        self._times = np.empty(0)
+        self._sevs = np.empty(0, dtype=np.int64)
+        self._idx = 0
+
+    def next_after(self, t: float) -> tuple[float, int]:
+        if self._idx >= self._times.size:
+            self._times, self._sevs = self._stream.refill(0.0)
+            self._idx = 0
+        out = (float(self._times[self._idx]), int(self._sevs[self._idx]))
+        self._idx += 1
+        return out
 
 
 class TraceFailureSource:

@@ -55,7 +55,10 @@ class StudyRunRecord:
     the numerics-guard event counts (``"site:kind" -> count``) the
     models recorded while optimizing this study's scenarios — an empty
     block means every sweep stayed inside the models' comfortable
-    regime.
+    regime.  ``adaptive`` aggregates the study's adaptive-replanning
+    scenarios (replans, detection latency, regret, wins) — emitted only
+    when the study had any, so pre-regime manifests keep their exact
+    bytes.
     """
 
     study: str
@@ -66,9 +69,10 @@ class StudyRunRecord:
     cache: dict[str, int] = field(default_factory=dict)
     resilience: dict[str, Any] = field(default_factory=dict)
     numerics: dict[str, int] = field(default_factory=dict)
+    adaptive: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "study": self.study,
             "study_hash": self.study_hash,
             "seed": self.seed,
@@ -78,6 +82,9 @@ class StudyRunRecord:
             "resilience": dict(self.resilience),
             "numerics": dict(self.numerics),
         }
+        if self.adaptive:
+            out["adaptive"] = dict(self.adaptive)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StudyRunRecord":
@@ -92,6 +99,7 @@ class StudyRunRecord:
             numerics={
                 str(k): int(v) for k, v in dict(data.get("numerics", {})).items()
             },
+            adaptive=dict(data.get("adaptive", {})),
         )
 
 

@@ -51,7 +51,13 @@ from .spec import ScenarioSpec, StudySpec
 if TYPE_CHECKING:  # runtime import would cycle: experiments imports scenarios
     from ..experiments.records import ExperimentResult, TechniqueOutcome
 
-__all__ = ["StudyRun", "execute_study", "generic_result", "scenario_seed"]
+__all__ = [
+    "StudyRun",
+    "aggregate_adaptive",
+    "execute_study",
+    "generic_result",
+    "scenario_seed",
+]
 
 #: Accepted ``resume`` arguments of :func:`execute_study` (bools are
 #: aliases: ``True`` -> ``"auto"``, ``False`` -> ``"never"``).
@@ -67,12 +73,28 @@ def scenario_seed(scenario: ScenarioSpec, base_seed: int | None) -> int | None:
     return base_seed
 
 
+def _source_factory(scenario: ScenarioSpec):
+    """The scenario's per-trial failure-source builder (``None`` = default).
+
+    A regime schedule *replaces* the failure process outright — spec
+    validation already pinned ``failure`` to the default exponential
+    kind, whose piecewise generalization the regime source is.
+    """
+    if scenario.regime is not None:
+        from ..failures.registry import RegimeSourceFactory
+
+        return RegimeSourceFactory.for_system(scenario.system, scenario.regime)
+    return scenario.failure.source_factory(scenario.system)
+
+
 def _execute_scenario(
     scenario: ScenarioSpec, base_seed: int | None, sim_workers: int
 ) -> TechniqueOutcome:
     """Run one scenario's optimize + measure stages (module-level: picklable)."""
     if scenario.optimizer == "interval":
         return _execute_interval(scenario, base_seed)
+    if scenario.adaptive is not None:
+        return _execute_adaptive(scenario, base_seed)
 
     from ..experiments.records import TechniqueOutcome
     from ..experiments.runner import measure_technique, optimize_technique
@@ -94,7 +116,7 @@ def _execute_scenario(
         sweep_options=sweep_options,
     )
     simulate = dict(scenario.simulate)
-    factory = scenario.failure.source_factory(scenario.system)
+    factory = _source_factory(scenario)
     if factory is not None:
         simulate["source_factory"] = factory
     if scenario.silent_errors is not None:
@@ -182,6 +204,56 @@ def _execute_interval(
     )
 
 
+def _execute_adaptive(
+    scenario: ScenarioSpec, base_seed: int | None
+) -> TechniqueOutcome:
+    """Adaptive-replanning scenarios: static vs adaptive vs oracle.
+
+    The measurement is the three-policy comparison of
+    :func:`repro.simulator.compare_adaptive` — per trial, all three
+    walkers face bitwise-identical drifting failure streams, so the
+    outcome's ``adaptive`` block isolates planning policy.  The outcome
+    rows keep the single-policy vocabulary (the *adaptive* walker's
+    makespan/efficiency), with the regime-aware carryover-priced
+    ``plan_regimes`` makespan as the prediction.
+    """
+    from ..experiments.records import TechniqueOutcome
+    from ..simulator.adaptive import compare_adaptive
+
+    start = time.perf_counter()
+    comparison = compare_adaptive(
+        scenario.system,
+        scenario.regime,
+        spec=scenario.adaptive,
+        trials=scenario.trials,
+        seed=scenario_seed(scenario, base_seed),
+        model_factory=TECHNIQUES[scenario.technique],
+        model_options=scenario.model_options,
+        max_time=scenario.simulate.get("max_time"),
+    )
+    record_stage("simulate", time.perf_counter() - start)
+    T_B = scenario.system.baseline_time
+    effs = [T_B / t for t in comparison.per_trial_adaptive]
+    mean_eff = sum(effs) / len(effs)
+    std_eff = (sum((e - mean_eff) ** 2 for e in effs) / len(effs)) ** 0.5
+    pred = comparison.predicted_makespan
+    return TechniqueOutcome(
+        system=scenario.system.name,
+        technique=scenario.technique,
+        plan=comparison.static_plan,
+        predicted_efficiency=T_B / pred if pred > 0 else 0.0,
+        simulated_efficiency=mean_eff,
+        simulated_std=std_eff,
+        trials=scenario.trials,
+        predicted_time=pred,
+        mean_time=comparison.adaptive_mean,
+        completed_fraction=comparison.completed_fraction,
+        breakdown_fractions=dict(comparison.breakdown_fractions),
+        mean_failures=comparison.mean_failures,
+        adaptive=comparison.to_dict(),
+    )
+
+
 #: ``simulate`` option keys the packed fast path understands.  Anything
 #: else (an explicit ``workers`` request, exotic options) defers that
 #: scenario to the normal per-scenario path.
@@ -200,11 +272,15 @@ def _packable(scenario: ScenarioSpec) -> bool:
     """Whether a scenario can join the packed lockstep universe."""
     if scenario.optimizer != "pattern":
         return False
+    if scenario.adaptive is not None:
+        # The three-policy replanning walker is scalar control flow —
+        # there is no packed formulation to join.
+        return False
     if any(key not in _PACK_SIM_KEYS for key in scenario.simulate):
         return False
     if scenario.simulate.get("engine") == "scalar":
         return False
-    factory = scenario.failure.source_factory(scenario.system)
+    factory = _source_factory(scenario)
     return (
         factory is None
         or getattr(factory, "batch_stream", None) is not None
@@ -248,7 +324,7 @@ def _simulate_scenarios_packed(
         )
         simulate = dict(s.simulate)
         simulate.pop("engine", None)
-        factory = s.failure.source_factory(s.system)
+        factory = _source_factory(s)
         requests.append(
             BatchRequest(
                 system=s.system,
@@ -321,6 +397,7 @@ def _build_record(
     cache_d: CacheStats,
     resilience: dict[str, Any],
     numerics: dict[str, int] | None = None,
+    adaptive: dict[str, Any] | None = None,
 ) -> StudyRunRecord:
     """Assemble the per-study manifest record (complete or partial run)."""
     return StudyRunRecord(
@@ -334,14 +411,20 @@ def _build_record(
                 "technique": s.technique,
                 "trials": s.trials,
                 "seed": scenario_seed(s, study.seed),
-                # non-default objective/failure-mode blocks are recorded so
-                # a manifest says what was optimized; absent = the paper's
-                # time objective without silent errors (keeps old manifests
-                # byte-identical).
+                # non-default objective/failure-mode/regime blocks are
+                # recorded so a manifest says what was optimized; absent =
+                # the paper's stationary time objective without silent
+                # errors (keeps old manifests byte-identical).
                 **({"objective": s.objective} if s.objective != "time" else {}),
                 **(
                     {"silent_errors": s.silent_errors.to_dict()}
                     if s.silent_errors is not None
+                    else {}
+                ),
+                **({"regime": s.regime.to_dict()} if s.regime is not None else {}),
+                **(
+                    {"adaptive": s.adaptive.to_dict()}
+                    if s.adaptive is not None
                     else {}
                 ),
             }
@@ -359,6 +442,7 @@ def _build_record(
         },
         resilience=resilience,
         numerics=dict(numerics or {}),
+        adaptive=dict(adaptive or {}),
     )
 
 
@@ -369,6 +453,36 @@ def aggregate_numerics(outcomes: Iterable[TechniqueOutcome]) -> dict[str, int]:
         for key, count in outcome.numerics.items():
             totals[key] = totals.get(key, 0) + int(count)
     return dict(sorted(totals.items()))
+
+
+def aggregate_adaptive(outcomes: Iterable[TechniqueOutcome]) -> dict[str, Any]:
+    """Fold per-outcome adaptive-comparison blocks into one summary.
+
+    Empty (so the manifest omits the block entirely) when the study had
+    no adaptive scenarios.  ``wins`` counts scenarios where the adaptive
+    walker's mean makespan beat-or-matched the static plan's — the
+    stress-validation invariant, surfaced here and in ``GET /health`` so
+    a drifting deployment can see its replanner working.
+    """
+    blocks = [dict(o.adaptive) for o in outcomes if o.adaptive]
+    if not blocks:
+        return {}
+    latencies = [
+        b["mean_detection_latency"]
+        for b in blocks
+        if b.get("mean_detection_latency") is not None
+    ]
+    n = len(blocks)
+    return {
+        "scenarios": n,
+        "wins": sum(bool(b.get("adaptive_wins")) for b in blocks),
+        "mean_replans": sum(b.get("mean_replans", 0.0) for b in blocks) / n,
+        "mean_improvement": sum(b.get("improvement", 0.0) for b in blocks) / n,
+        "mean_regret": sum(b.get("mean_regret", 0.0) for b in blocks) / n,
+        "mean_detection_latency": (
+            sum(latencies) / len(latencies) if latencies else None
+        ),
+    }
 
 
 def execute_study(
@@ -478,6 +592,7 @@ def execute_study(
         return _build_record(
             study, stages, cache_d, resilience(interrupted),
             numerics=aggregate_numerics(outcomes_map.values()),
+            adaptive=aggregate_adaptive(outcomes_map.values()),
         )
 
     def record_outcome(index: int, outcome: TechniqueOutcome) -> None:

@@ -55,6 +55,8 @@ _SCENARIO_FIELDS = (
     "simulate",
     "failure",
     "silent_errors",
+    "regime",
+    "adaptive",
     "trials",
     "seed_policy",
     "label",
@@ -79,6 +81,8 @@ _STUDY_FIELDS = (
     "seed_policy",
     "objective",
     "silent_errors",
+    "regime",
+    "adaptive",
 )
 
 
@@ -135,6 +139,21 @@ class ScenarioSpec:
         simulator (corrupted checkpoints detected late force deeper
         restarts).  ``None`` — the default — reproduces the paper's
         fail-stop-only setting byte for byte.
+    regime:
+        A :class:`~repro.systems.regime.RegimeSchedule` (or its mapping
+        form, or ``None``): a piecewise-stationary elastic schedule for
+        the system — per-segment MTBF scale, checkpoint/restart cost
+        scales and node-count scale.  ``None`` — the default — keeps the
+        stationary paper setting and every existing study hash
+        byte-identical.  A schedule requires the default exponential
+        failure process (the regime source *is* the failure process).
+    adaptive:
+        An :class:`~repro.simulator.AdaptiveSpec` (or its mapping form,
+        or ``True`` for the defaults, or ``None``): turns the scenario
+        into an adaptive-replanning comparison — static vs CUSUM-driven
+        adaptive vs schedule-aware oracle over identical drifting
+        streams.  Requires ``regime``; incompatible with the interval
+        optimizer and silent errors.
     trials:
         Simulation trials for this scenario.
     seed_policy:
@@ -157,6 +176,8 @@ class ScenarioSpec:
     simulate: Mapping[str, Any] = field(default_factory=dict)
     failure: FailureSpec = field(default_factory=FailureSpec)
     silent_errors: Any = None
+    regime: Any = None
+    adaptive: Any = None
     trials: int = 100
     seed_policy: str = "pair"
     label: str = ""
@@ -202,6 +223,48 @@ class ScenarioSpec:
         object.__setattr__(
             self, "silent_errors", SilentErrorSpec.resolve(self.silent_errors)
         )
+        from ..systems.regime import RegimeSchedule
+
+        object.__setattr__(self, "regime", RegimeSchedule.resolve(self.regime))
+        from ..simulator.adaptive import AdaptiveSpec
+
+        object.__setattr__(self, "adaptive", AdaptiveSpec.resolve(self.adaptive))
+        if self.regime is not None:
+            if not self.failure.is_default:
+                raise ValueError(
+                    "a regime schedule requires the default exponential "
+                    "failure process (the piecewise-exponential regime "
+                    f"source is the failure process), got kind "
+                    f"{self.failure.kind!r}"
+                )
+            if self.optimizer == "interval":
+                raise ValueError(
+                    "regime schedules are not supported by the interval "
+                    "optimizer (pattern plans only)"
+                )
+        if self.adaptive is not None:
+            if self.regime is None:
+                raise ValueError(
+                    "adaptive replanning requires a 'regime' schedule "
+                    "(with nothing drifting there is nothing to adapt to)"
+                )
+            if self.silent_errors is not None:
+                raise ValueError(
+                    "adaptive replanning does not support silent errors yet"
+                )
+            if self.objective != "time":
+                raise ValueError(
+                    "adaptive replanning optimizes expected completion time "
+                    f"only, got objective {self.objective!r}"
+                )
+            bad = set(self.simulate) - {"max_time"}
+            if bad or self.sweep_options:
+                raise ValueError(
+                    "adaptive scenarios accept only simulate.max_time and no "
+                    f"sweep_options (the three-policy walker owns the loop); "
+                    f"got simulate keys {sorted(bad)} and "
+                    f"sweep_options {sorted(self.sweep_options)}"
+                )
         engine = self.simulate.get("engine")
         if engine is not None:
             from ..simulator.run import ENGINES  # late: avoid import cycle
@@ -241,6 +304,10 @@ class ScenarioSpec:
             out["objective"] = self.objective
         if self.silent_errors is not None:
             out["silent_errors"] = self.silent_errors.to_dict()
+        if self.regime is not None:
+            out["regime"] = self.regime.to_dict()
+        if self.adaptive is not None:
+            out["adaptive"] = self.adaptive.to_dict()
         return out
 
     @classmethod
@@ -258,7 +325,7 @@ class ScenarioSpec:
         kwargs: dict[str, Any] = {"system": _resolve_system(data["system"])}
         for key in ("technique", "optimizer", "objective", "model_options",
                     "sweep_options", "simulate", "silent_errors",
-                    "seed_policy", "label", "tags"):
+                    "regime", "adaptive", "seed_policy", "label", "tags"):
             if key in data:
                 kwargs[key] = data[key]
         if "trials" in data:
@@ -402,7 +469,7 @@ class StudySpec:
                 key: data[key]
                 for key in ("failure", "simulate", "model_options",
                             "sweep_options", "seed_policy", "objective",
-                            "silent_errors")
+                            "silent_errors", "regime", "adaptive")
                 if key in data
             }
             for sysval in data["systems"]:

@@ -14,8 +14,11 @@ its failure behavior is the point:
 * ``POST /study`` — a :class:`~repro.scenarios.StudySpec`; journaled
   background run, ``202`` with a ``study_hash`` to poll.
 * ``GET /study/{hash}`` — progress / result of a submitted study.
-* ``GET /health`` — queue depth, breaker state, cache hit ratio and the
-  three-tier metrics block (:mod:`repro.service.telemetry`).
+* ``GET /health`` — queue depth, breaker state, cache hit ratio, the
+  three-tier metrics block (:mod:`repro.service.telemetry`), and — once
+  any adaptive-replanning study has finished — an ``studies.adaptive``
+  summary (scenarios, wins, mean replans/improvement/detection latency)
+  so drift-regime deployments surface their replanner's health.
 
 Robustness rules, enforced here:
 

@@ -237,8 +237,43 @@ class StudyManager:
     def describe(self) -> dict:
         with self._lock:
             jobs = list(self._jobs.values())
-        return {
+        out = {
             "running": sum(1 for j in jobs if j.status == "running"),
             "done": sum(1 for j in jobs if j.status == "done"),
             "failed": sum(1 for j in jobs if j.status == "failed"),
         }
+        # Adaptive-replanning telemetry: fold every finished study's
+        # manifest "adaptive" block (scenario-count-weighted) so a
+        # drifting deployment can see its replanner working — and losing
+        # to the static plan shows up as wins < scenarios — straight
+        # from GET /health.  Absent when nothing adaptive ran.
+        blocks = [
+            job.record["adaptive"]
+            for job in jobs
+            if job.record and job.record.get("adaptive")
+        ]
+        if blocks:
+            total = sum(int(b.get("scenarios", 0)) for b in blocks)
+            latencies = [
+                b["mean_detection_latency"]
+                for b in blocks
+                if b.get("mean_detection_latency") is not None
+            ]
+            out["adaptive"] = {
+                "studies": len(blocks),
+                "scenarios": total,
+                "wins": sum(int(b.get("wins", 0)) for b in blocks),
+                "mean_replans": sum(
+                    float(b.get("mean_replans", 0.0)) * int(b.get("scenarios", 0))
+                    for b in blocks
+                ) / total if total else 0.0,
+                "mean_improvement": sum(
+                    float(b.get("mean_improvement", 0.0))
+                    * int(b.get("scenarios", 0))
+                    for b in blocks
+                ) / total if total else 0.0,
+                "mean_detection_latency": (
+                    sum(latencies) / len(latencies) if latencies else None
+                ),
+            }
+        return out

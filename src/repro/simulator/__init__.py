@@ -10,6 +10,12 @@
 """
 
 from .accounting import SimulationStats, TimeBreakdown, TrialResult
+from .adaptive import (
+    AdaptiveComparison,
+    AdaptiveSpec,
+    compare_adaptive,
+    simulate_adaptive_trial,
+)
 from .batch import BatchRequest, simulate_packed, simulate_trials_batch
 from .engine import default_max_time, simulate_trial
 from .run import (
@@ -22,16 +28,20 @@ from .run import (
 from .tracelog import SimEvent, render_timeline, validate_timeline
 
 __all__ = [
+    "AdaptiveComparison",
+    "AdaptiveSpec",
     "BatchRequest",
     "SimEvent",
     "SimulationStats",
     "TimeBreakdown",
     "TrialResult",
+    "compare_adaptive",
     "default_max_time",
     "get_default_engine",
     "render_timeline",
     "set_default_engine",
     "set_inline_mode",
+    "simulate_adaptive_trial",
     "simulate_many",
     "simulate_packed",
     "simulate_trial",

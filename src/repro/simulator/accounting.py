@@ -108,6 +108,18 @@ class TrialResult:
     #: Silent strikes still armed when the application completed — the
     #: run finished on possibly-corrupted state.
     silent_undetected: int = 0
+    #: Plan swaps performed by the adaptive replanner (zero outside
+    #: :mod:`repro.simulator.adaptive` runs, keeping the engines'
+    #: bitwise-equality contract untouched).
+    replans: int = 0
+    #: Wall-clock minutes from the first regime change to the first
+    #: drift detection (``None`` when nothing drifted or nothing was
+    #: detected — not 0.0, and not NaN, which would poison the dataclass
+    #: equality the engine-parity assertions rely on).
+    detection_latency: "float | None" = None
+    #: Makespan excess over the schedule-aware oracle walker for the same
+    #: failure stream (``None`` when no oracle attribution was run).
+    regret: "float | None" = None
     #: Ordered event timeline; populated when ``record_events=True``.
     events: "list | None" = None
 

@@ -1,0 +1,753 @@
+"""Online drift detection and mid-run replanning under regime schedules.
+
+The paper's plans are computed once, against one stationary spec.  Under
+a :class:`~repro.systems.regime.RegimeSchedule` that spec goes stale
+mid-run, and the interesting question becomes *operational*: can a run
+that only observes its own failures notice the drift and re-optimize in
+time to beat the static plan?  This module answers it with three walker
+policies sharing one simulation loop (so the comparison isolates the
+planning policy, never the mechanics):
+
+* ``static`` — the paper's world: the initial plan, never revisited;
+* ``adaptive`` — a sequential two-sided CUSUM detector watches the
+  observed inter-failure gaps against the spec's rate; past the
+  threshold it re-optimizes against the windowed live rate estimate and
+  swaps plans at the next checkpoint commit (never mid-interval — the
+  committed checkpoint is the only state both plans agree on);
+* ``oracle`` — knows the schedule: swaps to
+  :func:`~repro.core.regime.plan_regimes`'s per-segment plan at the
+  first commit inside each new segment.  The unbeatable-by-construction
+  reference that turns the adaptive walker's excess into *regret*.
+
+Detector math: for a drift ratio ``rho`` the log-likelihood ratio of
+rate ``rho * lam0`` against ``lam0`` accrues ``-(rho - 1) * lam0 * dt``
+per failure-free minute and jumps by ``log(rho)`` at each failure; the
+CUSUM statistic ``S <- max(0, S + llr)`` crosses the threshold ``h``
+after a handful of incriminating gaps while staying near zero on-spec
+(Page 1954, in its continuous-time Poisson form).  The mirrored
+statistic with ratio ``1 / rho`` catches the machine *calming down* —
+the storm regime's second boundary — and because the time term accrues
+between failures too (polled at checkpoint commits), calming is
+detected even when failures stop entirely.  After each replan the
+reference rate becomes the estimate just acted on, so further drift
+keeps being detectable.
+
+Simplifications, stated loudly: re-optimization itself is free in
+simulated time (planning runs beside the application); cost drift is
+folded into replans from *measured* checkpoint/restart durations (a run
+knows how long its own writes take — only the failure rate needs a
+detector); and replanned plans are cached on a 5% log-rate grid so
+repeated detections of the same regime do not re-run the sweep.
+
+The walker is scalar-only by design — replanning is control flow the SoA
+batch engine cannot vectorize — and it never touches
+:func:`~repro.simulator.engine.simulate_trial`, so the engines'
+bitwise-equality contract is untouched.  With ``policy="static"`` and no
+cost drift the walker is behaviorally identical to the engine (asserted
+in the test suite), which anchors its mechanics to the ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.dauwe import DauweModel
+from ..core.plan import CheckpointPlan
+from ..core.regime import RegimePlanResult, plan_regimes
+from ..failures.registry import RegimeSourceFactory
+from ..failures.sources import FailureSource
+from ..systems.regime import RegimeSchedule
+from ..systems.spec import SystemSpec
+from .accounting import TimeBreakdown, TrialResult
+from .engine import default_max_time
+
+__all__ = [
+    "AdaptiveSpec",
+    "AdaptiveComparison",
+    "compare_adaptive",
+    "simulate_adaptive_trial",
+]
+
+_EPS = 1e-9
+
+#: Replan-cache sentinel distinguishing "never tried" from "infeasible".
+_MISSING = object()
+
+#: Keys accepted by :meth:`AdaptiveSpec.from_dict`.
+_ADAPTIVE_FIELDS = ("threshold", "ratio", "window")
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """Tuning knobs of the drift detector (strict-JSON, frozen).
+
+    ``threshold`` is the CUSUM alarm level ``h`` (higher: fewer false
+    positives, longer detection delay); ``ratio`` the drift magnitude
+    the test is tuned for (the alarm still fires on other magnitudes,
+    just not minimax-optimally); ``window`` the number of most recent
+    gaps the post-alarm rate estimate averages over.
+    """
+
+    threshold: float = 8.0
+    ratio: float = 3.0
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        threshold = float(self.threshold)
+        if not math.isfinite(threshold) or threshold <= 0:
+            raise ValueError(f"threshold must be positive and finite, got {threshold}")
+        ratio = float(self.ratio)
+        if not math.isfinite(ratio) or ratio <= 1.0:
+            raise ValueError(f"ratio must be a finite number > 1, got {ratio}")
+        window = int(self.window)
+        if window < 2:
+            raise ValueError(f"window must be at least 2 gaps, got {window}")
+        object.__setattr__(self, "threshold", threshold)
+        object.__setattr__(self, "ratio", ratio)
+        object.__setattr__(self, "window", window)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form; defaults are omitted (lossless round-trip)."""
+        out: dict[str, Any] = {}
+        if self.threshold != 8.0:
+            out["threshold"] = self.threshold
+        if self.ratio != 3.0:
+            out["ratio"] = self.ratio
+        if self.window != 8:
+            out["window"] = self.window
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptiveSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"adaptive spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_ADAPTIVE_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown adaptive spec field(s) {sorted(unknown)}; "
+                f"known fields: {list(_ADAPTIVE_FIELDS)}"
+            )
+        return cls(
+            threshold=float(data.get("threshold", 8.0)),
+            ratio=float(data.get("ratio", 3.0)),
+            window=int(data.get("window", 8)),
+        )
+
+    @classmethod
+    def resolve(cls, value: "AdaptiveSpec | Mapping | bool | None") -> "AdaptiveSpec | None":
+        """Accept a spec, its dict form, ``True`` (defaults), or ``None``."""
+        if value is None or isinstance(value, AdaptiveSpec):
+            return value
+        if value is True:
+            return cls()
+        if value is False:
+            return None
+        return cls.from_dict(value)
+
+
+class _Cusum:
+    """Two-sided CUSUM for a Poisson failure process, in continuous time.
+
+    The log-likelihood ratio of rate ``rho * lam0`` against ``lam0``
+    over an interval accrues ``-(rho - 1) * lam0 * dt`` per failure-free
+    unit of time and jumps by ``log(rho)`` at each failure (and the
+    mirror image with ratio ``1 / rho`` for the calming side); each side
+    keeps the running maximum-vs-minimum via the usual ``max(0, .)``
+    clamp.  Keeping the *time* term separate from the *event* term —
+    rather than folding both into per-gap increments — lets the walker
+    poll the detector at checkpoint commits, so a machine that stops
+    failing altogether still produces calming evidence (the censored
+    open gap).  Without that, relaxing after a transient storm on a
+    near-idle machine would require failures that never come.
+
+    The calming side alarms at twice the threshold: relaxing is never
+    urgent (the current plan is safe, merely paying overhead), while a
+    spurious calming replan on a still-hostile machine loses real work
+    before the up side wins it back — the asymmetry buys stability for
+    a bounded extra stretch of conservative checkpointing.
+    """
+
+    __slots__ = ("spec", "lam0", "s_up", "s_dn", "gaps", "last_t", "last_event_t")
+
+    #: Calming alarms fire at ``_CALM_FACTOR * threshold``.
+    _CALM_FACTOR = 2.0
+
+    def __init__(self, spec: AdaptiveSpec, lam0: float) -> None:
+        self.spec = spec
+        self.lam0 = lam0
+        self.s_up = 0.0
+        self.s_dn = 0.0
+        self.gaps: deque[float] = deque(maxlen=spec.window)
+        self.last_t = 0.0
+        self.last_event_t = 0.0
+
+    def advance(self, t: float) -> bool:
+        """Accrue failure-free time up to ``t``; True on a (calming) alarm."""
+        dt = t - self.last_t
+        if dt > 0:
+            rho = self.spec.ratio
+            x = self.lam0 * dt
+            self.s_up = max(0.0, self.s_up - (rho - 1.0) * x)
+            self.s_dn = max(0.0, self.s_dn + (1.0 - 1.0 / rho) * x)
+            self.last_t = t
+        h = self.spec.threshold
+        return self.s_up >= h or self.s_dn >= self._CALM_FACTOR * h
+
+    def observe(self, t: float) -> bool:
+        """Feed a failure at wall-clock ``t``; True when a side alarms."""
+        alarmed = self.advance(t)
+        rho = self.spec.ratio
+        self.s_up = max(0.0, self.s_up + math.log(rho))
+        self.s_dn = max(0.0, self.s_dn - math.log(rho))
+        self.gaps.append(t - self.last_event_t)
+        self.last_event_t = t
+        h = self.spec.threshold
+        return alarmed or self.s_up >= h or self.s_dn >= self._CALM_FACTOR * h
+
+    def estimate(self, t: float) -> float:
+        """Live rate from the recent gaps plus the censored open gap."""
+        open_gap = max(0.0, t - self.last_event_t)
+        total = sum(self.gaps) + open_gap
+        if total <= 0:
+            return self.lam0
+        count = len(self.gaps)
+        # No window yet (a pure calming alarm before any failure): a
+        # half-event continuity correction keeps the estimate positive.
+        return (count if count else 0.5) / total
+
+    def rebase(self, lam0: float, t: float) -> None:
+        """Reset around a new reference rate after a replan."""
+        self.lam0 = lam0
+        self.s_up = 0.0
+        self.s_dn = 0.0
+        self.gaps.clear()
+        self.last_t = t
+
+
+def _quantized_rate(rate: float) -> float:
+    """Snap a rate estimate to a 5% logarithmic grid (replan cache key)."""
+    return 10.0 ** (round(math.log10(rate) * 20.0) / 20.0)
+
+
+def simulate_adaptive_trial(
+    system: SystemSpec,
+    plan: CheckpointPlan,
+    source: FailureSource,
+    schedule: RegimeSchedule | None = None,
+    *,
+    policy: str = "adaptive",
+    spec: AdaptiveSpec | Mapping | None = None,
+    oracle_plans: RegimePlanResult | None = None,
+    max_time: float | None = None,
+    model_factory=DauweModel,
+    model_options: Mapping[str, Any] | None = None,
+    replan_cache: dict | None = None,
+) -> TrialResult:
+    """Walk one execution under a (possibly drifting) failure stream.
+
+    ``source`` supplies the failures (typically spawned from a
+    :class:`~repro.failures.registry.RegimeSourceFactory` so the stream
+    actually drifts per ``schedule``); ``schedule`` supplies the *cost*
+    drift every policy pays (checkpoint/restart scales — environmental,
+    not knowledge) and the onset the reported detection latency is
+    measured from.  The adaptive planner itself never reads it.
+
+    ``policy`` is ``"static"``, ``"adaptive"`` or ``"oracle"`` (the
+    latter requires ``oracle_plans`` from
+    :func:`~repro.core.regime.plan_regimes`).  Fail-stop only, ``retry``
+    restart semantics, free re-checkpointing — the engine's defaults.
+    """
+    if policy not in ("static", "adaptive", "oracle"):
+        raise ValueError(f"unknown adaptive policy {policy!r}")
+    if policy == "oracle" and oracle_plans is None:
+        raise ValueError("policy='oracle' requires oracle_plans (plan_regimes result)")
+    if plan.top_level > system.num_levels:
+        raise ValueError(
+            f"plan uses level {plan.top_level} but {system.name} has "
+            f"{system.num_levels} levels"
+        )
+    spec = AdaptiveSpec.resolve(spec) or AdaptiveSpec()
+    cap = default_max_time(system) if max_time is None else float(max_time)
+    model_options = dict(model_options or {})
+    if replan_cache is None:
+        replan_cache = {}
+
+    T_B = system.baseline_time
+    num_sev = system.num_levels
+    trivial_costs = schedule is None or all(
+        seg.checkpoint_scale == 1.0 and seg.restart_scale == 1.0
+        for seg in schedule.segments
+    )
+
+    def seg_scales(t: float) -> tuple[float, float]:
+        """(checkpoint, restart) cost factors in force at wall-clock ``t``."""
+        if trivial_costs:
+            return 1.0, 1.0
+        seg = schedule.segments[schedule.segment_at(t)]
+        return seg.checkpoint_scale, seg.restart_scale
+
+    # --- plan compilation (re-done at every swap) ---------------------
+    def compile_plan(p: CheckpointPlan):
+        period = math.prod(n + 1 for n in p.counts) if p.counts else 1
+        pattern = [p.level_at_position(m) for m in range(1, period + 1)]
+        recover = [p.recovery_level(s) for s in range(1, num_sev + 1)]
+        return p.tau0, period, pattern, recover, p.levels
+
+    tau0, period, pattern, recover, used_levels = compile_plan(plan)
+
+    # --- state --------------------------------------------------------
+    t = 0.0
+    work = 0.0
+    # Checkpoint positions sit at ``origin + m * tau0``.  The origin
+    # moves only at plan swaps (and at recoveries to a pre-swap, off-grid
+    # checkpoint); keeping positions as ``m * tau0`` products rather than
+    # accumulated sums makes the static-policy walk bitwise-identical to
+    # :func:`~repro.simulator.engine.simulate_trial`.
+    origin = 0.0
+    next_m = 1  # next checkpoint position index relative to the origin
+    # Newest valid checkpoint per *system* level, as an absolute work
+    # position (plans come and go; saved state outlives them).
+    valid = [-1.0] * num_sev
+    recovering = False
+    pending_sev = 0
+    rollback_ref = 0.0
+    # Highest position (absolute work) ever checkpointed *on the current
+    # epoch's grid* — the free-recheckpoint horizon.  Reset at swaps: a
+    # new grid's positions were never saved, so nothing is free there.
+    max_completed = 0.0
+
+    compute_time = 0.0
+    acct = TimeBreakdown()
+    n_by_sev = [0] * num_sev
+    ckpt_ok = ckpt_fail = rst_ok = rst_fail = scratch = restored = 0
+    replans = 0
+    first_detect_t: float | None = None
+    pending_plan: CheckpointPlan | None = None
+    cur_seg = 0  # oracle's notion of which segment's plan is active
+
+    detector = _Cusum(spec, system.failure_rate) if policy == "adaptive" else None
+    cur_plan = plan
+    # Cost factors as last measured from a paid checkpoint/restart.
+    obs_scales = (1.0, 1.0)
+
+    fail_t, fail_s = source.next_after(0.0)
+    completed = False
+
+    def best_recovery(sev: int) -> tuple[float, int]:
+        """(position, system level) of the newest checkpoint covering ``sev``.
+
+        Position 0 with the covering-level fallback means scratch; level
+        -1 means not even the current plan covers the severity (restart
+        at the severity's own level, as the engine does).
+        """
+        best = 0.0
+        best_lv = -1
+        for lv in range(sev, num_sev + 1):
+            if valid[lv - 1] > best:
+                best = valid[lv - 1]
+                best_lv = lv
+        if best > 0:
+            return best, best_lv
+        cover = recover[sev - 1]
+        return 0.0, (cover if cover is not None else -1)
+
+    def replan_system(lam_hat: float) -> SystemSpec:
+        """The system the replanner optimizes: live rate, observed costs.
+
+        The cost factors are *measured*, not read from the schedule — a
+        run knows exactly how long its own checkpoints and restarts have
+        been taking, so pricing them into the replan is observational,
+        unlike the failure rate which needs the detector.
+        """
+        obs_c, obs_r = obs_scales
+        if obs_c == 1.0 and obs_r == 1.0:
+            return system.with_mtbf(1.0 / lam_hat)
+        ckpt = tuple(c * obs_c for c in system.checkpoint_times)
+        rest = system.restart_times
+        if rest is None and obs_r != obs_c:
+            rest = system.checkpoint_times
+        if rest is not None:
+            rest = tuple(r * obs_r for r in rest)
+        return replace(
+            system, mtbf=1.0 / lam_hat, checkpoint_times=ckpt, restart_times=rest
+        )
+
+    def on_alarm(now: float) -> None:
+        """Re-optimize against the live estimate; swap at the next commit.
+
+        An estimate so hostile that no plan is feasible keeps the
+        current plan flying (there is nothing better to swap to); the
+        detector still rebases to the estimate so a later calming is
+        detected against it.  A replan that lands on the already-active
+        plan is a no-op (no swap, no replan counted).
+        """
+        nonlocal pending_plan, first_detect_t
+        if first_detect_t is None:
+            first_detect_t = now
+        lam_hat = _quantized_rate(detector.estimate(now))
+        key = (lam_hat, obs_scales)
+        new_plan = replan_cache.get(key, _MISSING)
+        if new_plan is _MISSING:
+            try:
+                new_plan = (
+                    model_factory(replan_system(lam_hat), **model_options)
+                    .optimize()
+                    .plan
+                )
+            except RuntimeError:
+                new_plan = None
+            replan_cache[key] = new_plan
+        if new_plan is not None and new_plan != cur_plan:
+            pending_plan = new_plan
+        detector.rebase(lam_hat, now)
+
+    def on_failure(category: str) -> None:
+        nonlocal recovering, pending_sev, rollback_ref, fail_t, fail_s
+        s = fail_s
+        n_by_sev[s - 1] += 1
+        if detector is not None:
+            # Keep observing even while a swap is pending — the alarm is
+            # simply not re-acted on.  Starving the detector here would
+            # corrupt the next estimate (a censored gap spanning every
+            # ignored failure reads as a calm machine).
+            alarmed = detector.observe(fail_t)
+            if alarmed and pending_plan is None:
+                on_alarm(fail_t)
+        if recovering:
+            if s > pending_sev:
+                pending_sev = s
+        else:
+            recovering = True
+            pending_sev = s
+            rollback_ref = work
+        for lv in range(1, s):
+            valid[lv - 1] = -1.0
+        pos, _ = best_recovery(pending_sev)
+        lost = rollback_ref - pos
+        if lost > 0:
+            if category == "compute":
+                acct.rework_compute += lost
+            elif category == "checkpoint":
+                acct.rework_checkpoint += lost
+            else:
+                acct.rework_restart += lost
+            rollback_ref = pos
+        fail_t, fail_s = source.next_after(fail_t)
+
+    def swap_to(new_plan: CheckpointPlan, anchor: float) -> None:
+        """Install ``new_plan`` with its grid anchored at ``anchor``."""
+        nonlocal tau0, period, pattern, recover, used_levels
+        nonlocal origin, next_m, max_completed, replans, cur_plan
+        tau0, period, pattern, recover, used_levels = compile_plan(new_plan)
+        cur_plan = new_plan
+        origin = anchor
+        next_m = 1
+        max_completed = anchor  # nothing on the new grid was ever saved
+        replans += 1
+
+    def maybe_swap(anchor: float) -> None:
+        """Plan-swap hook, called at every checkpoint commit.
+
+        For the adaptive policy the commit is also where the detector
+        accrues failure-free (calming) evidence — the poll that lets a
+        machine that stopped failing relax its plan without waiting for
+        failures that never come.
+        """
+        nonlocal pending_plan, cur_seg
+        if policy == "adaptive":
+            if pending_plan is not None:
+                swap_to(pending_plan, anchor)
+                pending_plan = None
+            elif detector.advance(t):
+                on_alarm(t)
+        elif policy == "oracle":
+            j = schedule.segment_at(t)
+            if j != cur_seg:
+                cur_seg = j
+                swap_to(oracle_plans.plan_for_segment(j), anchor)
+
+    while True:
+        if work >= T_B - _EPS and not recovering:
+            completed = True
+            break
+        if t >= cap:
+            break
+
+        if recovering:
+            pos, lv = best_recovery(pending_sev)
+            _, r_scale = seg_scales(t)
+            dur = (
+                system.restart_time(lv) if lv > 0 else system.restart_time(pending_sev)
+            ) * r_scale
+            if fail_t - t < dur:
+                acct.failed_restart += fail_t - t
+                rst_fail += 1
+                t = fail_t
+                on_failure("restart")
+                continue
+            t += dur
+            acct.restart += dur
+            rst_ok += 1
+            obs_scales = (obs_scales[0], r_scale)
+            if pos <= 0:
+                scratch += 1
+            work = pos
+            recovering = False
+            pending_sev = 0
+            # Recoveries to a position on the current grid keep the
+            # origin (and the free-recheckpoint horizon); a pre-swap
+            # checkpoint is off-grid and re-anchors everything there.
+            steps = (pos - origin) / tau0
+            if pos >= origin and abs(steps - round(steps)) <= 1e-9:
+                next_m = int(round(steps)) + 1
+            else:
+                origin = pos
+                next_m = 1
+                max_completed = pos
+            # A completed restart is also a swap point: the recovered
+            # checkpoint is exactly as consistent an anchor as a fresh
+            # commit, and without it a pending swap starves whenever the
+            # current plan is too hopeless to ever reach a commit.
+            maybe_swap(pos)
+            continue
+
+        boundary = origin + next_m * tau0
+        if work < boundary - _EPS or boundary > T_B + _EPS:
+            target = min(boundary, T_B)
+            dur = target - work
+            if fail_t - t < dur:
+                elapsed = fail_t - t
+                compute_time += elapsed
+                work += elapsed
+                t = fail_t
+                on_failure("compute")
+                continue
+            t += dur
+            compute_time += dur
+            work = target
+            continue
+
+        # At a checkpoint boundary (work == boundary <= T_B).
+        lv = pattern[(next_m - 1) % period]
+        if boundary <= max_completed + _EPS:
+            # Recomputation passing a previously-completed position on
+            # the same grid: re-established free (the models' world).
+            for ul in used_levels:
+                if ul <= lv:
+                    valid[ul - 1] = max(valid[ul - 1], boundary)
+            restored += 1
+            next_m += 1
+            maybe_swap(boundary)
+            continue
+        c_scale, _ = seg_scales(t)
+        dur = system.checkpoint_time(lv) * c_scale
+        if fail_t - t < dur:
+            acct.failed_checkpoint += fail_t - t
+            ckpt_fail += 1
+            t = fail_t
+            on_failure("checkpoint")
+            continue
+        t += dur
+        acct.checkpoint += dur
+        ckpt_ok += 1
+        obs_scales = (c_scale, obs_scales[1])
+        for ul in used_levels:
+            if ul <= lv:
+                valid[ul - 1] = boundary
+        max_completed = boundary
+        next_m += 1
+        maybe_swap(boundary)
+
+    if recovering:
+        work = rollback_ref
+    acct.work = work
+    rework = acct.rework_compute + acct.rework_checkpoint + acct.rework_restart
+    if not math.isclose(compute_time, work + rework, rel_tol=1e-6, abs_tol=1e-6):
+        raise RuntimeError(
+            "adaptive walker invariant violated: compute_time != work + rework "
+            f"({compute_time!r} != {work!r} + {rework!r}) for system "
+            f"{system.name}, policy {policy!r}"
+        )
+
+    latency: float | None = None
+    if (
+        first_detect_t is not None
+        and schedule is not None
+        and schedule.num_segments > 1
+    ):
+        latency = first_detect_t - schedule.boundaries[1]
+    return TrialResult(
+        total_time=t,
+        work_done=work,
+        completed=completed,
+        times=acct,
+        failures_by_severity=tuple(n_by_sev),
+        checkpoints_completed=ckpt_ok,
+        checkpoints_failed=ckpt_fail,
+        checkpoints_restored=restored,
+        restarts_completed=rst_ok,
+        restarts_failed=rst_fail,
+        scratch_restarts=scratch,
+        replans=replans,
+        detection_latency=latency,
+    )
+
+
+@dataclass(frozen=True)
+class AdaptiveComparison:
+    """Static vs adaptive vs oracle over a shared set of failure streams."""
+
+    system: str
+    trials: int
+    #: Mean wall-clock makespan per policy (horizon-capped trials count
+    #: at the cap for every policy alike).
+    static_mean: float
+    adaptive_mean: float
+    oracle_mean: float
+    mean_replans: float
+    #: Mean wall-clock minutes from the first regime onset to the first
+    #: drift alarm, over trials that alarmed (negative: false positive
+    #: before the onset); ``None`` when no trial alarmed.
+    mean_detection_latency: float | None
+    #: Mean of (adaptive - oracle) makespan, per shared stream.
+    mean_regret: float
+    #: Relative improvement of adaptive over static (positive = win).
+    improvement: float
+    per_trial_static: tuple[float, ...]
+    per_trial_adaptive: tuple[float, ...]
+    per_trial_oracle: tuple[float, ...]
+    #: Description of the static (segment-0-optimal) plan all three
+    #: policies start from, and the carryover-priced regime-aware
+    #: makespan prediction (:func:`repro.core.plan_regimes`) — the
+    #: quantities the scenario pipeline reports as plan/predicted_time.
+    static_plan: str = ""
+    predicted_makespan: float = float("nan")
+    #: Aggregates over the *adaptive* policy's trials, mirroring the
+    #: single-policy :class:`SimulationStats` fields the pipeline's
+    #: outcome records expect.
+    completed_fraction: float = 1.0
+    mean_failures: float = 0.0
+    breakdown_fractions: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def adaptive_wins(self) -> bool:
+        """The invariant ``validate --stress`` asserts on drift regimes."""
+        return self.adaptive_mean <= self.static_mean
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "trials": self.trials,
+            "static_mean": self.static_mean,
+            "adaptive_mean": self.adaptive_mean,
+            "oracle_mean": self.oracle_mean,
+            "mean_replans": self.mean_replans,
+            "mean_detection_latency": self.mean_detection_latency,
+            "mean_regret": self.mean_regret,
+            "improvement": self.improvement,
+            "adaptive_wins": self.adaptive_wins,
+            "static_plan": self.static_plan,
+            "predicted_makespan": self.predicted_makespan,
+            "completed_fraction": self.completed_fraction,
+            "mean_failures": self.mean_failures,
+        }
+
+
+def compare_adaptive(
+    system: SystemSpec,
+    schedule: RegimeSchedule,
+    spec: AdaptiveSpec | Mapping | None = None,
+    trials: int = 32,
+    seed: int = 0,
+    model_factory=DauweModel,
+    model_options: Mapping[str, Any] | None = None,
+    max_time: float | None = None,
+) -> AdaptiveComparison:
+    """Run the three policies over identical drifting failure streams.
+
+    Each trial spawns three generators from the *same* seed-sequence
+    child, so every policy faces bitwise-identical failures and the
+    makespan differences are pure planning policy.  Per-trial regret
+    (adaptive minus oracle on the shared stream) lands in the adaptive
+    walker's :class:`~repro.simulator.accounting.TrialResult`.
+    """
+    spec = AdaptiveSpec.resolve(spec) or AdaptiveSpec()
+    model_options = dict(model_options or {})
+    static_plan = model_factory(system, **model_options).optimize().plan
+    oracle_plans = plan_regimes(
+        system, schedule, model_factory=model_factory, model_options=model_options
+    )
+    factory = RegimeSourceFactory.for_system(system, schedule)
+    replan_cache: dict = {}
+
+    statics: list[float] = []
+    adaptives: list[float] = []
+    oracles: list[float] = []
+    replans: list[int] = []
+    latencies: list[float] = []
+    regrets: list[float] = []
+    failures: list[int] = []
+    completed = 0
+    breakdown = TimeBreakdown()
+    for child in np.random.SeedSequence(seed).spawn(trials):
+        runs: dict[str, TrialResult] = {}
+        for policy in ("static", "adaptive", "oracle"):
+            source = factory(np.random.default_rng(child))
+            runs[policy] = simulate_adaptive_trial(
+                system,
+                static_plan if policy != "oracle" else oracle_plans.plan_for_segment(0),
+                source,
+                schedule,
+                policy=policy,
+                spec=spec,
+                oracle_plans=oracle_plans if policy == "oracle" else None,
+                max_time=max_time,
+                model_factory=model_factory,
+                model_options=model_options,
+                replan_cache=replan_cache,
+            )
+        adaptive = runs["adaptive"]
+        adaptive.regret = adaptive.total_time - runs["oracle"].total_time
+        statics.append(runs["static"].total_time)
+        adaptives.append(adaptive.total_time)
+        oracles.append(runs["oracle"].total_time)
+        replans.append(adaptive.replans)
+        if adaptive.detection_latency is not None:
+            latencies.append(adaptive.detection_latency)
+        regrets.append(adaptive.regret)
+        completed += adaptive.completed
+        failures.append(adaptive.total_failures)
+        breakdown = breakdown + adaptive.times
+
+    static_mean = float(np.mean(statics))
+    adaptive_mean = float(np.mean(adaptives))
+    return AdaptiveComparison(
+        system=system.name,
+        trials=trials,
+        static_mean=static_mean,
+        adaptive_mean=adaptive_mean,
+        oracle_mean=float(np.mean(oracles)),
+        mean_replans=float(np.mean(replans)),
+        mean_detection_latency=(
+            float(np.mean(latencies)) if latencies else None
+        ),
+        mean_regret=float(np.mean(regrets)),
+        improvement=(
+            (static_mean - adaptive_mean) / static_mean if static_mean > 0 else 0.0
+        ),
+        per_trial_static=tuple(statics),
+        per_trial_adaptive=tuple(adaptives),
+        per_trial_oracle=tuple(oracles),
+        static_plan=static_plan.describe(),
+        predicted_makespan=oracle_plans.predicted_makespan,
+        completed_fraction=completed / trials,
+        mean_failures=float(np.mean(failures)),
+        breakdown_fractions=breakdown.scaled(1.0 / trials).fractions(),
+    )

@@ -76,8 +76,9 @@ _DEFAULT_ENGINE = "auto"
 #: Minimum trial count at which ``engine="auto"`` picks the batched
 #: engine.  Below this width the lockstep loop's fixed per-iteration
 #: numpy dispatch cost outweighs the vectorization win (measured
-#: crossover on the reference container: ~40 trials for mild systems,
-#: ~140 for failure-heavy ones), so tiny runs — notably ``--quick``'s
+#: crossover on the reference container: ~64 trials for mild systems,
+#: ~96 for failure-heavy ones, per ``bench --crossover``), so tiny
+#: runs — notably ``--quick``'s
 #: 25 trials — stay on the scalar loop.  Results are identical either
 #: way; explicit ``engine="batch"`` ignores the threshold.  Override
 #: with ``REPRO_AUTO_MIN_TRIALS`` (``python -m repro bench --crossover``
@@ -85,7 +86,7 @@ _DEFAULT_ENGINE = "auto"
 def _auto_min_trials_default() -> int:
     raw = os.environ.get("REPRO_AUTO_MIN_TRIALS")
     if raw is None:
-        return 128
+        return 96
     try:
         value = int(raw)
     except ValueError:
@@ -93,7 +94,7 @@ def _auto_min_trials_default() -> int:
             f"warning: ignoring non-integer REPRO_AUTO_MIN_TRIALS={raw!r}",
             file=sys.stderr,
         )
-        return 128
+        return 96
     return max(value, 1)
 
 
@@ -103,7 +104,7 @@ _AUTO_MIN_TRIALS = _auto_min_trials_default()
 def set_auto_min_trials(threshold: int | None = None) -> int:
     """Set the process-wide auto-engine crossover threshold; returns the
     previous value.  ``None`` re-reads the environment default
-    (``REPRO_AUTO_MIN_TRIALS``, falling back to the built-in 128).  The
+    (``REPRO_AUTO_MIN_TRIALS``, falling back to the built-in 96).  The
     scenario scheduler mirrors this into its workers like the engine
     default, so one programmatic override governs a whole study run.
     """

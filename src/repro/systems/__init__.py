@@ -10,11 +10,13 @@ from .catalog import (
     exascale_top_costs,
     get_system,
 )
+from .regime import RegimeSchedule, RegimeSegment
 from .spec import SystemSpec
 from .stress import (
     STRESS_SYSTEM_ORDER,
     STRESS_SYSTEMS,
     boundary_taus,
+    drift_regimes,
     get_stress_system,
     million_node_variant,
     stress_systems,
@@ -23,12 +25,15 @@ from .stress import (
 __all__ = [
     "EXASCALE_BASELINE_LONG",
     "EXASCALE_BASELINE_SHORT",
+    "RegimeSchedule",
+    "RegimeSegment",
     "STRESS_SYSTEM_ORDER",
     "STRESS_SYSTEMS",
     "SystemSpec",
     "TEST_SYSTEM_ORDER",
     "TEST_SYSTEMS",
     "boundary_taus",
+    "drift_regimes",
     "exascale_grid",
     "exascale_mtbf_values",
     "exascale_top_costs",

@@ -1,0 +1,277 @@
+"""Piecewise-stationary system regimes: elastic schedules over a run.
+
+The paper — and every model in this repository so far — assumes a
+*stationary* world: one MTBF, one cost vector, one node count, fixed for
+the whole execution.  Real machines are not stationary: allocations grow
+and shrink at reconfiguration points, burst buffers degrade, and failure
+rates drift as hardware ages or jobs migrate (Raghavendra & Vadhiyar,
+arXiv:1711.00270; Sodre, arXiv:1802.07455).  A :class:`RegimeSchedule`
+captures that as a sequence of piecewise-stationary segments, each
+scaling the base :class:`~repro.systems.spec.SystemSpec`:
+
+* ``mtbf_scale`` — multiplies the system MTBF (``< 1``: failures speed
+  up, ``> 1``: the machine calms down);
+* ``nodes_scale`` — node-count factor at a reconfiguration point.  The
+  system-wide failure rate is proportional to the node count, so the
+  effective rate scales by ``nodes_scale / mtbf_scale``.  The workload is
+  assumed weak-scaled (work per node constant), so the baseline time is
+  unchanged — the documented simplification, see DESIGN §13;
+* ``checkpoint_scale`` / ``restart_scale`` — per-level checkpoint and
+  restart cost factors (storage tiers congesting or recovering).
+
+Segment durations are wall-clock minutes (the MTBF's unit).  Every
+segment except the last must have a finite positive ``duration``; the
+last segment is open-ended (``duration`` omitted / ``None``) and its
+scales persist for the remainder of the run, so a schedule always covers
+every time the simulator can reach.
+
+The schedule is frozen and strict-JSON: unknown fields are rejected so a
+typo in a hand-written study file fails loudly (the same contract as
+:class:`~repro.systems.spec.SystemSpec`).  Scenario specs serialize it
+only when present, keeping every no-regime study hash byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+__all__ = ["RegimeSegment", "RegimeSchedule"]
+
+#: Keys accepted per segment by :meth:`RegimeSegment.from_dict`.
+_SEGMENT_FIELDS = (
+    "duration",
+    "mtbf_scale",
+    "checkpoint_scale",
+    "restart_scale",
+    "nodes_scale",
+)
+
+#: Keys accepted by :meth:`RegimeSchedule.from_dict`.
+_SCHEDULE_FIELDS = ("segments",)
+
+
+def _check_scale(name: str, value: float) -> float:
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class RegimeSegment:
+    """One stationary stretch of a :class:`RegimeSchedule`.
+
+    ``duration`` is the segment's wall-clock length in minutes, or
+    ``None`` for the open-ended final segment.  All scales default to 1
+    (no change from the base system).
+    """
+
+    duration: float | None = None
+    mtbf_scale: float = 1.0
+    checkpoint_scale: float = 1.0
+    restart_scale: float = 1.0
+    nodes_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration is not None:
+            duration = float(self.duration)
+            if not math.isfinite(duration) or duration <= 0:
+                raise ValueError(
+                    f"segment duration must be positive and finite, got {duration}"
+                )
+            object.__setattr__(self, "duration", duration)
+        object.__setattr__(self, "mtbf_scale", _check_scale("mtbf_scale", self.mtbf_scale))
+        object.__setattr__(
+            self, "checkpoint_scale", _check_scale("checkpoint_scale", self.checkpoint_scale)
+        )
+        object.__setattr__(
+            self, "restart_scale", _check_scale("restart_scale", self.restart_scale)
+        )
+        object.__setattr__(self, "nodes_scale", _check_scale("nodes_scale", self.nodes_scale))
+
+    @property
+    def rate_scale(self) -> float:
+        """Failure-rate multiplier: node growth speeds failures, MTBF slows them."""
+        return self.nodes_scale / self.mtbf_scale
+
+    @property
+    def is_neutral(self) -> bool:
+        """True when the segment leaves the base system untouched."""
+        return (
+            self.mtbf_scale == 1.0
+            and self.checkpoint_scale == 1.0
+            and self.restart_scale == 1.0
+            and self.nodes_scale == 1.0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form; defaults are omitted (lossless round-trip)."""
+        out: dict[str, Any] = {}
+        if self.duration is not None:
+            out["duration"] = self.duration
+        for key in ("mtbf_scale", "checkpoint_scale", "restart_scale", "nodes_scale"):
+            value = getattr(self, key)
+            if value != 1.0:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegimeSegment":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"regime segment must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_SEGMENT_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown regime segment field(s) {sorted(unknown)}; "
+                f"known fields: {list(_SEGMENT_FIELDS)}"
+            )
+        return cls(
+            duration=(None if data.get("duration") is None else float(data["duration"])),
+            mtbf_scale=float(data.get("mtbf_scale", 1.0)),
+            checkpoint_scale=float(data.get("checkpoint_scale", 1.0)),
+            restart_scale=float(data.get("restart_scale", 1.0)),
+            nodes_scale=float(data.get("nodes_scale", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class RegimeSchedule:
+    """A piecewise-stationary schedule of system regimes.
+
+    ``segments[j]`` governs ``boundaries[j] <= t < boundaries[j + 1]``;
+    the last segment (open-ended) governs everything past its start.
+    """
+
+    segments: tuple[RegimeSegment, ...]
+    _boundaries: tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        segments = tuple(self.segments)
+        if not segments:
+            raise ValueError("a regime schedule needs at least one segment")
+        if any(not isinstance(s, RegimeSegment) for s in segments):
+            raise ValueError("schedule segments must be RegimeSegment instances")
+        for j, seg in enumerate(segments[:-1]):
+            if seg.duration is None:
+                raise ValueError(
+                    f"segment {j} has no duration but is not the last segment; "
+                    "only the final segment is open-ended"
+                )
+        if segments[-1].duration is not None:
+            raise ValueError(
+                "the final segment must be open-ended (omit its duration); "
+                "its scales persist for the remainder of the run"
+            )
+        object.__setattr__(self, "segments", segments)
+        bounds = [0.0]
+        for seg in segments[:-1]:
+            bounds.append(bounds[-1] + seg.duration)
+        object.__setattr__(self, "_boundaries", tuple(bounds))
+
+    # ------------------------------------------------------------------
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        """Segment start times: ``boundaries[0] == 0.0``."""
+        return self._boundaries
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no segment changes anything (pure bookkeeping schedule)."""
+        return all(seg.is_neutral for seg in self.segments)
+
+    def segment_at(self, t: float) -> int:
+        """Index of the segment governing wall-clock time ``t`` (>= 0)."""
+        j = self.num_segments - 1
+        while j > 0 and t < self._boundaries[j]:
+            j -= 1
+        return j
+
+    def effective_rates(self, base_rate: float) -> tuple[float, ...]:
+        """Per-segment system failure rates for a base rate ``1/MTBF``."""
+        return tuple(base_rate * seg.rate_scale for seg in self.segments)
+
+    def scaled_system(self, system, j: int):
+        """The base ``system`` as segment ``j`` sees it.
+
+        The effective MTBF folds both knobs (``mtbf * mtbf_scale /
+        nodes_scale``); checkpoint and restart costs scale per level.
+        When restart times were defaulted but the two cost scales differ,
+        the restart vector is materialized from the checkpoint times
+        first so each scale lands on its own vector.
+        """
+        seg = self.segments[j]
+        if seg.is_neutral:
+            return system
+        ckpt = tuple(c * seg.checkpoint_scale for c in system.checkpoint_times)
+        rest = system.restart_times
+        if rest is None and seg.restart_scale != seg.checkpoint_scale:
+            rest = system.checkpoint_times
+        if rest is not None:
+            rest = tuple(r * seg.restart_scale for r in rest)
+        return replace(
+            system,
+            mtbf=system.mtbf * seg.mtbf_scale / seg.nodes_scale,
+            checkpoint_times=ckpt,
+            restart_times=rest,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"segments": [seg.to_dict() for seg in self.segments]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegimeSchedule":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"regime schedule must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_SCHEDULE_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown regime schedule field(s) {sorted(unknown)}; "
+                f"known fields: {list(_SCHEDULE_FIELDS)}"
+            )
+        segments = data.get("segments")
+        if not isinstance(segments, (list, tuple)):
+            raise ValueError("regime schedule needs a 'segments' array")
+        return cls(tuple(RegimeSegment.from_dict(seg) for seg in segments))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RegimeSchedule":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def resolve(cls, value: "RegimeSchedule | Mapping | None") -> "RegimeSchedule | None":
+        """Accept a schedule, its dict form, or ``None`` (spec-layer helper)."""
+        if value is None or isinstance(value, RegimeSchedule):
+            return value
+        return cls.from_dict(value)
+
+    def summary(self) -> str:
+        """One-line human-readable form for reports and logs."""
+        parts = []
+        for j, seg in enumerate(self.segments):
+            span = (
+                f"[{self._boundaries[j]:g}, inf)"
+                if j == self.num_segments - 1
+                else f"[{self._boundaries[j]:g}, {self._boundaries[j] + seg.duration:g})"
+            )
+            knobs = seg.to_dict()
+            knobs.pop("duration", None)
+            desc = ", ".join(f"{k}={v:g}" for k, v in knobs.items()) or "base"
+            parts.append(f"{span}: {desc}")
+        return "; ".join(parts)

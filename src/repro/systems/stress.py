@@ -27,12 +27,14 @@ import numpy as np
 
 from ..core.silent import SilentErrorSpec
 from .catalog import TEST_SYSTEM_ORDER, TEST_SYSTEMS
+from .regime import RegimeSchedule, RegimeSegment
 from .spec import SystemSpec
 
 __all__ = [
     "STRESS_SYSTEMS",
     "STRESS_SYSTEM_ORDER",
     "boundary_taus",
+    "drift_regimes",
     "get_stress_system",
     "million_node_variant",
     "silent_variants",
@@ -219,6 +221,99 @@ def silent_variants(system: SystemSpec) -> list[SilentErrorSpec]:
             detection_latency=10.0 * system.baseline_time,
         ),
     ]
+
+
+def drift_regimes(system: SystemSpec) -> list[tuple[str, RegimeSchedule]]:
+    """Handcrafted drift regimes scaled to ``system``'s own magnitudes.
+
+    Three named schedules per system, each a scenario where the spec the
+    static plan was optimized against goes stale mid-run — the regimes
+    ``validate --stress`` asserts the adaptive replanner beats the static
+    plan on (mean makespan, adaptive <= static):
+
+    1. ``decay`` — the machine degrades for good: the failure rate jumps
+       a quarter of the way through the baseline work;
+    2. ``storm`` — a transient burst: double the decay drift for a
+       window in the middle of the run, then back to spec (exercises the
+       detector's two-sided response — densify, then relax);
+    3. ``scale-out`` — a reconfiguration point: node count (and so
+       failure rate) up by the same drift factor, with checkpoint and
+       restart costs up 1.5x, permanently.
+
+    The catalog is *curated*: a regime is only emitted when adapting to
+    it is physically meaningful for the system at hand.  The drift
+    magnitude is bounded on both sides — strong enough that the drifted
+    stretch produces an *observable* failure stream (a nominal 10x,
+    harsher for near-idle machines: Moody's system fails ~0.2 times per
+    baseline, so a 10x drift there would fire no failures and be
+    neither detectable nor worth adapting to), yet mild enough that the
+    drifted regime stays *survivable* (post-drift MTBF at least ~15
+    level-1 checkpoint costs; a regime where every plan stalls turns
+    the adaptive-vs-static invariant into a coin flip between
+    horizon-capped runs).  Systems already so failure-dense that even a
+    2x drift crosses the survivability cliff (Di's 3-4-minute-MTBF
+    configurations) get *no* regimes.  The transient storm needs more:
+    it must be several times the base rate (else the static plan's
+    storm losses — the whole pie — are too small to cover detection and
+    relaxation delays) and short-gapped enough to detect *within* the
+    window, so it is emitted only when a harsher-than-decay burst is
+    survivable.  Onsets are fractions of the baseline time so every
+    system drifts while real work remains; the pre-drift segment
+    matches the spec, so a false-positive replan before the onset costs
+    the adaptive walker.
+    """
+    T = system.baseline_time
+    c1 = system.checkpoint_times[0]
+    drift = min(0.1, T / (16.0 * system.mtbf))  # observable
+    drift = max(drift, 15.0 * c1 / system.mtbf)  # survivable
+    drift = min(drift, 0.5)  # still at least a 2x drift
+    if system.mtbf * drift < 4.0 * c1:
+        # Past the survivability cliff: no meaningful drift exists.
+        return []
+    out = [
+        (
+            "decay",
+            RegimeSchedule((
+                RegimeSegment(duration=0.25 * T),
+                RegimeSegment(mtbf_scale=drift),
+            )),
+        ),
+    ]
+    storm = max(drift * drift, 15.0 * c1 / system.mtbf)
+    # A storm must be at least ~4x the base rate (survivably) to leave a
+    # pie worth the detection and relaxation delays, and the top-level
+    # checkpoint must still fit between storm failures — a machine whose
+    # top level is unwritable mid-storm dooms static and adaptive alike
+    # (severity-top failures roll both back to pre-storm state), leaving
+    # nothing for replanning to win.
+    if storm <= 0.25 and system.mtbf * storm >= system.checkpoint_times[-1]:
+        out.append(
+            (
+                "storm",
+                RegimeSchedule((
+                    RegimeSegment(duration=0.3 * T),
+                    RegimeSegment(duration=0.3 * T, mtbf_scale=storm),
+                    RegimeSegment(),
+                )),
+            )
+        )
+    # The reconfiguration needs to multiply the rate several-fold to be
+    # detectable above the cost bump it rides along with.
+    if drift <= 0.25:
+        out.append(
+            (
+                "scale-out",
+                RegimeSchedule((
+                    RegimeSegment(duration=0.25 * T),
+                    RegimeSegment(
+                        nodes_scale=0.8 / drift,
+                        checkpoint_scale=1.5,
+                        restart_scale=1.5,
+                    ),
+                )),
+            )
+        )
+    return out
 
 
 def boundary_taus(system: SystemSpec) -> list[float]:

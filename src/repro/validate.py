@@ -31,6 +31,18 @@ checks the numerics-guard invariants end to end:
    :func:`~repro.systems.stress.silent_variants` overlay — where the
    scalar and batched trial engines must stay **bitwise identical**
    (any divergence is an ``engine-divergence`` violation).
+5. **Regime pass** (``--stress`` only): every handcrafted
+   :func:`~repro.systems.stress.drift_regimes` overlay of the Table I
+   catalog is validated twice over — the scalar and batched engines
+   must stay bitwise identical on the piecewise-exponential regime
+   streams, and the adaptive replanner of
+   :func:`~repro.simulator.compare_adaptive` must finish no later than
+   the static plan on average over shared drifting failure streams
+   (``adaptive-loses`` violation otherwise; the regimes are curated to
+   be observable, survivable, and worth adapting to, so a loss means
+   the detector or replanner regressed).  The carryover-priced
+   :func:`~repro.core.plan_regimes` prediction versus the adaptive
+   walker's measurement joins the deviation band.
 
 The command exits non-zero iff an invariant is violated; deviation bands
 and per-site event totals always print.
@@ -52,7 +64,12 @@ from .models import make_model
 from .simulator import simulate_many
 from .systems import TEST_SYSTEM_ORDER, TEST_SYSTEMS
 from .systems.spec import SystemSpec
-from .systems.stress import boundary_taus, silent_variants, stress_systems
+from .systems.stress import (
+    boundary_taus,
+    drift_regimes,
+    silent_variants,
+    stress_systems,
+)
 
 __all__ = [
     "PairReport",
@@ -460,6 +477,115 @@ def _validate_pair(
     return pair
 
 
+def _validate_regime(
+    report: ValidationReport,
+    system: SystemSpec,
+    regime_name: str,
+    schedule,
+    trials: int,
+    seed: int,
+    quick: bool,
+) -> PairReport:
+    """Invariant check 5: one (system, drift regime) pair.
+
+    Two invariants, one deviation band:
+
+    * the scalar and batched trial engines must stay **bitwise
+      identical** on the piecewise-exponential regime stream (the static
+      segment-0 plan, shared seeds);
+    * the adaptive replanner's mean makespan must not exceed the static
+      plan's over shared drifting streams (``adaptive-loses``);
+    * the regime-aware :func:`~repro.core.plan_regimes` prediction vs
+      the adaptive walker's measured efficiency is *reported* into the
+      deviation band — like the stationary passes, deviation is
+      informative, never an invariant.
+    """
+    from .failures.registry import RegimeSourceFactory
+    from .simulator.adaptive import compare_adaptive
+
+    pair = PairReport(
+        system=system.name, technique="dauwe", verdict="ok",
+        variant=f"regime:{regime_name}",
+    )
+    try:
+        model = make_model("dauwe", system)
+        try:
+            opt = model.optimize(**_sweep_options(system, quick))
+        except RuntimeError as exc:
+            pair.verdict = "hopeless"
+            pair.note = str(exc)
+            return pair
+
+        # Engine parity on the regime stream, budget-gated like the
+        # silent pass (the scalar engine walks every event in Python;
+        # storms multiply the event count by the drift factor).
+        factory = RegimeSourceFactory.for_system(system, schedule)
+        max_time = (
+            50.0 * opt.predicted_time
+            if math.isfinite(opt.predicted_time)
+            else None
+        )
+        horizon = max_time if max_time is not None else system.baseline_time
+        parity_budget = min(trials, 8) * horizon * max(factory.rates)
+        if parity_budget <= _MAX_PARITY_EVENTS:
+            common = dict(
+                trials=min(trials, 8),
+                seed=pair_seed(seed, system.name, "dauwe"),
+                max_time=max_time,
+                source_factory=factory,
+                return_trials=True,
+            )
+            _, scalar = simulate_many(system, opt.plan, engine="scalar", **common)
+            _, batch = simulate_many(system, opt.plan, engine="batch", **common)
+            for i, (a, b) in enumerate(zip(scalar, batch)):
+                if a != b:
+                    report.violations.append(
+                        Violation(
+                            pair.system, pair.technique, "engine-divergence",
+                            f"scalar and batch engines disagree on trial {i} "
+                            f"of regime {regime_name!r}",
+                        )
+                    )
+                    break
+
+        comparison = compare_adaptive(
+            system, schedule, trials=trials,
+            seed=pair_seed(seed, system.name, f"regime:{regime_name}"),
+        )
+        T_B = system.baseline_time
+        if comparison.predicted_makespan > 0:
+            pair.predicted_efficiency = T_B / comparison.predicted_makespan
+        if comparison.adaptive_mean > 0:
+            pair.simulated_efficiency = T_B / comparison.adaptive_mean
+        if (
+            pair.predicted_efficiency is not None
+            and pair.simulated_efficiency is not None
+        ):
+            pair.deviation = (
+                pair.predicted_efficiency - pair.simulated_efficiency
+            )
+        pair.note = (
+            f"adaptive {comparison.improvement:+.1%} vs static, "
+            f"{comparison.mean_replans:.1f} replans"
+        )
+        if not comparison.adaptive_wins:
+            report.violations.append(
+                Violation(
+                    pair.system, pair.technique, "adaptive-loses",
+                    f"adaptive mean makespan {comparison.adaptive_mean:.1f} "
+                    f"exceeds static {comparison.static_mean:.1f} on curated "
+                    f"drift regime {regime_name!r}",
+                )
+            )
+    except Exception as exc:  # noqa: BLE001 - crash *is* the invariant
+        pair.verdict = "crash"
+        pair.note = f"{type(exc).__name__}: {exc}"
+        report.violations.append(
+            Violation(system.name, "dauwe", "crash", pair.note)
+        )
+    return pair
+
+
 def run_validation(
     stress: bool = False,
     quick: bool = False,
@@ -467,6 +593,7 @@ def run_validation(
     systems: Sequence[SystemSpec] | None = None,
     trials: int | None = None,
     seed: int = 0,
+    regimes: bool | None = None,
 ) -> ValidationReport:
     """Validate every technique against a system catalog.
 
@@ -474,7 +601,8 @@ def run_validation(
     :data:`~repro.systems.stress.STRESS_SYSTEMS`.  ``quick=True`` coarsens
     the sweeps and shrinks the trial count — the CI smoke configuration.
     ``systems`` overrides the catalog entirely (any validated
-    :class:`SystemSpec` list).
+    :class:`SystemSpec` list).  ``regimes`` controls the drift-regime
+    pass; the default (``None``) runs it exactly when ``stress`` is on.
     """
     if systems is None:
         if stress:
@@ -512,6 +640,23 @@ def run_validation(
                     _validate_pair(
                         report, system, "dauwe", trials, seed, quick,
                         silent_errors=overlay, variant=f"sdc{i}",
+                    )
+                )
+    # Regime pass (--stress only): engine parity on piecewise streams
+    # plus the adaptive-beats-static invariant on every curated drift
+    # regime of the Table I catalog (the drift curation is calibrated
+    # against Table I physics, so the pass uses that catalog regardless
+    # of which one the stationary passes ran on).
+    if (stress if regimes is None else regimes) and "dauwe" in techniques:
+        regime_names = ("M", "B", "D1") if quick else TEST_SYSTEM_ORDER
+        regime_trials = 16 if quick else 32
+        for name in regime_names:
+            system = TEST_SYSTEMS[name]
+            for regime_name, schedule in drift_regimes(system):
+                report.pairs.append(
+                    _validate_regime(
+                        report, system, regime_name, schedule,
+                        regime_trials, seed, quick,
                     )
                 )
     return report

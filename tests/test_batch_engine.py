@@ -227,6 +227,26 @@ class TestDispatch:
         assert _resolve_engine("batch", "retry", None, 1) is True
         assert _resolve_engine("scalar", "retry", None, 10**6) is False
 
+    def test_auto_crossover_default_is_96(self, monkeypatch):
+        # The built-in crossover is the bench-measured value for the
+        # reference container (``bench --crossover`` recommends 96):
+        # 96 trials dispatch to batch, 95 stay scalar.  Pinning the
+        # boundary keeps the default honest against accidental drift.
+        from repro.simulator.run import (
+            _auto_min_trials_default,
+            _resolve_engine,
+            set_auto_min_trials,
+        )
+
+        monkeypatch.delenv("REPRO_AUTO_MIN_TRIALS", raising=False)
+        assert _auto_min_trials_default() == 96
+        previous = set_auto_min_trials(None)
+        try:
+            assert _resolve_engine("auto", "retry", None, 96) is True
+            assert _resolve_engine("auto", "retry", None, 95) is False
+        finally:
+            set_auto_min_trials(previous)
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="engine must be one of"):
             simulate_many(

@@ -441,3 +441,86 @@ class TestKillDuringPackedExecution:
         assert {"type": "packed_simulate", "scenarios": 4} in (
             record["resilience"]["events"]
         )
+
+
+class TestSigintDuringRegimeAdaptive:
+    """SIGINT a driver running adaptive regime scenarios — these are
+    never packed (the adaptive walker is scalar control flow), so the
+    kill exercises the serial per-scenario journal path with a regime
+    schedule active; the resumed report must be byte-identical to an
+    uninterrupted run."""
+
+    _SPEC = {
+        "study": "regime-sigint",
+        "seed": 5,
+        "trials": 10,
+        "systems": ["M", "B", "D1"],
+        "techniques": ["dauwe"],
+        "regime": {
+            "segments": [
+                {"duration": 2000.0},
+                {"mtbf_scale": 0.25},
+            ]
+        },
+        "adaptive": {},
+    }
+
+    def _cmd(self, directory: Path) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "custom",
+            "--study", str(directory / "study.json"),
+            "--no-cache", "--report", str(directory / "rep.md"),
+        ]
+
+    def _prepare(self, directory: Path) -> None:
+        directory.mkdir()
+        (directory / "study.json").write_text(json.dumps(self._SPEC))
+
+    def test_sigint_then_resume_reproduces_regime_report(self, tmp_path):
+        base_dir = tmp_path / "base"
+        self._prepare(base_dir)
+        subprocess.run(
+            self._cmd(base_dir), env=_cli_env(), check=True, capture_output=True
+        )
+        baseline = _strip_timestamp((base_dir / "rep.md").read_text())
+        base_manifest = json.loads((base_dir / "rep.manifest.json").read_text())
+        (base_record,) = base_manifest["studies"]
+        # adaptive scenarios bypass the packed fast path
+        assert not any(
+            event["type"] == "packed_simulate"
+            for event in base_record["resilience"]["events"]
+        )
+        assert base_record["adaptive"]["scenarios"] == 3
+
+        run_dir = tmp_path / "run"
+        self._prepare(run_dir)
+        journal = run_dir / "rep.journal.jsonl"
+        proc = subprocess.Popen(
+            self._cmd(run_dir),
+            env=_cli_env(REPRO_CHAOS="latency-ms:300"),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        _wait_for_journal(proc, journal, lines=1)
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 130
+        assert "interrupted" in stderr
+
+        survivors = _verified_scenario_lines(journal)
+        assert survivors >= 1
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "aborted"
+
+        second = subprocess.run(
+            self._cmd(run_dir), env=_cli_env(), capture_output=True, text=True
+        )
+        assert second.returncode == 0
+        assert f"resumed {survivors} scenario(s)" in second.stderr
+        assert _strip_timestamp((run_dir / "rep.md").read_text()) == baseline
+        manifest = json.loads((run_dir / "rep.manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        (record,) = manifest["studies"]
+        assert record["resilience"]["resumed"] == survivors
+        assert record["adaptive"] == base_record["adaptive"]

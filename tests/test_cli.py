@@ -265,6 +265,87 @@ class TestResumeFlagsAndExitCodes:
         assert "error:" in capsys.readouterr().err
 
 
+class TestJournalCommand:
+    """The `repro journal` audit subcommand and its exit codes."""
+
+    def _journal_from_run(self, tmp_path):
+        study = {
+            "study": "toy",
+            "seed": 12,
+            "trials": 2,
+            "systems": ["M"],
+            "techniques": ["dauwe", "daly"],
+            "seed_policy": "fixed",
+        }
+        path = tmp_path / "study.json"
+        path.write_text(json.dumps(study))
+        report = tmp_path / "out.md"
+        assert main(
+            ["custom", "--study", str(path), "--report", str(report)]
+        ) == 0
+        return tmp_path / "out.journal.jsonl"
+
+    def test_clean_journal_exits_zero(self, tmp_path, capsys):
+        journal = self._journal_from_run(tmp_path)
+        capsys.readouterr()
+        assert main(["journal", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "clean" in out
+
+    def test_corrupt_journal_exits_4(self, tmp_path, capsys):
+        journal = self._journal_from_run(tmp_path)
+        lines = journal.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace('"index"', '"indxe"', 1)
+        journal.write_text("".join(lines))
+        capsys.readouterr()
+        assert main(["journal", "--journal", str(journal)]) == 4
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_torn_tail_still_exits_zero(self, tmp_path, capsys):
+        journal = self._journal_from_run(tmp_path)
+        journal.write_text(journal.read_text()[:-30])
+        capsys.readouterr()
+        assert main(["journal", "--journal", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail" in out and "usable" in out
+
+    def test_missing_journal_exits_1(self, tmp_path, capsys):
+        assert main(
+            ["journal", "--journal", str(tmp_path / "nope.jsonl")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_journal_requires_the_flag(self):
+        with pytest.raises(SystemExit) as info:
+            main(["journal"])
+        assert info.value.code == 2
+
+    def test_journal_flag_rejected_elsewhere(self):
+        with pytest.raises(SystemExit) as info:
+            main(["figure2", "--journal", "j.jsonl"])
+        assert info.value.code == 2
+
+    def test_validate_out_rejected_outside_validate(self):
+        with pytest.raises(SystemExit) as info:
+            main(["figure2", "--validate-out", "v.json"])
+        assert info.value.code == 2
+
+    def test_validate_out_writes_report_artifact(self, tmp_path, capsys):
+        out = tmp_path / "v.json"
+        code = main(
+            [
+                "validate", "--quick", "--techniques", "daly",
+                "--trials", "2", "--validate-out", str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["ok"] is True
+        assert data["catalog"] == "standard"
+        assert len(data["pairs"]) > 0
+
+
 class TestTaskTimeoutFlag:
     def test_negative_rejected_by_parser(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,377 @@
+"""Non-stationary regimes: schedules, streams, planning, adaptation.
+
+The regime layer's contracts, end to end:
+
+* :class:`RegimeSchedule` is strict JSON (unknown keys raise, defaults
+  are omitted) and round-trips losslessly; a scenario *without* a
+  schedule serializes byte-identically to the pre-regime format, so
+  existing study hashes never move;
+* the scalar and batched engines are **bitwise identical** on
+  piecewise-exponential regime streams, and ``engine="auto"``
+  dispatches them to the batch engine like any stationary kind;
+* :func:`plan_regimes` prices every segment plus the boundary
+  carryover, degrading per-segment (never whole-schedule) on hopeless
+  regimes;
+* the CUSUM detector alarms on drift (both directions) and stays quiet
+  on stationary streams; the static-policy adaptive walker reproduces
+  the plain engine bitwise; the adaptive policy beats static on the
+  curated drift regimes the validator asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DauweModel, plan_regimes
+from repro.failures.registry import RegimeSourceFactory
+from repro.scenarios import ScenarioSpec, StudySpec, execute_study
+from repro.simulator import (
+    AdaptiveSpec,
+    compare_adaptive,
+    simulate_adaptive_trial,
+    simulate_many,
+    simulate_trial,
+)
+from repro.simulator.adaptive import _Cusum
+from repro.systems import get_system
+from repro.systems.regime import RegimeSchedule, RegimeSegment
+from repro.systems.stress import drift_regimes
+
+DECAY = RegimeSchedule(
+    (RegimeSegment(duration=800.0), RegimeSegment(mtbf_scale=0.25))
+)
+
+
+def plan_for(name: str):
+    return DauweModel(get_system(name)).optimize().plan
+
+
+class TestScheduleSpec:
+    def test_round_trip_omits_defaults(self):
+        data = DECAY.to_dict()
+        assert data == {
+            "segments": [{"duration": 800.0}, {"mtbf_scale": 0.25}]
+        }
+        assert RegimeSchedule.from_dict(data) == DECAY
+        assert RegimeSchedule.from_json(DECAY.to_json()) == DECAY
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(ValueError, match="unknown regime segment field"):
+            RegimeSegment.from_dict({"duration": 5.0, "mtbf": 2.0})
+        with pytest.raises(ValueError, match="unknown regime schedule field"):
+            RegimeSchedule.from_dict({"segments": [{}], "loop": True})
+
+    def test_scale_validation(self):
+        for key in (
+            "mtbf_scale", "checkpoint_scale", "restart_scale", "nodes_scale"
+        ):
+            with pytest.raises(ValueError, match="positive finite"):
+                RegimeSegment(**{key: 0.0})
+        with pytest.raises(ValueError, match="positive and finite"):
+            RegimeSegment(duration=-1.0)
+
+    def test_only_last_segment_open_ended(self):
+        with pytest.raises(ValueError, match="not the last segment"):
+            RegimeSchedule((RegimeSegment(), RegimeSegment()))
+        with pytest.raises(ValueError, match="must be open-ended"):
+            RegimeSchedule((RegimeSegment(duration=10.0),))
+        with pytest.raises(ValueError, match="at least one segment"):
+            RegimeSchedule(())
+
+    def test_boundaries_and_lookup(self):
+        sched = RegimeSchedule(
+            (
+                RegimeSegment(duration=100.0),
+                RegimeSegment(duration=50.0, mtbf_scale=0.5),
+                RegimeSegment(nodes_scale=2.0),
+            )
+        )
+        assert sched.boundaries == (0.0, 100.0, 150.0)
+        assert [sched.segment_at(t) for t in (0.0, 99.9, 100.0, 149.0, 1e9)] \
+            == [0, 0, 1, 1, 2]
+        # rate scale: node growth speeds failures, MTBF slows them
+        assert sched.effective_rates(0.01) == pytest.approx(
+            (0.01, 0.02, 0.02)
+        )
+
+    def test_scaled_system(self):
+        system = get_system("B")
+        sched = RegimeSchedule(
+            (
+                RegimeSegment(duration=10.0),
+                RegimeSegment(
+                    mtbf_scale=0.5, checkpoint_scale=2.0,
+                    restart_scale=3.0, nodes_scale=4.0,
+                ),
+            )
+        )
+        assert sched.scaled_system(system, 0) is system  # neutral: no copy
+        hot = sched.scaled_system(system, 1)
+        assert hot.mtbf == pytest.approx(system.mtbf * 0.5 / 4.0)
+        assert hot.checkpoint_times == tuple(
+            2.0 * c for c in system.checkpoint_times
+        )
+        # restart defaulted on B: materialized from checkpoint costs
+        # before its own scale, so the two knobs stay independent
+        assert hot.restart_times == tuple(
+            3.0 * c for c in system.checkpoint_times
+        )
+
+    def test_resolve(self):
+        assert RegimeSchedule.resolve(None) is None
+        assert RegimeSchedule.resolve(DECAY) is DECAY
+        assert RegimeSchedule.resolve(DECAY.to_dict()) == DECAY
+
+    def test_summary_mentions_every_segment(self):
+        text = DECAY.summary()
+        assert "inf" in text and "800" in text
+
+
+class TestScenarioSpecIntegration:
+    def test_no_regime_serializes_as_before(self):
+        # Transparency: the pre-regime JSON form is untouched, so every
+        # existing study hash, journal, and manifest stays byte-valid.
+        spec = ScenarioSpec(system=get_system("B"), trials=10)
+        data = spec.to_dict()
+        assert "regime" not in data and "adaptive" not in data
+
+    def test_regime_round_trips_through_study_json(self):
+        study = StudySpec(
+            study_id="drift",
+            scenarios=(
+                ScenarioSpec(
+                    system=get_system("B"), trials=10,
+                    regime=DECAY.to_dict(), adaptive={"window": 4},
+                ),
+            ),
+        )
+        again = StudySpec.from_json(study.to_json())
+        assert again == study
+        scenario = again.scenarios[0]
+        assert scenario.regime == DECAY
+        assert scenario.adaptive == AdaptiveSpec(window=4)
+
+    def test_regime_requires_default_failure_process(self):
+        from repro.failures import FailureSpec
+
+        with pytest.raises(ValueError, match="default exponential"):
+            ScenarioSpec(
+                system=get_system("B"), trials=10, regime=DECAY,
+                failure=FailureSpec("weibull", {"shape": 0.7}),
+            )
+
+    def test_regime_rejects_interval_optimizer(self):
+        with pytest.raises(ValueError, match="interval optimizer"):
+            ScenarioSpec(
+                system=get_system("B"), trials=10, regime=DECAY,
+                optimizer="interval",
+            )
+
+    def test_adaptive_requires_regime(self):
+        with pytest.raises(ValueError, match="requires a 'regime'"):
+            ScenarioSpec(system=get_system("B"), trials=10, adaptive=True)
+
+    def test_adaptive_rejects_silent_errors(self):
+        with pytest.raises(ValueError, match="silent errors"):
+            ScenarioSpec(
+                system=get_system("B"), trials=10, regime=DECAY,
+                adaptive=True, silent_errors={"mtbf": 50000.0},
+            )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("name", ["B", "D1"])
+    def test_scalar_batch_bitwise_on_regime_streams(self, name):
+        system = get_system(name)
+        plan = plan_for(name)
+        factory = RegimeSourceFactory.for_system(system, DECAY)
+        kwargs = dict(
+            trials=24, seed=11, source_factory=factory,
+            max_time=40.0 * system.baseline_time, return_trials=True,
+        )
+        _, scalar = simulate_many(system, plan, engine="scalar", **kwargs)
+        _, batch = simulate_many(system, plan, engine="batch", **kwargs)
+        assert scalar == batch
+
+    def test_auto_dispatches_regime_factories_to_batch(self):
+        from repro.simulator.run import _resolve_engine
+
+        factory = RegimeSourceFactory.for_system(get_system("B"), DECAY)
+        assert _resolve_engine("auto", "retry", factory, 10**6) is True
+
+
+class TestPlanRegimes:
+    def test_trivial_schedule_matches_stationary_optimum(self):
+        system = get_system("B")
+        sched = RegimeSchedule((RegimeSegment(),))
+        result = plan_regimes(system, sched)
+        opt = DauweModel(system).optimize()
+        assert result.segments[0].plan == opt.plan
+        assert result.predicted_makespan == pytest.approx(opt.predicted_time)
+        assert result.carryover == ()
+
+    def test_decay_prices_both_segments_and_the_boundary(self):
+        system = get_system("B")
+        result = plan_regimes(system, DECAY)
+        assert [s.index for s in result.segments] == [0, 1]
+        assert result.segments[1].rate == pytest.approx(
+            4.0 * result.segments[0].rate
+        )
+        # the hotter regime buys efficiency with denser checkpoints
+        assert (
+            result.segments[1].predicted_efficiency
+            < result.segments[0].predicted_efficiency
+        )
+        assert math.isfinite(result.predicted_makespan)
+        assert result.predicted_makespan > system.baseline_time
+        # the walk crossed the one boundary before completing
+        assert len(result.carryover) == 1
+        assert result.carryover[0] >= 0.0
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["predicted_makespan"] == result.predicted_makespan
+
+
+class TestCusum:
+    def test_detects_rate_increase(self):
+        lam0 = 0.01
+        det = _Cusum(AdaptiveSpec(), lam0)
+        t, events = 0.0, 0
+        alarmed = False
+        while events < 100 and not alarmed:
+            t += 10.0  # gaps of 10 min: a 10x hotter machine
+            alarmed = det.observe(t)
+            events += 1
+        assert alarmed and events < 20
+        assert det.estimate(t) > lam0
+
+    def test_calming_alarm_without_any_failure(self):
+        # A machine that stops failing altogether must still produce
+        # calming evidence via the censored open gap.
+        det = _Cusum(AdaptiveSpec(), lam0=0.1)
+        t, alarmed = 0.0, False
+        while t < 10_000.0 and not alarmed:
+            t += 10.0
+            alarmed = det.advance(t)
+        assert alarmed
+        assert det.estimate(t) < 0.1
+
+    def test_quiet_on_stationary_stream(self):
+        lam0 = 0.01
+        rng = np.random.default_rng(5)
+        det = _Cusum(AdaptiveSpec(), lam0)
+        t = 0.0
+        for gap in rng.exponential(1.0 / lam0, size=200):
+            t += gap
+            assert not det.observe(t)
+
+
+class TestAdaptiveWalker:
+    def test_static_policy_is_bitwise_the_engine(self):
+        system = get_system("B")
+        plan = plan_for("B")
+        factory = RegimeSourceFactory.for_system(system, DECAY)
+        cap = 40.0 * system.baseline_time
+        for child in np.random.SeedSequence(21).spawn(8):
+            engine_result = simulate_trial(
+                system, plan,
+                source=factory(np.random.default_rng(child)),
+                max_time=cap,
+            )
+            walker_result = simulate_adaptive_trial(
+                system, plan,
+                factory(np.random.default_rng(child)),
+                DECAY, policy="static", max_time=cap,
+            )
+            assert walker_result == engine_result
+
+    def test_compare_adaptive_on_curated_decay(self):
+        system = get_system("B")
+        regime_name, schedule = drift_regimes(system)[0]
+        assert regime_name == "decay"
+        comparison = compare_adaptive(system, schedule, trials=8, seed=3)
+        assert len(comparison.per_trial_adaptive) == 8
+        # curated to be worth adapting to: the validator's invariant
+        assert comparison.adaptive_wins
+        assert comparison.adaptive_mean <= comparison.static_mean
+        assert comparison.mean_replans > 0
+        assert comparison.mean_detection_latency is not None
+        # shared streams: regret isolates policy from stream luck
+        assert comparison.mean_regret == pytest.approx(
+            comparison.adaptive_mean - comparison.oracle_mean
+        )
+        data = json.loads(json.dumps(comparison.to_dict()))
+        assert data["trials"] == 8
+
+
+class TestPipelineIntegration:
+    def test_regime_study_packs_and_matches_scalar(self):
+        from repro.simulator import set_default_engine
+
+        def build():
+            return StudySpec(
+                study_id="drift-pipe",
+                scenarios=tuple(
+                    ScenarioSpec(
+                        system=get_system(n), trials=8, regime=DECAY,
+                        seed_policy="fixed",
+                    )
+                    for n in ("B", "D1")
+                ),
+                seed=5,
+            )
+
+        packed = execute_study(build())
+        assert {"type": "packed_simulate", "scenarios": 2} in (
+            packed.record.resilience["events"]
+        )
+        entry = packed.record.scenarios[0]
+        assert entry["regime"] == DECAY.to_dict()
+
+        previous = set_default_engine("scalar")
+        try:
+            scalar = execute_study(build())
+        finally:
+            set_default_engine(previous)
+        assert packed.outcomes == scalar.outcomes
+
+    def test_adaptive_scenario_reports_and_aggregates(self):
+        study = StudySpec(
+            study_id="drift-adaptive",
+            scenarios=(
+                ScenarioSpec(
+                    system=get_system("B"), trials=6, regime=DECAY,
+                    adaptive=True, seed_policy="fixed",
+                ),
+            ),
+            seed=5,
+        )
+        run = execute_study(study)
+        (outcome,) = run.outcomes
+        block = outcome.adaptive
+        for key in (
+            "static_mean", "adaptive_mean", "oracle_mean",
+            "mean_replans", "improvement",
+        ):
+            assert key in block
+        aggregate = run.record.adaptive
+        assert aggregate["scenarios"] == 1
+        assert aggregate["wins"] in (0, 1)
+        assert aggregate["mean_replans"] == pytest.approx(
+            block["mean_replans"]
+        )
+        # the record (adaptive block included) survives its JSON form
+        from repro.scenarios.manifest import StudyRunRecord
+
+        again = StudyRunRecord.from_dict(
+            json.loads(json.dumps(run.record.to_dict()))
+        )
+        assert again.adaptive == run.record.adaptive
+
+    def test_aggregate_adaptive_empty(self):
+        from repro.scenarios.pipeline import aggregate_adaptive
+
+        assert aggregate_adaptive([]) == {}

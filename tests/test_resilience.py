@@ -489,3 +489,114 @@ class TestPackedInterruptResume:
         assert {"type": "packed_simulate", "scenarios": 4} in (
             resumed.record.resilience["events"]
         )
+
+
+class TestJournalAudit:
+    """The ``repro journal`` audit: checksum accounting per line, section
+    summaries, and the torn-tail / corruption / orphan distinctions."""
+
+    def _fill(self, path, study, upto: int | None = None):
+        with RunJournal(path) as jr:
+            jr.begin_study(study)
+            h = study.study_hash()
+            n = len(study.scenarios) if upto is None else upto
+            for i in range(n):
+                jr.record_scenario(h, i, study.scenarios[i].label, 11 + i, _outcome(i))
+
+    def test_clean_journal(self, tmp_path):
+        from repro.exec import audit_journal, format_audit
+
+        path = tmp_path / "j.jsonl"
+        study = _study()
+        self._fill(path, study)
+        audit = audit_journal(path)
+        assert audit.ok and not audit.torn_tail
+        assert audit.lines == audit.verified == 1 + len(study.scenarios)
+        assert audit.corrupt == 0 and audit.orphans == 0
+        (section,) = audit.sections
+        assert section["study"] == "mini"
+        assert section["study_hash"] == study.study_hash()
+        assert section["declared"] == len(study.scenarios)
+        assert section["completed"] == list(range(len(study.scenarios)))
+        assert section["pending"] == []
+        text = format_audit(audit)
+        assert "(complete)" in text and "clean" in text
+
+    def test_partial_section_lists_pending(self, tmp_path):
+        from repro.exec import audit_journal, format_audit
+
+        path = tmp_path / "j.jsonl"
+        self._fill(path, _study(), upto=1)
+        audit = audit_journal(path)
+        assert audit.ok
+        (section,) = audit.sections
+        assert section["completed"] == [0]
+        assert section["pending"] == [1]
+        text = format_audit(audit)
+        assert "(resumable)" in text and "pending: 1" in text
+
+    def test_mid_file_corruption_fails_the_audit(self, tmp_path):
+        from repro.exec import audit_journal, format_audit
+
+        path = tmp_path / "j.jsonl"
+        self._fill(path, _study())
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace('"index"', '"indxe"', 1)
+        path.write_text("".join(lines))
+        audit = audit_journal(path)
+        assert not audit.ok
+        assert audit.corrupt == 1 and not audit.torn_tail
+        assert "CORRUPT" in format_audit(audit)
+
+    def test_torn_tail_is_excused(self, tmp_path):
+        from repro.exec import audit_journal, format_audit
+
+        path = tmp_path / "j.jsonl"
+        self._fill(path, _study())
+        path.write_text(path.read_text()[:-30])  # rip the final newline off
+        audit = audit_journal(path)
+        assert audit.ok and audit.torn_tail
+        assert audit.corrupt == 0
+        (section,) = audit.sections
+        assert section["pending"] == [1]  # the torn entry is not counted
+        assert "usable" in format_audit(audit)
+
+    def test_orphan_entries_fail_the_audit(self, tmp_path):
+        from repro.exec import audit_journal
+
+        path = tmp_path / "j.jsonl"
+        self._fill(path, _study())
+        # drop the header: every scenario entry loses its section
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[1:]))
+        audit = audit_journal(path)
+        assert not audit.ok
+        assert audit.orphans == 2 and audit.sections == []
+
+    def test_superseded_section_is_flagged(self, tmp_path):
+        from repro.exec import audit_journal, format_audit
+
+        path = tmp_path / "j.jsonl"
+        study = _study()
+        self._fill(path, study)
+        self._fill(path, study.with_seed(4), upto=0)  # same id, new hash
+        audit = audit_journal(path)
+        assert audit.ok
+        old, new = audit.sections
+        assert old["superseded"] and not new["superseded"]
+        assert "(superseded)" in format_audit(audit)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        from repro.exec import audit_journal
+
+        with pytest.raises(OSError):
+            audit_journal(tmp_path / "nope.jsonl")
+
+    def test_audit_serializes(self, tmp_path):
+        from repro.exec import audit_journal
+
+        path = tmp_path / "j.jsonl"
+        self._fill(path, _study())
+        data = json.loads(json.dumps(audit_journal(path).to_dict()))
+        assert data["ok"] is True
+        assert data["sections"][0]["declared"] == 2

@@ -84,7 +84,12 @@ class TestRunValidation:
             STRESS_SYSTEMS[name]
             for name in ("storm", "blink-app", "calm", "deep5")
         ]
-        return run_validation(stress=True, quick=True, systems=systems, trials=4)
+        # regimes=False: the drift-regime pass has its own dedicated
+        # tests below (and in test_regime.py) — this slice stays about
+        # the stationary stress catalog.
+        return run_validation(
+            stress=True, quick=True, systems=systems, trials=4, regimes=False
+        )
 
     def test_no_violations_on_shipped_code(self, report):
         assert report.violations == []
@@ -145,6 +150,71 @@ class TestRunValidation:
         rep.violations.append(Violation("s", "t", "crash", "boom"))
         assert not rep.ok
         assert "VIOLATIONS" in format_validation(rep)
+
+
+class TestRegimePass:
+    """The --stress drift-regime pass: gating, invariants, violations."""
+
+    def test_regime_pass_absent_without_stress(self):
+        report = run_validation(
+            quick=True, systems=[STRESS_SYSTEMS["calm"]],
+            techniques=["daly"], trials=2,
+        )
+        assert not any(p.variant.startswith("regime:") for p in report.pairs)
+
+    def test_regime_pass_needs_dauwe(self):
+        # stress on, but dauwe excluded: the pass cannot run (the
+        # adaptive replanner is Dauwe-based).
+        report = run_validation(
+            stress=True, quick=True, systems=[STRESS_SYSTEMS["calm"]],
+            techniques=["daly"], trials=2,
+        )
+        assert not any(p.variant.startswith("regime:") for p in report.pairs)
+
+    def test_validate_regime_pair_on_curated_drift(self):
+        from repro.systems import TEST_SYSTEMS
+        from repro.systems.stress import drift_regimes
+        from repro.validate import _validate_regime
+
+        system = TEST_SYSTEMS["B"]
+        regime_name, schedule = drift_regimes(system)[0]
+        report = ValidationReport(catalog="standard")
+        pair = _validate_regime(
+            report, system, regime_name, schedule,
+            trials=8, seed=0, quick=True,
+        )
+        assert pair.variant == f"regime:{regime_name}"
+        assert pair.verdict == "ok"
+        assert "adaptive" in pair.note and "replans" in pair.note
+        assert pair.deviation is not None
+        assert report.violations == []
+
+    def test_adaptive_loss_is_a_violation(self, monkeypatch):
+        from types import SimpleNamespace
+
+        from repro.simulator import adaptive as adaptive_mod
+        from repro.systems import TEST_SYSTEMS
+        from repro.systems.stress import drift_regimes
+        from repro.validate import _validate_regime
+
+        def losing(system, schedule, **kwargs):
+            return SimpleNamespace(
+                adaptive_wins=False, adaptive_mean=120.0, static_mean=100.0,
+                predicted_makespan=110.0, improvement=-0.2, mean_replans=3.0,
+            )
+
+        monkeypatch.setattr(adaptive_mod, "compare_adaptive", losing)
+        system = TEST_SYSTEMS["B"]
+        regime_name, schedule = drift_regimes(system)[0]
+        report = ValidationReport(catalog="standard")
+        pair = _validate_regime(
+            report, system, regime_name, schedule,
+            trials=2, seed=0, quick=True,
+        )
+        assert pair.verdict == "ok"  # a loss is a violation, not a crash
+        (violation,) = report.violations
+        assert violation.check == "adaptive-loses"
+        assert regime_name in violation.detail
 
 
 class TestValidateCli:
